@@ -1,0 +1,50 @@
+"""Ablation: the affiliated-line pairing mask (DESIGN.md §6).
+
+The paper fixes ``mask = 0x1`` — pairing consecutive lines, i.e.
+next-line prefetch. This sweep checks that choice against farther
+pairings (mask 2 and 4 pair lines two and four apart).
+
+Note the mask interacts with the memory interface: only mask 0x1 lets an
+L2 line carry both halves of an L1 pair, so larger masks lose the free
+L2->L1 piggyback and should do no better — which is what this bench
+demonstrates.
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_SEED, run_once
+
+from repro.caches.compression_cache import CPPPolicy
+from repro.caches.hierarchy import HierarchyParams
+from repro.sim.config import SimConfig
+from repro.sim.runner import get_program, run_program
+
+WORKLOADS = ["olden.treeadd", "spec95.130.li"]
+SCALE = 0.35
+
+
+def run_mask_sweep():
+    results = {}
+    for mask in (1, 2, 4):
+        params = HierarchyParams(cpp_policy=CPPPolicy(mask=mask))
+        config = SimConfig(cache_config="CPP", hierarchy=params)
+        cycles = 0
+        traffic = 0
+        for name in WORKLOADS:
+            result = run_program(get_program(name, seed=BENCH_SEED, scale=SCALE), config)
+            cycles += result.cycles
+            traffic += result.bus_words
+        results[mask] = (cycles, traffic)
+    return results
+
+
+def test_ablation_pairing_mask(benchmark):
+    results = run_once(benchmark, run_mask_sweep)
+    for mask, (cycles, traffic) in results.items():
+        benchmark.extra_info[f"mask_{mask}_cycles"] = cycles
+        benchmark.extra_info[f"mask_{mask}_bus_words"] = traffic
+    # The paper's next-line pairing is the best of the sweep.
+    best_mask = min(results, key=lambda m: results[m][0])
+    assert best_mask == 1
+    assert results[1][0] <= results[2][0]
+    assert results[1][0] <= results[4][0]

@@ -1,0 +1,62 @@
+"""Ablations of the CPP policy choices called out in DESIGN.md §6:
+
+* **word-based partial service** (paper §3.1: "we do not always enforce a
+  complete line from the L2 cache") versus forcing full lines;
+* **victim stashing** (paper §3.3: keep a clean partial copy of evicted
+  lines in their affiliated place) on versus off.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.caches.compression_cache import CPPPolicy
+from repro.caches.hierarchy import HierarchyParams
+from repro.sim.config import SimConfig
+from repro.sim.runner import get_program, run_program
+
+WORKLOADS = ["olden.health", "spec95.130.li", "spec2000.300.twolf"]
+SCALE = 0.35
+
+
+def _total_cycles(policy: CPPPolicy) -> tuple[int, int]:
+    config = SimConfig(
+        cache_config="CPP", hierarchy=HierarchyParams(cpp_policy=policy)
+    )
+    cycles = traffic = 0
+    for name in WORKLOADS:
+        result = run_program(get_program(name, seed=BENCH_SEED, scale=SCALE), config)
+        cycles += result.cycles
+        traffic += result.bus_words
+    return cycles, traffic
+
+
+def test_ablation_partial_line_service(benchmark):
+    def sweep():
+        return {
+            "partial (paper)": _total_cycles(CPPPolicy(serve_partial=True)),
+            "full-line": _total_cycles(CPPPolicy(serve_partial=False)),
+        }
+
+    results = run_once(benchmark, sweep)
+    for label, (cycles, traffic) in results.items():
+        benchmark.extra_info[f"{label} cycles"] = cycles
+        benchmark.extra_info[f"{label} bus_words"] = traffic
+    # Forcing complete lines refetches on every hole: more traffic, and
+    # never faster.
+    assert results["partial (paper)"][1] <= results["full-line"][1]
+    assert results["partial (paper)"][0] <= results["full-line"][0] * 1.02
+
+
+def test_ablation_victim_stash(benchmark):
+    def sweep():
+        return {
+            "stash (paper)": _total_cycles(CPPPolicy(stash_victims=True)),
+            "no-stash": _total_cycles(CPPPolicy(stash_victims=False)),
+        }
+
+    results = run_once(benchmark, sweep)
+    for label, (cycles, traffic) in results.items():
+        benchmark.extra_info[f"{label} cycles"] = cycles
+        benchmark.extra_info[f"{label} bus_words"] = traffic
+    # Stashing keeps free second copies around: it cannot lose on cycles
+    # beyond noise, and typically wins.
+    assert results["stash (paper)"][0] <= results["no-stash"][0] * 1.02

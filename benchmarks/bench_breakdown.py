@@ -1,0 +1,41 @@
+"""Supporting analysis: three-C miss classification of the suite.
+
+Not a numbered paper figure, but the measurement behind the paper's
+§4.3 reasoning ("if conflict misses are dominant ... CPP performs better
+than BCP"): classify each workload's misses in the paper's 8 KB
+direct-mapped L1 as compulsory / capacity / conflict and record the
+shares in extra_info.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis.breakdown import classify_misses
+from repro.sim.runner import get_program
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def run_breakdowns():
+    out = {}
+    for name in WORKLOAD_NAMES:
+        program = get_program(name, seed=BENCH_SEED, scale=BENCH_SCALE)
+        out[name] = classify_misses(program.trace)
+    return out
+
+
+def test_three_c_breakdown(benchmark):
+    results = run_once(benchmark, run_breakdowns)
+    for name, bk in results.items():
+        short = name.split(".")[-1]
+        benchmark.extra_info[f"{short}"] = (
+            f"comp {bk.fraction('compulsory'):.2f} / "
+            f"cap {bk.fraction('capacity'):.2f} / "
+            f"conf {bk.fraction('conflict'):.2f}"
+        )
+    # Structural sanity on every workload:
+    for name, bk in results.items():
+        assert bk.total > 0, name
+        assert bk.compulsory > 0, name
+    # The suite spans the design space: at least one conflict-dominated
+    # workload (the CPP-beats-BCP regime) and one that is not.
+    assert any(bk.conflict_dominated for bk in results.values())
+    assert any(not bk.conflict_dominated for bk in results.values())

@@ -1,0 +1,48 @@
+"""Extension bench: does CPP subsume higher associativity, or compose?
+
+The paper compares CPP against HAC as alternatives; the natural
+follow-up — what if you build the CPP cache *with* HAC's associativity —
+is future work the framework makes one parameter away. Expected shape:
+the combination is at least as good as either ingredient on
+conflict-dominated workloads, showing the two mechanisms address
+different miss classes.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.caches.hierarchy import HierarchyParams
+from repro.sim.config import SimConfig
+from repro.sim.runner import get_program, run_program
+
+WORKLOADS = ["spec95.129.compress", "spec2000.300.twolf", "spec95.130.li"]
+SCALE = 0.35
+
+
+def run_combination():
+    variants = {
+        "CPP (paper: 1-way L1)": SimConfig(cache_config="CPP"),
+        "HAC (2-way, no compression)": SimConfig(cache_config="HAC"),
+        "CPP+assoc (2-way L1, 4-way L2)": SimConfig(
+            cache_config="CPP",
+            hierarchy=HierarchyParams(l1_assoc=2, l2_assoc=4),
+        ),
+    }
+    out = {}
+    for label, config in variants.items():
+        cycles = 0
+        for name in WORKLOADS:
+            cycles += run_program(
+                get_program(name, seed=BENCH_SEED, scale=SCALE), config
+            ).cycles
+        out[label] = cycles
+    return out
+
+
+def test_extension_cpp_with_associativity(benchmark):
+    results = run_once(benchmark, run_combination)
+    for label, cycles in results.items():
+        benchmark.extra_info[label] = cycles
+    combo = results["CPP+assoc (2-way L1, 4-way L2)"]
+    # The combination beats each ingredient on this conflict-heavy mix:
+    assert combo <= results["CPP (paper: 1-way L1)"]
+    assert combo <= results["HAC (2-way, no compression)"]

@@ -1,0 +1,18 @@
+"""Figure 9 bench: the configuration table regenerates instantly and
+matches the paper's machine."""
+
+from conftest import run_once
+
+from repro.experiments.fig09_config_table import run as run_fig9
+
+
+def test_fig09_config_table(benchmark):
+    out = run_once(benchmark, run_fig9)
+    table = {row[0]: str(row[1]) for row in out.rows}
+    assert table["Issue width"].startswith("4")
+    assert table["IFQ size"].startswith("16")
+    assert table["LD/ST queue"].startswith("8")
+    assert "8K" in table["L1 D-cache"]
+    assert "64K" in table["L2 cache"]
+    assert table["Memory access latency"].startswith("100")
+    benchmark.extra_info["parameters"] = len(out.rows)

@@ -1,0 +1,21 @@
+"""Figure 10 bench: memory traffic, normalized to BC."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments.common import GEOMEAN
+from repro.experiments.fig10_traffic import run as run_fig10
+
+
+def test_fig10_memory_traffic(benchmark):
+    out = run_once(benchmark, run_fig10, seed=BENCH_SEED, scale=BENCH_SCALE)
+    avg = {cfg: out.series[cfg][GEOMEAN] for cfg in ("BCC", "HAC", "BCP", "CPP")}
+    benchmark.extra_info.update(
+        {f"avg_{k.lower()}_pct": round(v, 1) for k, v in avg.items()}
+    )
+    benchmark.extra_info["paper"] = "BCC~60, BCP~180, CPP~90 (% of BC)"
+    # Shape claims of the figure:
+    assert avg["BCC"] < 80.0  # compression alone cuts traffic sharply
+    assert avg["BCP"] > 115.0  # prefetch buffers inflate traffic
+    assert avg["CPP"] < 100.0  # CPP prefetches yet stays below baseline
+    assert avg["CPP"] < avg["BCP"]
+    assert abs(avg["HAC"] - 100.0) < 25.0  # associativity barely moves traffic

@@ -1,0 +1,22 @@
+"""Figure 12 bench: L1 miss comparison, normalized to BC."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments.common import GEOMEAN
+from repro.experiments.fig12_l1_misses import run as run_fig12
+
+
+def test_fig12_l1_misses(benchmark):
+    out = run_once(benchmark, run_fig12, seed=BENCH_SEED, scale=BENCH_SCALE)
+    avg = {cfg: out.series[cfg][GEOMEAN] for cfg in ("HAC", "BCP", "CPP")}
+    benchmark.extra_info.update(
+        {f"avg_{k.lower()}_pct": round(v, 1) for k, v in avg.items()}
+    )
+    benchmark.extra_info["paper"] = "prefetching (BCP/CPP) well below BC"
+    # Prefetching reduces L1 misses on average:
+    assert avg["BCP"] < 100.0
+    assert avg["CPP"] < 100.0
+    # Buffer-hit accounting: BCP misses never exceed BC per workload.
+    for workload, value in out.series["BCP"].items():
+        if workload != GEOMEAN:
+            assert value <= 100.5, workload

@@ -1,0 +1,22 @@
+"""Figure 14 bench: miss importance via the half-penalty Amdahl method."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments.common import GEOMEAN
+from repro.experiments.fig14_importance import run as run_fig14
+
+
+def test_fig14_miss_importance(benchmark):
+    out = run_once(benchmark, run_fig14, seed=BENCH_SEED, scale=BENCH_SCALE)
+    avg = {cfg: out.series[cfg][GEOMEAN] for cfg in ("BC", "HAC", "BCP", "CPP")}
+    benchmark.extra_info.update(
+        {f"avg_{k.lower()}_pct": round(v, 2) for k, v in avg.items()}
+    )
+    benchmark.extra_info["paper"] = "CPP reduces importance vs BC/HAC on most"
+    # All fractions are valid percentages:
+    for cfg, series in out.series.items():
+        for value in series.values():
+            assert 0.0 <= value <= 100.0, cfg
+    # The figure's claim: CPP lowers the average miss importance.
+    assert avg["CPP"] < avg["BC"]
+    assert avg["CPP"] < avg["HAC"]

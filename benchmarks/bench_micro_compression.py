@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the compression layer itself.
+
+These are genuine throughput measurements (multiple rounds): the
+vectorized classifier is the hot path of the Figure 3 analysis and of
+every CPP cache fill.
+"""
+
+import numpy as np
+
+from repro.compression.codec import compress_word, decompress_word, pack_line
+from repro.compression.vectorized import classify_words, compression_summary
+
+N = 100_000
+rng = np.random.default_rng(11)
+VALUES = rng.integers(0, 1 << 32, N, dtype=np.uint32)
+ADDRS = (np.uint32(0x1000_0000) + 4 * np.arange(N, dtype=np.uint32)).astype(
+    np.uint32
+)
+
+
+def test_vectorized_classify_throughput(benchmark):
+    out = benchmark(classify_words, VALUES, ADDRS)
+    assert out.shape == (N,)
+    benchmark.extra_info["words_per_call"] = N
+
+
+def test_vectorized_summary_throughput(benchmark):
+    summary = benchmark(compression_summary, VALUES, ADDRS)
+    assert summary.n_words == N
+
+
+def test_scalar_codec_roundtrip(benchmark):
+    small_values = [int(v) % 16000 for v in VALUES[:2000]]
+    addrs = [int(a) for a in ADDRS[:2000]]
+
+    def roundtrip():
+        total = 0
+        for v, a in zip(small_values, addrs):
+            cw = compress_word(v, a)
+            total += decompress_word(cw, a)
+        return total
+
+    assert benchmark(roundtrip) == sum(small_values)
+
+
+def test_line_pack_throughput(benchmark):
+    lines = [
+        ([int(v) for v in VALUES[i : i + 32]], [int(a) for a in ADDRS[i : i + 32]])
+        for i in range(0, 32 * 64, 32)
+    ]
+
+    def pack_all():
+        return sum(pack_line(v, a).bus_words for v, a in lines)
+
+    words = benchmark(pack_all)
+    assert 0 < words <= 33 * len(lines)

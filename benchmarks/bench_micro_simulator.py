@@ -1,0 +1,68 @@
+"""Micro-benchmarks of simulator throughput (accesses and instructions per
+second), per configuration — the numbers that bound experiment runtime."""
+
+import numpy as np
+import pytest
+
+from repro.caches.hierarchy import build_hierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+from repro.sim.machine import Machine
+from repro.workloads.registry import generate
+
+BASE = 0x1000_0000
+
+
+def _mixed_addrs(n):
+    rng = np.random.default_rng(5)
+    seq = (BASE + 4 * (np.arange(n) % 4096)).astype(np.int64)
+    rand = (BASE + 4 * rng.integers(0, 4096, n)).astype(np.int64)
+    out = np.where(rng.random(n) < 0.5, seq, rand)
+    return [int(a) for a in out]
+
+
+@pytest.mark.parametrize("config", ["BC", "BCP", "CPP"])
+def test_hierarchy_access_throughput(benchmark, config):
+    addrs = _mixed_addrs(20_000)
+
+    def drive():
+        h = build_hierarchy(config, MainMemory(MemoryImage(), latency=100))
+        latency = 0
+        for i, addr in enumerate(addrs):
+            if i % 4 == 0:
+                h.store(addr, i, i)
+            else:
+                latency += h.load(addr, i).latency
+        return latency
+
+    assert benchmark(drive) > 0
+    benchmark.extra_info["accesses"] = len(addrs)
+
+
+@pytest.mark.parametrize("config", ["BC", "CPP"])
+def test_full_machine_instructions_per_second(benchmark, config):
+    program = generate("spec95.130.li", seed=1, scale=0.3)
+
+    result = benchmark.pedantic(
+        Machine(config).run,
+        args=(program,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.instructions == len(program.trace)
+    benchmark.extra_info["instructions"] = result.instructions
+    benchmark.extra_info["sim_cycles"] = result.cycles
+
+
+def test_trace_generation_throughput(benchmark):
+    program = benchmark.pedantic(
+        generate,
+        args=("olden.treeadd",),
+        kwargs={"seed": 3, "scale": 0.5},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["instructions"] = len(program.trace)
+    assert len(program.trace) > 10_000

@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+The figure benches regenerate each paper figure at a reduced input scale
+(``BENCH_SCALE``) so the full harness completes in minutes; the runner's
+memoization means figures that share the (workload x config) matrix
+(10-13) pay for the simulations once.
+
+Every bench records its headline numbers in ``extra_info`` so the
+pytest-benchmark JSON/console output doubles as the paper-vs-measured
+record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import clear_caches
+
+BENCH_SCALE = 0.35
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_run_cache():
+    """One memoized matrix for the whole bench session."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure a single execution (simulations are deterministic; rounds
+    would only re-measure the memo cache)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Design-space exploration around the paper's CPP configuration.
+
+Sweeps three axes the paper fixes by design and shows why its choices
+hold up:
+
+* the compressed-slot width (paper: 16 bits, §2.1);
+* the affiliated-line pairing mask (paper: 0x1 = next line, §3.1);
+* the L1 size (is the win just "more effective capacity"?).
+
+Run:  python examples/design_space_sweep.py          (takes ~1 min)
+      python examples/design_space_sweep.py --quick
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.caches.compression_cache import CPPPolicy
+from repro.caches.hierarchy import HierarchyParams
+from repro.compression.scheme import CompressionScheme
+from repro.compression.vectorized import compression_summary
+from repro.sim.config import SimConfig
+from repro.sim.runner import get_program, run_program
+from repro.utils.tables import format_table
+
+WORKLOADS = ["olden.treeadd", "spec95.130.li", "spec2000.300.twolf"]
+
+
+def run_cpp(params: HierarchyParams, scale: float) -> tuple[int, int]:
+    config = SimConfig(cache_config="CPP", hierarchy=params)
+    cycles = traffic = 0
+    for name in WORKLOADS:
+        result = run_program(get_program(name, seed=1, scale=scale), config)
+        cycles += result.cycles
+        traffic += result.bus_words
+    return cycles, traffic
+
+
+def sweep_width(scale: float) -> None:
+    print("== Compressed-slot width (paper picks 16 bits) ==")
+    rows = []
+    for payload in (7, 11, 15, 19, 23):
+        scheme = CompressionScheme(payload_bits=payload)
+        fracs = []
+        for name in WORKLOADS:
+            program = get_program(name, seed=1, scale=scale)
+            fracs.append(
+                compression_summary(
+                    *program.trace.accessed_values(), scheme
+                ).fraction_compressible
+            )
+        cycles, traffic = run_cpp(HierarchyParams(scheme=scheme), scale)
+        rows.append(
+            [
+                f"{payload + 1}-bit",
+                round(100 * sum(fracs) / len(fracs), 1),
+                cycles,
+                traffic,
+            ]
+        )
+    print(format_table(["slot", "compressible %", "cycles", "bus words"], rows))
+    print(
+        "Narrow slots compress too few values; wide slots compress more "
+        "but each prefetched word costs more space. 16 bits is the knee "
+        "(the balance §2.1 cites).\n"
+    )
+
+
+def sweep_mask(scale: float) -> None:
+    print("== Affiliated-line pairing mask (paper picks 0x1) ==")
+    rows = []
+    for mask in (1, 2, 4, 8):
+        cycles, traffic = run_cpp(
+            HierarchyParams(cpp_policy=CPPPolicy(mask=mask)), scale
+        )
+        note = "next line (paper)" if mask == 1 else f"{mask} lines apart"
+        rows.append([hex(mask), note, cycles, traffic])
+    print(format_table(["mask", "pairing", "cycles", "bus words"], rows))
+    print(
+        "Only mask 0x1 keeps an L1 pair inside one L2 line, so only it "
+        "gets the free L2-to-L1 piggyback; farther pairings also lose "
+        "spatial-locality value.\n"
+    )
+
+
+def sweep_l1_size(scale: float) -> None:
+    print("== Is CPP just extra capacity? (L1 size sweep, BC vs CPP) ==")
+    rows = []
+    for l1_kb in (4, 8, 16):
+        params = HierarchyParams(l1_size=l1_kb * 1024)
+        bc_cycles = 0
+        for name in WORKLOADS:
+            bc_cycles += run_program(
+                get_program(name, seed=1, scale=scale),
+                SimConfig(cache_config="BC", hierarchy=params),
+            ).cycles
+        cpp_cycles, _ = run_cpp(params, scale)
+        rows.append(
+            [
+                f"{l1_kb} KB",
+                bc_cycles,
+                cpp_cycles,
+                f"{100 * (1 - cpp_cycles / bc_cycles):.1f}%",
+            ]
+        )
+    print(format_table(["L1 size", "BC cycles", "CPP cycles", "CPP speedup"], rows))
+    print(
+        "CPP's gain persists across sizes: it is the *prefetching* of "
+        "important words, not just denser storage (paper §4.3's point "
+        "against HAC).\n"
+    )
+
+
+def main() -> None:
+    scale = 0.2 if "--quick" in sys.argv else 0.4
+    sweep_width(scale)
+    sweep_mask(scale)
+    sweep_l1_size(scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""The paper's own motivating example (§2.2, Figures 5-6), made runnable.
+
+A linked list of nodes ``{next, type, prev, info}`` — three compressible
+fields and one large ``info`` — is traversed summing ``info`` for nodes
+of a given type:
+
+    while (p) {                // (1)
+        if (p->type == T)      // (2)
+            sum += p->info;    // (3)
+        p = p->next;           // (4)
+    }
+
+Without compression every node occupies one 64 B region probed by a fresh
+cache line; with CPP a line holds one node plus the compressible fields
+of the *next* node, so the pointer chase hits in the affiliated location
+and the only misses left are the (less important) ``info`` loads at (3).
+
+Run:  python examples/linked_list_traversal.py
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_program
+from repro.utils.tables import format_table
+from repro.workloads.base import Program, ProgramBuilder
+
+# Node layout (one 64 B cache line per node, as in paper Figure 6).
+NEXT, TYPE, PREV, INFO = 0, 4, 8, 12
+NODE_BYTES = 64
+
+N_NODES = 600
+WANTED_TYPE = 3
+TRAVERSALS = 4
+
+
+def build_list_program(seed: int = 1) -> Program:
+    pb = ProgramBuilder("example.listsum", seed)
+
+    # -- build the list (paper Figure 5(a)) --------------------------------
+    nodes = [pb.malloc(NODE_BYTES) for _ in range(N_NODES)]
+    node_type = {}
+    for i, addr in enumerate(nodes):
+        nxt = nodes[i + 1] if i + 1 < N_NODES else 0
+        prv = nodes[i - 1] if i else 0
+        t = int(pb.rng.integers(0, 5))
+        node_type[addr] = t
+        pb.store(addr + NEXT, nxt, base="g", label="ll.init.next")
+        pb.store(addr + TYPE, t, base="g", label="ll.init.type")
+        pb.store(addr + PREV, prv, base="g", label="ll.init.prev")
+        pb.store(addr + INFO, pb.rand_large(), base="g", label="ll.init.info")
+
+    # -- the traversal loop (paper Figure 5(b)) -----------------------------
+    total = 0
+    for _ in pb.for_range("ll.outer", TRAVERSALS, cond_srcs=("g",)):
+        pb.op("p", (), label="ll.loop.entry")
+        p = nodes[0]
+        while pb.while_cond("ll.loop", p != 0, srcs=("p",)):  # (1)
+            t = pb.load(p + TYPE, "t", base="p", label="ll.ld.type")
+            if pb.if_("ll.iftype", t == WANTED_TYPE, srcs=("t",)):  # (2)
+                info = pb.load(p + INFO, "info", base="p", label="ll.ld.info")
+                pb.op("sum", ("sum", "info"), label="ll.acc")  # (3)
+                total += info
+            nxt = pb.load(p + NEXT, "pn", base="p", label="ll.ld.next")
+            pb.op("p", ("pn",), label="ll.adv")  # (4)
+            p = nxt
+
+    out = pb.static_array(1)
+    pb.store(out, total & 0x7FFF_FFFF, src="sum", label="ll.result")
+    return pb.build(
+        description="paper §2.2 motivating example",
+        params={"nodes": N_NODES, "traversals": TRAVERSALS},
+    )
+
+
+def main() -> None:
+    program = build_list_program()
+    print(
+        f"Traversing a {N_NODES}-node list {TRAVERSALS}x "
+        f"({program.n_instructions} instructions)\n"
+    )
+    rows = []
+    for config in ("BC", "HAC", "BCP", "CPP"):
+        result = run_program(program, SimConfig(cache_config=config))
+        rows.append(
+            [
+                config,
+                result.cycles,
+                result.l1.misses,
+                result.l1.affiliated_hits,
+                result.l1.prefetched_words,
+                result.bus_words,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "config",
+                "cycles",
+                "L1 misses",
+                "affiliated hits",
+                "words prefetched",
+                "bus words",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe compressible fields (next/type/prev) of each node ride into "
+        "the cache with the previous node's line, so under CPP the pointer "
+        "chase at (4) hits in the affiliated location; the misses that "
+        "remain are the large info loads at (3) — off the critical path, "
+        "exactly the effect paper §2.2 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

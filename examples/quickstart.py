@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: compress some values, then race CPP against the baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compression import PAPER_SCHEME, compress_word, decompress_word
+from repro.sim.runner import run_workload
+from repro.utils.tables import format_table
+
+
+def demo_value_compression() -> None:
+    """The paper's 32->16-bit scheme on a few representative words."""
+    print("== The compression scheme (paper §2.1) ==")
+    print(
+        f"compressed slot: {PAPER_SCHEME.compressed_bits} bits | "
+        f"small range [{PAPER_SCHEME.small_min}, {PAPER_SCHEME.small_max}] | "
+        f"pointer chunk {PAPER_SCHEME.pointer_chunk_bytes // 1024} KB"
+    )
+    examples = [
+        ("small positive", 1234, 0x1000_2000),
+        ("small negative", -77 & 0xFFFF_FFFF, 0x1000_2000),
+        ("pointer, same 32K chunk", 0x1000_7F00, 0x1000_2000),
+        ("pointer, other chunk", 0x1001_0000, 0x1000_2000),
+        ("random bits", 0xDEAD_BEEF, 0x1000_2000),
+    ]
+    rows = []
+    for label, value, addr in examples:
+        cw = compress_word(value, addr)
+        if cw is None:
+            rows.append([label, f"{value:#010x}", "no", "-", "-"])
+        else:
+            kind = "pointer" if cw.vt else "small"
+            restored = decompress_word(cw, addr)
+            assert restored == value
+            rows.append(
+                [label, f"{value:#010x}", "yes", kind, f"{cw.encoded:#06x}"]
+            )
+    print(format_table(["value", "bits", "compressible", "type", "16-bit slot"], rows))
+    print()
+
+
+def demo_simulation() -> None:
+    """One workload, two machines: the baseline BC and the paper's CPP."""
+    print("== Simulating olden.treeadd on BC vs CPP ==")
+    rows = []
+    results = {}
+    for config in ("BC", "CPP"):
+        result = run_workload("olden.treeadd", config, seed=1, scale=0.5)
+        results[config] = result
+        rows.append(
+            [
+                config,
+                result.cycles,
+                round(result.ipc, 3),
+                round(100 * result.l1_miss_rate, 2),
+                result.l1.affiliated_hits,
+                result.bus_words,
+            ]
+        )
+    print(
+        format_table(
+            ["config", "cycles", "IPC", "L1 miss %", "affiliated hits", "bus words"],
+            rows,
+        )
+    )
+    bc, cpp = results["BC"], results["CPP"]
+    print(
+        f"\nCPP is {100 * (1 - cpp.cycles / bc.cycles):.1f}% faster than BC "
+        f"and moves {100 * (1 - cpp.bus_words / bc.bus_words):.1f}% less "
+        f"memory traffic — prefetching for free in the bandwidth that "
+        f"compression liberated (paper Figures 10 and 11)."
+    )
+
+
+if __name__ == "__main__":
+    demo_value_compression()
+    demo_simulation()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Working with traces directly: save/load, classify, and dissect misses.
+
+Shows the toolkit around the simulator itself:
+
+* persist a generated trace as a ``.npz`` archive and reload it;
+* classify every accessed value under the paper's prefix scheme *and*
+  under a profiled frequent-value table (related work [6]);
+* break the trace's misses into compulsory/capacity/conflict for the
+  paper's L1 geometry (the §4.3 "conflict misses dominant" predicate).
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.breakdown import classify_misses
+from repro.compression.frequent import profile_frequent_values
+from repro.compression.vectorized import compression_summary
+from repro.isa.traceio import load_trace, save_trace
+from repro.utils.tables import format_table
+from repro.workloads.registry import generate
+
+WORKLOADS = ["olden.treeadd", "spec95.129.compress", "spec2000.300.twolf"]
+
+
+def main() -> None:
+    rows_values = []
+    rows_misses = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in WORKLOADS:
+            program = generate(name, seed=1, scale=0.4)
+
+            # -- persistence round trip ------------------------------------
+            path = save_trace(program.trace, Path(tmp) / name)
+            trace = load_trace(path)
+            assert len(trace) == len(program.trace)
+
+            # -- value classification: prefix scheme vs profiled FVC --------
+            prefix = compression_summary(*trace.accessed_values())
+            fvc = compression_summary(
+                *trace.accessed_values(),
+                profile_frequent_values(trace, top_n=256),
+            )
+            rows_values.append(
+                [
+                    name,
+                    len(trace),
+                    f"{path.stat().st_size / 1024:.0f} KB",
+                    f"{prefix.fraction_compressible:.1%}",
+                    f"{fvc.fraction_compressible:.1%}",
+                ]
+            )
+
+            # -- three-C miss dissection (paper 8 KB direct-mapped L1) ------
+            bk = classify_misses(trace)
+            rows_misses.append(
+                [
+                    name,
+                    bk.total,
+                    f"{bk.fraction('compulsory'):.0%}",
+                    f"{bk.fraction('capacity'):.0%}",
+                    f"{bk.fraction('conflict'):.0%}",
+                    "yes" if bk.conflict_dominated else "no",
+                ]
+            )
+
+    print(
+        format_table(
+            ["workload", "instructions", ".npz size", "prefix comp.", "FVC-256 comp."],
+            rows_values,
+            title="Trace persistence + value classification",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "L1 misses", "compulsory", "capacity", "conflict",
+             "conflict-dominated"],
+            rows_misses,
+            title="Three-C miss dissection (8 KB direct-mapped L1)",
+        )
+    )
+    print(
+        "\nThe conflict-dominated rows are where the paper predicts CPP "
+        "beats plain prefetching (§4.3) — compare with Figure 11's bars."
+    )
+
+
+if __name__ == "__main__":
+    main()

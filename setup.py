@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

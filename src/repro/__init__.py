@@ -1,0 +1,63 @@
+"""repro — reproduction of *Enabling Partial Cache Line Prefetching Through
+Data Compression* (Zhang & Gupta, ICPP 2003).
+
+The package implements, from scratch:
+
+* the paper's 32→16-bit value compression scheme (:mod:`repro.compression`);
+* a two-level cache hierarchy with five configurations — the baseline BC,
+  compressed-bus BCC, higher-associativity HAC, prefetch-buffer BCP, and
+  the paper's contribution CPP (:mod:`repro.caches`);
+* a 4-issue out-of-order core in the image of SimpleScalar's
+  ``sim-outorder`` (:mod:`repro.cpu`);
+* fourteen trace-generating workloads modeled on the Olden / SPECint95 /
+  SPECint2000 programs the paper evaluates (:mod:`repro.workloads`);
+* experiment harnesses regenerating every figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_workload
+
+    result = run_workload("olden.treeadd", "CPP")
+    print(result.cycles, result.l1.miss_rate, result.bus_words)
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    # re-exported lazily below
+    "CompressionScheme",
+    "PAPER_SCHEME",
+    "Machine",
+    "SimConfig",
+    "SIM_CONFIGS",
+    "CONFIG_NAMES",
+    "run_workload",
+    "WORKLOAD_NAMES",
+    "get_workload",
+]
+
+
+def __getattr__(name: str):  # PEP 562 lazy re-exports: keep import light
+    if name in ("CompressionScheme", "PAPER_SCHEME"):
+        import repro.compression as _c
+
+        return getattr(_c, name)
+    if name == "Machine":
+        from repro.sim.machine import Machine
+
+        return Machine
+    if name in ("SimConfig", "SIM_CONFIGS", "CONFIG_NAMES"):
+        import repro.sim.config as _cfg
+
+        return getattr(_cfg, name)
+    if name == "run_workload":
+        from repro.sim.runner import run_workload
+
+        return run_workload
+    if name in ("WORKLOAD_NAMES", "get_workload"):
+        import repro.workloads.registry as _w
+
+        return getattr(_w, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,14 @@
+"""Post-processing analyses behind the paper's derived figures."""
+
+from repro.analysis.importance import ImportanceResult, fraction_enhanced, miss_importance
+from repro.analysis.normalize import normalize_to_baseline
+from repro.analysis.readyq import ReadyQueueComparison, ready_queue_uplift
+
+__all__ = [
+    "ImportanceResult",
+    "fraction_enhanced",
+    "miss_importance",
+    "normalize_to_baseline",
+    "ReadyQueueComparison",
+    "ready_queue_uplift",
+]

@@ -1,0 +1,86 @@
+"""Cache-miss *importance* via Amdahl's law (paper §4.4, Figure 14).
+
+The paper derives how many instructions directly depend on the cache-miss
+instructions: run the same program twice — once normally, once with the
+miss penalty halved (``S_enhanced = 2``) — measure the overall speedup,
+and solve Amdahl's law for the enhanced fraction:
+
+    fraction = S_e * (1 - 1/S_overall) / (S_e - 1)
+
+Determinism makes this sound: the trace-driven core is non-speculative,
+so "the same cache misses happen at the same instructions" and the only
+change is the dependence length from each miss to its dependents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["fraction_enhanced", "miss_importance", "ImportanceResult"]
+
+
+def fraction_enhanced(
+    cycles_base: int, cycles_enhanced: int, s_enhanced: float = 2.0
+) -> float:
+    """Solve Amdahl's law for the enhanced fraction.
+
+    *cycles_base* is the normal run, *cycles_enhanced* the run with the
+    miss penalty divided by *s_enhanced*.
+    """
+    if cycles_base <= 0 or cycles_enhanced <= 0:
+        raise ExperimentError("cycle counts must be positive")
+    if s_enhanced <= 1.0:
+        raise ExperimentError("s_enhanced must exceed 1")
+    s_overall = cycles_base / cycles_enhanced
+    fraction = s_enhanced * (1.0 - 1.0 / s_overall) / (s_enhanced - 1.0)
+    # Numerical guard: a program with no miss cycles can come out at a
+    # tiny negative fraction through rounding.
+    return max(0.0, fraction)
+
+
+@dataclass(frozen=True)
+class ImportanceResult:
+    """Importance of a configuration's cache misses on one workload."""
+
+    workload: str
+    config: str
+    cycles_base: int
+    cycles_half_penalty: int
+    fraction: float
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.fraction
+
+
+def miss_importance(
+    workload: str,
+    config: str,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> ImportanceResult:
+    """Measure miss importance for (workload, config) per the paper.
+
+    Runs the pair of simulations (normal and half-miss-penalty) and
+    applies :func:`fraction_enhanced`.
+    """
+    from repro.sim.config import SIM_CONFIGS
+    from repro.sim.runner import run_workload
+
+    base_cfg = SIM_CONFIGS.get(config.upper())
+    if base_cfg is None:
+        raise ExperimentError(f"unknown configuration {config!r}")
+    normal = run_workload(workload, base_cfg, seed=seed, scale=scale)
+    half = run_workload(
+        workload, base_cfg.with_miss_scale(0.5), seed=seed, scale=scale
+    )
+    return ImportanceResult(
+        workload=workload,
+        config=config.upper(),
+        cycles_base=normal.cycles,
+        cycles_half_penalty=half.cycles,
+        fraction=fraction_enhanced(normal.cycles, half.cycles),
+    )

@@ -1,0 +1,36 @@
+"""Normalization helpers for the comparison figures.
+
+Figures 10-13 report each configuration normalized to BC = 100 %.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.errors import ExperimentError
+from repro.sim.results import SimResult
+
+__all__ = ["normalize_to_baseline"]
+
+
+def normalize_to_baseline(
+    results: Mapping[str, SimResult],
+    metric: Callable[[SimResult], float],
+    *,
+    baseline: str = "BC",
+) -> dict[str, float]:
+    """Normalize ``metric`` of each config to the baseline's value (=100).
+
+    *results* maps config name -> result for one workload.
+    """
+    if baseline not in results:
+        raise ExperimentError(f"baseline {baseline!r} missing from results")
+    base_value = metric(results[baseline])
+    if base_value == 0:
+        # A metric of zero in the baseline (e.g. no misses at all) makes
+        # every config trivially equal; report 100 across the board.
+        return {name: 100.0 for name in results}
+    return {
+        name: 100.0 * metric(result) / base_value
+        for name, result in results.items()
+    }

@@ -1,0 +1,60 @@
+"""Whole-evaluation report: every figure, one document.
+
+``evaluation_report()`` regenerates all eight figures and renders them as
+a single text document (the shape of the paper's §4), optionally writing
+it to a file. Used by the CLI (``repro-experiments all``) consumers that
+want one artifact, and by EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.common import ExperimentOutput, render_output
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["evaluation_report", "collect_outputs"]
+
+_HEADER = """\
+================================================================
+ Reproduction: Enabling Partial Cache Line Prefetching Through
+ Data Compression (Zhang & Gupta, ICPP 2003)
+ Regenerated evaluation — all figures
+================================================================
+"""
+
+
+def collect_outputs(
+    workloads: list[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    figures: list[str] | None = None,
+) -> dict[str, ExperimentOutput]:
+    """Run the requested figures (default: all) and return their outputs."""
+    figure_ids = figures if figures else list(EXPERIMENTS)
+    return {
+        figure: run_experiment(figure, workloads, seed=seed, scale=scale)
+        for figure in figure_ids
+    }
+
+
+def evaluation_report(
+    workloads: list[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    charts: bool = False,
+    output_path: str | Path | None = None,
+) -> str:
+    """Regenerate the full evaluation and render it as one document."""
+    outputs = collect_outputs(workloads, seed=seed, scale=scale)
+    blocks = [_HEADER]
+    blocks.append(f"(seed={seed}, input scale={scale})\n")
+    for figure, output in outputs.items():
+        blocks.append(render_output(output, charts=charts))
+        blocks.append("-" * 64)
+    text = "\n".join(blocks)
+    if output_path is not None:
+        Path(output_path).write_text(text, encoding="utf-8")
+    return text

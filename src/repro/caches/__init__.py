@@ -1,0 +1,55 @@
+"""Cache models: the baseline hierarchy family and the paper's CPP design.
+
+Five two-level configurations are reproduced (paper §4.1):
+
+========  ============================================================
+``BC``    baseline: 8 KB direct-mapped L1 (64 B lines), 64 KB 2-way L2
+          (128 B lines), write-back / write-allocate.
+``BCC``   BC plus compressors at the L2/memory interface: identical
+          timing and hit behaviour, compressed bus traffic.
+``HAC``   BC with doubled associativity (2-way L1, 4-way L2).
+``BCP``   BC plus next-line prefetch-on-miss into fully-associative
+          LRU prefetch buffers (8 entries at L1, 32 at L2).
+``CPP``   the paper's compression-enabled partial-line prefetching
+          cache: frames hold a primary line plus compressible words of
+          its affiliated line (line XOR 0x1), word-based inter-level
+          requests, partial-line fills, no prefetch buffers.
+========  ============================================================
+"""
+
+from repro.caches.interface import (
+    AccessResult,
+    FetchResponse,
+    LineSource,
+    MemoryPort,
+)
+from repro.caches.stats import CacheStats
+from repro.caches.line import CacheLine
+from repro.caches.base import Cache
+from repro.caches.prefetch_buffer import PrefetchBuffer
+from repro.caches.next_line import PrefetchingCache
+from repro.caches.compressed_frame import CompressedFrame
+from repro.caches.compression_cache import CompressionCache, CPPPolicy
+from repro.caches.hierarchy import (
+    Hierarchy,
+    build_hierarchy,
+    HIERARCHY_BUILDERS,
+)
+
+__all__ = [
+    "AccessResult",
+    "FetchResponse",
+    "LineSource",
+    "MemoryPort",
+    "CacheStats",
+    "CacheLine",
+    "Cache",
+    "PrefetchBuffer",
+    "PrefetchingCache",
+    "CompressedFrame",
+    "CompressionCache",
+    "CPPPolicy",
+    "Hierarchy",
+    "build_hierarchy",
+    "HIERARCHY_BUILDERS",
+]

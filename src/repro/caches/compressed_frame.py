@@ -1,0 +1,134 @@
+"""The CPP physical cache frame (paper Figure 7).
+
+One frame can hold content from **two** lines:
+
+* the **primary line** — the line a conventional cache of the same
+  geometry would map to this frame; per-word ``PA`` (availability) and
+  ``VCP`` (compressibility) flags, plus a dirty bit;
+* the **affiliated line** — ``primary XOR mask``; per-word ``AA``
+  (availability) flags. Affiliated words are, by construction, always
+  compressible and always clean (a write hit in the affiliated place
+  promotes the line to its primary place before writing).
+
+The model stores *uncompressed* word values with flags describing the
+storage format; space legality — an affiliated word may occupy slot ``i``
+only if the primary word there is compressed or absent — is enforced by
+:meth:`can_hold_affiliated` and checked by :meth:`check_legal`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CacheProtocolError
+
+__all__ = ["CompressedFrame"]
+
+
+class CompressedFrame:
+    """One physical frame of a compression cache."""
+
+    __slots__ = ("n_words", "line_no", "dirty", "pvals", "pa", "vcp", "avals", "aa")
+
+    def __init__(self, n_words: int) -> None:
+        self.n_words = n_words
+        self.line_no = -1  #: primary line number; -1 = invalid frame
+        self.dirty = False  #: primary line dirty (affiliated is always clean)
+        self.pvals = np.zeros(n_words, dtype=np.uint32)
+        self.pa = np.zeros(n_words, dtype=bool)
+        self.vcp = np.zeros(n_words, dtype=bool)
+        self.avals = np.zeros(n_words, dtype=np.uint32)
+        self.aa = np.zeros(n_words, dtype=bool)
+
+    # ---- state predicates ---------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        return self.line_no >= 0
+
+    @property
+    def n_primary_words(self) -> int:
+        return int(np.count_nonzero(self.pa))
+
+    @property
+    def n_affiliated_words(self) -> int:
+        return int(np.count_nonzero(self.aa))
+
+    @property
+    def is_partial(self) -> bool:
+        """True if the primary line has holes."""
+        return self.valid and not self.pa.all()
+
+    def can_hold_affiliated(self, i: int) -> bool:
+        """Space rule: slot *i* is free for a (compressed) affiliated word
+        iff the primary word there is absent or itself compressed."""
+        return (not self.pa[i]) or bool(self.vcp[i])
+
+    def affiliated_slot_mask(self) -> np.ndarray:
+        """Boolean mask of slots able to hold an affiliated word."""
+        return ~self.pa | self.vcp
+
+    # ---- mutation ---------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Empty the frame: no primary line, no affiliated words, clean."""
+        self.line_no = -1
+        self.dirty = False
+        self.pa[:] = False
+        self.vcp[:] = False
+        self.aa[:] = False
+
+    def install_primary(
+        self,
+        line_no: int,
+        values: np.ndarray,
+        avail: np.ndarray,
+        comp: np.ndarray,
+    ) -> None:
+        """Install a fresh primary line; clears any affiliated content."""
+        if line_no < 0:
+            raise CacheProtocolError("cannot install a negative line number")
+        self.line_no = line_no
+        self.dirty = False
+        self.pvals[:] = values
+        self.pa[:] = avail
+        self.vcp[:] = comp & avail
+        self.aa[:] = False
+
+    def clear_affiliated(self) -> None:
+        """Drop all affiliated words (they are clean by invariant)."""
+        self.aa[:] = False
+
+    def set_affiliated_words(self, values: np.ndarray, mask: np.ndarray) -> int:
+        """Replace affiliated content with *values* where *mask*; the caller
+        guarantees compressibility, this method enforces the space rule.
+        Returns how many words were stored."""
+        self.aa[:] = False
+        legal = mask & self.affiliated_slot_mask()
+        self.aa[legal] = True
+        self.avals[legal] = values[legal]
+        return int(np.count_nonzero(legal))
+
+    # ---- verification -------------------------------------------------------------
+
+    def check_legal(self) -> None:
+        """Raise if the frame violates the space rule or flag consistency."""
+        if not self.valid:
+            if self.pa.any() or self.aa.any() or self.vcp.any() or self.dirty:
+                raise CacheProtocolError("invalid frame carries state")
+            return
+        if np.any(self.vcp & ~self.pa):
+            raise CacheProtocolError("VCP set for an absent primary word")
+        if np.any(self.aa & self.pa & ~self.vcp):
+            raise CacheProtocolError(
+                "affiliated word stored over an uncompressed primary word"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        if not self.valid:
+            return "<CompressedFrame invalid>"
+        return (
+            f"<CompressedFrame line={self.line_no:#x} "
+            f"pa={self.n_primary_words}/{self.n_words} "
+            f"aa={self.n_affiliated_words} dirty={self.dirty}>"
+        )

@@ -1,0 +1,642 @@
+"""The CPP cache: compression-enabled partial cache line prefetching.
+
+Implements the design of paper §3:
+
+* each frame holds a **primary** line plus, in slots freed by compression,
+  words of its **affiliated** line ``primary XOR mask`` (mask = 0x1, i.e.
+  next-line pairing);
+* CPU reads probe the primary and affiliated locations; an affiliated hit
+  costs one extra cycle; a **write** hit in the affiliated place first
+  *promotes* the line to its primary place (§3.3);
+* inter-level requests are **word-based**: an L2 hit returns whatever
+  words of the requested line are present (a partial line) plus the
+  compressible other-half words that ride along in the compressed slots;
+* on an L2 miss, the demand line and its affiliated line are fetched
+  together from memory in one line's worth of bus traffic
+  (:meth:`MemoryPort.fetch_pair`) — prefetching without extra bandwidth;
+* victims are **stashed** into their affiliated place on eviction when the
+  neighbouring frame holds their pair as primary (clean partial copy;
+  dirty data is written back first);
+* a store that turns a compressible word incompressible reclaims the slot:
+  the affiliated word there is evicted (primary priority, §3.3).
+
+The model stores uncompressed values plus format flags; all space-legality
+rules are enforced by :class:`CompressedFrame` and audited by
+:meth:`CompressionCache.check_invariants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caches.compressed_frame import CompressedFrame
+from repro.caches.interface import AccessResult, FetchResponse, LineSource, MemoryPort
+from repro.caches.stats import CacheStats
+from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
+from repro.compression.vectorized import compressible_mask
+
+
+def scheme_compressed_bits(scheme) -> int:
+    """Compressed-slot width of any scheme (duck-typed)."""
+    return int(getattr(scheme, "compressed_bits", 16))
+from repro.errors import CacheProtocolError, ConfigurationError
+from repro.memory.bus import TrafficKind
+from repro.memory.image import WORD_BYTES
+from repro.utils.intmath import is_pow2, log2i
+
+__all__ = ["CPPPolicy", "CompressionCache"]
+
+
+@dataclass(frozen=True)
+class CPPPolicy:
+    """Tunable policy knobs of the CPP design (defaults = the paper).
+
+    Attributes
+    ----------
+    mask:
+        Affiliated-line pairing mask applied to the line number. The paper
+        uses ``0x1`` — consecutive lines, i.e. next-line prefetch.
+    stash_victims:
+        Keep a clean partial copy of evicted lines in their affiliated
+        place when possible (§3.3).
+    affiliated_extra_latency:
+        Extra cycles for data served from the affiliated location ("the
+        data item is returned in the next cycle").
+    serve_partial:
+        Word-based lower-level requests: a hit needs only the requested
+        word. ``False`` is the ablation that restores line-based requests
+        (any hole forces a full refetch from below).
+    """
+
+    mask: int = 0x1
+    stash_victims: bool = True
+    affiliated_extra_latency: int = 1
+    serve_partial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mask <= 0:
+            raise ConfigurationError("pairing mask must be positive")
+        if self.affiliated_extra_latency < 0:
+            raise ConfigurationError("extra latency must be non-negative")
+
+
+class CompressionCache:
+    """A CPP cache level (used for both L1 and L2)."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int,
+        hit_latency: int,
+        downstream: LineSource,
+        scheme: CompressionScheme = PAPER_SCHEME,
+        policy: CPPPolicy | None = None,
+        stats: CacheStats | None = None,
+    ) -> None:
+        if not (is_pow2(size_bytes) and is_pow2(line_bytes) and assoc >= 1):
+            raise ConfigurationError("cache geometry must use power-of-two sizes")
+        if size_bytes % (line_bytes * assoc):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by line*assoc"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.line_words = line_bytes // WORD_BYTES
+        self.n_sets = size_bytes // (line_bytes * assoc)
+        if not is_pow2(self.n_sets):
+            raise ConfigurationError(f"{name}: set count must be a power of two")
+        self.line_shift = log2i(line_bytes)
+        self.set_mask = self.n_sets - 1
+        self.hit_latency = hit_latency
+        self.downstream = downstream
+        self.scheme = scheme
+        self.policy = policy if policy is not None else CPPPolicy()
+        if self.policy.mask > self.set_mask and self.n_sets > 1:
+            # The affiliated location must differ in set index for the
+            # pairing to add capacity; a mask above the index bits would
+            # alias primary and affiliated locations to the same set only
+            # via the tag, which the design supports, but mask=1 never
+            # trips this. Guard against a zero-effect configuration.
+            pass
+        self.stats = stats if stats is not None else CacheStats(name=name)
+        #: Can an affiliated word share a slot with a *compressed* primary
+        #: word? Only when two compressed values fit in one 32-bit slot
+        #: (true for the paper's 16-bit scheme; a wider scheme's affiliated
+        #: words can ride only in absent-primary slots).
+        self._pair_in_slot = 2 * scheme_compressed_bits(self.scheme) <= 32
+        self._sets: list[list[CompressedFrame]] = [
+            [CompressedFrame(self.line_words) for _ in range(assoc)]
+            for _ in range(self.n_sets)
+        ]
+        self._word_offsets = (
+            WORD_BYTES * np.arange(self.line_words, dtype=np.uint32)
+        ).astype(np.uint32)
+
+    # ---- geometry ------------------------------------------------------------
+
+    def line_no(self, addr: int) -> int:
+        """Line number (full address without the offset bits) of *addr*."""
+        return addr >> self.line_shift
+
+    def line_addr(self, line_no: int) -> int:
+        """Base byte address of line *line_no*."""
+        return line_no << self.line_shift
+
+    def set_index(self, line_no: int) -> int:
+        """Set a line maps to (low index bits of the line number)."""
+        return line_no & self.set_mask
+
+    def word_index(self, addr: int) -> int:
+        """Word offset of *addr* inside its line."""
+        return (addr >> 2) & (self.line_words - 1)
+
+    def affiliated_line(self, line_no: int) -> int:
+        """``<Tag, Set> XOR mask`` — the paper's pairing function."""
+        return line_no ^ self.policy.mask
+
+    def _comp_mask(self, line_no: int, values: np.ndarray) -> np.ndarray:
+        """Per-word compressibility of *values* if stored at line *line_no*."""
+        base = np.uint32(self.line_addr(line_no))
+        return compressible_mask(values, base + self._word_offsets, self.scheme)
+
+    def _slot_mask(self, frame: CompressedFrame) -> np.ndarray:
+        """Slots able to hold an affiliated word under this scheme's width
+        (absent primary always qualifies; compressed primary only when two
+        compressed values fit in one slot)."""
+        if self._pair_in_slot:
+            return frame.affiliated_slot_mask()
+        return ~frame.pa
+
+    # ---- lookup -----------------------------------------------------------------
+
+    def _find_primary(self, line_no: int, *, touch: bool = True) -> CompressedFrame | None:
+        ways = self._sets[self.set_index(line_no)]
+        for i, frame in enumerate(ways):
+            if frame.valid and frame.line_no == line_no:
+                if touch and i:
+                    ways.insert(0, ways.pop(i))
+                return frame
+        return None
+
+    def _find_affiliated(self, line_no: int, *, touch: bool = True) -> CompressedFrame | None:
+        """Frame holding *line_no* as its affiliated line (if any AA word)."""
+        holder_no = self.affiliated_line(line_no)
+        ways = self._sets[self.set_index(holder_no)]
+        for i, frame in enumerate(ways):
+            if frame.valid and frame.line_no == holder_no and frame.aa.any():
+                if touch and i:
+                    ways.insert(0, ways.pop(i))
+                return frame
+        return None
+
+    def probe_word(self, addr: int) -> str | None:
+        """Where is this word right now? 'primary' / 'affiliated' / None.
+
+        Pure inspection: no LRU update, no stats.
+        """
+        ln = self.line_no(addr)
+        widx = self.word_index(addr)
+        f = self._find_primary(ln, touch=False)
+        if f is not None and f.pa[widx]:
+            return "primary"
+        g = self._find_affiliated(ln, touch=False)
+        if g is not None and g.aa[widx]:
+            return "affiliated"
+        return None
+
+    # ---- eviction / stash ----------------------------------------------------------
+
+    def _evict_lru(self, set_idx: int) -> CompressedFrame:
+        """Evict the LRU way: write back dirty words, stash a clean copy."""
+        ways = self._sets[set_idx]
+        victim = ways[-1]
+        if victim.valid:
+            if victim.dirty:
+                self.stats.writebacks += 1
+                self.downstream.write_back(
+                    self.line_addr(victim.line_no),
+                    victim.pvals.copy(),
+                    victim.pa.copy(),
+                )
+            self._stash(victim)
+            # The victim's own affiliated content is clean; it is dropped
+            # together with the primary line (its AA flags die with the frame).
+        victim.invalidate()
+        return victim
+
+    def _stash(self, victim: CompressedFrame) -> None:
+        """Try to keep a clean partial copy of *victim* in its affiliated place."""
+        if not self.policy.stash_victims:
+            return
+        target = self._find_primary(
+            self.affiliated_line(victim.line_no), touch=False
+        )
+        if target is None:
+            return
+        comp = (
+            victim.pa
+            & self._comp_mask(victim.line_no, victim.pvals)
+            & self._slot_mask(target)
+        )
+        stored = target.set_affiliated_words(victim.pvals, comp)
+        if stored:
+            self.stats.stashes += 1
+
+    # ---- fill ------------------------------------------------------------------------
+
+    def _fill(
+        self, line_no: int, need_widx: int, kind: TrafficKind, now: int = 0
+    ) -> tuple[CompressedFrame, int, str]:
+        """Bring line *line_no* in as primary; returns (frame, latency, source)."""
+        addr = self.line_addr(line_no)
+        if isinstance(self.downstream, MemoryPort):
+            # Bottom level: fetch the demand line and its affiliated line
+            # together for one line's worth of bus traffic (§3.3).
+            values, affil_values = self.downstream.fetch_pair(
+                addr,
+                self.line_words,
+                self.line_addr(self.affiliated_line(line_no)),
+                kind=kind,
+            )
+            full = np.ones(self.line_words, dtype=bool)
+            resp = FetchResponse(
+                values=values,
+                avail=full,
+                latency=self.downstream.memory.latency,
+                served_by="memory",
+                affil_values=affil_values,
+                affil_avail=full.copy(),
+            )
+        else:
+            resp = self.downstream.fetch(
+                addr,
+                self.line_words,
+                need_widx,
+                kind=kind,
+                now=now,
+                pair_addr=self.line_addr(self.affiliated_line(line_no)),
+            )
+            resp.validate(self.line_words, need_widx)
+        frame = self._install_fill(line_no, resp)
+        return frame, resp.latency, resp.served_by
+
+    def _install_fill(self, line_no: int, resp: FetchResponse) -> CompressedFrame:
+        """Install/merge a fill response as the primary copy of *line_no*."""
+        frame = self._find_primary(line_no)
+        if frame is not None:
+            # Partial primary line present: fill only the holes — resident
+            # words may be dirty and newer than the response.
+            new = resp.avail & ~frame.pa
+            if new.any():
+                frame.pvals[new] = resp.values[new]
+                frame.pa |= new
+                frame.vcp[new] = self._comp_mask(line_no, frame.pvals)[new]
+            # Space rule may now exclude previously legal affiliated words.
+            illegal = frame.aa & frame.pa & ~frame.vcp
+            if illegal.any():
+                self.stats.dropped_affiliated_words += int(np.count_nonzero(illegal))
+                frame.aa[illegal] = False
+        else:
+            set_idx = self.set_index(line_no)
+            victim = self._evict_lru(set_idx)
+            comp = self._comp_mask(line_no, resp.values) & resp.avail
+            victim.install_primary(line_no, resp.values, resp.avail.copy(), comp)
+            ways = self._sets[set_idx]
+            ways.insert(0, ways.pop(ways.index(victim)))
+            frame = victim
+        if not resp.avail.all():
+            self.stats.partial_fills += 1
+
+        # Single-copy invariant: if a clean affiliated copy of this line
+        # exists, merge any words the fill lacked, then clear it.
+        holder = self._find_primary(self.affiliated_line(line_no), touch=False)
+        if holder is not None and holder is not frame and holder.aa.any():
+            extra = holder.aa & ~frame.pa
+            if extra.any():
+                frame.pvals[extra] = holder.avals[extra]
+                frame.pa |= extra
+                frame.vcp[extra] = True  # affiliated words are compressible
+            holder.clear_affiliated()
+
+        # Install the piggy-backed affiliated payload (the partial prefetch),
+        # unless the affiliated line is already present as a primary line
+        # ("the prefetched affiliated line is discarded if it is already in
+        # the cache").
+        aff_no = self.affiliated_line(line_no)
+        if (
+            resp.affil_values is not None
+            and self._find_primary(aff_no, touch=False) is None
+        ):
+            legal = (
+                resp.affil_avail
+                & self._comp_mask(aff_no, resp.affil_values)
+                & self._slot_mask(frame)
+                & ~frame.aa
+            )
+            if legal.any():
+                frame.avals[legal] = resp.affil_values[legal]
+                frame.aa |= legal
+                self.stats.prefetched_words += int(np.count_nonzero(legal))
+        return frame
+
+    # ---- promotion ---------------------------------------------------------------------
+
+    def _promote(self, line_no: int, holder: CompressedFrame) -> CompressedFrame:
+        """Move *line_no* from its affiliated place to its primary place.
+
+        The moved copy is clean and partial (only the AA words exist).
+        "The effect is the same as that of bringing a prefetched cache line
+        into the cache from the prefetch buffer in a traditional cache."
+        """
+        if self._find_primary(line_no, touch=False) is not None:
+            raise CacheProtocolError(
+                f"{self.name}: promoting {line_no:#x} which is already primary"
+            )
+        self.stats.promotions += 1
+        values = holder.avals.copy()
+        avail = holder.aa.copy()
+        holder.clear_affiliated()
+        set_idx = self.set_index(line_no)
+        victim = self._evict_lru(set_idx)
+        victim.install_primary(line_no, values, avail, avail.copy())
+        ways = self._sets[set_idx]
+        ways.insert(0, ways.pop(ways.index(victim)))
+        return victim
+
+    # ---- CPU-facing role -----------------------------------------------------------------
+
+    def access(
+        self, addr: int, *, write: bool, value: int | None = None, now: int = 0
+    ) -> AccessResult:
+        """One word-sized CPU access against the CPP L1."""
+        ln = self.line_no(addr)
+        widx = self.word_index(addr)
+
+        frame = self._find_primary(ln)
+        if frame is not None and frame.pa[widx]:
+            self.stats.record_access(hit=True)
+            if write:
+                self._cpu_write(frame, widx, addr, value)
+            return AccessResult(
+                latency=self.hit_latency,
+                served_by="l1",
+                value=None if write else int(frame.pvals[widx]),
+            )
+
+        holder = self._find_affiliated(ln)
+        if holder is not None and holder.aa[widx]:
+            self.stats.record_access(hit=True)
+            self.stats.affiliated_hits += 1
+            loaded = None if write else int(holder.avals[widx])
+            if write:
+                # A write hit in the affiliated line brings the line to its
+                # primary place (§3.3), then writes there.
+                promoted = self._promote(ln, holder)
+                self._cpu_write(promoted, widx, addr, value)
+            return AccessResult(
+                latency=self.hit_latency + self.policy.affiliated_extra_latency,
+                served_by="l1-affiliated",
+                value=loaded,
+            )
+
+        # Miss (including a hole in an otherwise-present partial line).
+        if frame is not None or holder is not None:
+            self.stats.hole_misses += 1
+        self.stats.record_access(hit=False)
+        frame, latency, served = self._fill(ln, widx, TrafficKind.FILL, now)
+        if not frame.pa[widx]:
+            raise CacheProtocolError(f"{self.name}: fill did not deliver the word")
+        if write:
+            self._cpu_write(frame, widx, addr, value)
+        return AccessResult(
+            latency=latency,
+            served_by=served,
+            value=None if write else int(frame.pvals[widx]),
+        )
+
+    def _cpu_write(
+        self, frame: CompressedFrame, widx: int, addr: int, value: int | None
+    ) -> None:
+        if value is None:
+            raise CacheProtocolError("store access requires a value")
+        if not frame.pa[widx]:
+            raise CacheProtocolError("write to an absent primary word")
+        frame.pvals[widx] = value
+        compressible = self.scheme.is_compressible(value, addr)
+        frame.vcp[widx] = compressible
+        if not compressible and frame.aa[widx]:
+            # Compressible -> incompressible transition: the primary word
+            # needs the full slot; the affiliated word is evicted (primary
+            # priority, §3.3). Affiliated words are always clean.
+            frame.aa[widx] = False
+            self.stats.dropped_affiliated_words += 1
+        frame.dirty = True
+
+    # ---- LineSource role (serving the level above) -------------------------------------------
+
+    def _slice_hit(
+        self, ln: int, offset: int, n_words: int, need_idx: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, str] | None:
+        """Locate line *ln*; returns (values, avail, comp, extra_latency, tag)
+        full-line views, or None on miss (per serve_partial policy)."""
+        frame = self._find_primary(ln)
+        if frame is not None:
+            ok = (
+                frame.pa[need_idx]
+                if self.policy.serve_partial
+                else frame.pa[offset : offset + n_words].all()
+            )
+            if ok:
+                return frame.pvals, frame.pa, frame.vcp, 0, "l2"
+        holder = self._find_affiliated(ln)
+        if holder is not None:
+            ok = (
+                holder.aa[need_idx]
+                if self.policy.serve_partial
+                else holder.aa[offset : offset + n_words].all()
+            )
+            if ok:
+                return (
+                    holder.avals,
+                    holder.aa,
+                    holder.aa,  # affiliated words are compressible by invariant
+                    self.policy.affiliated_extra_latency,
+                    "l2-affiliated",
+                )
+        return None
+
+    def fetch(
+        self,
+        addr: int,
+        n_words: int,
+        need_word: int,
+        *,
+        kind: TrafficKind = TrafficKind.FILL,
+        now: int = 0,
+        pair_addr: int | None = None,
+    ) -> FetchResponse:
+        """Serve a word-based sub-line request from the level above.
+
+        A hit needs only the requested word present; the response carries
+        the available words of the requested sub-line, plus — when the
+        requester's affiliated line (*pair_addr*) lives in the same line
+        here — its words wherever the compressed pairing lets them ride.
+        """
+        if addr % (n_words * WORD_BYTES):
+            raise CacheProtocolError(f"unaligned fetch at {addr:#x}")
+        if self.line_words % n_words:
+            raise CacheProtocolError(
+                f"{self.name}: cannot serve {n_words}-word fetch from "
+                f"{self.line_words}-word lines"
+            )
+        ln = self.line_no(addr)
+        offset = (addr >> 2) & (self.line_words - 1)
+        need_idx = offset + need_word
+
+        located = self._slice_hit(ln, offset, n_words, need_idx)
+        if located is not None:
+            self.stats.record_access(hit=True)
+            values, avail, comp, extra, tag = located
+            if tag == "l2-affiliated":
+                self.stats.affiliated_hits += 1
+            latency = self.hit_latency + extra
+        else:
+            if (
+                self._find_primary(ln, touch=False) is not None
+                or self._find_affiliated(ln, touch=False) is not None
+            ):
+                self.stats.hole_misses += 1
+            self.stats.record_access(hit=False)
+            frame, fill_latency, _ = self._fill(ln, need_idx, kind, now)
+            values, avail, comp = frame.pvals, frame.pa, frame.vcp
+            latency = self.hit_latency + fill_latency
+            tag = "memory"
+
+        req = slice(offset, offset + n_words)
+        out_values = values[req].copy()
+        out_avail = avail[req].copy()
+
+        affil_values = affil_avail = None
+        if pair_addr is not None and self.line_no(pair_addr) == ln:
+            # The requester's affiliated line lives in this same line (for
+            # the paper's geometry — mask 0x1, double-width L2 lines — it
+            # is the other half). Its compressible words ride in the freed
+            # slots: an affiliated word travels iff it is compressible and
+            # the corresponding requested word is compressed or absent.
+            pair_off = (pair_addr >> 2) & (self.line_words - 1)
+            other = slice(pair_off, pair_off + n_words)
+            if self._pair_in_slot:
+                slot_ok = ~avail[req] | comp[req]
+            else:
+                slot_ok = ~avail[req]
+            ride = avail[other] & comp[other] & slot_ok
+            affil_values = values[other].copy()
+            affil_avail = ride.copy()
+        return FetchResponse(
+            values=out_values,
+            avail=out_avail,
+            latency=latency,
+            served_by=tag,
+            affil_values=affil_values,
+            affil_avail=affil_avail,
+        )
+
+    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Accept a dirty partial line evicted by the level above."""
+        n_words = len(values)
+        if addr % (n_words * WORD_BYTES):
+            raise CacheProtocolError(f"unaligned writeback at {addr:#x}")
+        ln = self.line_no(addr)
+        offset = (addr >> 2) & (self.line_words - 1)
+        frame = self._find_primary(ln)
+        if frame is None:
+            holder = self._find_affiliated(ln)
+            if holder is not None:
+                # Writes to an affiliated copy promote it first (§3.3).
+                frame = self._promote(ln, holder)
+            else:
+                frame, _, _ = self._fill(ln, offset, TrafficKind.FILL)
+        sel = np.flatnonzero(mask)
+        idx = offset + sel
+        frame.pvals[idx] = values[sel]
+        frame.pa[idx] = True
+        addrs = (
+            np.uint32(self.line_addr(ln)) + self._word_offsets[idx]
+        ).astype(np.uint32)
+        comp = compressible_mask(frame.pvals[idx], addrs, self.scheme)
+        frame.vcp[idx] = comp
+        conflict = idx[frame.aa[idx] & ~comp]
+        if conflict.size:
+            self.stats.dropped_affiliated_words += int(conflict.size)
+            frame.aa[conflict] = False
+        frame.dirty = True
+
+    # ---- verification -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Audit all structural invariants; raises on violation.
+
+        * frame-local space legality (:meth:`CompressedFrame.check_legal`);
+        * ``VCP`` equals true compressibility for every present primary word;
+        * every ``AA`` word is genuinely compressible at its own address;
+        * single-copy: no line is simultaneously a primary line and an
+          affiliated resident, and primary tags are unique.
+        """
+        primaries: set[int] = set()
+        for ways in self._sets:
+            for frame in ways:
+                frame.check_legal()
+                if not frame.valid:
+                    continue
+                if frame.line_no in primaries:
+                    raise CacheProtocolError("duplicate primary line")
+                primaries.add(frame.line_no)
+                if frame.pa.any():
+                    comp = self._comp_mask(frame.line_no, frame.pvals)
+                    mism = frame.pa & (frame.vcp != comp)
+                    if mism.any():
+                        raise CacheProtocolError("VCP out of sync with values")
+                if frame.aa.any():
+                    aff_no = self.affiliated_line(frame.line_no)
+                    acomp = self._comp_mask(aff_no, frame.avals)
+                    if np.any(frame.aa & ~acomp):
+                        raise CacheProtocolError("incompressible affiliated word")
+        for ways in self._sets:
+            for frame in ways:
+                if frame.valid and frame.aa.any():
+                    if self.affiliated_line(frame.line_no) in primaries:
+                        raise CacheProtocolError(
+                            "line present both as primary and affiliated"
+                        )
+
+    def flush(self) -> None:
+        """Write back every dirty primary line and invalidate all frames.
+
+        Affiliated content is clean by invariant and is simply dropped.
+        """
+        for ways in self._sets:
+            for frame in ways:
+                if frame.valid and frame.dirty:
+                    self.stats.writebacks += 1
+                    self.downstream.write_back(
+                        self.line_addr(frame.line_no),
+                        frame.pvals.copy(),
+                        frame.pa.copy(),
+                    )
+                frame.invalidate()
+
+    def contents(self) -> list[tuple[int, int, int, bool]]:
+        """(line_no, n_primary_words, n_affiliated_words, dirty) per frame."""
+        return [
+            (f.line_no, f.n_primary_words, f.n_affiliated_words, f.dirty)
+            for ways in self._sets
+            for f in ways
+            if f.valid
+        ]

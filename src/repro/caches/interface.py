@@ -1,0 +1,239 @@
+"""The level-to-level protocol of the hierarchy.
+
+The paper's key interface change (§3.1) is that requests between cache
+levels are **word-based** and a hit may return a **partial line**. The
+protocol here encodes that directly:
+
+* an upper level calls :meth:`LineSource.fetch` naming the line *and* the
+  word it actually needs (``need_word``); the response carries per-word
+  availability and, for compression caches, a piggy-backed partial
+  *affiliated* line that rode along in the freed bus slots;
+* dirty evictions flow down through :meth:`LineSource.write_back` with a
+  per-word validity mask, because CPP lines can be dirty while having
+  holes.
+
+Classic caches are a degenerate case: availability is all-ones and no
+affiliated payload exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
+from repro.compression.vectorized import packed_bus_words_vec
+from repro.errors import CacheProtocolError
+from repro.memory.bus import TrafficKind
+from repro.memory.image import WORD_BYTES
+from repro.memory.main_memory import MainMemory
+
+__all__ = ["AccessResult", "FetchResponse", "LineSource", "MemoryPort"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one CPU-level data access.
+
+    ``served_by`` identifies where the word was found:
+    ``"l1" | "l1-affiliated" | "l1-buffer" | "l2" | "l2-affiliated" |
+    "l2-buffer" | "memory"``. ``value`` is the loaded word (loads only);
+    the Machine's verify mode checks it against the trace.
+    """
+
+    latency: int
+    served_by: str
+    value: int | None = None
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.served_by.startswith("l1")
+
+
+@dataclass
+class FetchResponse:
+    """A (possibly partial) line returned by a lower level.
+
+    Attributes
+    ----------
+    values:
+        Uncompressed word values of the requested line (garbage where
+        ``avail`` is False).
+    avail:
+        Per-word availability; the requested ``need_word`` is always
+        available.
+    latency:
+        Cycles until the data is usable by the requester.
+    served_by:
+        Label of the level that supplied the data (for stats/debug).
+    affil_values / affil_avail:
+        The piggy-backed partial affiliated line (line XOR mask), or
+        ``None`` when the source does not prefetch.
+    """
+
+    values: np.ndarray
+    avail: np.ndarray
+    latency: int
+    served_by: str
+    affil_values: np.ndarray | None = None
+    affil_avail: np.ndarray | None = None
+
+    def validate(self, n_words: int, need_word: int) -> None:
+        """Check protocol invariants of the response; raises on violation."""
+        if len(self.values) != n_words or len(self.avail) != n_words:
+            raise CacheProtocolError("fetch response has wrong line width")
+        if not self.avail[need_word]:
+            raise CacheProtocolError(
+                f"fetch response missing the requested word {need_word}"
+            )
+        if (self.affil_values is None) != (self.affil_avail is None):
+            raise CacheProtocolError("inconsistent affiliated payload")
+        if self.affil_values is not None and (
+            len(self.affil_values) != n_words or len(self.affil_avail) != n_words
+        ):
+            raise CacheProtocolError("affiliated payload has wrong line width")
+
+
+class LineSource(Protocol):
+    """Anything an upper cache level can fetch lines from."""
+
+    def fetch(
+        self,
+        addr: int,
+        n_words: int,
+        need_word: int,
+        *,
+        kind: TrafficKind = TrafficKind.FILL,
+        now: int = 0,
+        pair_addr: int | None = None,
+    ) -> FetchResponse:
+        """Request the *n_words* line at *addr* (aligned), needing word
+        index *need_word* at cycle *now*.
+
+        *pair_addr* names the requester's affiliated line: a compressing
+        source piggy-backs that line's compressible words onto the
+        response when it holds them. Must return at least the needed word.
+        """
+        ...
+
+    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Accept a dirty (possibly partial) line evicted by the upper level."""
+        ...
+
+
+class MemoryPort:
+    """Adapter presenting :class:`MainMemory` as a :class:`LineSource`.
+
+    The port owns the *transfer format* policy at the off-chip interface:
+
+    * ``fetch_compressed`` — line fills are transferred compressed and the
+      bus is charged the packed size (the BCC configuration);
+    * ``writeback_compressed`` — dirty evictions transfer compressed
+      (BCC and CPP);
+    * :meth:`fetch_pair` — the CPP fill: the demand line plus its
+      affiliated line are compressed together into one line's worth of bus
+      beats, so the prefetch is free (§3.3, "the memory bandwidth is still
+      the same as before").
+    """
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        *,
+        fetch_compressed: bool = False,
+        writeback_compressed: bool = False,
+        scheme: CompressionScheme = PAPER_SCHEME,
+    ) -> None:
+        self.memory = memory
+        self.fetch_compressed = fetch_compressed
+        self.writeback_compressed = writeback_compressed
+        self.scheme = scheme
+
+    # ---- helpers ---------------------------------------------------------
+
+    def _packed_words(self, addr: int, values: np.ndarray) -> int:
+        addrs = self.memory.word_addrs(addr, len(values))
+        return packed_bus_words_vec(np.asarray(values), addrs, self.scheme)
+
+    # ---- LineSource ---------------------------------------------------------
+
+    def fetch(
+        self,
+        addr: int,
+        n_words: int,
+        need_word: int,
+        *,
+        kind: TrafficKind = TrafficKind.FILL,
+        now: int = 0,
+        pair_addr: int | None = None,
+    ) -> FetchResponse:
+        """Fetch an uncompressed line from memory (packed traffic if BCC)."""
+        if addr % (n_words * WORD_BYTES):
+            raise CacheProtocolError(f"unaligned line fetch at {addr:#x}")
+        values = self.memory.image.read_words(addr, n_words)
+        bus_words = (
+            self._packed_words(addr, values) if self.fetch_compressed else n_words
+        )
+        self.memory.bus.record(kind, bus_words)
+        self.memory.n_reads += 1
+        return FetchResponse(
+            values=values,
+            avail=np.ones(n_words, dtype=bool),
+            latency=self.memory.latency,
+            served_by="memory",
+        )
+
+    def fetch_pair(
+        self,
+        addr: int,
+        n_words: int,
+        affil_addr: int,
+        *,
+        kind: TrafficKind = TrafficKind.FILL,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CPP fill: demand line + affiliated line for one line of traffic.
+
+        Returns ``(values, affil_values)``; which affiliated words actually
+        fit in the freed slots is the *cache's* packing decision — the bus
+        cost is a full single-line transfer either way.
+        """
+        line_bytes = n_words * WORD_BYTES
+        if addr % line_bytes or affil_addr % line_bytes:
+            raise CacheProtocolError("unaligned pair fetch")
+        values = self.memory.image.read_words(addr, n_words)
+        affil_values = self.memory.image.read_words(affil_addr, n_words)
+        self.memory.bus.record(kind, n_words)
+        self.memory.n_reads += 1
+        return values, affil_values
+
+    def supply_prefetch(
+        self, addr: int, n_words: int, now: int = 0
+    ) -> tuple[np.ndarray, int]:
+        """Read a line for a prefetch buffer: traffic, no installation.
+
+        Returns ``(values, latency)`` — the prefetch completes *latency*
+        cycles after *now*.
+        """
+        if addr % (n_words * WORD_BYTES):
+            raise CacheProtocolError(f"unaligned prefetch at {addr:#x}")
+        values = self.memory.image.read_words(addr, n_words)
+        bus_words = (
+            self._packed_words(addr, values) if self.fetch_compressed else n_words
+        )
+        self.memory.bus.record(TrafficKind.PREFETCH, bus_words)
+        self.memory.n_reads += 1
+        return values, self.memory.latency
+
+    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Write a (possibly partial) line to memory, packed if configured."""
+        if self.writeback_compressed:
+            present = np.asarray(mask, dtype=bool)
+            addrs = self.memory.word_addrs(addr, len(values))
+            packed = packed_bus_words_vec(
+                np.asarray(values)[present], addrs[present], self.scheme
+            )
+            self.memory.write_line(addr, values, mask=mask, bus_words=packed)
+        else:
+            self.memory.write_line(addr, values, mask=mask)

@@ -1,0 +1,37 @@
+"""Classic cache line state (BC / BCC / HAC / BCP lines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CacheLine"]
+
+
+class CacheLine:
+    """One full, valid-or-invalid line of a conventional cache."""
+
+    __slots__ = ("line_no", "valid", "dirty", "data")
+
+    def __init__(self, n_words: int) -> None:
+        self.line_no = -1  #: line number (address >> line_shift); -1 = invalid
+        self.valid = False
+        self.dirty = False
+        self.data = np.zeros(n_words, dtype=np.uint32)
+
+    def install(self, line_no: int, values: np.ndarray) -> None:
+        """Fill the line with fresh data."""
+        self.line_no = line_no
+        self.valid = True
+        self.dirty = False
+        self.data[:] = values
+
+    def invalidate(self) -> None:
+        """Mark the line empty and clean."""
+        self.line_no = -1
+        self.valid = False
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        state = "V" if self.valid else "-"
+        state += "D" if self.dirty else " "
+        return f"<CacheLine {self.line_no:#x} {state}>"

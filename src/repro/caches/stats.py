@@ -1,0 +1,84 @@
+"""Per-cache-level statistics.
+
+The Figure 12/13 comparisons are built from these counters. Following the
+paper, a BCP access satisfied from the prefetch buffer is *not* counted as
+a miss ("it is not considered as a cache miss in BCP if an access can find
+its data item from prefetch buffer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache level."""
+
+    name: str = ""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    # -- classic-prefetch (BCP) events --------------------------------------
+    buffer_hits: int = 0  #: demand accesses satisfied by the prefetch buffer
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0  #: buffer entries later consumed by demand
+
+    # -- CPP events -----------------------------------------------------------
+    affiliated_hits: int = 0  #: demand hits served from the affiliated place
+    partial_fills: int = 0  #: fills that arrived with holes
+    hole_misses: int = 0  #: misses on a present-but-partial line
+    promotions: int = 0  #: affiliated line moved to its primary place
+    stashes: int = 0  #: victims stashed into their affiliated place
+    prefetched_words: int = 0  #: affiliated words installed by fills
+    dropped_affiliated_words: int = 0  #: evicted by value-compressibility changes
+
+    writebacks: int = 0
+
+    extra: dict[str, int] = field(default_factory=dict)
+
+    # ---- derived -------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def record_access(self, *, hit: bool) -> None:
+        """Count one demand access as a hit or a miss."""
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flatten to plain types for reports."""
+        out: dict[str, float | int | str] = {
+            "name": self.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "buffer_hits": self.buffer_hits,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_useful": self.prefetches_useful,
+            "affiliated_hits": self.affiliated_hits,
+            "partial_fills": self.partial_fills,
+            "hole_misses": self.hole_misses,
+            "promotions": self.promotions,
+            "stashes": self.stashes,
+            "prefetched_words": self.prefetched_words,
+            "dropped_affiliated_words": self.dropped_affiliated_words,
+            "writebacks": self.writebacks,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,54 @@
+"""Value compression: the paper's 32-to-16-bit prefix compression scheme.
+
+A 32-bit word is *compressible* when either
+
+* its 18 high-order bits are all zeros or all ones (a small value in
+  ``[-16384, 16383]``), or
+* its 17 high-order bits equal the 17 high-order bits of the address the
+  word is stored at (a pointer into the same 32 KB chunk).
+
+Compressed words occupy 16 bits: a ``VT`` type bit (small value vs.
+pointer) plus the 15 low-order payload bits. A separate ``VC`` flag,
+stored outside the value, marks a slot as compressed (paper Figure 2).
+"""
+
+from repro.compression.flags import VC_COMPRESSED, VC_UNCOMPRESSED, VT_POINTER, VT_SMALL
+from repro.compression.scheme import (
+    PAPER_SCHEME,
+    CompressClass,
+    CompressionScheme,
+)
+from repro.compression.codec import (
+    CompressedWord,
+    LinePackResult,
+    compress_word,
+    decompress_word,
+    pack_line,
+    packed_bus_words,
+)
+from repro.compression.timing import GateDelayModel
+from repro.compression.vectorized import (
+    classify_words,
+    compressible_mask,
+    compression_summary,
+)
+
+__all__ = [
+    "VC_COMPRESSED",
+    "VC_UNCOMPRESSED",
+    "VT_POINTER",
+    "VT_SMALL",
+    "PAPER_SCHEME",
+    "CompressClass",
+    "CompressionScheme",
+    "CompressedWord",
+    "LinePackResult",
+    "compress_word",
+    "decompress_word",
+    "pack_line",
+    "packed_bus_words",
+    "GateDelayModel",
+    "classify_words",
+    "compressible_mask",
+    "compression_summary",
+]

@@ -1,0 +1,159 @@
+"""Word- and line-level compress/decompress operations.
+
+The cache models keep *decompressed* values in their Python-side state for
+clarity and testability, and use this codec to (a) decide compressibility,
+(b) account for bus words on compressed transfers, and (c) round-trip
+values in tests, proving the representation is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.compression.flags import VT_POINTER, VT_SMALL
+from repro.compression.scheme import PAPER_SCHEME, CompressClass, CompressionScheme
+from repro.utils.bitops import MASK32
+from repro.utils.intmath import ceil_div
+
+__all__ = [
+    "CompressedWord",
+    "compress_word",
+    "decompress_word",
+    "LinePackResult",
+    "pack_line",
+    "packed_bus_words",
+]
+
+
+@dataclass(frozen=True)
+class CompressedWord:
+    """A compressed slot: ``VT`` type bit plus the payload bits.
+
+    ``encoded`` is the raw slot content with VT in the top bit, matching
+    Figure 2's layout (for the paper's scheme this is a 16-bit quantity).
+    """
+
+    vt: int
+    payload: int
+    scheme: CompressionScheme = PAPER_SCHEME
+
+    @property
+    def encoded(self) -> int:
+        return (self.vt << self.scheme.payload_bits) | self.payload
+
+    @property
+    def bits(self) -> int:
+        return self.scheme.compressed_bits
+
+
+def compress_word(
+    value: int, addr: int, scheme: CompressionScheme = PAPER_SCHEME
+) -> CompressedWord | None:
+    """Compress one word, or return ``None`` if it is incompressible.
+
+    Small values win attribution when a word passes both tests, matching
+    :meth:`CompressionScheme.classify`.
+    """
+    cls = scheme.classify(value, addr)
+    if cls is CompressClass.INCOMPRESSIBLE:
+        return None
+    vt = VT_SMALL if cls is CompressClass.SMALL else VT_POINTER
+    return CompressedWord(vt=vt, payload=scheme.payload_of(value), scheme=scheme)
+
+
+def decompress_word(
+    word: CompressedWord, addr: int, scheme: CompressionScheme | None = None
+) -> int:
+    """Reconstruct the original 32-bit value of a compressed slot.
+
+    For pointers the reconstruction grafts the high prefix of *addr* — the
+    address the word is being read from — exactly as the hardware
+    decompressor of Figure 8(b) does.
+    """
+    scheme = scheme or word.scheme
+    if word.vt == VT_SMALL:
+        return scheme.expand_small(word.payload)
+    if word.vt == VT_POINTER:
+        return scheme.expand_pointer(word.payload, addr)
+    raise ValueError(f"invalid VT flag {word.vt!r}")
+
+
+@dataclass(frozen=True)
+class LinePackResult:
+    """Accounting for transferring one cache line in compressed form.
+
+    Attributes
+    ----------
+    n_words:
+        Number of 32-bit words in the line.
+    n_compressible:
+        How many of them compressed to 16 bits.
+    payload_bits:
+        Total data bits after compression.
+    flag_bits:
+        VC metadata bits that must travel with the line (1 per word).
+    bus_words:
+        32-bit bus beats needed to move payload + flags. This is the
+        *memory traffic* cost of a BCC-style compressed transfer.
+    """
+
+    n_words: int
+    n_compressible: int
+    payload_bits: int
+    flag_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.payload_bits + self.flag_bits
+
+    @property
+    def bus_words(self) -> int:
+        return ceil_div(self.total_bits, 32)
+
+    @property
+    def saved_words(self) -> int:
+        """Bus words saved versus an uncompressed transfer (never negative
+        by more than the flag overhead)."""
+        return self.n_words - self.bus_words
+
+
+def pack_line(
+    values: Sequence[int],
+    addrs: Sequence[int],
+    scheme: CompressionScheme = PAPER_SCHEME,
+    *,
+    count_flag_bits: bool = True,
+) -> LinePackResult:
+    """Compute the compressed-transfer footprint of a line of words.
+
+    *values* and *addrs* are parallel sequences (one address per word — the
+    pointer test is per-word against the word's own location).
+    """
+    if len(values) != len(addrs):
+        raise ValueError("values and addrs must be parallel sequences")
+    n = len(values)
+    n_comp = 0
+    payload_bits = 0
+    for value, addr in zip(values, addrs):
+        if scheme.is_compressible(value & MASK32, addr & MASK32):
+            n_comp += 1
+            payload_bits += scheme.compressed_bits
+        else:
+            payload_bits += 32
+    flag_bits = n if count_flag_bits else 0
+    return LinePackResult(
+        n_words=n,
+        n_compressible=n_comp,
+        payload_bits=payload_bits,
+        flag_bits=flag_bits,
+    )
+
+
+def packed_bus_words(
+    values: Sequence[int],
+    addrs: Sequence[int],
+    scheme: CompressionScheme = PAPER_SCHEME,
+) -> int:
+    """Shorthand: bus beats to transfer *values* compressed (flags included)."""
+    return pack_line(values, addrs, scheme).bus_words

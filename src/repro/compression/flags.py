@@ -1,0 +1,32 @@
+"""Flag constants of the paper's value representation (Figure 2).
+
+``VC`` (Value Compressed) is stored *separately* from the value — in the
+cache it becomes the per-word ``VCP`` bit of the primary line. ``VT``
+(Value Type) is stored *inside* the compressed 16-bit slot as its top bit
+and distinguishes a compressed small value from a compressed pointer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VC_UNCOMPRESSED",
+    "VC_COMPRESSED",
+    "VT_SMALL",
+    "VT_POINTER",
+    "vt_name",
+]
+
+VC_UNCOMPRESSED = 0
+VC_COMPRESSED = 1
+
+VT_SMALL = 0
+VT_POINTER = 1
+
+
+def vt_name(vt: int) -> str:
+    """Human-readable name of a VT flag value."""
+    if vt == VT_SMALL:
+        return "small"
+    if vt == VT_POINTER:
+        return "pointer"
+    raise ValueError(f"invalid VT flag {vt!r}")

@@ -1,0 +1,137 @@
+"""The compression scheme itself: classification of 32-bit words.
+
+The paper compresses 32-bit words to 16 bits (a 1-bit ``VT`` type flag +
+15 payload bits); §2.1 cites a study [16] showing 16 bits is the sweet
+spot. We parameterize the payload width so the width ablation bench can
+sweep it, with :data:`PAPER_SCHEME` fixed at the paper's numbers:
+
+* payload 15 bits → pointer prefix = 17 bits, small-value check = 18 bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import MASK32, WORD_BITS, high_bits, low_bits, sign_extend
+
+__all__ = ["CompressClass", "CompressionScheme", "PAPER_SCHEME"]
+
+
+class CompressClass(enum.IntEnum):
+    """Outcome of classifying one (value, address) pair.
+
+    The integer values are stable and used by the vectorized analysis.
+    """
+
+    INCOMPRESSIBLE = 0
+    SMALL = 1  #: 18 high bits all zeros or all ones
+    POINTER = 2  #: 17 high bits equal those of the word's own address
+
+
+@dataclass(frozen=True)
+class CompressionScheme:
+    """A prefix-elimination compression scheme for 32-bit words.
+
+    Parameters
+    ----------
+    payload_bits:
+        Number of low-order value bits kept in a compressed slot. The
+        compressed slot is ``payload_bits + 1`` wide (one ``VT`` bit). The
+        paper uses 15, i.e. 16-bit compressed slots.
+    """
+
+    payload_bits: int = 15
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.payload_bits <= WORD_BITS - 2:
+            raise ConfigurationError(
+                f"payload_bits must be in [1, {WORD_BITS - 2}], got "
+                f"{self.payload_bits}"
+            )
+
+    # ---- derived geometry -------------------------------------------------
+
+    @property
+    def compressed_bits(self) -> int:
+        """Width of a compressed slot including the VT flag (paper: 16)."""
+        return self.payload_bits + 1
+
+    @property
+    def pointer_prefix_bits(self) -> int:
+        """High-order bits a pointer must share with its address (paper: 17)."""
+        return WORD_BITS - self.payload_bits
+
+    @property
+    def small_check_bits(self) -> int:
+        """High-order bits that must be uniform for a small value (paper: 18).
+
+        One more than the discarded prefix because the retained payload's
+        top bit doubles as the sign.
+        """
+        return WORD_BITS - self.payload_bits + 1
+
+    @property
+    def small_min(self) -> int:
+        """Most negative compressible small value (paper: -16384)."""
+        return -(1 << (self.payload_bits - 1))
+
+    @property
+    def small_max(self) -> int:
+        """Most positive compressible small value (paper: 16383)."""
+        return (1 << (self.payload_bits - 1)) - 1
+
+    @property
+    def pointer_chunk_bytes(self) -> int:
+        """Size of the memory chunk within which pointers compress (32 KB)."""
+        return 1 << self.payload_bits
+
+    # ---- classification ---------------------------------------------------
+
+    def is_small(self, value: int) -> bool:
+        """True iff the high ``small_check_bits`` of *value* are uniform."""
+        top = high_bits(value & MASK32, self.small_check_bits)
+        return top == 0 or top == (1 << self.small_check_bits) - 1
+
+    def is_pointer(self, value: int, addr: int) -> bool:
+        """True iff *value* shares its high prefix with its own address."""
+        n = self.pointer_prefix_bits
+        return high_bits(value & MASK32, n) == high_bits(addr & MASK32, n)
+
+    def classify(self, value: int, addr: int) -> CompressClass:
+        """Classify a word; pointers are tried after the small-value test.
+
+        The order matters only for attribution statistics — a word passing
+        both tests is compressible either way — and follows the hardware,
+        which checks the three conditions in parallel and reports "small"
+        for values that are sign-extension compressible.
+        """
+        if self.is_small(value):
+            return CompressClass.SMALL
+        if self.is_pointer(value, addr):
+            return CompressClass.POINTER
+        return CompressClass.INCOMPRESSIBLE
+
+    def is_compressible(self, value: int, addr: int) -> bool:
+        """True iff the word can be stored in a compressed slot."""
+        return self.is_small(value) or self.is_pointer(value, addr)
+
+    # ---- raw payload transforms (used by the codec) -----------------------
+
+    def payload_of(self, value: int) -> int:
+        """Low-order payload bits retained in the compressed slot."""
+        return low_bits(value & MASK32, self.payload_bits)
+
+    def expand_small(self, payload: int) -> int:
+        """Reconstruct a small value: sign-extend the payload to 32 bits."""
+        return sign_extend(payload, self.payload_bits)
+
+    def expand_pointer(self, payload: int, addr: int) -> int:
+        """Reconstruct a pointer: graft the address's high prefix on."""
+        prefix_mask = MASK32 & ~((1 << self.payload_bits) - 1)
+        return ((addr & MASK32) & prefix_mask) | low_bits(payload, self.payload_bits)
+
+
+PAPER_SCHEME = CompressionScheme(payload_bits=15)
+"""The exact scheme evaluated in the paper (16-bit compressed slots)."""

@@ -1,0 +1,24 @@
+"""A reduced SimpleScalar-style 4-issue out-of-order core.
+
+Trace-driven: instructions arrive pre-decoded with resolved addresses and
+branch outcomes. The core models the structures that determine how well
+cache latency is overlapped — the IFQ, a bimod branch predictor with
+misprediction fetch stalls, a register-update unit (ROB), a load/store
+queue with store-to-load forwarding, functional-unit contention, and
+in-order commit — because those are what the paper's execution-time,
+miss-importance and ready-queue figures measure.
+"""
+
+from repro.cpu.branch import BimodPredictor
+from repro.cpu.resources import FuPool
+from repro.cpu.metrics import CoreMetrics
+from repro.cpu.pipeline import CoreConfig, CoreResult, OutOfOrderCore
+
+__all__ = [
+    "BimodPredictor",
+    "FuPool",
+    "CoreMetrics",
+    "CoreConfig",
+    "CoreResult",
+    "OutOfOrderCore",
+]

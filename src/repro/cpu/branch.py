@@ -1,0 +1,60 @@
+"""Bimodal branch predictor (the paper's baseline predictor, Figure 9).
+
+A table of 2-bit saturating counters indexed by low PC bits, exactly
+SimpleScalar's ``bimod``. Counter semantics: 0-1 predict not-taken, 2-3
+predict taken; increment on taken, decrement on not-taken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.intmath import is_pow2
+
+__all__ = ["BimodPredictor"]
+
+
+class BimodPredictor:
+    """2-bit saturating-counter branch direction predictor."""
+
+    def __init__(self, n_entries: int = 2048) -> None:
+        if not is_pow2(n_entries):
+            raise ConfigurationError("predictor table size must be a power of two")
+        self.n_entries = n_entries
+        self._mask = n_entries - 1
+        # Weakly taken initially, matching SimpleScalar.
+        self._table = np.full(n_entries, 2, dtype=np.int8)
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        # Word-aligned PCs: drop the low 3 bits as SimpleScalar's bimod does.
+        return (pc >> 3) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc* (True = taken)."""
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the actual outcome; returns True if it was predicted right."""
+        idx = self._index(pc)
+        predicted = bool(self._table[idx] >= 2)
+        if taken:
+            if self._table[idx] < 3:
+                self._table[idx] += 1
+        else:
+            if self._table[idx] > 0:
+                self._table[idx] -= 1
+        self.lookups += 1
+        if predicted == taken:
+            self.correct += 1
+        return predicted == taken
+
+    @property
+    def mispredicts(self) -> int:
+        return self.lookups - self.correct
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0

@@ -1,0 +1,71 @@
+"""Core-side measurement: the quantities behind Figures 11, 14 and 15.
+
+The key non-obvious metric is the **ready-queue length during
+outstanding-miss cycles** (Figure 15): in every cycle with at least one
+load miss in flight, how many instructions sit ready to issue? A longer
+ready queue under a miss means the pipeline still has work — exactly the
+effect CPP's prefetching of *important* (compressible) words produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.stats import RunningMean
+
+__all__ = ["CoreMetrics"]
+
+
+@dataclass
+class CoreMetrics:
+    """Mutable measurement state updated by the core every cycle."""
+
+    committed: int = 0
+    cycles: int = 0
+    fetch_stall_cycles: int = 0
+    mispredicts: int = 0
+    loads_by_level: dict[str, int] = field(default_factory=dict)
+    store_count: int = 0
+    load_count: int = 0
+    forwarded_loads: int = 0
+    miss_cycles: int = 0  #: cycles with >= 1 outstanding load miss
+    ready_queue_miss_cycles: RunningMean = field(default_factory=RunningMean)
+    ready_queue_all_cycles: RunningMean = field(default_factory=RunningMean)
+
+    def record_load(self, served_by: str) -> None:
+        """Attribute one load to the level that served it."""
+        self.load_count += 1
+        self.loads_by_level[served_by] = self.loads_by_level.get(served_by, 0) + 1
+
+    def sample_ready_queue(
+        self, ready_len: int, *, miss_outstanding: bool, weight: int = 1
+    ) -> None:
+        """Sample the ready-queue length for *weight* consecutive cycles."""
+        self.ready_queue_all_cycles.add_bulk(ready_len, weight)
+        if miss_outstanding:
+            self.miss_cycles += weight
+            self.ready_queue_miss_cycles.add_bulk(ready_len, weight)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_ready_queue_in_miss_cycles(self) -> float:
+        """The Figure 15 quantity."""
+        return self.ready_queue_miss_cycles.mean
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flatten to plain types for reports and JSON export."""
+        return {
+            "committed": self.committed,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "mispredicts": self.mispredicts,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "loads": self.load_count,
+            "stores": self.store_count,
+            "forwarded_loads": self.forwarded_loads,
+            "miss_cycles": self.miss_cycles,
+            "ready_queue_in_miss_cycles": self.avg_ready_queue_in_miss_cycles,
+        }

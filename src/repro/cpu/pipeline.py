@@ -1,0 +1,394 @@
+"""Cycle-level out-of-order core (reduced ``sim-outorder``).
+
+Pipeline shape per cycle: *writeback → commit → issue → dispatch → fetch*,
+with single-cycle stage visibility, so a latency-1 producer feeds a
+dependent instruction on the next cycle, exactly one per cycle along a
+dependence chain — the property that makes pointer-chasing loads serialize
+and gives cache misses their "importance" (paper §4.4).
+
+Modeling decisions (uniform across all cache configurations, so relative
+comparisons are preserved):
+
+* trace-driven, non-speculative execution: a mispredicted branch stalls
+  fetch until it executes plus a fixed redirect penalty — the paper's
+  Figure 14 methodology explicitly runs "without speculative execution";
+* oracle memory disambiguation with store-to-load forwarding: a load
+  whose address matches an older in-flight store takes the store's value
+  at forwarding latency and does not touch the cache (a store-buffer hit);
+* stores write the cache at commit through a non-blocking write buffer
+  (commit does not stall on store misses, but all state/traffic effects
+  of the write-allocate fill are applied);
+* idle-cycle skipping: when no stage can make progress the clock jumps to
+  the next completion event — a pure speedup with identical timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.caches.hierarchy import Hierarchy
+from repro.cpu.branch import BimodPredictor
+from repro.cpu.metrics import CoreMetrics
+from repro.cpu.resources import FuCounts, FuPool
+from repro.cpu.ruu import EntryState, RUUEntry
+from repro.errors import ConfigurationError, TraceError
+from repro.isa.opcodes import EXEC_LATENCY, OpClass
+from repro.isa.trace import Trace
+
+__all__ = ["CoreConfig", "CoreResult", "OutOfOrderCore"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core parameters; defaults reproduce the paper's Figure 9 machine."""
+
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    ifq_size: int = 16
+    ruu_size: int = 16
+    lsq_size: int = 8
+    fu: FuCounts = field(default_factory=FuCounts)
+    bimod_entries: int = 2048
+    mispredict_penalty: int = 3
+    forward_latency: int = 1
+    #: Jump the clock over provably idle cycles. Pure speedup: the cycle
+    #: counts are identical either way (property-tested), so this exists
+    #: only to make that claim checkable.
+    enable_idle_skip: bool = True
+    #: Model the instruction cache (paper Figure 9: 8 KB, 1-cycle hit,
+    #: 10-cycle miss). Off by default: the synthetic kernels' static code
+    #: fits any realistic I-cache, so the model verifiably changes nothing
+    #: (see tests/cpu/test_icache.py) and only costs simulation time.
+    icache_enabled: bool = False
+    icache_size: int = 8 * 1024
+    icache_line: int = 64
+    icache_miss_latency: int = 10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "decode_width",
+            "issue_width",
+            "commit_width",
+            "ifq_size",
+            "ruu_size",
+            "lsq_size",
+            "mispredict_penalty",
+            "forward_latency",
+        ):
+            if getattr(self, name) < 1 and name != "mispredict_penalty":
+                raise ConfigurationError(f"{name} must be positive")
+        if self.mispredict_penalty < 0:
+            raise ConfigurationError("mispredict_penalty must be non-negative")
+
+
+@dataclass
+class CoreResult:
+    """Outcome of running one trace to completion."""
+
+    cycles: int
+    metrics: CoreMetrics
+    branch_lookups: int
+    branch_mispredicts: int
+
+    @property
+    def ipc(self) -> float:
+        return self.metrics.ipc
+
+
+class _VerifyError(TraceError):
+    """A load returned a value different from the trace's recorded value."""
+
+
+class OutOfOrderCore:
+    """The 4-issue out-of-order core over a cache hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        config: CoreConfig | None = None,
+        *,
+        verify_loads: bool = False,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = config if config is not None else CoreConfig()
+        self.verify_loads = verify_loads
+        self.predictor = BimodPredictor(self.config.bimod_entries)
+
+    # The run loop reads trace columns directly (int conversions once per
+    # instruction) instead of materializing Instruction objects: the loop
+    # is the simulator's hot path.
+    def run(self, trace: Trace) -> CoreResult:
+        """Execute *trace* to completion; returns cycles and metrics."""
+        cfg = self.config
+        hier = self.hierarchy
+        metrics = CoreMetrics()
+        n = len(trace)
+        if n == 0:
+            return CoreResult(0, metrics, 0, 0)
+
+        t_op = trace.op
+        t_pc = trace.pc
+        t_dest = trace.dest
+        t_src1 = trace.src1
+        t_src2 = trace.src2
+        t_addr = trace.addr
+        t_value = trace.value
+        t_taken = trace.taken
+
+        ifq: deque[tuple[int, bool]] = deque()  # (trace index, mispredicted)
+        rob: deque[RUUEntry] = deque()
+        reg_producer: dict[int, RUUEntry] = {}
+        completions: list[tuple[int, int, RUUEntry]] = []  # (cycle, seq, entry)
+        seq = 0
+        fu = FuPool(cfg.fu)
+
+        i_fetch = 0
+        committed = 0
+        now = 0
+        lsq_used = 0
+        outstanding_misses = 0
+        fetch_blocked = False
+        pending_resume: int | None = None
+        icache = None
+        if cfg.icache_enabled:
+            from repro.cpu.icache import SimpleICache
+
+            icache = SimpleICache(
+                size_bytes=cfg.icache_size,
+                line_bytes=cfg.icache_line,
+                miss_latency=cfg.icache_miss_latency,
+            )
+        icache_stall_until = 0
+        l1_hit_latency = getattr(hier.l1, "hit_latency", 1)
+        if hasattr(hier.l1, "cache"):  # PrefetchingCache facade
+            l1_hit_latency = hier.l1.cache.hit_latency
+
+        mem_op_load = int(OpClass.LOAD)
+        mem_op_store = int(OpClass.STORE)
+        br_op = int(OpClass.BRANCH)
+        hard_limit = 2_000 * n + 1_000_000
+
+        while committed < n:
+            if now > hard_limit:
+                raise TraceError(
+                    f"core exceeded {hard_limit} cycles at instruction "
+                    f"{committed}/{n}: probable deadlock"
+                )
+
+            # ---- writeback: results arriving this cycle ------------------
+            while completions and completions[0][0] <= now:
+                _, _, entry = heapq.heappop(completions)
+                entry.state = EntryState.DONE
+                if entry.miss_in_flight:
+                    outstanding_misses -= 1
+                    entry.miss_in_flight = False
+                for consumer in entry.consumers:
+                    consumer.wake()
+                entry.consumers.clear()
+                if entry.mispredicted:
+                    pending_resume = now + cfg.mispredict_penalty
+
+            # ---- commit: in order, up to commit_width --------------------
+            n_commit = 0
+            while rob and n_commit < cfg.commit_width:
+                head = rob[0]
+                if head.state != EntryState.DONE:
+                    break
+                rob.popleft()
+                n_commit += 1
+                committed += 1
+                if head.is_store:
+                    hier.store(head.addr, head.value, now)
+                    metrics.store_count += 1
+                    lsq_used -= 1
+                elif head.is_load:
+                    lsq_used -= 1
+                if head.dest >= 0 and reg_producer.get(head.dest) is head:
+                    del reg_producer[head.dest]
+            if committed >= n:
+                break  # the last instruction committed this cycle
+
+            # ---- issue: oldest-first among READY entries ------------------
+            fu.new_cycle()
+            ready_len = 0
+            n_issued = 0
+            for entry in rob:
+                if entry.state != EntryState.READY:
+                    continue
+                ready_len += 1
+                if n_issued >= cfg.issue_width or not fu.try_issue(entry.op):
+                    continue
+                n_issued += 1
+                entry.state = EntryState.ISSUED
+                latency = EXEC_LATENCY[entry.op]
+                if entry.is_load:
+                    latency = self._issue_load(entry, rob, metrics, now)
+                    if latency > l1_hit_latency:
+                        entry.miss_in_flight = True
+                        outstanding_misses += 1
+                seq += 1
+                heapq.heappush(completions, (now + latency, seq, entry))
+
+            # ---- metrics sample (state as of this cycle) -------------------
+            metrics.sample_ready_queue(
+                ready_len, miss_outstanding=outstanding_misses > 0
+            )
+            if fetch_blocked:
+                metrics.fetch_stall_cycles += 1
+
+            # ---- dispatch: IFQ -> RUU/LSQ ---------------------------------
+            n_disp = 0
+            while ifq and n_disp < cfg.decode_width and len(rob) < cfg.ruu_size:
+                idx, mispred = ifq[0]
+                op = int(t_op[idx])
+                is_mem = op == mem_op_load or op == mem_op_store
+                if is_mem and lsq_used >= cfg.lsq_size:
+                    break
+                ifq.popleft()
+                n_disp += 1
+                entry = RUUEntry(
+                    idx,
+                    OpClass(op),
+                    int(t_dest[idx]),
+                    int(t_addr[idx]),
+                    int(t_value[idx]),
+                    mispredicted=mispred,
+                )
+                s1 = int(t_src1[idx])
+                s2 = int(t_src2[idx])
+                if s1 >= 0:
+                    entry.wire_source(reg_producer.get(s1))
+                if s2 >= 0:
+                    entry.wire_source(reg_producer.get(s2))
+                entry.finish_rename()
+                if entry.dest >= 0:
+                    reg_producer[entry.dest] = entry
+                if is_mem:
+                    lsq_used += 1
+                rob.append(entry)
+
+            # ---- fetch: fill the IFQ unless redirecting --------------------
+            if fetch_blocked and pending_resume is not None and now >= pending_resume:
+                fetch_blocked = False
+                pending_resume = None
+            if not fetch_blocked and now >= icache_stall_until:
+                n_fetched = 0
+                while (
+                    i_fetch < n
+                    and n_fetched < cfg.fetch_width
+                    and len(ifq) < cfg.ifq_size
+                ):
+                    if icache is not None:
+                        penalty = icache.fetch_penalty(int(t_pc[i_fetch]))
+                        if penalty:
+                            # The line is being fetched; retry hits it.
+                            icache_stall_until = now + penalty
+                            break
+                    mispred = False
+                    if int(t_op[i_fetch]) == br_op:
+                        pc = int(t_pc[i_fetch])
+                        taken = bool(t_taken[i_fetch])
+                        predicted = self.predictor.predict(pc)
+                        self.predictor.update(pc, taken)
+                        if predicted != taken:
+                            mispred = True
+                            metrics.mispredicts += 1
+                            fetch_blocked = True
+                    ifq.append((i_fetch, mispred))
+                    i_fetch += 1
+                    n_fetched += 1
+                    if mispred:
+                        break
+
+            # ---- advance the clock, skipping provably idle cycles ----------
+            next_now = now + 1
+            if (
+                cfg.enable_idle_skip
+                and ready_len == 0
+                and n_issued == 0
+                and n_disp == 0
+                and (not rob or rob[0].state != EntryState.DONE)
+                and (
+                    not ifq
+                    or len(rob) >= cfg.ruu_size
+                    or (
+                        int(t_op[ifq[0][0]]) in (mem_op_load, mem_op_store)
+                        and lsq_used >= cfg.lsq_size
+                    )
+                )
+                and (
+                    fetch_blocked
+                    or now < icache_stall_until
+                    or i_fetch >= n
+                    or len(ifq) >= cfg.ifq_size
+                )
+            ):
+                targets = []
+                if completions:
+                    targets.append(completions[0][0])
+                if fetch_blocked and pending_resume is not None:
+                    targets.append(pending_resume)
+                if not fetch_blocked and now < icache_stall_until:
+                    targets.append(icache_stall_until)
+                if not targets:
+                    raise TraceError(
+                        f"core deadlocked at cycle {now} "
+                        f"({committed}/{n} committed)"
+                    )
+                skip_to = max(next_now, min(targets))
+                gap = skip_to - next_now
+                if gap > 0:
+                    metrics.sample_ready_queue(
+                        0, miss_outstanding=outstanding_misses > 0, weight=gap
+                    )
+                    if fetch_blocked:
+                        metrics.fetch_stall_cycles += gap
+                next_now = skip_to
+            now = next_now
+
+        metrics.committed = committed
+        metrics.cycles = now
+        return CoreResult(
+            cycles=now,
+            metrics=metrics,
+            branch_lookups=self.predictor.lookups,
+            branch_mispredicts=self.predictor.mispredicts,
+        )
+
+    # ---- helpers ------------------------------------------------------------
+
+    def _issue_load(
+        self, entry: RUUEntry, rob: deque[RUUEntry], metrics: CoreMetrics, now: int
+    ) -> int:
+        """Execute a load: forward from an older in-flight store, or access
+        the cache hierarchy. Returns the load-to-use latency."""
+        forward_from: RUUEntry | None = None
+        for other in rob:
+            if other is entry:
+                break
+            if other.is_store and other.addr == entry.addr:
+                forward_from = other
+        if forward_from is not None:
+            metrics.forwarded_loads += 1
+            metrics.record_load("forward")
+            if self.verify_loads and forward_from.value != entry.value:
+                raise _VerifyError(
+                    f"forwarded load at {entry.addr:#x} got "
+                    f"{forward_from.value:#x}, trace says {entry.value:#x}"
+                )
+            return self.config.forward_latency
+        result = self.hierarchy.load(entry.addr, now)
+        metrics.record_load(result.served_by)
+        if self.verify_loads and result.value is not None and (
+            result.value != entry.value
+        ):
+            raise _VerifyError(
+                f"load at {entry.addr:#x} returned {result.value:#x}, "
+                f"trace says {entry.value:#x} (config {self.hierarchy.name})"
+            )
+        return max(1, result.latency)

@@ -1,0 +1,79 @@
+"""Functional-unit issue-bandwidth model.
+
+The paper's baseline (Figure 9): 4 integer ALUs, 1 integer mult/div,
+2 memory ports, 4 FP ALUs, 1 FP mult/div. Units are fully pipelined —
+each unit accepts one new operation per cycle — so contention is modeled
+as per-cycle issue slots per unit class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import OpClass
+
+__all__ = ["FuCounts", "FuPool"]
+
+
+@dataclass(frozen=True)
+class FuCounts:
+    """Number of units of each class (paper defaults)."""
+
+    ialu: int = 4
+    imult: int = 1  #: shared integer multiplier/divider
+    mem_ports: int = 2
+    falu: int = 4
+    fmult: int = 1  #: shared FP multiplier/divider
+
+    def __post_init__(self) -> None:
+        for field_name in ("ialu", "imult", "mem_ports", "falu", "fmult"):
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(f"need at least one {field_name} unit")
+
+
+#: Which unit class executes each op class. NOP/branch use an integer ALU
+#: slot (branches resolve on the ALU in SimpleScalar).
+_UNIT_OF: dict[OpClass, str] = {
+    OpClass.NOP: "ialu",
+    OpClass.IALU: "ialu",
+    OpClass.BRANCH: "ialu",
+    OpClass.IMULT: "imult",
+    OpClass.IDIV: "imult",
+    OpClass.FALU: "falu",
+    OpClass.FMULT: "fmult",
+    OpClass.FDIV: "fmult",
+    OpClass.LOAD: "mem_ports",
+    OpClass.STORE: "mem_ports",
+}
+
+
+class FuPool:
+    """Per-cycle issue slots for each functional-unit class."""
+
+    def __init__(self, counts: FuCounts | None = None) -> None:
+        self.counts = counts if counts is not None else FuCounts()
+        self._free: dict[str, int] = {}
+        self.new_cycle()
+
+    def new_cycle(self) -> None:
+        """Reset slot availability at the start of a cycle."""
+        self._free = {
+            "ialu": self.counts.ialu,
+            "imult": self.counts.imult,
+            "mem_ports": self.counts.mem_ports,
+            "falu": self.counts.falu,
+            "fmult": self.counts.fmult,
+        }
+
+    def try_issue(self, op: OpClass) -> bool:
+        """Claim a unit slot for *op* this cycle; False if none is free."""
+        unit = _UNIT_OF[op]
+        if self._free[unit] > 0:
+            self._free[unit] -= 1
+            return True
+        return False
+
+    def free_slots(self, op: OpClass) -> int:
+        """Remaining issue slots this cycle for the unit class of *op*."""
+        return self._free[_UNIT_OF[op]]

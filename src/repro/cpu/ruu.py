@@ -1,0 +1,89 @@
+"""Register-update-unit (ROB) entries and dependence bookkeeping.
+
+SimpleScalar's RUU unifies reservation stations and the reorder buffer;
+we keep the same shape: a bounded in-order window of in-flight
+instructions, each tracking how many source operands are still pending.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+
+__all__ = ["EntryState", "RUUEntry"]
+
+
+class EntryState:
+    """In-flight instruction lifecycle (plain ints for speed)."""
+
+    WAITING = 0  #: has unready source operands
+    READY = 1  #: all operands ready, not yet issued
+    ISSUED = 2  #: executing in a functional unit
+    DONE = 3  #: result produced, awaiting in-order commit
+
+
+class RUUEntry:
+    """One RUU/ROB slot."""
+
+    __slots__ = (
+        "trace_idx",
+        "op",
+        "dest",
+        "addr",
+        "value",
+        "state",
+        "pending",
+        "consumers",
+        "complete_cycle",
+        "is_load",
+        "is_store",
+        "miss_in_flight",
+        "mispredicted",
+    )
+
+    def __init__(
+        self,
+        trace_idx: int,
+        op: OpClass,
+        dest: int,
+        addr: int,
+        value: int,
+        *,
+        mispredicted: bool = False,
+    ) -> None:
+        self.trace_idx = trace_idx
+        self.op = op
+        self.dest = dest
+        self.addr = addr
+        self.value = value
+        self.state = EntryState.WAITING
+        self.pending = 0  #: unready source operands
+        self.consumers: list[RUUEntry] = []  #: entries waiting on my result
+        self.complete_cycle = -1
+        self.is_load = op == OpClass.LOAD
+        self.is_store = op == OpClass.STORE
+        self.miss_in_flight = False
+        self.mispredicted = mispredicted
+
+    def wire_source(self, producer: "RUUEntry | None") -> None:
+        """Make this entry depend on *producer* (None/done = already ready)."""
+        if producer is not None and producer.state != EntryState.DONE:
+            self.pending += 1
+            producer.consumers.append(self)
+
+    def finish_rename(self) -> None:
+        """Transition to READY if no pending sources remained after rename."""
+        if self.pending == 0:
+            self.state = EntryState.READY
+
+    def wake(self) -> None:
+        """A producer completed; become READY when the last one arrives."""
+        self.pending -= 1
+        if self.pending == 0 and self.state == EntryState.WAITING:
+            self.state = EntryState.READY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        names = {0: "WAIT", 1: "READY", 2: "ISSUED", 3: "DONE"}
+        return (
+            f"<RUU #{self.trace_idx} {self.op.name} {names[self.state]} "
+            f"pending={self.pending}>"
+        )

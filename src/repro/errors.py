@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+catching programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MemoryError_",
+    "UnmappedAddressError",
+    "AlignmentError",
+    "AllocationError",
+    "TraceError",
+    "CacheProtocolError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulator, cache or workload configuration was supplied."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError` (which indicates the *host* ran out of memory).
+    """
+
+
+class UnmappedAddressError(MemoryError_):
+    """A simulated access touched an address with no backing page."""
+
+    def __init__(self, addr: int) -> None:
+        super().__init__(f"access to unmapped simulated address {addr:#010x}")
+        self.addr = addr
+
+
+class AlignmentError(MemoryError_):
+    """A simulated access violated the required alignment."""
+
+    def __init__(self, addr: int, alignment: int) -> None:
+        super().__init__(
+            f"address {addr:#010x} is not aligned to {alignment} bytes"
+        )
+        self.addr = addr
+        self.alignment = alignment
+
+
+class AllocationError(MemoryError_):
+    """The simulated heap allocator could not satisfy a request."""
+
+
+class TraceError(ReproError):
+    """An instruction trace is malformed or used inconsistently."""
+
+
+class CacheProtocolError(ReproError):
+    """An internal cache invariant was violated.
+
+    These indicate bugs in a cache model (or an externally-driven misuse of
+    the level-to-level protocol), never user error; they are raised eagerly
+    so model bugs surface as failures instead of silently skewing results.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for something it cannot produce."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown figure id, bad matrix, ...)."""

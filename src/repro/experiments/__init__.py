@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+Run everything::
+
+    python -m repro.experiments all
+
+or a single figure::
+
+    python -m repro.experiments fig10 --scale 0.5
+
+Each module exposes ``run(...) -> ExperimentOutput`` returning the
+regenerated table/series, and the registry maps figure ids to modules.
+"""
+
+from repro.experiments.common import ExperimentOutput, render_output
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentOutput",
+    "render_output",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,67 @@
+"""Shared machinery for the normalized comparison figures (10-13).
+
+Each of those figures runs the full (workload x configuration) matrix and
+reports one metric per run normalized to the BC baseline = 100 %.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.normalize import normalize_to_baseline
+from repro.experiments.common import GEOMEAN, ExperimentOutput, average, resolve_workloads
+from repro.sim.results import SimResult
+from repro.sim.runner import run_workload
+
+__all__ = ["normalized_comparison", "DEFAULT_CONFIGS"]
+
+DEFAULT_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
+
+
+def normalized_comparison(
+    *,
+    figure: str,
+    title: str,
+    metric: Callable[[SimResult], float],
+    workloads: Sequence[str] | None,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    seed: int = 1,
+    scale: float = 1.0,
+    paper_reference: str = "",
+    notes: str = "",
+) -> ExperimentOutput:
+    """Run the matrix and normalize ``metric`` to BC per workload."""
+    names = resolve_workloads(workloads)
+    configs = list(configs)
+    if "BC" not in configs:
+        configs = ["BC", *configs]
+
+    series: dict[str, dict[str, float]] = {cfg: {} for cfg in configs}
+    rows: list[list[object]] = []
+    for workload in names:
+        results = {
+            cfg: run_workload(workload, cfg, seed=seed, scale=scale)
+            for cfg in configs
+        }
+        normalized = normalize_to_baseline(results, metric, baseline="BC")
+        for cfg in configs:
+            series[cfg][workload] = normalized[cfg]
+        rows.append([workload, *(round(normalized[cfg], 1) for cfg in configs)])
+
+    for cfg in configs:
+        series[cfg][GEOMEAN] = average(
+            {k: v for k, v in series[cfg].items() if k != GEOMEAN}
+        )
+    rows.append([GEOMEAN, *(round(series[cfg][GEOMEAN], 1) for cfg in configs)])
+
+    return ExperimentOutput(
+        figure=figure,
+        title=title,
+        headers=["workload", *configs],
+        rows=rows,
+        series={cfg: series[cfg] for cfg in configs if cfg != "BC"},
+        unit="%",
+        baseline_value=100.0,
+        paper_reference=paper_reference,
+        notes=notes,
+    )

@@ -1,0 +1,68 @@
+"""Shared experiment plumbing: result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.utils.tables import format_bar_chart, format_table
+from repro.workloads.registry import WORKLOAD_NAMES
+
+__all__ = ["ExperimentOutput", "render_output", "resolve_workloads", "GEOMEAN"]
+
+GEOMEAN = "average"
+
+
+@dataclass
+class ExperimentOutput:
+    """The regenerated content of one paper figure.
+
+    ``series`` maps a series label (usually a cache configuration) to
+    ``{workload: value}``; ``headers``/``rows`` hold the same data as a
+    printable table. ``paper_reference`` states what the paper reported so
+    EXPERIMENTS.md can juxtapose paper-vs-measured.
+    """
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    series: dict[str, dict[str, float]] = field(default_factory=dict)
+    unit: str = ""
+    baseline_value: float | None = None
+    paper_reference: str = ""
+    notes: str = ""
+
+
+def resolve_workloads(workloads: Sequence[str] | None) -> list[str]:
+    """Default to the full 14-benchmark suite."""
+    return list(workloads) if workloads else list(WORKLOAD_NAMES)
+
+
+def average(values: dict[str, float]) -> float:
+    """Arithmetic mean over workloads (the paper reports plain averages)."""
+    return sum(values.values()) / len(values) if values else 0.0
+
+
+def render_output(out: ExperimentOutput, *, charts: bool = True) -> str:
+    """Render an experiment's output as table + per-series bar charts."""
+    blocks = [
+        format_table(
+            out.headers, out.rows, title=f"{out.figure}: {out.title}", ndigits=3
+        )
+    ]
+    if charts:
+        for label, data in out.series.items():
+            blocks.append(
+                format_bar_chart(
+                    data,
+                    title=f"-- {label} --",
+                    unit=out.unit,
+                    baseline=out.baseline_value,
+                )
+            )
+    if out.paper_reference:
+        blocks.append(f"[paper] {out.paper_reference}")
+    if out.notes:
+        blocks.append(f"[notes] {out.notes}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,72 @@
+"""Figure 3 — values encountered in memory accesses.
+
+Classifies every dynamically accessed word of each benchmark under the
+paper's compression scheme. The paper reports "on average, 59% of dynamic
+accessed values are compressible".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.compression.vectorized import compression_summary
+from repro.experiments.common import GEOMEAN, ExperimentOutput, average, resolve_workloads
+from repro.sim.runner import get_program
+
+__all__ = ["run", "FIGURE", "TITLE"]
+
+FIGURE = "fig3"
+TITLE = "Values encountered in memory accesses (% compressible)"
+
+
+def run(
+    workloads: Sequence[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> ExperimentOutput:
+    """Regenerate this figure over *workloads* (default: all fourteen)."""
+    names = resolve_workloads(workloads)
+    rows: list[list[object]] = []
+    compressible: dict[str, float] = {}
+    small: dict[str, float] = {}
+    pointer: dict[str, float] = {}
+    for name in names:
+        program = get_program(name, seed=seed, scale=scale)
+        summary = compression_summary(*program.trace.accessed_values())
+        compressible[name] = 100.0 * summary.fraction_compressible
+        small[name] = 100.0 * summary.fraction_small
+        pointer[name] = 100.0 * summary.fraction_pointer
+        rows.append(
+            [
+                name,
+                summary.n_words,
+                round(small[name], 1),
+                round(pointer[name], 1),
+                round(compressible[name], 1),
+            ]
+        )
+    for series in (compressible, small, pointer):
+        series[GEOMEAN] = average({k: v for k, v in series.items() if k != GEOMEAN})
+    rows.append(
+        [
+            GEOMEAN,
+            "",
+            round(small[GEOMEAN], 1),
+            round(pointer[GEOMEAN], 1),
+            round(compressible[GEOMEAN], 1),
+        ]
+    )
+    return ExperimentOutput(
+        figure=FIGURE,
+        title=TITLE,
+        headers=["workload", "accessed words", "small %", "pointer %", "compressible %"],
+        rows=rows,
+        series={"compressible %": compressible},
+        unit="%",
+        paper_reference=(
+            "Figure 3: on average 59% of dynamically accessed values are "
+            "compressible (18 high bits uniform, or 17-bit prefix shared "
+            "with the address)."
+        ),
+    )

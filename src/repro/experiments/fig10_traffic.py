@@ -1,0 +1,45 @@
+"""Figure 10 — comparison of memory traffic (normalized to BC = 100 %).
+
+The paper's headline numbers: BCC ≈ 60 % of BC (compression alone),
+BCP ≈ 180 % (prefetching blows up traffic), CPP ≈ 90 % (prefetching that
+*reduces* traffic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments._matrix import normalized_comparison
+from repro.experiments.common import ExperimentOutput
+
+__all__ = ["run", "FIGURE", "TITLE"]
+
+FIGURE = "fig10"
+TITLE = "Memory traffic (bus words) normalized to BC"
+
+
+def run(
+    workloads: Sequence[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> ExperimentOutput:
+    """Regenerate this figure over *workloads* (default: all fourteen)."""
+    return normalized_comparison(
+        figure=FIGURE,
+        title=TITLE,
+        metric=lambda r: float(r.bus_words),
+        workloads=workloads,
+        seed=seed,
+        scale=scale,
+        paper_reference=(
+            "Figure 10: BCC ~60% of BC on average; BCP ~180%; CPP ~90% — "
+            "CPP prefetches yet still reduces traffic below the baseline."
+        ),
+        notes=(
+            "Our CPP lands lower than the paper's 90% because the synthetic "
+            "workloads' hot words are more uniformly compressible, so paired "
+            "fills satisfy more future misses; the ordering CPP < BC < BCP "
+            "is the reproduced claim."
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Figure 13 — comparison of L2 cache misses (normalized to BC).
+
+CPP halves L2 demand misses on compressible workloads because every fill
+brings the affiliated line's compressible words along for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments._matrix import normalized_comparison
+from repro.experiments.common import ExperimentOutput
+
+__all__ = ["run", "FIGURE", "TITLE"]
+
+FIGURE = "fig13"
+TITLE = "L2 cache misses normalized to BC"
+
+
+def run(
+    workloads: Sequence[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> ExperimentOutput:
+    """Regenerate this figure over *workloads* (default: all fourteen)."""
+    return normalized_comparison(
+        figure=FIGURE,
+        title=TITLE,
+        metric=lambda r: float(r.l2.misses),
+        workloads=workloads,
+        seed=seed,
+        scale=scale,
+        paper_reference=(
+            "Figure 13: prefetching reduces L2 misses vs BC; BCP sometimes "
+            "beats CPP here thanks to its larger (32-entry) L2 buffer."
+        ),
+        notes=(
+            "BCP's L2 *demand* misses approach zero in our runs: the L1 "
+            "prefetcher's supplies intercept would-be demand fetches, and "
+            "per the paper's rule buffer-satisfied accesses are not misses. "
+            "The prefetch transfers still appear in full in Figure 10."
+        ),
+    )

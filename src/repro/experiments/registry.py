@@ -1,0 +1,53 @@
+"""Registry of the paper's figures and the modules regenerating them."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig03_compressibility,
+    fig09_config_table,
+    fig10_traffic,
+    fig11_execution_time,
+    fig12_l1_misses,
+    fig13_l2_misses,
+    fig14_importance,
+    fig15_ready_queue,
+)
+from repro.experiments.common import ExperimentOutput
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    "fig3": fig03_compressibility,
+    "fig9": fig09_config_table,
+    "fig10": fig10_traffic,
+    "fig11": fig11_execution_time,
+    "fig12": fig12_l1_misses,
+    "fig13": fig13_l2_misses,
+    "fig14": fig14_importance,
+    "fig15": fig15_ready_queue,
+}
+
+
+def get_experiment(figure: str) -> ModuleType:
+    """Resolve a figure id (e.g. ``"fig10"``) to its experiment module."""
+    key = figure.lower().replace("figure", "fig").replace(" ", "")
+    module = EXPERIMENTS.get(key)
+    if module is None:
+        raise ExperimentError(
+            f"unknown experiment {figure!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return module
+
+
+def run_experiment(
+    figure: str,
+    workloads: list[str] | None = None,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> ExperimentOutput:
+    """Run one figure's experiment and return its output."""
+    return get_experiment(figure).run(workloads, seed=seed, scale=scale)

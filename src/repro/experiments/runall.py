@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig10 fig11 --scale 0.5
+    repro-experiments fig3 --workloads olden.treeadd spec95.130.li
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import render_output
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.workloads.registry import WORKLOAD_NAMES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of 'Enabling Partial Cache "
+            "Line Prefetching Through Data Compression' (ICPP 2003)."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"subset of workloads (default: all 14; known: {', '.join(WORKLOAD_NAMES)})",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="input-size scale factor (e.g. 0.3 for a quick pass)",
+    )
+    parser.add_argument(
+        "--no-charts", action="store_true", help="print tables only"
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="pre-compute the simulation matrix across all CPU cores",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --parallel (default: cores - 1)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
+    if args.parallel:
+        from repro.sim.runner import prewarm_parallel
+
+        sim_figures = [f for f in figures if f not in ("fig3", "fig9")]
+        if sim_figures:
+            workloads = args.workloads or list(WORKLOAD_NAMES)
+            miss_scales = (1.0, 0.5) if "fig14" in sim_figures else (1.0,)
+            t0 = time.perf_counter()
+            n = prewarm_parallel(
+                workloads,
+                ["BC", "BCC", "HAC", "BCP", "CPP"],
+                seed=args.seed,
+                scale=args.scale,
+                miss_scales=miss_scales,
+                max_workers=args.workers,
+            )
+            print(
+                f"[prewarmed {n} matrix cells in "
+                f"{time.perf_counter() - t0:.1f}s across processes]\n"
+            )
+    for figure in figures:
+        t0 = time.perf_counter()
+        output = run_experiment(
+            figure, args.workloads, seed=args.seed, scale=args.scale
+        )
+        elapsed = time.perf_counter() - t0
+        print(render_output(output, charts=not args.no_charts))
+        print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Instruction-set abstraction for the trace-driven simulator.
+
+Traces are sequences of dynamic instructions — already-executed operations
+with resolved addresses, values and branch outcomes — stored columnar in
+NumPy arrays for compactness (tens of millions of instructions fit easily)
+and wrapped in a typed API.
+"""
+
+from repro.isa.opcodes import OpClass, is_branch, is_mem
+from repro.isa.instruction import Instruction, NO_REG
+from repro.isa.trace import Trace, TraceBuilder
+
+__all__ = [
+    "OpClass",
+    "is_branch",
+    "is_mem",
+    "Instruction",
+    "NO_REG",
+    "Trace",
+    "TraceBuilder",
+]

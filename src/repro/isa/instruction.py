@@ -1,0 +1,65 @@
+"""A single dynamic instruction record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OpClass, is_branch, is_mem
+
+__all__ = ["Instruction", "NO_REG"]
+
+NO_REG = -1
+"""Sentinel register id meaning "no register operand"."""
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One executed instruction with resolved operands.
+
+    Attributes
+    ----------
+    pc:
+        Static instruction address (drives the branch predictor's indexing
+        and groups dynamic instances of the same static instruction).
+    op:
+        Operation class.
+    dest:
+        Destination register id, or :data:`NO_REG`.
+    src1, src2:
+        Source register ids, or :data:`NO_REG`. For loads ``src1`` is the
+        address base; for stores ``src1`` is the address base and ``src2``
+        the data being stored.
+    addr:
+        Effective byte address (loads/stores only, word aligned).
+    value:
+        The 32-bit data value observed at generation time: the value
+        written (stores) or read (loads). Used for value-compressibility
+        analysis and for store data during simulation.
+    taken:
+        Branch outcome (branches only).
+    """
+
+    pc: int
+    op: OpClass
+    dest: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    addr: int = 0
+    value: int = 0
+    taken: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        return is_mem(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.op)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == OpClass.STORE

@@ -1,0 +1,53 @@
+"""Dynamic-instruction operation classes and their execution latencies.
+
+The classes mirror the functional-unit mix of the paper's baseline core
+(Figure 9): integer ALUs, one integer multiplier/divider, two memory
+ports, four FP adders, and one FP multiplier/divider.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["OpClass", "is_mem", "is_branch", "EXEC_LATENCY"]
+
+
+class OpClass(enum.IntEnum):
+    """Operation class of a dynamic instruction."""
+
+    NOP = 0
+    IALU = 1  #: integer add/sub/logic/compare
+    IMULT = 2  #: integer multiply
+    IDIV = 3  #: integer divide
+    FALU = 4  #: FP add/sub/compare/convert
+    FMULT = 5  #: FP multiply
+    FDIV = 6  #: FP divide
+    LOAD = 7  #: memory read (32-bit word)
+    STORE = 8  #: memory write (32-bit word)
+    BRANCH = 9  #: conditional branch with a recorded outcome
+
+
+#: Execution latency (cycles in the functional unit) per op class.
+#: Loads add the memory-hierarchy latency on top of address generation.
+EXEC_LATENCY: dict[OpClass, int] = {
+    OpClass.NOP: 1,
+    OpClass.IALU: 1,
+    OpClass.IMULT: 3,
+    OpClass.IDIV: 20,
+    OpClass.FALU: 2,
+    OpClass.FMULT: 4,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 1,  # address generation; cache latency added separately
+    OpClass.STORE: 1,  # address generation; data drains via write buffer
+    OpClass.BRANCH: 1,
+}
+
+
+def is_mem(op: OpClass | int) -> bool:
+    """True for loads and stores."""
+    return op == OpClass.LOAD or op == OpClass.STORE
+
+
+def is_branch(op: OpClass | int) -> bool:
+    """True for conditional branches."""
+    return op == OpClass.BRANCH

@@ -1,0 +1,75 @@
+"""Trace persistence: save/load columnar traces as ``.npz`` archives.
+
+Workload generation is deterministic but not free (a full-size trace
+takes a fraction of a second to minutes); persisting traces lets
+experiment campaigns and external tools share exactly the same inputs.
+The format is a plain NumPy archive — one array per column plus a small
+metadata record — so it is readable without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.trace import Trace
+
+__all__ = ["save_trace", "load_trace", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_COLUMNS = ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken")
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write *trace* to ``path`` (``.npz`` appended if missing).
+
+    Returns the final path written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = json.dumps({"version": FORMAT_VERSION, "name": trace.name})
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+        **{col: getattr(trace, col) for col in _COLUMNS},
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    The loaded trace is validated structurally before being returned.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with np.load(path) as archive:
+        missing = [c for c in _COLUMNS if c not in archive]
+        if "meta" not in archive or missing:
+            raise TraceError(
+                f"{path} is not a trace archive (missing {missing or ['meta']})"
+            )
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format version {meta.get('version')}"
+            )
+        trace = Trace(
+            pc=archive["pc"],
+            op=archive["op"],
+            dest=archive["dest"],
+            src1=archive["src1"],
+            src2=archive["src2"],
+            addr=archive["addr"],
+            value=archive["value"],
+            taken=archive["taken"],
+            name=str(meta.get("name", "")),
+        )
+    trace.validate()
+    return trace

@@ -1,0 +1,25 @@
+"""Simulated memory substrate.
+
+* :class:`MemoryImage` — a sparse, page-backed store of 32-bit words; the
+  single source of truth for program data values.
+* allocators — heap layout machinery; realistic allocation locality is what
+  makes pointer values compressible, so workloads allocate through these.
+* :class:`BusMeter` — word-granular off-chip traffic accounting (Figure 10).
+* :class:`MainMemory` — flat-latency DRAM model over an image plus a bus.
+"""
+
+from repro.memory.allocator import BumpAllocator, FreeListAllocator
+from repro.memory.bus import BusMeter, TrafficKind
+from repro.memory.image import MemoryImage, PAGE_BYTES, WORD_BYTES
+from repro.memory.main_memory import MainMemory
+
+__all__ = [
+    "MemoryImage",
+    "PAGE_BYTES",
+    "WORD_BYTES",
+    "BumpAllocator",
+    "FreeListAllocator",
+    "BusMeter",
+    "TrafficKind",
+    "MainMemory",
+]

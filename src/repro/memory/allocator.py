@@ -1,0 +1,178 @@
+"""Simulated heap allocators.
+
+Pointer compressibility in the paper hinges on allocation locality:
+"dynamically allocated heap objects are often small ... most of these
+pointer values point to reasonably sized memory regions and many share a
+common prefix" (§2.1). The workload generators therefore allocate their
+linked structures through these allocators rather than inventing
+addresses, so prefix sharing emerges from layout exactly as it would under
+a real ``malloc``.
+
+Two allocators are provided:
+
+* :class:`BumpAllocator` — sequential carve-out; maximal locality.
+* :class:`FreeListAllocator` — first-fit with splitting and address-ordered
+  coalescing on free; used by workloads with allocation/deallocation churn
+  (e.g. *health*), which fragments the heap and degrades prefix sharing —
+  a behaviour the evaluation should (and does) reflect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.utils.intmath import align_up, is_pow2
+
+__all__ = ["BumpAllocator", "FreeListAllocator", "DEFAULT_HEAP_BASE", "DEFAULT_HEAP_LIMIT"]
+
+DEFAULT_HEAP_BASE = 0x1000_0000
+DEFAULT_HEAP_LIMIT = 0x3000_0000
+
+
+class BumpAllocator:
+    """Carve allocations sequentially from ``[base, limit)``.
+
+    No ``free`` — matching the allocation behaviour of Olden-style
+    benchmark phases that build a structure once and then traverse it.
+    """
+
+    def __init__(
+        self,
+        base: int = DEFAULT_HEAP_BASE,
+        limit: int = DEFAULT_HEAP_LIMIT,
+        *,
+        alignment: int = 8,
+    ) -> None:
+        if not is_pow2(alignment) or alignment < 4:
+            raise ConfigurationError("alignment must be a power of two >= 4")
+        if base % alignment or base >= limit:
+            raise ConfigurationError("invalid heap bounds")
+        self.base = base
+        self.limit = limit
+        self.alignment = alignment
+        self._next = base
+        self.n_allocs = 0
+
+    def malloc(self, size: int, *, align: int | None = None) -> int:
+        """Allocate *size* bytes; returns the address."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        align = align or self.alignment
+        if not is_pow2(align):
+            raise ConfigurationError("alignment must be a power of two")
+        addr = align_up(self._next, align)
+        end = addr + align_up(size, self.alignment)
+        if end > self.limit:
+            raise AllocationError(
+                f"heap exhausted: need {size} bytes at {addr:#x}, limit {self.limit:#x}"
+            )
+        self._next = end
+        self.n_allocs += 1
+        return addr
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next - self.base
+
+
+@dataclass
+class _FreeBlock:
+    addr: int
+    size: int
+
+
+class FreeListAllocator:
+    """First-fit free-list allocator with address-ordered coalescing.
+
+    Kept intentionally close to a textbook ``malloc``: allocation churn
+    produces the address-space fragmentation that makes some workloads'
+    pointers less compressible.
+    """
+
+    def __init__(
+        self,
+        base: int = DEFAULT_HEAP_BASE,
+        limit: int = DEFAULT_HEAP_LIMIT,
+        *,
+        alignment: int = 8,
+    ) -> None:
+        if not is_pow2(alignment) or alignment < 4:
+            raise ConfigurationError("alignment must be a power of two >= 4")
+        if base % alignment or base >= limit:
+            raise ConfigurationError("invalid heap bounds")
+        self.base = base
+        self.limit = limit
+        self.alignment = alignment
+        self._free: list[_FreeBlock] = [_FreeBlock(base, limit - base)]
+        self._allocated: dict[int, int] = {}  # addr -> size
+        self.n_allocs = 0
+        self.n_frees = 0
+
+    def malloc(self, size: int) -> int:
+        """First-fit allocate *size* bytes (rounded up to the alignment)."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        size = align_up(size, self.alignment)
+        for i, block in enumerate(self._free):
+            if block.size >= size:
+                addr = block.addr
+                if block.size == size:
+                    del self._free[i]
+                else:
+                    block.addr += size
+                    block.size -= size
+                self._allocated[addr] = size
+                self.n_allocs += 1
+                return addr
+        raise AllocationError(f"no free block of {size} bytes available")
+
+    def free(self, addr: int) -> None:
+        """Release a previously allocated block, coalescing neighbours."""
+        size = self._allocated.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated address {addr:#x}")
+        self.n_frees += 1
+        # Insert in address order.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].addr < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, _FreeBlock(addr, size))
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(self._free):
+            nxt = self._free[lo + 1]
+            if addr + size == nxt.addr:
+                self._free[lo].size += nxt.size
+                del self._free[lo + 1]
+        if lo > 0:
+            prev = self._free[lo - 1]
+            if prev.addr + prev.size == addr:
+                prev.size += self._free[lo].size
+                del self._free[lo]
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def n_free_blocks(self) -> int:
+        return len(self._free)
+
+    def check_invariants(self) -> None:
+        """Assert the free list is sorted, disjoint, and inside the arena.
+
+        Called by property-based tests after random alloc/free sequences.
+        """
+        prev_end = self.base - 1
+        for block in self._free:
+            if block.size <= 0:
+                raise AssertionError("empty free block")
+            if block.addr <= prev_end:
+                raise AssertionError("free list unsorted or overlapping")
+            if block.addr < self.base or block.addr + block.size > self.limit:
+                raise AssertionError("free block outside arena")
+            prev_end = block.addr + block.size - 1

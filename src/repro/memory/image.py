@@ -1,0 +1,156 @@
+"""Sparse, page-backed simulated memory of 32-bit words.
+
+The image is the authoritative backing store for all simulated data. It is
+sparse (only touched 4 KB pages are materialized) so workloads can use
+realistic, widely separated address regions (stack vs. heap vs. globals)
+without host-memory cost.
+
+Reads of never-written addresses return zero, matching zero-fill-on-demand
+OS behaviour; a ``strict`` image raises instead, which the tests use to
+prove the simulator never *depends* on uninitialized data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError, UnmappedAddressError
+from repro.utils.bitops import MASK32
+
+__all__ = ["MemoryImage", "PAGE_BYTES", "PAGE_WORDS", "WORD_BYTES"]
+
+WORD_BYTES = 4
+PAGE_BYTES = 4096
+PAGE_WORDS = PAGE_BYTES // WORD_BYTES
+_PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_BYTES - 1
+
+
+class MemoryImage:
+    """A sparse map from 32-bit word-aligned addresses to 32-bit values."""
+
+    __slots__ = ("_pages", "strict")
+
+    def __init__(self, *, strict: bool = False) -> None:
+        self._pages: dict[int, np.ndarray] = {}
+        self.strict = strict
+
+    # ---- single-word access ------------------------------------------------
+
+    @staticmethod
+    def _check_aligned(addr: int) -> None:
+        if addr & (WORD_BYTES - 1):
+            raise AlignmentError(addr, WORD_BYTES)
+        if not 0 <= addr <= MASK32:
+            raise UnmappedAddressError(addr)
+
+    def read_word(self, addr: int) -> int:
+        """Read the 32-bit word at word-aligned *addr* (0 if untouched)."""
+        self._check_aligned(addr)
+        page = self._pages.get(addr >> _PAGE_SHIFT)
+        if page is None:
+            if self.strict:
+                raise UnmappedAddressError(addr)
+            return 0
+        return int(page[(addr & _PAGE_MASK) >> 2])
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write a 32-bit value at word-aligned *addr*, mapping its page."""
+        self._check_aligned(addr)
+        page_no = addr >> _PAGE_SHIFT
+        page = self._pages.get(page_no)
+        if page is None:
+            page = np.zeros(PAGE_WORDS, dtype=np.uint32)
+            self._pages[page_no] = page
+        page[(addr & _PAGE_MASK) >> 2] = value & MASK32
+
+    # ---- block access (cache-line fills / writebacks) -----------------------
+
+    def read_words(self, addr: int, n: int) -> np.ndarray:
+        """Read *n* consecutive words starting at *addr* into a uint32 array."""
+        self._check_aligned(addr)
+        if n < 0:
+            raise ValueError("word count must be non-negative")
+        out = np.zeros(n, dtype=np.uint32)
+        i = 0
+        while i < n:
+            a = addr + i * WORD_BYTES
+            page_no = a >> _PAGE_SHIFT
+            offset = (a & _PAGE_MASK) >> 2
+            take = min(n - i, PAGE_WORDS - offset)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[i : i + take] = page[offset : offset + take]
+            elif self.strict:
+                raise UnmappedAddressError(a)
+            i += take
+        return out
+
+    def write_words(self, addr: int, values: np.ndarray | list[int]) -> None:
+        """Write consecutive words starting at *addr*."""
+        self._check_aligned(addr)
+        values = np.asarray(values, dtype=np.uint32)
+        n = len(values)
+        i = 0
+        while i < n:
+            a = addr + i * WORD_BYTES
+            page_no = a >> _PAGE_SHIFT
+            offset = (a & _PAGE_MASK) >> 2
+            take = min(n - i, PAGE_WORDS - offset)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = np.zeros(PAGE_WORDS, dtype=np.uint32)
+                self._pages[page_no] = page
+            page[offset : offset + take] = values[i : i + take]
+            i += take
+
+    def write_words_masked(
+        self, addr: int, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Write only the words where *mask* is True (partial write-back).
+
+        Partial dirty lines occur in the CPP design (a promoted affiliated
+        line has holes); memory keeps its old contents for the holes.
+        """
+        values = np.asarray(values, dtype=np.uint32)
+        mask = np.asarray(mask, dtype=bool)
+        if values.shape != mask.shape:
+            raise ValueError("values and mask must have identical shapes")
+        for i in np.flatnonzero(mask):
+            self.write_word(addr + int(i) * WORD_BYTES, int(values[i]))
+
+    # ---- management ----------------------------------------------------------
+
+    def copy(self) -> "MemoryImage":
+        """Deep copy (used to reset memory state between simulations)."""
+        clone = MemoryImage(strict=self.strict)
+        clone._pages = {no: page.copy() for no, page in self._pages.items()}
+        return clone
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of simulated memory touched so far."""
+        return self.n_pages * PAGE_BYTES
+
+    def touched_pages(self) -> list[int]:
+        """Sorted page numbers that have been materialized."""
+        return sorted(self._pages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        keys = set(self._pages) | set(other._pages)
+        zero = np.zeros(PAGE_WORDS, dtype=np.uint32)
+        for key in keys:
+            a = self._pages.get(key, zero)
+            b = other._pages.get(key, zero)
+            if not np.array_equal(a, b):
+                return False
+        return True
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("MemoryImage is mutable and unhashable")

@@ -1,0 +1,17 @@
+"""Simulation driver: configurations, the Machine, and the runner."""
+
+from repro.sim.config import CONFIG_NAMES, SIM_CONFIGS, SimConfig
+from repro.sim.machine import Machine
+from repro.sim.results import SimResult
+from repro.sim.runner import run_program, run_workload, run_matrix
+
+__all__ = [
+    "CONFIG_NAMES",
+    "SIM_CONFIGS",
+    "SimConfig",
+    "Machine",
+    "SimResult",
+    "run_program",
+    "run_workload",
+    "run_matrix",
+]

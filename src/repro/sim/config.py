@@ -1,0 +1,68 @@
+"""Named simulator configurations (paper §4.1 + Figure 9).
+
+A :class:`SimConfig` bundles the cache configuration name (BC/BCC/HAC/
+BCP/CPP), the hierarchy geometry, the core parameters and the memory
+latency. ``miss_scale`` supports the Figure 14 methodology: scaling the
+miss penalties (L2 hit latency and memory latency) while leaving
+everything else untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.caches.hierarchy import CONFIG_NAMES as _PAPER_CONFIGS
+from repro.caches.hierarchy import HIERARCHY_BUILDERS as _ALL_BUILDERS
+from repro.caches.hierarchy import HierarchyParams
+from repro.cpu.pipeline import CoreConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["SimConfig", "SIM_CONFIGS", "CONFIG_NAMES", "MEMORY_LATENCY"]
+
+MEMORY_LATENCY = 100  #: cycles (Figure 9: "Memory access latency")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """A complete machine configuration."""
+
+    cache_config: str = "BC"
+    hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory_latency: int = MEMORY_LATENCY
+    miss_scale: float = 1.0  #: scales L2-hit and memory latency (Figure 14)
+
+    def __post_init__(self) -> None:
+        if self.cache_config.upper() not in _ALL_BUILDERS:
+            raise ConfigurationError(
+                f"unknown cache config {self.cache_config!r}; "
+                f"choose from {tuple(_ALL_BUILDERS)}"
+            )
+        if self.memory_latency < 1:
+            raise ConfigurationError("memory latency must be positive")
+        if self.miss_scale <= 0:
+            raise ConfigurationError("miss_scale must be positive")
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.miss_scale == 1.0 else f"@x{self.miss_scale:g}"
+        return self.cache_config.upper() + suffix
+
+    def effective_memory_latency(self) -> int:
+        """Memory latency after miss scaling (Figure 14 runs halve it)."""
+        return max(1, round(self.memory_latency * self.miss_scale))
+
+    def effective_hierarchy(self) -> HierarchyParams:
+        """Hierarchy geometry with miss-scaled latencies applied."""
+        return self.hierarchy.scaled_latencies(self.miss_scale)
+
+    def with_miss_scale(self, scale: float) -> "SimConfig":
+        """The same machine with miss penalties scaled (Figure 14 pairs)."""
+        return replace(self, miss_scale=scale)
+
+
+SIM_CONFIGS: dict[str, SimConfig] = {
+    name: SimConfig(cache_config=name) for name in _PAPER_CONFIGS
+}
+
+CONFIG_NAMES = tuple(SIM_CONFIGS)

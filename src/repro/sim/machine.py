@@ -1,0 +1,57 @@
+"""The Machine: core + hierarchy + memory, run over a program trace.
+
+Every run builds a fresh memory image, hierarchy and core, so runs are
+independent and deterministic: the same (program, config) pair always
+produces the identical cycle count — the property the Figure 14
+methodology depends on.
+"""
+
+from __future__ import annotations
+
+from repro.caches.hierarchy import build_hierarchy
+from repro.cpu.pipeline import OutOfOrderCore
+from repro.memory.main_memory import MainMemory
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.workloads.base import Program
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A configured machine ready to execute programs."""
+
+    def __init__(self, config: SimConfig | str = "BC", *, verify_loads: bool = False):
+        if isinstance(config, str):
+            config = SimConfig(cache_config=config)
+        self.config = config
+        self.verify_loads = verify_loads
+
+    def run(self, program: Program) -> SimResult:
+        """Execute *program* to completion on a fresh machine instance."""
+        memory = MainMemory(latency=self.config.effective_memory_latency())
+        hierarchy = build_hierarchy(
+            self.config.cache_config,
+            memory,
+            self.config.effective_hierarchy(),
+        )
+        core = OutOfOrderCore(
+            hierarchy, self.config.core, verify_loads=self.verify_loads
+        )
+        outcome = core.run(program.trace)
+        bus = memory.bus
+        return SimResult(
+            workload=program.name,
+            config=self.config.name,
+            cycles=outcome.cycles,
+            instructions=len(program.trace),
+            l1=hierarchy.l1_stats,
+            l2=hierarchy.l2_stats,
+            bus_words=bus.total_words,
+            bus_fill_words=bus.fill_words,
+            bus_prefetch_words=bus.prefetch_words,
+            bus_writeback_words=bus.writeback_words,
+            metrics=outcome.metrics,
+            branch_mispredicts=outcome.branch_mispredicts,
+            params=dict(program.params),
+        )

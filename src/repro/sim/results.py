@@ -1,0 +1,61 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.stats import CacheStats
+from repro.cpu.metrics import CoreMetrics
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Everything measured from one (workload, configuration) run."""
+
+    workload: str
+    config: str
+    cycles: int
+    instructions: int
+    l1: CacheStats
+    l2: CacheStats
+    bus_words: int
+    bus_fill_words: int
+    bus_prefetch_words: int
+    bus_writeback_words: int
+    metrics: CoreMetrics
+    branch_mispredicts: int
+    params: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate
+
+    @property
+    def ready_queue_in_miss_cycles(self) -> float:
+        return self.metrics.avg_ready_queue_in_miss_cycles
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flatten headline numbers for tables."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "l1_misses": self.l1.misses,
+            "l1_miss_rate": round(self.l1.miss_rate, 5),
+            "l2_misses": self.l2.misses,
+            "l2_miss_rate": round(self.l2.miss_rate, 5),
+            "bus_words": self.bus_words,
+            "mispredicts": self.branch_mispredicts,
+        }

@@ -1,0 +1,88 @@
+"""Result serialization: JSON and CSV exports of simulation results.
+
+Experiment campaigns and external plotting tools consume these; the JSON
+form round-trips every counter the simulator produces, the CSV form is
+the flat headline table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.sim.results import SimResult
+
+__all__ = [
+    "result_to_dict",
+    "results_to_json",
+    "results_to_csv",
+    "load_results_json",
+]
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Full (nested) dictionary form of one result."""
+    return {
+        "workload": result.workload,
+        "config": result.config,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "bus": {
+            "total_words": result.bus_words,
+            "fill_words": result.bus_fill_words,
+            "prefetch_words": result.bus_prefetch_words,
+            "writeback_words": result.bus_writeback_words,
+        },
+        "l1": result.l1.as_dict(),
+        "l2": result.l2.as_dict(),
+        "core": result.metrics.as_dict(),
+        "branch_mispredicts": result.branch_mispredicts,
+        "params": result.params,
+    }
+
+
+def results_to_json(
+    results: Iterable[SimResult] | Mapping[tuple, SimResult],
+    path: str | Path,
+) -> Path:
+    """Write results (list or run_matrix mapping) to a JSON file."""
+    if isinstance(results, Mapping):
+        results = list(results.values())
+    path = Path(path)
+    payload = [result_to_dict(r) for r in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
+    return path
+
+
+def results_to_csv(
+    results: Iterable[SimResult] | Mapping[tuple, SimResult],
+    path: str | Path,
+) -> Path:
+    """Write the flat headline table (SimResult.as_dict rows) as CSV."""
+    if isinstance(results, Mapping):
+        results = list(results.values())
+    rows = [r.as_dict() for r in results]
+    if not rows:
+        raise ExperimentError("no results to write")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def load_results_json(path: str | Path) -> list[dict]:
+    """Read back a JSON export (plain dicts; the simulator state objects
+    are not reconstructed)."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"results file {path} does not exist")
+    data = json.loads(path.read_text("utf-8"))
+    if not isinstance(data, list):
+        raise ExperimentError(f"{path} is not a results export")
+    return data

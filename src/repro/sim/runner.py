@@ -1,0 +1,126 @@
+"""High-level run helpers with per-process memoization.
+
+Experiments share (workload, seed, scale) traces and (workload, config)
+results; generating a trace or simulating a configuration twice would
+double the cost of every figure, so both are cached keyed by their full
+parameterization. Caches are plain dicts — safe because programs and
+results are treated as immutable once produced.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SIM_CONFIGS, SimConfig
+from repro.sim.machine import Machine
+from repro.sim.results import SimResult
+from repro.workloads.base import Program
+from repro.workloads.registry import generate
+
+__all__ = ["run_program", "run_workload", "run_matrix", "clear_caches", "get_program"]
+
+_PROGRAM_CACHE: dict[tuple[str, int, float], Program] = {}
+#: (workload, seed, scale, cache_config, miss_scale) -> result. The key
+#: fully determines the run (programs are pure functions of their key),
+#: so results computed in worker processes can be injected here.
+_RESULT_CACHE: dict[tuple[str, int, float, str, float], SimResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoized programs and results."""
+    _PROGRAM_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def get_program(workload: str, *, seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate (or reuse) a workload's program."""
+    key = (workload, seed, scale)
+    prog = _PROGRAM_CACHE.get(key)
+    if prog is None:
+        prog = generate(workload, seed=seed, scale=scale)
+        _PROGRAM_CACHE[key] = prog
+    return prog
+
+
+def run_program(
+    program: Program, config: SimConfig | str, *, verify_loads: bool = False
+) -> SimResult:
+    """Run an already-generated program on a named or explicit config."""
+    return Machine(config, verify_loads=verify_loads).run(program)
+
+
+def run_workload(
+    workload: str,
+    config: SimConfig | str = "BC",
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    verify_loads: bool = False,
+    use_cache: bool = True,
+) -> SimResult:
+    """Generate the workload and simulate it on *config* (memoized)."""
+    if isinstance(config, str):
+        config = SIM_CONFIGS.get(config.upper(), SimConfig(cache_config=config))
+    key = (workload, seed, scale, config.cache_config, config.miss_scale)
+    if use_cache and not verify_loads:
+        hit = _RESULT_CACHE.get(key)
+        if hit is not None:
+            return hit
+    program = get_program(workload, seed=seed, scale=scale)
+    result = run_program(program, config, verify_loads=verify_loads)
+    if use_cache and not verify_loads:
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def prewarm_parallel(
+    workloads: list[str],
+    configs: list[str],
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    miss_scales: tuple[float, ...] = (1.0,),
+    max_workers: int | None = None,
+) -> int:
+    """Fill the result cache using all cores; returns cells computed.
+
+    Subsequent :func:`run_workload` calls with matching parameters are
+    cache hits, so the (serial) experiment harnesses get the parallel
+    speedup without knowing about it.
+    """
+    from repro.sim.parallel import run_matrix_parallel_configs
+
+    n = 0
+    for miss_scale in miss_scales:
+        cfgs = [
+            SIM_CONFIGS.get(c.upper(), SimConfig(cache_config=c)).with_miss_scale(
+                miss_scale
+            )
+            for c in configs
+        ]
+        results = run_matrix_parallel_configs(
+            workloads, cfgs, seed=seed, scale=scale, max_workers=max_workers
+        )
+        for (workload, cache_config, ms), result in results.items():
+            _RESULT_CACHE[(workload, seed, scale, cache_config, ms)] = result
+            n += 1
+    return n
+
+
+def run_matrix(
+    workloads: list[str],
+    configs: list[str],
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    progress: bool = False,
+) -> dict[tuple[str, str], SimResult]:
+    """Simulate the full (workload x config) matrix the figures are built
+    from; returns ``{(workload, config): result}``."""
+    out: dict[tuple[str, str], SimResult] = {}
+    for workload in workloads:
+        for config in configs:
+            if progress:  # pragma: no cover - cosmetic
+                print(f"  running {workload} on {config} ...", flush=True)
+            out[(workload, config)] = run_workload(
+                workload, config, seed=seed, scale=scale
+            )
+    return out

@@ -1,0 +1,124 @@
+"""Multi-seed statistics: how robust are the comparisons to input noise?
+
+The paper reports single runs per benchmark (reference inputs). Our
+workloads are parameterized by an RNG seed, so the reproduction can do
+better: run each (workload, configuration) across several seeds and
+report the mean, spread and per-seed win/loss record of any metric —
+turning "CPP is 7 % faster" into "CPP is 7 +/- 1 % faster on every seed".
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.sim.results import SimResult
+from repro.sim.runner import run_workload
+
+__all__ = ["SeedStats", "sweep_seeds", "compare_over_seeds", "SweepComparison"]
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Summary statistics of one metric across seeds."""
+
+    workload: str
+    config: str
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def stddev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+def sweep_seeds(
+    workload: str,
+    config: str,
+    metric: Callable[[SimResult], float],
+    *,
+    seeds: Sequence[int] = (1, 2, 3),
+    scale: float = 1.0,
+    metric_name: str = "metric",
+) -> SeedStats:
+    """Measure *metric* for (workload, config) across *seeds*."""
+    if not seeds:
+        raise ExperimentError("at least one seed is required")
+    values = tuple(
+        float(metric(run_workload(workload, config, seed=seed, scale=scale)))
+        for seed in seeds
+    )
+    return SeedStats(
+        workload=workload, config=config, metric=metric_name, values=values
+    )
+
+
+@dataclass(frozen=True)
+class SweepComparison:
+    """Per-seed paired comparison of a metric between two configurations."""
+
+    workload: str
+    baseline: SeedStats
+    test: SeedStats
+    ratios: tuple[float, ...] = field(default=())
+
+    @property
+    def mean_ratio(self) -> float:
+        return sum(self.ratios) / len(self.ratios)
+
+    @property
+    def wins(self) -> int:
+        """Seeds where the test config's metric is strictly lower."""
+        return sum(1 for r in self.ratios if r < 1.0)
+
+    @property
+    def always_wins(self) -> bool:
+        return self.wins == len(self.ratios)
+
+
+def compare_over_seeds(
+    workload: str,
+    *,
+    baseline_config: str = "BC",
+    test_config: str = "CPP",
+    metric: Callable[[SimResult], float] = lambda r: float(r.cycles),
+    seeds: Sequence[int] = (1, 2, 3),
+    scale: float = 1.0,
+    metric_name: str = "cycles",
+) -> SweepComparison:
+    """Paired per-seed comparison (same seed, both configs)."""
+    base = sweep_seeds(
+        workload, baseline_config, metric,
+        seeds=seeds, scale=scale, metric_name=metric_name,
+    )
+    test = sweep_seeds(
+        workload, test_config, metric,
+        seeds=seeds, scale=scale, metric_name=metric_name,
+    )
+    ratios = tuple(
+        t / b if b else 1.0 for t, b in zip(test.values, base.values)
+    )
+    return SweepComparison(
+        workload=workload, baseline=base, test=test, ratios=ratios
+    )

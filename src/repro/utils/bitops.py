@@ -1,0 +1,99 @@
+"""Bit-level helpers for 32-bit machine words.
+
+All simulated data paths in this repository are 32 bits wide (the paper
+targets a 32-bit machine). Words are carried around as Python ints in
+``[0, 2**32)``; these helpers convert between signed/unsigned views and
+extract bit fields the way the hardware description in the paper does.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MASK32",
+    "WORD_BITS",
+    "to_uint32",
+    "to_int32",
+    "bit",
+    "bits",
+    "low_bits",
+    "high_bits",
+    "sign_extend",
+    "replicate_bit",
+]
+
+WORD_BITS = 32
+MASK32 = 0xFFFF_FFFF
+
+
+def to_uint32(value: int) -> int:
+    """Reduce an arbitrary Python int to its unsigned 32-bit representation."""
+    return value & MASK32
+
+
+def to_int32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a two's-complement signed int."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit *index* (0 = LSB) of *value* as 0 or 1."""
+    if not 0 <= index < WORD_BITS:
+        raise ValueError(f"bit index {index} out of range for a 32-bit word")
+    return (value >> index) & 1
+
+
+def bits(value: int, lo: int, hi: int) -> int:
+    """Return the inclusive bit field ``value[hi:lo]`` right-aligned.
+
+    ``bits(0xABCD0000, 16, 31) == 0xABCD``.
+    """
+    if not 0 <= lo <= hi < WORD_BITS:
+        raise ValueError(f"invalid bit field [{hi}:{lo}] for a 32-bit word")
+    width = hi - lo + 1
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def low_bits(value: int, n: int) -> int:
+    """Return the *n* least-significant bits of *value*."""
+    if not 0 <= n <= WORD_BITS:
+        raise ValueError(f"cannot take low {n} bits of a 32-bit word")
+    if n == 0:
+        return 0
+    return value & ((1 << n) - 1)
+
+
+def high_bits(value: int, n: int) -> int:
+    """Return the *n* most-significant bits of a 32-bit *value* right-aligned.
+
+    ``high_bits(0xFFFF0000, 16) == 0xFFFF``.
+    """
+    if not 0 <= n <= WORD_BITS:
+        raise ValueError(f"cannot take high {n} bits of a 32-bit word")
+    if n == 0:
+        return 0
+    return (value & MASK32) >> (WORD_BITS - n)
+
+
+def sign_extend(value: int, from_bits: int) -> int:
+    """Sign-extend the low *from_bits* bits of *value* to 32 bits (unsigned).
+
+    This is the decompressor operation for small values: the stored sign bit
+    (bit ``from_bits - 1``) is replicated into all higher-order bit positions.
+    """
+    if not 1 <= from_bits <= WORD_BITS:
+        raise ValueError(f"cannot sign-extend from {from_bits} bits")
+    value = low_bits(value, from_bits)
+    sign = value >> (from_bits - 1)
+    if sign:
+        value |= MASK32 & ~((1 << from_bits) - 1)
+    return value
+
+
+def replicate_bit(b: int, n: int) -> int:
+    """Return an *n*-bit field consisting of *n* copies of bit *b* (0 or 1)."""
+    if b not in (0, 1):
+        raise ValueError("replicate_bit expects a single bit (0 or 1)")
+    if not 0 <= n <= WORD_BITS:
+        raise ValueError(f"cannot replicate into {n} bits")
+    return ((1 << n) - 1) if b else 0

@@ -1,0 +1,41 @@
+"""Small integer-math helpers used by cache geometry and allocators."""
+
+from __future__ import annotations
+
+__all__ = ["is_pow2", "log2i", "align_up", "align_down", "ceil_div"]
+
+
+def is_pow2(n: int) -> bool:
+    """True iff *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2i(n: int) -> int:
+    """Exact integer log2 of a power of two; raises otherwise.
+
+    Cache index/offset widths must be exact, so this refuses to round.
+    """
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the nearest multiple of *alignment* (a power of 2)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to the nearest multiple of *alignment* (power of 2)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ints without floating point."""
+    if b <= 0:
+        raise ValueError("ceil_div divisor must be positive")
+    return -(-a // b)

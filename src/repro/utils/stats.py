@@ -1,0 +1,133 @@
+"""Lightweight statistics primitives used across the simulator.
+
+These are deliberately simple mutable accumulators: the simulator's inner
+loops bump them millions of times, so they avoid per-event allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "RunningMean", "Histogram"]
+
+
+@dataclass
+class Counter:
+    """A named monotonically non-decreasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, by: int = 1) -> None:
+        """Increase the counter by *by* (non-negative)."""
+        if by < 0:
+            raise ValueError("Counter can only increase")
+        self.value += by
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean / variance (Welford) without storing samples."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, x: float, weight: int = 1) -> None:
+        """Add *x* to the stream *weight* times (weight must be >= 1)."""
+        if weight < 1:
+            raise ValueError("weight must be a positive integer")
+        for _ in range(weight):
+            self.count += 1
+            delta = x - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (x - self._mean)
+
+    def add_bulk(self, x: float, weight: int) -> None:
+        """Weighted add in O(1); used when many identical samples arrive.
+
+        Equivalent to ``add(x, weight)`` but without the per-sample loop;
+        exact for the mean, and uses the standard parallel-variance merge
+        for the second moment.
+        """
+        if weight < 1:
+            raise ValueError("weight must be a positive integer")
+        n_a, n_b = self.count, weight
+        delta = x - self._mean
+        total = n_a + n_b
+        self._mean += delta * n_b / total
+        # Block of identical values has zero internal variance.
+        self._m2 += delta * delta * n_a * n_b / total
+        self.count = total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+@dataclass
+class Histogram:
+    """Integer-valued histogram with a dict backing store.
+
+    Suited to small-domain quantities such as ready-queue lengths or
+    per-line compressible-word counts.
+    """
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Add *weight* occurrences of *value*."""
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        if weight:
+            self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / total
+
+    def percentile(self, p: float) -> int:
+        """Smallest value v such that at least p% of mass is <= v."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        total = self.total
+        if not total:
+            raise ValueError("percentile of an empty histogram")
+        threshold = total * p / 100.0
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= threshold:
+                return value
+        return max(self.counts)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold the mass of *other* into this histogram."""
+        for value, count in other.counts.items():
+            self.add(value, count)

@@ -1,0 +1,91 @@
+"""ASCII rendering of result tables and bar charts.
+
+The paper's evaluation is presented as bar charts (Figures 3, 10-15). We
+regenerate each as (a) a machine-readable table of the series and (b) a
+quick horizontal ASCII bar chart so the *shape* of each figure is visible
+directly in a terminal without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render rows as a boxed, column-aligned ASCII table."""
+    str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    data: Mapping[str, float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+    baseline: float | None = None,
+) -> str:
+    """Render a mapping ``label -> value`` as a horizontal ASCII bar chart.
+
+    If *baseline* is given, a ``|`` marker is drawn at that value (used to
+    show the BC = 100 % reference line of the normalized figures).
+    """
+    if width < 10:
+        raise ValueError("chart width must be at least 10 columns")
+    if not data:
+        return (title or "") + "\n(empty)"
+    label_w = max(len(k) for k in data)
+    max_value = max(max(data.values()), baseline or 0.0, 1e-12)
+    scale = width / max_value
+    out: list[str] = []
+    if title:
+        out.append(title)
+    marker_col = (
+        min(width - 1, round(baseline * scale)) if baseline is not None else None
+    )
+    for label, value in data.items():
+        n = max(0, round(value * scale))
+        bar = list("#" * n + " " * (width - n))
+        if marker_col is not None and 0 <= marker_col < len(bar):
+            if bar[marker_col] == " ":
+                bar[marker_col] = "|"
+        out.append(f"{label.ljust(label_w)}  {''.join(bar)} {value:.3f}{unit}")
+    return "\n".join(out)

@@ -1,0 +1,27 @@
+"""Trace-generating workloads.
+
+Fourteen synthetic benchmarks modeled on the paper's evaluation set
+(Olden, SPECint95, SPECint2000). Each workload *runs its kernel for real*
+— allocating structures through a simulated heap allocator and reading/
+writing a simulated memory image — while emitting the dynamic instruction
+trace, so addresses, data values, dependence chains and branch behaviour
+all arise mechanistically rather than from a synthetic distribution.
+"""
+
+from repro.workloads.base import Program, ProgramBuilder, Workload
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    generate,
+    get_workload,
+)
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "Workload",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "generate",
+]

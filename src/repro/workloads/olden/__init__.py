@@ -1,0 +1,29 @@
+"""Olden-suite workload models: pointer-intensive dynamic data structures.
+
+The Olden benchmarks (Carlisle, Princeton 1996) build and traverse linked
+structures — trees, lists, graphs — which is exactly the behaviour the
+paper's compression scheme exploits: heap pointers allocated near each
+other share address prefixes, and bookkeeping fields hold small values.
+"""
+
+from repro.workloads.olden import (  # noqa: F401  (re-export modules)
+    bisort,
+    em3d,
+    health,
+    mst,
+    perimeter,
+    power,
+    treeadd,
+    tsp,
+)
+
+__all__ = [
+    "bisort",
+    "em3d",
+    "health",
+    "mst",
+    "perimeter",
+    "power",
+    "treeadd",
+    "tsp",
+]

@@ -1,0 +1,124 @@
+"""olden.bisort — bitonic sort over a binary tree of integers.
+
+The original builds a random binary tree and sorts it with the recursive
+``Bimerge``/``Bisort`` procedure, swapping *values* between nodes while
+the pointer structure stays fixed. Behaviour captured: a value-heavy
+recursive walk with compare-and-swap branches whose outcomes depend on
+random data (hard for bimod), over heap-local node pointers.
+
+Node: ``{value, left, right, pad}``. Values are drawn from the full
+31-bit range like the original's ``random()``, so most are incompressible
+— bisort sits at the low end of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_SIZE"]
+
+DEFAULT_SIZE = 1024  #: nodes (a power of two, as the algorithm requires)
+
+_VAL = 0
+_LEFT = 4
+_RIGHT = 8
+_NODE_BYTES = 16
+
+_FORWARD, _BACKWARD = 0, 1
+
+
+class _Node:
+    __slots__ = ("addr", "left", "right")
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+def _build_tree(pb: ProgramBuilder, size: int, reg: str) -> _Node:
+    """Allocate a complete tree of *size* nodes with random values."""
+    addr = pb.malloc(_NODE_BYTES)
+    node = _Node(addr)
+    pb.store(addr + _VAL, int(pb.rng.integers(0, 1 << 31)), base=reg,
+             label="bs.init.val")
+    rest = size - 1
+    if rest >= 2:
+        pb.branch("bs.build.leaf", taken=False)
+        pb.call_overhead("bs.build", 1)
+        node.left = _build_tree(pb, rest // 2, reg)
+        node.right = _build_tree(pb, rest - rest // 2, reg)
+        pb.store(addr + _LEFT, node.left.addr, base=reg, label="bs.init.l")
+        pb.store(addr + _RIGHT, node.right.addr, base=reg, label="bs.init.r")
+    else:
+        pb.branch("bs.build.leaf", taken=True)
+        pb.store(addr + _LEFT, 0, base=reg, label="bs.init.l")
+        pb.store(addr + _RIGHT, 0, base=reg, label="bs.init.r")
+    return node
+
+
+def _swap_if(pb: ProgramBuilder, a: _Node, b: _Node, direction: int, d: int) -> None:
+    """Load both values, compare, conditionally swap (the SwapVal core)."""
+    va = pb.load(a.addr + _VAL, f"va{d}", base=f"pa{d}", label="bs.swap.lda")
+    vb = pb.load(b.addr + _VAL, f"vb{d}", base=f"pb{d}", label="bs.swap.ldb")
+    out_of_order = (va > vb) if direction == _FORWARD else (va < vb)
+    if pb.if_("bs.swap.cmp", out_of_order, srcs=(f"va{d}", f"vb{d}")):
+        pb.store(a.addr + _VAL, vb, base=f"pa{d}", src=f"vb{d}", label="bs.swap.sta")
+        pb.store(b.addr + _VAL, va, base=f"pb{d}", src=f"va{d}", label="bs.swap.stb")
+
+
+def _bimerge(pb: ProgramBuilder, root: _Node, direction: int, d: int) -> None:
+    """Recursive bitonic merge on the tree rooted at *root*."""
+    if root.left is None:
+        pb.branch("bs.merge.leaf", taken=True)
+        return
+    pb.branch("bs.merge.leaf", taken=False)
+    pb.load(root.addr + _LEFT, f"pa{d}", base=f"pa{d - 1}" if d else "rootp",
+            label="bs.merge.ldl")
+    pb.load(root.addr + _RIGHT, f"pb{d}", base=f"pa{d - 1}" if d else "rootp",
+            label="bs.merge.ldr")
+    # Pair up mirror nodes of the two subtrees (simplified mirror walk:
+    # the original's pointer-pair recursion touches the same node set).
+    stack = [(root.left, root.right)]
+    while stack:
+        na, nb = stack.pop()
+        pb.branch("bs.merge.pair", taken=bool(stack) or na.left is not None,
+                  srcs=(f"pa{d}",))
+        _swap_if(pb, na, nb, direction, d)
+        if na.left is not None and nb.left is not None:
+            stack.append((na.left, nb.left))
+            if na.right is not None and nb.right is not None:
+                stack.append((na.right, nb.right))
+    pb.call_overhead("bs.merge", 1)
+    _bimerge(pb, root.left, direction, d + 1)
+    _bimerge(pb, root.right, direction, d + 1)
+
+
+def _bisort(pb: ProgramBuilder, root: _Node, direction: int, d: int) -> None:
+    if root.left is None:
+        pb.branch("bs.sort.leaf", taken=True)
+        return
+    pb.branch("bs.sort.leaf", taken=False)
+    pb.call_overhead("bs.sort", 1)
+    _bisort(pb, root.left, _FORWARD, d + 1)
+    _bisort(pb, root.right, _BACKWARD, d + 1)
+    _bimerge(pb, root, direction, d)
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the bisort program; *scale* adjusts node count."""
+    size = scaled(DEFAULT_SIZE, scale, minimum=8)
+
+    pb = ProgramBuilder("olden.bisort", seed)
+    pb.op("root", (), label="bs.entry")
+    root = _build_tree(pb, size, "root")
+    pb.op("rootp", (), label="bs.rootp")
+    pb.op("pa0", (), label="bs.pa0")
+    _bisort(pb, root, _FORWARD, 0)
+    out = pb.static_array(1)
+    final = pb.load(root.addr + _VAL, "final", base="rootp", label="bs.final")
+    pb.store(out, final, src="final", label="bs.result")
+    return pb.build(
+        description="bitonic sort on a tree: random-value compare/swap",
+        params={"size": size},
+    )

@@ -1,0 +1,104 @@
+"""olden.em3d — electromagnetic wave propagation on a bipartite graph.
+
+The original alternates updates between E-field and H-field node sets:
+each node's value becomes a weighted difference of its neighbours'
+values. Node values and weights are floating-point — bit patterns that do
+**not** compress — while the neighbour structure is all heap pointers,
+which do. em3d is therefore the suite's mixed-compressibility member.
+
+Node layout: ``{value, degree, from_ptrs[deg], coeff[deg]}`` — value and
+two inline arrays (the original uses separately allocated arrays; inline
+keeps the same pointer-load pattern with one fewer indirection, noted in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_NODES", "DEFAULT_DEGREE", "DEFAULT_ITERS"]
+
+DEFAULT_NODES = 1000  #: nodes per side (E and H)
+DEFAULT_DEGREE = 3
+DEFAULT_ITERS = 4
+
+_N_VALUE = 0
+_N_DEGREE = 4
+_N_ARRAYS = 8  # from-pointers then coefficients
+
+
+def _float_bits(x: float) -> int:
+    """IEEE-754 single-precision bit pattern (what memory really holds)."""
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the em3d program; *scale* adjusts node count."""
+    n = scaled(DEFAULT_NODES, scale, minimum=8)
+    degree = DEFAULT_DEGREE
+    iters = DEFAULT_ITERS
+
+    pb = ProgramBuilder("olden.em3d", seed)
+    pb.op("g", (), label="em.entry")
+
+    node_bytes = _N_ARRAYS + 8 * degree
+
+    def make_side(side: str) -> list[int]:
+        addrs = []
+        for _ in pb.for_range(f"em.mk{side}", n, cond_srcs=("g",)):
+            a = pb.malloc(node_bytes)
+            addrs.append(a)
+            pb.store(a + _N_VALUE, _float_bits(float(pb.rng.normal())), base="g",
+                     label=f"em.init.{side}v")
+            pb.store(a + _N_DEGREE, degree, base="g", label=f"em.init.{side}d")
+        return addrs
+
+    e_nodes = make_side("e")
+    h_nodes = make_side("h")
+
+    # Wire each node to `degree` random nodes of the other side.
+    neighbors: dict[int, list[int]] = {}
+    for side, mine, other in (("e", e_nodes, h_nodes), ("h", h_nodes, e_nodes)):
+        for i in pb.for_range(f"em.wire{side}", n, cond_srcs=("g",)):
+            a = mine[i]
+            nbrs = [other[int(pb.rng.integers(0, n))] for _ in range(degree)]
+            neighbors[a] = nbrs
+            for k, nb in enumerate(nbrs):
+                pb.store(a + _N_ARRAYS + 4 * k, nb, base="g", label="em.wire.ptr")
+                coeff = _float_bits(float(pb.rng.uniform(0.1, 0.9)))
+                pb.store(a + _N_ARRAYS + 4 * degree + 4 * k, coeff, base="g",
+                         label="em.wire.coef")
+
+    # ---- compute phase: alternating relaxation sweeps ------------------------
+    for it in pb.for_range("em.iters", iters, cond_srcs=("g",)):
+        for side, nodes in (("e", e_nodes), ("h", h_nodes)):
+            for a in nodes:
+                pb.branch(f"em.sweep.{side}", taken=True, srcs=("np",))
+                pb.op("np", (), label=f"em.sweep.{side}.ptr")
+                acc_bits = pb.load(a + _N_VALUE, "acc", base="np", label="em.calc.ldv")
+                acc = struct.unpack("<f", struct.pack("<I", acc_bits))[0]
+                for k, nb in enumerate(neighbors[a]):
+                    nbp = pb.load(a + _N_ARRAYS + 4 * k, "nbp", base="np",
+                                  label="em.calc.ldp")
+                    nv_bits = pb.load(nb + _N_VALUE, "nv", base="nbp",
+                                      label="em.calc.ldnv")
+                    c_bits = pb.load(a + _N_ARRAYS + 4 * degree + 4 * k, "c",
+                                     base="np", label="em.calc.ldc")
+                    nv = struct.unpack("<f", struct.pack("<I", nv_bits))[0]
+                    c = struct.unpack("<f", struct.pack("<I", c_bits))[0]
+                    pb.op("prod", ("nv", "c"), kind=OpClass.FMULT, label="em.calc.mul")
+                    pb.op("acc", ("acc", "prod"), kind=OpClass.FALU, label="em.calc.sub")
+                    acc -= c * nv
+                pb.store(a + _N_VALUE, _float_bits(acc), base="np", src="acc",
+                         label="em.calc.stv")
+            pb.branch(f"em.sweep.{side}", taken=False, srcs=("np",))
+
+    out = pb.static_array(1)
+    pb.store(out, _float_bits(0.0), src="acc", label="em.result")
+    return pb.build(
+        description="bipartite E/H relaxation: FP values (incompressible) + heap pointers",
+        params={"nodes": n, "degree": degree, "iters": iters},
+    )

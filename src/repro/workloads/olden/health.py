@@ -1,0 +1,139 @@
+"""olden.health — hierarchical health-care simulation.
+
+The original models a 4-ary tree of villages, each with linked lists of
+patients; every timestep patients arrive (malloc), are assessed, possibly
+transferred toward the root hospital, and eventually cured (free). It is
+the allocation-churn benchmark of the suite: the free-list heap fragments
+over time, which *degrades* pointer-prefix compressibility — a behaviour
+the paper's per-benchmark variation reflects, so we keep it.
+
+Structures:
+
+* village: ``{id, hosp_free, child[4], waiting_head}``  (7 words)
+* patient: ``{id, time, hosp_visits, next}``            (4 words)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_LEVELS", "DEFAULT_STEPS"]
+
+DEFAULT_LEVELS = 4  #: village tree levels (4-ary): 85 villages
+DEFAULT_STEPS = 20  #: simulated timesteps
+_CURE_TIME = 10  #: treatments before a patient is cured (sets list length)
+
+_V_ID = 0
+_V_FREE = 4
+_V_CHILD = 8  # 4 children at 8..20
+_V_WAIT = 24
+_V_BYTES = 28
+
+_P_ID = 0
+_P_TIME = 4
+_P_VISITS = 8
+_P_DATA = 12  #: personal record handle — a large, incompressible value
+_P_NEXT = 16
+_P_BYTES = 20
+
+
+def _build_villages(pb: ProgramBuilder, level: int, vid: int, reg: str) -> int:
+    addr = pb.malloc(_V_BYTES)
+    pb.store(addr + _V_ID, vid & 0x3FFF, base=reg, label="hl.init.id")
+    pb.store(addr + _V_FREE, 3, base=reg, label="hl.init.free")
+    pb.store(addr + _V_WAIT, 0, base=reg, label="hl.init.wait")
+    for k in range(4):
+        if level > 1:
+            pb.call_overhead("hl.build", 1)
+            child = _build_villages(pb, level - 1, vid * 4 + k + 1, reg)
+        else:
+            child = 0
+        pb.store(addr + _V_CHILD + 4 * k, child, base=reg, label="hl.init.child")
+        pb.branch("hl.build.more", taken=level > 1)
+    return addr
+
+
+class _Sim:
+    """Generation-time mirror of the village tree (to drive the kernel)."""
+
+    def __init__(self) -> None:
+        self.villages: list[int] = []  # addresses, preorder
+        self.waiting: dict[int, list[int]] = {}  # village addr -> patient addrs
+
+
+def _collect(pb: ProgramBuilder, sim: _Sim, addr: int, reg: str) -> None:
+    sim.villages.append(addr)
+    sim.waiting[addr] = []
+    for k in range(4):
+        child = pb.image.read_word(addr + _V_CHILD + 4 * k)
+        if child:
+            _collect(pb, sim, child, reg)
+
+
+def _step(pb: ProgramBuilder, sim: _Sim, step: int, next_pid: int) -> int:
+    for v_addr in sim.villages:
+        pb.op("vptr", (), label="hl.step.vptr")
+        # Arrivals: a new patient joins this village's waiting list.
+        arrive = (step + v_addr // _V_BYTES) % 4 != 0  # busy clinics: arrivals most steps
+        if pb.if_("hl.step.arrive", arrive, srcs=("vptr",)):
+            p = pb.malloc(_P_BYTES)
+            pb.store(p + _P_ID, next_pid & 0x3FFF, base="vptr", label="hl.new.id")
+            pb.store(p + _P_TIME, 0, base="vptr", label="hl.new.time")
+            pb.store(p + _P_VISITS, 0, base="vptr", label="hl.new.visits")
+            pb.store(p + _P_DATA, pb.rand_large(), base="vptr", label="hl.new.data")
+            next_pid += 1
+            head = pb.load(v_addr + _V_WAIT, "head", base="vptr", label="hl.new.ldh")
+            pb.store(p + _P_NEXT, head, base="vptr", src="head", label="hl.new.link")
+            pb.store(v_addr + _V_WAIT, p, base="vptr", label="hl.new.sth")
+            sim.waiting[v_addr].insert(0, p)
+
+        # Treat: walk the waiting list, bump times, cure the done ones.
+        plist = sim.waiting[v_addr]
+        cur = pb.load(v_addr + _V_WAIT, "p", base="vptr", label="hl.walk.ldh")
+        survivors: list[int] = []
+        idx = 0
+        while pb.while_cond("hl.walk.loop", cur != 0, srcs=("p",)):
+            t = pb.load(cur + _P_TIME, "t", base="p", label="hl.walk.ldt")
+            pb.op("t", ("t",), label="hl.walk.inct")
+            pb.store(cur + _P_TIME, t + 1, base="p", src="t", label="hl.walk.stt")
+            pb.load(cur + _P_DATA, "pd", base="p", label="hl.walk.lddata")
+            nxt = pb.load(cur + _P_NEXT, "pn", base="p", label="hl.walk.ldn")
+            cured = t + 1 >= _CURE_TIME
+            if pb.if_("hl.walk.cured", cured, srcs=("t",)):
+                pb.free(cur)
+            else:
+                survivors.append(cur)
+            cur = nxt
+            pb.op("p", ("pn",), label="hl.walk.adv")
+            idx += 1
+
+        # Relink the survivor list (the original unlinks in place).
+        prev_field = v_addr + _V_WAIT
+        pb.store(prev_field, survivors[0] if survivors else 0, base="vptr", label="hl.relink.h")
+        for i, p in enumerate(survivors):
+            nxt = survivors[i + 1] if i + 1 < len(survivors) else 0
+            pb.store(p + _P_NEXT, nxt, base="vptr", label="hl.relink.n")
+        sim.waiting[v_addr] = survivors
+    return next_pid
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the health program; *scale* adjusts timestep count."""
+    levels = DEFAULT_LEVELS
+    steps = scaled(DEFAULT_STEPS, scale)
+
+    pb = ProgramBuilder("olden.health", seed, allocator="freelist")
+    pb.op("root", (), label="hl.entry")
+    root = _build_villages(pb, levels, 0, "root")
+    sim = _Sim()
+    _collect(pb, sim, root, "root")
+
+    next_pid = 1
+    for step in pb.for_range("hl.main", steps, cond_srcs=("vptr",)):
+        next_pid = _step(pb, sim, step, next_pid)
+    out = pb.static_array(1)
+    pb.store(out, next_pid, src="t", label="hl.result")
+    return pb.build(
+        description="village/patient simulation with malloc/free churn",
+        params={"levels": levels, "steps": steps, "patients": next_pid - 1},
+    )

@@ -1,0 +1,126 @@
+"""olden.mst — minimum spanning tree over a sparse graph.
+
+The original builds a graph whose per-vertex adjacency is kept in small
+hash tables and runs Prim's algorithm with a linked vertex list, scanning
+the not-yet-included vertices each round. We keep that structure:
+
+* vertex: ``{mindist, next, hash_head}``  (3 words + pad)
+* edge (hash entry): ``{neighbor_ptr, weight, next}``
+
+Every Prim round walks the remaining-vertex linked list (pointer chase,
+compressible pointers + small distances), then walks the chosen vertex's
+adjacency list updating neighbour distances.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_VERTICES", "DEFAULT_DEGREE"]
+
+DEFAULT_VERTICES = 160
+DEFAULT_DEGREE = 4
+
+_V_DIST = 0
+_V_NEXT = 4
+_V_HASH = 8
+_V_KEY = 12  #: vertex hash key — a large, incompressible value
+_V_BYTES = 16
+
+_E_NBR = 0
+_E_W = 4
+_E_NEXT = 8
+_E_BYTES = 12
+
+_INF = 0x3F00  # "infinity" distance (still a small value, as in the original)
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the mst program; *scale* adjusts vertex count."""
+    n = scaled(DEFAULT_VERTICES, scale, minimum=8)
+    degree = DEFAULT_DEGREE
+
+    pb = ProgramBuilder("olden.mst", seed)
+    pb.op("g", (), label="mst.entry")
+
+    # ---- build vertices as a linked list -----------------------------------
+    v_addr: list[int] = []
+    for i in pb.for_range("mst.mkverts", n, cond_srcs=("g",)):
+        a = pb.malloc(_V_BYTES)
+        v_addr.append(a)
+        pb.store(a + _V_DIST, _INF, base="g", label="mst.init.dist")
+        pb.store(a + _V_HASH, 0, base="g", label="mst.init.hash")
+        pb.store(a + _V_NEXT, 0, base="g", label="mst.init.next")
+        pb.store(a + _V_KEY, pb.rand_large(), base="g", label="mst.init.key")
+    for i in pb.for_range("mst.linkverts", n - 1, cond_srcs=("g",)):
+        pb.store(v_addr[i] + _V_NEXT, v_addr[i + 1], base="g", label="mst.link.next")
+
+    # ---- add edges (random sparse graph, symmetric) --------------------------
+    adjacency: dict[int, list[tuple[int, int]]] = {a: [] for a in v_addr}
+    for i in pb.for_range("mst.mkedges", n, cond_srcs=("g",)):
+        for _ in range(degree):
+            j = int(pb.rng.integers(0, n))
+            if j == i:
+                continue
+            w = pb.rand_small(1, 1000)
+            for a, b in ((v_addr[i], v_addr[j]), (v_addr[j], v_addr[i])):
+                e = pb.malloc(_E_BYTES)
+                head = pb.load(a + _V_HASH, "eh", base="g", label="mst.edge.ldh")
+                pb.store(e + _E_NBR, b, base="g", label="mst.edge.nbr")
+                pb.store(e + _E_W, w, base="g", label="mst.edge.w")
+                pb.store(e + _E_NEXT, head, base="g", src="eh", label="mst.edge.nx")
+                pb.store(a + _V_HASH, e, base="g", label="mst.edge.sth")
+                adjacency[a].append((b, w))
+            pb.branch("mst.edge.more", taken=True)
+        pb.branch("mst.edge.done", taken=False)
+
+    # ---- Prim's algorithm -----------------------------------------------------
+    in_tree = {v_addr[0]}
+    dist = {a: _INF for a in v_addr}
+    pb.store(v_addr[0] + _V_DIST, 0, base="g", label="mst.prim.seed")
+    dist[v_addr[0]] = 0
+    current = v_addr[0]
+    total_weight = 0
+
+    for _round in pb.for_range("mst.prim", n - 1, cond_srcs=("g",)):
+        # Relax edges of the vertex just added.
+        e = pb.load(current + _V_HASH, "e", base="cur", label="mst.relax.ldh")
+        for nbr, w in adjacency[current]:
+            pb.branch("mst.relax.loop", taken=True, srcs=("e",))
+            nb = pb.load(e + _E_NBR, "nb", base="e", label="mst.relax.ldnbr")
+            ww = pb.load(e + _E_W, "w", base="e", label="mst.relax.ldw")
+            e = pb.load(e + _E_NEXT, "e", base="e", label="mst.relax.ldnx")
+            d = pb.load(nbr + _V_DIST, "d", base="nb", label="mst.relax.ldd")
+            if pb.if_("mst.relax.better", ww < d and nbr not in in_tree, srcs=("w", "d")):
+                pb.store(nbr + _V_DIST, ww, base="nb", src="w", label="mst.relax.std")
+                dist[nbr] = ww
+        pb.branch("mst.relax.loop", taken=False, srcs=("e",))
+
+        # Scan the remaining vertices for the minimum distance (list walk).
+        best, best_d = None, _INF + 1
+        p = pb.load(v_addr[0] + _V_NEXT, "p", base="g", label="mst.scan.ldh")
+        for a in v_addr:
+            if a in in_tree:
+                continue
+            pb.branch("mst.scan.loop", taken=True, srcs=("p",))
+            d = pb.load(a + _V_DIST, "d", base="p", label="mst.scan.ldd")
+            pb.load(a + _V_KEY, "k", base="p", label="mst.scan.ldk")
+            pb.load(a + _V_NEXT, "p", base="p", label="mst.scan.ldnx")
+            if pb.if_("mst.scan.min", d < best_d, srcs=("d", "best")):
+                pb.op("best", ("d",), label="mst.scan.take")
+                best, best_d = a, d
+        pb.branch("mst.scan.loop", taken=False, srcs=("p",))
+        if best is None:
+            break
+        in_tree.add(best)
+        total_weight += best_d
+        pb.op("total", ("total", "best"), label="mst.prim.acc")
+        current = best
+        pb.op("cur", ("best",), label="mst.prim.cur")
+
+    out = pb.static_array(1)
+    pb.store(out, total_weight, src="total", label="mst.result")
+    return pb.build(
+        description="Prim's MST with linked vertex/edge lists",
+        params={"vertices": n, "degree": degree, "weight": total_weight},
+    )

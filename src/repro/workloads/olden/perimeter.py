@@ -1,0 +1,127 @@
+"""olden.perimeter — perimeter of a region in a quadtree-coded image.
+
+The original builds a quadtree over a binary image of a disk and computes
+the region's perimeter by walking leaves and probing same-size neighbours.
+Nodes are ``{color, level, child[4]}``; internal nodes are gray, leaves
+black or white.
+
+Behaviour captured: deep 4-way pointer fan-out (allocation in preorder →
+prefix-local child pointers), a small enum ``color`` field tested by a
+data-dependent branch at every node, and a leaf-heavy recursive walk.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_DEPTH"]
+
+DEFAULT_DEPTH = 7  #: quadtree levels; 4**7 = 16384 max leaves
+
+_WHITE, _BLACK, _GRAY = 0, 1, 2
+_COLOR = 0
+_LEVEL = 4
+_CHILD = 8  # four child pointers at 8, 12, 16, 20
+_NODE_BYTES = 24
+
+
+def _inside_disk(x: float, y: float) -> bool:
+    return (x - 0.5) ** 2 + (y - 0.5) ** 2 <= 0.25
+
+
+def _region_tag(x0: float, y0: float) -> int:
+    """A packed fixed-point region descriptor sharing the level word's
+    high bits — large values modeling the original's spatial metadata."""
+    return ((int(x0 * 4096) & 0x7FF) << 20) | ((int(y0 * 4096) & 0x7FF) << 9)
+
+
+def _region_color(x0: float, y0: float, size: float) -> int:
+    """Color of a square region of the image: uniform or mixed (gray)."""
+    corners = [
+        _inside_disk(x0, y0),
+        _inside_disk(x0 + size, y0),
+        _inside_disk(x0, y0 + size),
+        _inside_disk(x0 + size, y0 + size),
+        _inside_disk(x0 + size / 2, y0 + size / 2),
+    ]
+    if all(corners):
+        return _BLACK
+    if not any(corners):
+        return _WHITE
+    return _GRAY
+
+
+def _build_quadtree(
+    pb: ProgramBuilder,
+    x0: float,
+    y0: float,
+    size: float,
+    level: int,
+    parent_reg: str,
+) -> int:
+    addr = pb.malloc(_NODE_BYTES)
+    color = _region_color(x0, y0, size)
+    if level == 0 and color == _GRAY:
+        # Bottom out: majority color at the finest resolution.
+        color = _BLACK if _inside_disk(x0 + size / 2, y0 + size / 2) else _WHITE
+    pb.store(addr + _LEVEL, level | _region_tag(x0, y0), base=parent_reg,
+             label="pm.init.level")
+    if color == _GRAY:
+        pb.store(addr + _COLOR, _GRAY, base=parent_reg, label="pm.init.color")
+        pb.branch("pm.build.split", taken=True)
+        half = size / 2
+        quads = ((x0, y0), (x0 + half, y0), (x0, y0 + half), (x0 + half, y0 + half))
+        for k, (qx, qy) in enumerate(quads):
+            pb.call_overhead("pm.build", 1)
+            child = _build_quadtree(pb, qx, qy, half, level - 1, parent_reg)
+            pb.store(addr + _CHILD + 4 * k, child, base=parent_reg, label="pm.init.child")
+    else:
+        pb.store(addr + _COLOR, color, base=parent_reg, label="pm.init.color")
+        pb.branch("pm.build.split", taken=False)
+        for k in range(4):
+            pb.store(addr + _CHILD + 4 * k, 0, base=parent_reg, label="pm.init.child0")
+    return addr
+
+
+def _perimeter(pb: ProgramBuilder, node: int, node_reg: str, size: int, d: int) -> int:
+    """Walk the tree; black leaves contribute 4*size (adjacency handled by
+    the original's neighbour probes; we model their cost with the level
+    loads and comparisons along the walk)."""
+    color = pb.load(node + _COLOR, f"c{d}", base=node_reg, label="pm.walk.ldc")
+    if pb.if_("pm.walk.gray", color == _GRAY, srcs=(f"c{d}",)):
+        total = 0
+        for k in range(4):
+            child = pb.load(
+                node + _CHILD + 4 * k, f"ch{d}", base=node_reg, label="pm.walk.ldch"
+            )
+            pb.call_overhead("pm.walk", 1)
+            total += _perimeter(pb, child, f"ch{d}", size // 2, d + 1)
+            pb.op("peri", ("peri",), label="pm.walk.acc")
+        return total
+    if pb.if_("pm.walk.black", color == _BLACK, srcs=(f"c{d}",)):
+        level = pb.load(node + _LEVEL, f"lv{d}", base=node_reg, label="pm.walk.ldlv")
+        pb.op("peri", ("peri", f"lv{d}"), label="pm.walk.addp")
+        return 4 * max(size, 1)
+    return 0
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the perimeter program; *scale* adjusts tree depth."""
+    depth = DEFAULT_DEPTH
+    target_leaves = scaled(4**DEFAULT_DEPTH, scale)
+    while 4**depth > target_leaves and depth > 2:
+        depth -= 1
+    while 4 ** (depth + 1) <= target_leaves:
+        depth += 1
+
+    pb = ProgramBuilder("olden.perimeter", seed)
+    pb.op("root", (), label="pm.entry")
+    root = _build_quadtree(pb, 0.0, 0.0, 1.0, depth, "root")
+    pb.op("rootp", (), label="pm.rootp")
+    peri = _perimeter(pb, root, "rootp", 1 << depth, 0)
+    out = pb.static_array(1)
+    pb.store(out, peri, src="peri", label="pm.result")
+    return pb.build(
+        description="quadtree perimeter (4-way pointer fan-out, enum branches)",
+        params={"depth": depth, "perimeter": peri},
+    )

@@ -1,0 +1,99 @@
+"""olden.power — power-system optimization over a fixed multiway tree.
+
+(Extra workload: part of the Olden suite but not among the fourteen bars
+of the paper's figures; registered under the "extra" group.)
+
+The original builds a root→feeders→lateral→branch→leaf tree of power
+customers and repeatedly propagates demand values up and prices down.
+Structure: heavy fan-out pointer tree built once (compressible links),
+per-node floating-point demand values (incompressible), and two full
+tree sweeps per iteration — an upward reduction and a downward update.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_FEEDERS", "DEFAULT_ITERS"]
+
+DEFAULT_FEEDERS = 6
+_LATERALS = 6
+_BRANCHES = 4
+_LEAVES = 3
+DEFAULT_ITERS = 4
+
+_N_DEMAND = 0
+_N_PRICE = 4
+_N_KIDS = 8
+_N_CHILD = 12  # up to 6 child pointers
+_NODE_BYTES = 40
+
+
+def _fbits(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def _build_node(pb: ProgramBuilder, children_per_level: list[int], reg: str) -> int:
+    addr = pb.malloc(_NODE_BYTES)
+    pb.store(addr + _N_DEMAND, _fbits(float(pb.rng.uniform(0.5, 2.0))), base=reg,
+             label="pw.init.demand")
+    pb.store(addr + _N_PRICE, _fbits(1.0), base=reg, label="pw.init.price")
+    n_kids = children_per_level[0] if children_per_level else 0
+    pb.store(addr + _N_KIDS, n_kids, base=reg, label="pw.init.kids")
+    for k in range(n_kids):
+        pb.call_overhead("pw.build", 1)
+        child = _build_node(pb, children_per_level[1:], reg)
+        pb.store(addr + _N_CHILD + 4 * k, child, base=reg, label="pw.init.child")
+        pb.branch("pw.build.more", taken=k < n_kids - 1)
+    return addr
+
+
+def _sweep_up(pb: ProgramBuilder, node: int, reg: str, d: int) -> float:
+    """Upward demand reduction (Compute_Tree)."""
+    kids = pb.load(node + _N_KIDS, f"k{d}", base=reg, label="pw.up.ldk")
+    demand_bits = pb.load(node + _N_DEMAND, f"dm{d}", base=reg, label="pw.up.ldd")
+    total = struct.unpack("<f", struct.pack("<I", demand_bits))[0]
+    for k in range(kids):
+        pb.branch("pw.up.more", taken=True, srcs=(f"k{d}",))
+        child = pb.load(node + _N_CHILD + 4 * k, f"c{d}", base=reg, label="pw.up.ldc")
+        total += _sweep_up(pb, child, f"c{d}", d + 1)
+        pb.op("acc", ("acc", f"dm{d}"), kind=OpClass.FALU, label="pw.up.add")
+    pb.branch("pw.up.more", taken=False, srcs=(f"k{d}",))
+    pb.store(node + _N_DEMAND, _fbits(total), base=reg, src="acc", label="pw.up.st")
+    return total
+
+
+def _sweep_down(pb: ProgramBuilder, node: int, reg: str, price: float, d: int) -> None:
+    """Downward price update (optimization step)."""
+    kids = pb.load(node + _N_KIDS, f"k{d}", base=reg, label="pw.dn.ldk")
+    pb.op("price", ("price",), kind=OpClass.FMULT, label="pw.dn.scale")
+    pb.store(node + _N_PRICE, _fbits(price), base=reg, src="price", label="pw.dn.st")
+    for k in range(kids):
+        pb.branch("pw.dn.more", taken=True, srcs=(f"k{d}",))
+        child = pb.load(node + _N_CHILD + 4 * k, f"c{d}", base=reg, label="pw.dn.ldc")
+        _sweep_down(pb, child, f"c{d}", price * 0.98, d + 1)
+    pb.branch("pw.dn.more", taken=False, srcs=(f"k{d}",))
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the power program; *scale* adjusts iteration count."""
+    feeders = DEFAULT_FEEDERS
+    iters = scaled(DEFAULT_ITERS, scale, minimum=1)
+
+    pb = ProgramBuilder("olden.power", seed)
+    pb.op("root", (), label="pw.entry")
+    root = _build_node(pb, [feeders, _LATERALS, _BRANCHES, _LEAVES], "root")
+
+    for _ in pb.for_range("pw.iters", iters, cond_srcs=("root",)):
+        _sweep_up(pb, root, "root", 0)
+        _sweep_down(pb, root, "root", 1.0, 0)
+
+    out = pb.static_array(1)
+    pb.store(out, 1, src="acc", label="pw.result")
+    return pb.build(
+        description="multiway power tree: up/down sweeps, FP payloads",
+        params={"feeders": feeders, "iters": iters},
+    )

@@ -1,0 +1,98 @@
+"""olden.treeadd — recursive sum over a binary tree.
+
+The original benchmark allocates a complete binary tree of nodes
+``{int val; tree_t *left; tree_t *right; int pad}`` and recursively adds
+the ``val`` fields. The kernel is a pure pointer chase: each recursion
+level loads two child pointers, so the loads serialize on the dependence
+chain and tree-node cache misses sit squarely on the critical path.
+
+Compressibility profile: child pointers are heap-local (bump allocation
+in preorder keeps subtrees within a 32 KB chunk), ``val`` is small —
+a strongly compressible workload, like the original.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_DEPTH"]
+
+DEFAULT_DEPTH = 13  #: 2**13 - 1 = 8191 nodes (128 KB of tree, 2x the L2)
+
+_VAL = 0
+_LEFT = 4
+_RIGHT = 8
+_PAD = 12
+_NODE_BYTES = 16
+
+
+def _build_tree(pb: ProgramBuilder, depth: int, parent_reg: str) -> int:
+    """Allocate and initialize a subtree; returns its root address.
+
+    Emits the stores of the original's ``TreeAlloc``: every field written
+    once, children linked after their recursive construction.
+    """
+    addr = pb.malloc(_NODE_BYTES)
+    pb.store(addr + _VAL, 1, base=parent_reg, label="ta.init.val")
+    # The pad word models the node's non-pointer payload; real programs
+    # carry some incompressible data even in pointer-dominated structures.
+    pb.store(addr + _PAD, pb.rand_large(), base=parent_reg, label="ta.init.pad")
+    if depth > 1:
+        pb.call_overhead("ta.alloc", 1)
+        left = _build_tree(pb, depth - 1, parent_reg)
+        right = _build_tree(pb, depth - 1, parent_reg)
+        pb.store(addr + _LEFT, left, base=parent_reg, label="ta.init.left")
+        pb.store(addr + _RIGHT, right, base=parent_reg, label="ta.init.right")
+        pb.branch("ta.alloc.leaf", taken=False)
+    else:
+        pb.store(addr + _LEFT, 0, base=parent_reg, label="ta.init.left")
+        pb.store(addr + _RIGHT, 0, base=parent_reg, label="ta.init.right")
+        pb.branch("ta.alloc.leaf", taken=True)
+    return addr
+
+
+def _tree_add(pb: ProgramBuilder, node: int, node_reg: str, depth: int) -> int:
+    """The recursive ``TreeAdd``: returns the subtree sum.
+
+    ``node_reg`` holds the node address; child-pointer loads are based on
+    it, and the recursive calls are based on the loaded child registers —
+    the load-to-load dependence chain of real pointer chasing.
+    """
+    left = pb.load(node + _LEFT, f"l{depth}", base=node_reg, label="ta.sum.ldl")
+    right = pb.load(node + _RIGHT, f"r{depth}", base=node_reg, label="ta.sum.ldr")
+    value = pb.load(node + _VAL, f"v{depth}", base=node_reg, label="ta.sum.ldv")
+    if pb.if_("ta.sum.isleaf", left == 0, srcs=(f"l{depth}",)):
+        return value
+    pb.call_overhead("ta.sum", 1)
+    total = value
+    total += _tree_add(pb, left, f"l{depth}", depth - 1)
+    pb.op("sum", ("sum", f"v{depth}"), label="ta.sum.accl")
+    total += _tree_add(pb, right, f"r{depth}", depth - 1)
+    pb.op("sum", ("sum", f"v{depth}"), label="ta.sum.accr")
+    return total
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the treeadd program.
+
+    *scale* adjusts the node count (depth grows with log2 of scale).
+    """
+    depth = DEFAULT_DEPTH
+    n_nodes = scaled((1 << depth) - 1, scale)
+    while (1 << depth) - 1 > n_nodes and depth > 2:
+        depth -= 1
+    while (1 << (depth + 1)) - 1 <= n_nodes:
+        depth += 1
+
+    pb = ProgramBuilder("olden.treeadd", seed)
+    pb.op("root", (), label="ta.entry")
+    root = _build_tree(pb, depth, "root")
+    pb.op("rootp", (), label="ta.rootp")
+    total = _tree_add(pb, root, "rootp", depth)
+    # The original prints the sum; model the use of the result.
+    out = pb.static_array(1)
+    pb.store(out, total, src="sum", label="ta.result")
+    return pb.build(
+        description="recursive sum over a binary tree (pointer chase)",
+        params={"depth": depth, "nodes": (1 << depth) - 1, "sum": total},
+    )

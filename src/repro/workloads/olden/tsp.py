@@ -1,0 +1,117 @@
+"""olden.tsp — closest-point heuristic tour over a doubly linked list.
+
+The original builds a tree of cities, computes subtours and merges them
+into a circular doubly linked tour with a closest-point heuristic. We
+model the dominant phase: cities with fixed-point coordinates are
+inserted one by one into a circular tour at the position minimizing the
+detour, which walks the tour (pointer chase) computing squared distances
+(integer multiplies) at each candidate.
+
+City: ``{x, y, next, prev}``. Coordinates are 16.16 fixed point —
+large bit patterns, mostly incompressible — while the tour links are
+heap pointers; like em3d, a mixed-compressibility workload.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_CITIES"]
+
+DEFAULT_CITIES = 128
+
+_X = 0
+_Y = 4
+_NEXT = 8
+_PREV = 12
+_CITY_BYTES = 64  # the original's city record: coords, tree links, padding
+
+
+def _fixed(x: float) -> int:
+    """16.16 fixed-point encoding (always a large bit pattern here)."""
+    return (int(x * 65536.0) + (1 << 20)) & 0xFFFF_FFFF
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the tsp program; *scale* adjusts city count."""
+    n = scaled(DEFAULT_CITIES, scale, minimum=4)
+
+    pb = ProgramBuilder("olden.tsp", seed)
+    pb.op("g", (), label="tsp.entry")
+
+    coords: dict[int, tuple[float, float]] = {}
+    cities: list[int] = []
+    for _ in pb.for_range("tsp.mkcities", n, cond_srcs=("g",)):
+        a = pb.malloc(_CITY_BYTES)
+        x, y = float(pb.rng.uniform(0, 16)), float(pb.rng.uniform(0, 16))
+        coords[a] = (x, y)
+        cities.append(a)
+        pb.store(a + _X, _fixed(x), base="g", label="tsp.init.x")
+        pb.store(a + _Y, _fixed(y), base="g", label="tsp.init.y")
+        pb.store(a + _NEXT, 0, base="g", label="tsp.init.n")
+        pb.store(a + _PREV, 0, base="g", label="tsp.init.p")
+
+    # Seed tour: first city linked to itself.
+    tour: list[int] = [cities[0]]
+    pb.store(cities[0] + _NEXT, cities[0], base="g", label="tsp.seed.n")
+    pb.store(cities[0] + _PREV, cities[0], base="g", label="tsp.seed.p")
+
+    def dist2(a: int, b: int) -> float:
+        (ax, ay), (bx, by) = coords[a], coords[b]
+        return (ax - bx) ** 2 + (ay - by) ** 2
+
+    for ci in range(1, n):
+        c = cities[ci]
+        cx = pb.load(c + _X, "cx", base="g", label="tsp.ins.ldcx")
+        cy = pb.load(c + _Y, "cy", base="g", label="tsp.ins.ldcy")
+        # Walk the current tour, finding the cheapest insertion edge.
+        best_idx, best_cost = 0, float("inf")
+        pb.op("p", (), label="tsp.walk.start")
+        for k, t in enumerate(tour):
+            nxt = tour[(k + 1) % len(tour)]
+            pb.branch("tsp.walk.loop", taken=True, srcs=("p",))
+            tx = pb.load(t + _X, "tx", base="p", label="tsp.walk.ldx")
+            ty = pb.load(t + _Y, "ty", base="p", label="tsp.walk.ldy")
+            pb.load(t + _NEXT, "p", base="p", label="tsp.walk.ldn")
+            # detour cost = d(t,c) + d(c,next) - d(t,next), via int multiplies
+            pb.op("dx", ("tx", "cx"), label="tsp.walk.dx")
+            pb.op("dy", ("ty", "cy"), label="tsp.walk.dy")
+            pb.op("dx2", ("dx", "dx"), kind=OpClass.IMULT, label="tsp.walk.mx")
+            pb.op("dy2", ("dy", "dy"), kind=OpClass.IMULT, label="tsp.walk.my")
+            pb.op("d2", ("dx2", "dy2"), label="tsp.walk.add")
+            cost = dist2(t, c) + dist2(c, nxt) - dist2(t, nxt)
+            if pb.if_("tsp.walk.min", cost < best_cost, srcs=("d2", "best")):
+                pb.op("best", ("d2",), label="tsp.walk.take")
+                best_idx, best_cost = k, cost
+        pb.branch("tsp.walk.loop", taken=False, srcs=("p",))
+
+        # Splice c after tour[best_idx].
+        t = tour[best_idx]
+        nxt = tour[(best_idx + 1) % len(tour)]
+        pb.load(t + _NEXT, "tn", base="p", label="tsp.splice.ldn")
+        pb.store(c + _NEXT, nxt, base="g", src="tn", label="tsp.splice.cn")
+        pb.store(c + _PREV, t, base="g", label="tsp.splice.cp")
+        pb.store(t + _NEXT, c, base="p", label="tsp.splice.tn")
+        pb.store(nxt + _PREV, c, base="p", label="tsp.splice.np")
+        tour.insert(best_idx + 1, c)
+
+    # Final tour-length pass (pointer chase around the ring).
+    total = 0.0
+    pb.op("p", (), label="tsp.len.start")
+    for k, t in enumerate(tour):
+        nxt = tour[(k + 1) % len(tour)]
+        pb.branch("tsp.len.loop", taken=k < len(tour) - 1, srcs=("p",))
+        pb.load(t + _X, "tx", base="p", label="tsp.len.ldx")
+        pb.load(t + _Y, "ty", base="p", label="tsp.len.ldy")
+        pb.load(t + _NEXT, "p", base="p", label="tsp.len.ldn")
+        pb.op("dx2", ("tx", "tx"), kind=OpClass.IMULT, label="tsp.len.mx")
+        pb.op("len", ("len", "dx2"), label="tsp.len.acc")
+        total += dist2(t, nxt) ** 0.5
+
+    out = pb.static_array(1)
+    pb.store(out, _fixed(min(total, 30000.0)), src="len", label="tsp.result")
+    return pb.build(
+        description="closest-point tour insertion over a circular linked list",
+        params={"cities": n, "tour_length": round(total, 3)},
+    )

@@ -1,0 +1,102 @@
+"""The fourteen named workloads of the evaluation.
+
+The paper evaluates "a spectrum of programs from Olden, SPEC2000, and
+SPEC95" (fourteen bars per figure). We register one synthetic counterpart
+per program family we could identify from the figures and text
+(olden.health, spec95.130.li and spec2000.300.twolf are named explicitly;
+the rest follow each suite's canonical members).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Program, Workload
+from repro.workloads.olden import (
+    bisort,
+    em3d,
+    health,
+    mst,
+    perimeter,
+    power,
+    treeadd,
+    tsp,
+)
+from repro.workloads.spec import (
+    compress95,
+    go95,
+    gzip00,
+    ijpeg95,
+    li95,
+    mcf00,
+    parser00,
+    twolf00,
+    vortex95,
+    vpr00,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "EXTRA_WORKLOADS",
+    "ALL_WORKLOADS",
+    "get_workload",
+    "generate",
+]
+
+
+def _w(name: str, suite: str, module, description: str) -> Workload:
+    return Workload(
+        name=name, suite=suite, description=description, factory=module.build
+    )
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _w("olden.bisort", "olden", bisort, "bitonic sort over a value tree"),
+        _w("olden.em3d", "olden", em3d, "E/H field relaxation on a bipartite graph"),
+        _w("olden.health", "olden", health, "patient lists with malloc/free churn"),
+        _w("olden.mst", "olden", mst, "Prim's MST over linked adjacency"),
+        _w("olden.perimeter", "olden", perimeter, "quadtree region perimeter"),
+        _w("olden.treeadd", "olden", treeadd, "recursive binary-tree sum"),
+        _w("olden.tsp", "olden", tsp, "closest-point tour construction"),
+        _w("spec95.099.go", "spec95", go95, "board scans + liberty flood fill"),
+        _w("spec95.129.compress", "spec95", compress95, "LZW hash-table loop"),
+        _w("spec95.130.li", "spec95", li95, "cons-cell eval + mark/sweep GC"),
+        _w("spec95.132.ijpeg", "spec95", ijpeg95, "blocked integer DCT"),
+        _w("spec2000.175.vpr", "spec2000", vpr00, "maze routing on a grid"),
+        _w("spec2000.181.mcf", "spec2000", mcf00, "network-simplex arc pricing"),
+        _w("spec2000.300.twolf", "spec2000", twolf00, "annealing cell placement"),
+    )
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(WORKLOADS)
+
+#: Additional workloads beyond the paper's fourteen (library extensions;
+#: not part of the regenerated figures, which must match the paper's set).
+EXTRA_WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _w("olden.power", "olden", power, "power-tree up/down sweeps"),
+        _w("spec95.147.vortex", "spec95", vortex95, "object-store transactions"),
+        _w("spec2000.164.gzip", "spec2000", gzip00, "LZ77 hash-chain matching"),
+        _w("spec2000.197.parser", "spec2000", parser00, "BST dictionary + churn"),
+    )
+}
+
+ALL_WORKLOADS: dict[str, Workload] = {**WORKLOADS, **EXTRA_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload (evaluated or extra) by its registry name."""
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(ALL_WORKLOADS)}"
+        ) from None
+
+
+def generate(name: str, *, seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate a named workload's program."""
+    return get_workload(name).generate(seed, scale)

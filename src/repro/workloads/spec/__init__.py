@@ -1,0 +1,34 @@
+"""SPECint95 / SPECint2000 workload models.
+
+Unlike Olden's pure pointer kernels, the SPEC integer programs mix array
+sweeps, hash tables, interpreters and randomized search — giving the
+evaluation its spread of compressibility, branch behaviour and miss
+patterns (e.g. twolf's conflict-miss dominance, which is where the paper
+shows CPP beating BCP).
+"""
+
+from repro.workloads.spec import (  # noqa: F401  (re-export modules)
+    compress95,
+    go95,
+    gzip00,
+    ijpeg95,
+    li95,
+    mcf00,
+    parser00,
+    twolf00,
+    vortex95,
+    vpr00,
+)
+
+__all__ = [
+    "compress95",
+    "go95",
+    "gzip00",
+    "ijpeg95",
+    "li95",
+    "mcf00",
+    "parser00",
+    "twolf00",
+    "vortex95",
+    "vpr00",
+]

@@ -1,0 +1,111 @@
+"""spec95.129.compress — LZW compression over a byte stream.
+
+Models the compress95 inner loop: read a symbol, combine with the current
+code into a key, probe an open-addressed hash table (``htab``/``codetab``
+arrays), extend the dictionary on miss, emit the code on mismatch. All
+data are array-resident small integers — codes are bounded by the
+dictionary size — so the workload sits near the top of Figure 3's
+compressibility range, with sequential input reads that also reward plain
+next-line prefetching.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_INPUT_LEN"]
+
+DEFAULT_INPUT_LEN = 5000  #: input symbols
+_HSIZE = 16384  #: hash table entries (two 64 KB tables: the L2-busting footprint)
+_FIRST_FREE = 257
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the compress program; *scale* adjusts input length."""
+    n = scaled(DEFAULT_INPUT_LEN, scale, minimum=64)
+
+    pb = ProgramBuilder("spec95.129.compress", seed)
+    pb.op("g", (), label="cz.entry")
+
+    # Input: bytes with heavy repetition (Markov-ish source so LZW matches).
+    input_arr = pb.static_array(n)
+    symbols: list[int] = []
+    state = 65
+    for i in range(n):
+        if pb.rng.random() < 0.6:
+            state = int(pb.rng.integers(65, 91))
+        symbols.append(state)
+    for i in pb.for_range("cz.mkinput", n, cond_srcs=("g",)):
+        pb.store(input_arr + 4 * i, symbols[i], base="g", label="cz.init.in")
+
+    htab = pb.static_array(_HSIZE)  # key (or 0 = empty)
+    codetab = pb.static_array(_HSIZE)  # code for the key
+    out_arr = pb.static_array(n + 16)
+
+    # Generation-time mirror of the table (drives control flow).
+    table: dict[int, int] = {}
+    free_code = _FIRST_FREE
+    n_out = 0
+
+    ent = symbols[0]
+    pb.load(input_arr, "ent", base="g", label="cz.ld.first")
+    for i in pb.for_range("cz.main", n - 1, cond_srcs=("i",)):
+        c = symbols[i + 1]
+        pb.load(input_arr + 4 * (i + 1), "c", base="g", label="cz.ld.next")
+        key = (c << 12) + ent
+        pb.op("key", ("c", "ent"), label="cz.hash.key")
+        h = ((c << 5) ^ ent) & (_HSIZE - 1)
+        pb.op("h", ("key",), label="cz.hash.h")
+
+        # Probe chain (linear probing on collision, like the original's
+        # secondary probe).
+        probes = 0
+        found = False
+        while True:
+            slot_key = pb.load(htab + 4 * h, "hk", base="h", label="cz.probe.ldk")
+            occupied = slot_key != 0
+            if occupied and table.get(h, (None, None))[0] == key:
+                found = True
+                pb.branch("cz.probe.hit", taken=True, srcs=("hk", "key"))
+                break
+            pb.branch("cz.probe.hit", taken=False, srcs=("hk", "key"))
+            if not occupied:
+                break
+            h = (h + 1) & (_HSIZE - 1)
+            pb.op("h", ("h",), label="cz.probe.step")
+            probes += 1
+            if probes > 8:
+                break
+            pb.branch("cz.probe.more", taken=True, srcs=("h",))
+        if probes <= 8 and not found:
+            pb.branch("cz.probe.more", taken=False, srcs=("h",))
+
+        if found:
+            code = pb.load(codetab + 4 * h, "ent", base="h", label="cz.hit.ldcode")
+            ent = table[h][1]
+        else:
+            # Emit current code, add (key -> free_code) to the dictionary.
+            pb.store(out_arr + 4 * n_out, ent, base="g", src="ent", label="cz.out.st")
+            n_out += 1
+            if free_code < _HSIZE - 1:
+                # Keys are (char << 12) + code: up to 17 bits, so a good
+                # fraction exceed the small-value range — like the original's
+                # fcode values.
+                pb.store(htab + 4 * h, key & 0x1FFFF, base="h", src="key",
+                         label="cz.add.stk")
+                pb.store(codetab + 4 * h, free_code, base="h", label="cz.add.stc")
+                table[h] = (key, free_code)
+                free_code += 1
+                pb.branch("cz.add.room", taken=True, srcs=("h",))
+            else:
+                pb.branch("cz.add.room", taken=False, srcs=("h",))
+            ent = c
+            pb.op("ent", ("c",), label="cz.restart")
+
+    pb.store(out_arr + 4 * n_out, ent, base="g", src="ent", label="cz.out.last")
+    out = pb.static_array(1)
+    pb.store(out, n_out + 1, src="ent", label="cz.result")
+    return pb.build(
+        description="LZW loop: hash probes over small-integer arrays",
+        params={"input_len": n, "codes_emitted": n_out + 1, "dict_size": free_code},
+    )

@@ -1,0 +1,150 @@
+"""spec95.099.go — Go position evaluation: board scans and flood fills.
+
+Models the heart of the Go program's evaluation: a 19x19 board of small
+codes (empty/black/white) scanned repeatedly, with group liberty counting
+done by explicit-stack flood fill. Everything is a small value in a dense
+array — highly compressible — and control is branch-heavy with
+data-dependent outcomes, which is why go was one of the classically
+mispredict-bound SPEC95 members.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_MOVES", "BOARD"]
+
+BOARD = 19
+DEFAULT_MOVES = 110
+
+_EMPTY, _BLACK, _WHITE = 0, 1, 2
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the go program; *scale* adjusts the number of moves."""
+    moves = scaled(DEFAULT_MOVES, scale, minimum=4)
+
+    pb = ProgramBuilder("spec95.099.go", seed)
+    pb.op("g", (), label="go.entry")
+
+    n_sq = BOARD * BOARD
+    board = pb.static_array(n_sq)
+    marks = pb.static_array(n_sq)
+    stack = pb.static_array(n_sq)
+    zobrist = pb.static_array(n_sq)  #: position-hash table: large values
+    grid: list[int] = [_EMPTY] * n_sq
+
+    for i in pb.for_range("go.clear", n_sq, cond_srcs=("g",)):
+        pb.store(board + 4 * i, _EMPTY, base="g", label="go.init.b")
+    zvals = [pb.rand_large() for _ in range(n_sq)]
+    for i in pb.for_range("go.mkzob", n_sq, cond_srcs=("g",)):
+        pb.store(zobrist + 4 * i, zvals[i], base="g", label="go.init.z")
+
+    # Shape-pattern database: the original's pattern matcher consults large
+    # static tables with hash-scattered lookups.
+    n_pat = 6144
+    patterns = pb.static_array(n_pat)
+    pvals = [pb.rand_large() for _ in range(n_pat)]
+    for i in pb.for_range("go.mkpat", n_pat, cond_srcs=("g",)):
+        pb.store(patterns + 4 * i, pvals[i], base="g", label="go.init.pat")
+
+    def neighbors(sq: int) -> list[int]:
+        r, c = divmod(sq, BOARD)
+        out = []
+        if r > 0:
+            out.append(sq - BOARD)
+        if r < BOARD - 1:
+            out.append(sq + BOARD)
+        if c > 0:
+            out.append(sq - 1)
+        if c < BOARD - 1:
+            out.append(sq + 1)
+        return out
+
+    def flood_liberties(start: int, color: int) -> int:
+        """Explicit-stack flood fill counting the group's liberties."""
+        seen: set[int] = set()
+        libs: set[int] = set()
+        sp = 0
+        pb.store(stack, start, base="g", label="go.ff.push0")
+        work = [start]
+        seen.add(start)
+        while work:
+            pb.branch("go.ff.loop", taken=True, srcs=("sp",))
+            sq = work.pop()
+            pb.load(stack + 4 * (len(work) % n_sq), "sq", base="g", label="go.ff.pop")
+            for nb in neighbors(sq):
+                v = pb.load(board + 4 * nb, "v", base="sq", label="go.ff.ldnb")
+                if pb.if_("go.ff.empty", v == _EMPTY, srcs=("v",)):
+                    libs.add(nb)
+                    pb.store(marks + 4 * nb, 1, base="sq", label="go.ff.mark")
+                elif pb.if_("go.ff.same", v == color and nb not in seen, srcs=("v",)):
+                    seen.add(nb)
+                    work.append(nb)
+                    pb.store(stack + 4 * (len(work) % n_sq), nb, base="sq",
+                             label="go.ff.push")
+        pb.branch("go.ff.loop", taken=False, srcs=("sp",))
+        return len(libs)
+
+    score = 0
+    hash_slot = pb.static_array(1)
+    for m in pb.for_range("go.moves", moves, cond_srcs=("g",)):
+        color = _BLACK if m % 2 == 0 else _WHITE
+        # Scan for a random empty square (the original's move generator
+        # scans candidate points, loading board cells as it goes).
+        sq = int(pb.rng.integers(0, n_sq))
+        scanned = 0
+        while grid[sq] != _EMPTY and scanned < n_sq:
+            v = pb.load(board + 4 * sq, "v", base="g", label="go.scan.ld")
+            pb.branch("go.scan.occ", taken=True, srcs=("v",))
+            sq = (sq + 7) % n_sq
+            scanned += 1
+        pb.branch("go.scan.occ", taken=False, srcs=("v",))
+        if scanned >= n_sq:
+            break
+        grid[sq] = color
+        pb.store(board + 4 * sq, color, base="g", label="go.move.place")
+
+        # Update the position hash (large values, like the original's
+        # hashing of board positions for superko detection).
+        z = pb.load(zobrist + 4 * sq, "z", base="g", label="go.hash.ldz")
+        pb.op("hash", ("hash", "z"), label="go.hash.xor")
+        pb.store(hash_slot, z ^ (m * 2654435761 & 0xFFFFFFFF), base="g",
+                 src="hash", label="go.hash.st")
+
+        # Full-board influence scan (the evaluator touches every point).
+        for i in pb.for_range("go.eval.scan", n_sq // 4, cond_srcs=("g",)):
+            v = pb.load(board + 4 * (i * 4 % n_sq), "v", base="g",
+                        label="go.eval.scanld")
+            pb.op("infl", ("infl", "v"), label="go.eval.infl")
+
+        # Pattern matching around the move: hash-scattered table probes.
+        pidx = (zvals[sq] >> 8) % n_pat
+        for k in pb.for_range("go.pat.probe", 24, cond_srcs=("hash",)):
+            pv = pb.load(patterns + 4 * pidx, "pat", base="hash",
+                         label="go.pat.ld")
+            pb.op("infl", ("infl", "pat"), label="go.pat.mix")
+            pidx = (pidx * 31 + 7) % n_pat
+
+        # Evaluate: liberties of the new stone's group plus neighbour groups.
+        libs = flood_liberties(sq, color)
+        score += libs
+        pb.op("score", ("score",), label="go.move.acc")
+        for nb in neighbors(sq):
+            v = pb.load(board + 4 * nb, "v", base="g", label="go.eval.ldnb")
+            enemy = v not in (_EMPTY, color)
+            if pb.if_("go.eval.enemy", enemy, srcs=("v",)):
+                elibs = flood_liberties(nb, v)
+                if pb.if_("go.eval.capture", elibs == 0, srcs=("score",)):
+                    # Capture: clear the enemy group (rare, expensive).
+                    for cap in [s for s in range(n_sq) if grid[s] == v][:8]:
+                        grid[cap] = _EMPTY
+                        pb.store(board + 4 * cap, _EMPTY, base="g",
+                                 label="go.capture.clear")
+
+    out = pb.static_array(1)
+    pb.store(out, score & 0x3FFF, src="score", label="go.result")
+    return pb.build(
+        description="board scans + flood-fill liberty counting (small values)",
+        params={"moves": moves, "score": score},
+    )

@@ -1,0 +1,106 @@
+"""spec2000.164.gzip — LZ77 window matching over a byte stream.
+
+(Extra workload: registered under the "extra" group, beyond the paper's
+fourteen.)
+
+Models gzip's deflate inner loop: a sliding window of recent input, a
+head/prev hash-chain index, and for each position a chain walk comparing
+candidate match positions byte by byte. Arrays of small values with
+hash-scattered chain hops — like compress but with longer dependent
+chains and a sequential input the prefetchers love.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_INPUT_LEN"]
+
+DEFAULT_INPUT_LEN = 4000
+_WINDOW = 4096
+_HASH_SIZE = 2048
+_MAX_CHAIN = 6
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the gzip program; *scale* adjusts input length."""
+    n = scaled(DEFAULT_INPUT_LEN, scale, minimum=128)
+
+    pb = ProgramBuilder("spec2000.164.gzip", seed)
+    pb.op("g", (), label="gz.entry")
+
+    window = pb.static_array(_WINDOW)
+    head = pb.static_array(_HASH_SIZE)
+    prev = pb.static_array(_WINDOW)
+    out = pb.static_array(n)
+
+    # Input with repeated phrases so matches exist.
+    symbols: list[int] = []
+    phrase = [int(pb.rng.integers(32, 127)) for _ in range(24)]
+    for _ in range(n):
+        if pb.rng.random() < 0.3:
+            symbols.extend(phrase[: int(pb.rng.integers(4, len(phrase)))])
+        else:
+            symbols.append(int(pb.rng.integers(32, 127)))
+    symbols = symbols[:n]
+
+    head_state = [0] * _HASH_SIZE
+    prev_state = [0] * _WINDOW
+    window_state = [0] * _WINDOW
+    n_matches = 0
+    n_literals = 0
+
+    for pos in pb.for_range("gz.main", n - 3, cond_srcs=("pos",)):
+        c = symbols[pos]
+        wpos = pos % _WINDOW
+        pb.store(window + 4 * wpos, c, base="g", label="gz.win.st")
+        window_state[wpos] = c
+        h = (symbols[pos] * 33 + symbols[pos + 1] * 7 + symbols[pos + 2]) % _HASH_SIZE
+        pb.op("h", ("pos",), label="gz.hash")
+
+        # Probe the hash chain for the best match.
+        cand = pb.load(head + 4 * h, "cand", base="h", label="gz.chain.ldh")
+        cand_val = head_state[h]
+        best_len = 0
+        for step in range(_MAX_CHAIN):
+            alive = cand_val != 0 and step < _MAX_CHAIN - 1
+            pb.branch("gz.chain.loop", taken=alive, srcs=("cand",))
+            if cand_val == 0:
+                break
+            # Compare a few bytes at the candidate position.
+            match_len = 0
+            cpos = cand_val % _WINDOW
+            for j in range(3):
+                w = pb.load(window + 4 * ((cpos + j) % _WINDOW), "w", base="cand",
+                            label="gz.cmp.ldw")
+                same = window_state[(cpos + j) % _WINDOW] == symbols[min(pos + j, n - 1)]
+                if pb.if_("gz.cmp.eq", same, srcs=("w",)):
+                    match_len += 1
+                else:
+                    break
+            best_len = max(best_len, match_len)
+            nxt = pb.load(prev + 4 * cpos, "cand", base="cand", label="gz.chain.ldp")
+            cand_val = prev_state[cpos]
+
+        if pb.if_("gz.emit.match", best_len >= 3, srcs=("cand",)):
+            n_matches += 1
+            pb.store(out + 4 * (n_matches + n_literals - 1), best_len | 0x100,
+                     base="g", label="gz.emit.m")
+        else:
+            n_literals += 1
+            pb.store(out + 4 * (n_matches + n_literals - 1), c, base="g",
+                     label="gz.emit.l")
+
+        # Insert this position into the chain.
+        pb.store(prev + 4 * wpos, head_state[h], base="h", label="gz.ins.prev")
+        prev_state[wpos] = head_state[h]
+        pb.store(head + 4 * h, pos + 1, base="h", label="gz.ins.head")
+        head_state[h] = pos + 1
+
+    result = pb.static_array(2)
+    pb.store(result, n_matches, src="cand", label="gz.result.m")
+    pb.store(result + 4, n_literals, src="cand", label="gz.result.l")
+    return pb.build(
+        description="LZ77 hash-chain matching over a sliding window",
+        params={"input_len": n, "matches": n_matches, "literals": n_literals},
+    )

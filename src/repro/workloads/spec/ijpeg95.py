@@ -1,0 +1,92 @@
+"""spec95.132.ijpeg — blocked integer image transform (DCT-like).
+
+Models ijpeg's compute shape: sweep an image in 8x8 blocks; for each
+block compute a separable integer transform (row pass then column pass of
+multiply-accumulate against a constant coefficient matrix), then quantize
+back to small values. Intermediate coefficients are large products —
+incompressible — while pixels and quantized outputs are small; the
+sequential block sweep is the friendliest pattern in the suite for plain
+next-line prefetching, which is why BCP does well here.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_DIM"]
+
+DEFAULT_DIM = 64  #: square image edge (multiple of 8)
+_B = 8  #: block edge
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the ijpeg program; *scale* adjusts image area."""
+    dim = DEFAULT_DIM
+    target = scaled(DEFAULT_DIM * DEFAULT_DIM, scale)
+    while dim * dim > target and dim > 16:
+        dim -= 8
+    while (dim + 8) * (dim + 8) <= target:
+        dim += 8
+
+    pb = ProgramBuilder("spec95.132.ijpeg", seed)
+    pb.op("g", (), label="jp.entry")
+
+    n_px = dim * dim
+    image = pb.static_array(n_px)
+    coeffs = pb.static_array(n_px)
+    quant = pb.static_array(n_px)
+    basis = pb.static_array(_B * _B)
+
+    pixels = [int(pb.rng.integers(0, 256)) for _ in range(n_px)]
+    for i in pb.for_range("jp.mkimage", n_px, cond_srcs=("g",)):
+        pb.store(image + 4 * i, pixels[i], base="g", label="jp.init.px")
+    basis_vals = [((i * 7 + j * 13) % 63) + 1 for i in range(_B) for j in range(_B)]
+    for i in pb.for_range("jp.mkbasis", _B * _B, cond_srcs=("g",)):
+        pb.store(basis + 4 * i, basis_vals[i], base="g", label="jp.init.bs")
+
+    checksum = 0
+    n_blocks = dim // _B
+    for by in pb.for_range("jp.blocky", n_blocks, cond_srcs=("g",)):
+        for bx in pb.for_range("jp.blockx", n_blocks, cond_srcs=("g",)):
+            base_idx = by * _B * dim + bx * _B
+            # Row pass: coef[r][c] = sum_k px[r][k] * basis[k][c]
+            block_coef: list[int] = [0] * (_B * _B)
+            for r in pb.for_range("jp.rows", _B, cond_srcs=("r",)):
+                row_px = []
+                for k in range(_B):
+                    v = pb.load(image + 4 * (base_idx + r * dim + k), "px",
+                                base="g", label="jp.dct.ldpx")
+                    row_px.append(v)
+                for c in range(_B):
+                    acc = 0
+                    pb.op("acc", (), label="jp.dct.zero")
+                    for k in range(_B):
+                        b = pb.load(basis + 4 * (k * _B + c), "bs", base="g",
+                                    label="jp.dct.ldbs")
+                        pb.op("prod", ("px", "bs"), kind=OpClass.IMULT,
+                              label="jp.dct.mul")
+                        pb.op("acc", ("acc", "prod"), label="jp.dct.acc")
+                        acc += row_px[k] * b
+                    coef_val = (acc + (1 << 20)) & 0xFFFF_FFFF  # large pattern
+                    block_coef[r * _B + c] = coef_val
+                    pb.store(coeffs + 4 * (base_idx + r * dim + c), coef_val,
+                             base="g", src="acc", label="jp.dct.stcoef")
+            # Quantize: scale back down to small values.
+            for idx in pb.for_range("jp.quant", _B * _B, cond_srcs=("q",)):
+                r, c = divmod(idx, _B)
+                cv = pb.load(coeffs + 4 * (base_idx + r * dim + c), "cv",
+                             base="g", label="jp.q.ldc")
+                pb.op("q", ("cv",), kind=OpClass.IDIV, label="jp.q.div")
+                qv = (cv >> 16) & 0x3FFF
+                pb.store(quant + 4 * (base_idx + r * dim + c), qv, base="g",
+                         src="q", label="jp.q.stq")
+                checksum = (checksum + qv) & 0x7FFF_FFFF
+                pb.op("ck", ("ck", "q"), label="jp.q.ck")
+
+    out = pb.static_array(1)
+    pb.store(out, checksum, src="ck", label="jp.result")
+    return pb.build(
+        description="8x8 blocked integer transform: sequential sweeps, large products",
+        params={"dim": dim, "blocks": n_blocks * n_blocks, "checksum": checksum},
+    )

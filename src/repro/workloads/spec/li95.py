@@ -1,0 +1,114 @@
+"""spec95.130.li — xlisp-style interpreter: cons cells, eval, GC sweep.
+
+Three phases modeled on the interpreter's behaviour:
+
+1. **build** — allocate cons cells ``{type, flags, car, cdr}`` forming
+   many small lists (the node layout of the paper's own motivating
+   example in §2.2: two pointers, a type field, and a value);
+2. **eval** — repeatedly traverse lists summing elements whose type
+   matches, i.e. literally the ``if (p->type == T) sum += p->info``
+   loop of paper Figure 5;
+3. **mark/sweep** — a GC pass: pointer-chasing mark over the lists, then
+   a *sequential* sweep over the whole cell arena (the phase where
+   next-line prefetching shines).
+
+Cell fields are two heap pointers + two small ints — the strongly
+compressible profile the paper highlights for 130.li.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_LISTS", "DEFAULT_LIST_LEN", "DEFAULT_EVALS"]
+
+DEFAULT_LISTS = 120
+DEFAULT_LIST_LEN = 30
+DEFAULT_EVALS = 5
+
+_TYPE = 0
+_FLAGS = 4
+_CAR = 8  # value for leaf cells, pointer for list cells
+_CDR = 12
+_CELL_BYTES = 16
+
+_T_INT, _T_CONS, _T_SYM = 1, 2, 3
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the li program; *scale* adjusts eval-loop count."""
+    n_lists = DEFAULT_LISTS
+    list_len = DEFAULT_LIST_LEN
+    evals = scaled(DEFAULT_EVALS, scale, minimum=1)
+
+    pb = ProgramBuilder("spec95.130.li", seed)
+    pb.op("g", (), label="li.entry")
+
+    # ---- phase 1: build the lists -------------------------------------------
+    heads: list[int] = []
+    cells: list[int] = []
+    values: dict[int, tuple[int, int]] = {}  # addr -> (type, car value)
+    for _li in pb.for_range("li.mklists", n_lists, cond_srcs=("g",)):
+        prev = 0
+        for _k in pb.for_range("li.mkcells", list_len, cond_srcs=("g",)):
+            a = pb.malloc(_CELL_BYTES)
+            cells.append(a)
+            ctype = _T_INT if pb.rng.random() < 0.7 else _T_SYM
+            # Symbol cells carry a hash handle into the (distant) symbol
+            # table — an incompressible bit pattern; int cells are small.
+            car = pb.rand_small(0, 4000) if ctype == _T_INT else pb.rand_large()
+            values[a] = (ctype, car)
+            pb.store(a + _TYPE, ctype, base="g", label="li.init.type")
+            pb.store(a + _FLAGS, 0, base="g", label="li.init.flags")
+            pb.store(a + _CAR, car, base="g", label="li.init.car")
+            pb.store(a + _CDR, prev, base="g", label="li.init.cdr")
+            prev = a
+        heads.append(prev)
+
+    # ---- phase 2: eval — the paper's Figure 5 loop ---------------------------
+    total = 0
+    for _e in pb.for_range("li.evals", evals, cond_srcs=("g",)):
+        for head in heads:
+            pb.op("p", (), label="li.eval.head")
+            p = head
+            while pb.while_cond("li.eval.loop", p != 0, srcs=("p",)):
+                # (1) load type; (2) load next; (3) maybe load info; (4) loop
+                ctype = pb.load(p + _TYPE, "t", base="p", label="li.eval.ldt")
+                nxt = pb.load(p + _CDR, "pn", base="p", label="li.eval.ldn")
+                if pb.if_("li.eval.istype", ctype == _T_INT, srcs=("t",)):
+                    info = pb.load(p + _CAR, "info", base="p", label="li.eval.ldi")
+                    pb.op("sum", ("sum", "info"), label="li.eval.add")
+                    total += info
+                p = nxt
+                pb.op("p", ("pn",), label="li.eval.adv")
+
+    # ---- phase 3: GC — mark (pointer chase) then sweep (sequential) -----------
+    for head in heads:
+        pb.op("p", (), label="li.mark.head")
+        p = head
+        while pb.while_cond("li.mark.loop", p != 0, srcs=("p",)):
+            flags = pb.load(p + _FLAGS, "f", base="p", label="li.mark.ldf")
+            pb.store(p + _FLAGS, flags | 1, base="p", src="f", label="li.mark.stf")
+            p = pb.load(p + _CDR, "p", base="p", label="li.mark.ldn")
+    live = 0
+    for a in cells:
+        pb.branch("li.sweep.loop", taken=True, srcs=("sw",))
+        flags = pb.load(a + _FLAGS, "f", base="sw", label="li.sweep.ldf")
+        if pb.if_("li.sweep.live", flags & 1 == 1, srcs=("f",)):
+            live += 1
+            pb.store(a + _FLAGS, 0, base="sw", src="f", label="li.sweep.clr")
+    pb.branch("li.sweep.loop", taken=False, srcs=("sw",))
+
+    out = pb.static_array(2)
+    pb.store(out, total & 0x7FFF_FFFF, src="sum", label="li.result.sum")
+    pb.store(out + 4, live & 0x3FFF, src="f", label="li.result.live")
+    return pb.build(
+        description="cons-cell interpreter: typed list eval + mark/sweep GC",
+        params={
+            "lists": n_lists,
+            "list_len": list_len,
+            "evals": evals,
+            "sum": total,
+            "live_cells": live,
+        },
+    )

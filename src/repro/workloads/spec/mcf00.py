@@ -1,0 +1,122 @@
+"""spec2000.181.mcf — network-simplex style arc scans over a flow network.
+
+Models mcf's dominant loop (``price_out_impl``/``primal_bea_mpp``): scan
+the arc array; for each arc load its tail and head node records through
+pointers and compute the reduced cost from the node potentials; collect
+violating arcs and push flow along a short cycle for the best one.
+
+Node: ``{potential, orientation, first_out, mark}``;
+arc: ``{tail, head, cost, flow}``. Node pointers compress; potentials
+and costs are large values — the mixed profile that kept mcf
+memory-bound on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_NODES", "DEFAULT_ARCS_PER_NODE", "DEFAULT_ROUNDS"]
+
+DEFAULT_NODES = 1200
+DEFAULT_ARCS_PER_NODE = 4
+DEFAULT_ROUNDS = 4
+
+_N_POT = 0
+_N_ORIENT = 4
+_N_FIRST = 8
+_N_MARK = 12
+_N_BYTES = 16
+
+_A_TAIL = 0
+_A_HEAD = 4
+_A_COST = 8
+_A_FLOW = 12
+_A_BYTES = 16
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the mcf program; *scale* adjusts pricing rounds."""
+    n_nodes = DEFAULT_NODES
+    n_arcs = n_nodes * DEFAULT_ARCS_PER_NODE
+    rounds = scaled(DEFAULT_ROUNDS, scale, minimum=1)
+
+    pb = ProgramBuilder("spec2000.181.mcf", seed)
+    pb.op("g", (), label="mcf.entry")
+
+    nodes: list[int] = []
+    potential: dict[int, int] = {}
+    for _ in pb.for_range("mcf.mknodes", n_nodes, cond_srcs=("g",)):
+        a = pb.malloc(_N_BYTES)
+        nodes.append(a)
+        pot = pb.rand_large()
+        potential[a] = pot
+        pb.store(a + _N_POT, pot, base="g", label="mcf.init.pot")
+        pb.store(a + _N_ORIENT, int(pb.rng.integers(0, 2)), base="g",
+                 label="mcf.init.or")
+        pb.store(a + _N_FIRST, 0, base="g", label="mcf.init.first")
+        pb.store(a + _N_MARK, 0, base="g", label="mcf.init.mark")
+
+    arcs: list[int] = []
+    arc_ends: dict[int, tuple[int, int]] = {}
+    arc_cost: dict[int, int] = {}
+    flow: dict[int, int] = {}
+    for _ in pb.for_range("mcf.mkarcs", n_arcs, cond_srcs=("g",)):
+        a = pb.malloc(_A_BYTES)
+        arcs.append(a)
+        t = nodes[int(pb.rng.integers(0, n_nodes))]
+        h = nodes[int(pb.rng.integers(0, n_nodes))]
+        cost = pb.rand_large()
+        arc_ends[a] = (t, h)
+        arc_cost[a] = cost
+        flow[a] = 0
+        pb.store(a + _A_TAIL, t, base="g", label="mcf.init.tail")
+        pb.store(a + _A_HEAD, h, base="g", label="mcf.init.head")
+        pb.store(a + _A_COST, cost, base="g", label="mcf.init.cost")
+        pb.store(a + _A_FLOW, 0, base="g", label="mcf.init.flow")
+
+    pushed = 0
+    for _r in pb.for_range("mcf.rounds", rounds, cond_srcs=("g",)):
+        best_arc, best_viol = None, 0
+        pb.op("ap", (), label="mcf.scan.base")
+        for a in arcs:
+            pb.branch("mcf.scan.loop", taken=True, srcs=("ap",))
+            t = pb.load(a + _A_TAIL, "t", base="ap", label="mcf.scan.ldt")
+            h = pb.load(a + _A_HEAD, "h", base="ap", label="mcf.scan.ldh")
+            cost = pb.load(a + _A_COST, "c", base="ap", label="mcf.scan.ldc")
+            tp = pb.load(t + _N_POT, "tp", base="t", label="mcf.scan.ldtp")
+            hp = pb.load(h + _N_POT, "hp", base="h", label="mcf.scan.ldhp")
+            pb.op("red", ("c", "tp"), label="mcf.scan.sub1")
+            pb.op("red", ("red", "hp"), label="mcf.scan.sub2")
+            viol = (cost - tp + hp) & 0xFFFF_FFFF
+            signed = viol - (1 << 32) if viol & 0x8000_0000 else viol
+            if pb.if_("mcf.scan.viol", signed < best_viol, srcs=("red",)):
+                pb.op("besta", ("red",), label="mcf.scan.take")
+                best_arc, best_viol = a, signed
+        pb.branch("mcf.scan.loop", taken=False, srcs=("ap",))
+
+        if pb.if_("mcf.pivot.found", best_arc is not None, srcs=("besta",)):
+            a = best_arc
+            f = pb.load(a + _A_FLOW, "f", base="besta", label="mcf.pivot.ldf")
+            pb.op("f", ("f",), label="mcf.pivot.inc")
+            flow[a] = f + 1
+            pb.store(a + _A_FLOW, f + 1, base="besta", src="f", label="mcf.pivot.stf")
+            t, h = arc_ends[a]
+            # Update the endpoint potentials (dual step).
+            for node in (t, h):
+                p = pb.load(node + _N_POT, "p", base="besta", label="mcf.pivot.ldp")
+                newp = (p + 64) & 0xFFFF_FFFF
+                potential[node] = newp
+                pb.op("p", ("p",), label="mcf.pivot.adj")
+                pb.store(node + _N_POT, newp, base="besta", src="p",
+                         label="mcf.pivot.stp")
+                m = pb.load(node + _N_MARK, "m", base="besta", label="mcf.pivot.ldm")
+                pb.store(node + _N_MARK, (m + 1) & 0x3FFF, base="besta", src="m",
+                         label="mcf.pivot.stm")
+            pushed += 1
+
+    out = pb.static_array(1)
+    pb.store(out, pushed, src="f", label="mcf.result")
+    return pb.build(
+        description="arc-array pricing scans with pointer-loaded potentials",
+        params={"nodes": n_nodes, "arcs": n_arcs, "rounds": rounds, "pivots": pushed},
+    )

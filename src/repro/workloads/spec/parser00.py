@@ -1,0 +1,138 @@
+"""spec2000.197.parser — dictionary lookups and linkage construction.
+
+(Extra workload: registered under the "extra" group, beyond the paper's
+fourteen.)
+
+Models the link-grammar parser's memory behaviour: a dictionary of words
+held in a binary search tree of heap records (pointer chase per lookup),
+per-sentence chains of "disjunct" records allocated and freed with a
+free-list allocator (churn, like health), and a dynamic-programming
+table of small counts swept per word pair.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_WORDS", "DEFAULT_SENTENCES"]
+
+DEFAULT_WORDS = 600  #: dictionary size
+DEFAULT_SENTENCES = 18
+_SENTENCE_LEN = 9
+
+_W_KEY = 0
+_W_LEFT = 4
+_W_RIGHT = 8
+_W_DEFS = 12
+_W_BYTES = 16
+
+_D_COST = 0
+_D_NEXT = 4
+_D_BYTES = 8
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the parser program; *scale* adjusts sentence count."""
+    n_words = DEFAULT_WORDS
+    n_sentences = scaled(DEFAULT_SENTENCES, scale, minimum=1)
+
+    pb = ProgramBuilder("spec2000.197.parser", seed, allocator="freelist")
+    pb.op("g", (), label="ps.entry")
+
+    # ---- dictionary: binary search tree keyed by word id ---------------------
+    keys = sorted(pb.rng.choice(1 << 14, size=n_words, replace=False).tolist())
+
+    def insert_order(lo: int, hi: int, out: list[int]) -> None:
+        if lo > hi:
+            return
+        mid = (lo + hi) // 2
+        out.append(mid)
+        insert_order(lo, mid - 1, out)
+        insert_order(mid + 1, hi, out)
+
+    order: list[int] = []
+    insert_order(0, n_words - 1, order)
+    nodes: dict[int, int] = {}
+    root_key = keys[order[0]]
+    for idx in order:
+        key = keys[idx]
+        addr = pb.malloc(_W_BYTES)
+        nodes[key] = addr
+        pb.store(addr + _W_KEY, key, base="g", label="ps.dict.key")
+        pb.store(addr + _W_LEFT, 0, base="g", label="ps.dict.l")
+        pb.store(addr + _W_RIGHT, 0, base="g", label="ps.dict.r")
+        pb.store(addr + _W_DEFS, int(pb.rng.integers(1, 5)), base="g",
+                 label="ps.dict.defs")
+        if key != root_key:
+            # Walk from the root to the parent slot (BST insert).
+            cur = root_key
+            while True:
+                pb.branch("ps.dict.walk", taken=True, srcs=("wp",))
+                cur_node = nodes[cur]
+                pb.load(cur_node + _W_KEY, "wk", base="wp", label="ps.dict.ldk")
+                side = _W_LEFT if key < cur else _W_RIGHT
+                child = pb.image.read_word(cur_node + side)
+                pb.load(cur_node + side, "wp", base="wp", label="ps.dict.ldc")
+                if child == 0:
+                    pb.store(cur_node + side, addr, base="wp", label="ps.dict.link")
+                    break
+                cur = pb.image.read_word(child + _W_KEY)
+            pb.branch("ps.dict.walk", taken=False, srcs=("wp",))
+
+    def lookup(key: int) -> int:
+        """BST search emitting the compare/descend chain."""
+        cur = root_key
+        pb.op("wp", (), label="ps.lookup.start")
+        while True:
+            cur_node = nodes[cur]
+            k = pb.load(cur_node + _W_KEY, "wk", base="wp", label="ps.lk.ldk")
+            if pb.if_("ps.lk.found", k == key, srcs=("wk",)):
+                return cur_node
+            side = _W_LEFT if key < k else _W_RIGHT
+            pb.load(cur_node + side, "wp", base="wp", label="ps.lk.desc")
+            cur = pb.image.read_word(pb.image.read_word(cur_node + side) + _W_KEY)
+
+    # ---- parse sentences -------------------------------------------------------
+    counts = pb.static_array(_SENTENCE_LEN * _SENTENCE_LEN)
+    parsed = 0
+    for _s in pb.for_range("ps.sentences", n_sentences, cond_srcs=("g",)):
+        sentence = [int(pb.rng.choice(keys)) for _ in range(_SENTENCE_LEN)]
+        # Look up each word; allocate its disjunct chain.
+        chains: list[int] = []
+        for key in sentence:
+            node = lookup(key)
+            n_defs = pb.image.read_word(node + _W_DEFS)
+            prev = 0
+            for _d in range(n_defs):
+                dj = pb.malloc(_D_BYTES)
+                pb.store(dj + _D_COST, pb.rand_small(1, 100), base="wp",
+                         label="ps.dj.cost")
+                pb.store(dj + _D_NEXT, prev, base="wp", label="ps.dj.next")
+                prev = dj
+            chains.append(prev)
+        # DP count table over word pairs (small values).
+        for i in range(_SENTENCE_LEN):
+            for j in range(i + 1, _SENTENCE_LEN):
+                idx = i * _SENTENCE_LEN + j
+                c = pb.load(counts + 4 * idx, "c", base="g", label="ps.dp.ld")
+                pb.op("c", ("c",), label="ps.dp.inc")
+                pb.store(counts + 4 * idx, (c + 1) & 0x3FFF, base="g", src="c",
+                         label="ps.dp.st")
+        # Free the disjunct chains (allocation churn).
+        for head in chains:
+            cur = head
+            while cur:
+                pb.branch("ps.free.loop", taken=True, srcs=("wp",))
+                nxt = pb.image.read_word(cur + _D_NEXT)
+                pb.load(cur + _D_NEXT, "wp", base="wp", label="ps.free.ldn")
+                pb.free(cur)
+                cur = nxt
+            pb.branch("ps.free.loop", taken=False, srcs=("wp",))
+        parsed += 1
+
+    out = pb.static_array(1)
+    pb.store(out, parsed, src="c", label="ps.result")
+    return pb.build(
+        description="BST dictionary lookups + disjunct churn + DP counts",
+        params={"words": n_words, "sentences": n_sentences},
+    )

@@ -1,0 +1,158 @@
+"""spec2000.300.twolf — simulated-annealing standard-cell placement.
+
+Models twolf's inner loop (``uloop``/``ucxx``): pick two random cells,
+tentatively swap their positions, recompute the half-perimeter wirelength
+of every net touching them by walking the nets' terminal lists, and
+accept or reject.
+
+The random cell pairs make the access stream *scattered*: in a
+direct-mapped cache the cell and terminal records conflict heavily. The
+paper singles out twolf (with health) as a benchmark where conflict
+misses dominate and CPP consequently beats BCP — this workload is built
+to preserve that character (random indexed accesses across a working set
+larger than L1).
+
+Cell: ``{x, y, net_head, pad}``; terminal: ``{cell_ptr, net_id, next}``;
+net: ``{term_head, n_terms}``. Coordinates and ids are small values;
+the link fields are heap pointers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_CELLS", "DEFAULT_NETS", "DEFAULT_SWAPS"]
+
+DEFAULT_CELLS = 2000
+DEFAULT_NETS = 1000
+DEFAULT_SWAPS = 120
+
+_C_X = 0
+_C_Y = 4
+_C_NET = 8
+_C_BYTES = 16
+
+_T_CELL = 0
+_T_NET = 4
+_T_NEXT = 8
+_T_BYTES = 12
+
+_N_HEAD = 0
+_N_COUNT = 4
+_N_BYTES = 8
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the twolf program; *scale* adjusts swap count."""
+    n_cells = DEFAULT_CELLS
+    n_nets = DEFAULT_NETS
+    swaps = scaled(DEFAULT_SWAPS, scale, minimum=4)
+
+    pb = ProgramBuilder("spec2000.300.twolf", seed)
+    pb.op("g", (), label="tw.entry")
+
+    cells: list[int] = []
+    pos: dict[int, tuple[int, int]] = {}
+    for _ in pb.for_range("tw.mkcells", n_cells, cond_srcs=("g",)):
+        a = pb.malloc(_C_BYTES)
+        cells.append(a)
+        x, y = int(pb.rng.integers(0, 512)), int(pb.rng.integers(0, 512))
+        pos[a] = (x, y)
+        pb.store(a + _C_X, x, base="g", label="tw.init.x")
+        pb.store(a + _C_Y, y, base="g", label="tw.init.y")
+        pb.store(a + _C_NET, 0, base="g", label="tw.init.net")
+
+    nets: list[int] = []
+    net_terms: dict[int, list[int]] = {}
+    cell_nets: dict[int, list[int]] = {a: [] for a in cells}
+    for ni in pb.for_range("tw.mknets", n_nets, cond_srcs=("g",)):
+        net = pb.malloc(_N_BYTES)
+        nets.append(net)
+        members = [cells[int(pb.rng.integers(0, n_cells))]
+                   for _ in range(int(pb.rng.integers(2, 6)))]
+        net_terms[net] = members
+        head = 0
+        for c in members:
+            t = pb.malloc(_T_BYTES)
+            pb.store(t + _T_CELL, c, base="g", label="tw.init.tc")
+            pb.store(t + _T_NET, ni & 0x3FFF, base="g", label="tw.init.tn")
+            pb.store(t + _T_NEXT, head, base="g", label="tw.init.tx")
+            head = t
+            cell_nets[c].append(net)
+        pb.store(net + _N_HEAD, head, base="g", label="tw.init.nh")
+        pb.store(net + _N_COUNT, len(members), base="g", label="tw.init.nc")
+
+    def net_hpwl(net: int) -> int:
+        """Walk a net's terminal list computing its bounding box.
+
+        The emitted loads chase the real list pointers (terminal record ->
+        cell record -> coordinates); the Python-side min/max mirrors what
+        the loaded values contain.
+        """
+        term = pb.load(net + _N_HEAD, "t", base="np", label="tw.hpwl.ldh")
+        xmin = ymin = 1 << 20
+        xmax = ymax = -1
+        while pb.while_cond("tw.hpwl.loop", term != 0, srcs=("t",)):
+            cp = pb.load(term + _T_CELL, "cp", base="t", label="tw.hpwl.ldc")
+            x = pb.load(cp + _C_X, "x", base="cp", label="tw.hpwl.ldx")
+            y = pb.load(cp + _C_Y, "y", base="cp", label="tw.hpwl.ldy")
+            term = pb.load(term + _T_NEXT, "t", base="t", label="tw.hpwl.ldn")
+            xmin, xmax = min(xmin, x), max(xmax, x)
+            ymin, ymax = min(ymin, y), max(ymax, y)
+            pb.op("bbox", ("bbox", "x"), label="tw.hpwl.bx")
+            pb.op("bbox", ("bbox", "y"), label="tw.hpwl.by")
+        return (xmax - xmin) + (ymax - ymin)
+
+    accepted = 0
+    cost_acc = 0
+    # Annealing bookkeeping: per-attempt cost records (the original logs
+    # scaled float costs — large bit patterns).
+    history = pb.static_array(swaps)
+    for s in pb.for_range("tw.swaps", swaps, cond_srcs=("g",)):
+        a = cells[int(pb.rng.integers(0, n_cells))]
+        b = cells[int(pb.rng.integers(0, n_cells))]
+        pb.op("ca", (), label="tw.pick.a")
+        pb.op("cb", (), label="tw.pick.b")
+        touched = sorted(set(cell_nets[a]) | set(cell_nets[b]))
+
+        old_cost = 0
+        for net in touched:
+            pb.op("np", (), label="tw.cost.np")
+            old_cost += net_hpwl(net)
+        # Tentatively swap coordinates.
+        ax = pb.load(a + _C_X, "ax", base="ca", label="tw.swap.ldax")
+        ay = pb.load(a + _C_Y, "ay", base="ca", label="tw.swap.lday")
+        bx = pb.load(b + _C_X, "bx", base="cb", label="tw.swap.ldbx")
+        by = pb.load(b + _C_Y, "by", base="cb", label="tw.swap.ldby")
+        pb.store(a + _C_X, bx, base="ca", src="bx", label="tw.swap.stax")
+        pb.store(a + _C_Y, by, base="ca", src="by", label="tw.swap.stay")
+        pb.store(b + _C_X, ax, base="cb", src="ax", label="tw.swap.stbx")
+        pb.store(b + _C_Y, ay, base="cb", src="ay", label="tw.swap.stby")
+        pos[a], pos[b] = pos[b], pos[a]
+
+        new_cost = 0
+        for net in touched:
+            pb.op("np", (), label="tw.cost.np2")
+            new_cost += net_hpwl(net)
+        pb.store(history + 4 * s, (new_cost << 16) | 0x4000_0000, base="g",
+                 src="bbox", label="tw.log.cost")
+
+        # Annealing acceptance: keep improvements, sometimes keep others.
+        accept = new_cost <= old_cost or pb.rng.random() < 0.25
+        if pb.if_("tw.accept", accept, srcs=("bbox",)):
+            accepted += 1
+            cost_acc += old_cost - new_cost
+        else:
+            # Revert the swap.
+            pb.store(a + _C_X, ax, base="ca", src="ax", label="tw.revert.ax")
+            pb.store(a + _C_Y, ay, base="ca", src="ay", label="tw.revert.ay")
+            pb.store(b + _C_X, bx, base="cb", src="bx", label="tw.revert.bx")
+            pb.store(b + _C_Y, by, base="cb", src="by", label="tw.revert.by")
+            pos[a], pos[b] = pos[b], pos[a]
+
+    out = pb.static_array(1)
+    pb.store(out, accepted, src="bbox", label="tw.result")
+    return pb.build(
+        description="random cell swaps + net bounding-box walks (conflict-heavy)",
+        params={"cells": n_cells, "nets": n_nets, "swaps": swaps, "accepted": accepted},
+    )

@@ -1,0 +1,124 @@
+"""spec95.147.vortex — object-database transactions.
+
+(Extra workload: registered under the "extra" group, beyond the paper's
+fourteen.)
+
+Models vortex's object-store behaviour: a hash-indexed object table of
+heap records (``{id, kind, payload[4], next}``), transactions that look
+objects up, read and rewrite their payloads, occasionally create and
+delete objects (free-list churn), and periodic index-order scans.
+Pointers and small ids compress; payload words are large handles.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_OBJECTS", "DEFAULT_TRANSACTIONS"]
+
+DEFAULT_OBJECTS = 800
+DEFAULT_TRANSACTIONS = 350
+_BUCKETS = 256
+
+_O_ID = 0
+_O_KIND = 4
+_O_PAYLOAD = 8  # 4 words
+_O_NEXT = 24
+_O_BYTES = 28
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the vortex program; *scale* adjusts transaction count."""
+    n_objects = DEFAULT_OBJECTS
+    n_txn = scaled(DEFAULT_TRANSACTIONS, scale, minimum=8)
+
+    pb = ProgramBuilder("spec95.147.vortex", seed, allocator="freelist")
+    pb.op("g", (), label="vx.entry")
+
+    table = pb.static_array(_BUCKETS)
+    buckets: dict[int, list[int]] = {b: [] for b in range(_BUCKETS)}
+    objects: dict[int, int] = {}  # id -> addr
+
+    def insert_object(obj_id: int) -> int:
+        addr = pb.malloc(_O_BYTES)
+        b = obj_id % _BUCKETS
+        head = pb.load(table + 4 * b, "head", base="g", label="vx.ins.ldh")
+        pb.store(addr + _O_ID, obj_id & 0x3FFF, base="g", label="vx.ins.id")
+        pb.store(addr + _O_KIND, obj_id % 7, base="g", label="vx.ins.kind")
+        for w in range(4):
+            pb.store(addr + _O_PAYLOAD + 4 * w, pb.rand_large(), base="g",
+                     label="vx.ins.payload")
+        pb.store(addr + _O_NEXT, head, base="g", src="head", label="vx.ins.next")
+        pb.store(table + 4 * b, addr, base="g", label="vx.ins.sth")
+        buckets[b].insert(0, addr)
+        objects[obj_id] = addr
+        return addr
+
+    def chain_lookup(obj_id: int) -> int | None:
+        """Walk the bucket chain to the object (emits the pointer chase)."""
+        b = obj_id % _BUCKETS
+        cur = pb.load(table + 4 * b, "p", base="g", label="vx.lk.ldh")
+        target = objects.get(obj_id)
+        for addr in buckets[b]:
+            pb.branch("vx.lk.loop", taken=True, srcs=("p",))
+            oid = pb.load(addr + _O_ID, "oid", base="p", label="vx.lk.ldid")
+            pb.load(addr + _O_NEXT, "p", base="p", label="vx.lk.ldn")
+            if pb.if_("vx.lk.hit", addr == target, srcs=("oid",)):
+                return addr
+        pb.branch("vx.lk.loop", taken=False, srcs=("p",))
+        return None
+
+    # ---- build the store --------------------------------------------------------
+    next_id = 0
+    for _ in pb.for_range("vx.populate", n_objects, cond_srcs=("g",)):
+        insert_object(next_id)
+        next_id += 1
+
+    # ---- transactions -------------------------------------------------------------
+    commits = 0
+    for t in pb.for_range("vx.txns", n_txn, cond_srcs=("g",)):
+        op = pb.rng.random()
+        if op < 0.70 and objects:
+            # Read-modify-write transaction.
+            obj_id = int(pb.rng.choice(list(objects)))
+            addr = chain_lookup(obj_id)
+            if addr is not None:
+                for w in range(4):
+                    v = pb.load(addr + _O_PAYLOAD + 4 * w, "pv", base="p",
+                                label="vx.rmw.ld")
+                    pb.op("pv", ("pv",), label="vx.rmw.xform")
+                    pb.store(addr + _O_PAYLOAD + 4 * w, (v ^ 0x5A5A_0000) | 1,
+                             base="p", src="pv", label="vx.rmw.st")
+                commits += 1
+        elif op < 0.85:
+            insert_object(next_id)
+            next_id += 1
+            commits += 1
+        elif objects:
+            # Delete: unlink from its chain and free.
+            obj_id = int(pb.rng.choice(list(objects)))
+            addr = objects.pop(obj_id)
+            b = obj_id % _BUCKETS
+            chain = buckets[b]
+            idx = chain.index(addr)
+            nxt = pb.image.read_word(addr + _O_NEXT)
+            if idx == 0:
+                pb.store(table + 4 * b, nxt, base="g", label="vx.del.sth")
+            else:
+                pb.store(chain[idx - 1] + _O_NEXT, nxt, base="p",
+                         label="vx.del.unlink")
+            chain.pop(idx)
+            pb.free(addr)
+            commits += 1
+        # Periodic index scan over a bucket range (sequential-ish reads).
+        if t % 16 == 0:
+            for b in range(0, _BUCKETS, 8):
+                pb.load(table + 4 * b, "scan", base="g", label="vx.scan.ld")
+            pb.branch("vx.scan.done", taken=False, srcs=("scan",))
+
+    out = pb.static_array(1)
+    pb.store(out, commits & 0x3FFF, src="pv", label="vx.result")
+    return pb.build(
+        description="hash-indexed object store: lookups, RMW, create/delete churn",
+        params={"objects": n_objects, "transactions": n_txn, "commits": commits},
+    )

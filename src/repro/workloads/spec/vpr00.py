@@ -1,0 +1,125 @@
+"""spec2000.175.vpr — FPGA routing: maze expansion over a routing grid.
+
+Models vpr's route phase: for each net, a breadth-first wavefront expands
+from the source across a grid of routing-resource records until it
+reaches the sink, then the path is traced back and its occupancies
+bumped. Grid records are array-resident structs with small fields
+(occupancy, congestion cost) plus a back-pointer written during
+expansion; nets are linked source/sink pairs.
+
+Access pattern: spatially local wavefronts (good for prefetching) mixed
+with per-net random start points (scattered), landing vpr mid-pack in
+every figure — as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.workloads.base import Program, ProgramBuilder, scaled
+
+__all__ = ["build", "DEFAULT_GRID", "DEFAULT_NETS"]
+
+DEFAULT_GRID = 96
+DEFAULT_NETS = 26
+
+_G_OCC = 0
+_G_COST = 4
+_G_PREV = 8
+_G_BYTES = 12
+
+
+def build(seed: int = 1, scale: float = 1.0) -> Program:
+    """Generate the vpr program; *scale* adjusts net count."""
+    g = DEFAULT_GRID
+    n_nets = scaled(DEFAULT_NETS, scale, minimum=2)
+
+    pb = ProgramBuilder("spec2000.175.vpr", seed)
+    pb.op("g", (), label="vp.entry")
+
+    n_sq = g * g
+    grid = pb.static_array(n_sq * (_G_BYTES // 4))
+    occ = [0] * n_sq
+
+    def cell_addr(sq: int) -> int:
+        return grid + sq * _G_BYTES
+
+    # Congestion costs are float bit patterns in the original — large,
+    # incompressible values; occupancies are small counters.
+    cost_bits = [pb.rand_large() for _ in range(n_sq)]
+    for i in pb.for_range("vp.mkgrid", n_sq, cond_srcs=("g",)):
+        pb.store(cell_addr(i) + _G_OCC, 0, base="g", label="vp.init.occ")
+        pb.store(cell_addr(i) + _G_COST, cost_bits[i], base="g", label="vp.init.cost")
+        pb.store(cell_addr(i) + _G_PREV, 0, base="g", label="vp.init.prev")
+
+    def neighbors(sq: int) -> list[int]:
+        r, c = divmod(sq, g)
+        out = []
+        if r > 0:
+            out.append(sq - g)
+        if r < g - 1:
+            out.append(sq + g)
+        if c > 0:
+            out.append(sq - 1)
+        if c < g - 1:
+            out.append(sq + 1)
+        return out
+
+    routed = 0
+    total_len = 0
+    for _net in pb.for_range("vp.nets", n_nets, cond_srcs=("g",)):
+        src = int(pb.rng.integers(0, n_sq))
+        sink = int(pb.rng.integers(0, n_sq))
+        pb.op("wavep", (), label="vp.route.start")
+
+        # BFS wavefront from src to sink over uncongested cells.
+        prev: dict[int, int] = {src: src}
+        frontier = deque([src])
+        found = src == sink
+        expansions = 0
+        while frontier and not found and expansions < 600:
+            sq = frontier.popleft()
+            pb.branch("vp.wave.loop", taken=True, srcs=("wavep",))
+            for nb in neighbors(sq):
+                o = pb.load(cell_addr(nb) + _G_OCC, "o", base="wavep",
+                            label="vp.wave.ldo")
+                c = pb.load(cell_addr(nb) + _G_COST, "c", base="wavep",
+                            label="vp.wave.ldc")
+                pb.op("pcost", ("o", "c"), label="vp.wave.cost")
+                fresh = nb not in prev and occ[nb] < 3
+                if pb.if_("vp.wave.fresh", fresh, srcs=("pcost",)):
+                    prev[nb] = sq
+                    frontier.append(nb)
+                    pb.store(cell_addr(nb) + _G_PREV, cell_addr(sq), base="wavep",
+                             label="vp.wave.stprev")
+                    if nb == sink:
+                        found = True
+            expansions += 1
+        pb.branch("vp.wave.loop", taken=False, srcs=("wavep",))
+
+        if pb.if_("vp.route.found", found, srcs=("pcost",)):
+            # Trace back the path via the prev pointers, bumping occupancy.
+            routed += 1
+            sq = sink
+            path_len = 0
+            pb.op("tb", (), label="vp.trace.start")
+            while pb.while_cond("vp.trace.loop", sq != src, srcs=("tb",)):
+                pb.load(cell_addr(sq) + _G_PREV, "tb", base="tb",
+                        label="vp.trace.ldprev")
+                o = pb.load(cell_addr(sq) + _G_OCC, "o", base="tb",
+                            label="vp.trace.ldo")
+                occ[sq] += 1
+                pb.op("o", ("o",), label="vp.trace.inc")
+                pb.store(cell_addr(sq) + _G_OCC, occ[sq], base="tb", src="o",
+                         label="vp.trace.sto")
+                sq = prev[sq]
+                path_len += 1
+            total_len += path_len
+
+    out = pb.static_array(2)
+    pb.store(out, routed, src="o", label="vp.result.routed")
+    pb.store(out + 4, total_len & 0x3FFF, src="o", label="vp.result.len")
+    return pb.build(
+        description="maze-routing wavefronts over a routing-resource grid",
+        params={"grid": g, "nets": n_nets, "routed": routed, "total_len": total_len},
+    )

@@ -1,0 +1,50 @@
+"""Tests for the Figure 14 Amdahl-based importance analysis."""
+
+import pytest
+
+from repro.analysis.importance import fraction_enhanced, miss_importance
+from repro.errors import ExperimentError
+from repro.sim.runner import clear_caches
+
+
+class TestFractionEnhanced:
+    def test_no_speedup_means_zero(self):
+        assert fraction_enhanced(1000, 1000) == 0.0
+
+    def test_full_amdahl_limit(self):
+        # If halving the penalty halves the runtime, everything depended
+        # on misses: fraction = 2*(1 - 0.5)/1 = 1.
+        assert fraction_enhanced(1000, 500) == pytest.approx(1.0)
+
+    def test_textbook_example(self):
+        # S_overall = 1.25 with S_e = 2 -> fraction = 2*(1-0.8)/1 = 0.4.
+        assert fraction_enhanced(1000, 800) == pytest.approx(0.4)
+
+    def test_negative_clamped(self):
+        assert fraction_enhanced(1000, 1001) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            fraction_enhanced(0, 10)
+        with pytest.raises(ExperimentError):
+            fraction_enhanced(10, 10, s_enhanced=1.0)
+
+
+class TestMissImportance:
+    def test_runs_the_pair(self):
+        clear_caches()
+        res = miss_importance("olden.mst", "BC", scale=0.1)
+        assert res.config == "BC"
+        assert res.cycles_half_penalty <= res.cycles_base
+        assert 0.0 <= res.fraction <= 1.0
+
+    def test_unknown_config(self):
+        with pytest.raises(ExperimentError):
+            miss_importance("olden.mst", "NOPE", scale=0.1)
+
+    def test_cpp_reduces_importance_on_compressible_workload(self):
+        """The paper's core Figure 14 claim on a favourable workload."""
+        clear_caches()
+        bc = miss_importance("spec95.130.li", "BC", scale=0.3)
+        cpp = miss_importance("spec95.130.li", "CPP", scale=0.3)
+        assert cpp.fraction < bc.fraction

@@ -1,0 +1,48 @@
+"""Tests for baseline normalization."""
+
+import pytest
+
+from repro.analysis.normalize import normalize_to_baseline
+from repro.errors import ExperimentError
+from repro.sim.results import SimResult
+from repro.caches.stats import CacheStats
+from repro.cpu.metrics import CoreMetrics
+
+
+def fake_result(cycles):
+    return SimResult(
+        workload="w",
+        config="X",
+        cycles=cycles,
+        instructions=100,
+        l1=CacheStats(),
+        l2=CacheStats(),
+        bus_words=0,
+        bus_fill_words=0,
+        bus_prefetch_words=0,
+        bus_writeback_words=0,
+        metrics=CoreMetrics(),
+        branch_mispredicts=0,
+    )
+
+
+class TestNormalize:
+    def test_baseline_is_100(self):
+        results = {"BC": fake_result(200), "CPP": fake_result(150)}
+        out = normalize_to_baseline(results, lambda r: r.cycles)
+        assert out["BC"] == pytest.approx(100.0)
+        assert out["CPP"] == pytest.approx(75.0)
+
+    def test_missing_baseline(self):
+        with pytest.raises(ExperimentError):
+            normalize_to_baseline({"CPP": fake_result(1)}, lambda r: r.cycles)
+
+    def test_zero_baseline_metric(self):
+        results = {"BC": fake_result(0), "CPP": fake_result(5)}
+        out = normalize_to_baseline(results, lambda r: r.cycles)
+        assert out == {"BC": 100.0, "CPP": 100.0}
+
+    def test_custom_baseline(self):
+        results = {"HAC": fake_result(100), "CPP": fake_result(50)}
+        out = normalize_to_baseline(results, lambda r: r.cycles, baseline="HAC")
+        assert out["CPP"] == pytest.approx(50.0)

@@ -1,0 +1,48 @@
+"""Tests for the whole-evaluation report."""
+
+import pytest
+
+from repro.analysis.report import collect_outputs, evaluation_report
+from repro.sim.runner import clear_caches
+
+SUBSET = ["olden.mst"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestCollect:
+    def test_selected_figures(self):
+        outputs = collect_outputs(SUBSET, scale=0.1, figures=["fig9", "fig3"])
+        assert set(outputs) == {"fig9", "fig3"}
+        assert outputs["fig3"].figure == "fig3"
+
+
+class TestReport:
+    def test_renders_all_sections(self):
+        text = evaluation_report(
+            SUBSET, scale=0.1, charts=False
+        )
+        assert "Reproduction: Enabling Partial Cache Line Prefetching" in text
+        for figure_title in (
+            "Values encountered in memory accesses",
+            "Baseline experimental setup",
+            "Memory traffic",
+            "Execution time",
+            "L1 data-cache misses",
+            "L2 cache misses",
+            "Importance of cache misses",
+            "ready-queue length",
+        ):
+            assert figure_title in text, figure_title
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.txt"
+        text = evaluation_report(
+            SUBSET, scale=0.1, output_path=path
+        )
+        assert path.read_text(encoding="utf-8") == text

@@ -1,0 +1,193 @@
+"""Unit tests for the conventional set-associative cache."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import Cache
+from repro.caches.interface import MemoryPort
+from repro.errors import CacheProtocolError, ConfigurationError
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+
+
+def make_cache(size=512, assoc=1, line=64, mem=None, hit_latency=1):
+    mem = mem or MainMemory(MemoryImage(), latency=100)
+    port = MemoryPort(mem)
+    cache = Cache(
+        "T",
+        size_bytes=size,
+        assoc=assoc,
+        line_bytes=line,
+        hit_latency=hit_latency,
+        downstream=port,
+    )
+    return cache, mem
+
+
+class TestGeometry:
+    def test_derived_fields(self):
+        cache, _ = make_cache(size=8192, assoc=2, line=64)
+        assert cache.n_sets == 64
+        assert cache.line_words == 16
+        assert cache.set_index(cache.line_no(BASE)) == (BASE >> 6) % 64
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"size": 1000},
+            {"line": 48},
+            {"assoc": 0},
+            {"size": 64, "assoc": 2, "line": 64},  # zero sets
+        ],
+    )
+    def test_invalid_geometry(self, kw):
+        with pytest.raises(ConfigurationError):
+            make_cache(**kw)
+
+    def test_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(hit_latency=-1)
+
+
+class TestAccessBasics:
+    def test_cold_miss_then_hit(self):
+        cache, mem = make_cache()
+        mem.poke_word(BASE, 123)
+        miss = cache.access(BASE, write=False)
+        assert miss.served_by == "memory"
+        assert miss.latency == 100
+        assert miss.value == 123
+        hit = cache.access(BASE, write=False)
+        assert hit.served_by == "l1"
+        assert hit.latency == 1
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_spatial_locality_within_line(self):
+        cache, _ = make_cache()
+        cache.access(BASE, write=False)
+        for offset in range(4, 64, 4):
+            assert cache.access(BASE + offset, write=False).served_by == "l1"
+
+    def test_write_read_own_data(self):
+        cache, _ = make_cache()
+        cache.access(BASE, write=True, value=0xABCD)
+        assert cache.access(BASE, write=False).value == 0xABCD
+
+    def test_write_requires_value(self):
+        cache, _ = make_cache()
+        with pytest.raises(CacheProtocolError):
+            cache.access(BASE, write=True)
+
+
+class TestReplacement:
+    def test_direct_mapped_conflict(self):
+        cache, _ = make_cache(size=512, assoc=1, line=64)  # 8 sets
+        conflicting = BASE + 512  # same set, different tag
+        cache.access(BASE, write=False)
+        cache.access(conflicting, write=False)
+        assert cache.access(BASE, write=False).served_by == "memory"  # evicted
+
+    def test_two_way_keeps_both(self):
+        cache, _ = make_cache(size=512, assoc=2, line=64)  # 4 sets
+        cache.access(BASE, write=False)
+        cache.access(BASE + 256, write=False)  # same set, other way
+        assert cache.access(BASE, write=False).served_by == "l1"
+        assert cache.access(BASE + 256, write=False).served_by == "l1"
+
+    def test_lru_order(self):
+        cache, _ = make_cache(size=512, assoc=2, line=64)
+        a, b, c = BASE, BASE + 256, BASE + 512  # all map to one set
+        cache.access(a, write=False)
+        cache.access(b, write=False)
+        cache.access(a, write=False)  # a becomes MRU
+        cache.access(c, write=False)  # evicts b (LRU)
+        assert cache.access(a, write=False).served_by == "l1"
+        assert cache.access(b, write=False).served_by == "memory"
+
+    def test_dirty_eviction_writes_back(self):
+        cache, mem = make_cache(size=512, assoc=1, line=64)
+        cache.access(BASE, write=True, value=77)
+        cache.access(BASE + 512, write=False)  # evicts dirty line
+        assert mem.peek_word(BASE) == 77
+        assert cache.stats.writebacks == 1
+        assert mem.bus.writeback_words == 16
+
+    def test_clean_eviction_no_writeback(self):
+        cache, mem = make_cache(size=512, assoc=1, line=64)
+        cache.access(BASE, write=False)
+        cache.access(BASE + 512, write=False)
+        assert mem.bus.writeback_words == 0
+
+
+class TestLineSourceRole:
+    def test_subline_fetch(self):
+        l2_cache, mem = make_cache(size=2048, assoc=2, line=128)
+        mem.poke_word(BASE + 64, 55)
+        resp = l2_cache.fetch(BASE + 64, 16, 0)
+        assert resp.avail.all()
+        assert resp.values[0] == 55
+        assert resp.latency == 1 + 100  # L2 "hit latency" 1 + memory
+
+        resp2 = l2_cache.fetch(BASE + 64, 16, 3)
+        assert resp2.latency == 1  # now resident
+
+    def test_fetch_alignment_checked(self):
+        l2_cache, _ = make_cache(size=2048, line=128)
+        with pytest.raises(CacheProtocolError):
+            l2_cache.fetch(BASE + 4, 16, 0)
+
+    def test_fetch_width_checked(self):
+        l2_cache, _ = make_cache(size=2048, line=128)
+        with pytest.raises(CacheProtocolError):
+            l2_cache.fetch(BASE, 64, 0)  # wider than my line
+
+    def test_writeback_merges_into_resident_line(self):
+        l2_cache, mem = make_cache(size=2048, assoc=2, line=128)
+        l2_cache.fetch(BASE, 32, 0)
+        values = np.arange(16, dtype=np.uint32) + 200
+        mask = np.ones(16, dtype=bool)
+        l2_cache.write_back(BASE + 64, values, mask)
+        resp = l2_cache.fetch(BASE + 64, 16, 0)
+        assert list(resp.values) == list(values)
+
+    def test_writeback_allocates_when_absent(self):
+        l2_cache, mem = make_cache(size=2048, assoc=2, line=128)
+        mem.poke_word(BASE, 9)  # word outside the written half
+        values = np.full(16, 300, dtype=np.uint32)
+        l2_cache.write_back(BASE + 64, values, np.ones(16, dtype=bool))
+        # merged: fetched line holds both the old word and the new data
+        resp = l2_cache.fetch(BASE, 16, 0)
+        assert resp.values[0] == 9
+        resp2 = l2_cache.fetch(BASE + 64, 16, 0)
+        assert resp2.values[0] == 300
+
+    def test_record_false_suppresses_stats(self):
+        l2_cache, _ = make_cache(size=2048, line=128)
+        l2_cache.fetch(BASE, 16, 0, record=False)
+        assert l2_cache.stats.accesses == 0
+
+
+class TestMaintenance:
+    def test_flush_writes_dirty(self):
+        cache, mem = make_cache()
+        cache.access(BASE, write=True, value=5)
+        cache.access(BASE + 64, write=False)
+        cache.flush()
+        assert mem.peek_word(BASE) == 5
+        assert cache.contents() == []
+
+    def test_peek_line(self):
+        cache, mem = make_cache()
+        mem.poke_word(BASE, 4)
+        cache.access(BASE, write=False)
+        data = cache.peek_line(cache.line_no(BASE))
+        assert data is not None and data[0] == 4
+        assert cache.peek_line(cache.line_no(BASE + 0x1000)) is None
+
+    def test_probe_no_side_effects(self):
+        cache, _ = make_cache()
+        assert not cache.probe(BASE)
+        assert cache.stats.accesses == 0

@@ -1,0 +1,76 @@
+"""Hypothesis properties of the LRU buffers against reference models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.prefetch_buffer import PrefetchBuffer
+from repro.cpu.branch import BimodPredictor
+
+buffer_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 15), st.integers(0, 500)),
+        st.tuples(st.just("pop"), st.integers(0, 15), st.just(0)),
+        st.tuples(st.just("peek"), st.integers(0, 15), st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+class TestPrefetchBufferModel:
+    @given(ops=buffer_ops, capacity=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_ordered_dict_reference(self, ops, capacity):
+        """The buffer behaves as a capacity-bounded LRU map keyed by
+        line number (insertion order, refreshed on re-insert)."""
+        buf = PrefetchBuffer(capacity, 4)
+        reference: dict[int, int] = {}  # line -> ready cycle, insertion order
+        for op, line, ready in ops:
+            if op == "insert":
+                buf.insert(line, np.full(4, line, dtype=np.uint32), ready)
+                if line in reference:
+                    del reference[line]
+                elif len(reference) >= capacity:
+                    oldest = next(iter(reference))
+                    del reference[oldest]
+                reference[line] = ready
+            elif op == "pop":
+                entry = buf.pop(line)
+                expected = reference.pop(line, None)
+                assert (entry is None) == (expected is None)
+                if entry is not None:
+                    assert entry.ready_cycle == expected
+                    assert entry.data[0] == line
+            else:
+                entry = buf.peek(line)
+                assert (entry is None) == (line not in reference)
+            assert len(buf) == len(reference)
+            assert buf.line_numbers() == list(reference)
+
+
+class TestBimodModel:
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+        pc=st.integers(0, 1 << 20).map(lambda x: x * 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_two_bit_automaton(self, outcomes, pc):
+        """The predictor is exactly a 2-bit saturating counter per index."""
+        predictor = BimodPredictor(64)
+        counter = 2  # weakly taken initial state
+        for taken in outcomes:
+            assert predictor.predict(pc) == (counter >= 2)
+            predictor.update(pc, taken)
+            counter = min(3, counter + 1) if taken else max(0, counter - 1)
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_accuracy_accounting(self, outcomes):
+        predictor = BimodPredictor(64)
+        correct = 0
+        for taken in outcomes:
+            if predictor.predict(0x400000) == taken:
+                correct += 1
+            predictor.update(0x400000, taken)
+        assert predictor.lookups == len(outcomes)
+        assert predictor.correct == correct

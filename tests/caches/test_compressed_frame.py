@@ -1,0 +1,108 @@
+"""Unit tests for the CPP physical frame (PA/AA/VCP flag machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.caches.compressed_frame import CompressedFrame
+from repro.errors import CacheProtocolError
+
+
+def full(n=4, value=0):
+    return np.full(n, value, dtype=np.uint32)
+
+
+def mask(bits):
+    return np.array([b == "1" for b in bits])
+
+
+class TestInstall:
+    def test_install_primary(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(value=9), mask("1111"), mask("1010"))
+        assert f.valid
+        assert f.line_no == 5
+        assert f.n_primary_words == 4
+        assert not f.dirty
+        assert not f.aa.any()
+
+    def test_partial_install(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1100"), mask("1100"))
+        assert f.is_partial
+        assert f.n_primary_words == 2
+
+    def test_vcp_clamped_to_avail(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1100"), mask("1111"))
+        assert not f.vcp[2] and not f.vcp[3]
+
+    def test_negative_line_rejected(self):
+        f = CompressedFrame(4)
+        with pytest.raises(CacheProtocolError):
+            f.install_primary(-1, full(), mask("1111"), mask("0000"))
+
+    def test_invalidate_clears_everything(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("1111"))
+        f.aa[0] = True
+        f.dirty = True
+        f.invalidate()
+        assert not f.valid and not f.pa.any() and not f.aa.any() and not f.dirty
+
+
+class TestSpaceRule:
+    def test_slot_free_if_primary_absent(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1100"), mask("0000"))
+        assert f.can_hold_affiliated(2)  # hole
+        assert not f.can_hold_affiliated(0)  # uncompressed primary word
+
+    def test_slot_free_if_primary_compressed(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("1010"))
+        assert f.can_hold_affiliated(0)
+        assert not f.can_hold_affiliated(1)
+
+    def test_set_affiliated_words_enforces_rule(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("1010"))
+        stored = f.set_affiliated_words(full(value=3), mask("1111"))
+        assert stored == 2  # only the compressed-primary slots
+        assert list(f.aa) == [True, False, True, False]
+        assert f.avals[0] == 3
+
+    def test_set_affiliated_words_replaces(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("1111"))
+        f.set_affiliated_words(full(value=1), mask("1111"))
+        stored = f.set_affiliated_words(full(value=2), mask("1000"))
+        assert stored == 1
+        assert list(f.aa) == [True, False, False, False]
+
+
+class TestLegality:
+    def test_legal_frame_passes(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("1111"))
+        f.aa[1] = True
+        f.check_legal()
+
+    def test_aa_over_uncompressed_primary_fails(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1111"), mask("0000"))
+        f.aa[0] = True
+        with pytest.raises(CacheProtocolError):
+            f.check_legal()
+
+    def test_vcp_without_pa_fails(self):
+        f = CompressedFrame(4)
+        f.install_primary(5, full(), mask("1100"), mask("1100"))
+        f.vcp[3] = True
+        with pytest.raises(CacheProtocolError):
+            f.check_legal()
+
+    def test_invalid_frame_with_state_fails(self):
+        f = CompressedFrame(4)
+        f.pa[0] = True
+        with pytest.raises(CacheProtocolError):
+            f.check_legal()

@@ -1,0 +1,403 @@
+"""Behavioural tests for the CPP compression cache (paper §3).
+
+A single-level CompressionCache over a MemoryPort isolates the design's
+mechanics; the two-level protocol is covered in test_hierarchy and the
+integration suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.compression_cache import CompressionCache, CPPPolicy
+from repro.caches.interface import MemoryPort
+from repro.errors import CacheProtocolError, ConfigurationError
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+LINE = 64  # 16 words
+BIG = 0xDEAD_BEEF  # incompressible at heap addresses
+SMALL = 42
+
+
+def make_cpp(mem=None, *, size=512, assoc=1, policy=None):
+    mem = mem or MainMemory(MemoryImage(), latency=100)
+    cache = CompressionCache(
+        "C",
+        size_bytes=size,
+        assoc=assoc,
+        line_bytes=LINE,
+        hit_latency=1,
+        downstream=MemoryPort(mem, writeback_compressed=True),
+        policy=policy or CPPPolicy(),
+    )
+    return cache, mem
+
+
+def fill_memory(mem, addr, n_words, value_fn):
+    for i in range(n_words):
+        mem.poke_word(addr + 4 * i, value_fn(i))
+
+
+class TestAffiliatedMapping:
+    def test_mask_pairs_consecutive_lines(self):
+        cache, _ = make_cpp()
+        ln = cache.line_no(BASE)
+        assert cache.affiliated_line(ln) == ln + 1
+        assert cache.affiliated_line(ln + 1) == ln
+        assert cache.affiliated_line(cache.affiliated_line(ln)) == ln
+
+    def test_custom_mask(self):
+        cache, _ = make_cpp(policy=CPPPolicy(mask=2))
+        ln = cache.line_no(BASE)
+        assert cache.affiliated_line(ln) == ln ^ 2
+
+    def test_invalid_mask(self):
+        with pytest.raises(ConfigurationError):
+            CPPPolicy(mask=0)
+
+
+class TestPrefetchViaCompression:
+    def test_fill_prefetches_compressible_affiliated_words(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 32, lambda i: SMALL + i)  # two lines, all small
+        cache.access(BASE, write=False)
+        assert cache.probe_word(BASE) == "primary"
+        assert cache.probe_word(BASE + LINE) == "affiliated"
+        assert cache.stats.prefetched_words == 16
+        # One line's worth of bus traffic brought both lines (§3.3).
+        assert mem.bus.fill_words == 16
+
+    def test_affiliated_hit_latency(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        result = cache.access(BASE + LINE, write=False)
+        assert result.served_by == "l1-affiliated"
+        assert result.latency == 2  # +1 cycle (paper: "the next cycle")
+        assert cache.stats.affiliated_hits == 1
+
+    def test_incompressible_words_not_prefetched(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 16, lambda i: SMALL)
+        fill_memory(mem, BASE + LINE, 16, lambda i: BIG + i)  # affiliated: junk
+        cache.access(BASE, write=False)
+        assert cache.stats.prefetched_words == 0
+        assert cache.access(BASE + LINE, write=False).served_by == "memory"
+
+    def test_incompressible_primary_blocks_slot(self):
+        """Affiliated word i needs primary word i compressed or absent."""
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 16, lambda i: BIG if i < 8 else SMALL)
+        fill_memory(mem, BASE + LINE, 16, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        assert cache.stats.prefetched_words == 8  # only the free slots
+        assert cache.probe_word(BASE + LINE + 4 * 0) is None
+        assert cache.probe_word(BASE + LINE + 4 * 8) == "affiliated"
+
+    def test_partial_affiliated_hit_then_hole_miss(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 16, lambda i: BIG if i == 0 else SMALL)
+        fill_memory(mem, BASE + LINE, 16, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        # Word 0 of the affiliated line could not ride along.
+        assert cache.access(BASE + LINE + 4, write=False).served_by == "l1-affiliated"
+        miss = cache.access(BASE + LINE, write=False)
+        assert miss.served_by == "memory"
+        assert cache.stats.hole_misses >= 1
+
+    def test_no_affiliated_when_already_primary(self):
+        """'The prefetched affiliated line is discarded if it is already
+        in the cache (it must be in its primary place).'"""
+        cache, mem = make_cpp(size=1024)
+        fill_memory(mem, BASE, 16, lambda i: BIG + i)  # line0: incompressible
+        fill_memory(mem, BASE + LINE, 16, lambda i: SMALL)  # line1: small
+        cache.access(BASE + LINE, write=False)  # line1 primary; line0 can't ride
+        assert cache.probe_word(BASE) is None
+        cache.access(BASE, write=False)  # line0 fill; its affiliated (line1)
+        # would be prefetchable, but line1 is already primary -> discarded.
+        f = cache._find_primary(cache.line_no(BASE), touch=False)
+        assert f is not None and not f.aa.any()
+        assert cache.stats.prefetched_words == 0
+        cache.check_invariants()
+
+
+class TestSingleCopyInvariant:
+    def test_fill_clears_affiliated_copy(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)  # line1 affiliated
+        cache.access(BASE + LINE, write=False)  # affiliated hit
+        # Write something incompressible to line1 word 3 -> promotion.
+        cache.access(BASE + LINE + 12, write=True, value=BIG)
+        cache.check_invariants()
+        assert cache.probe_word(BASE + LINE) == "primary"
+
+    def test_invariants_hold_after_mixed_ops(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 512, lambda i: SMALL + (i % 50))
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            offset = int(rng.integers(0, 512)) * 4
+            if rng.random() < 0.3:
+                cache.access(BASE + offset, write=True, value=int(rng.integers(0, 1 << 32)))
+            else:
+                cache.access(BASE + offset, write=False)
+        cache.check_invariants()
+
+
+class TestWriteBehaviour:
+    def test_write_hit_in_affiliated_promotes(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        assert cache.probe_word(BASE + LINE) == "affiliated"
+        cache.access(BASE + LINE, write=True, value=SMALL + 1)
+        assert cache.stats.promotions == 1
+        assert cache.probe_word(BASE + LINE) == "primary"
+        assert cache.access(BASE + LINE, write=False).value == SMALL + 1
+
+    def test_compressible_to_incompressible_evicts_affiliated_word(self):
+        """§3.3: priority to the primary line's words."""
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        assert cache.probe_word(BASE + LINE) == "affiliated"
+        cache.access(BASE, write=True, value=BIG)  # word 0 now incompressible
+        assert cache.stats.dropped_affiliated_words == 1
+        assert cache.probe_word(BASE + LINE) is None  # word 0 of affiliated gone
+        assert cache.probe_word(BASE + LINE + 4) == "affiliated"  # others remain
+
+    def test_incompressible_to_compressible_updates_vcp(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 16, lambda i: BIG)
+        cache.access(BASE, write=False)
+        cache.access(BASE, write=True, value=SMALL)
+        f = cache._find_primary(cache.line_no(BASE), touch=False)
+        assert f.vcp[0]
+        cache.check_invariants()
+
+    def test_write_miss_allocates(self):
+        cache, mem = make_cpp()
+        cache.access(BASE, write=True, value=5)
+        assert cache.access(BASE, write=False).value == 5
+        assert cache.stats.misses == 1
+
+
+class TestVictimStash:
+    def test_clean_victim_stashed_into_affiliated_place(self):
+        """§3.3: before discarding a replaced line, put a clean partial
+        copy into its affiliated place when possible."""
+        cache, mem = make_cpp()  # 8 sets
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        n_sets = cache.n_sets
+        cache.access(BASE + LINE, write=False)  # line1 primary, AA of line0
+        # Promote line0 to its primary place via a write hit in the
+        # affiliated location; its frame (set 0) is line1's stash target.
+        cache.access(BASE, write=True, value=SMALL)
+        assert cache.probe_word(BASE) == "primary"
+        # Evict line1 with a conflicting line mapping to its set:
+        cache.access(BASE + LINE + n_sets * LINE, write=False)
+        assert cache.stats.stashes == 1
+        assert cache.probe_word(BASE + LINE) == "affiliated"
+        cache.check_invariants()
+
+    def test_dirty_victim_written_back_and_stashed_clean(self):
+        cache, mem = make_cpp()
+        n_sets = cache.n_sets
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        cache.access(BASE + LINE, write=True, value=77)  # promote+dirty line1
+        cache.access(BASE, write=False)  # ensure line0 still primary
+        cache.access(BASE + LINE + n_sets * LINE, write=False)  # evict dirty line1
+        assert mem.peek_word(BASE + LINE) == 77  # written back
+        assert cache.probe_word(BASE + LINE) == "affiliated"  # clean copy kept
+        result = cache.access(BASE + LINE, write=False)
+        assert result.value == 77
+        cache.check_invariants()
+
+    def test_stash_disabled_by_policy(self):
+        cache, mem = make_cpp(policy=CPPPolicy(stash_victims=False))
+        n_sets = cache.n_sets
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        cache.access(BASE + LINE, write=False)
+        cache.access(BASE + LINE + n_sets * LINE, write=False)
+        assert cache.stats.stashes == 0
+
+
+class TestLineSourceRole:
+    """CPP L2 serving word-based requests (paper: L1/L2 interface)."""
+
+    def make_l2(self, mem):
+        return CompressionCache(
+            "L2",
+            size_bytes=2048,
+            assoc=2,
+            line_bytes=128,
+            hit_latency=10,
+            downstream=MemoryPort(mem, writeback_compressed=True),
+        )
+
+    def test_fetch_returns_half_line_with_affiliated_payload(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 32, lambda i: SMALL + i)
+        l2 = self.make_l2(mem)
+        resp = l2.fetch(BASE, 16, 0, pair_addr=BASE + 64)
+        assert resp.avail.all()
+        assert resp.affil_values is not None
+        assert resp.affil_avail.all()  # other half fully compressible
+        assert list(resp.affil_values) == [SMALL + 16 + i for i in range(16)]
+
+    def test_affiliated_payload_respects_pair_rule(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 16, lambda i: BIG if i < 4 else SMALL)
+        fill_memory(mem, BASE + 64, 16, lambda i: SMALL)
+        l2 = self.make_l2(mem)
+        resp = l2.fetch(BASE, 16, 0, pair_addr=BASE + 64)
+        # Affiliated words ride only where the requested word compresses.
+        assert not resp.affil_avail[:4].any()
+        assert resp.affil_avail[4:].all()
+
+    def test_no_payload_without_pair_request(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 32, lambda i: SMALL)
+        l2 = self.make_l2(mem)
+        resp = l2.fetch(BASE, 16, 0)
+        assert resp.affil_values is None
+
+    def test_no_payload_when_pair_outside_line(self):
+        """A requester pairing across this level's line boundary (e.g. an
+        alternative mask) gets no piggy-back — the slots cannot carry it."""
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 64, lambda i: SMALL)
+        l2 = self.make_l2(mem)
+        resp = l2.fetch(BASE, 16, 0, pair_addr=BASE + 128)  # next L2 line
+        assert resp.affil_values is None
+
+    def test_partial_hit_returns_partial_line(self):
+        """'A cache hit at the L2 cache returns a partial cache line.'"""
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 64, lambda i: SMALL)
+        fill_memory(mem, BASE + 128, 32, lambda i: BIG if (i % 2) else SMALL)
+        l2 = self.make_l2(mem)
+        l2.fetch(BASE, 16, 0)  # installs L2 line0 + AA of L2 line1 (even words)
+        resp = l2.fetch(BASE + 128, 16, 0, now=0)
+        assert resp.served_by == "l2-affiliated"
+        assert resp.avail[0]
+        assert not resp.avail.all()  # partial!
+        assert resp.latency == 11  # hit + affiliated extra
+
+    def test_miss_when_requested_word_absent(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 64, lambda i: SMALL)
+        fill_memory(mem, BASE + 128, 32, lambda i: BIG if (i % 2) else SMALL)
+        l2 = self.make_l2(mem)
+        l2.fetch(BASE, 16, 0)
+        resp = l2.fetch(BASE + 128, 16, 1)  # word 1 is incompressible/absent
+        assert resp.latency == 110  # full miss to memory
+        assert resp.avail.all()
+
+    def test_force_full_line_policy(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 64, lambda i: SMALL)
+        fill_memory(mem, BASE + 128, 32, lambda i: BIG if (i % 2) else SMALL)
+        l2 = CompressionCache(
+            "L2", size_bytes=2048, assoc=2, line_bytes=128, hit_latency=10,
+            downstream=MemoryPort(mem),
+            policy=CPPPolicy(serve_partial=False),
+        )
+        l2.fetch(BASE, 16, 0)
+        resp = l2.fetch(BASE + 128, 16, 0)  # word 0 present but line partial
+        assert resp.latency == 110  # ablation: hole forces a refetch
+
+    def test_writeback_into_affiliated_promotes(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        fill_memory(mem, BASE, 64, lambda i: SMALL)
+        l2 = self.make_l2(mem)
+        l2.fetch(BASE, 16, 0)  # L2 line0 primary, AA of line1 (128B)
+        assert l2._find_affiliated(l2.line_no(BASE + 128), touch=False) is not None
+        values = np.full(16, BIG, dtype=np.uint32)
+        l2.write_back(BASE + 128, values, np.ones(16, dtype=bool))
+        assert l2.stats.promotions == 1
+        f = l2._find_primary(l2.line_no(BASE + 128), touch=False)
+        assert f is not None and f.dirty
+        l2.check_invariants()
+
+    def test_writeback_write_allocates(self):
+        mem = MainMemory(MemoryImage(), latency=100)
+        l2 = self.make_l2(mem)
+        values = np.full(16, 9, dtype=np.uint32)
+        l2.write_back(BASE, values, np.ones(16, dtype=bool))
+        resp = l2.fetch(BASE, 16, 0)
+        assert resp.values[0] == 9
+
+
+class TestEvictionWriteback:
+    def test_partial_dirty_writeback_masks_holes(self):
+        """A promoted (partial) line that gets dirty writes back only its
+        present words; memory keeps the old values in the holes."""
+        cache, mem = make_cpp()
+        n_sets = cache.n_sets
+        fill_memory(mem, BASE, 16, lambda i: BIG if i == 5 else SMALL)
+        fill_memory(mem, BASE + LINE, 16, lambda i: SMALL)
+        # line0 fill: affiliated line1 words ride except slot 5.
+        cache.access(BASE, write=False)
+        # Promote line1 via a write (word 0 present in AA):
+        cache.access(BASE + LINE, write=True, value=SMALL + 7)
+        mem.poke_word(BASE + LINE + 20, 0x5A17)  # hole word's memory value
+        # Evict dirty partial line1:
+        cache.access(BASE + LINE + n_sets * LINE, write=False)
+        assert mem.peek_word(BASE + LINE) == SMALL + 7
+        assert mem.peek_word(BASE + LINE + 20) == 0x5A17  # hole untouched
+
+    def test_store_to_hole_refetches(self):
+        cache, mem = make_cpp()
+        fill_memory(mem, BASE, 16, lambda i: BIG if i == 5 else SMALL)
+        fill_memory(mem, BASE + LINE, 16, lambda i: SMALL)
+        cache.access(BASE, write=False)
+        cache.access(BASE + LINE, write=True, value=1)  # promote partial line1
+        # Store to the hole (word 5): must fetch before writing.
+        misses_before = cache.stats.misses
+        cache.access(BASE + LINE + 20, write=True, value=2)
+        assert cache.stats.misses == misses_before + 1
+        assert cache.access(BASE + LINE + 20, write=False).value == 2
+
+
+class TestRandomizedAgainstReference:
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_read_write_stream_matches_flat_memory(self, seed, assoc_sel):
+        """Random loads/stores through the CPP cache must observe exactly
+        the values a flat memory would, and every intermediate state must
+        satisfy the structural invariants."""
+        rng = np.random.default_rng(seed)
+        assoc = [1, 1, 2, 4][assoc_sel]
+        mem = MainMemory(MemoryImage(), latency=100)
+        n_words = 256
+        for i in range(n_words):
+            kind = int(rng.integers(0, 3))
+            value = [int(rng.integers(0, 16000)),
+                     (BASE & ~0x7FFF) | int(rng.integers(0, 0x8000)) & ~3,
+                     int(rng.integers(1 << 28, 1 << 32))][kind]
+            mem.poke_word(BASE + 4 * i, value)
+        cache, _ = make_cpp(mem, size=512, assoc=assoc)
+        reference = {i: mem.peek_word(BASE + 4 * i) for i in range(n_words)}
+        for step in range(400):
+            i = int(rng.integers(0, n_words))
+            addr = BASE + 4 * i
+            if rng.random() < 0.35:
+                value = int(rng.integers(0, 1 << 32))
+                cache.access(addr, write=True, value=value)
+                reference[i] = value
+            else:
+                assert cache.access(addr, write=False).value == reference[i]
+            if step % 50 == 0:
+                cache.check_invariants()
+        cache.check_invariants()
+        # Flush and compare the full footprint against the reference.
+        cache.flush()
+        for i, expected in reference.items():
+            assert mem.peek_word(BASE + 4 * i) == expected

@@ -1,0 +1,106 @@
+"""Additional CPP cache coverage: introspection, flush, associativity."""
+
+import numpy as np
+
+from repro.caches.compression_cache import CompressionCache
+from repro.caches.interface import MemoryPort
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+SMALL = 7
+
+
+def make_cpp(mem=None, *, size=512, assoc=1):
+    mem = mem or MainMemory(MemoryImage(), latency=100)
+    cache = CompressionCache(
+        "C",
+        size_bytes=size,
+        assoc=assoc,
+        line_bytes=64,
+        hit_latency=1,
+        downstream=MemoryPort(mem, writeback_compressed=True),
+    )
+    return cache, mem
+
+
+def seed_small(mem, addr, n_words):
+    for i in range(n_words):
+        mem.poke_word(addr + 4 * i, SMALL + i)
+
+
+class TestIntrospection:
+    def test_contents_reports_pairs(self):
+        cache, mem = make_cpp()
+        seed_small(mem, BASE, 32)
+        cache.access(BASE, write=False)
+        entries = cache.contents()
+        assert len(entries) == 1
+        line_no, n_primary, n_affil, dirty = entries[0]
+        assert line_no == cache.line_no(BASE)
+        assert n_primary == 16
+        assert n_affil == 16  # fully compressible pair rode along
+        assert not dirty
+
+    def test_probe_word_states(self):
+        cache, mem = make_cpp()
+        seed_small(mem, BASE, 32)
+        assert cache.probe_word(BASE) is None
+        cache.access(BASE, write=False)
+        assert cache.probe_word(BASE) == "primary"
+        assert cache.probe_word(BASE + 64) == "affiliated"
+        assert cache.probe_word(BASE + 128) is None
+
+
+class TestFlush:
+    def test_flush_drops_affiliated_silently(self):
+        cache, mem = make_cpp()
+        seed_small(mem, BASE, 32)
+        cache.access(BASE, write=False)
+        writebacks_before = mem.bus.writeback_words
+        cache.flush()
+        # Clean primary + clean affiliated: nothing travels.
+        assert mem.bus.writeback_words == writebacks_before
+        assert cache.contents() == []
+
+    def test_flush_writes_dirty_words_only(self):
+        cache, mem = make_cpp()
+        seed_small(mem, BASE, 32)
+        cache.access(BASE, write=True, value=12345)
+        cache.flush()
+        assert mem.peek_word(BASE) == 12345
+        assert cache.contents() == []
+        cache.check_invariants()
+
+
+class TestAssociativeCPP:
+    def test_two_way_holds_conflicting_pairs(self):
+        """CPP composes with associativity: a 2-way CPP set holds two
+        primary lines, each potentially with affiliated content."""
+        cache, mem = make_cpp(size=1024, assoc=2)  # 8 sets
+        n_sets = cache.n_sets
+        seed_small(mem, BASE, 32)
+        conflict = BASE + n_sets * 64
+        seed_small(mem, conflict, 32)
+        cache.access(BASE, write=False)
+        cache.access(conflict, write=False)  # same set, second way
+        assert cache.access(BASE, write=False).served_by == "l1"
+        assert cache.access(conflict, write=False).served_by == "l1"
+        # Both pairs prefetched:
+        assert cache.probe_word(BASE + 64) == "affiliated"
+        assert cache.probe_word(conflict + 64) == "affiliated"
+        cache.check_invariants()
+
+    def test_lru_within_cpp_set(self):
+        cache, mem = make_cpp(size=1024, assoc=2)
+        n_sets = cache.n_sets
+        a, b, c = BASE, BASE + n_sets * 64, BASE + 2 * n_sets * 64
+        for addr in (a, b, c):
+            seed_small(mem, addr, 16)
+        cache.access(a, write=False)
+        cache.access(b, write=False)
+        cache.access(a, write=False)  # a MRU
+        cache.access(c, write=False)  # evicts b
+        assert cache.access(a, write=False).served_by == "l1"
+        assert cache.access(b, write=False).served_by == "memory"
+        cache.check_invariants()

@@ -1,0 +1,136 @@
+"""Two-level hierarchy tests across all five configurations."""
+
+import pytest
+
+from repro.caches.hierarchy import (
+    CONFIG_NAMES,
+    HierarchyParams,
+    build_hierarchy,
+)
+from repro.errors import ConfigurationError
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+from tests.conftest import TINY_PARAMS, make_tiny
+
+BASE = 0x1000_0000
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_builds(self, name):
+        h = make_tiny(name)
+        assert h.name == name
+
+    def test_case_insensitive(self):
+        mem = MainMemory(MemoryImage())
+        assert build_hierarchy("cpp", mem, TINY_PARAMS).name == "CPP"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_hierarchy("XYZ", MainMemory(MemoryImage()))
+
+    def test_hac_doubles_associativity(self):
+        h = make_tiny("HAC")
+        assert h.l1.assoc == 2 * TINY_PARAMS.l1_assoc
+        assert h.l2.assoc == 2 * TINY_PARAMS.l2_assoc
+
+    def test_bcp_has_buffers(self):
+        h = make_tiny("BCP")
+        assert h.l1.buffer.n_entries == TINY_PARAMS.l1_buffer_entries
+        assert h.l2.buffer.n_entries == TINY_PARAMS.l2_buffer_entries
+
+    def test_scaled_latencies(self):
+        p = HierarchyParams().scaled_latencies(0.5)
+        assert p.l2_latency == 5
+        with pytest.raises(ConfigurationError):
+            HierarchyParams().scaled_latencies(0)
+
+
+class TestLatencies:
+    """The paper's Figure 9 latency structure, on each configuration."""
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_l1_hit_is_one_cycle(self, name, seeded_memory):
+        h = make_tiny(name, seeded_memory)
+        h.load(BASE)
+        assert h.load(BASE).latency == 1
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_cold_miss_pays_memory_latency(self, name, seeded_memory):
+        h = make_tiny(name, seeded_memory)
+        assert h.load(BASE).latency == 110  # 10 (L2) + 100 (memory)
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_l2_hit_costs_ten(self, name, seeded_memory):
+        h = make_tiny(name, seeded_memory)
+        h.load(BASE)  # into both levels
+        # Evict from tiny L1 with conflicting lines, keep in larger L2:
+        for k in range(1, 3):
+            h.load(BASE + k * TINY_PARAMS.l1_size)
+        lat = h.load(BASE).latency
+        assert lat in (10, 11)  # 11 = CPP affiliated location at L2
+
+
+class TestDataPaths:
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_read_your_writes_through_evictions(self, name):
+        h = make_tiny(name)
+        addrs = [BASE + 64 * k for k in range(32)]  # 4x the tiny L1
+        for i, addr in enumerate(addrs):
+            h.store(addr, 0x4000_0000 + i)
+        for i, addr in enumerate(addrs):
+            assert h.load(addr).value == 0x4000_0000 + i, name
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_flush_reaches_memory(self, name):
+        h = make_tiny(name)
+        h.store(BASE, 1234)
+        h.flush()
+        assert h.memory.peek_word(BASE) == 1234
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_invariants_after_traffic(self, name, seeded_memory):
+        h = make_tiny(name, seeded_memory)
+        for k in range(200):
+            addr = BASE + (k * 92) % 8192
+            addr &= ~3
+            if k % 3 == 0:
+                h.store(addr, k)
+            else:
+                h.load(addr)
+        h.check_invariants()
+
+
+class TestTrafficShape:
+    """Coarse cross-configuration properties on a mixed access stream."""
+
+    def run_stream(self, name, seeded_memory=None):
+        mem = seeded_memory or MainMemory(MemoryImage())
+        h = make_tiny(name, mem)
+        for k in range(1024):
+            h.load(BASE + 4 * (k % 2048))
+        return h
+
+    def test_bcc_traffic_below_bc(self, seeded_memory):
+        bc = self.run_stream("BC")
+        # fresh seeded memory per config
+        from tests.conftest import HEAP  # noqa: F401
+
+        bcc = self.run_stream("BCC")
+        assert bcc.bus.total_words < bc.bus.total_words
+
+    def test_bcc_timing_equals_bc(self, seeded_memory):
+        bc = self.run_stream("BC")
+        bcc = self.run_stream("BCC")
+        assert bc.l1_stats.misses == bcc.l1_stats.misses
+        assert bc.l2_stats.misses == bcc.l2_stats.misses
+
+    def test_bcp_generates_prefetch_traffic(self):
+        bcp = self.run_stream("BCP")
+        assert bcp.bus.prefetch_words > 0
+
+    def test_cpp_fill_traffic_at_most_bc(self):
+        bc = self.run_stream("BC")
+        cpp = self.run_stream("CPP")
+        assert cpp.bus.fill_words <= bc.bus.fill_words

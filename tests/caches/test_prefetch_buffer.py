@@ -1,0 +1,86 @@
+"""Unit tests for the fully-associative LRU prefetch buffer."""
+
+import numpy as np
+import pytest
+
+from repro.caches.prefetch_buffer import PrefetchBuffer
+from repro.errors import ConfigurationError
+
+
+def data(v, n=16):
+    return np.full(n, v, dtype=np.uint32)
+
+
+class TestBasics:
+    def test_insert_and_pop(self):
+        buf = PrefetchBuffer(4, 16)
+        buf.insert(10, data(1), ready_cycle=5)
+        entry = buf.pop(10)
+        assert entry is not None
+        assert entry.data[0] == 1
+        assert entry.ready_cycle == 5
+        assert buf.pop(10) is None  # consumed
+
+    def test_contains(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(3, data(0))
+        assert 3 in buf
+        assert 4 not in buf
+
+    def test_peek_does_not_consume(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(3, data(0))
+        assert buf.peek(3) is not None
+        assert 3 in buf
+
+    def test_wrong_width_rejected(self):
+        buf = PrefetchBuffer(2, 16)
+        with pytest.raises(ConfigurationError):
+            buf.insert(1, data(0, n=8))
+
+    def test_min_entries(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchBuffer(0, 16)
+
+
+class TestLRU:
+    def test_evicts_oldest_when_full(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(1, data(1))
+        buf.insert(2, data(2))
+        buf.insert(3, data(3))
+        assert 1 not in buf
+        assert 2 in buf and 3 in buf
+        assert buf.evictions == 1
+
+    def test_reinsert_refreshes(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(1, data(1))
+        buf.insert(2, data(2))
+        buf.insert(1, data(10), ready_cycle=99)  # refresh, no eviction
+        buf.insert(3, data(3))  # evicts 2 (oldest)
+        assert 1 in buf and 3 in buf and 2 not in buf
+        assert buf.peek(1).data[0] == 10
+        assert buf.peek(1).ready_cycle == 99
+
+    def test_line_numbers_oldest_first(self):
+        buf = PrefetchBuffer(3, 16)
+        for ln in (5, 7, 6):
+            buf.insert(ln, data(ln))
+        assert buf.line_numbers() == [5, 7, 6]
+
+
+class TestTiming:
+    def test_ready_semantics(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(1, data(1), ready_cycle=100)
+        entry = buf.peek(1)
+        assert not entry.ready(50)
+        assert entry.ready(100)
+        assert entry.ready(150)
+
+    def test_clear(self):
+        buf = PrefetchBuffer(2, 16)
+        buf.insert(1, data(1))
+        buf.clear()
+        assert len(buf) == 0

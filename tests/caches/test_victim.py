@@ -1,0 +1,122 @@
+"""Tests for the victim-cache extension."""
+
+import numpy as np
+import pytest
+
+from repro.caches.hierarchy import build_hierarchy
+from repro.caches.interface import MemoryPort
+from repro.caches.victim import VictimAwareCache, VictimBuffer, VictimCache
+from repro.errors import ConfigurationError
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads.registry import generate
+
+from tests.conftest import TINY_PARAMS
+
+BASE = 0x1000_0000
+
+
+def make_victim_l1(mem=None, entries=2):
+    mem = mem or MainMemory(MemoryImage(), latency=100)
+    cache = VictimAwareCache(
+        "L1",
+        size_bytes=512,
+        assoc=1,
+        line_bytes=64,
+        hit_latency=1,
+        downstream=MemoryPort(mem),
+        victim_entries=entries,
+    )
+    return VictimCache(cache), mem
+
+
+class TestVictimBuffer:
+    def test_insert_pop(self):
+        buf = VictimBuffer(2, 16)
+        buf.insert(1, np.zeros(16, dtype=np.uint32), dirty=False)
+        assert 1 in buf
+        assert buf.pop(1) is not None
+        assert buf.pop(1) is None
+
+    def test_dirty_spill_on_overflow(self):
+        buf = VictimBuffer(1, 16)
+        assert buf.insert(1, np.zeros(16, dtype=np.uint32), True) is None
+        spilled = buf.insert(2, np.zeros(16, dtype=np.uint32), False)
+        assert spilled is not None and spilled[0] == 1
+        assert buf.dirty_spills == 1
+
+    def test_clean_overflow_silent(self):
+        buf = VictimBuffer(1, 16)
+        buf.insert(1, np.zeros(16, dtype=np.uint32), False)
+        assert buf.insert(2, np.zeros(16, dtype=np.uint32), False) is None
+
+    def test_entries_checked(self):
+        with pytest.raises(ConfigurationError):
+            VictimBuffer(0, 16)
+
+
+class TestVictimRecovery:
+    def test_conflict_eviction_recovered(self):
+        vc, mem = make_victim_l1()
+        mem.poke_word(BASE, 7)
+        vc.access(BASE, write=False)  # line A
+        vc.access(BASE + 512, write=False)  # conflicts: A -> victim buffer
+        result = vc.access(BASE, write=False)  # recovered, not re-fetched
+        assert result.served_by == "l1-victim"
+        assert result.value == 7
+        assert vc.stats.extra["victim_hits"] == 1
+
+    def test_dirty_victim_keeps_data(self):
+        vc, mem = make_victim_l1()
+        vc.access(BASE, write=True, value=42)
+        vc.access(BASE + 512, write=False)  # evict dirty A into buffer
+        assert mem.peek_word(BASE) == 0  # write-back deferred!
+        result = vc.access(BASE, write=False)
+        assert result.value == 42
+
+    def test_deferred_writeback_on_age_out(self):
+        vc, mem = make_victim_l1(entries=1)
+        vc.access(BASE, write=True, value=9)
+        vc.access(BASE + 512, write=False)  # dirty A -> buffer
+        vc.access(BASE + 1024, write=False)  # B -> buffer, spills A
+        assert mem.peek_word(BASE) == 9
+
+    def test_flush_drains_dirty_victims(self):
+        vc, mem = make_victim_l1()
+        vc.access(BASE, write=True, value=5)
+        vc.access(BASE + 512, write=False)
+        vc.flush()
+        assert mem.peek_word(BASE) == 5
+
+
+class TestBvcHierarchy:
+    def test_builds(self):
+        h = build_hierarchy("BVC", MainMemory(MemoryImage()), TINY_PARAMS)
+        assert h.name == "BVC"
+
+    def test_verified_run_and_memory_equivalence(self):
+        program = generate("spec2000.300.twolf", seed=1, scale=0.15)
+        cfg = SimConfig(cache_config="BVC")
+        from repro.caches.hierarchy import build_hierarchy as bh
+        from repro.cpu.pipeline import OutOfOrderCore
+
+        memory = MainMemory(latency=cfg.effective_memory_latency())
+        h = bh("BVC", memory, cfg.effective_hierarchy())
+        OutOfOrderCore(h, cfg.core, verify_loads=True).run(program.trace)
+        h.flush()
+        assert memory.image == program.final_image
+
+    def test_helps_conflict_heavy_workload(self):
+        """A victim cache must beat plain BC where conflicts dominate."""
+        program = generate("spec2000.300.twolf", seed=1, scale=0.2)
+        bc = Machine("BC").run(program)
+        bvc = Machine(SimConfig(cache_config="BVC")).run(program)
+        assert bvc.cycles < bc.cycles
+        assert bvc.l1.extra.get("victim_hits", 0) > 0
+
+    def test_excluded_from_paper_configs(self):
+        from repro.sim.config import CONFIG_NAMES
+
+        assert "BVC" not in CONFIG_NAMES

@@ -1,0 +1,120 @@
+"""Unit + property tests for word/line compress-decompress."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.codec import (
+    compress_word,
+    decompress_word,
+    pack_line,
+    packed_bus_words,
+)
+from repro.compression.flags import VT_POINTER, VT_SMALL
+from repro.compression.scheme import PAPER_SCHEME
+from repro.utils.bitops import MASK32, to_uint32
+
+words = st.integers(min_value=0, max_value=MASK32)
+aligned_addrs = st.integers(min_value=0, max_value=MASK32 // 4).map(lambda x: x * 4)
+
+
+class TestCompressWord:
+    def test_small_value_fields(self):
+        cw = compress_word(42, 0x1000_0000)
+        assert cw is not None
+        assert cw.vt == VT_SMALL
+        assert cw.payload == 42
+        assert cw.bits == 16
+
+    def test_pointer_fields(self):
+        cw = compress_word(0x1000_2004, 0x1000_0000)
+        assert cw is not None
+        assert cw.vt == VT_POINTER
+        assert cw.payload == 0x2004
+
+    def test_encoded_layout(self):
+        # VT occupies the top bit of the 16-bit slot (Figure 2).
+        cw = compress_word(0x1000_2004, 0x1000_0000)
+        assert cw.encoded == (1 << 15) | 0x2004
+
+    def test_incompressible_returns_none(self):
+        assert compress_word(0xDEAD_BEEF, 0x1000_0000) is None
+
+    @given(words, aligned_addrs)
+    def test_roundtrip_when_compressible(self, v, addr):
+        cw = compress_word(v, addr)
+        if cw is not None:
+            assert decompress_word(cw, addr) == v
+
+    @given(st.integers(min_value=-16384, max_value=16383), aligned_addrs)
+    def test_small_roundtrip_any_address(self, v, addr):
+        """Small values reconstruct regardless of the reading address."""
+        cw = compress_word(to_uint32(v), addr)
+        assert cw is not None
+        other = (addr + 0x4_0000) & MASK32 & ~3
+        if cw.vt == VT_SMALL:
+            assert decompress_word(cw, other) == to_uint32(v)
+
+
+class TestPackLine:
+    def test_all_compressible(self):
+        values = [1, 2, 3, 4]
+        addrs = [0x1000_0000 + 4 * i for i in range(4)]
+        res = pack_line(values, addrs)
+        assert res.n_compressible == 4
+        # 4 x 16 payload bits + 4 flag bits = 68 bits -> 3 bus words.
+        assert res.total_bits == 68
+        assert res.bus_words == 3
+        assert res.saved_words == 1
+
+    def test_none_compressible(self):
+        values = [0xDEAD_BEEF] * 4
+        addrs = [0x1000_0000 + 4 * i for i in range(4)]
+        res = pack_line(values, addrs)
+        assert res.n_compressible == 0
+        # 4 x 32 + 4 flag bits -> 5 bus words: compression can LOSE by the
+        # flag overhead, exactly one word per 32 words of line.
+        assert res.bus_words == 5
+
+    def test_flag_bits_optional(self):
+        values = [0xDEAD_BEEF] * 4
+        addrs = [0x1000_0000 + 4 * i for i in range(4)]
+        res = pack_line(values, addrs, count_flag_bits=False)
+        assert res.bus_words == 4
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pack_line([1, 2], [0])
+
+    def test_empty_line(self):
+        res = pack_line([], [])
+        assert res.bus_words == 0
+        assert res.n_words == 0
+
+    @given(
+        st.lists(
+            st.tuples(words, aligned_addrs), min_size=1, max_size=32
+        )
+    )
+    def test_bus_words_bounds(self, pairs):
+        values = [v for v, _ in pairs]
+        addrs = [a for _, a in pairs]
+        res = pack_line(values, addrs)
+        n = len(values)
+        # Never below half (plus flags), never above full width + 1 flag word.
+        assert res.bus_words <= n + 1
+        assert res.bus_words >= (n + 1) // 2
+
+    def test_shorthand(self):
+        values = [1, 2]
+        addrs = [0x1000_0000, 0x1000_0004]
+        assert packed_bus_words(values, addrs) == pack_line(values, addrs).bus_words
+
+
+class TestDecompressErrors:
+    def test_invalid_vt_rejected(self):
+        from repro.compression.codec import CompressedWord
+
+        bad = CompressedWord(vt=2, payload=0, scheme=PAPER_SCHEME)
+        with pytest.raises(ValueError):
+            decompress_word(bad, 0)

@@ -1,0 +1,93 @@
+"""Tests for the frequent-value compression extension."""
+
+import numpy as np
+import pytest
+
+from repro.compression.frequent import FrequentValueScheme, profile_frequent_values
+from repro.compression.vectorized import compressible_mask, compression_summary
+from repro.errors import ConfigurationError
+from repro.workloads.registry import generate
+
+BASE = 0x1000_0000
+
+
+class TestScheme:
+    def test_membership(self):
+        s = FrequentValueScheme([0, 1, 0xDEAD_BEEF])
+        assert s.is_compressible(0, BASE)
+        assert s.is_compressible(0xDEAD_BEEF, BASE)  # FVC catches junk values!
+        assert not s.is_compressible(2, BASE)
+
+    def test_address_independent(self):
+        s = FrequentValueScheme([5])
+        assert s.is_compressible(5, 0) == s.is_compressible(5, 0x7FFF_0000)
+
+    def test_compressed_bits_scales_with_table(self):
+        assert FrequentValueScheme(range(2)).compressed_bits == 8
+        assert FrequentValueScheme(range(128)).compressed_bits == 8
+        assert FrequentValueScheme(range(129)).compressed_bits == 16
+        assert FrequentValueScheme(range(4096)).compressed_bits == 16
+
+    def test_duplicates_collapsed(self):
+        s = FrequentValueScheme([7, 7, 7])
+        assert s.table_size == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequentValueScheme([])
+
+    def test_vectorized_matches_scalar(self):
+        s = FrequentValueScheme([1, 100, 0xCAFEBABE])
+        values = np.array([1, 2, 100, 0xCAFEBABE, 0], dtype=np.uint32)
+        addrs = np.full(5, BASE, dtype=np.uint32)
+        mask = s.mask_compressible(values, addrs)
+        for i in range(5):
+            assert mask[i] == s.is_compressible(int(values[i]), BASE)
+
+    def test_plugs_into_bulk_classifier(self):
+        s = FrequentValueScheme([9])
+        values = np.array([9, 10], dtype=np.uint32)
+        addrs = np.full(2, BASE, dtype=np.uint32)
+        assert list(compressible_mask(values, addrs, s)) == [True, False]
+        summary = compression_summary(values, addrs, s)
+        assert summary.n_compressible == 1
+
+
+class TestProfiling:
+    def test_top_values_selected(self):
+        program = generate("spec95.129.compress", seed=1, scale=0.1)
+        scheme = profile_frequent_values(program.trace, top_n=64)
+        assert scheme.table_size == 64
+        # The most frequent single value must be in the table:
+        values, _ = program.trace.accessed_values()
+        top = np.bincount(values % (1 << 16)).argmax()  # cheap sanity proxy
+        summary = compression_summary(*program.trace.accessed_values(), scheme)
+        assert summary.fraction_compressible > 0.1
+
+    def test_top_n_checked(self):
+        program = generate("olden.mst", seed=1, scale=0.1)
+        with pytest.raises(ConfigurationError):
+            profile_frequent_values(program.trace, top_n=0)
+
+
+class TestEndToEndWithCPP:
+    def test_cpp_runs_verified_with_fvc_scheme(self):
+        """The whole CPP machinery must work unchanged over the
+        alternative compressibility predicate."""
+        from repro.caches.hierarchy import HierarchyParams, build_hierarchy
+        from repro.cpu.pipeline import OutOfOrderCore
+        from repro.memory.main_memory import MainMemory
+        from repro.sim.config import SimConfig
+
+        program = generate("spec95.130.li", seed=1, scale=0.15)
+        scheme = profile_frequent_values(program.trace, top_n=256)
+        config = SimConfig(
+            cache_config="CPP", hierarchy=HierarchyParams(scheme=scheme)
+        )
+        memory = MainMemory(latency=config.effective_memory_latency())
+        hierarchy = build_hierarchy("CPP", memory, config.effective_hierarchy())
+        OutOfOrderCore(hierarchy, config.core, verify_loads=True).run(program.trace)
+        hierarchy.check_invariants()
+        hierarchy.flush()
+        assert memory.image == program.final_image
+        assert hierarchy.l1_stats.prefetched_words > 0  # FVC-driven prefetch

@@ -1,0 +1,140 @@
+"""Unit + property tests for the paper's compression scheme (§2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.scheme import PAPER_SCHEME, CompressClass, CompressionScheme
+from repro.errors import ConfigurationError
+from repro.utils.bitops import MASK32, to_uint32
+
+words = st.integers(min_value=0, max_value=MASK32)
+aligned_addrs = st.integers(min_value=0, max_value=MASK32 // 4).map(lambda x: x * 4)
+
+
+class TestPaperGeometry:
+    """The exact constants the paper states."""
+
+    def test_compressed_width_is_16_bits(self):
+        assert PAPER_SCHEME.compressed_bits == 16
+
+    def test_pointer_prefix_is_17_bits(self):
+        assert PAPER_SCHEME.pointer_prefix_bits == 17
+
+    def test_small_check_is_18_bits(self):
+        assert PAPER_SCHEME.small_check_bits == 18
+
+    def test_small_value_range(self):
+        # "small values within the range [-16384, 16383] are compressible"
+        assert PAPER_SCHEME.small_min == -16384
+        assert PAPER_SCHEME.small_max == 16383
+
+    def test_pointer_chunk_is_32k(self):
+        # "pointers within a 32K memory chunk ... are compressible"
+        assert PAPER_SCHEME.pointer_chunk_bytes == 32 * 1024
+
+
+class TestSmallValues:
+    @pytest.mark.parametrize("v", [0, 1, 100, 16383])
+    def test_positive_small(self, v):
+        assert PAPER_SCHEME.is_small(v)
+
+    @pytest.mark.parametrize("v", [-1, -100, -16384])
+    def test_negative_small(self, v):
+        assert PAPER_SCHEME.is_small(to_uint32(v))
+
+    @pytest.mark.parametrize("v", [16384, -16385, 1 << 20, 0xDEADBEEF])
+    def test_out_of_range(self, v):
+        assert not PAPER_SCHEME.is_small(to_uint32(v))
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_matches_range_definition(self, v):
+        assert PAPER_SCHEME.is_small(to_uint32(v)) == (-16384 <= v <= 16383)
+
+
+class TestPointers:
+    def test_same_chunk(self):
+        assert PAPER_SCHEME.is_pointer(0x1000_2000, 0x1000_7FFC)
+
+    def test_chunk_boundary(self):
+        # 32 KB chunks are aligned: 0x...0000-0x...7FFF vs 0x...8000-.
+        assert not PAPER_SCHEME.is_pointer(0x1000_7FFC, 0x1000_8000)
+
+    def test_far_apart(self):
+        assert not PAPER_SCHEME.is_pointer(0x1000_0000, 0x2000_0000)
+
+    @given(words, aligned_addrs)
+    def test_matches_prefix_definition(self, v, addr):
+        same_chunk = (v >> 15) == (addr >> 15)
+        assert PAPER_SCHEME.is_pointer(v, addr) == same_chunk
+
+
+class TestClassify:
+    def test_small_wins_over_pointer(self):
+        # A small value stored at a low address passes both tests; the
+        # hardware reports it as a sign-extension compressible value.
+        addr = 0x0000_1000
+        value = 0x0000_1004
+        assert PAPER_SCHEME.is_small(value) and PAPER_SCHEME.is_pointer(value, addr)
+        assert PAPER_SCHEME.classify(value, addr) is CompressClass.SMALL
+
+    def test_pointer_class(self):
+        assert (
+            PAPER_SCHEME.classify(0x1000_2000, 0x1000_0000)
+            is CompressClass.POINTER
+        )
+
+    def test_incompressible(self):
+        assert (
+            PAPER_SCHEME.classify(0xDEAD_BEEF, 0x1000_0000)
+            is CompressClass.INCOMPRESSIBLE
+        )
+
+    @given(words, aligned_addrs)
+    def test_is_compressible_consistent(self, v, addr):
+        assert PAPER_SCHEME.is_compressible(v, addr) == (
+            PAPER_SCHEME.classify(v, addr) is not CompressClass.INCOMPRESSIBLE
+        )
+
+
+class TestExpansion:
+    @given(st.integers(min_value=-16384, max_value=16383))
+    def test_small_roundtrip(self, v):
+        u = to_uint32(v)
+        assert PAPER_SCHEME.expand_small(PAPER_SCHEME.payload_of(u)) == u
+
+    @given(aligned_addrs, st.integers(min_value=0, max_value=0x7FFF))
+    def test_pointer_roundtrip(self, addr, offset):
+        ptr = (addr & ~0x7FFF) | offset
+        assert PAPER_SCHEME.expand_pointer(PAPER_SCHEME.payload_of(ptr), addr) == ptr
+
+
+class TestParameterization:
+    def test_width_8(self):
+        s = CompressionScheme(payload_bits=7)
+        assert s.compressed_bits == 8
+        assert s.small_min == -64 and s.small_max == 63
+        assert s.pointer_chunk_bytes == 128
+
+    def test_width_24(self):
+        s = CompressionScheme(payload_bits=23)
+        assert s.compressed_bits == 24
+        assert s.pointer_chunk_bytes == 1 << 23
+
+    @pytest.mark.parametrize("bad", [0, -1, 31, 40])
+    def test_invalid_width_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            CompressionScheme(payload_bits=bad)
+
+    @given(
+        st.integers(min_value=4, max_value=30),
+        words,
+        aligned_addrs,
+    )
+    def test_wider_payload_compresses_superset(self, p, v, addr):
+        """Anything compressible at payload p is compressible at p+... only
+        for the small test; assert monotonicity of the small predicate."""
+        narrow = CompressionScheme(payload_bits=p - 1)
+        wide = CompressionScheme(payload_bits=p)
+        if narrow.is_small(v):
+            assert wide.is_small(v)

@@ -1,0 +1,42 @@
+"""Gate-delay model tests against the paper's §3.2 numbers."""
+
+import pytest
+
+from repro.compression.scheme import CompressionScheme
+from repro.compression.timing import GateDelayModel
+
+
+class TestPaperNumbers:
+    def test_compress_is_8_gate_delays(self):
+        # "Each of the checks can be performed using log(18) = 5 levels of
+        # 2 input gates ... 3 levels of gates to distinguish these cases.
+        # The total delay is 8 gate delays."
+        assert GateDelayModel().compress_gate_delays == 8
+
+    def test_decompress_is_2_levels(self):
+        # "we need at least two levels of gates to decompress"
+        assert GateDelayModel().decompress_gate_delays == 2
+
+    def test_compression_hidden_in_typical_cycle(self):
+        # A cycle comfortably fits 16+ gate levels; the compressor fits.
+        assert GateDelayModel().compression_hidden(16)
+
+    def test_decompression_hidden_under_tag_match(self):
+        assert GateDelayModel().decompression_hidden(4)
+
+
+class TestParameterized:
+    def test_wider_payload_is_faster(self):
+        # Keeping more payload bits shrinks the prefix comparators.
+        wide = GateDelayModel(scheme=CompressionScheme(payload_bits=23))
+        assert wide.compress_gate_delays < GateDelayModel().compress_gate_delays
+
+    def test_widest_check_tracks_scheme(self):
+        m = GateDelayModel(scheme=CompressionScheme(payload_bits=23))
+        assert m.widest_check_bits == m.scheme.small_check_bits
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            GateDelayModel().compression_hidden(0)
+        with pytest.raises(ValueError):
+            GateDelayModel().decompression_hidden(-1)

@@ -1,0 +1,112 @@
+"""The vectorized classifier must agree bit-for-bit with the scalar one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.scheme import PAPER_SCHEME, CompressClass, CompressionScheme
+from repro.compression.vectorized import (
+    classify_words,
+    compressible_mask,
+    compression_summary,
+)
+
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestAgreementWithScalar:
+    @given(
+        arrays(np.uint32, st.integers(1, 64), elements=u32),
+        st.integers(min_value=0, max_value=(1 << 30) - 1),
+    )
+    @settings(max_examples=50)
+    def test_classify_matches_scalar(self, values, base):
+        addrs = (np.uint32(base * 4) + 4 * np.arange(len(values), dtype=np.uint32))
+        classes = classify_words(values, addrs)
+        for i in range(len(values)):
+            expected = PAPER_SCHEME.classify(int(values[i]), int(addrs[i]))
+            assert CompressClass(classes[i]) is expected
+
+    @given(arrays(np.uint32, 16, elements=u32))
+    @settings(max_examples=50)
+    def test_mask_matches_scalar(self, values):
+        addrs = np.uint32(0x1000_0000) + 4 * np.arange(16, dtype=np.uint32)
+        mask = compressible_mask(values, addrs)
+        for i in range(16):
+            assert mask[i] == PAPER_SCHEME.is_compressible(
+                int(values[i]), int(addrs[i])
+            )
+
+    def test_alternate_scheme(self):
+        s = CompressionScheme(payload_bits=7)
+        values = np.array([63, 64, 200], dtype=np.uint32)
+        addrs = np.array([0, 4, 8], dtype=np.uint32)
+        classes = classify_words(values, addrs, s)
+        assert CompressClass(classes[0]) is CompressClass.SMALL
+        # 64 has nonuniform high bits at 8-bit width but shares the prefix
+        # of its tiny address -> pointer.
+        assert CompressClass(classes[1]) is CompressClass.POINTER
+
+
+class TestPackedBusWordsVec:
+    @given(
+        arrays(np.uint32, st.integers(0, 48), elements=u32),
+        st.integers(min_value=0, max_value=(1 << 28) - 1),
+    )
+    @settings(max_examples=50)
+    def test_matches_scalar_codec(self, values, base):
+        from repro.compression.codec import packed_bus_words
+        from repro.compression.vectorized import packed_bus_words_vec
+
+        addrs = (np.uint32(base * 4) + 4 * np.arange(len(values), dtype=np.uint32))
+        vec = packed_bus_words_vec(values, addrs)
+        scalar = packed_bus_words(
+            [int(v) for v in values], [int(a) for a in addrs]
+        )
+        assert vec == scalar
+
+    def test_no_flags_option(self):
+        from repro.compression.vectorized import packed_bus_words_vec
+
+        values = np.full(4, 0xDEAD_BEEF, dtype=np.uint32)
+        addrs = np.uint32(0x1000_0000) + 4 * np.arange(4, dtype=np.uint32)
+        assert packed_bus_words_vec(values, addrs, count_flag_bits=False) == 4
+        assert packed_bus_words_vec(values, addrs) == 5
+
+
+class TestShapesAndErrors:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classify_words(
+                np.zeros(4, dtype=np.uint32), np.zeros(5, dtype=np.uint32)
+            )
+
+    def test_empty(self):
+        s = compression_summary(
+            np.array([], dtype=np.uint32), np.array([], dtype=np.uint32)
+        )
+        assert s.n_words == 0
+        assert s.fraction_compressible == 0.0
+
+
+class TestSummary:
+    def test_counts(self):
+        values = np.array([5, 0xDEADBEEF, 0x1000_2000], dtype=np.uint32)
+        addrs = np.array([0x1000_0000] * 3, dtype=np.uint32)
+        s = compression_summary(values, addrs)
+        assert s.n_small == 1
+        assert s.n_pointer == 1
+        assert s.n_incompressible == 1
+        assert s.fraction_compressible == pytest.approx(2 / 3)
+        assert s.fraction_small == pytest.approx(1 / 3)
+        assert s.fraction_pointer == pytest.approx(1 / 3)
+
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 32, 1000, dtype=np.uint32)
+        addrs = np.uint32(0x2000_0000) + 4 * np.arange(1000, dtype=np.uint32)
+        s = compression_summary(values, addrs)
+        total = s.fraction_small + s.fraction_pointer + s.n_incompressible / s.n_words
+        assert total == pytest.approx(1.0)

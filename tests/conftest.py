@@ -1,0 +1,74 @@
+"""Shared fixtures: small machines, images, and canned data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caches.hierarchy import HierarchyParams, build_hierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+#: A small geometry that exercises conflicts quickly in unit tests:
+#: 512 B direct-mapped L1 (64 B lines), 2 KB 2-way L2 (128 B lines).
+TINY_PARAMS = HierarchyParams(
+    l1_size=512,
+    l1_assoc=1,
+    l1_line=64,
+    l1_latency=1,
+    l2_size=2048,
+    l2_assoc=2,
+    l2_line=128,
+    l2_latency=10,
+    l1_buffer_entries=2,
+    l2_buffer_entries=4,
+)
+
+HEAP = 0x1000_0000
+
+
+@pytest.fixture
+def image() -> MemoryImage:
+    return MemoryImage()
+
+
+@pytest.fixture
+def memory() -> MainMemory:
+    return MainMemory(MemoryImage(), latency=100)
+
+
+@pytest.fixture
+def seeded_memory() -> MainMemory:
+    """Memory pre-loaded with a deterministic mix of values.
+
+    Words at HEAP + 4*i hold: small values (i % 4 == 0, 1), pointers into
+    the same 32 KB chunk (i % 4 == 2), and incompressible junk
+    (i % 4 == 3) over the first 16 KB.
+    """
+    img = MemoryImage()
+    for i in range(4096):
+        addr = HEAP + 4 * i
+        kind = i % 4
+        if kind in (0, 1):
+            value = (i * 7) % 16000
+        elif kind == 2:
+            value = (addr & ~0x7FFF) | ((i * 52) & 0x7FFC)
+        else:
+            value = 0xDEAD_0000 | i
+        img.write_word(addr, value)
+    return MainMemory(img, latency=100)
+
+
+def make_tiny(config: str, mem: MainMemory | None = None):
+    """Build a tiny-geometry hierarchy of the given configuration."""
+    return build_hierarchy(config, mem or MainMemory(MemoryImage(), latency=100), TINY_PARAMS)
+
+
+@pytest.fixture(params=["BC", "BCC", "HAC", "BCP", "CPP"])
+def any_tiny_hierarchy(request, seeded_memory):
+    """Each of the five configurations over the seeded memory."""
+    return make_tiny(request.param, seeded_memory)
+
+
+def rng_values(seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 1 << 32, n, dtype=np.uint32)

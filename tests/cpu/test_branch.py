@@ -1,0 +1,67 @@
+"""Unit tests for the bimod branch predictor."""
+
+import pytest
+
+from repro.cpu.branch import BimodPredictor
+from repro.errors import ConfigurationError
+
+
+class TestBimod:
+    def test_initially_weakly_taken(self):
+        p = BimodPredictor(64)
+        assert p.predict(0x400000) is True
+
+    def test_learns_not_taken(self):
+        p = BimodPredictor(64)
+        p.update(0x400000, False)
+        p.update(0x400000, False)
+        assert p.predict(0x400000) is False
+
+    def test_two_bit_hysteresis(self):
+        """One odd outcome must not flip a saturated counter."""
+        p = BimodPredictor(64)
+        for _ in range(4):
+            p.update(0x400000, True)
+        p.update(0x400000, False)
+        assert p.predict(0x400000) is True
+
+    def test_saturation(self):
+        p = BimodPredictor(64)
+        for _ in range(100):
+            p.update(0x400000, True)
+        p.update(0x400000, False)
+        p.update(0x400000, False)
+        assert p.predict(0x400000) is False  # two steps down from saturated
+
+    def test_accuracy_on_biased_stream(self):
+        p = BimodPredictor(64)
+        for i in range(1000):
+            p.update(0x400000, i % 10 != 9)  # 90% taken loop branch
+        assert p.accuracy > 0.85
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        p = BimodPredictor(1024)
+        p.update(0x400000, False)
+        p.update(0x400000, False)
+        assert p.predict(0x400000) is False
+        assert p.predict(0x400080) is True  # untouched entry
+
+    def test_aliasing_with_tiny_table(self):
+        p = BimodPredictor(2)
+        p.update(0x400000, False)
+        p.update(0x400000, False)
+        # 0x400000 and 0x400000 + 2*8 alias in a 2-entry table (pc>>3).
+        assert p.predict(0x400000 + 16) is False
+
+    def test_mispredict_count(self):
+        p = BimodPredictor(64)
+        p.update(0x400000, False)  # predicted taken (init) -> mispredict
+        assert p.mispredicts == 1
+        assert p.lookups == 1
+
+    def test_table_size_checked(self):
+        with pytest.raises(ConfigurationError):
+            BimodPredictor(100)
+
+    def test_empty_accuracy(self):
+        assert BimodPredictor(64).accuracy == 0.0

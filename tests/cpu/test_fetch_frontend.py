@@ -1,0 +1,73 @@
+"""Front-end behaviour tests: IFQ sizing and fetch-stall accounting."""
+
+from repro.cpu.pipeline import CoreConfig, OutOfOrderCore
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+
+from tests.conftest import make_tiny
+
+BASE = 0x1000_0000
+
+
+def mispredict_heavy_trace(n_pairs):
+    """Alternating-taken branches: bimod mispredicts about half of them."""
+    tb = TraceBuilder("mispredicts")
+    for i in range(n_pairs):
+        tb.append(0x400000, OpClass.IALU, dest=1)
+        tb.append(0x400008, OpClass.BRANCH, src1=1, taken=i % 2 == 0)
+    return tb.build()
+
+
+def alu_block(n):
+    tb = TraceBuilder("alu")
+    for i in range(n):
+        tb.append(0x400000 + 8 * (i % 8), OpClass.IALU, dest=i % 48)
+    return tb.build()
+
+
+class TestFetchStalls:
+    def test_stall_cycles_counted_on_mispredicts(self):
+        result = OutOfOrderCore(make_tiny("BC")).run(mispredict_heavy_trace(100))
+        assert result.branch_mispredicts > 20
+        assert result.metrics.fetch_stall_cycles > result.branch_mispredicts
+
+    def test_no_stalls_without_branches(self):
+        result = OutOfOrderCore(make_tiny("BC")).run(alu_block(200))
+        assert result.metrics.fetch_stall_cycles == 0
+        assert result.branch_mispredicts == 0
+
+    def test_penalty_zero_still_stalls_until_resolve(self):
+        """Even with no redirect penalty, fetch waits for the branch to
+        execute — the unavoidable resolution delay."""
+        trace = mispredict_heavy_trace(100)
+        zero = OutOfOrderCore(
+            make_tiny("BC"), CoreConfig(mispredict_penalty=0)
+        ).run(trace)
+        assert zero.metrics.fetch_stall_cycles > 0
+
+
+class TestIfqSizing:
+    def test_tiny_ifq_limits_fetch_ahead(self):
+        """With a 1-entry IFQ the front end cannot run ahead, so a
+        mispredict-free trace still loses throughput."""
+        trace = alu_block(400)
+        tiny = OutOfOrderCore(make_tiny("BC"), CoreConfig(ifq_size=1)).run(trace)
+        wide = OutOfOrderCore(make_tiny("BC"), CoreConfig(ifq_size=16)).run(trace)
+        assert tiny.cycles > wide.cycles
+
+    def test_huge_ifq_no_worse(self):
+        trace = alu_block(400)
+        wide = OutOfOrderCore(make_tiny("BC"), CoreConfig(ifq_size=16)).run(trace)
+        huge = OutOfOrderCore(make_tiny("BC"), CoreConfig(ifq_size=64)).run(trace)
+        assert huge.cycles <= wide.cycles
+
+
+class TestCommitWidth:
+    def test_commit_width_bounds_throughput(self):
+        trace = alu_block(400)
+        narrow = OutOfOrderCore(
+            make_tiny("BC"), CoreConfig(commit_width=1)
+        ).run(trace)
+        wide = OutOfOrderCore(make_tiny("BC"), CoreConfig(commit_width=4)).run(trace)
+        assert narrow.cycles >= 400  # at most 1 IPC
+        assert wide.cycles < narrow.cycles

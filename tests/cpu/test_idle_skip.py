@@ -1,0 +1,93 @@
+"""The idle-cycle skip must be timing-neutral.
+
+The skip jumps the clock when no pipeline stage can make progress. If
+its "nothing can happen" predicate were ever wrong, every reported cycle
+count would silently be wrong too — so we prove equivalence by running
+identical traces with the skip on and off and demanding bit-identical
+cycle counts and metrics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.pipeline import CoreConfig, OutOfOrderCore
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads.registry import generate
+
+from tests.conftest import make_tiny
+
+BASE = 0x1000_0000
+
+op_stream = st.lists(
+    st.tuples(
+        st.sampled_from(["alu", "mult", "load", "store", "branch"]),
+        st.integers(min_value=0, max_value=255),  # word index / taken parity
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_trace(stream):
+    tb = TraceBuilder("skip-equiv")
+    last_dest = -1
+    for i, (kind, arg) in enumerate(stream):
+        pc = 0x400000 + 8 * (i % 32)
+        if kind == "alu":
+            tb.append(pc, OpClass.IALU, dest=i % 64, src1=last_dest)
+            last_dest = i % 64
+        elif kind == "mult":
+            tb.append(pc, OpClass.IMULT, dest=i % 64, src1=last_dest)
+            last_dest = i % 64
+        elif kind == "load":
+            tb.append(pc, OpClass.LOAD, dest=i % 64, addr=BASE + 4 * arg)
+            last_dest = i % 64
+        elif kind == "store":
+            tb.append(
+                pc, OpClass.STORE, src1=last_dest, addr=BASE + 4 * arg, value=arg
+            )
+        else:
+            tb.append(pc, OpClass.BRANCH, src1=last_dest, taken=arg % 2 == 0)
+    return tb.build()
+
+
+class TestSkipEquivalence:
+    @given(stream=op_stream)
+    @settings(max_examples=25, deadline=None)
+    def test_random_traces_identical(self, stream):
+        trace = build_trace(stream)
+        results = {}
+        for skip in (True, False):
+            core = OutOfOrderCore(
+                make_tiny("BC"), CoreConfig(enable_idle_skip=skip)
+            )
+            results[skip] = core.run(trace)
+        assert results[True].cycles == results[False].cycles
+        assert (
+            results[True].metrics.miss_cycles
+            == results[False].metrics.miss_cycles
+        )
+        assert (
+            results[True].metrics.fetch_stall_cycles
+            == results[False].metrics.fetch_stall_cycles
+        )
+
+    @pytest.mark.parametrize("config", ["BC", "BCP", "CPP"])
+    def test_real_workload_identical(self, config):
+        program = generate("olden.mst", seed=1, scale=0.1)
+        fast = Machine(
+            SimConfig(cache_config=config, core=CoreConfig(enable_idle_skip=True))
+        ).run(program)
+        slow = Machine(
+            SimConfig(cache_config=config, core=CoreConfig(enable_idle_skip=False))
+        ).run(program)
+        assert fast.cycles == slow.cycles
+        assert fast.l1.misses == slow.l1.misses
+        assert fast.bus_words == slow.bus_words
+        assert fast.metrics.avg_ready_queue_in_miss_cycles == pytest.approx(
+            slow.metrics.avg_ready_queue_in_miss_cycles
+        )

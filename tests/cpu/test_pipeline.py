@@ -1,0 +1,209 @@
+"""Timing-semantics tests for the out-of-order core."""
+
+import pytest
+
+from repro.cpu.pipeline import CoreConfig, OutOfOrderCore
+from repro.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+
+from tests.conftest import make_tiny
+
+BASE = 0x1000_0000
+
+
+def run_core(trace, config=None, *, hierarchy=None, verify=False):
+    hierarchy = hierarchy or make_tiny("BC")
+    core = OutOfOrderCore(hierarchy, config, verify_loads=verify)
+    return core.run(trace)
+
+
+def alu_chain(n, dependent):
+    tb = TraceBuilder("chain")
+    for i in range(n):
+        src = i - 1 if (dependent and i > 0) else -1
+        tb.append(0x400000 + 8 * i, OpClass.IALU, dest=i, src1=src)
+    return tb.build()
+
+
+class TestBasicThroughput:
+    def test_empty_trace(self):
+        result = run_core(TraceBuilder().build())
+        assert result.cycles == 0
+
+    def test_independent_ops_use_full_width(self):
+        n = 400
+        result = run_core(alu_chain(n, dependent=False))
+        # 4-wide issue, 4 ALUs: about n/4 cycles plus pipeline fill.
+        assert result.cycles < n / 4 + 20
+
+    def test_dependent_chain_serializes(self):
+        n = 400
+        result = run_core(alu_chain(n, dependent=True))
+        # One per cycle along the chain.
+        assert n <= result.cycles < n + 20
+
+    def test_chain_vs_parallel_ratio(self):
+        serial = run_core(alu_chain(256, dependent=True)).cycles
+        parallel = run_core(alu_chain(256, dependent=False)).cycles
+        assert serial > 3 * parallel
+
+    def test_determinism(self):
+        trace = alu_chain(300, dependent=True)
+        a = run_core(trace).cycles
+        b = run_core(trace).cycles
+        assert a == b
+
+    def test_ipc_reported(self):
+        result = run_core(alu_chain(100, dependent=False))
+        assert result.ipc == pytest.approx(100 / result.cycles)
+
+
+class TestFunctionalUnits:
+    def test_div_latency_exposed_in_chain(self):
+        tb = TraceBuilder()
+        for i in range(20):
+            tb.append(0x400000 + 8 * i, OpClass.IDIV, dest=i, src1=i - 1 if i else -1)
+        result = run_core(tb.build())
+        assert result.cycles >= 20 * 20  # IDIV latency 20 each, serialized
+
+    def test_single_multiplier_contended(self):
+        tb = TraceBuilder()
+        for i in range(64):
+            tb.append(0x400000 + 8 * i, OpClass.IMULT, dest=i)
+        result = run_core(tb.build())
+        # One mult issue per cycle despite 4-wide issue.
+        assert result.cycles >= 64
+
+
+class TestMemory:
+    def test_load_miss_stalls_dependent(self):
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE)
+        tb.append(0x400008, OpClass.IALU, dest=2, src1=1)
+        result = run_core(tb.build())
+        assert result.cycles >= 110  # cold miss to memory
+
+    def test_hot_cache_is_fast(self):
+        hierarchy = make_tiny("BC")
+        hierarchy.load(BASE)  # warm the line
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE)
+        tb.append(0x400008, OpClass.IALU, dest=2, src1=1)
+        result = run_core(tb.build(), hierarchy=hierarchy)
+        assert result.cycles < 20
+
+    def test_independent_loads_overlap(self):
+        """Two misses to different lines share their latency (2 ports)."""
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE)
+        tb.append(0x400008, OpClass.LOAD, dest=2, addr=BASE + 0x4000)
+        serial_estimate = 2 * 110
+        result = run_core(tb.build())
+        assert result.cycles < serial_estimate * 0.75
+
+    def test_store_to_load_forwarding(self):
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.STORE, addr=BASE, value=99)
+        tb.append(0x400008, OpClass.LOAD, dest=1, addr=BASE, value=99)
+        result = run_core(tb.build(), verify=True)
+        assert result.metrics.forwarded_loads == 1
+        assert result.cycles < 50  # no cache miss on the load
+
+    def test_forwarding_takes_latest_older_store(self):
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.STORE, addr=BASE, value=1)
+        tb.append(0x400008, OpClass.STORE, addr=BASE, value=2)
+        tb.append(0x400010, OpClass.LOAD, dest=1, addr=BASE, value=2)
+        run_core(tb.build(), verify=True)  # verify mode asserts the value
+
+    def test_verify_mode_catches_bad_trace_value(self):
+        hierarchy = make_tiny("BC")
+        hierarchy.memory.poke_word(BASE, 7)
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE, value=8)  # wrong
+        with pytest.raises(TraceError):
+            run_core(tb.build(), hierarchy=hierarchy, verify=True)
+
+    def test_stores_commit_to_hierarchy(self):
+        hierarchy = make_tiny("BC")
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.STORE, addr=BASE, value=55)
+        run_core(tb.build(), hierarchy=hierarchy)
+        assert hierarchy.load(BASE).value == 55
+
+
+class TestBranches:
+    @staticmethod
+    def branch_trace(pattern, repeats):
+        tb = TraceBuilder()
+        for r in range(repeats):
+            for j, taken in enumerate(pattern):
+                tb.append(0x400000, OpClass.IALU, dest=1)
+                tb.append(0x400008, OpClass.BRANCH, src1=1, taken=taken)
+        return tb.build()
+
+    def test_predictable_loop_fast(self):
+        result = run_core(self.branch_trace([True], 200))
+        assert result.branch_mispredicts < 5
+
+    def test_alternating_pattern_hurts(self):
+        biased = run_core(self.branch_trace([True], 200))
+        random_ish = run_core(self.branch_trace([True, False], 100))
+        assert random_ish.branch_mispredicts > biased.branch_mispredicts
+        assert random_ish.cycles > biased.cycles
+
+    def test_mispredict_penalty_scales(self):
+        trace = self.branch_trace([True, False], 100)
+        cheap = run_core(trace, CoreConfig(mispredict_penalty=0))
+        costly = run_core(trace, CoreConfig(mispredict_penalty=10))
+        assert costly.cycles > cheap.cycles
+
+
+class TestStructuralLimits:
+    def test_small_ruu_hurts_ilp(self):
+        trace = alu_chain(400, dependent=False)
+        narrow = run_core(trace, CoreConfig(ruu_size=4))
+        wide = run_core(trace, CoreConfig(ruu_size=16))
+        assert narrow.cycles > wide.cycles
+
+    def test_lsq_bounds_outstanding_mem_ops(self):
+        tb = TraceBuilder()
+        for i in range(32):
+            tb.append(0x400000 + 8 * i, OpClass.LOAD, dest=i, addr=BASE + 64 * i)
+        tight = run_core(tb.build(), CoreConfig(lsq_size=1))
+        loose = run_core(tb.build(), CoreConfig(lsq_size=8))
+        assert tight.cycles > loose.cycles
+
+    def test_config_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CoreConfig(issue_width=0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(mispredict_penalty=-1)
+
+
+class TestMetrics:
+    def test_ready_queue_sampled_in_miss_cycles(self):
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE)
+        for i in range(30):  # independent work behind the miss
+            tb.append(0x400100 + 8 * i, OpClass.IALU, dest=100 + i)
+        result = run_core(tb.build())
+        assert result.metrics.miss_cycles > 0
+
+    def test_loads_by_level_accounted(self):
+        hierarchy = make_tiny("BC")
+        tb = TraceBuilder()
+        tb.append(0x400000, OpClass.LOAD, dest=1, addr=BASE)
+        tb.append(0x400008, OpClass.LOAD, dest=2, addr=BASE)
+        result = run_core(tb.build(), hierarchy=hierarchy)
+        by_level = result.metrics.loads_by_level
+        assert by_level.get("memory", 0) == 1
+        assert by_level.get("l1", 0) == 1
+
+    def test_committed_equals_trace_length(self):
+        trace = alu_chain(123, dependent=False)
+        result = run_core(trace)
+        assert result.metrics.committed == 123

@@ -1,0 +1,65 @@
+"""Unit tests for the functional-unit pool."""
+
+import pytest
+
+from repro.cpu.resources import FuCounts, FuPool
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import OpClass
+
+
+class TestFuCounts:
+    def test_paper_defaults(self):
+        fu = FuCounts()
+        assert fu.ialu == 4
+        assert fu.imult == 1
+        assert fu.mem_ports == 2
+        assert fu.falu == 4
+        assert fu.fmult == 1
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FuCounts(ialu=0)
+
+
+class TestFuPool:
+    def test_alu_slots_per_cycle(self):
+        pool = FuPool()
+        assert all(pool.try_issue(OpClass.IALU) for _ in range(4))
+        assert not pool.try_issue(OpClass.IALU)
+
+    def test_new_cycle_resets(self):
+        pool = FuPool()
+        for _ in range(4):
+            pool.try_issue(OpClass.IALU)
+        pool.new_cycle()
+        assert pool.try_issue(OpClass.IALU)
+
+    def test_mult_and_div_share_the_unit(self):
+        pool = FuPool()
+        assert pool.try_issue(OpClass.IMULT)
+        assert not pool.try_issue(OpClass.IDIV)
+
+    def test_loads_and_stores_share_mem_ports(self):
+        pool = FuPool()
+        assert pool.try_issue(OpClass.LOAD)
+        assert pool.try_issue(OpClass.STORE)
+        assert not pool.try_issue(OpClass.LOAD)
+
+    def test_branch_uses_alu(self):
+        pool = FuPool()
+        for _ in range(4):
+            assert pool.try_issue(OpClass.BRANCH)
+        assert not pool.try_issue(OpClass.IALU)
+
+    def test_fp_units_independent_of_int(self):
+        pool = FuPool()
+        for _ in range(4):
+            pool.try_issue(OpClass.IALU)
+        assert pool.try_issue(OpClass.FALU)
+        assert pool.try_issue(OpClass.FMULT)
+
+    def test_free_slots_introspection(self):
+        pool = FuPool()
+        assert pool.free_slots(OpClass.IALU) == 4
+        pool.try_issue(OpClass.IALU)
+        assert pool.free_slots(OpClass.IALU) == 3

@@ -1,0 +1,101 @@
+"""Experiment-harness tests: every figure regenerates with sane structure.
+
+Run on a two-workload subset at reduced scale so the whole file stays
+fast; full-suite shape claims live in tests/integration.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import render_output
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.sim.runner import clear_caches
+
+SUBSET = ["olden.treeadd", "spec95.130.li"]
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRegistry:
+    def test_all_eight_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        }
+
+    def test_lookup_normalization(self):
+        assert get_experiment("Figure 10") is EXPERIMENTS["fig10"]
+
+    def test_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestEveryFigure:
+    @pytest.mark.parametrize("figure", sorted(EXPERIMENTS))
+    def test_runs_and_renders(self, figure):
+        out = run_experiment(figure, SUBSET, scale=SCALE)
+        assert out.figure == figure
+        assert out.headers and out.rows
+        for row in out.rows:
+            assert len(row) == len(out.headers)
+        text = render_output(out)
+        assert out.title in text
+
+    @pytest.mark.parametrize("figure", ["fig10", "fig11", "fig12", "fig13"])
+    def test_normalized_figures_have_bc_at_100(self, figure):
+        out = run_experiment(figure, SUBSET, scale=SCALE)
+        bc_col = out.headers.index("BC")
+        for row in out.rows:
+            assert row[bc_col] == pytest.approx(100.0)
+
+    def test_fig3_reports_percentages(self):
+        out = run_experiment("fig3", SUBSET, scale=SCALE)
+        comp_col = out.headers.index("compressible %")
+        for row in out.rows:
+            assert 0.0 <= row[comp_col] <= 100.0
+
+    def test_fig9_matches_live_defaults(self):
+        out = run_experiment("fig9")
+        table = {row[0]: row[1] for row in out.rows}
+        assert table["Issue width"].startswith("4")
+        assert "8K" in table["L1 D-cache"]
+        assert "64K" in table["L2 cache"]
+
+    def test_fig14_importance_in_range(self):
+        out = run_experiment("fig14", SUBSET, scale=SCALE)
+        for row in out.rows:
+            for value in row[1:]:
+                assert 0.0 <= float(value) <= 100.0
+
+    def test_fig15_has_uplift_column(self):
+        out = run_experiment("fig15", SUBSET, scale=SCALE)
+        assert out.headers[-1] == "uplift %"
+
+    def test_average_row_present(self):
+        out = run_experiment("fig11", SUBSET, scale=SCALE)
+        assert out.rows[-1][0] == "average"
+
+
+class TestCli:
+    def test_main_runs_single_figure(self, capsys):
+        from repro.experiments.runall import main
+
+        rc = main(["fig9", "--no-charts"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "Baseline experimental setup" in captured
+
+    def test_main_with_workload_subset(self, capsys):
+        from repro.experiments.runall import main
+
+        rc = main(
+            ["fig3", "--workloads", "olden.treeadd", "--scale", "0.1", "--no-charts"]
+        )
+        assert rc == 0
+        assert "olden.treeadd" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the shared normalized-comparison machinery."""
+
+import pytest
+
+from repro.experiments._matrix import DEFAULT_CONFIGS, normalized_comparison
+from repro.experiments.common import GEOMEAN, ExperimentOutput, resolve_workloads
+from repro.sim.runner import clear_caches
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestResolveWorkloads:
+    def test_default_is_the_paper_fourteen(self):
+        assert resolve_workloads(None) == list(WORKLOAD_NAMES)
+
+    def test_subset_passthrough(self):
+        assert resolve_workloads(["olden.mst"]) == ["olden.mst"]
+
+
+class TestNormalizedComparison:
+    def test_bc_always_added(self):
+        out = normalized_comparison(
+            figure="figX",
+            title="t",
+            metric=lambda r: float(r.cycles),
+            workloads=["olden.mst"],
+            configs=["CPP"],
+            scale=0.1,
+        )
+        assert out.headers == ["workload", "BC", "CPP"]
+        assert out.rows[0][1] == pytest.approx(100.0)
+
+    def test_average_row_is_arithmetic_mean(self):
+        out = normalized_comparison(
+            figure="figX",
+            title="t",
+            metric=lambda r: float(r.cycles),
+            workloads=["olden.mst", "olden.treeadd"],
+            configs=["BC", "CPP"],
+            scale=0.1,
+        )
+        cpp = out.series["CPP"]
+        per_workload = [v for k, v in cpp.items() if k != GEOMEAN]
+        assert cpp[GEOMEAN] == pytest.approx(sum(per_workload) / 2)
+
+    def test_default_configs_are_the_paper_five(self):
+        assert DEFAULT_CONFIGS == ("BC", "BCC", "HAC", "BCP", "CPP")
+
+    def test_output_type(self):
+        out = normalized_comparison(
+            figure="figX",
+            title="t",
+            metric=lambda r: float(r.bus_words),
+            workloads=["olden.mst"],
+            configs=["BC", "BCC"],
+            scale=0.1,
+        )
+        assert isinstance(out, ExperimentOutput)
+        assert out.baseline_value == 100.0
+        assert "BC" not in out.series  # baseline column, not a bar series
+
+
+class TestCliParallel:
+    def test_runall_parallel_flag(self, capsys):
+        from repro.experiments.runall import main
+
+        rc = main(
+            [
+                "fig11",
+                "--workloads",
+                "olden.mst",
+                "--scale",
+                "0.1",
+                "--parallel",
+                "--workers",
+                "1",
+                "--no-charts",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prewarmed" in out
+        assert "Execution time" in out

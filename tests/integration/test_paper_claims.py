@@ -1,0 +1,133 @@
+"""The paper's headline claims, asserted as executable statements.
+
+These run a reduced-scale version of the full evaluation (all five
+configurations on a representative workload subset) and check the *shape*
+of each result — who wins, in which direction — exactly as the
+reproduction contract demands. Absolute magnitudes are reported by the
+benchmark harness instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.vectorized import compression_summary
+from repro.sim.runner import clear_caches, get_program, run_workload
+from repro.workloads.registry import WORKLOAD_NAMES
+
+SCALE = 0.35
+SUBSET = [
+    "olden.treeadd",
+    "olden.health",
+    "spec95.130.li",
+    "spec95.129.compress",
+    "spec2000.300.twolf",
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def results_for(workload):
+    return {
+        cfg: run_workload(workload, cfg, scale=SCALE)
+        for cfg in ("BC", "BCC", "HAC", "BCP", "CPP")
+    }
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {w: results_for(w) for w in SUBSET}
+
+
+class TestFigure3Claims:
+    def test_average_compressibility_near_59_percent(self):
+        fracs = [
+            compression_summary(
+                *get_program(w, scale=SCALE).trace.accessed_values()
+            ).fraction_compressible
+            for w in WORKLOAD_NAMES
+        ]
+        assert 0.45 <= float(np.mean(fracs)) <= 0.75
+
+
+class TestFigure10Claims:
+    def test_bcc_cuts_traffic_everywhere(self, matrix):
+        for w, r in matrix.items():
+            assert r["BCC"].bus_words < r["BC"].bus_words, w
+
+    def test_bcp_increases_traffic(self, matrix):
+        """'hardware prefetching increases memory traffic significantly'"""
+        ratios = [r["BCP"].bus_words / r["BC"].bus_words for r in matrix.values()]
+        assert float(np.mean(ratios)) > 1.2
+
+    def test_cpp_reduces_traffic_despite_prefetching(self, matrix):
+        for w, r in matrix.items():
+            assert r["CPP"].bus_words < r["BC"].bus_words, w
+
+    def test_cpp_traffic_below_bcp(self, matrix):
+        for w, r in matrix.items():
+            assert r["CPP"].bus_words < r["BCP"].bus_words, w
+
+
+class TestFigure11Claims:
+    def test_bcc_timing_identical_to_bc(self, matrix):
+        for w, r in matrix.items():
+            assert r["BCC"].cycles == r["BC"].cycles, w
+
+    def test_cpp_speeds_up_on_average(self, matrix):
+        ratios = [r["CPP"].cycles / r["BC"].cycles for r in matrix.values()]
+        assert float(np.mean(ratios)) < 0.97  # paper: ~7% faster
+
+    def test_cpp_never_catastrophic(self, matrix):
+        """CPP 'never kicks out a cache line in order to accommodate a
+        prefetched line' — no pollution, so no big slowdowns."""
+        for w, r in matrix.items():
+            assert r["CPP"].cycles <= 1.02 * r["BC"].cycles, w
+
+    def test_cpp_beats_bcp_on_conflict_dominated_twolf(self, matrix):
+        r = matrix["spec2000.300.twolf"]
+        assert r["CPP"].cycles < r["BCP"].cycles
+
+
+class TestFigure12And13Claims:
+    def test_cpp_reduces_l1_misses_on_compressible_workloads(self, matrix):
+        for w in ("olden.treeadd", "spec95.130.li", "spec2000.300.twolf"):
+            r = matrix[w]
+            assert r["CPP"].l1.misses < r["BC"].l1.misses, w
+
+    def test_cpp_reduces_l2_misses(self, matrix):
+        for w in ("olden.treeadd", "spec95.130.li"):
+            r = matrix[w]
+            assert r["CPP"].l2.misses < r["BC"].l2.misses, w
+
+    def test_prefetch_buffer_hits_not_counted_as_misses(self, matrix):
+        for w, r in matrix.items():
+            assert r["BCP"].l1.misses <= r["BC"].l1.misses, w
+
+
+class TestCPPMechanics:
+    def test_affiliated_hits_occur(self, matrix):
+        for w in ("olden.treeadd", "spec95.130.li"):
+            assert matrix[w]["CPP"].l1.affiliated_hits > 0, w
+
+    def test_prefetched_words_installed(self, matrix):
+        for w in ("olden.treeadd", "spec95.130.li"):
+            assert matrix[w]["CPP"].l1.prefetched_words > 0, w
+
+    def test_value_transitions_drop_affiliated_words(self, matrix):
+        """Stores that turn words incompressible must reclaim slots
+        somewhere in a real run."""
+        total = sum(
+            r["CPP"].l1.dropped_affiliated_words
+            + r["CPP"].l2.dropped_affiliated_words
+            for r in matrix.values()
+        )
+        assert total > 0
+
+    def test_cpp_fill_traffic_never_exceeds_bc(self, matrix):
+        for w, r in matrix.items():
+            assert r["CPP"].bus_fill_words <= r["BC"].bus_fill_words, w

@@ -1,0 +1,69 @@
+"""Tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.isa.traceio import load_trace, save_trace
+from repro.workloads.registry import generate
+
+
+def small_trace():
+    tb = TraceBuilder("io-test")
+    tb.append(0x400000, OpClass.LOAD, dest=1, addr=0x1000, value=7)
+    tb.append(0x400008, OpClass.IALU, dest=2, src1=1)
+    tb.append(0x400010, OpClass.STORE, src2=2, addr=0x1004, value=9)
+    tb.append(0x400018, OpClass.BRANCH, src1=2, taken=True)
+    return tb.build()
+
+
+class TestRoundTrip:
+    def test_columns_identical(self, tmp_path):
+        trace = small_trace()
+        path = save_trace(trace, tmp_path / "t")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        for col in ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken"):
+            assert np.array_equal(getattr(loaded, col), getattr(trace, col)), col
+
+    def test_real_workload_roundtrip(self, tmp_path):
+        trace = generate("olden.mst", seed=1, scale=0.1).trace
+        loaded = load_trace(save_trace(trace, tmp_path / "mst.npz"))
+        assert len(loaded) == len(trace)
+        assert np.array_equal(loaded.value, trace.value)
+
+    def test_suffix_appended_once(self, tmp_path):
+        path = save_trace(small_trace(), tmp_path / "x.npz")
+        assert path.name == "x.npz"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_trace_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        import json
+
+        trace = small_trace()
+        path = tmp_path / "old.npz"
+        meta = json.dumps({"version": 0, "name": "x"})
+        np.savez(
+            path,
+            meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+            **{
+                c: getattr(trace, c)
+                for c in ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken")
+            },
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)

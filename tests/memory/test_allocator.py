@@ -1,0 +1,143 @@
+"""Unit + property tests for the simulated heap allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.memory.allocator import BumpAllocator, FreeListAllocator
+
+
+class TestBumpAllocator:
+    def test_sequential_addresses(self):
+        a = BumpAllocator(0x1000, 0x2000)
+        first = a.malloc(16)
+        second = a.malloc(16)
+        assert first == 0x1000
+        assert second == 0x1010
+
+    def test_alignment(self):
+        a = BumpAllocator(0x1000, 0x2000, alignment=8)
+        a.malloc(4)  # rounds to 8
+        second = a.malloc(4)
+        assert second % 8 == 0
+        assert second == 0x1008
+
+    def test_explicit_align(self):
+        a = BumpAllocator(0x1000, 0x9000)
+        a.malloc(4)
+        aligned = a.malloc(16, align=64)
+        assert aligned % 64 == 0
+
+    def test_exhaustion(self):
+        a = BumpAllocator(0x1000, 0x1020)
+        a.malloc(32)
+        with pytest.raises(AllocationError):
+            a.malloc(8)
+
+    def test_rejects_nonpositive(self):
+        a = BumpAllocator()
+        with pytest.raises(AllocationError):
+            a.malloc(0)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            BumpAllocator(0x1000, 0x1000)
+        with pytest.raises(ConfigurationError):
+            BumpAllocator(alignment=6)
+
+    def test_bytes_used(self):
+        a = BumpAllocator(0x1000, 0x2000)
+        a.malloc(24)
+        assert a.bytes_used == 24
+        assert a.n_allocs == 1
+
+    def test_locality_within_chunk(self):
+        """Consecutive small allocations stay within one 32 KB chunk —
+        the layout property pointer compression relies on."""
+        a = BumpAllocator(0x1000_0000, 0x2000_0000)
+        addrs = [a.malloc(16) for _ in range(100)]
+        prefixes = {addr >> 15 for addr in addrs}
+        assert len(prefixes) == 1
+
+
+class TestFreeListAllocator:
+    def test_alloc_free_realloc_reuses(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        p = a.malloc(32)
+        a.free(p)
+        q = a.malloc(32)
+        assert q == p
+
+    def test_double_free_rejected(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        p = a.malloc(16)
+        a.free(p)
+        with pytest.raises(AllocationError):
+            a.free(p)
+
+    def test_free_unallocated_rejected(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        with pytest.raises(AllocationError):
+            a.free(0x1800)
+
+    def test_coalescing(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        blocks = [a.malloc(64) for _ in range(4)]
+        for b in blocks:
+            a.free(b)
+        assert a.n_free_blocks == 1  # fully coalesced back into the arena
+
+    def test_first_fit_splits(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        p = a.malloc(128)
+        a.malloc(16)  # guard allocation after p
+        a.free(p)
+        small = a.malloc(32)
+        assert small == p  # reuses the front of the freed block
+        rest = a.malloc(32)
+        assert rest == p + 32
+
+    def test_exhaustion(self):
+        a = FreeListAllocator(0x1000, 0x1040)
+        a.malloc(64)
+        with pytest.raises(AllocationError):
+            a.malloc(8)
+
+    def test_bytes_allocated(self):
+        a = FreeListAllocator(0x1000, 0x2000)
+        p = a.malloc(40)
+        assert a.bytes_allocated == 40
+        a.free(p)
+        assert a.bytes_allocated == 0
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(8, 256)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60)
+    def test_random_alloc_free_invariants(self, ops):
+        """The free list stays sorted, disjoint and in-arena; live blocks
+        never overlap."""
+        a = FreeListAllocator(0x1000, 0x40000)
+        live: list[tuple[int, int]] = []
+        for op, arg in ops:
+            if op == "alloc":
+                try:
+                    addr = a.malloc(arg)
+                except AllocationError:
+                    continue
+                live.append((addr, arg))
+            elif live:
+                addr, _ = live.pop(arg % len(live))
+                a.free(addr)
+            a.check_invariants()
+        # Live blocks disjoint:
+        live.sort()
+        for (a1, s1), (a2, _s2) in zip(live, live[1:]):
+            assert a1 + ((s1 + 7) & ~7) <= a2

@@ -1,0 +1,40 @@
+"""Unit tests for bus traffic accounting."""
+
+import pytest
+
+from repro.memory.bus import BusMeter, TrafficKind
+
+
+class TestBusMeter:
+    def test_records_by_kind(self):
+        bus = BusMeter()
+        bus.record(TrafficKind.FILL, 32)
+        bus.record(TrafficKind.PREFETCH, 16)
+        bus.record(TrafficKind.WRITEBACK, 8)
+        assert bus.fill_words == 32
+        assert bus.prefetch_words == 16
+        assert bus.writeback_words == 8
+        assert bus.total_words == 56
+
+    def test_transfer_counts(self):
+        bus = BusMeter()
+        bus.record(TrafficKind.FILL, 32)
+        bus.record(TrafficKind.FILL, 32)
+        assert bus.transfers_by_kind[TrafficKind.FILL] == 2
+
+    def test_zero_word_transfer_counts_transaction(self):
+        bus = BusMeter()
+        bus.record(TrafficKind.WRITEBACK, 0)
+        assert bus.total_words == 0
+        assert bus.transfers_by_kind[TrafficKind.WRITEBACK] == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BusMeter().record(TrafficKind.FILL, -1)
+
+    def test_reset(self):
+        bus = BusMeter()
+        bus.record(TrafficKind.FILL, 32)
+        bus.reset()
+        assert bus.total_words == 0
+        assert bus.transfers_by_kind[TrafficKind.FILL] == 0

@@ -1,0 +1,132 @@
+"""Unit + property tests for the sparse memory image."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, UnmappedAddressError
+from repro.memory.image import PAGE_BYTES, PAGE_WORDS, MemoryImage
+
+word_addrs = st.integers(min_value=0, max_value=(1 << 30) - 1).map(lambda x: x * 4)
+values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestSingleWord:
+    def test_read_after_write(self, image):
+        image.write_word(0x1000, 0xABCD)
+        assert image.read_word(0x1000) == 0xABCD
+
+    def test_untouched_reads_zero(self, image):
+        assert image.read_word(0x4_0000) == 0
+
+    def test_strict_mode_raises_on_unmapped(self):
+        img = MemoryImage(strict=True)
+        with pytest.raises(UnmappedAddressError):
+            img.read_word(0x1000)
+
+    def test_strict_mode_allows_mapped(self):
+        img = MemoryImage(strict=True)
+        img.write_word(0x1000, 5)
+        assert img.read_word(0x1000) == 5
+
+    @pytest.mark.parametrize("addr", [1, 2, 3, 0x1001])
+    def test_unaligned_rejected(self, image, addr):
+        with pytest.raises(AlignmentError):
+            image.read_word(addr)
+        with pytest.raises(AlignmentError):
+            image.write_word(addr, 0)
+
+    def test_value_truncated_to_32_bits(self, image):
+        image.write_word(0x1000, (1 << 40) | 7)
+        assert image.read_word(0x1000) == 7
+
+    def test_address_range_checked(self, image):
+        with pytest.raises(UnmappedAddressError):
+            image.read_word(1 << 33)
+
+
+class TestBlocks:
+    def test_block_roundtrip(self, image):
+        data = np.arange(32, dtype=np.uint32)
+        image.write_words(0x2000, data)
+        assert np.array_equal(image.read_words(0x2000, 32), data)
+
+    def test_block_crossing_page_boundary(self, image):
+        start = PAGE_BYTES - 16
+        data = np.arange(8, dtype=np.uint32) + 100
+        image.write_words(start, data)
+        assert np.array_equal(image.read_words(start, 8), data)
+        assert image.read_word(PAGE_BYTES) == 104
+
+    def test_read_partial_unmapped(self, image):
+        image.write_word(0x1000, 9)
+        block = image.read_words(0xFFC, 3)
+        assert list(block) == [0, 9, 0]
+
+    def test_negative_count_rejected(self, image):
+        with pytest.raises(ValueError):
+            image.read_words(0, -1)
+
+    def test_masked_write(self, image):
+        image.write_words(0x3000, np.array([1, 2, 3, 4], dtype=np.uint32))
+        image.write_words_masked(
+            0x3000,
+            np.array([10, 20, 30, 40], dtype=np.uint32),
+            np.array([True, False, True, False]),
+        )
+        assert list(image.read_words(0x3000, 4)) == [10, 2, 30, 4]
+
+    def test_masked_write_shape_checked(self, image):
+        with pytest.raises(ValueError):
+            image.write_words_masked(
+                0, np.zeros(4, dtype=np.uint32), np.zeros(3, dtype=bool)
+            )
+
+    @given(
+        st.lists(st.tuples(word_addrs, values), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_acts_like_a_dict(self, writes):
+        """The image must behave like a plain {addr: value} map."""
+        img = MemoryImage()
+        reference: dict[int, int] = {}
+        for addr, value in writes:
+            img.write_word(addr, value)
+            reference[addr] = value
+        for addr, value in reference.items():
+            assert img.read_word(addr) == value
+
+
+class TestManagement:
+    def test_copy_is_deep(self, image):
+        image.write_word(0x1000, 1)
+        clone = image.copy()
+        clone.write_word(0x1000, 2)
+        assert image.read_word(0x1000) == 1
+        assert clone.read_word(0x1000) == 2
+
+    def test_equality_ignores_zero_pages(self):
+        a, b = MemoryImage(), MemoryImage()
+        a.write_word(0x1000, 0)  # materializes a zero page
+        assert a == b
+
+    def test_equality_detects_difference(self):
+        a, b = MemoryImage(), MemoryImage()
+        a.write_word(0x1000, 1)
+        assert a != b
+
+    def test_footprint(self, image):
+        assert image.footprint_bytes == 0
+        image.write_word(0, 1)
+        image.write_word(PAGE_BYTES * 5, 1)
+        assert image.n_pages == 2
+        assert image.footprint_bytes == 2 * PAGE_BYTES
+        assert image.touched_pages() == [0, 5]
+
+    def test_unhashable(self, image):
+        with pytest.raises(TypeError):
+            hash(image)
+
+    def test_page_words_constant(self):
+        assert PAGE_WORDS == PAGE_BYTES // 4

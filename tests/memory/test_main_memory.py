@@ -1,0 +1,82 @@
+"""Unit tests for the flat-latency DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.bus import TrafficKind
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+
+class TestReadLine:
+    def test_reads_and_charges_full_width(self):
+        mem = MainMemory(MemoryImage())
+        mem.poke_word(0x1000, 7)
+        data = mem.read_line(0x1000, 16)
+        assert data[0] == 7
+        assert mem.bus.fill_words == 16
+        assert mem.n_reads == 1
+
+    def test_custom_bus_words(self):
+        mem = MainMemory(MemoryImage())
+        mem.read_line(0x1000, 16, bus_words=9)
+        assert mem.bus.fill_words == 9
+
+    def test_prefetch_kind(self):
+        mem = MainMemory(MemoryImage())
+        mem.read_line(0x1000, 16, kind=TrafficKind.PREFETCH)
+        assert mem.bus.prefetch_words == 16
+        assert mem.bus.fill_words == 0
+
+    def test_default_latency_is_100(self):
+        assert MainMemory(MemoryImage()).latency == 100
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory(MemoryImage(), latency=-1)
+
+
+class TestWriteLine:
+    def test_full_writeback(self):
+        mem = MainMemory(MemoryImage())
+        mem.write_line(0x2000, np.array([1, 2, 3, 4], dtype=np.uint32))
+        assert mem.peek_word(0x2008) == 3
+        assert mem.bus.writeback_words == 4
+        assert mem.n_writes == 1
+
+    def test_masked_writeback_preserves_holes(self):
+        mem = MainMemory(MemoryImage())
+        mem.poke_word(0x2004, 99)
+        mem.write_line(
+            0x2000,
+            np.array([1, 2, 3, 4], dtype=np.uint32),
+            mask=np.array([True, False, True, True]),
+        )
+        assert mem.peek_word(0x2000) == 1
+        assert mem.peek_word(0x2004) == 99  # hole kept old value
+        assert mem.bus.writeback_words == 3  # only valid words travel
+
+    def test_masked_with_custom_bus_words(self):
+        mem = MainMemory(MemoryImage())
+        mem.write_line(
+            0x2000,
+            np.array([1, 2], dtype=np.uint32),
+            mask=np.array([True, True]),
+            bus_words=1,
+        )
+        assert mem.bus.writeback_words == 1
+
+
+class TestHelpers:
+    def test_word_addrs(self):
+        mem = MainMemory(MemoryImage())
+        addrs = mem.word_addrs(0x1000, 4)
+        assert list(addrs) == [0x1000, 0x1004, 0x1008, 0x100C]
+        assert addrs.dtype == np.uint32
+
+    def test_poke_peek_do_not_touch_bus(self):
+        mem = MainMemory(MemoryImage())
+        mem.poke_word(0x1000, 5)
+        assert mem.peek_word(0x1000) == 5
+        assert mem.bus.total_words == 0

@@ -1,0 +1,37 @@
+"""Unit tests for simulator configuration objects."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import CONFIG_NAMES, MEMORY_LATENCY, SIM_CONFIGS, SimConfig
+
+
+class TestSimConfig:
+    def test_five_named_configs(self):
+        assert set(CONFIG_NAMES) == {"BC", "BCC", "HAC", "BCP", "CPP"}
+        for name, cfg in SIM_CONFIGS.items():
+            assert cfg.cache_config == name
+
+    def test_unknown_cache_config(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(cache_config="LRU9000")
+
+    def test_memory_latency_default(self):
+        assert SimConfig().memory_latency == MEMORY_LATENCY == 100
+
+    def test_miss_scale_halves_latencies(self):
+        cfg = SimConfig(cache_config="CPP").with_miss_scale(0.5)
+        assert cfg.effective_memory_latency() == 50
+        assert cfg.effective_hierarchy().l2_latency == 5
+
+    def test_miss_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(miss_scale=0)
+
+    def test_name_includes_scale(self):
+        assert SimConfig(cache_config="BC").name == "BC"
+        assert SimConfig(cache_config="BC", miss_scale=0.5).name == "BC@x0.5"
+
+    def test_l1_hit_latency_unscaled(self):
+        cfg = SimConfig().with_miss_scale(0.5)
+        assert cfg.effective_hierarchy().l1_latency == 1

@@ -1,0 +1,61 @@
+"""Machine-level tests: full trace execution per configuration."""
+
+import pytest
+
+from repro.sim.config import CONFIG_NAMES, SimConfig
+from repro.sim.machine import Machine
+from repro.workloads.registry import generate
+
+
+@pytest.fixture(scope="module")
+def small_program():
+    return generate("olden.treeadd", seed=1, scale=0.08)
+
+
+class TestMachine:
+    @pytest.mark.parametrize("config", CONFIG_NAMES)
+    def test_runs_and_verifies_all_configs(self, small_program, config):
+        """Every configuration must return bit-correct data for every load
+        of a real workload trace — the strongest single check on the cache
+        models."""
+        result = Machine(config, verify_loads=True).run(small_program)
+        assert result.instructions == len(small_program.trace)
+        assert result.cycles > 0
+        assert result.config == config
+
+    def test_accepts_config_object(self, small_program):
+        result = Machine(SimConfig(cache_config="BC")).run(small_program)
+        assert result.config == "BC"
+
+    def test_runs_are_independent(self, small_program):
+        """Two runs on the same Machine object must not share state."""
+        machine = Machine("CPP")
+        a = machine.run(small_program)
+        b = machine.run(small_program)
+        assert a.cycles == b.cycles
+        assert a.bus_words == b.bus_words
+        assert a.l1.misses == b.l1.misses
+
+    def test_bcc_matches_bc_timing_but_not_traffic(self, small_program):
+        bc = Machine("BC").run(small_program)
+        bcc = Machine("BCC").run(small_program)
+        assert bcc.cycles == bc.cycles
+        assert bcc.l1.misses == bc.l1.misses
+        assert bcc.l2.misses == bc.l2.misses
+        assert bcc.bus_words < bc.bus_words
+
+    def test_miss_scale_speeds_up(self):
+        # Needs a working set beyond the 8 KB L1 so loads actually miss
+        # (at tiny scales the whole tree fits and misses vanish).
+        program = generate("olden.treeadd", seed=1, scale=0.4)
+        normal = Machine(SimConfig(cache_config="BC")).run(program)
+        half = Machine(
+            SimConfig(cache_config="BC", miss_scale=0.5)
+        ).run(program)
+        assert half.cycles < normal.cycles
+
+    def test_result_as_dict(self, small_program):
+        d = Machine("BC").run(small_program).as_dict()
+        assert d["workload"] == "olden.treeadd"
+        assert d["instructions"] > 0
+        assert 0 <= d["l1_miss_rate"] <= 1

@@ -1,0 +1,92 @@
+"""The parallel matrix must equal the serial one exactly."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.parallel import default_workers, run_matrix_parallel
+from repro.sim.runner import clear_caches, run_matrix
+
+WORKLOADS = ["olden.mst", "olden.treeadd"]
+CONFIGS = ["BC", "CPP"]
+SCALE = 0.1
+
+
+class TestEquivalence:
+    def test_parallel_equals_serial(self):
+        clear_caches()
+        serial = run_matrix(WORKLOADS, CONFIGS, scale=SCALE)
+        parallel = run_matrix_parallel(
+            WORKLOADS, CONFIGS, scale=SCALE, max_workers=2
+        )
+        assert set(parallel) == set(serial)
+        for key in serial:
+            s, p = serial[key], parallel[key]
+            assert p.cycles == s.cycles, key
+            assert p.bus_words == s.bus_words, key
+            assert p.l1.misses == s.l1.misses, key
+            assert p.l2.misses == s.l2.misses, key
+            assert p.branch_mispredicts == s.branch_mispredicts, key
+
+    def test_single_worker_path(self):
+        out = run_matrix_parallel(
+            ["olden.mst"], ["BC"], scale=SCALE, max_workers=1
+        )
+        assert out[("olden.mst", "BC")].config == "BC"
+
+    def test_results_are_complete_objects(self):
+        out = run_matrix_parallel(
+            ["olden.mst"], ["CPP"], scale=SCALE, max_workers=2
+        )
+        result = out[("olden.mst", "CPP")]
+        # Nested state survived pickling:
+        assert result.metrics.committed == result.instructions
+        assert result.l1.accesses > 0
+
+
+class TestPrewarm:
+    def test_prewarm_fills_the_runner_cache(self):
+        from repro.sim import runner
+
+        clear_caches()
+        n = runner.prewarm_parallel(
+            ["olden.mst"], ["BC", "CPP"], scale=SCALE, max_workers=2
+        )
+        assert n == 2
+        # Subsequent serial calls are cache hits (identical objects):
+        a = runner.run_workload("olden.mst", "BC", scale=SCALE)
+        b = runner.run_workload("olden.mst", "BC", scale=SCALE)
+        assert a is b
+        assert a.config == "BC"
+        clear_caches()
+
+    def test_prewarm_with_miss_scales(self):
+        from repro.sim import runner
+        from repro.sim.config import SIM_CONFIGS
+
+        clear_caches()
+        n = runner.prewarm_parallel(
+            ["olden.mst"], ["BC"], scale=SCALE,
+            miss_scales=(1.0, 0.5), max_workers=1,
+        )
+        assert n == 2
+        half = runner.run_workload(
+            "olden.mst", SIM_CONFIGS["BC"].with_miss_scale(0.5), scale=SCALE
+        )
+        normal = runner.run_workload("olden.mst", "BC", scale=SCALE)
+        assert half.cycles <= normal.cycles
+        clear_caches()
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_matrix_parallel([], ["BC"])
+        with pytest.raises(ExperimentError):
+            run_matrix_parallel(["olden.mst"], [])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_matrix_parallel(["olden.mst"], ["BC"], max_workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

@@ -1,0 +1,64 @@
+"""Tests for result serialization."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.results_io import (
+    load_results_json,
+    result_to_dict,
+    results_to_csv,
+    results_to_json,
+)
+from repro.sim.runner import clear_caches, run_matrix, run_workload
+
+
+@pytest.fixture(scope="module")
+def some_results():
+    clear_caches()
+    return run_matrix(["olden.mst"], ["BC", "CPP"], scale=0.1)
+
+
+class TestDictForm:
+    def test_nested_structure(self, some_results):
+        d = result_to_dict(some_results[("olden.mst", "BC")])
+        assert d["workload"] == "olden.mst"
+        assert d["bus"]["total_words"] > 0
+        assert d["l1"]["accesses"] > 0
+        assert "ready_queue_in_miss_cycles" in d["core"]
+
+    def test_json_roundtrip(self, some_results, tmp_path):
+        path = results_to_json(some_results, tmp_path / "out.json")
+        loaded = load_results_json(path)
+        assert len(loaded) == 2
+        assert {r["config"] for r in loaded} == {"BC", "CPP"}
+        original = result_to_dict(some_results[("olden.mst", "BC")])
+        match = next(r for r in loaded if r["config"] == "BC")
+        assert match["cycles"] == original["cycles"]
+
+    def test_accepts_list(self, some_results, tmp_path):
+        path = results_to_json(list(some_results.values()), tmp_path / "l.json")
+        assert len(load_results_json(path)) == 2
+
+
+class TestCsv:
+    def test_writes_header_and_rows(self, some_results, tmp_path):
+        path = results_to_csv(some_results, tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("workload,config,cycles")
+        assert len(lines) == 3
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            results_to_csv([], tmp_path / "x.csv")
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_results_json(tmp_path / "missing.json")
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ExperimentError):
+            load_results_json(path)

@@ -1,0 +1,58 @@
+"""Tests for the memoizing run helpers."""
+
+import pytest
+
+from repro.sim import runner
+from repro.sim.runner import clear_caches, get_program, run_matrix, run_workload
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestProgramCache:
+    def test_same_key_reuses(self):
+        a = get_program("olden.mst", seed=1, scale=0.1)
+        b = get_program("olden.mst", seed=1, scale=0.1)
+        assert a is b
+
+    def test_different_seed_regenerates(self):
+        a = get_program("olden.mst", seed=1, scale=0.1)
+        b = get_program("olden.mst", seed=2, scale=0.1)
+        assert a is not b
+
+
+class TestResultCache:
+    def test_memoizes_results(self):
+        a = run_workload("olden.mst", "BC", scale=0.1)
+        b = run_workload("olden.mst", "BC", scale=0.1)
+        assert a is b
+
+    def test_verify_bypasses_cache(self):
+        a = run_workload("olden.mst", "BC", scale=0.1)
+        b = run_workload("olden.mst", "BC", scale=0.1, verify_loads=True)
+        assert a is not b
+        assert a.cycles == b.cycles
+
+    def test_configs_are_distinct_keys(self):
+        a = run_workload("olden.mst", "BC", scale=0.1)
+        b = run_workload("olden.mst", "CPP", scale=0.1)
+        assert a.config == "BC" and b.config == "CPP"
+
+    def test_lowercase_config(self):
+        assert run_workload("olden.mst", "cpp", scale=0.1).config == "CPP"
+
+
+class TestMatrix:
+    def test_full_shape(self):
+        out = run_matrix(["olden.mst"], ["BC", "CPP"], scale=0.1)
+        assert set(out) == {("olden.mst", "BC"), ("olden.mst", "CPP")}
+        assert out[("olden.mst", "BC")].workload == "olden.mst"
+
+    def test_matrix_uses_cache(self):
+        direct = run_workload("olden.mst", "BC", scale=0.1)
+        out = run_matrix(["olden.mst"], ["BC"], scale=0.1)
+        assert out[("olden.mst", "BC")] is direct

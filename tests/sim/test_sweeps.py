@@ -1,0 +1,63 @@
+"""Tests for multi-seed sweep statistics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.runner import clear_caches
+from repro.sim.sweeps import SeedStats, compare_over_seeds, sweep_seeds
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSeedStats:
+    def test_moments(self):
+        s = SeedStats("w", "BC", "cycles", (10.0, 12.0, 14.0))
+        assert s.mean == pytest.approx(12.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.minimum == 10.0 and s.maximum == 14.0
+
+    def test_single_value_stddev(self):
+        assert SeedStats("w", "BC", "m", (5.0,)).stddev == 0.0
+
+
+class TestSweep:
+    def test_runs_across_seeds(self):
+        stats = sweep_seeds(
+            "olden.mst", "BC", lambda r: float(r.cycles),
+            seeds=(1, 2), scale=0.1, metric_name="cycles",
+        )
+        assert stats.n == 2
+        assert all(v > 0 for v in stats.values)
+        # Different seeds genuinely change the run:
+        assert stats.values[0] != stats.values[1]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_seeds("olden.mst", "BC", lambda r: 0.0, seeds=())
+
+
+class TestComparison:
+    def test_cpp_wins_on_every_seed_for_compressible_workload(self):
+        cmp_ = compare_over_seeds(
+            "spec95.130.li",
+            baseline_config="BC",
+            test_config="CPP",
+            seeds=(1, 2, 3),
+            scale=0.25,
+        )
+        assert len(cmp_.ratios) == 3
+        assert cmp_.mean_ratio < 1.0
+        assert cmp_.always_wins  # the speedup is not a single-seed fluke
+
+    def test_paired_by_seed(self):
+        cmp_ = compare_over_seeds(
+            "olden.mst", seeds=(7,), scale=0.1, metric_name="cycles"
+        )
+        assert cmp_.baseline.values[0] > 0
+        assert cmp_.test.values[0] > 0
+        assert cmp_.wins in (0, 1)

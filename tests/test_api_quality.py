@@ -1,0 +1,80 @@
+"""Repository-wide API-quality gates.
+
+* every public module, class and function in :mod:`repro` carries a
+  docstring (deliverable (e): "doc comments on every public item");
+* the top-level lazy re-exports resolve;
+* the exception hierarchy is rooted at :class:`ReproError`.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+import repro.errors
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # executing a CLI entry point at import is the point
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_module_documented(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for mname, member in vars(obj).items():
+                    if mname.startswith("_") or not inspect.isfunction(member):
+                        continue
+                    if not (member.__doc__ and member.__doc__.strip()):
+                        undocumented.append(f"{name}.{mname}")
+        assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+class TestTopLevelApi:
+    @pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+    def test_lazy_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_api
+
+    def test_version_shape(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in repro.errors.__all__:
+            exc = getattr(repro.errors, name)
+            assert issubclass(exc, repro.errors.ReproError), name
+
+    def test_library_raises_catchable_errors(self):
+        from repro.workloads.registry import get_workload
+
+        with pytest.raises(repro.errors.ReproError):
+            get_workload("no.such.workload")

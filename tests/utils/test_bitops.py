@@ -1,0 +1,124 @@
+"""Unit tests for 32-bit word bit manipulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK32,
+    bit,
+    bits,
+    high_bits,
+    low_bits,
+    replicate_bit,
+    sign_extend,
+    to_int32,
+    to_uint32,
+)
+
+words = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestConversions:
+    def test_to_uint32_truncates(self):
+        assert to_uint32(1 << 35) == 0
+        assert to_uint32((1 << 35) | 5) == 5
+
+    def test_to_uint32_identity_in_range(self):
+        assert to_uint32(0xDEADBEEF) == 0xDEADBEEF
+
+    def test_to_int32_positive(self):
+        assert to_int32(5) == 5
+        assert to_int32(0x7FFF_FFFF) == 2**31 - 1
+
+    def test_to_int32_negative(self):
+        assert to_int32(0xFFFF_FFFF) == -1
+        assert to_int32(0x8000_0000) == -(2**31)
+
+    @given(words)
+    def test_roundtrip(self, w):
+        assert to_uint32(to_int32(w)) == w
+
+
+class TestBitExtraction:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(1 << 31, 31) == 1
+
+    def test_bit_range_checked(self):
+        with pytest.raises(ValueError):
+            bit(0, 32)
+        with pytest.raises(ValueError):
+            bit(0, -1)
+
+    def test_bits_field(self):
+        assert bits(0xABCD0000, 16, 31) == 0xABCD
+        assert bits(0xFF, 0, 3) == 0xF
+
+    def test_bits_invalid_order(self):
+        with pytest.raises(ValueError):
+            bits(0, 5, 4)
+
+    def test_low_bits(self):
+        assert low_bits(0xFFFF_FFFF, 15) == 0x7FFF
+        assert low_bits(0x1234, 0) == 0
+        assert low_bits(0x1234, 32) == 0x1234
+
+    def test_high_bits(self):
+        assert high_bits(0xFFFF0000, 16) == 0xFFFF
+        assert high_bits(0x8000_0000, 1) == 1
+        assert high_bits(0x1234, 0) == 0
+
+    def test_high_bits_paper_prefix(self):
+        # The 17-bit prefix test of the paper's pointer compression.
+        a = 0x1000_2000
+        b = 0x1000_5FFC
+        assert high_bits(a, 17) == high_bits(b, 17)
+        c = 0x1000_8000  # next 32 KB chunk
+        assert high_bits(a, 17) != high_bits(c, 17)
+
+    @given(words, st.integers(min_value=0, max_value=32))
+    def test_low_high_partition(self, w, n):
+        lo = low_bits(w, n)
+        hi = high_bits(w, 32 - n)
+        assert (hi << n) | lo == w
+
+
+class TestSignExtend:
+    def test_positive_small(self):
+        assert sign_extend(0x3FFF, 15) == 0x3FFF
+
+    def test_negative_small(self):
+        # -1 in 15 bits -> -1 in 32 bits.
+        assert sign_extend(0x7FFF, 15) == MASK32
+
+    def test_paper_boundaries(self):
+        # Paper: compressible small values span [-16384, 16383].
+        assert to_int32(sign_extend(0x4000, 15)) == -16384
+        assert to_int32(sign_extend(0x3FFF, 15)) == 16383
+
+    def test_full_width_identity(self):
+        assert sign_extend(0xDEADBEEF, 32) == 0xDEADBEEF
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+        with pytest.raises(ValueError):
+            sign_extend(0, 33)
+
+    @given(st.integers(min_value=-16384, max_value=16383))
+    def test_roundtrip_small_values(self, v):
+        assert to_int32(sign_extend(to_uint32(v), 15)) == v
+
+
+class TestReplicateBit:
+    def test_ones(self):
+        assert replicate_bit(1, 17) == (1 << 17) - 1
+
+    def test_zeros(self):
+        assert replicate_bit(0, 17) == 0
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            replicate_bit(2, 4)

@@ -1,0 +1,74 @@
+"""Unit tests for integer-math helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intmath import align_down, align_up, ceil_div, is_pow2, log2i
+
+
+class TestIsPow2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 4096, 1 << 30])
+    def test_powers(self, n):
+        assert is_pow2(n)
+
+    @pytest.mark.parametrize("n", [0, -1, -4, 3, 6, 12, 100])
+    def test_non_powers(self, n):
+        assert not is_pow2(n)
+
+
+class TestLog2i:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (64, 6), (4096, 12)])
+    def test_exact(self, n, expected):
+        assert log2i(n) == expected
+
+    @pytest.mark.parametrize("n", [0, 3, 12, -8])
+    def test_rejects_non_power(self, n):
+        with pytest.raises(ValueError):
+            log2i(n)
+
+
+class TestAlign:
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+    def test_align_down(self):
+        assert align_down(7, 8) == 0
+        assert align_down(8, 8) == 8
+        assert align_down(15, 8) == 8
+
+    def test_alignment_must_be_pow2(self):
+        with pytest.raises(ValueError):
+            align_up(4, 6)
+        with pytest.raises(ValueError):
+            align_down(4, 0)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([1, 2, 4, 8, 64, 4096]))
+    def test_align_properties(self, value, alignment):
+        up = align_up(value, alignment)
+        down = align_down(value, alignment)
+        assert up % alignment == 0
+        assert down % alignment == 0
+        assert down <= value <= up
+        assert up - down in (0, alignment)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (31, 32, 1)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)

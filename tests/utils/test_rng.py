@@ -1,0 +1,39 @@
+"""Unit tests for deterministic RNG construction."""
+
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(42).integers(0, 1 << 30, 10)
+        b = make_rng(42).integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, 10)
+        b = make_rng(2).integers(0, 1 << 30, 10)
+        assert (a != b).any()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_rng(-1)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "phase") == derive_seed(7, "phase")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(7, "build") != derive_seed(7, "traverse")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_int_labels(self):
+        assert derive_seed(1, 5) == derive_seed(1, 5)
+        assert derive_seed(1, 5) != derive_seed(1, 6)

@@ -1,0 +1,116 @@
+"""Unit tests for the statistics accumulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Counter, Histogram, RunningMean
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert int(c) == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x", 7)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRunningMean:
+    def test_empty(self):
+        m = RunningMean()
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+
+    def test_known_values(self):
+        m = RunningMean()
+        for x in (2.0, 4.0, 6.0):
+            m.add(x)
+        assert m.mean == pytest.approx(4.0)
+        assert m.variance == pytest.approx(np.var([2, 4, 6]))
+
+    def test_weighted_add(self):
+        m = RunningMean()
+        m.add(3.0, weight=4)
+        assert m.count == 4
+        assert m.mean == pytest.approx(3.0)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            RunningMean().add(1.0, weight=0)
+        with pytest.raises(ValueError):
+            RunningMean().add_bulk(1.0, weight=0)
+
+    @given(st.lists(st.tuples(st.floats(-1e6, 1e6),
+                              st.integers(min_value=1, max_value=50)),
+                    min_size=1, max_size=30))
+    def test_bulk_matches_numpy(self, samples):
+        m = RunningMean()
+        expanded = []
+        for x, w in samples:
+            m.add_bulk(x, w)
+            expanded.extend([x] * w)
+        assert m.count == len(expanded)
+        assert m.mean == pytest.approx(np.mean(expanded), rel=1e-9, abs=1e-9)
+        assert m.variance == pytest.approx(np.var(expanded), rel=1e-6, abs=1e-6)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_add_matches_numpy(self, xs):
+        m = RunningMean()
+        for x in xs:
+            m.add(x)
+        assert m.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-9)
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram()
+        h.add(1, 2)
+        h.add(3)
+        assert h.total == 3
+        assert h.mean == pytest.approx(5 / 3)
+
+    def test_zero_weight_is_noop(self):
+        h = Histogram()
+        h.add(5, 0)
+        assert h.total == 0
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.add(v)
+        assert h.percentile(50) == 5
+        assert h.percentile(100) == 10
+        assert h.percentile(0) == 1
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_percentile_range_checked(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1, 2)
+        b.add(1, 3)
+        b.add(2, 1)
+        a.merge(b)
+        assert a.counts == {1: 5, 2: 1}
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            Histogram().add(1, -1)

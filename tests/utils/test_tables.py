@@ -1,0 +1,51 @@
+"""Unit tests for ASCII table / bar-chart rendering."""
+
+import pytest
+
+from repro.utils.tables import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "| a " in lines[2]
+        assert "2.500" in out
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_ndigits(self):
+        out = format_table(["x"], [[1.23456]], ndigits=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        rows = [l for l in out.splitlines() if l.startswith("| ")]
+        assert len({len(r) for r in rows}) == 1  # all rows equal width
+
+
+class TestFormatBarChart:
+    def test_scales_to_max(self):
+        out = format_bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("#") == 20
+        assert b_line.count("#") == 10
+
+    def test_baseline_marker(self):
+        out = format_bar_chart({"a": 50.0, "b": 100.0}, width=20, baseline=100.0)
+        assert "|" in out.splitlines()[0]  # marker visible where bar is short
+
+    def test_empty(self):
+        assert "(empty)" in format_bar_chart({}, title="t")
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({"a": 1.0}, width=5)
+
+    def test_unit_suffix(self):
+        out = format_bar_chart({"a": 1.0}, unit="%")
+        assert out.strip().endswith("1.000%")

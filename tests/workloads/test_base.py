@@ -1,0 +1,117 @@
+"""Unit tests for the ProgramBuilder kernel-authoring layer."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import CODE_BASE, ProgramBuilder
+
+
+class TestRegistersAndLabels:
+    def test_register_interning(self):
+        pb = ProgramBuilder("t")
+        assert pb.reg("x") == pb.reg("x")
+        assert pb.reg("x") != pb.reg("y")
+
+    def test_pc_interning(self):
+        pb = ProgramBuilder("t")
+        first = pb.pc("loop")
+        assert pb.pc("loop") == first
+        assert pb.pc("other") == first + 8
+        assert first == CODE_BASE
+
+
+class TestEmission:
+    def test_load_reads_live_image(self):
+        pb = ProgramBuilder("t")
+        addr = pb.malloc(16)
+        pb.store(addr, 123, label="init")
+        assert pb.load(addr, "v", label="ld") == 123
+        prog = pb.build()
+        assert prog.trace[1].value == 123
+        assert prog.trace[1].op is OpClass.LOAD
+
+    def test_store_records_value_and_updates_image(self):
+        pb = ProgramBuilder("t")
+        addr = pb.malloc(8)
+        pb.store(addr, 0xBEEF, label="st")
+        assert pb.image.read_word(addr) == 0xBEEF
+        assert pb.build().trace[0].value == 0xBEEF
+
+    def test_load_dependence_wiring(self):
+        pb = ProgramBuilder("t")
+        addr = pb.malloc(8)
+        pb.store(addr, 1)
+        pb.load(addr, "v", base="p")
+        trace = pb.build().trace
+        assert trace[1].src1 == pb.reg("p")
+        assert trace[1].dest == pb.reg("v")
+
+    def test_op_rejects_memory_kinds(self):
+        pb = ProgramBuilder("t")
+        with pytest.raises(WorkloadError):
+            pb.op("x", kind=OpClass.LOAD)
+
+    def test_branch_outcome_recorded(self):
+        pb = ProgramBuilder("t")
+        pb.branch("b", taken=True)
+        pb.branch("b", taken=False)
+        trace = pb.build().trace
+        assert bool(trace.taken[0]) and not bool(trace.taken[1])
+
+    def test_for_range_backedge_pattern(self):
+        pb = ProgramBuilder("t")
+        list(pb.for_range("loop", 4))
+        taken = list(pb.build().trace.taken)
+        assert taken == [True, True, True, False]
+
+    def test_while_cond_passthrough(self):
+        pb = ProgramBuilder("t")
+        assert pb.while_cond("w", True) is True
+        assert pb.while_cond("w", False) is False
+
+
+class TestSegments:
+    def test_static_array_distinct(self):
+        pb = ProgramBuilder("t")
+        a = pb.static_array(10)
+        b = pb.static_array(10)
+        assert b >= a + 40
+
+    def test_stack_grows_down(self):
+        pb = ProgramBuilder("t")
+        f1 = pb.stack_frame(4)
+        f2 = pb.stack_frame(4)
+        assert f2 < f1
+
+    def test_free_requires_freelist(self):
+        pb = ProgramBuilder("t")  # bump allocator
+        addr = pb.malloc(8)
+        with pytest.raises(WorkloadError):
+            pb.free(addr)
+
+    def test_freelist_allocator(self):
+        pb = ProgramBuilder("t", allocator="freelist")
+        addr = pb.malloc(8)
+        pb.free(addr)  # no error
+
+    def test_unknown_allocator(self):
+        with pytest.raises(WorkloadError):
+            ProgramBuilder("t", allocator="slab")
+
+
+class TestBuild:
+    def test_program_carries_final_image(self):
+        pb = ProgramBuilder("t")
+        addr = pb.malloc(8)
+        pb.store(addr, 5)
+        prog = pb.build(description="d", params={"k": 1})
+        assert prog.final_image is not None
+        assert prog.final_image.read_word(addr) == 5
+        assert prog.params == {"k": 1}
+
+    def test_value_helpers_ranges(self):
+        pb = ProgramBuilder("t", seed=3)
+        for _ in range(50):
+            assert 0 <= pb.rand_small() < 16000
+            assert pb.rand_large() >= 1 << 30

@@ -1,0 +1,90 @@
+"""Tests for the extra (beyond-the-paper) workloads."""
+
+import numpy as np
+import pytest
+
+from repro.compression.vectorized import compression_summary
+from repro.isa.opcodes import OpClass
+from repro.memory.image import MemoryImage
+from repro.sim.machine import Machine
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    WORKLOAD_NAMES,
+    generate,
+)
+
+EXTRA_NAMES = tuple(EXTRA_WORKLOADS)
+
+
+class TestRegistration:
+    def test_four_extras(self):
+        assert set(EXTRA_NAMES) == {
+            "olden.power",
+            "spec95.147.vortex",
+            "spec2000.164.gzip",
+            "spec2000.197.parser",
+        }
+
+    def test_extras_not_in_paper_set(self):
+        """The figures must keep regenerating the paper's exact 14 bars."""
+        assert len(WORKLOAD_NAMES) == 14
+        assert not set(EXTRA_NAMES) & set(WORKLOAD_NAMES)
+
+    def test_all_workloads_union(self):
+        assert len(ALL_WORKLOADS) == 18
+
+    def test_generate_resolves_extras(self):
+        program = generate("olden.power", seed=1, scale=0.5)
+        assert program.name == "olden.power"
+
+
+@pytest.mark.parametrize("name", EXTRA_NAMES)
+class TestEachExtra:
+    def test_structure(self, name):
+        program = generate(name, seed=1, scale=0.3)
+        program.trace.validate()
+        assert program.trace.n_loads > 0
+        assert program.trace.n_stores > 0
+        assert program.trace.n_branches > 0
+        assert len(program.trace) > 500
+
+    def test_trace_replay_consistency(self, name):
+        program = generate(name, seed=1, scale=0.2)
+        img = MemoryImage()
+        for ins in program.trace:
+            if ins.op is OpClass.STORE:
+                img.write_word(ins.addr, ins.value)
+            elif ins.op is OpClass.LOAD:
+                assert img.read_word(ins.addr) == ins.value
+
+    def test_deterministic(self, name):
+        a = generate(name, seed=3, scale=0.2).trace
+        b = generate(name, seed=3, scale=0.2).trace
+        assert len(a) == len(b)
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.value, b.value)
+
+    def test_runs_verified_on_cpp(self, name):
+        program = generate(name, seed=1, scale=0.2)
+        result = Machine("CPP", verify_loads=True).run(program)
+        assert result.instructions == len(program.trace)
+
+
+class TestCharacter:
+    def test_power_is_fp_heavy_low_compressibility_values(self):
+        program = generate("olden.power", seed=1, scale=0.5)
+        summary = compression_summary(*program.trace.accessed_values())
+        # Pointers compress, FP payloads don't: mid-range overall.
+        assert 0.2 < summary.fraction_compressible < 0.9
+
+    def test_gzip_is_small_value_arrays(self):
+        program = generate("spec2000.164.gzip", seed=1, scale=0.5)
+        summary = compression_summary(*program.trace.accessed_values())
+        assert summary.fraction_pointer < 0.05
+        assert summary.fraction_small > 0.5
+
+    def test_parser_has_pointer_traffic(self):
+        program = generate("spec2000.197.parser", seed=1, scale=0.5)
+        summary = compression_summary(*program.trace.accessed_values())
+        assert summary.fraction_pointer > 0.1

@@ -1,0 +1,141 @@
+"""Registry and per-workload structural tests.
+
+Every workload is generated at reduced scale and checked for the
+properties the evaluation relies on: valid traces, determinism, real
+memory behaviour, and the intended compressibility character.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.vectorized import compression_summary
+from repro.errors import WorkloadError
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, generate, get_workload
+
+SCALE = 0.25  # keep the suite quick; structure is scale-invariant
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: generate(name, seed=1, scale=SCALE) for name in WORKLOAD_NAMES}
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks(self):
+        assert len(WORKLOADS) == 14
+
+    def test_suites_represented(self):
+        suites = {w.suite for w in WORKLOADS.values()}
+        assert suites == {"olden", "spec95", "spec2000"}
+
+    def test_seven_olden(self):
+        assert sum(w.suite == "olden" for w in WORKLOADS.values()) == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_workload("olden.nonexistent")
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            get_workload("olden.treeadd").generate(1, scale=0)
+
+
+class TestEveryWorkload:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_trace_is_valid(self, programs, name):
+        prog = programs[name]
+        prog.trace.validate()
+        assert prog.name == name
+        assert len(prog.trace) > 1000
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_has_all_instruction_kinds(self, programs, name):
+        trace = programs[name].trace
+        assert trace.n_loads > 0
+        assert trace.n_stores > 0
+        assert trace.n_branches > 0
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic_per_seed(self, name):
+        a = generate(name, seed=5, scale=0.1).trace
+        b = generate(name, seed=5, scale=0.1).trace
+        assert len(a) == len(b)
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.value, b.value)
+        assert np.array_equal(a.taken, b.taken)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_loads_read_what_was_stored(self, programs, name):
+        """Replaying the trace against a flat memory must reproduce every
+        load value — the ground truth the cache simulations are checked
+        against."""
+        from repro.memory.image import MemoryImage
+
+        trace = programs[name].trace
+        img = MemoryImage()
+        from repro.isa.opcodes import OpClass
+
+        for ins in trace:
+            if ins.op is OpClass.STORE:
+                img.write_word(ins.addr, ins.value)
+            elif ins.op is OpClass.LOAD:
+                assert img.read_word(ins.addr) == ins.value, ins
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_final_image_matches_trace_replay(self, programs, name):
+        from repro.isa.opcodes import OpClass
+        from repro.memory.image import MemoryImage
+
+        prog = programs[name]
+        img = MemoryImage()
+        for ins in prog.trace:
+            if ins.op is OpClass.STORE:
+                img.write_word(ins.addr, ins.value)
+        assert img == prog.final_image
+
+
+class TestCompressibilityCharacter:
+    """Each workload's Figure 3 character, as designed."""
+
+    def frac(self, programs, name):
+        return compression_summary(
+            *programs[name].trace.accessed_values()
+        ).fraction_compressible
+
+    @pytest.mark.parametrize(
+        "name", ["olden.treeadd", "olden.perimeter", "spec95.130.li"]
+    )
+    def test_pointer_kernels_highly_compressible(self, programs, name):
+        assert self.frac(programs, name) > 0.7
+
+    @pytest.mark.parametrize("name", ["olden.bisort", "olden.em3d", "olden.tsp"])
+    def test_value_heavy_kernels_poorly_compressible(self, programs, name):
+        assert self.frac(programs, name) < 0.45
+
+    def test_average_near_paper(self, programs):
+        fracs = [self.frac(programs, n) for n in WORKLOAD_NAMES]
+        assert 0.45 < float(np.mean(fracs)) < 0.75  # paper: 0.59
+
+    @pytest.mark.parametrize("name", ["olden.treeadd", "spec95.130.li", "olden.mst"])
+    def test_pointer_workloads_have_pointer_values(self, programs, name):
+        s = compression_summary(*programs[name].trace.accessed_values())
+        assert s.fraction_pointer > 0.15
+
+    @pytest.mark.parametrize("name", ["spec95.129.compress", "spec95.099.go"])
+    def test_array_workloads_have_no_pointers(self, programs, name):
+        s = compression_summary(*programs[name].trace.accessed_values())
+        assert s.fraction_pointer < 0.05
+
+
+class TestScaling:
+    def test_scale_changes_size(self):
+        small = generate("olden.treeadd", seed=1, scale=0.1)
+        large = generate("olden.treeadd", seed=1, scale=1.0)
+        assert len(large.trace) > 2 * len(small.trace)
+
+    def test_seed_changes_values(self):
+        a = generate("olden.bisort", seed=1, scale=0.1).trace
+        b = generate("olden.bisort", seed=2, scale=0.1).trace
+        assert not (
+            len(a) == len(b) and np.array_equal(a.value, b.value)
+        )
