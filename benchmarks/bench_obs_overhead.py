@@ -1,0 +1,99 @@
+"""Guard the zero-cost contract of the observability layer.
+
+Instrumented hot paths pay one module-attribute load plus a branch when
+tracing is off (``if _trace.ACTIVE:``) — nothing else. These benchmarks
+compare the same cache-hierarchy drive loop with tracing disarmed
+vs. armed, and exercise the raw guarded-emit pattern in isolation.
+``tools/check_obs_overhead.py`` turns the disarmed comparison into a
+pass/fail gate for CI (<= 2% overhead with obs disabled).
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.caches.hierarchy import build_hierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+from repro.obs import tracer as _trace
+
+BASE = 0x1000_0000
+
+
+@pytest.fixture(autouse=True)
+def _obs_disarmed():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _mixed_addrs(n):
+    rng = np.random.default_rng(5)
+    seq = (BASE + 4 * (np.arange(n) % 4096)).astype(np.int64)
+    rand = (BASE + 4 * rng.integers(0, 4096, n)).astype(np.int64)
+    out = np.where(rng.random(n) < 0.5, seq, rand)
+    return [int(a) for a in out]
+
+
+def _drive(config, addrs):
+    h = build_hierarchy(config, MainMemory(MemoryImage(), latency=100))
+    latency = 0
+    for i, addr in enumerate(addrs):
+        if i % 4 == 0:
+            h.store(addr, i, i)
+        else:
+            latency += h.load(addr, i).latency
+    return latency
+
+
+@pytest.mark.parametrize("config", ["BC", "CPP"])
+def test_hierarchy_with_obs_disabled(benchmark, config):
+    """The instrumented simulator with tracing off — the baseline that
+    must stay within 2% of the pre-instrumentation cost."""
+    addrs = _mixed_addrs(20_000)
+    assert not obs.enabled()
+    assert benchmark(_drive, config, addrs) > 0
+
+
+@pytest.mark.parametrize("config", ["BC", "CPP"])
+def test_hierarchy_with_obs_enabled(benchmark, config):
+    """Same drive with tracing armed — the price of a full event stream."""
+    addrs = _mixed_addrs(20_000)
+    obs.enable(capacity=65536)
+
+    def drive_traced():
+        _trace.get_tracer().clear()
+        return _drive(config, addrs)
+
+    assert benchmark(drive_traced) > 0
+    benchmark.extra_info["events"] = _trace.get_tracer().seq
+
+
+def test_guarded_emit_disabled_is_branch_only(benchmark):
+    """The raw guard pattern: with tracing off, a guarded emit site costs
+    one attribute load and a branch per event."""
+    assert not _trace.ACTIVE
+
+    def spin(n=100_000):
+        hits = 0
+        for i in range(n):
+            if _trace.ACTIVE:
+                _trace.emit("cache_access", addr=i, hit=True)
+                hits += 1
+        return hits
+
+    assert benchmark(spin) == 0
+
+
+def test_guarded_emit_enabled(benchmark):
+    """The same loop with tracing armed, for the per-event cost."""
+    obs.enable(capacity=4096, sample_every=16)
+
+    def spin(n=100_000):
+        _trace.get_tracer().clear()
+        for i in range(n):
+            if _trace.ACTIVE:
+                _trace.emit("cache_access", addr=i, hit=True)
+        return _trace.get_tracer().seq
+
+    assert benchmark(spin) == 100_000

@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro.experiments.common import ExperimentOutput, render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import phases as _phases
 
 __all__ = ["evaluation_report", "collect_outputs"]
 
@@ -33,10 +34,14 @@ def collect_outputs(
 ) -> dict[str, ExperimentOutput]:
     """Run the requested figures (default: all) and return their outputs."""
     figure_ids = figures if figures else list(EXPERIMENTS)
-    return {
-        figure: run_experiment(figure, workloads, seed=seed, scale=scale)
-        for figure in figure_ids
-    }
+    outputs: dict[str, ExperimentOutput] = {}
+    with _phases.phase("analysis"):
+        for figure in figure_ids:
+            with _phases.phase(f"figure.{figure}"):
+                outputs[figure] = run_experiment(
+                    figure, workloads, seed=seed, scale=scale
+                )
+    return outputs
 
 
 def evaluation_report(

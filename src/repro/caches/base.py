@@ -21,6 +21,7 @@ from repro.caches.stats import CacheStats
 from repro.errors import CacheProtocolError, ConfigurationError
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
+from repro.obs import tracer as _trace
 from repro.utils.intmath import is_pow2, log2i
 
 __all__ = ["Cache"]
@@ -166,6 +167,10 @@ class Cache:
         line = self._find(line_no)
         if line is not None:
             self.stats.record_access(hit=True)
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "cache_access", level=self.name, addr=addr, hit=True, write=write
+                )
             if write:
                 self._write_word(line, widx, value)
             return AccessResult(
@@ -175,6 +180,10 @@ class Cache:
             )
 
         self.stats.record_access(hit=False)
+        if _trace.ACTIVE:
+            _trace.emit(
+                "cache_access", level=self.name, addr=addr, hit=False, write=write
+            )
         resp = self.downstream.fetch(
             self.line_addr(line_no), self.line_words, widx, now=now
         )
@@ -229,11 +238,19 @@ class Cache:
         if line is not None:
             if record:
                 self.stats.record_access(hit=True)
+                if _trace.ACTIVE:
+                    _trace.emit(
+                        "cache_access", level=self.name, addr=addr, hit=True
+                    )
             latency = self.hit_latency
             served = "l2"
         else:
             if record:
                 self.stats.record_access(hit=False)
+                if _trace.ACTIVE:
+                    _trace.emit(
+                        "cache_access", level=self.name, addr=addr, hit=False
+                    )
             resp = self.downstream.fetch(
                 self.line_addr(line_no),
                 self.line_words,

@@ -44,6 +44,7 @@ def scheme_compressed_bits(scheme) -> int:
 from repro.errors import CacheProtocolError, ConfigurationError
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
+from repro.obs import tracer as _trace
 from repro.utils.intmath import is_pow2, log2i
 
 __all__ = ["CPPPolicy", "CompressionCache"]
@@ -248,6 +249,13 @@ class CompressionCache:
         stored = target.set_affiliated_words(victim.pvals, comp)
         if stored:
             self.stats.stashes += 1
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "stash",
+                    level=self.name,
+                    line=victim.line_no,
+                    words=int(np.count_nonzero(comp)),
+                )
 
     # ---- fill ------------------------------------------------------------------------
 
@@ -313,6 +321,14 @@ class CompressionCache:
             frame = victim
         if not resp.avail.all():
             self.stats.partial_fills += 1
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "partial_fill",
+                    level=self.name,
+                    line=line_no,
+                    words_present=int(np.count_nonzero(resp.avail)),
+                    words_total=self.line_words,
+                )
 
         # Single-copy invariant: if a clean affiliated copy of this line
         # exists, merge any words the fill lacked, then clear it.
@@ -343,7 +359,14 @@ class CompressionCache:
             if legal.any():
                 frame.avals[legal] = resp.affil_values[legal]
                 frame.aa |= legal
-                self.stats.prefetched_words += int(np.count_nonzero(legal))
+                n_words = int(np.count_nonzero(legal))
+                self.stats.prefetched_words += n_words
+                if _trace.ACTIVE:
+                    # The piggy-backed partial prefetch: affiliated words
+                    # installed for free alongside the demand fill.
+                    _trace.emit(
+                        "prefetch", level=self.name, line=aff_no, words=n_words
+                    )
         return frame
 
     # ---- promotion ---------------------------------------------------------------------
@@ -360,6 +383,13 @@ class CompressionCache:
                 f"{self.name}: promoting {line_no:#x} which is already primary"
             )
         self.stats.promotions += 1
+        if _trace.ACTIVE:
+            _trace.emit(
+                "promotion",
+                level=self.name,
+                line=line_no,
+                words=int(np.count_nonzero(holder.aa)),
+            )
         values = holder.avals.copy()
         avail = holder.aa.copy()
         holder.clear_affiliated()
@@ -382,6 +412,15 @@ class CompressionCache:
         frame = self._find_primary(ln)
         if frame is not None and frame.pa[widx]:
             self.stats.record_access(hit=True)
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "cache_access",
+                    level=self.name,
+                    addr=addr,
+                    hit=True,
+                    write=write,
+                    place="primary",
+                )
             if write:
                 self._cpu_write(frame, widx, addr, value)
             return AccessResult(
@@ -394,6 +433,18 @@ class CompressionCache:
         if holder is not None and holder.aa[widx]:
             self.stats.record_access(hit=True)
             self.stats.affiliated_hits += 1
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "cache_access",
+                    level=self.name,
+                    addr=addr,
+                    hit=True,
+                    write=write,
+                    place="affiliated",
+                )
+                _trace.emit(
+                    "affiliated_hit", level=self.name, addr=addr, write=write
+                )
             loaded = None if write else int(holder.avals[widx])
             if write:
                 # A write hit in the affiliated line brings the line to its
@@ -407,9 +458,19 @@ class CompressionCache:
             )
 
         # Miss (including a hole in an otherwise-present partial line).
-        if frame is not None or holder is not None:
+        hole = frame is not None or holder is not None
+        if hole:
             self.stats.hole_misses += 1
         self.stats.record_access(hit=False)
+        if _trace.ACTIVE:
+            _trace.emit(
+                "cache_access",
+                level=self.name,
+                addr=addr,
+                hit=False,
+                write=write,
+                hole=hole,
+            )
         frame, latency, served = self._fill(ln, widx, TrafficKind.FILL, now)
         if not frame.pa[widx]:
             raise CacheProtocolError(f"{self.name}: fill did not deliver the word")
@@ -506,6 +567,14 @@ class CompressionCache:
             values, avail, comp, extra, tag = located
             if tag == "l2-affiliated":
                 self.stats.affiliated_hits += 1
+                if _trace.ACTIVE:
+                    _trace.emit(
+                        "affiliated_hit", level=self.name, addr=addr, write=False
+                    )
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "cache_access", level=self.name, addr=addr, hit=True
+                )
             latency = self.hit_latency + extra
         else:
             if (
@@ -514,6 +583,10 @@ class CompressionCache:
             ):
                 self.stats.hole_misses += 1
             self.stats.record_access(hit=False)
+            if _trace.ACTIVE:
+                _trace.emit(
+                    "cache_access", level=self.name, addr=addr, hit=False
+                )
             frame, fill_latency, _ = self._fill(ln, need_idx, kind, now)
             values, avail, comp = frame.pvals, frame.pa, frame.vcp
             latency = self.hit_latency + fill_latency

@@ -31,6 +31,7 @@ from repro.caches.interface import AccessResult, FetchResponse
 from repro.caches.prefetch_buffer import PrefetchBuffer
 from repro.errors import ConfigurationError
 from repro.memory.bus import TrafficKind
+from repro.obs import tracer as _trace
 
 __all__ = ["PrefetchingCache"]
 
@@ -78,6 +79,13 @@ class PrefetchingCache:
         )
         self.buffer.insert(target, values, ready_cycle=now + latency)
         self.stats.prefetches_issued += 1
+        if _trace.ACTIVE:
+            _trace.emit(
+                "prefetch",
+                level=self.cache.name,
+                line=target,
+                ready_cycle=now + latency,
+            )
 
     # ---- CPU-facing role (BCP L1) ------------------------------------------------
 

@@ -60,25 +60,52 @@ class CacheStats:
         else:
             self.misses += 1
 
+    #: The integer counters every level carries (used by as_dict/publish).
+    COUNTER_FIELDS = (
+        "accesses",
+        "hits",
+        "misses",
+        "buffer_hits",
+        "prefetches_issued",
+        "prefetches_useful",
+        "affiliated_hits",
+        "partial_fills",
+        "hole_misses",
+        "promotions",
+        "stashes",
+        "prefetched_words",
+        "dropped_affiliated_words",
+        "writebacks",
+    )
+
     def as_dict(self) -> dict[str, float | int | str]:
-        """Flatten to plain types for reports."""
-        out: dict[str, float | int | str] = {
-            "name": self.name,
-            "accesses": self.accesses,
-            "hits": self.hits,
-            "misses": self.misses,
-            "miss_rate": self.miss_rate,
-            "buffer_hits": self.buffer_hits,
-            "prefetches_issued": self.prefetches_issued,
-            "prefetches_useful": self.prefetches_useful,
-            "affiliated_hits": self.affiliated_hits,
-            "partial_fills": self.partial_fills,
-            "hole_misses": self.hole_misses,
-            "promotions": self.promotions,
-            "stashes": self.stashes,
-            "prefetched_words": self.prefetched_words,
-            "dropped_affiliated_words": self.dropped_affiliated_words,
-            "writebacks": self.writebacks,
-        }
-        out.update(self.extra)
+        """Flatten to plain types for reports.
+
+        ``extra`` counters are namespaced as ``extra.<key>`` so a wrapper
+        registering e.g. an ``extra["misses"]`` counter can never shadow
+        the base ``misses`` column.
+        """
+        out: dict[str, float | int | str] = {"name": self.name}
+        for field_name in self.COUNTER_FIELDS:
+            out[field_name] = getattr(self, field_name)
+        out["miss_rate"] = self.miss_rate
+        for key, value in self.extra.items():
+            out[f"extra.{key}"] = value
         return out
+
+    def publish(self, registry, **labels) -> None:
+        """Publish every counter into a metrics *registry*.
+
+        Metric names are ``cache.<counter>``; the cache level rides in a
+        ``level`` label, callers add run identity (workload/config).
+        Counters accumulate across runs per the registry contract.
+        """
+        labels.setdefault("level", self.name or "?")
+        for field_name in self.COUNTER_FIELDS:
+            value = getattr(self, field_name)
+            if value:
+                registry.inc(f"cache.{field_name}", value, **labels)
+        for key, value in self.extra.items():
+            if value:
+                registry.inc(f"cache.extra.{key}", value, **labels)
+        registry.set_gauge("cache.miss_rate", self.miss_rate, **labels)

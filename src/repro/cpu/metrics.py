@@ -69,3 +69,31 @@ class CoreMetrics:
             "miss_cycles": self.miss_cycles,
             "ready_queue_in_miss_cycles": self.avg_ready_queue_in_miss_cycles,
         }
+
+    def publish(self, registry, **labels) -> None:
+        """Publish core counters into a metrics *registry* (``core.*``).
+
+        Load-serving levels become a ``served_by`` label on
+        ``core.loads_served``, replacing per-level ad-hoc dict plumbing
+        with one queryable family.
+        """
+        for name, value in (
+            ("core.committed", self.committed),
+            ("core.cycles", self.cycles),
+            ("core.mispredicts", self.mispredicts),
+            ("core.fetch_stall_cycles", self.fetch_stall_cycles),
+            ("core.loads", self.load_count),
+            ("core.stores", self.store_count),
+            ("core.forwarded_loads", self.forwarded_loads),
+            ("core.miss_cycles", self.miss_cycles),
+        ):
+            if value:
+                registry.inc(name, value, **labels)
+        for served_by, count in self.loads_by_level.items():
+            registry.inc("core.loads_served", count, served_by=served_by, **labels)
+        registry.set_gauge("core.ipc", self.ipc, **labels)
+        registry.set_gauge(
+            "core.ready_queue_in_miss_cycles",
+            self.avg_ready_queue_in_miss_cycles,
+            **labels,
+        )

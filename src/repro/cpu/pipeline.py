@@ -36,6 +36,8 @@ from repro.cpu.ruu import EntryState, RUUEntry
 from repro.errors import ConfigurationError, TraceError
 from repro.isa.opcodes import EXEC_LATENCY, OpClass
 from repro.isa.trace import Trace
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _trace
 
 __all__ = ["CoreConfig", "CoreResult", "OutOfOrderCore"]
 
@@ -376,6 +378,22 @@ class OutOfOrderCore:
         if forward_from is not None:
             metrics.forwarded_loads += 1
             metrics.record_load("forward")
+            if _trace.ACTIVE:
+                # Forwarded loads never reach the caches, so the core is
+                # the only place that can observe them.
+                _trace.emit(
+                    "cache_access",
+                    level="core",
+                    addr=entry.addr,
+                    hit=True,
+                    served_by="forward",
+                    latency=self.config.forward_latency,
+                )
+                _metrics.REGISTRY.observe(
+                    "core.load_latency",
+                    self.config.forward_latency,
+                    hierarchy=self.hierarchy.name,
+                )
             if self.verify_loads and forward_from.value != entry.value:
                 raise _VerifyError(
                     f"forwarded load at {entry.addr:#x} got "
@@ -384,6 +402,18 @@ class OutOfOrderCore:
             return self.config.forward_latency
         result = self.hierarchy.load(entry.addr, now)
         metrics.record_load(result.served_by)
+        if _trace.ACTIVE:
+            _trace.emit(
+                "cache_access",
+                level="core",
+                addr=entry.addr,
+                hit=result.served_by.startswith("l1"),
+                served_by=result.served_by,
+                latency=result.latency,
+            )
+            _metrics.REGISTRY.observe(
+                "core.load_latency", result.latency, hierarchy=self.hierarchy.name
+            )
         if self.verify_loads and result.value is not None and (
             result.value != entry.value
         ):

@@ -15,6 +15,9 @@ import time
 
 from repro.experiments.common import render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import phases as _phases
+from repro.obs import progress as _progress
+from repro.sim.runner import memo_stats
 from repro.workloads.registry import WORKLOAD_NAMES
 
 __all__ = ["main"]
@@ -61,7 +64,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --parallel (default: cores - 1)",
     )
+    parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="suppress the wall-clock/memoization breakdown at the end",
+    )
     return parser
+
+
+def _profile_summary() -> str:
+    """Where the wall-clock went, plus memoization effectiveness."""
+    lines = [_phases.PHASES.render()]
+    memo = memo_stats()
+    for kind in ("program", "result"):
+        hits = memo[f"{kind}_hits"]
+        total = hits + memo[f"{kind}_misses"]
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        lines.append(
+            f"memoization: {kind} cache {hits}/{total} hits ({rate})"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,18 +106,21 @@ def main(argv: list[str] | None = None) -> int:
                 miss_scales=miss_scales,
                 max_workers=args.workers,
             )
-            print(
-                f"[prewarmed {n} matrix cells in "
-                f"{time.perf_counter() - t0:.1f}s across processes]\n"
+            _progress.report(
+                f"prewarmed {n} matrix cells in "
+                f"{time.perf_counter() - t0:.1f}s across processes"
             )
     for figure in figures:
         t0 = time.perf_counter()
-        output = run_experiment(
-            figure, args.workloads, seed=args.seed, scale=args.scale
-        )
+        with _phases.phase(f"figure.{figure}"):
+            output = run_experiment(
+                figure, args.workloads, seed=args.seed, scale=args.scale
+            )
         elapsed = time.perf_counter() - t0
         print(render_output(output, charts=not args.no_charts))
         print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+    if not args.no_profile:
+        print(_profile_summary())
     return 0
 
 

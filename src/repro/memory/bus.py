@@ -10,6 +10,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs import tracer as _trace
+
 __all__ = ["TrafficKind", "BusMeter"]
 
 
@@ -38,6 +40,8 @@ class BusMeter:
             raise ValueError("bus words must be non-negative")
         self.words_by_kind[kind] += words
         self.transfers_by_kind[kind] += 1
+        if _trace.ACTIVE:
+            _trace.emit("bus_transfer", kind=kind.value, words=words)
 
     @property
     def total_words(self) -> int:
@@ -60,3 +64,18 @@ class BusMeter:
         for kind in TrafficKind:
             self.words_by_kind[kind] = 0
             self.transfers_by_kind[kind] = 0
+
+    def publish(self, registry, **labels) -> None:
+        """Publish traffic totals into a metrics *registry* (``bus.*``).
+
+        One ``bus.words`` / ``bus.transfers`` family with the traffic
+        cause as a ``kind`` label — the queryable form of the Figure 10
+        decomposition.
+        """
+        for kind in TrafficKind:
+            words = self.words_by_kind[kind]
+            transfers = self.transfers_by_kind[kind]
+            if words:
+                registry.inc("bus.words", words, kind=kind.value, **labels)
+            if transfers:
+                registry.inc("bus.transfers", transfers, kind=kind.value, **labels)

@@ -1,0 +1,105 @@
+"""Unified observability for the CPP simulator.
+
+Four cooperating pieces, all importable from here:
+
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  with labels; cache, core and bus statistics publish into it per run;
+* :mod:`repro.obs.tracer` — a ring-buffered, samplable structured event
+  tracer (``cache_access``, ``affiliated_hit``, ``partial_fill``,
+  ``promotion``, ``stash``, ``bus_transfer``, ``prefetch``) with JSONL
+  export, off by default and zero-cost when off;
+* :mod:`repro.obs.phases` — nested wall-clock phase timers around trace
+  generation, simulation and analysis;
+* :mod:`repro.obs.manifest` — per-run JSON manifests (parameterization,
+  environment, timings, memoization rates, headline metrics, event
+  counts), rendered by ``python -m repro.obs.report``.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable(manifest_dir="results/manifests")
+    result = run_workload("olden.mst", "CPP", scale=0.3)
+    print(obs.get_tracer().count("affiliated_hit"))
+    obs.disable()
+
+Determinism contract: instrumentation only *records*; simulated cycle
+counts are bit-identical with observability on or off (tier-1 tested).
+"""
+
+from __future__ import annotations
+
+from repro.obs import manifest as manifest
+from repro.obs import metrics as metrics
+from repro.obs import phases as phases
+from repro.obs import progress as progress
+from repro.obs import tracer as tracer
+from repro.obs.manifest import RunManifest, load_manifest, load_manifests
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.phases import PHASES, PhaseTimer, phase
+from repro.obs.progress import report as report_progress
+from repro.obs.tracer import EventTracer, get_tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "get_tracer",
+    "EventTracer",
+    "MetricsRegistry",
+    "REGISTRY",
+    "PhaseTimer",
+    "PHASES",
+    "phase",
+    "RunManifest",
+    "load_manifest",
+    "load_manifests",
+    "report_progress",
+    "metrics",
+    "tracer",
+    "phases",
+    "manifest",
+    "progress",
+]
+
+
+def enable(
+    *,
+    trace: bool = True,
+    capacity: int = 65536,
+    sample_every: int = 1,
+    manifest_dir: str | None = None,
+) -> EventTracer | None:
+    """Arm observability; returns the installed tracer (if tracing).
+
+    ``trace=False`` enables only manifests/phases without per-event
+    tracing. Idempotent: re-enabling replaces the tracer.
+    """
+    installed = None
+    if trace:
+        installed = tracer.install(
+            EventTracer(capacity=capacity, sample_every=sample_every)
+        )
+    if manifest_dir is not None:
+        manifest.configure(manifest_dir)
+    return installed
+
+
+def disable() -> EventTracer | None:
+    """Disarm tracing and manifest writing; returns the old tracer
+    (its events and counts stay readable for post-mortems)."""
+    manifest.configure(None)
+    return tracer.uninstall()
+
+
+def enabled() -> bool:
+    """Is per-event tracing currently armed?"""
+    return tracer.ACTIVE
+
+
+def reset() -> None:
+    """Full observability reset: tracer gone, registry and phases empty."""
+    disable()
+    REGISTRY.reset()
+    PHASES.reset()

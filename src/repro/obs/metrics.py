@@ -1,0 +1,217 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+One queryable namespace for everything the simulator measures.
+:class:`~repro.caches.stats.CacheStats`,
+:class:`~repro.cpu.metrics.CoreMetrics` and
+:class:`~repro.memory.bus.BusMeter` publish their counters here at the
+end of every :meth:`Machine.run <repro.sim.machine.Machine.run>`, keyed
+by ``(workload, config)`` labels, and the runner publishes its
+memoization hit/miss counters — so a whole experiment campaign can be
+interrogated after the fact (``REGISTRY.snapshot()``) without threading
+result objects around.
+
+Metrics are identified by a dotted name plus a frozen label set;
+re-registering the same identity returns the same instrument, and values
+accumulate across runs (the conventional registry contract).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "metric_key",
+]
+
+#: Default histogram buckets: powers of two spanning one cycle to a full
+#: memory round trip and beyond (load-to-use latencies, queue depths).
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def metric_key(name: str, labels: dict[str, object]) -> str:
+    """Canonical flat key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must be non-negative)."""
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. cache-occupancy, hit rate)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        """Move the gauge by *amount* (either direction)."""
+        self.value += amount
+
+
+class Histogram:
+    """Bucketed distribution with sum and count.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything beyond the last edge.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, object],
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigurationError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
+        self.bucket_counts[bisect_right(self.bounds, value - 1e-12)] += 1
+        # bisect on value-epsilon makes integer edges inclusive.
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view: count, sum, mean and per-bucket counts."""
+        edges = [str(b) for b in self.bounds] + ["inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": dict(zip(edges, self.bucket_counts)),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, object], **kwargs):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, dict(labels), **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {key!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get-or-create the counter at (name, labels)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get-or-create the gauge at (name, labels)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, *, bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        """Get-or-create the histogram at (name, labels)."""
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- convenience write paths --------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1, **labels) -> None:
+        """Increment a counter in one call."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge in one call."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record a histogram sample in one call."""
+        self.histogram(name, **labels).observe(value)
+
+    # -- querying ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels):
+        """The instrument at (name, labels), or None."""
+        return self._metrics.get(metric_key(name, labels))
+
+    def value(self, name: str, **labels) -> float | int | None:
+        """Current scalar value of a counter/gauge (None if absent)."""
+        metric = self.get(name, **labels)
+        if metric is None or isinstance(metric, Histogram):
+            return None
+        return metric.value
+
+    def collect(self, prefix: str = "") -> list[Counter | Gauge | Histogram]:
+        """All instruments whose name starts with *prefix*, sorted by key."""
+        return [
+            self._metrics[k]
+            for k in sorted(self._metrics)
+            if self._metrics[k].name.startswith(prefix)
+        ]
+
+    def snapshot(self, prefix: str = "") -> dict[str, object]:
+        """Flat ``{key: value-or-histogram-dict}`` view for export."""
+        out: dict[str, object] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if not metric.name.startswith(prefix):
+                continue
+            if isinstance(metric, Histogram):
+                out[key] = metric.as_dict()
+            else:
+                out[key] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh campaigns)."""
+        self._metrics.clear()
+
+
+#: The process-global registry everything publishes into by default.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,104 @@
+"""Phase timers: where did the wall-clock go?
+
+Nested context-manager timers accumulating per-phase call counts and
+seconds, keyed by slash-joined paths (``figure.fig10/simulate``). The
+runner wraps trace generation and simulation, the experiment CLI wraps
+prewarming and each figure, so every campaign can report its own time
+breakdown (``python -m repro.experiments ... `` prints it, manifests
+embed it).
+
+Wall-clock measurement never feeds back into simulated time, so phase
+timing cannot perturb cycle counts; it costs two ``perf_counter`` calls
+per phase entry, which is why phases belong around *runs*, not events —
+per-event timing is the tracer's job.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["PhaseStat", "PhaseTimer", "PHASES", "phase"]
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated occurrences of one phase path."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class PhaseTimer:
+    """A stack of named phases with per-path accumulation."""
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self.stats: dict[str, PhaseStat] = {}
+
+    @property
+    def current(self) -> str | None:
+        """Path of the innermost open phase (None at top level)."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nests under whatever phase is currently open."""
+        if "/" in name:
+            raise ValueError("phase names must not contain '/'")
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._stack.pop()
+            stat = self.stats.get(path)
+            if stat is None:
+                stat = self.stats[path] = PhaseStat()
+            stat.calls += 1
+            stat.seconds += dt
+
+    def snapshot(self) -> dict[str, dict[str, float | int]]:
+        """Plain-dict view ``{path: {calls, seconds}}``, sorted by path."""
+        return {
+            path: {"calls": stat.calls, "seconds": stat.seconds}
+            for path, stat in sorted(self.stats.items())
+        }
+
+    def total_seconds(self, path: str) -> float:
+        """Accumulated seconds of one path (0.0 if never entered)."""
+        stat = self.stats.get(path)
+        return stat.seconds if stat else 0.0
+
+    def reset(self) -> None:
+        """Forget all accumulated phases (open phases keep nesting)."""
+        self.stats.clear()
+
+    def render(self, *, min_seconds: float = 0.0) -> str:
+        """Indented text breakdown, children shown under their parents."""
+        if not self.stats:
+            return "(no phases recorded)"
+        lines = ["phase breakdown (wall-clock):"]
+        for path in sorted(self.stats):
+            stat = self.stats[path]
+            if stat.seconds < min_seconds:
+                continue
+            depth = path.count("/")
+            name = path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {'  ' * depth}{name:<28} {stat.seconds:9.3f}s"
+                f"  x{stat.calls}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-global timer (workers in a process pool get their own).
+PHASES = PhaseTimer()
+
+
+def phase(name: str):
+    """Open a phase on the global timer: ``with phase("simulate"): ...``"""
+    return PHASES.phase(name)

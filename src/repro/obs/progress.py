@@ -1,0 +1,41 @@
+"""Uniform progress reporting for long runs.
+
+One narrow funnel replaces the ad-hoc ``print(...)`` progress lines that
+used to live in the runner: serial and parallel matrix sweeps, the
+prewarmer and the experiment CLI all report through :func:`report`, so
+output is consistently prefixed, lands on stderr (leaving stdout for
+figure tables), and can be redirected or silenced in one place
+(:func:`set_sink` — tests capture it, services can forward it to a real
+logger).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable
+
+__all__ = ["report", "set_sink", "silence"]
+
+_PREFIX = "[repro]"
+
+_sink: Callable[[str], None] | None = None
+
+
+def _default_sink(message: str) -> None:
+    print(f"{_PREFIX} {message}", file=sys.stderr, flush=True)
+
+
+def set_sink(sink: Callable[[str], None] | None) -> None:
+    """Route progress lines to *sink* (None restores stderr printing)."""
+    global _sink
+    _sink = sink
+
+
+def silence() -> None:
+    """Discard all progress output (batch jobs, tests)."""
+    set_sink(lambda message: None)
+
+
+def report(message: str) -> None:
+    """Emit one progress line through the configured sink."""
+    (_sink or _default_sink)(message)

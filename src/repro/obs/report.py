@@ -1,0 +1,227 @@
+"""Render run manifests: per-run summaries and cross-run tables.
+
+Usage::
+
+    # run one workload with full observability and render its manifest
+    python -m repro.obs.report run --workload olden.mst --config CPP --scale 0.3
+
+    # render manifests already on disk
+    python -m repro.obs.report show results/manifests
+    python -m repro.obs.report compare results/manifests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.obs.manifest import RunManifest, load_manifests
+from repro.utils.tables import format_table
+
+__all__ = ["render_manifest", "render_comparison", "main"]
+
+#: The event-count table rows: (label, headline/events key).
+_EVENT_ROWS = (
+    ("L1 affiliated hits", ("events", "l1", "affiliated_hits")),
+    ("L2 affiliated hits", ("events", "l2", "affiliated_hits")),
+    ("L1 partial fills", ("events", "l1", "partial_fills")),
+    ("L2 partial fills", ("events", "l2", "partial_fills")),
+    ("L1 promotions", ("events", "l1", "promotions")),
+    ("L2 promotions", ("events", "l2", "promotions")),
+    ("L1 stashes", ("events", "l1", "stashes")),
+    ("L2 stashes", ("events", "l2", "stashes")),
+    ("L1 prefetches issued", ("events", "l1", "prefetches_issued")),
+    ("L2 prefetches issued", ("events", "l2", "prefetches_issued")),
+    ("bus fill words", ("events", "bus", "fill_words")),
+    ("bus prefetch words", ("events", "bus", "prefetch_words")),
+    ("bus writeback words", ("events", "bus", "writeback_words")),
+)
+
+
+def _dig(manifest: RunManifest, path: tuple[str, ...]) -> object:
+    node: object = manifest.as_dict()
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return "-"
+        node = node[part]
+    return node
+
+
+def render_manifest(manifest: RunManifest) -> str:
+    """One run, fully rendered: identity, timings, memoization, events."""
+    head = manifest.headline
+    blocks = [
+        f"run manifest: {manifest.workload} on {manifest.config} "
+        f"(seed={manifest.seed}, scale={manifest.scale}, "
+        f"miss_scale={manifest.miss_scale})",
+        f"  git {manifest.git_rev} · repro {manifest.environment.get('repro', '?')}"
+        f" · python {manifest.environment.get('python', '?')}"
+        f" · numpy {manifest.environment.get('numpy', '?')}"
+        f" · {manifest.created}",
+    ]
+
+    if manifest.timings:
+        rows = [
+            (name, f"{seconds:.3f}")
+            for name, seconds in sorted(manifest.timings.items())
+        ]
+        blocks.append(format_table(["phase", "seconds"], rows, title="phase timings"))
+
+    memo = manifest.memoization
+    if memo:
+        rows = []
+        for kind in ("program", "result"):
+            hits = memo.get(f"{kind}_hits", 0)
+            misses = memo.get(f"{kind}_misses", 0)
+            total = hits + misses
+            rate = f"{hits / total:.2%}" if total else "-"
+            rows.append((kind, hits, misses, rate))
+        blocks.append(
+            format_table(
+                ["cache", "hits", "misses", "hit rate"],
+                rows,
+                title="runner memoization",
+            )
+        )
+
+    if head:
+        rows = [
+            ("cycles", head.get("cycles", "-")),
+            ("instructions", head.get("instructions", "-")),
+            ("ipc", head.get("ipc", "-")),
+            ("L1 miss rate", head.get("l1_miss_rate", "-")),
+            ("L2 miss rate", head.get("l2_miss_rate", "-")),
+            ("bus words", head.get("bus_words", "-")),
+            ("prefetch traffic share", head.get("bus_prefetch_share", "-")),
+        ]
+        blocks.append(format_table(["metric", "value"], rows, title="headline"))
+
+    rows = [(label, _dig(manifest, path)) for label, path in _EVENT_ROWS]
+    blocks.append(format_table(["event", "count"], rows, title="event counts"))
+
+    if manifest.trace_events:
+        rows = sorted(manifest.trace_events.items())
+        blocks.append(
+            format_table(["traced event type", "count"], rows, title="trace")
+        )
+    return "\n\n".join(blocks)
+
+
+def render_comparison(manifests: list[RunManifest]) -> str:
+    """Cross-run table: one row per manifest, headline columns."""
+    rows = []
+    for m in manifests:
+        head = m.headline
+        rows.append(
+            (
+                m.workload,
+                m.config,
+                head.get("cycles", "-"),
+                head.get("ipc", "-"),
+                head.get("l1_miss_rate", "-"),
+                head.get("l2_miss_rate", "-"),
+                head.get("bus_words", "-"),
+                f"{sum(m.timings.values()):.2f}" if m.timings else "-",
+            )
+        )
+    return format_table(
+        [
+            "workload",
+            "config",
+            "cycles",
+            "ipc",
+            "l1 miss",
+            "l2 miss",
+            "bus words",
+            "wall s",
+        ],
+        rows,
+        title=f"cross-run summary ({len(manifests)} runs)",
+        ndigits=4,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render simulator run manifests.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render manifests on disk")
+    show.add_argument("paths", nargs="+", help="manifest files or directories")
+
+    compare = sub.add_parser("compare", help="cross-run summary table")
+    compare.add_argument("paths", nargs="+", help="manifest files or directories")
+
+    run = sub.add_parser(
+        "run", help="execute one workload with observability on and render it"
+    )
+    run.add_argument("--workload", default="olden.mst")
+    run.add_argument("--config", default="CPP")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scale", type=float, default=0.3)
+    run.add_argument(
+        "--out", default=None, help="manifest directory (default: temporary)"
+    )
+    run.add_argument(
+        "--trace-out", default=None, help="also export the event stream as JSONL"
+    )
+    return parser
+
+
+def _collect(paths: list[str]) -> list[RunManifest]:
+    manifests: list[RunManifest] = []
+    for path in paths:
+        manifests.extend(load_manifests(path))
+    return manifests
+
+
+def _cmd_run(args) -> int:
+    import repro.obs as obs
+    from repro.sim.runner import run_workload
+
+    out_dir = args.out or tempfile.mkdtemp(prefix="repro-manifests-")
+    obs.enable(manifest_dir=out_dir)
+    try:
+        run_workload(
+            args.workload,
+            args.config,
+            seed=args.seed,
+            scale=args.scale,
+            use_cache=False,
+        )
+        tracer = obs.get_tracer()
+        if args.trace_out and tracer is not None:
+            tracer.write_jsonl(args.trace_out)
+            print(f"[event stream -> {args.trace_out}]", file=sys.stderr)
+    finally:
+        obs.disable()
+    manifests = load_manifests(out_dir)
+    print(render_manifest(manifests[-1]))
+    print(f"\n[manifest directory: {out_dir}]", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        manifests = _collect(args.paths)
+        if args.command == "show":
+            print("\n\n".join(render_manifest(m) for m in manifests))
+        else:
+            print(render_comparison(manifests))
+        return 0
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Structured event tracing: a ring-buffered, samplable event stream.
+
+The compression design is debugged via per-event behaviour (which access
+hit the affiliated place, which fill arrived partial), not aggregate
+counters — so the simulator can emit typed events from its hot paths:
+
+``cache_access`` · ``affiliated_hit`` · ``partial_fill`` · ``promotion``
+· ``stash`` · ``bus_transfer`` · ``prefetch``
+
+Tracing is **off by default** and must stay zero-cost when off: every
+instrumented site guards its :func:`emit` call with the module-level
+:data:`ACTIVE` flag (one attribute load and a branch, nothing else on
+the disabled path — ``benchmarks/bench_obs_overhead.py`` keeps this
+honest). Events carry only simulation-deterministic fields (no wall
+clock), so cycle counts are bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventTracer",
+    "ACTIVE",
+    "emit",
+    "install",
+    "uninstall",
+    "get_tracer",
+    "read_jsonl",
+]
+
+#: The typed event vocabulary. ``emit`` rejects anything else so typos
+#: fail fast in tests instead of silently fragmenting the counts table.
+EVENT_TYPES = frozenset(
+    {
+        "cache_access",
+        "affiliated_hit",
+        "partial_fill",
+        "promotion",
+        "stash",
+        "bus_transfer",
+        "prefetch",
+    }
+)
+
+#: Fast-path flag checked by instrumented code (``if tracer.ACTIVE:``).
+#: True exactly when a tracer is installed; mutated only by
+#: :func:`install` / :func:`uninstall`.
+ACTIVE = False
+
+_TRACER: EventTracer | None = None
+
+
+class EventTracer:
+    """A fixed-capacity ring buffer of typed events.
+
+    Always counts every emitted event per type (``counts``); retains the
+    most recent ``capacity`` events, keeping one in ``sample_every`` when
+    sampling is requested. Sequence numbers are global (pre-sampling), so
+    sampled streams still expose event density.
+    """
+
+    __slots__ = ("capacity", "sample_every", "counts", "seq", "dropped", "_buf", "_write")
+
+    def __init__(self, capacity: int = 65536, sample_every: int = 1) -> None:
+        if capacity < 1:
+            raise ConfigurationError("tracer capacity must be positive")
+        if sample_every < 1:
+            raise ConfigurationError("sample_every must be positive")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.counts: dict[str, int] = {}
+        self.seq = 0  #: events emitted (before sampling)
+        self.dropped = 0  #: retained-stream events overwritten by wraparound
+        self._buf: list[dict] = []
+        self._write = 0
+
+    def emit(self, type_: str, fields: dict) -> None:
+        """Record one event. *fields* must be JSON-safe scalars."""
+        if type_ not in EVENT_TYPES:
+            raise ConfigurationError(f"unknown event type {type_!r}")
+        self.counts[type_] = self.counts.get(type_, 0) + 1
+        seq = self.seq
+        self.seq = seq + 1
+        if seq % self.sample_every:
+            return
+        event = {"seq": seq, "type": type_}
+        event.update(fields)
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(event)
+        else:
+            buf[self._write] = event
+            self._write = (self._write + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self) -> list[dict]:
+        """Retained events, oldest first (handles wraparound)."""
+        if len(self._buf) < self.capacity:
+            return list(self._buf)
+        return self._buf[self._write :] + self._buf[: self._write]
+
+    def count(self, type_: str) -> int:
+        """Total emissions of one event type (sampling-independent)."""
+        return self.counts.get(type_, 0)
+
+    def clear(self) -> None:
+        """Drop retained events and zero all counters."""
+        self.counts = {}
+        self.seq = 0
+        self.dropped = 0
+        self._buf = []
+        self._write = 0
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Export retained events as JSON Lines; returns the path."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for event in self.events():
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load an event stream previously written by :meth:`write_jsonl`."""
+    out: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def install(tracer: EventTracer) -> EventTracer:
+    """Make *tracer* the process-global event sink and arm :data:`ACTIVE`."""
+    global _TRACER, ACTIVE
+    _TRACER = tracer
+    ACTIVE = True
+    return tracer
+
+
+def uninstall() -> EventTracer | None:
+    """Disarm tracing; returns the tracer (events stay readable)."""
+    global _TRACER, ACTIVE
+    ACTIVE = False
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def get_tracer() -> EventTracer | None:
+    """The installed tracer, or None when tracing is off."""
+    return _TRACER
+
+
+def emit(type_: str, **fields) -> None:
+    """Emit one event to the installed tracer (no-op when off).
+
+    Hot paths should guard the call (``if tracer.ACTIVE: tracer.emit(...)``)
+    so the disabled path never pays for argument packing.
+    """
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.emit(type_, fields)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.caches.hierarchy import build_hierarchy
 from repro.cpu.pipeline import OutOfOrderCore
 from repro.memory.main_memory import MainMemory
+from repro.obs.metrics import REGISTRY
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
 from repro.workloads.base import Program
@@ -40,6 +41,15 @@ class Machine:
         )
         outcome = core.run(program.trace)
         bus = memory.bus
+        # Publish everything measured into the one queryable namespace.
+        # Once per run (not per event), so it costs nothing against the
+        # millions of simulated cycles it summarizes.
+        labels = {"workload": program.name, "config": self.config.name}
+        hierarchy.l1_stats.publish(REGISTRY, level="L1", **labels)
+        hierarchy.l2_stats.publish(REGISTRY, level="L2", **labels)
+        bus.publish(REGISTRY, **labels)
+        outcome.metrics.publish(REGISTRY, **labels)
+        REGISTRY.inc("sim.runs", 1, **labels)
         return SimResult(
             workload=program.name,
             config=self.config.name,

@@ -23,6 +23,8 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.errors import ExperimentError
+from repro.obs import phases as _phases
+from repro.obs import progress as _progress
 from repro.sim.results import SimResult
 
 __all__ = ["run_matrix_parallel", "default_workers"]
@@ -54,13 +56,15 @@ def run_matrix_parallel(
     seed: int = 1,
     scale: float = 1.0,
     max_workers: int | None = None,
+    progress: bool = False,
 ) -> dict[tuple[str, str], SimResult]:
     """Simulate the full matrix across processes.
 
     Returns the same ``{(workload, config): result}`` mapping as
     :func:`repro.sim.runner.run_matrix`. Tasks are grouped by workload so
     each worker amortizes trace generation across the configurations it
-    happens to receive.
+    happens to receive. *progress* reports each completed cell through
+    the same :mod:`repro.obs.progress` funnel as the serial path.
     """
     if not workloads or not configs:
         raise ExperimentError("workloads and configs must be non-empty")
@@ -72,12 +76,24 @@ def run_matrix_parallel(
         for workload in workloads
         for config in configs
     ]
-    if workers == 1 or len(tasks) == 1:
-        return dict(_run_cell(task) for task in tasks)
     out: dict[tuple[str, str], SimResult] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for key, result in pool.map(_run_cell, tasks):
-            out[key] = result
+    with _phases.phase("parallel_matrix"):
+        if workers == 1 or len(tasks) == 1:
+            for i, task in enumerate(tasks, 1):
+                if progress:
+                    _progress.report(
+                        f"running {task[0]} on {task[1]} ({i}/{len(tasks)})"
+                    )
+                key, result = _run_cell(task)
+                out[key] = result
+            return out
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, (key, result) in enumerate(pool.map(_run_cell, tasks), 1):
+                out[key] = result
+                if progress:
+                    _progress.report(
+                        f"completed {key[0]} on {key[1]} ({i}/{len(tasks)})"
+                    )
     return out
 
 
@@ -112,10 +128,11 @@ def run_matrix_parallel_configs(
         for workload in workloads
         for config in configs
     ]
-    if workers == 1 or len(tasks) == 1:
-        return dict(_run_config_cell(task) for task in tasks)
-    out: dict[tuple[str, str, float], SimResult] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for key, result in pool.map(_run_config_cell, tasks):
-            out[key] = result
+    with _phases.phase("parallel_matrix"):
+        if workers == 1 or len(tasks) == 1:
+            return dict(_run_config_cell(task) for task in tasks)
+        out: dict[tuple[str, str, float], SimResult] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for key, result in pool.map(_run_config_cell, tasks):
+                out[key] = result
     return out

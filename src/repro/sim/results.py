@@ -44,8 +44,15 @@ class SimResult:
     def ready_queue_in_miss_cycles(self) -> float:
         return self.metrics.avg_ready_queue_in_miss_cycles
 
+    @property
+    def bus_prefetch_share(self) -> float:
+        """Fraction of all bus words spent on prefetch transfers — the
+        Figure 10 "wasted bandwidth" signal (0 when the bus was idle)."""
+        return self.bus_prefetch_words / self.bus_words if self.bus_words else 0.0
+
     def as_dict(self) -> dict[str, float | int | str]:
-        """Flatten headline numbers for tables."""
+        """Flatten headline numbers for tables, including the full bus
+        traffic breakdown (fill / prefetch / writeback words)."""
         return {
             "workload": self.workload,
             "config": self.config,
@@ -57,5 +64,9 @@ class SimResult:
             "l2_misses": self.l2.misses,
             "l2_miss_rate": round(self.l2.miss_rate, 5),
             "bus_words": self.bus_words,
+            "bus_fill_words": self.bus_fill_words,
+            "bus_prefetch_words": self.bus_prefetch_words,
+            "bus_writeback_words": self.bus_writeback_words,
+            "bus_prefetch_share": round(self.bus_prefetch_share, 5),
             "mispredicts": self.branch_mispredicts,
         }

@@ -5,17 +5,38 @@ results; generating a trace or simulating a configuration twice would
 double the cost of every figure, so both are cached keyed by their full
 parameterization. Caches are plain dicts — safe because programs and
 results are treated as immutable once produced.
+
+Observability: trace generation and simulation run under
+:mod:`repro.obs.phases` timers, memoization hits/misses are counted (and
+published to the metrics registry), and — when a manifest directory is
+configured via :func:`repro.obs.enable` — every *fresh* simulation
+writes a :class:`~repro.obs.manifest.RunManifest` (memo hits are not
+runs and write nothing).
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.obs import manifest as _manifest
+from repro.obs import phases as _phases
+from repro.obs import progress as _progress
+from repro.obs import tracer as _trace
+from repro.obs.metrics import REGISTRY
 from repro.sim.config import SIM_CONFIGS, SimConfig
 from repro.sim.machine import Machine
 from repro.sim.results import SimResult
 from repro.workloads.base import Program
 from repro.workloads.registry import generate
 
-__all__ = ["run_program", "run_workload", "run_matrix", "clear_caches", "get_program"]
+__all__ = [
+    "run_program",
+    "run_workload",
+    "run_matrix",
+    "clear_caches",
+    "get_program",
+    "memo_stats",
+]
 
 _PROGRAM_CACHE: dict[tuple[str, int, float], Program] = {}
 #: (workload, seed, scale, cache_config, miss_scale) -> result. The key
@@ -23,9 +44,22 @@ _PROGRAM_CACHE: dict[tuple[str, int, float], Program] = {}
 #: so results computed in worker processes can be injected here.
 _RESULT_CACHE: dict[tuple[str, int, float, str, float], SimResult] = {}
 
+#: Memoization effectiveness counters (exposed in manifests and reports).
+_MEMO = {
+    "program_hits": 0,
+    "program_misses": 0,
+    "result_hits": 0,
+    "result_misses": 0,
+}
+
+
+def memo_stats() -> dict[str, int]:
+    """Snapshot of the runner's memoization hit/miss counters."""
+    return dict(_MEMO)
+
 
 def clear_caches() -> None:
-    """Drop all memoized programs and results."""
+    """Drop all memoized programs and results (counters survive)."""
     _PROGRAM_CACHE.clear()
     _RESULT_CACHE.clear()
 
@@ -35,8 +69,14 @@ def get_program(workload: str, *, seed: int = 1, scale: float = 1.0) -> Program:
     key = (workload, seed, scale)
     prog = _PROGRAM_CACHE.get(key)
     if prog is None:
-        prog = generate(workload, seed=seed, scale=scale)
+        _MEMO["program_misses"] += 1
+        REGISTRY.inc("memo.program.misses")
+        with _phases.phase("trace_gen"):
+            prog = generate(workload, seed=seed, scale=scale)
         _PROGRAM_CACHE[key] = prog
+    else:
+        _MEMO["program_hits"] += 1
+        REGISTRY.inc("memo.program.hits")
     return prog
 
 
@@ -44,7 +84,43 @@ def run_program(
     program: Program, config: SimConfig | str, *, verify_loads: bool = False
 ) -> SimResult:
     """Run an already-generated program on a named or explicit config."""
-    return Machine(config, verify_loads=verify_loads).run(program)
+    with _phases.phase("simulate"):
+        return Machine(config, verify_loads=verify_loads).run(program)
+
+
+def _write_manifest(
+    config: SimConfig,
+    result: SimResult,
+    *,
+    seed: int,
+    scale: float,
+    timings: dict[str, float],
+    trace_counts: dict[str, int],
+) -> None:
+    """Record one fresh simulation as a run manifest."""
+    manifest = _manifest.RunManifest(
+        workload=result.workload,
+        config=result.config,
+        cache_config=config.cache_config,
+        seed=seed,
+        scale=scale,
+        miss_scale=config.miss_scale,
+        timings=timings,
+        memoization=memo_stats(),
+        headline=result.as_dict(),
+        events={
+            "l1": result.l1.as_dict(),
+            "l2": result.l2.as_dict(),
+            "bus": {
+                "total_words": result.bus_words,
+                "fill_words": result.bus_fill_words,
+                "prefetch_words": result.bus_prefetch_words,
+                "writeback_words": result.bus_writeback_words,
+            },
+        },
+        trace_events=trace_counts,
+    )
+    _manifest.write_manifest(manifest)
 
 
 def run_workload(
@@ -63,9 +139,35 @@ def run_workload(
     if use_cache and not verify_loads:
         hit = _RESULT_CACHE.get(key)
         if hit is not None:
+            _MEMO["result_hits"] += 1
+            REGISTRY.inc("memo.result.hits")
             return hit
+    _MEMO["result_misses"] += 1
+    REGISTRY.inc("memo.result.misses")
+
+    tracer = _trace.get_tracer()
+    counts_before = dict(tracer.counts) if tracer is not None else {}
+    t0 = time.perf_counter()
     program = get_program(workload, seed=seed, scale=scale)
+    t1 = time.perf_counter()
     result = run_program(program, config, verify_loads=verify_loads)
+    t2 = time.perf_counter()
+
+    if _manifest.manifest_dir() is not None:
+        trace_counts: dict[str, int] = {}
+        if tracer is not None:
+            for event_type, count in tracer.counts.items():
+                delta = count - counts_before.get(event_type, 0)
+                if delta:
+                    trace_counts[event_type] = delta
+        _write_manifest(
+            config,
+            result,
+            seed=seed,
+            scale=scale,
+            timings={"trace_gen": t1 - t0, "simulate": t2 - t1},
+            trace_counts=trace_counts,
+        )
     if use_cache and not verify_loads:
         _RESULT_CACHE[key] = result
     return result
@@ -89,19 +191,20 @@ def prewarm_parallel(
     from repro.sim.parallel import run_matrix_parallel_configs
 
     n = 0
-    for miss_scale in miss_scales:
-        cfgs = [
-            SIM_CONFIGS.get(c.upper(), SimConfig(cache_config=c)).with_miss_scale(
-                miss_scale
+    with _phases.phase("prewarm"):
+        for miss_scale in miss_scales:
+            cfgs = [
+                SIM_CONFIGS.get(c.upper(), SimConfig(cache_config=c)).with_miss_scale(
+                    miss_scale
+                )
+                for c in configs
+            ]
+            results = run_matrix_parallel_configs(
+                workloads, cfgs, seed=seed, scale=scale, max_workers=max_workers
             )
-            for c in configs
-        ]
-        results = run_matrix_parallel_configs(
-            workloads, cfgs, seed=seed, scale=scale, max_workers=max_workers
-        )
-        for (workload, cache_config, ms), result in results.items():
-            _RESULT_CACHE[(workload, seed, scale, cache_config, ms)] = result
-            n += 1
+            for (workload, cache_config, ms), result in results.items():
+                _RESULT_CACHE[(workload, seed, scale, cache_config, ms)] = result
+                n += 1
     return n
 
 
@@ -116,10 +219,15 @@ def run_matrix(
     """Simulate the full (workload x config) matrix the figures are built
     from; returns ``{(workload, config): result}``."""
     out: dict[tuple[str, str], SimResult] = {}
+    total = len(workloads) * len(configs)
+    done = 0
     for workload in workloads:
         for config in configs:
-            if progress:  # pragma: no cover - cosmetic
-                print(f"  running {workload} on {config} ...", flush=True)
+            if progress:
+                done += 1
+                _progress.report(
+                    f"running {workload} on {config} ({done}/{total})"
+                )
             out[(workload, config)] = run_workload(
                 workload, config, seed=seed, scale=scale
             )

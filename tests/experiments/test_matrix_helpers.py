@@ -84,6 +84,8 @@ class TestCliParallel:
             ]
         )
         assert rc == 0
-        out = capsys.readouterr().out
-        assert "prewarmed" in out
-        assert "Execution time" in out
+        captured = capsys.readouterr()
+        # Progress lines go to stderr via repro.obs.progress; figure
+        # tables stay on stdout.
+        assert "prewarmed" in captured.err
+        assert "Execution time" in captured.out

@@ -1,0 +1,65 @@
+"""Observability must never perturb the simulation.
+
+The acceptance bar for the obs layer: cycle counts (and every other
+headline number) are bit-identical with tracing armed or disarmed,
+because events carry only simulation-deterministic fields and phase
+timing never feeds back into simulated time.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.sim.runner import clear_caches, run_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.disable()
+    obs.reset()
+    clear_caches()
+    yield
+    obs.disable()
+    obs.reset()
+    clear_caches()
+
+
+def _run(workload, config):
+    return run_workload(workload, config, seed=1, scale=0.1, use_cache=False)
+
+
+@pytest.mark.parametrize("config", ["BC", "BCP", "CPP"])
+def test_cycles_identical_with_tracing_on_vs_off(config):
+    baseline = _run("olden.mst", config)
+
+    obs.enable(capacity=4096)
+    traced = _run("olden.mst", config)
+    obs.disable()
+
+    assert traced.cycles == baseline.cycles
+    assert traced.as_dict() == baseline.as_dict()
+
+
+def test_sampled_tracing_is_also_invisible():
+    baseline = _run("olden.em3d", "CPP")
+
+    obs.enable(capacity=256, sample_every=16)
+    traced = _run("olden.em3d", "CPP")
+    tracer = obs.get_tracer()
+    obs.disable()
+
+    assert traced.cycles == baseline.cycles
+    # Sampling thins retention, never counting.
+    assert tracer.count("cache_access") > len(tracer.events())
+
+
+def test_tracer_saw_the_cpp_machinery():
+    obs.enable(capacity=65536)
+    _run("olden.mst", "CPP")
+    tracer = obs.get_tracer()
+    obs.disable()
+
+    assert tracer.count("cache_access") > 0
+    assert tracer.count("bus_transfer") > 0
+    # CPP runs exercise the compression-specific events too.
+    assert tracer.count("affiliated_hit") > 0
+    assert tracer.count("promotion") > 0

@@ -1,0 +1,158 @@
+"""Manifests from run_workload and their CLI rendering."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ExperimentError
+from repro.obs.manifest import (
+    RunManifest,
+    load_manifest,
+    load_manifests,
+    write_manifest,
+)
+from repro.obs.report import main, render_comparison, render_manifest
+from repro.sim.runner import clear_caches, run_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.disable()
+    obs.reset()
+    clear_caches()
+    yield
+    obs.disable()
+    obs.reset()
+    clear_caches()
+
+
+def _run_with_manifest(tmp_path, **kwargs):
+    obs.enable(manifest_dir=tmp_path)
+    result = run_workload(
+        "olden.mst", "CPP", seed=1, scale=0.1, use_cache=False, **kwargs
+    )
+    obs.disable()
+    return result
+
+
+class TestManifestWriting:
+    def test_run_workload_writes_one_manifest(self, tmp_path):
+        result = _run_with_manifest(tmp_path)
+        manifests = load_manifests(tmp_path)
+        assert len(manifests) == 1
+        m = manifests[0]
+        assert m.workload == "olden.mst"
+        assert m.config == "CPP"
+        assert m.seed == 1
+        assert m.scale == 0.1
+        assert m.headline["cycles"] == result.cycles
+        assert set(m.timings) == {"trace_gen", "simulate"}
+        assert m.events["bus"]["total_words"] == result.bus_words
+        assert m.events["l1"]["accesses"] == result.l1.accesses
+        # tracing was armed by obs.enable, so typed events were counted
+        assert m.trace_events.get("cache_access", 0) > 0
+
+    def test_memo_hit_writes_nothing(self, tmp_path):
+        obs.enable(manifest_dir=tmp_path)
+        run_workload("olden.mst", "BC", seed=1, scale=0.1)
+        run_workload("olden.mst", "BC", seed=1, scale=0.1)  # result-cache hit
+        obs.disable()
+        assert len(load_manifests(tmp_path)) == 1
+
+    def test_no_manifest_without_directory(self, tmp_path):
+        run_workload("olden.mst", "BC", seed=1, scale=0.1, use_cache=False)
+        with pytest.raises(ExperimentError):
+            load_manifests(tmp_path)
+
+    def test_json_round_trip(self, tmp_path):
+        _run_with_manifest(tmp_path)
+        path = sorted(tmp_path.glob("run-*.json"))[0]
+        data = json.loads(path.read_text())
+        m = RunManifest.from_dict(data)
+        assert m.as_dict() == data
+
+    def test_malformed_manifest_raises(self, tmp_path):
+        bad = tmp_path / "run-0001-x-y.json"
+        bad.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_manifest(bad)
+
+    def test_explicit_write_manifest_requires_directory(self):
+        with pytest.raises(ExperimentError):
+            write_manifest(
+                RunManifest(
+                    workload="w", config="c", cache_config="c",
+                    seed=1, scale=1.0, miss_scale=1.0,
+                )
+            )
+
+
+class TestRendering:
+    def test_render_manifest_has_all_sections(self, tmp_path):
+        _run_with_manifest(tmp_path)
+        text = render_manifest(load_manifests(tmp_path)[0])
+        assert "phase timings" in text
+        assert "trace_gen" in text and "simulate" in text
+        assert "runner memoization" in text
+        assert "hit rate" in text
+        assert "headline" in text and "cycles" in text
+        assert "event counts" in text
+        for row in (
+            "L1 affiliated hits",
+            "L1 partial fills",
+            "L1 promotions",
+            "L1 stashes",
+            "bus fill words",
+            "bus prefetch words",
+            "bus writeback words",
+        ):
+            assert row in text
+        assert "traced event type" in text  # tracing was on
+
+    def test_compare_table(self, tmp_path):
+        obs.enable(manifest_dir=tmp_path)
+        run_workload("olden.mst", "BC", seed=1, scale=0.1, use_cache=False)
+        run_workload("olden.mst", "CPP", seed=1, scale=0.1, use_cache=False)
+        obs.disable()
+        text = render_comparison(load_manifests(tmp_path))
+        assert "cross-run summary (2 runs)" in text
+        assert "BC" in text and "CPP" in text
+
+
+class TestCli:
+    def test_show_command(self, tmp_path, capsys):
+        _run_with_manifest(tmp_path)
+        assert main(["show", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: olden.mst on CPP" in out
+        assert "event counts" in out
+
+    def test_compare_command(self, tmp_path, capsys):
+        _run_with_manifest(tmp_path)
+        assert main(["compare", str(tmp_path)]) == 0
+        assert "cross-run summary" in capsys.readouterr().out
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "manifests"
+        trace_out = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "run",
+                "--workload", "olden.mst",
+                "--config", "CPP",
+                "--scale", "0.1",
+                "--out", str(out_dir),
+                "--trace-out", str(trace_out),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "run manifest: olden.mst on CPP" in captured.out
+        assert trace_out.exists()
+        first = json.loads(trace_out.read_text().splitlines()[0])
+        assert "type" in first and "seq" in first

@@ -1,0 +1,113 @@
+"""Metrics registry: label identity, type safety, histogram bucketing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_no_labels_is_bare_name(self):
+        assert metric_key("cache.hits", {}) == "cache.hits"
+
+    def test_labels_sorted_into_key(self):
+        key = metric_key("cache.hits", {"level": "L1", "config": "CPP"})
+        assert key == "cache.hits{config=CPP,level=L1}"
+
+    def test_label_order_does_not_matter(self):
+        a = metric_key("m", {"a": 1, "b": 2})
+        b = metric_key("m", {"b": 2, "a": 1})
+        assert a == b
+
+
+class TestLabelIdentity:
+    def test_same_labels_return_same_instrument(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("cache.hits", level="L1", config="CPP")
+        c2 = reg.counter("cache.hits", config="CPP", level="L1")
+        assert c1 is c2
+        c1.inc(3)
+        c2.inc(2)
+        assert reg.value("cache.hits", level="L1", config="CPP") == 5
+
+    def test_different_labels_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hits", 1, level="L1")
+        reg.inc("cache.hits", 10, level="L2")
+        assert reg.value("cache.hits", level="L1") == 1
+        assert reg.value("cache.hits", level="L2") == 10
+        assert reg.value("cache.hits") is None  # unlabelled never created
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", level="L1")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("m", level="L1")
+
+    def test_collect_and_snapshot_filter_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hits", 2, level="L1")
+        reg.set_gauge("core.ipc", 0.8, workload="olden.mst")
+        cache_only = reg.collect("cache.")
+        assert [m.name for m in cache_only] == ["cache.hits"]
+        snap = reg.snapshot("core.")
+        assert snap == {"core.ipc{workload=olden.mst}": 0.8}
+
+    def test_reset_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("m")
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.get("m") is None
+
+
+class TestCounter:
+    def test_rejects_negative(self):
+        c = Counter("m", {})
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_accumulates(self):
+        c = Counter("m", {})
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestGauge:
+    def test_set_and_add_both_directions(self):
+        g = Gauge("m", {})
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_integer_edges_are_inclusive(self):
+        h = Histogram("lat", {}, bounds=(1, 2, 4))
+        for v in (1, 2, 2, 4, 5):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["buckets"] == {"1": 1, "2": 2, "4": 1, "inf": 1}
+        assert d["count"] == 5
+        assert d["mean"] == pytest.approx(14 / 5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("m", {}, bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram("m", {}, bounds=(4, 2, 1))
+
+    def test_registry_observe_path(self):
+        reg = MetricsRegistry()
+        reg.observe("core.load_latency", 3, hierarchy="CPP")
+        reg.observe("core.load_latency", 300, hierarchy="CPP")
+        h = reg.get("core.load_latency", hierarchy="CPP")
+        assert h.count == 2
+        assert reg.value("core.load_latency", hierarchy="CPP") is None  # not scalar

@@ -1,0 +1,82 @@
+"""Phase timers: nesting, accumulation, rendering."""
+
+import pytest
+
+from repro.obs.phases import PhaseTimer
+
+
+class TestNesting:
+    def test_nested_paths_are_slash_joined(self):
+        t = PhaseTimer()
+        with t.phase("figure.fig10"):
+            assert t.current == "figure.fig10"
+            with t.phase("simulate"):
+                assert t.current == "figure.fig10/simulate"
+        assert t.current is None
+        assert set(t.stats) == {"figure.fig10", "figure.fig10/simulate"}
+
+    def test_parent_time_includes_child_time(self):
+        t = PhaseTimer()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                pass
+        assert t.total_seconds("outer") >= t.total_seconds("outer/inner")
+
+    def test_calls_accumulate_per_path(self):
+        t = PhaseTimer()
+        for _ in range(3):
+            with t.phase("simulate"):
+                pass
+        assert t.stats["simulate"].calls == 3
+
+    def test_exception_still_closes_phase(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("boom"):
+                raise RuntimeError("x")
+        assert t.current is None
+        assert t.stats["boom"].calls == 1
+
+    def test_slash_in_name_rejected(self):
+        t = PhaseTimer()
+        with pytest.raises(ValueError):
+            with t.phase("a/b"):
+                pass
+
+    def test_same_leaf_under_different_parents_is_distinct(self):
+        t = PhaseTimer()
+        with t.phase("fig10"):
+            with t.phase("simulate"):
+                pass
+        with t.phase("fig11"):
+            with t.phase("simulate"):
+                pass
+        assert "fig10/simulate" in t.stats
+        assert "fig11/simulate" in t.stats
+        assert "simulate" not in t.stats
+
+
+class TestReporting:
+    def test_snapshot_shape(self):
+        t = PhaseTimer()
+        with t.phase("simulate"):
+            pass
+        snap = t.snapshot()
+        assert snap["simulate"]["calls"] == 1
+        assert snap["simulate"]["seconds"] >= 0.0
+
+    def test_render_empty_and_nonempty(self):
+        t = PhaseTimer()
+        assert "no phases" in t.render()
+        with t.phase("simulate"):
+            pass
+        out = t.render()
+        assert "simulate" in out
+        assert "x1" in out
+
+    def test_reset(self):
+        t = PhaseTimer()
+        with t.phase("simulate"):
+            pass
+        t.reset()
+        assert t.stats == {}

@@ -1,0 +1,117 @@
+"""Event tracer: ring wraparound, sampling, JSONL round-trips, guards."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import tracer
+from repro.obs.tracer import EventTracer, read_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    tracer.uninstall()
+    yield
+    tracer.uninstall()
+
+
+class TestRingBuffer:
+    def test_retains_under_capacity(self):
+        t = EventTracer(capacity=8)
+        for i in range(5):
+            t.emit("promotion", {"line": i})
+        assert len(t) == 5
+        assert [e["line"] for e in t.events()] == [0, 1, 2, 3, 4]
+
+    def test_wraparound_keeps_most_recent(self):
+        t = EventTracer(capacity=4)
+        for i in range(10):
+            t.emit("promotion", {"line": i})
+        events = t.events()
+        assert len(events) == 4
+        assert [e["line"] for e in events] == [6, 7, 8, 9]
+        assert t.dropped == 6
+        assert t.count("promotion") == 10  # counts survive wraparound
+
+    def test_wraparound_twice(self):
+        t = EventTracer(capacity=3)
+        for i in range(9):
+            t.emit("stash", {"line": i})
+        assert [e["line"] for e in t.events()] == [6, 7, 8]
+
+    def test_seq_is_monotonic_across_wrap(self):
+        t = EventTracer(capacity=2)
+        for i in range(5):
+            t.emit("promotion", {"line": i})
+        seqs = [e["seq"] for e in t.events()]
+        assert seqs == sorted(seqs)
+
+    def test_clear(self):
+        t = EventTracer(capacity=4)
+        t.emit("stash", {"line": 1})
+        t.clear()
+        assert len(t) == 0
+        assert t.counts == {}
+        assert t.seq == 0
+
+
+class TestSampling:
+    def test_sample_every_keeps_one_in_n(self):
+        t = EventTracer(capacity=100, sample_every=4)
+        for i in range(20):
+            t.emit("cache_access", {"addr": i})
+        assert len(t) == 5  # seq 0, 4, 8, 12, 16
+        assert t.count("cache_access") == 20  # counting is unsampled
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EventTracer(capacity=0)
+        with pytest.raises(ConfigurationError):
+            EventTracer(sample_every=0)
+
+
+class TestTypeChecking:
+    def test_unknown_event_type_rejected(self):
+        t = EventTracer()
+        with pytest.raises(ConfigurationError):
+            t.emit("no_such_event", {})
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        t = EventTracer(capacity=16)
+        t.emit("cache_access", {"level": "L1", "addr": 4096, "hit": True})
+        t.emit("affiliated_hit", {"level": "L1", "addr": 4100, "write": False})
+        t.emit("bus_transfer", {"kind": "fill", "words": 32})
+        path = t.write_jsonl(tmp_path / "events.jsonl")
+        loaded = read_jsonl(path)
+        assert loaded == t.events()
+
+    def test_round_trip_after_wraparound(self, tmp_path):
+        t = EventTracer(capacity=3)
+        for i in range(7):
+            t.emit("promotion", {"line": i})
+        loaded = read_jsonl(t.write_jsonl(tmp_path / "e.jsonl"))
+        assert [e["line"] for e in loaded] == [4, 5, 6]
+
+    def test_empty_stream(self, tmp_path):
+        t = EventTracer()
+        loaded = read_jsonl(t.write_jsonl(tmp_path / "empty.jsonl"))
+        assert loaded == []
+
+
+class TestModuleGuard:
+    def test_off_by_default(self):
+        assert tracer.ACTIVE is False
+        assert tracer.get_tracer() is None
+        tracer.emit("promotion", line=1)  # silently dropped
+
+    def test_install_arms_the_flag(self):
+        t = tracer.install(EventTracer())
+        assert tracer.ACTIVE is True
+        tracer.emit("promotion", line=7)
+        assert t.count("promotion") == 1
+        old = tracer.uninstall()
+        assert old is t
+        assert tracer.ACTIVE is False
+        tracer.emit("promotion", line=8)  # dropped again
+        assert t.count("promotion") == 1

@@ -40,6 +40,45 @@ class TestDictForm:
         assert len(load_results_json(path)) == 2
 
 
+class TestHeadlineBusBreakdown:
+    def test_as_dict_carries_the_bus_traffic_split(self, some_results):
+        # Regression: as_dict() used to drop the fill/prefetch/writeback
+        # word breakdown, leaving only the total.
+        d = some_results[("olden.mst", "CPP")].as_dict()
+        for key in (
+            "bus_fill_words",
+            "bus_prefetch_words",
+            "bus_writeback_words",
+            "bus_prefetch_share",
+        ):
+            assert key in d
+        assert (
+            d["bus_fill_words"] + d["bus_prefetch_words"] + d["bus_writeback_words"]
+            == d["bus_words"]
+        )
+
+    def test_prefetch_share_is_a_fraction_of_total(self, some_results):
+        r = some_results[("olden.mst", "CPP")]
+        assert 0.0 <= r.bus_prefetch_share <= 1.0
+        assert r.bus_prefetch_share == pytest.approx(
+            r.bus_prefetch_words / r.bus_words
+        )
+
+    def test_prefetch_share_zero_on_idle_bus(self):
+        from repro.sim.results import SimResult
+        from repro.caches.stats import CacheStats
+        from repro.cpu.metrics import CoreMetrics
+
+        idle = SimResult(
+            workload="w", config="c", cycles=0, instructions=0,
+            l1=CacheStats("L1"), l2=CacheStats("L2"),
+            bus_words=0, bus_fill_words=0, bus_prefetch_words=0,
+            bus_writeback_words=0, metrics=CoreMetrics(),
+            branch_mispredicts=0,
+        )
+        assert idle.bus_prefetch_share == 0.0
+
+
 class TestCsv:
     def test_writes_header_and_rows(self, some_results, tmp_path):
         path = results_to_csv(some_results, tmp_path / "out.csv")

@@ -1,0 +1,102 @@
+"""Pass/fail gate: observability must be free when disabled.
+
+Times the same cache-hierarchy drive loop (the hot path instrumented
+with ``if _trace.ACTIVE:`` guards) with tracing disarmed, against a
+calibration loop with the guard branches short-circuited, and fails if
+the disarmed instrumented path costs more than the allowed overhead.
+
+Because both sides run the *same* instrumented code (the guard is
+always compiled in), the comparison here is run-to-run: we interleave
+repeated timed runs of the disarmed path and report the spread; the
+gate trips if enabling-then-disabling observability leaves the path
+measurably slower than it was before obs was ever touched.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_obs_overhead.py [--threshold 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.caches.hierarchy import build_hierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+
+
+def _mixed_addrs(n: int) -> list[int]:
+    rng = np.random.default_rng(5)
+    seq = (BASE + 4 * (np.arange(n) % 4096)).astype(np.int64)
+    rand = (BASE + 4 * rng.integers(0, 4096, n)).astype(np.int64)
+    out = np.where(rng.random(n) < 0.5, seq, rand)
+    return [int(a) for a in out]
+
+
+def _drive(config: str, addrs: list[int]) -> int:
+    h = build_hierarchy(config, MainMemory(MemoryImage(), latency=100))
+    latency = 0
+    for i, addr in enumerate(addrs):
+        if i % 4 == 0:
+            h.store(addr, i, i)
+        else:
+            latency += h.load(addr, i).latency
+    return latency
+
+
+def _time_best_of(fn, rounds: int) -> float:
+    """Best-of-N wall time — robust against scheduler noise in CI."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; exit 0 when within threshold, 1 otherwise."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.02)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--accesses", type=int, default=20_000)
+    args = parser.parse_args(argv)
+
+    addrs = _mixed_addrs(args.accesses)
+    worst = 0.0
+    for config in ("BC", "CPP"):
+        obs.disable()
+        _drive(config, addrs)  # warm allocator/caches before timing
+        before = _time_best_of(lambda: _drive(config, addrs), args.rounds)
+
+        # Arm and disarm observability, then re-time the disabled path:
+        # the guard must leave no residue.
+        obs.enable(capacity=4096)
+        _drive(config, addrs)
+        obs.disable()
+        after = _time_best_of(lambda: _drive(config, addrs), args.rounds)
+
+        overhead = (after - before) / before
+        worst = max(worst, overhead)
+        print(
+            f"{config:>4}: disabled-path {before * 1e3:8.2f} ms -> "
+            f"{after * 1e3:8.2f} ms  (overhead {overhead:+.2%})"
+        )
+
+    print(f"worst overhead {worst:+.2%} (threshold {args.threshold:.0%})")
+    if worst > args.threshold:
+        print("FAIL: observability is not free when disabled", file=sys.stderr)
+        return 1
+    print("OK: disabled-path overhead within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
