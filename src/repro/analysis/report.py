@@ -4,6 +4,12 @@
 a single text document (the shape of the paper's §4), optionally writing
 it to a file. Used by the CLI (``repro-experiments all``) consumers that
 want one artifact, and by EXPERIMENTS.md regeneration.
+
+Partial campaigns degrade instead of dying: cells recorded as failed in
+:data:`repro.sim.fault.LEDGER` render as explicit ``—`` holes in the
+figure tables, and the document ends with a failure summary
+(:func:`failure_summary`) naming each failed cell and why, so a reader
+can tell a clean evaluation from a degraded one at a glance.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from pathlib import Path
 from repro.experiments.common import ExperimentOutput, render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import phases as _phases
+from repro.sim import fault as _fault
 
-__all__ = ["evaluation_report", "collect_outputs"]
+__all__ = ["evaluation_report", "collect_outputs", "failure_summary"]
 
 _HEADER = """\
 ================================================================
@@ -44,6 +51,16 @@ def collect_outputs(
     return outputs
 
 
+def failure_summary() -> str:
+    """Render the failure ledger as a report section ('' when clean)."""
+    summary = _fault.LEDGER.summary()
+    if not summary:
+        return ""
+    return (
+        "!! partial evaluation — cells marked '—' above are holes\n" + summary
+    )
+
+
 def evaluation_report(
     workloads: list[str] | None = None,
     *,
@@ -52,13 +69,21 @@ def evaluation_report(
     charts: bool = False,
     output_path: str | Path | None = None,
 ) -> str:
-    """Regenerate the full evaluation and render it as one document."""
+    """Regenerate the full evaluation and render it as one document.
+
+    If any matrix cells failed (see :mod:`repro.sim.fault`), the report
+    still renders — affected table cells show ``—`` and the document
+    closes with a failure summary naming each hole.
+    """
     outputs = collect_outputs(workloads, seed=seed, scale=scale)
     blocks = [_HEADER]
     blocks.append(f"(seed={seed}, input scale={scale})\n")
     for figure, output in outputs.items():
         blocks.append(render_output(output, charts=charts))
         blocks.append("-" * 64)
+    failures = failure_summary()
+    if failures:
+        blocks.append(failures)
     text = "\n".join(blocks)
     if output_path is not None:
         Path(output_path).write_text(text, encoding="utf-8")

@@ -18,6 +18,9 @@ __all__ = [
     "CacheProtocolError",
     "WorkloadError",
     "ExperimentError",
+    "CellTimeoutError",
+    "CellCrashError",
+    "MatrixPartialFailure",
 ]
 
 
@@ -79,3 +82,60 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown figure id, bad matrix, ...)."""
+
+
+class CellTimeoutError(ExperimentError):
+    """A supervised matrix cell exceeded its per-attempt wall-clock budget.
+
+    The hung worker process is terminated before this is raised/recorded,
+    so a stuck cell can never wedge the whole campaign.
+    """
+
+    def __init__(self, key: tuple, timeout: float, attempts: int) -> None:
+        super().__init__(
+            f"cell {key!r} timed out after {timeout:g}s "
+            f"({attempts} attempt{'s' if attempts != 1 else ''})"
+        )
+        self.key = key
+        self.timeout = timeout
+        self.attempts = attempts
+
+
+class CellCrashError(ExperimentError):
+    """A supervised matrix cell's worker process died without a result.
+
+    Covers hard crashes (``os._exit``, segfault, OOM kill) — anything
+    that ends the child before it reports back through its pipe.
+    """
+
+    def __init__(self, key: tuple, exitcode: int | None, attempts: int) -> None:
+        super().__init__(
+            f"cell {key!r} worker crashed (exit code {exitcode}) "
+            f"({attempts} attempt{'s' if attempts != 1 else ''})"
+        )
+        self.key = key
+        self.exitcode = exitcode
+        self.attempts = attempts
+
+
+class MatrixPartialFailure(ExperimentError):
+    """Some matrix cells failed permanently after exhausting retries.
+
+    Carries both the completed ``results`` and the per-cell ``failures``
+    (:class:`repro.sim.fault.CellFailure` records), so callers can degrade
+    gracefully — render what succeeded and report the holes — instead of
+    losing the whole campaign.
+    """
+
+    def __init__(self, failures: list, results: dict | None = None) -> None:
+        kinds: dict[str, int] = {}
+        for failure in failures:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        breakdown = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        super().__init__(
+            f"{len(failures)} matrix cell(s) failed permanently"
+            + (f" ({breakdown})" if breakdown else "")
+            + f"; {len(results or {})} cell(s) completed"
+        )
+        self.failures = list(failures)
+        self.results = dict(results or {})

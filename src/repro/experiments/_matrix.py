@@ -2,6 +2,13 @@
 
 Each of those figures runs the full (workload x configuration) matrix and
 reports one metric per run normalized to the BC baseline = 100 %.
+
+Failure tolerance: cells are obtained through
+:func:`repro.sim.fault.try_cell`, so a cell that failed (in a supervised
+matrix run, or freshly while regenerating this figure) yields ``None``
+and renders as an explicit ``—`` hole instead of aborting the figure.
+A missing BC baseline holes out the whole workload row (there is nothing
+to normalize against); averages are taken over the surviving workloads.
 """
 
 from __future__ import annotations
@@ -10,12 +17,16 @@ from collections.abc import Callable, Sequence
 
 from repro.analysis.normalize import normalize_to_baseline
 from repro.experiments.common import GEOMEAN, ExperimentOutput, average, resolve_workloads
+from repro.sim import fault as _fault
 from repro.sim.results import SimResult
-from repro.sim.runner import run_workload
 
 __all__ = ["normalized_comparison", "DEFAULT_CONFIGS"]
 
 DEFAULT_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
+
+
+def _round(value: float | None, ndigits: int) -> float | None:
+    return None if value is None else round(value, ndigits)
 
 
 def normalized_comparison(
@@ -40,19 +51,30 @@ def normalized_comparison(
     rows: list[list[object]] = []
     for workload in names:
         results = {
-            cfg: run_workload(workload, cfg, seed=seed, scale=scale)
+            cfg: _fault.try_cell(workload, cfg, seed=seed, scale=scale)
             for cfg in configs
         }
-        normalized = normalize_to_baseline(results, metric, baseline="BC")
+        present = {cfg: r for cfg, r in results.items() if r is not None}
+        if "BC" in present:
+            scored = normalize_to_baseline(present, metric, baseline="BC")
+            normalized = {cfg: scored.get(cfg) for cfg in configs}
+        else:
+            # No baseline: nothing to normalize against — hole the row.
+            normalized = {cfg: None for cfg in configs}
         for cfg in configs:
-            series[cfg][workload] = normalized[cfg]
-        rows.append([workload, *(round(normalized[cfg], 1) for cfg in configs)])
+            if normalized[cfg] is not None:
+                series[cfg][workload] = normalized[cfg]
+        rows.append([workload, *(_round(normalized[cfg], 1) for cfg in configs)])
 
     for cfg in configs:
-        series[cfg][GEOMEAN] = average(
+        series_avg = average(
             {k: v for k, v in series[cfg].items() if k != GEOMEAN}
         )
-    rows.append([GEOMEAN, *(round(series[cfg][GEOMEAN], 1) for cfg in configs)])
+        if series_avg is not None:
+            series[cfg][GEOMEAN] = series_avg
+    rows.append(
+        [GEOMEAN, *(_round(series[cfg].get(GEOMEAN), 1) for cfg in configs)]
+    )
 
     return ExperimentOutput(
         figure=figure,

@@ -39,9 +39,15 @@ def resolve_workloads(workloads: Sequence[str] | None) -> list[str]:
     return list(workloads) if workloads else list(WORKLOAD_NAMES)
 
 
-def average(values: dict[str, float]) -> float:
-    """Arithmetic mean over workloads (the paper reports plain averages)."""
-    return sum(values.values()) / len(values) if values else 0.0
+def average(values: dict[str, float]) -> float | None:
+    """Arithmetic mean over workloads (the paper reports plain averages).
+
+    ``None`` entries — cells that failed and rendered as holes — are
+    excluded; an all-hole series averages to ``None`` (another hole)
+    rather than a misleading number.
+    """
+    present = [v for v in values.values() if v is not None]
+    return sum(present) / len(present) if present else None
 
 
 def render_output(out: ExperimentOutput, *, charts: bool = True) -> str:

@@ -11,14 +11,42 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.analysis.importance import miss_importance
+from repro.analysis.importance import fraction_enhanced
+from repro.errors import ReproError
 from repro.experiments.common import GEOMEAN, ExperimentOutput, average, resolve_workloads
+from repro.sim import fault as _fault
+from repro.sim.config import SIM_CONFIGS
 
 __all__ = ["run", "FIGURE", "TITLE", "DEFAULT_CONFIGS"]
 
 FIGURE = "fig14"
 TITLE = "Importance of cache misses (% of directly dependent instructions)"
 DEFAULT_CONFIGS = ("BC", "HAC", "BCP", "CPP")
+
+
+def _importance_percent(
+    workload: str, cfg: str, *, seed: int, scale: float
+) -> float | None:
+    """The Figure 14 percentage, or ``None`` if either cell is a hole.
+
+    Same pair of runs as :func:`repro.analysis.importance.miss_importance`
+    (normal and half-miss-penalty), but fetched through
+    :func:`repro.sim.fault.try_cell` so a failed cell degrades to a hole
+    instead of aborting the figure.
+    """
+    base_cfg = SIM_CONFIGS.get(cfg.upper())
+    if base_cfg is None:
+        return None
+    normal = _fault.try_cell(workload, base_cfg, seed=seed, scale=scale)
+    half = _fault.try_cell(
+        workload, base_cfg.with_miss_scale(0.5), seed=seed, scale=scale
+    )
+    if normal is None or half is None:
+        return None
+    try:
+        return 100.0 * fraction_enhanced(normal.cycles, half.cycles)
+    except ReproError:
+        return None
 
 
 def run(
@@ -36,16 +64,25 @@ def run(
     for workload in names:
         row: list[object] = [workload]
         for cfg in configs:
-            result = miss_importance(workload, cfg, seed=seed, scale=scale)
-            series[cfg][workload] = result.percent
-            row.append(round(result.percent, 2))
+            percent = _importance_percent(workload, cfg, seed=seed, scale=scale)
+            if percent is not None:
+                series[cfg][workload] = percent
+            row.append(None if percent is None else round(percent, 2))
         rows.append(row)
     for cfg in configs:
-        series[cfg][GEOMEAN] = average(
-            {k: v for k, v in series[cfg].items() if k != GEOMEAN}
-        )
+        cfg_avg = average({k: v for k, v in series[cfg].items() if k != GEOMEAN})
+        if cfg_avg is not None:
+            series[cfg][GEOMEAN] = cfg_avg
     rows.append(
-        [GEOMEAN, *(round(series[cfg][GEOMEAN], 2) for cfg in configs)]
+        [
+            GEOMEAN,
+            *(
+                None
+                if series[cfg].get(GEOMEAN) is None
+                else round(series[cfg][GEOMEAN], 2)
+                for cfg in configs
+            ),
+        ]
     )
     return ExperimentOutput(
         figure=FIGURE,

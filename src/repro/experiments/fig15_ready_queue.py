@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.analysis.readyq import ready_queue_uplift
+from repro.analysis.readyq import ReadyQueueComparison
+from repro.errors import ExperimentError
 from repro.experiments.common import GEOMEAN, ExperimentOutput, average, resolve_workloads
+from repro.sim import fault as _fault
 
 __all__ = ["run", "FIGURE", "TITLE"]
 
@@ -28,22 +30,30 @@ def run(
     baseline_config: str = "HAC",
     test_config: str = "CPP",
 ) -> ExperimentOutput:
-    """Regenerate this figure over *workloads* (default: all fourteen)."""
+    """Regenerate this figure over *workloads* (default: all fourteen).
+
+    Cells are fetched through :func:`repro.sim.fault.try_cell`: if either
+    side of a workload's (baseline, test) pair failed, the row renders as
+    an explicit hole instead of aborting the figure.
+    """
+    if baseline_config.upper() == test_config.upper():
+        raise ExperimentError("baseline and test configurations must differ")
     names = resolve_workloads(workloads)
     rows: list[list[object]] = []
-    base_series: dict[str, float] = {}
-    test_series: dict[str, float] = {}
     uplift: dict[str, float] = {}
     for workload in names:
-        cmp_ = ready_queue_uplift(
-            workload,
-            baseline_config=baseline_config,
-            test_config=test_config,
-            seed=seed,
-            scale=scale,
+        base = _fault.try_cell(workload, baseline_config, seed=seed, scale=scale)
+        test = _fault.try_cell(workload, test_config, seed=seed, scale=scale)
+        if base is None or test is None:
+            rows.append([workload, None, None, None])
+            continue
+        cmp_ = ReadyQueueComparison(
+            workload=workload,
+            baseline_config=baseline_config.upper(),
+            test_config=test_config.upper(),
+            baseline_length=base.ready_queue_in_miss_cycles,
+            test_length=test.ready_queue_in_miss_cycles,
         )
-        base_series[workload] = cmp_.baseline_length
-        test_series[workload] = cmp_.test_length
         uplift[workload] = cmp_.uplift_percent
         rows.append(
             [
@@ -53,8 +63,12 @@ def run(
                 round(cmp_.uplift_percent, 1),
             ]
         )
-    uplift[GEOMEAN] = average({k: v for k, v in uplift.items() if k != GEOMEAN})
-    rows.append(["average", "", "", round(uplift[GEOMEAN], 1)])
+    overall = average({k: v for k, v in uplift.items() if k != GEOMEAN})
+    if overall is not None:
+        uplift[GEOMEAN] = overall
+    rows.append(
+        ["average", "", "", None if overall is None else round(overall, 1)]
+    )
     return ExperimentOutput(
         figure=FIGURE,
         title=TITLE,

@@ -5,6 +5,16 @@ Usage::
     python -m repro.experiments all
     python -m repro.experiments fig10 fig11 --scale 0.5
     repro-experiments fig3 --workloads olden.treeadd spec95.130.li
+
+Fault tolerance: the simulation matrix behind the figures runs through
+the supervised engine (:mod:`repro.sim.fault`) — every cell in its own
+process with per-attempt ``--timeout`` and bounded ``--retries`` — and
+completed cells checkpoint incrementally to
+``results/checkpoints/matrix-seed<seed>-scale<scale>.jsonl``. An
+interrupted campaign (Ctrl-C, crash, OOM kill) re-run with ``--resume``
+(the default) picks up from the checkpoint and produces bit-identical
+figures; cells that fail permanently render as explicit ``—`` holes with
+a failure summary and a non-zero exit code, never a bare traceback.
 """
 
 from __future__ import annotations
@@ -13,14 +23,23 @@ import argparse
 import sys
 import time
 
+from repro.errors import ReproError
 from repro.experiments.common import render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import phases as _phases
 from repro.obs import progress as _progress
-from repro.sim.runner import memo_stats
+from repro.sim import fault as _fault
+from repro.sim.parallel import default_workers
+from repro.sim.runner import inject_results, memo_stats
 from repro.workloads.registry import WORKLOAD_NAMES
 
 __all__ = ["main"]
+
+#: Every cache configuration any simulation figure needs.
+_MATRIX_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
+
+#: Figures that are analytical (no simulation matrix behind them).
+_NO_MATRIX_FIGURES = ("fig3", "fig9")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,13 +75,45 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--parallel",
         action="store_true",
-        help="pre-compute the simulation matrix across all CPU cores",
+        help="run the simulation matrix across all CPU cores",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --parallel (default: cores - 1)",
+        help="worker processes for the matrix (default: 1, or cores - 1 with --parallel)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell attempt timeout; hung workers are terminated (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per failed cell, with exponential backoff (default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse checkpointed cells from a previous (interrupted) run "
+        "(--no-resume starts fresh)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole campaign on the first permanent cell failure",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="matrix checkpoint file (default: "
+        "results/checkpoints/matrix-seed<seed>-scale<scale>.jsonl)",
     )
     parser.add_argument(
         "--no-profile",
@@ -86,42 +137,86 @@ def _profile_summary() -> str:
     return "\n".join(lines)
 
 
+def _precompute_matrix(args, sim_figures: list[str]) -> None:
+    """Run every needed matrix cell through the supervised engine.
+
+    Completed cells are injected into the runner's memo cache, so the
+    (serial) figure harnesses hit them; failed cells stay in the fault
+    ledger and render as holes.
+    """
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    miss_scales = (1.0, 0.5) if "fig14" in sim_figures else (1.0,)
+    workers = args.workers or (default_workers() if args.parallel else 1)
+    policy = _fault.FaultPolicy(
+        timeout=args.timeout, retries=args.retries, fail_fast=args.fail_fast
+    )
+    checkpoint_path = args.checkpoint or _fault.default_checkpoint_path(
+        args.seed, args.scale
+    )
+    t0 = time.perf_counter()
+    outcome = _fault.run_matrix_supervised(
+        workloads,
+        _MATRIX_CONFIGS,
+        seed=args.seed,
+        scale=args.scale,
+        miss_scales=miss_scales,
+        policy=policy,
+        max_workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=args.resume,
+        progress=True,
+        prewarm_programs=args.timeout is None,
+    )
+    inject_results(outcome.results)
+    _progress.report(
+        f"matrix ready in {time.perf_counter() - t0:.1f}s: "
+        f"{len(outcome.results)} cells "
+        f"({outcome.reused} from checkpoint, {len(outcome.failures)} failed); "
+        f"checkpoint: {checkpoint_path}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 clean, 1 on errors or a partial evaluation (holes),
+    130 on interrupt. A cell failure never produces a bare traceback —
+    it produces a rendered report with holes and a failure summary.
+    """
     args = _build_parser().parse_args(argv)
     figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
-    if args.parallel:
-        from repro.sim.runner import prewarm_parallel
-
-        sim_figures = [f for f in figures if f not in ("fig3", "fig9")]
+    sim_figures = [f for f in figures if f not in _NO_MATRIX_FIGURES]
+    try:
         if sim_figures:
-            workloads = args.workloads or list(WORKLOAD_NAMES)
-            miss_scales = (1.0, 0.5) if "fig14" in sim_figures else (1.0,)
+            _precompute_matrix(args, sim_figures)
+        for figure in figures:
             t0 = time.perf_counter()
-            n = prewarm_parallel(
-                workloads,
-                ["BC", "BCC", "HAC", "BCP", "CPP"],
-                seed=args.seed,
-                scale=args.scale,
-                miss_scales=miss_scales,
-                max_workers=args.workers,
-            )
-            _progress.report(
-                f"prewarmed {n} matrix cells in "
-                f"{time.perf_counter() - t0:.1f}s across processes"
-            )
-    for figure in figures:
-        t0 = time.perf_counter()
-        with _phases.phase(f"figure.{figure}"):
-            output = run_experiment(
-                figure, args.workloads, seed=args.seed, scale=args.scale
-            )
-        elapsed = time.perf_counter() - t0
-        print(render_output(output, charts=not args.no_charts))
-        print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+            with _phases.phase(f"figure.{figure}"):
+                output = run_experiment(
+                    figure, args.workloads, seed=args.seed, scale=args.scale
+                )
+            elapsed = time.perf_counter() - t0
+            print(render_output(output, charts=not args.no_charts))
+            print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+    except KeyboardInterrupt:
+        _progress.report(
+            "interrupted — completed cells are checkpointed; "
+            "re-run with --resume to continue where this run stopped"
+        )
+        return 130
+    except ReproError as exc:
+        # Typed failures (fail-fast aborts, bad arguments, unknown
+        # figures) report one line, not a traceback.
+        _progress.report(f"error: {type(exc).__name__}: {exc}")
+        return 1
+    rc = 0
+    summary = _fault.LEDGER.summary()
+    if summary:
+        print(f"!! partial evaluation — '—' cells are holes\n{summary}\n")
+        rc = 1
     if not args.no_profile:
         print(_profile_summary())
-    return 0
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI shim

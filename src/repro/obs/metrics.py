@@ -28,11 +28,18 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "metric_key",
+    "DEFAULT_BUCKETS",
+    "SECONDS_BUCKETS",
 ]
 
 #: Default histogram buckets: powers of two spanning one cycle to a full
 #: memory round trip and beyond (load-to-use latencies, queue depths).
 DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Wall-clock buckets (seconds) for host-side durations: per-cell attempt
+#: times, retry backoff delays. Spans a trivial cell (~10 ms) to a
+#: full-scale straggler (~5 min); anything longer lands in overflow.
+SECONDS_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0)
 
 
 def metric_key(name: str, labels: dict[str, object]) -> str:

@@ -1,0 +1,773 @@
+"""Fault-tolerant supervision of the evaluation matrix.
+
+The (workload x configuration) matrix is the expensive artifact behind
+every figure, and production experiment campaigns treat partial failure
+as the normal case: one hung or crashed cell must cost *one cell*, not
+the campaign. This module supplies the machinery:
+
+* **Per-cell isolation** — every cell attempt runs in its own child
+  process (:func:`run_supervised`); a segfault, ``os._exit`` or OOM kill
+  takes down one attempt, never the supervisor.
+* **Timeouts** — a configurable per-attempt wall-clock budget
+  (:class:`FaultPolicy.timeout`); hung workers are terminated, not
+  waited on.
+* **Retries with backoff** — bounded retries with exponential backoff
+  plus deterministic jitter, so transient host-side failures (memory
+  pressure, noisy neighbours) are ridden out without thundering herds.
+* **Failure classification** — every permanent failure is classified
+  (``timeout`` / ``crash`` / ``error`` / ``unexpected``) into a
+  :class:`CellFailure`, recorded in the process-global :data:`LEDGER`,
+  counted in :data:`repro.obs.metrics.REGISTRY` (``fault.*``) and — when
+  a manifest directory is configured — written as a
+  :class:`~repro.obs.manifest.FailureRecord`.
+* **Checkpoint/resume** — completed cells are checkpointed incrementally
+  to a JSONL file (atomic write-temp-then-rename via
+  :mod:`repro.sim.results_io`), so an interrupted campaign resumes from
+  the checkpoint instead of re-simulating; resumed results are
+  bit-identical because serialization is lossless.
+
+Downstream, figures degrade gracefully: :func:`try_cell` consults the
+ledger, so a failed cell renders as an explicit hole instead of a
+traceback (see :mod:`repro.experiments._matrix`).
+
+Determinism contract: supervision only schedules; a cell's result is
+still a pure function of ``(workload, config, seed, scale)``, so a
+supervised (or resumed) matrix equals the serial one bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import (
+    CellCrashError,
+    CellTimeoutError,
+    ConfigurationError,
+    ExperimentError,
+    MatrixPartialFailure,
+    ReproError,
+)
+from repro.obs import manifest as _manifest
+from repro.obs import phases as _phases
+from repro.obs import progress as _progress
+from repro.obs.metrics import REGISTRY, SECONDS_BUCKETS
+from repro.sim.results import SimResult
+from repro.sim.results_io import (
+    dump_jsonl,
+    load_jsonl,
+    result_from_dict,
+    result_to_full_dict,
+)
+
+__all__ = [
+    "FaultPolicy",
+    "CellFailure",
+    "FailureLedger",
+    "LEDGER",
+    "Checkpoint",
+    "SupervisedOutcome",
+    "run_supervised",
+    "run_matrix_supervised",
+    "cell_key",
+    "try_cell",
+    "default_checkpoint_path",
+]
+
+#: Failure classifications (CellFailure.kind values).
+KIND_TIMEOUT = "timeout"
+KIND_CRASH = "crash"
+KIND_ERROR = "error"  #: a ReproError raised inside the cell
+KIND_UNEXPECTED = "unexpected"  #: any other exception
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the supervisor treats a matrix cell's lifecycle.
+
+    ``retries`` counts *re*-attempts: a cell is tried at most
+    ``retries + 1`` times. The backoff before attempt ``n+1`` is
+    ``min(backoff_max, backoff_base * backoff_factor**(n-1))``, inflated
+    by up to ``jitter`` (a fraction, deterministic per cell+attempt so
+    runs are reproducible). ``fail_fast`` aborts the whole matrix on the
+    first permanent cell failure instead of degrading to a partial
+    result.
+    """
+
+    timeout: float | None = None  #: per-attempt wall-clock seconds
+    retries: int = 1
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 10.0
+    jitter: float = 0.1
+    fail_fast: bool = False
+    poll_interval: float = 0.02  #: supervisor polling granularity
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+
+    def backoff_delay(self, key: tuple, attempt: int) -> float:
+        """Delay before the retry following failed attempt *attempt*.
+
+        Jitter is seeded from (key, attempt), so the schedule is
+        deterministic for a given matrix — reruns behave identically.
+        """
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter:
+            u = random.Random(f"{key!r}:{attempt}").random()
+            delay *= 1.0 + self.jitter * u
+        return delay
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One permanently failed matrix cell (retries exhausted)."""
+
+    key: tuple
+    kind: str  #: timeout / crash / error / unexpected
+    message: str
+    attempts: int
+    exception_type: str = ""
+    exitcode: int | None = None
+    timeout: float | None = None  #: the per-attempt budget, for timeouts
+
+    def to_exception(self) -> ExperimentError:
+        """The typed exception this failure classifies as."""
+        if self.kind == KIND_TIMEOUT:
+            return CellTimeoutError(self.key, self.timeout or 0.0, self.attempts)
+        if self.kind == KIND_CRASH:
+            return CellCrashError(self.key, self.exitcode, self.attempts)
+        return ExperimentError(
+            f"cell {self.key!r} failed after {self.attempts} attempt(s): "
+            f"{self.exception_type or self.kind}: {self.message}"
+        )
+
+    def describe(self) -> str:
+        """One human line: where, how, why."""
+        workload, config = _key_identity(self.key)
+        return (
+            f"{workload} on {config}: {self.kind} after "
+            f"{self.attempts} attempt(s) — {self.message}"
+        )
+
+
+def _key_identity(key: tuple) -> tuple[str, str]:
+    """Best-effort (workload, config) labels from a cell key.
+
+    Canonical matrix keys are ``(workload, seed, scale, cache_config,
+    miss_scale)``; the parallel API uses ``(workload, config)``; generic
+    supervised tasks may use anything — fall back to ``repr``.
+    """
+    if isinstance(key, tuple):
+        if len(key) == 5 and isinstance(key[0], str) and isinstance(key[3], str):
+            config = key[3] if key[4] == 1.0 else f"{key[3]}@x{key[4]:g}"
+            return key[0], config
+        if len(key) >= 2 and isinstance(key[0], str) and isinstance(key[1], str):
+            return key[0], key[1]
+        if len(key) == 3 and isinstance(key[0], str) and isinstance(key[1], str):
+            return key[0], f"{key[1]}@x{key[2]:g}"
+    return repr(key), "?"
+
+
+class FailureLedger:
+    """Process-global record of permanently failed cells.
+
+    The supervisor writes into it; figure code reads it through
+    :func:`try_cell` to skip known-bad cells and render holes. Recording
+    also publishes ``fault.failures`` metrics and — when a manifest
+    directory is configured — a :class:`~repro.obs.manifest.FailureRecord`.
+    """
+
+    def __init__(self) -> None:
+        self._failures: dict[tuple, CellFailure] = {}
+
+    def record(self, failure: CellFailure) -> None:
+        """Register one permanent failure (idempotent per key)."""
+        self._failures[failure.key] = failure
+        REGISTRY.inc("fault.failures", kind=failure.kind)
+        if _manifest.manifest_dir() is not None:
+            workload, config = _key_identity(failure.key)
+            seed = scale = miss_scale = None
+            if len(failure.key) == 5 and isinstance(failure.key[3], str):
+                _, seed, scale, _, miss_scale = failure.key
+            _manifest.write_failure(
+                _manifest.FailureRecord(
+                    workload=workload,
+                    config=config,
+                    kind=failure.kind,
+                    message=failure.message,
+                    attempts=failure.attempts,
+                    exception_type=failure.exception_type,
+                    seed=seed,
+                    scale=scale,
+                    miss_scale=miss_scale,
+                )
+            )
+
+    def is_failed(self, key: tuple) -> bool:
+        """Has *key* been recorded as permanently failed?"""
+        return key in self._failures
+
+    def get(self, key: tuple) -> CellFailure | None:
+        """The failure recorded for *key* (None if absent)."""
+        return self._failures.get(key)
+
+    @property
+    def failures(self) -> list[CellFailure]:
+        """All recorded failures, in recording order."""
+        return list(self._failures.values())
+
+    def __len__(self) -> int:
+        return len(self._failures)
+
+    def clear(self) -> None:
+        """Forget everything (fresh campaigns, tests)."""
+        self._failures.clear()
+
+    def summary(self) -> str:
+        """Human-readable failure summary ('' when nothing failed)."""
+        if not self._failures:
+            return ""
+        lines = [f"{len(self._failures)} matrix cell(s) failed permanently:"]
+        lines.extend(f"  - {f.describe()}" for f in self._failures.values())
+        return "\n".join(lines)
+
+
+#: The process-global ledger the experiment harness consults.
+LEDGER = FailureLedger()
+
+
+class Checkpoint:
+    """Incremental, atomic JSONL checkpoint of completed matrix cells.
+
+    One line per completed cell: ``{"key": [...], "result": {...}}``.
+    Every :meth:`add` rewrites the file through write-temp-then-rename,
+    so the on-disk checkpoint is always a complete, well-formed prefix of
+    the campaign — an interrupt can never corrupt it. Loading is lenient
+    (malformed lines are skipped), so a checkpoint from an older build
+    degrades to fewer reusable cells, not a failed resume.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        encode: Callable = result_to_full_dict,
+        decode: Callable = result_from_dict,
+        fresh: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self._encode = encode
+        self._decode = decode
+        self._records: dict[tuple, dict] = {}
+        if fresh:
+            self.path.unlink(missing_ok=True)
+        elif self.path.exists():
+            for record in load_jsonl(self.path):
+                raw_key = record.get("key")
+                if isinstance(raw_key, list) and "result" in record:
+                    self._records[tuple(raw_key)] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple) -> bool:
+        return tuple(key) in self._records
+
+    def keys(self) -> list[tuple]:
+        """Keys of all checkpointed cells."""
+        return list(self._records)
+
+    def get(self, key: tuple):
+        """Decoded result for *key* (ExperimentError if absent)."""
+        record = self._records.get(tuple(key))
+        if record is None:
+            raise ExperimentError(f"cell {key!r} not in checkpoint {self.path}")
+        return self._decode(record["result"])
+
+    def add(self, key: tuple, result) -> None:
+        """Record one completed cell and flush atomically."""
+        self._records[tuple(key)] = {
+            "key": list(key),
+            "result": self._encode(result),
+        }
+        self.flush()
+
+    def flush(self) -> None:
+        """Rewrite the checkpoint file (atomic replace)."""
+        dump_jsonl(self._records.values(), self.path)
+
+
+@dataclass
+class SupervisedOutcome:
+    """What a supervised matrix run produced."""
+
+    results: dict
+    failures: list[CellFailure] = field(default_factory=list)
+    attempts: dict[tuple, int] = field(default_factory=dict)
+    reused: int = 0  #: cells satisfied from the checkpoint without running
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> "SupervisedOutcome":
+        """Raise :class:`MatrixPartialFailure` if any cell failed."""
+        if self.failures:
+            raise MatrixPartialFailure(self.failures, self.results)
+        return self
+
+
+# --------------------------------------------------------------------------
+# The supervisor
+# --------------------------------------------------------------------------
+
+
+def _child_entry(worker, task, conn) -> None:
+    """Child-process shell around one cell attempt.
+
+    Sends ``("ok", result)`` or ``("err", (type, is_repro, message,
+    traceback))`` back through *conn*; a hard crash sends nothing and is
+    classified by the parent from the exit code. SIGINT is ignored so an
+    interactive Ctrl-C unwinds through the supervisor's cleanup, which
+    terminates children deliberately.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        result = worker(task)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - classified by the parent
+        try:
+            conn.send(
+                (
+                    "err",
+                    (
+                        type(exc).__name__,
+                        isinstance(exc, ReproError),
+                        str(exc),
+                        traceback.format_exc(),
+                    ),
+                )
+            )
+        except Exception:
+            os._exit(70)  # unpicklable result/exception: report as crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Cell:
+    task: object
+    key: tuple
+    attempts: int = 0
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Running:
+    cell: _Cell
+    proc: object
+    conn: object
+    deadline: float | None
+    started: float
+
+
+def _terminate(proc) -> None:
+    """Stop a child for good (terminate, escalate to kill)."""
+    if not proc.is_alive():
+        proc.join()
+        return
+    proc.terminate()
+    proc.join(1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(1.0)
+
+
+def run_supervised(
+    tasks: Sequence,
+    worker: Callable,
+    *,
+    key_of: Callable[[object], tuple],
+    policy: FaultPolicy | None = None,
+    max_workers: int | None = None,
+    checkpoint: Checkpoint | None = None,
+    progress: bool = False,
+    phase_name: str = "supervised_matrix",
+) -> SupervisedOutcome:
+    """Run *tasks* through *worker*, one isolated process per attempt.
+
+    *worker* is a picklable callable ``task -> result`` executed in a
+    child process; *key_of* names each task's cell. Cells already present
+    in *checkpoint* are returned without running; freshly completed cells
+    are checkpointed incrementally. Failures are retried per *policy*,
+    then recorded in :data:`LEDGER` and returned in the outcome — this
+    function only raises for ``fail_fast`` (the failure's typed
+    exception) and for ``KeyboardInterrupt`` (after terminating all
+    children; the checkpoint survives).
+    """
+    import multiprocessing as mp
+
+    policy = policy or FaultPolicy()
+    if max_workers is None:
+        from repro.sim.parallel import default_workers
+
+        max_workers = default_workers()
+    if max_workers < 1:
+        raise ExperimentError("max_workers must be positive")
+
+    ctx = mp.get_context()
+    outcome = SupervisedOutcome(results={})
+    pending: list[_Cell] = []
+    for task in tasks:
+        key = tuple(key_of(task))
+        if checkpoint is not None and key in checkpoint:
+            outcome.results[key] = checkpoint.get(key)
+            outcome.reused += 1
+            REGISTRY.inc("fault.cells_reused")
+        else:
+            pending.append(_Cell(task=task, key=key))
+    total = len(outcome.results) + len(pending)
+    if outcome.reused and progress:
+        _progress.report(
+            f"resumed {outcome.reused}/{total} cells from checkpoint"
+            + (f" {checkpoint.path}" if checkpoint is not None else "")
+        )
+
+    running: list[_Running] = []
+    done = outcome.reused
+
+    def _launch(cell: _Cell, now: float) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_entry, args=(worker, cell.task, send_conn), daemon=True
+        )
+        proc.start()
+        send_conn.close()
+        cell.attempts += 1
+        outcome.attempts[cell.key] = cell.attempts
+        REGISTRY.inc("fault.attempts")
+        deadline = now + policy.timeout if policy.timeout is not None else None
+        running.append(
+            _Running(cell=cell, proc=proc, conn=recv_conn, deadline=deadline, started=now)
+        )
+
+    def _attempt_failed(
+        run: _Running, kind: str, message: str, exc_type: str = "", exitcode: int | None = None
+    ) -> None:
+        cell = run.cell
+        REGISTRY.inc("fault.attempt_failures", kind=kind)
+        if kind == KIND_TIMEOUT:
+            REGISTRY.inc("fault.timeouts")
+        elif kind == KIND_CRASH:
+            REGISTRY.inc("fault.crashes")
+        if cell.attempts <= policy.retries:
+            delay = policy.backoff_delay(cell.key, cell.attempts)
+            REGISTRY.inc("fault.retries")
+            cell.ready_at = time.monotonic() + delay
+            pending.append(cell)
+            if progress:
+                workload, config = _key_identity(cell.key)
+                _progress.report(
+                    f"retrying {workload} on {config} in {delay:.2f}s "
+                    f"(attempt {cell.attempts + 1}/{policy.retries + 1}) "
+                    f"after {kind}: {message}"
+                )
+        else:
+            failure = CellFailure(
+                key=cell.key,
+                kind=kind,
+                message=message,
+                attempts=cell.attempts,
+                exception_type=exc_type,
+                exitcode=exitcode,
+                timeout=policy.timeout if kind == KIND_TIMEOUT else None,
+            )
+            outcome.failures.append(failure)
+            LEDGER.record(failure)
+            if progress:
+                _progress.report(f"cell failed permanently: {failure.describe()}")
+            if policy.fail_fast:
+                raise failure.to_exception()
+
+    try:
+        with _phases.phase(phase_name):
+            while pending or running:
+                now = time.monotonic()
+                # Launch every ready cell we have capacity for.
+                while len(running) < max_workers:
+                    idx = next(
+                        (i for i, c in enumerate(pending) if c.ready_at <= now),
+                        None,
+                    )
+                    if idx is None:
+                        break
+                    _launch(pending.pop(idx), now)
+
+                progressed = False
+                still: list[_Running] = []
+                for run in running:
+                    has_msg = run.conn.poll()
+                    alive = run.proc.is_alive()
+                    if not has_msg and not alive:
+                        run.proc.join()
+                        has_msg = run.conn.poll()  # drain a late message
+                    if has_msg:
+                        try:
+                            status, payload = run.conn.recv()
+                        except (EOFError, OSError):
+                            # The pipe hit EOF without a message: the
+                            # worker died before reporting (os._exit,
+                            # segfault, OOM kill) — a hard crash.
+                            run.proc.join()
+                            run.conn.close()
+                            progressed = True
+                            exitcode = run.proc.exitcode
+                            _attempt_failed(
+                                run,
+                                KIND_CRASH,
+                                f"worker exited with code {exitcode} "
+                                "before reporting",
+                                exitcode=exitcode,
+                            )
+                            continue
+                        run.proc.join()
+                        run.conn.close()
+                        progressed = True
+                        REGISTRY.histogram(
+                            "fault.attempt_seconds", bounds=SECONDS_BUCKETS
+                        ).observe(time.monotonic() - run.started)
+                        if status == "ok":
+                            outcome.results[run.cell.key] = payload
+                            done += 1
+                            REGISTRY.inc("fault.cells_ok")
+                            if checkpoint is not None:
+                                checkpoint.add(run.cell.key, payload)
+                            if progress:
+                                workload, config = _key_identity(run.cell.key)
+                                _progress.report(
+                                    f"completed {workload} on {config} "
+                                    f"({done}/{total})"
+                                )
+                        else:
+                            exc_type, is_repro, message, _tb = payload
+                            kind = KIND_ERROR if is_repro else KIND_UNEXPECTED
+                            _attempt_failed(run, kind, message, exc_type)
+                    elif run.deadline is not None and now >= run.deadline:
+                        _terminate(run.proc)
+                        run.conn.close()
+                        progressed = True
+                        _attempt_failed(
+                            run,
+                            KIND_TIMEOUT,
+                            f"exceeded per-attempt timeout of {policy.timeout:g}s",
+                        )
+                    elif not alive:
+                        exitcode = run.proc.exitcode
+                        run.conn.close()
+                        progressed = True
+                        _attempt_failed(
+                            run,
+                            KIND_CRASH,
+                            f"worker exited with code {exitcode} before reporting",
+                            exitcode=exitcode,
+                        )
+                    else:
+                        still.append(run)
+                running = still
+                if not progressed and (running or pending):
+                    time.sleep(policy.poll_interval)
+    finally:
+        for run in running:
+            _terminate(run.proc)
+            try:
+                run.conn.close()
+            except OSError:
+                pass
+    return outcome
+
+
+# --------------------------------------------------------------------------
+# Matrix-shaped entry points
+# --------------------------------------------------------------------------
+
+
+def cell_key(
+    workload: str,
+    config,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> tuple:
+    """Canonical identity of one matrix cell.
+
+    Matches the runner's memoization key exactly:
+    ``(workload, seed, scale, cache_config, miss_scale)``.
+    """
+    from repro.sim.config import SIM_CONFIGS, SimConfig
+
+    if isinstance(config, str):
+        config = SIM_CONFIGS.get(config.upper(), None) or SimConfig(
+            cache_config=config
+        )
+    return (workload, seed, scale, config.cache_config, config.miss_scale)
+
+
+def try_cell(
+    workload: str,
+    config,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> SimResult | None:
+    """Run one cell, degrading to ``None`` instead of raising.
+
+    Cells already recorded as failed in :data:`LEDGER` are skipped
+    outright (no pointless re-simulation of a deterministic failure);
+    a fresh failure is classified, recorded and reported as ``None`` so
+    figure code renders an explicit hole.
+    """
+    from repro.sim.runner import run_workload
+
+    try:
+        key = cell_key(workload, config, seed=seed, scale=scale)
+    except ReproError as exc:
+        key = (workload, seed, scale, str(config), 1.0)
+        if not LEDGER.is_failed(key):
+            LEDGER.record(
+                CellFailure(
+                    key=key,
+                    kind=KIND_ERROR,
+                    message=str(exc),
+                    attempts=1,
+                    exception_type=type(exc).__name__,
+                )
+            )
+        return None
+    if LEDGER.is_failed(key):
+        return None
+    try:
+        return run_workload(workload, config, seed=seed, scale=scale)
+    except ReproError as exc:
+        failure = CellFailure(
+            key=key,
+            kind=KIND_ERROR,
+            message=str(exc),
+            attempts=1,
+            exception_type=type(exc).__name__,
+        )
+    except Exception as exc:  # noqa: BLE001 - degrade, never traceback
+        failure = CellFailure(
+            key=key,
+            kind=KIND_UNEXPECTED,
+            message=str(exc),
+            attempts=1,
+            exception_type=type(exc).__name__,
+        )
+    LEDGER.record(failure)
+    return None
+
+
+def default_checkpoint_path(seed: int, scale: float) -> Path:
+    """Where the experiments CLI checkpoints a campaign's matrix."""
+    return Path("results") / "checkpoints" / f"matrix-seed{seed}-scale{scale:g}.jsonl"
+
+
+def _matrix_task_key(task: tuple) -> tuple:
+    """Canonical cell key of one ``run_matrix_supervised`` task."""
+    workload, config_name, miss_scale, seed, scale = task
+    base = cell_key(workload, config_name, seed=seed, scale=scale)
+    return (base[0], base[1], base[2], base[3], miss_scale)
+
+
+def _matrix_cell_worker(task: tuple) -> SimResult:
+    """Child entry: simulate one (workload, config, miss_scale) cell."""
+    from repro.sim.config import SIM_CONFIGS, SimConfig
+    from repro.sim.runner import run_workload
+
+    workload, config_name, miss_scale, seed, scale = task
+    config = SIM_CONFIGS.get(config_name.upper(), None) or SimConfig(
+        cache_config=config_name
+    )
+    if miss_scale != 1.0:
+        config = config.with_miss_scale(miss_scale)
+    return run_workload(workload, config, seed=seed, scale=scale)
+
+
+def run_matrix_supervised(
+    workloads: Sequence[str],
+    configs: Sequence[str],
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+    miss_scales: Sequence[float] = (1.0,),
+    policy: FaultPolicy | None = None,
+    max_workers: int | None = None,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = True,
+    progress: bool = False,
+    prewarm_programs: bool = False,
+) -> SupervisedOutcome:
+    """Fault-tolerant run of the full evaluation matrix.
+
+    Keys in the outcome are the canonical
+    ``(workload, seed, scale, cache_config, miss_scale)`` tuples, ready
+    for :func:`repro.sim.runner.inject_results`. With *checkpoint_path*
+    set, completed cells persist across interrupts; ``resume=False``
+    discards any existing checkpoint and starts fresh.
+
+    *prewarm_programs* generates each workload trace once in the parent
+    so forked workers inherit it instead of regenerating it per config.
+    Leave it off when running with a timeout: parent-side generation is
+    not covered by the per-cell budget, and a cell whose trace fails to
+    generate must fail inside its supervised attempt to be classified.
+    """
+    if not workloads or not configs:
+        raise ExperimentError("workloads and configs must be non-empty")
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = Checkpoint(checkpoint_path, fresh=not resume)
+    tasks = [
+        (workload, config, miss_scale, seed, scale)
+        for workload in workloads
+        for config in configs
+        for miss_scale in miss_scales
+    ]
+    if prewarm_programs:
+        from repro.sim.runner import get_program
+
+        for workload in workloads:
+            try:
+                get_program(workload, seed=seed, scale=scale)
+            except Exception:  # noqa: BLE001 - the supervised cell reports it
+                pass
+    return run_supervised(
+        tasks,
+        _matrix_cell_worker,
+        key_of=_matrix_task_key,
+        policy=policy,
+        max_workers=max_workers,
+        checkpoint=checkpoint,
+        progress=progress,
+    )

@@ -1,11 +1,14 @@
 """Process-parallel execution of the (workload x configuration) matrix.
 
 The evaluation matrix is embarrassingly parallel — every cell is an
-independent, deterministic simulation — so the standard
-``ProcessPoolExecutor`` pattern applies directly: one task per cell,
-workers regenerate their own traces (cheap, and it avoids shipping
+independent, deterministic simulation — so each cell runs as its own
+isolated, supervised child process (:mod:`repro.sim.fault`): workers
+regenerate their own traces (cheap, and it avoids shipping
 multi-megabyte arrays through pickling), results flow back as plain
-picklable dataclasses.
+picklable dataclasses, and a crashed, hung or failing cell costs one
+cell — classified, retried per policy, and surfaced as a typed
+:class:`~repro.errors.MatrixPartialFailure` carrying every completed
+result — instead of aborting the campaign.
 
 Determinism is preserved: a cell's result is a pure function of
 ``(workload, config, seed, scale)``, so the parallel matrix equals the
@@ -13,40 +16,54 @@ serial one bit for bit (asserted in ``tests/sim/test_parallel.py``).
 
 Speedup is bounded by the largest single cell (the matrix is wide but
 cells are unequal); on a 4-core machine the full-scale matrix drops from
-~90 s to ~30 s.
+~90 s to ~30 s. ``REPRO_MAX_WORKERS`` caps the default worker count for
+CI and shared machines.
 """
 
 from __future__ import annotations
 
 import os
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 
-from repro.errors import ExperimentError
-from repro.obs import phases as _phases
-from repro.obs import progress as _progress
+from repro.errors import ConfigurationError, ExperimentError
+from repro.sim import fault as _fault
 from repro.sim.results import SimResult
 
-__all__ = ["run_matrix_parallel", "default_workers"]
+__all__ = ["run_matrix_parallel", "run_matrix_parallel_configs", "default_workers"]
 
 
 def default_workers() -> int:
-    """A polite default: leave one core for the caller."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """A polite default: leave one core for the caller.
 
-
-def _run_cell(task: tuple[str, str, int, float]) -> tuple[tuple[str, str], SimResult]:
-    """Worker entry point: simulate one matrix cell.
-
-    Module-level (not a closure) so it pickles; each worker process keeps
-    its own memoization caches, so repeated configs of one workload share
-    the generated trace within a worker.
+    The ``REPRO_MAX_WORKERS`` environment variable caps the result
+    (clamped to >= 1), so CI jobs and shared machines can bound
+    parallelism without touching call sites; a non-integer value raises
+    :class:`~repro.errors.ConfigurationError` rather than being silently
+    ignored.
     """
+    workers = max(1, (os.cpu_count() or 2) - 1)
+    raw = os.environ.get("REPRO_MAX_WORKERS")
+    if raw is None or not raw.strip():
+        return workers
+    try:
+        cap = int(raw.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_MAX_WORKERS must be an integer, got {raw!r}"
+        ) from None
+    return max(1, min(workers, cap))
+
+
+def _run_cell(task: tuple[str, str, int, float]) -> SimResult:
+    """Worker entry point: simulate one named-config matrix cell."""
     from repro.sim.runner import run_workload
 
     workload, config, seed, scale = task
-    result = run_workload(workload, config, seed=seed, scale=scale)
-    return (workload, config), result
+    return run_workload(workload, config, seed=seed, scale=scale)
+
+
+def _named_key(task: tuple[str, str, int, float]) -> tuple[str, str]:
+    return (task[0], task[1])
 
 
 def run_matrix_parallel(
@@ -57,14 +74,18 @@ def run_matrix_parallel(
     scale: float = 1.0,
     max_workers: int | None = None,
     progress: bool = False,
+    policy: _fault.FaultPolicy | None = None,
+    checkpoint: _fault.Checkpoint | None = None,
 ) -> dict[tuple[str, str], SimResult]:
-    """Simulate the full matrix across processes.
+    """Simulate the full matrix across supervised processes.
 
     Returns the same ``{(workload, config): result}`` mapping as
-    :func:`repro.sim.runner.run_matrix`. Tasks are grouped by workload so
-    each worker amortizes trace generation across the configurations it
-    happens to receive. *progress* reports each completed cell through
-    the same :mod:`repro.obs.progress` funnel as the serial path.
+    :func:`repro.sim.runner.run_matrix`. *progress* reports each
+    completed cell through the same :mod:`repro.obs.progress` funnel as
+    the serial path. *policy* tunes timeouts/retries (default: one retry,
+    no timeout); if any cell fails permanently a
+    :class:`~repro.errors.MatrixPartialFailure` is raised carrying the
+    completed results.
     """
     if not workloads or not configs:
         raise ExperimentError("workloads and configs must be non-empty")
@@ -76,35 +97,32 @@ def run_matrix_parallel(
         for workload in workloads
         for config in configs
     ]
-    out: dict[tuple[str, str], SimResult] = {}
-    with _phases.phase("parallel_matrix"):
-        if workers == 1 or len(tasks) == 1:
-            for i, task in enumerate(tasks, 1):
-                if progress:
-                    _progress.report(
-                        f"running {task[0]} on {task[1]} ({i}/{len(tasks)})"
-                    )
-                key, result = _run_cell(task)
-                out[key] = result
-            return out
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for i, (key, result) in enumerate(pool.map(_run_cell, tasks), 1):
-                out[key] = result
-                if progress:
-                    _progress.report(
-                        f"completed {key[0]} on {key[1]} ({i}/{len(tasks)})"
-                    )
-    return out
+    outcome = _fault.run_supervised(
+        tasks,
+        _run_cell,
+        key_of=_named_key,
+        policy=policy,
+        max_workers=workers,
+        checkpoint=checkpoint,
+        progress=progress,
+        phase_name="parallel_matrix",
+    )
+    outcome.raise_if_failed()
+    return outcome.results
 
 
-def _run_config_cell(task):
+def _run_config_cell(task) -> SimResult:
     """Worker entry for explicit SimConfig objects (e.g. miss-scaled)."""
     from repro.sim.machine import Machine
     from repro.sim.runner import get_program
 
     workload, config, seed, scale = task
-    result = Machine(config).run(get_program(workload, seed=seed, scale=scale))
-    return (workload, config.cache_config, config.miss_scale), result
+    return Machine(config).run(get_program(workload, seed=seed, scale=scale))
+
+
+def _config_key(task) -> tuple[str, str, float]:
+    workload, config = task[0], task[1]
+    return (workload, config.cache_config, config.miss_scale)
 
 
 def run_matrix_parallel_configs(
@@ -114,10 +132,15 @@ def run_matrix_parallel_configs(
     seed: int = 1,
     scale: float = 1.0,
     max_workers: int | None = None,
+    progress: bool = False,
+    policy: _fault.FaultPolicy | None = None,
 ) -> dict[tuple[str, str, float], SimResult]:
     """Like :func:`run_matrix_parallel` but over explicit
     :class:`~repro.sim.config.SimConfig` objects (which carry miss
-    scaling); keys are ``(workload, cache_config, miss_scale)``."""
+    scaling); keys are ``(workload, cache_config, miss_scale)``.
+    *progress* reports per-cell completion through
+    :mod:`repro.obs.progress`, exactly like the named-config path.
+    """
     if not workloads or not configs:
         raise ExperimentError("workloads and configs must be non-empty")
     workers = max_workers if max_workers is not None else default_workers()
@@ -128,11 +151,14 @@ def run_matrix_parallel_configs(
         for workload in workloads
         for config in configs
     ]
-    with _phases.phase("parallel_matrix"):
-        if workers == 1 or len(tasks) == 1:
-            return dict(_run_config_cell(task) for task in tasks)
-        out: dict[tuple[str, str, float], SimResult] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for key, result in pool.map(_run_config_cell, tasks):
-                out[key] = result
-    return out
+    outcome = _fault.run_supervised(
+        tasks,
+        _run_config_cell,
+        key_of=_config_key,
+        policy=policy,
+        max_workers=workers,
+        progress=progress,
+        phase_name="parallel_matrix",
+    )
+    outcome.raise_if_failed()
+    return outcome.results

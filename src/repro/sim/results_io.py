@@ -1,25 +1,46 @@
-"""Result serialization: JSON and CSV exports of simulation results.
+"""Result serialization: JSON, CSV and checkpoint exports of results.
 
 Experiment campaigns and external plotting tools consume these; the JSON
 form round-trips every counter the simulator produces, the CSV form is
 the flat headline table.
+
+Two dictionary forms exist on purpose:
+
+* :func:`result_to_dict` — the human/export form (derived rates
+  included, nested stats flattened the way reports want them);
+* :func:`result_to_full_dict` / :func:`result_from_dict` — the
+  *lossless* form used by matrix checkpoints: every dataclass field
+  (including the running-mean internals behind Figure 15) survives a
+  JSON round trip bit for bit, so a resumed campaign is indistinguishable
+  from an uninterrupted one.
+
+All writes go through :func:`repro.utils.atomic.atomic_write_text`
+(write ``*.tmp``, then ``os.replace``), so an interrupt can never leave
+a truncated results file behind.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from collections.abc import Iterable, Mapping
+from dataclasses import asdict
 from pathlib import Path
 
 from repro.errors import ExperimentError
 from repro.sim.results import SimResult
+from repro.utils.atomic import atomic_write_text
 
 __all__ = [
     "result_to_dict",
+    "result_to_full_dict",
+    "result_from_dict",
     "results_to_json",
     "results_to_csv",
     "load_results_json",
+    "dump_jsonl",
+    "load_jsonl",
 ]
 
 
@@ -45,6 +66,42 @@ def result_to_dict(result: SimResult) -> dict:
     }
 
 
+def result_to_full_dict(result: SimResult) -> dict:
+    """Lossless dictionary form: every dataclass field, raw.
+
+    Unlike :func:`result_to_dict` this keeps the exact internal state
+    (``CacheStats.extra`` unflattened, the Welford accumulators of
+    :class:`~repro.utils.stats.RunningMean`), so
+    :func:`result_from_dict` reconstructs an equal :class:`SimResult`.
+    JSON preserves ints exactly and floats via ``repr``, so the round
+    trip is bit-identical.
+    """
+    return asdict(result)
+
+
+def result_from_dict(data: Mapping) -> SimResult:
+    """Reconstruct a :class:`SimResult` from :func:`result_to_full_dict`."""
+    from repro.caches.stats import CacheStats
+    from repro.cpu.metrics import CoreMetrics
+    from repro.utils.stats import RunningMean
+
+    try:
+        payload = dict(data)
+        payload["l1"] = CacheStats(**payload["l1"])
+        payload["l2"] = CacheStats(**payload["l2"])
+        core = dict(payload["metrics"])
+        core["ready_queue_miss_cycles"] = RunningMean(
+            **core["ready_queue_miss_cycles"]
+        )
+        core["ready_queue_all_cycles"] = RunningMean(
+            **core["ready_queue_all_cycles"]
+        )
+        payload["metrics"] = CoreMetrics(**core)
+        return SimResult(**payload)
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(f"malformed serialized result: {exc}") from exc
+
+
 def results_to_json(
     results: Iterable[SimResult] | Mapping[tuple, SimResult],
     path: str | Path,
@@ -52,10 +109,10 @@ def results_to_json(
     """Write results (list or run_matrix mapping) to a JSON file."""
     if isinstance(results, Mapping):
         results = list(results.values())
-    path = Path(path)
     payload = [result_to_dict(r) for r in results]
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
-    return path
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True)
+    )
 
 
 def results_to_csv(
@@ -68,12 +125,11 @@ def results_to_csv(
     rows = [r.as_dict() for r in results]
     if not rows:
         raise ExperimentError("no results to write")
-    path = Path(path)
-    with path.open("w", newline="", encoding="utf-8") as fh:
-        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
-        writer.writeheader()
-        writer.writerows(rows)
-    return path
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]), lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def load_results_json(path: str | Path) -> list[dict]:
@@ -86,3 +142,40 @@ def load_results_json(path: str | Path) -> list[dict]:
     if not isinstance(data, list):
         raise ExperimentError(f"{path} is not a results export")
     return data
+
+
+def dump_jsonl(records: Iterable[Mapping], path: str | Path) -> Path:
+    """Write *records* as one-JSON-object-per-line, atomically."""
+    lines = [json.dumps(dict(record), sort_keys=True) for record in records]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    return atomic_write_text(path, text)
+
+
+def load_jsonl(path: str | Path, *, strict: bool = False) -> list[dict]:
+    """Read a JSONL file back as a list of dicts.
+
+    Non-strict mode (the default) skips malformed lines instead of
+    raising — a checkpoint written by an older build should degrade to
+    "fewer reusable cells", never to an unusable campaign.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"JSONL file {path} does not exist")
+    records: list[dict] = []
+    for lineno, line in enumerate(path.read_text("utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise ExperimentError(
+                    f"{path}:{lineno}: malformed JSONL line: {exc}"
+                ) from exc
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        elif strict:
+            raise ExperimentError(f"{path}:{lineno}: record is not an object")
+    return records

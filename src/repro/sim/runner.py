@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 
+from repro.errors import ExperimentError
 from repro.obs import manifest as _manifest
 from repro.obs import phases as _phases
 from repro.obs import progress as _progress
@@ -36,6 +37,7 @@ __all__ = [
     "clear_caches",
     "get_program",
     "memo_stats",
+    "inject_results",
 ]
 
 _PROGRAM_CACHE: dict[tuple[str, int, float], Program] = {}
@@ -62,6 +64,27 @@ def clear_caches() -> None:
     """Drop all memoized programs and results (counters survive)."""
     _PROGRAM_CACHE.clear()
     _RESULT_CACHE.clear()
+
+
+def inject_results(results) -> int:
+    """Seed the result cache with externally computed cells.
+
+    *results* maps the canonical cell key
+    ``(workload, seed, scale, cache_config, miss_scale)`` — the same
+    shape the cache uses — to a :class:`SimResult`. This is how the
+    supervised matrix engine (and checkpoint resume) hands completed
+    cells to the serial figure harnesses: subsequent
+    :func:`run_workload` calls with matching parameters are memo hits,
+    so nothing is re-simulated. Returns the number of cells injected.
+    """
+    for key, result in results.items():
+        if len(key) != 5:
+            raise ExperimentError(
+                f"result key {key!r} is not (workload, seed, scale, "
+                "cache_config, miss_scale)"
+            )
+        _RESULT_CACHE[tuple(key)] = result
+    return len(results)
 
 
 def get_program(workload: str, *, seed: int = 1, scale: float = 1.0) -> Program:

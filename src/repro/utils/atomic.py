@@ -1,0 +1,41 @@
+"""Atomic file writes: no reader ever sees a truncated file.
+
+Results exports, run manifests and matrix checkpoints are all written
+through :func:`atomic_write_text`: the content goes to a ``*.tmp`` file
+in the *same directory* (so the final rename never crosses a filesystem
+boundary) and is moved into place with :func:`os.replace`, which POSIX
+guarantees to be atomic. An interrupt — Ctrl-C, a crashed worker, an OOM
+kill — therefore leaves either the previous complete file or the new
+complete file, never a half-written one. This is what makes
+checkpoint/resume trustworthy: a checkpoint that survived an interrupt
+is by construction well-formed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Write *text* to *path* atomically (write-temp-then-rename).
+
+    The temporary file lives next to the target (``<name>.tmp``) and is
+    cleaned up on failure; on success it is renamed over the target in
+    one :func:`os.replace` call.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path

@@ -14,6 +14,8 @@ __all__ = ["format_table", "format_bar_chart"]
 
 
 def _fmt_cell(value: object, ndigits: int) -> str:
+    if value is None:
+        return "—"  # an explicit hole: this cell failed or never ran
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

@@ -27,6 +27,16 @@ TINY_PARAMS = HierarchyParams(
 HEAP = 0x1000_0000
 
 
+@pytest.fixture(autouse=True)
+def _clean_failure_ledger():
+    """The fault ledger is process-global; never leak it across tests."""
+    from repro.sim import fault
+
+    fault.LEDGER.clear()
+    yield
+    fault.LEDGER.clear()
+
+
 @pytest.fixture
 def image() -> MemoryImage:
     return MemoryImage()

@@ -67,7 +67,7 @@ class TestNormalizedComparison:
 
 
 class TestCliParallel:
-    def test_runall_parallel_flag(self, capsys):
+    def test_runall_parallel_flag(self, capsys, tmp_path):
         from repro.experiments.runall import main
 
         rc = main(
@@ -81,11 +81,13 @@ class TestCliParallel:
                 "--workers",
                 "1",
                 "--no-charts",
+                "--checkpoint",
+                str(tmp_path / "ck.jsonl"),
             ]
         )
         assert rc == 0
         captured = capsys.readouterr()
         # Progress lines go to stderr via repro.obs.progress; figure
         # tables stay on stdout.
-        assert "prewarmed" in captured.err
+        assert "matrix ready" in captured.err
         assert "Execution time" in captured.out

@@ -1,0 +1,123 @@
+"""Graceful degradation: failed cells become holes, not tracebacks."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import failure_summary
+from repro.experiments.common import render_output
+from repro.experiments.registry import run_experiment
+from repro.experiments.runall import main
+from repro.sim import fault
+from repro.sim.runner import clear_caches
+
+SCALE = 0.1
+WORKLOADS = ["olden.mst", "olden.treeadd"]
+
+
+def _fail_cell(workload, config, *, miss_scale=1.0):
+    key = fault.cell_key(workload, config, seed=1, scale=SCALE)
+    key = (*key[:4], miss_scale)
+    fault.LEDGER.record(
+        fault.CellFailure(
+            key=key, kind=fault.KIND_TIMEOUT, message="injected for test",
+            attempts=3, timeout=1.0,
+        )
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestPartialFigures:
+    def test_failed_cell_renders_as_hole(self):
+        _fail_cell("olden.treeadd", "CPP")
+        out = run_experiment("fig12", WORKLOADS, scale=SCALE)
+        by_name = {row[0]: row for row in out.rows}
+        cpp_col = out.headers.index("CPP")
+        assert by_name["olden.treeadd"][cpp_col] is None
+        # The sibling cells of the same row survive:
+        assert by_name["olden.treeadd"][out.headers.index("BC")] == 100.0
+        assert by_name["olden.mst"][cpp_col] is not None
+        rendered = render_output(out, charts=False)
+        assert "—" in rendered
+        # The average skips the hole instead of poisoning the column:
+        assert by_name["average"][cpp_col] is not None
+
+    def test_missing_baseline_holes_the_row(self):
+        _fail_cell("olden.treeadd", "BC")
+        out = run_experiment("fig10", WORKLOADS, scale=SCALE)
+        by_name = {row[0]: row for row in out.rows}
+        assert all(cell is None for cell in by_name["olden.treeadd"][1:])
+        assert by_name["olden.mst"][1] is not None
+
+    def test_fig15_holes_one_row(self):
+        _fail_cell("olden.treeadd", "CPP")
+        out = run_experiment("fig15", WORKLOADS, scale=SCALE)
+        by_name = {row[0]: row for row in out.rows}
+        assert by_name["olden.treeadd"][1:] == [None, None, None]
+        assert by_name["olden.mst"][3] is not None
+
+    def test_failure_summary_names_the_cell(self):
+        assert failure_summary() == ""
+        _fail_cell("olden.treeadd", "CPP")
+        text = failure_summary()
+        assert "partial evaluation" in text
+        assert "olden.treeadd" in text and "timeout" in text
+
+
+class TestCliFailurePaths:
+    def _args(self, tmp_path, *extra):
+        return [
+            "fig12", "--workloads", *WORKLOADS, "--scale", str(SCALE),
+            "--retries", "0", "--no-charts", "--no-profile",
+            "--checkpoint", str(tmp_path / "ck.jsonl"), *extra,
+        ]
+
+    @pytest.fixture()
+    def _crash_one_cell(self, monkeypatch):
+        """Make the (olden.treeadd, CPP) cell die hard, end to end."""
+        real = fault._matrix_cell_worker
+
+        def injected(task):
+            if (task[0], task[1]) == ("olden.treeadd", "CPP"):
+                os._exit(17)
+            return real(task)
+
+        monkeypatch.setattr(fault, "_matrix_cell_worker", injected)
+
+    def test_crash_yields_holes_and_exit_1(self, tmp_path, capsys,
+                                           _crash_one_cell):
+        rc = main(self._args(tmp_path))
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "—" in captured.out
+        assert "partial evaluation" in captured.out
+        assert "crash" in captured.out
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_fail_fast_aborts_with_one_line(self, tmp_path, capsys,
+                                            _crash_one_cell):
+        rc = main(self._args(tmp_path, "--fail-fast"))
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "CellCrashError" in captured.err
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_second_run_resumes_from_checkpoint(self, tmp_path, capsys):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path)) == 0
+        captured = capsys.readouterr()
+        assert "10 from checkpoint" in captured.err
+
+    def test_no_resume_ignores_checkpoint(self, tmp_path, capsys):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--no-resume")) == 0
+        captured = capsys.readouterr()
+        assert "0 from checkpoint" in captured.err

@@ -4,8 +4,12 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.sim.results_io import (
+    dump_jsonl,
+    load_jsonl,
     load_results_json,
+    result_from_dict,
     result_to_dict,
+    result_to_full_dict,
     results_to_csv,
     results_to_json,
 )
@@ -89,6 +93,76 @@ class TestCsv:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(ExperimentError):
             results_to_csv([], tmp_path / "x.csv")
+
+
+class TestLosslessRoundTrip:
+    def test_full_dict_round_trip_is_bit_identical(self, some_results):
+        original = some_results[("olden.mst", "CPP")]
+        rebuilt = result_from_dict(result_to_full_dict(original))
+        # Dict equality covers every field, including the Welford
+        # accumulator internals behind the ready-queue averages.
+        assert result_to_full_dict(rebuilt) == result_to_full_dict(original)
+        assert rebuilt.cycles == original.cycles
+        assert (
+            rebuilt.ready_queue_in_miss_cycles
+            == original.ready_queue_in_miss_cycles
+        )
+
+    def test_json_round_trip_preserves_floats(self, some_results, tmp_path):
+        original = some_results[("olden.mst", "BC")]
+        path = tmp_path / "cell.jsonl"
+        dump_jsonl([result_to_full_dict(original)], path)
+        (loaded,) = load_jsonl(path)
+        rebuilt = result_from_dict(loaded)
+        assert result_to_full_dict(rebuilt) == result_to_full_dict(original)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"workload": "w"})
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        records = [{"a": 1}, {"b": [1, 2.5]}]
+        dump_jsonl(records, path)
+        assert load_jsonl(path) == records
+
+    def test_lenient_load_skips_garbage(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n{"ok": 2}\n')
+        assert load_jsonl(path) == [{"ok": 1}, {"ok": 2}]
+
+    def test_strict_load_raises(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(ExperimentError):
+            load_jsonl(path, strict=True)
+
+
+class TestAtomicWrites:
+    def test_no_temp_file_left_behind(self, some_results, tmp_path):
+        results_to_json(some_results, tmp_path / "out.json")
+        results_to_csv(some_results, tmp_path / "out.csv")
+        dump_jsonl([{"a": 1}], tmp_path / "out.jsonl")
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_parent_directories_created(self, some_results, tmp_path):
+        path = results_to_json(
+            some_results, tmp_path / "deep" / "nested" / "out.json"
+        )
+        assert path.exists()
+
+    def test_failed_write_leaves_existing_file_intact(self, tmp_path):
+        from repro.utils.atomic import atomic_write_text
+
+        path = tmp_path / "kept.txt"
+        atomic_write_text(path, "original")
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not a str: write() fails
+        assert path.read_text() == "original"
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestErrors:
