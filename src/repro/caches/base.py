@@ -9,11 +9,13 @@ One class plays both roles of a two-level hierarchy:
 
 Policies follow SimpleScalar's defaults, which the paper inherits:
 write-back, write-allocate, LRU replacement.
+
+Line data is stored as plain lists of ints and masks travel as packed
+ints (see :mod:`repro.utils.bitmask`), keeping the per-access path free
+of NumPy array construction.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.caches.interface import AccessResult, FetchResponse, LineSource
 from repro.caches.line import CacheLine
@@ -22,6 +24,8 @@ from repro.errors import CacheProtocolError, ConfigurationError
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
 from repro.obs import tracer as _trace
+from repro.utils.bitmask import as_mask, as_words
+from repro.utils.bitops import MASK32
 from repro.utils.intmath import is_pow2, log2i
 
 __all__ = ["Cache"]
@@ -63,6 +67,7 @@ class Cache:
         self.set_mask = self.n_sets - 1
         self.hit_latency = hit_latency
         self.downstream = downstream
+        self.full_mask = (1 << self.line_words) - 1
         self.stats = stats if stats is not None else CacheStats(name=name)
         # sets[s] is MRU-first: index 0 most recently used.
         self._sets: list[list[CacheLine]] = [
@@ -92,9 +97,9 @@ class Cache:
 
     def _find(self, line_no: int) -> CacheLine | None:
         """Find a valid line and promote it to MRU."""
-        ways = self._sets[self.set_index(line_no)]
+        ways = self._sets[line_no & self.set_mask]
         for i, line in enumerate(ways):
-            if line.valid and line.line_no == line_no:
+            if line.line_no == line_no and line.valid:
                 if i:
                     ways.insert(0, ways.pop(i))
                 return line
@@ -102,13 +107,13 @@ class Cache:
 
     def probe(self, addr: int) -> bool:
         """Check presence without updating LRU or stats."""
-        line_no = self.line_no(addr)
-        return any(
-            line.valid and line.line_no == line_no
-            for line in self._sets[self.set_index(line_no)]
-        )
+        line_no = addr >> self.line_shift
+        for line in self._sets[line_no & self.set_mask]:
+            if line.line_no == line_no and line.valid:
+                return True
+        return False
 
-    def peek_line(self, line_no: int) -> np.ndarray | None:
+    def peek_line(self, line_no: int) -> list[int] | None:
         """Read a resident line's data without LRU/stats side effects."""
         for line in self._sets[self.set_index(line_no)]:
             if line.valid and line.line_no == line_no:
@@ -117,7 +122,7 @@ class Cache:
 
     def supply_prefetch(
         self, addr: int, n_words: int, now: int = 0
-    ) -> tuple["np.ndarray", int]:
+    ) -> tuple[list[int], int]:
         """Supply data for an upper-level prefetch WITHOUT installing it.
 
         Prefetched lines live only in prefetch buffers (the paper keeps
@@ -129,7 +134,7 @@ class Cache:
         offset = (addr >> 2) & (self.line_words - 1)
         data = self.peek_line(line_no)
         if data is not None:
-            return data[offset : offset + n_words].copy(), self.hit_latency
+            return data[offset : offset + n_words], self.hit_latency
         values, below = self.downstream.supply_prefetch(addr, n_words, now)
         return values, self.hit_latency + below
 
@@ -142,12 +147,12 @@ class Cache:
             self.downstream.write_back(
                 self.line_addr(victim.line_no),
                 victim.data,
-                np.ones(self.line_words, dtype=bool),
+                self.full_mask,
             )
         victim.invalidate()
         return victim
 
-    def install_line(self, line_no: int, values: np.ndarray) -> CacheLine:
+    def install_line(self, line_no: int, values) -> CacheLine:
         """Place a full line, evicting the LRU way; returns the frame (MRU)."""
         set_idx = self.set_index(line_no)
         victim = self._evict_victim(set_idx)
@@ -159,14 +164,19 @@ class Cache:
     # ---- CPU-facing role ----------------------------------------------------------
 
     def access(
-        self, addr: int, *, write: bool, value: int | None = None, now: int = 0
+        self, addr: int, write: bool = False, value: int | None = None, now: int = 0
     ) -> AccessResult:
         """One word-sized CPU access; returns latency and serving level."""
-        line_no = self.line_no(addr)
-        widx = self.word_index(addr)
-        line = self._find(line_no)
+        line_no = addr >> self.line_shift
+        widx = (addr >> 2) & (self.line_words - 1)
+        # Fast path: the MRU way; fall back to the LRU-updating scan.
+        line = self._sets[line_no & self.set_mask][0]
+        if line.line_no != line_no or not line.valid:
+            line = self._find(line_no)
         if line is not None:
-            self.stats.record_access(hit=True)
+            stats = self.stats
+            stats.accesses += 1
+            stats.hits += 1
             if _trace.ACTIVE:
                 _trace.emit(
                     "cache_access", level=self.name, addr=addr, hit=True, write=write
@@ -174,9 +184,7 @@ class Cache:
             if write:
                 self._write_word(line, widx, value)
             return AccessResult(
-                latency=self.hit_latency,
-                served_by="l1",
-                value=None if write else int(line.data[widx]),
+                self.hit_latency, "l1", None if write else line.data[widx]
             )
 
         self.stats.record_access(hit=False)
@@ -187,7 +195,7 @@ class Cache:
         resp = self.downstream.fetch(
             self.line_addr(line_no), self.line_words, widx, now=now
         )
-        if not resp.avail.all():
+        if resp.avail != self.full_mask:
             raise CacheProtocolError(
                 f"{self.name}: classic cache received a partial fill"
             )
@@ -197,13 +205,13 @@ class Cache:
         return AccessResult(
             latency=resp.latency,
             served_by=resp.served_by,
-            value=None if write else int(line.data[widx]),
+            value=None if write else line.data[widx],
         )
 
     def _write_word(self, line: CacheLine, widx: int, value: int | None) -> None:
         if value is None:
             raise CacheProtocolError("store access requires a value")
-        line.data[widx] = value
+        line.data[widx] = value & MASK32
         line.dirty = True
 
     # ---- LineSource role (serving the level above) -----------------------------------
@@ -262,14 +270,19 @@ class Cache:
             latency = self.hit_latency + resp.latency
             served = resp.served_by
         return FetchResponse(
-            values=line.data[offset : offset + n_words].copy(),
-            avail=np.ones(n_words, dtype=bool),
+            values=line.data[offset : offset + n_words],
+            avail=(1 << n_words) - 1,
             latency=latency,
             served_by=served,
         )
 
-    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
-        """Accept a dirty eviction from the level above (write-allocate)."""
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
+        """Accept a dirty eviction from the level above (write-allocate).
+
+        *comp* is ignored — a conventional cache stores no format flags.
+        """
+        values = as_words(values)
+        mask = as_mask(mask)
         n_words = len(values)
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned writeback at {addr:#x}")
@@ -284,8 +297,13 @@ class Cache:
                 offset,
             )
             line = self.install_line(line_no, resp.values)
-        sel = np.flatnonzero(mask)
-        line.data[offset + sel] = values[sel]
+        data = line.data
+        m = mask
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            data[offset + i] = values[i]
         line.dirty = True
 
     # ---- introspection ----------------------------------------------------------
@@ -308,6 +326,6 @@ class Cache:
                     self.downstream.write_back(
                         self.line_addr(line.line_no),
                         line.data,
-                        np.ones(self.line_words, dtype=bool),
+                        self.full_mask,
                     )
                 line.invalidate()

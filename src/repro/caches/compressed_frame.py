@@ -14,11 +14,17 @@ The model stores *uncompressed* word values with flags describing the
 storage format; space legality — an affiliated word may occupy slot ``i``
 only if the primary word there is compressed or absent — is enforced by
 :meth:`can_hold_affiliated` and checked by :meth:`check_legal`.
+
+Representation: the flag vectors (``pa``, ``vcp``, ``aa``) are packed
+ints — bit *i* describes word *i* — and the word values are plain lists,
+so every per-access flag operation is a single int bitwise op instead of
+a small-NumPy-array round trip. ``vcp`` doubles as the frame's memoized
+word-compressibility mask: compressibility is a pure function of
+(value, line address), so it is recomputed only where a word's value
+changes (stores, fills, write-backs) and reused everywhere else.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.errors import CacheProtocolError
 
@@ -28,17 +34,28 @@ __all__ = ["CompressedFrame"]
 class CompressedFrame:
     """One physical frame of a compression cache."""
 
-    __slots__ = ("n_words", "line_no", "dirty", "pvals", "pa", "vcp", "avals", "aa")
+    __slots__ = (
+        "n_words",
+        "full_mask",
+        "line_no",
+        "dirty",
+        "pvals",
+        "pa",
+        "vcp",
+        "avals",
+        "aa",
+    )
 
     def __init__(self, n_words: int) -> None:
         self.n_words = n_words
+        self.full_mask = (1 << n_words) - 1
         self.line_no = -1  #: primary line number; -1 = invalid frame
         self.dirty = False  #: primary line dirty (affiliated is always clean)
-        self.pvals = np.zeros(n_words, dtype=np.uint32)
-        self.pa = np.zeros(n_words, dtype=bool)
-        self.vcp = np.zeros(n_words, dtype=bool)
-        self.avals = np.zeros(n_words, dtype=np.uint32)
-        self.aa = np.zeros(n_words, dtype=bool)
+        self.pvals: list[int] = [0] * n_words
+        self.pa = 0
+        self.vcp = 0
+        self.avals: list[int] = [0] * n_words
+        self.aa = 0
 
     # ---- state predicates ---------------------------------------------------
 
@@ -48,25 +65,26 @@ class CompressedFrame:
 
     @property
     def n_primary_words(self) -> int:
-        return int(np.count_nonzero(self.pa))
+        return self.pa.bit_count()
 
     @property
     def n_affiliated_words(self) -> int:
-        return int(np.count_nonzero(self.aa))
+        return self.aa.bit_count()
 
     @property
     def is_partial(self) -> bool:
         """True if the primary line has holes."""
-        return self.valid and not self.pa.all()
+        return self.valid and self.pa != self.full_mask
 
     def can_hold_affiliated(self, i: int) -> bool:
         """Space rule: slot *i* is free for a (compressed) affiliated word
         iff the primary word there is absent or itself compressed."""
-        return (not self.pa[i]) or bool(self.vcp[i])
+        bit = 1 << i
+        return not (self.pa & bit) or bool(self.vcp & bit)
 
-    def affiliated_slot_mask(self) -> np.ndarray:
-        """Boolean mask of slots able to hold an affiliated word."""
-        return ~self.pa | self.vcp
+    def affiliated_slot_mask(self) -> int:
+        """Bitmask of slots able to hold an affiliated word."""
+        return (self.pa ^ self.full_mask) | self.vcp
 
     # ---- mutation ---------------------------------------------------------------
 
@@ -74,16 +92,12 @@ class CompressedFrame:
         """Empty the frame: no primary line, no affiliated words, clean."""
         self.line_no = -1
         self.dirty = False
-        self.pa[:] = False
-        self.vcp[:] = False
-        self.aa[:] = False
+        self.pa = 0
+        self.vcp = 0
+        self.aa = 0
 
     def install_primary(
-        self,
-        line_no: int,
-        values: np.ndarray,
-        avail: np.ndarray,
-        comp: np.ndarray,
+        self, line_no: int, values: list[int], avail: int, comp: int
     ) -> None:
         """Install a fresh primary line; clears any affiliated content."""
         if line_no < 0:
@@ -91,35 +105,40 @@ class CompressedFrame:
         self.line_no = line_no
         self.dirty = False
         self.pvals[:] = values
-        self.pa[:] = avail
-        self.vcp[:] = comp & avail
-        self.aa[:] = False
+        self.pa = avail
+        self.vcp = comp & avail
+        self.aa = 0
 
     def clear_affiliated(self) -> None:
         """Drop all affiliated words (they are clean by invariant)."""
-        self.aa[:] = False
+        self.aa = 0
 
-    def set_affiliated_words(self, values: np.ndarray, mask: np.ndarray) -> int:
+    def set_affiliated_words(self, values: list[int], mask: int) -> int:
         """Replace affiliated content with *values* where *mask*; the caller
         guarantees compressibility, this method enforces the space rule.
         Returns how many words were stored."""
-        self.aa[:] = False
         legal = mask & self.affiliated_slot_mask()
-        self.aa[legal] = True
-        self.avals[legal] = values[legal]
-        return int(np.count_nonzero(legal))
+        avals = self.avals
+        m = legal
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            avals[i] = values[i]
+            m ^= low
+        self.aa = legal
+        return legal.bit_count()
 
     # ---- verification -------------------------------------------------------------
 
     def check_legal(self) -> None:
         """Raise if the frame violates the space rule or flag consistency."""
         if not self.valid:
-            if self.pa.any() or self.aa.any() or self.vcp.any() or self.dirty:
+            if self.pa or self.aa or self.vcp or self.dirty:
                 raise CacheProtocolError("invalid frame carries state")
             return
-        if np.any(self.vcp & ~self.pa):
+        if self.vcp & ~self.pa:
             raise CacheProtocolError("VCP set for an absent primary word")
-        if np.any(self.aa & self.pa & ~self.vcp):
+        if self.aa & self.pa & ~self.vcp:
             raise CacheProtocolError(
                 "affiliated word stored over an uncompressed primary word"
             )

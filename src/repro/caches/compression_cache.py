@@ -23,29 +23,38 @@ Implements the design of paper §3:
 The model stores uncompressed values plus format flags; all space-legality
 rules are enforced by :class:`CompressedFrame` and audited by
 :meth:`CompressionCache.check_invariants`.
+
+Hot-path representation: per-word flags are packed ints and word values
+plain lists (see :class:`CompressedFrame`). The frame's ``VCP`` mask is
+the *memoized* compressibility of its resident primary words —
+compressibility is a pure function of (value, line address), so it is
+recomputed only where a value changes (stores, fills, write-backs) and
+reused for stash, ride-along and serve decisions, which previously
+re-classified whole lines per event.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.caches.compressed_frame import CompressedFrame
 from repro.caches.interface import AccessResult, FetchResponse, LineSource, MemoryPort
 from repro.caches.stats import CacheStats
+from repro.compression.fastscalar import compressibility_fn
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
-from repro.compression.vectorized import compressible_mask
+from repro.errors import CacheProtocolError, ConfigurationError
+from repro.memory.bus import TrafficKind
+from repro.memory.image import WORD_BYTES
+from repro.obs import tracer as _trace
+from repro.utils.bitmask import as_mask, as_words
+from repro.utils.bitops import MASK32
+from repro.utils.intmath import is_pow2, log2i
 
 
 def scheme_compressed_bits(scheme) -> int:
     """Compressed-slot width of any scheme (duck-typed)."""
     return int(getattr(scheme, "compressed_bits", 16))
-from repro.errors import CacheProtocolError, ConfigurationError
-from repro.memory.bus import TrafficKind
-from repro.memory.image import WORD_BYTES
-from repro.obs import tracer as _trace
-from repro.utils.intmath import is_pow2, log2i
+
 
 __all__ = ["CPPPolicy", "CompressionCache"]
 
@@ -119,26 +128,32 @@ class CompressionCache:
         self.downstream = downstream
         self.scheme = scheme
         self.policy = policy if policy is not None else CPPPolicy()
-        if self.policy.mask > self.set_mask and self.n_sets > 1:
-            # The affiliated location must differ in set index for the
-            # pairing to add capacity; a mask above the index bits would
-            # alias primary and affiliated locations to the same set only
-            # via the tag, which the design supports, but mask=1 never
-            # trips this. Guard against a zero-effect configuration.
-            pass
         self.stats = stats if stats is not None else CacheStats(name=name)
         #: Can an affiliated word share a slot with a *compressed* primary
         #: word? Only when two compressed values fit in one 32-bit slot
         #: (true for the paper's 16-bit scheme; a wider scheme's affiliated
         #: words can ride only in absent-primary slots).
         self._pair_in_slot = 2 * scheme_compressed_bits(self.scheme) <= 32
+        self.full_mask = (1 << self.line_words) - 1
+        self._is_comp = compressibility_fn(scheme)
+        # Prefix-scheme constants for the inlined classifier loop in
+        # _comp_bits (None = duck-typed scheme, go through _is_comp).
+        self._prefix_params: tuple[int, int, int] | None = None
+        if type(scheme) is CompressionScheme:
+            self._prefix_params = (
+                32 - scheme.small_check_bits,
+                (1 << scheme.small_check_bits) - 1,
+                32 - scheme.pointer_prefix_bits,
+            )
+        # A downstream with an identical scheme classifies words exactly as
+        # we do, so comp masks on its responses (copies of its VCP/AA
+        # memos) and our VCP on write-backs can cross the level boundary
+        # instead of being re-derived word by word on every transfer.
+        self._shared_scheme = getattr(downstream, "scheme", None) == scheme
         self._sets: list[list[CompressedFrame]] = [
             [CompressedFrame(self.line_words) for _ in range(assoc)]
             for _ in range(self.n_sets)
         ]
-        self._word_offsets = (
-            WORD_BYTES * np.arange(self.line_words, dtype=np.uint32)
-        ).astype(np.uint32)
 
     # ---- geometry ------------------------------------------------------------
 
@@ -162,25 +177,53 @@ class CompressionCache:
         """``<Tag, Set> XOR mask`` — the paper's pairing function."""
         return line_no ^ self.policy.mask
 
-    def _comp_mask(self, line_no: int, values: np.ndarray) -> np.ndarray:
-        """Per-word compressibility of *values* if stored at line *line_no*."""
-        base = np.uint32(self.line_addr(line_no))
-        return compressible_mask(values, base + self._word_offsets, self.scheme)
+    def _comp_bits(self, line_no: int, values: list[int], mask: int) -> int:
+        """Compressibility bitmask of the *mask*-selected words of *values*
+        if stored at line *line_no* (classification happens only here)."""
+        base = line_no << self.line_shift
+        out = 0
+        m = mask
+        params = self._prefix_params
+        if params is not None:
+            # Paper prefix scheme, classifier inlined (same math as the
+            # compressibility_fn closure, minus a call per word).
+            shift_small, all_ones, shift_ptr = params
+            while m:
+                low = m & -m
+                i = low.bit_length() - 1
+                m ^= low
+                v = values[i]
+                top = v >> shift_small
+                if (
+                    top == 0
+                    or top == all_ones
+                    or (v >> shift_ptr) == ((base + (i << 2)) >> shift_ptr)
+                ):
+                    out |= low
+            return out
+        is_comp = self._is_comp
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            if is_comp(values[i], base + (i << 2)):
+                out |= low
+        return out
 
-    def _slot_mask(self, frame: CompressedFrame) -> np.ndarray:
+    def _slot_mask(self, frame: CompressedFrame) -> int:
         """Slots able to hold an affiliated word under this scheme's width
         (absent primary always qualifies; compressed primary only when two
         compressed values fit in one slot)."""
         if self._pair_in_slot:
-            return frame.affiliated_slot_mask()
-        return ~frame.pa
+            return (frame.pa ^ self.full_mask) | frame.vcp
+        return frame.pa ^ self.full_mask
 
     # ---- lookup -----------------------------------------------------------------
 
     def _find_primary(self, line_no: int, *, touch: bool = True) -> CompressedFrame | None:
-        ways = self._sets[self.set_index(line_no)]
+        ways = self._sets[line_no & self.set_mask]
         for i, frame in enumerate(ways):
-            if frame.valid and frame.line_no == line_no:
+            if frame.line_no == line_no:
                 if touch and i:
                     ways.insert(0, ways.pop(i))
                 return frame
@@ -188,10 +231,10 @@ class CompressionCache:
 
     def _find_affiliated(self, line_no: int, *, touch: bool = True) -> CompressedFrame | None:
         """Frame holding *line_no* as its affiliated line (if any AA word)."""
-        holder_no = self.affiliated_line(line_no)
-        ways = self._sets[self.set_index(holder_no)]
+        holder_no = line_no ^ self.policy.mask
+        ways = self._sets[holder_no & self.set_mask]
         for i, frame in enumerate(ways):
-            if frame.valid and frame.line_no == holder_no and frame.aa.any():
+            if frame.line_no == holder_no and frame.aa:
                 if touch and i:
                     ways.insert(0, ways.pop(i))
                 return frame
@@ -205,10 +248,10 @@ class CompressionCache:
         ln = self.line_no(addr)
         widx = self.word_index(addr)
         f = self._find_primary(ln, touch=False)
-        if f is not None and f.pa[widx]:
+        if f is not None and (f.pa >> widx) & 1:
             return "primary"
         g = self._find_affiliated(ln, touch=False)
-        if g is not None and g.aa[widx]:
+        if g is not None and (g.aa >> widx) & 1:
             return "affiliated"
         return None
 
@@ -218,13 +261,14 @@ class CompressionCache:
         """Evict the LRU way: write back dirty words, stash a clean copy."""
         ways = self._sets[set_idx]
         victim = ways[-1]
-        if victim.valid:
+        if victim.line_no >= 0:
             if victim.dirty:
                 self.stats.writebacks += 1
                 self.downstream.write_back(
                     self.line_addr(victim.line_no),
-                    victim.pvals.copy(),
-                    victim.pa.copy(),
+                    victim.pvals,
+                    victim.pa,
+                    victim.vcp if self._shared_scheme else None,
                 )
             self._stash(victim)
             # The victim's own affiliated content is clean; it is dropped
@@ -241,11 +285,9 @@ class CompressionCache:
         )
         if target is None:
             return
-        comp = (
-            victim.pa
-            & self._comp_mask(victim.line_no, victim.pvals)
-            & self._slot_mask(target)
-        )
+        # victim.vcp is exactly (pa & compressibility) by the VCP memo
+        # invariant, so no re-classification is needed here.
+        comp = victim.vcp & self._slot_mask(target)
         stored = target.set_affiliated_words(victim.pvals, comp)
         if stored:
             self.stats.stashes += 1
@@ -254,7 +296,7 @@ class CompressionCache:
                     "stash",
                     level=self.name,
                     line=victim.line_no,
-                    words=int(np.count_nonzero(comp)),
+                    words=comp.bit_count(),
                 )
 
     # ---- fill ------------------------------------------------------------------------
@@ -273,14 +315,13 @@ class CompressionCache:
                 self.line_addr(self.affiliated_line(line_no)),
                 kind=kind,
             )
-            full = np.ones(self.line_words, dtype=bool)
             resp = FetchResponse(
                 values=values,
-                avail=full,
+                avail=self.full_mask,
                 latency=self.downstream.memory.latency,
                 served_by="memory",
                 affil_values=affil_values,
-                affil_avail=full.copy(),
+                affil_avail=self.full_mask,
             )
         else:
             resp = self.downstream.fetch(
@@ -297,48 +338,74 @@ class CompressionCache:
 
     def _install_fill(self, line_no: int, resp: FetchResponse) -> CompressedFrame:
         """Install/merge a fill response as the primary copy of *line_no*."""
+        # A same-scheme source's comp masks are its own VCP/AA memos and
+        # classify exactly as we would — reuse them instead of running the
+        # classifier over the filled words.
+        resp_comp = resp.comp if self._shared_scheme else None
         frame = self._find_primary(line_no)
         if frame is not None:
             # Partial primary line present: fill only the holes — resident
             # words may be dirty and newer than the response.
             new = resp.avail & ~frame.pa
-            if new.any():
-                frame.pvals[new] = resp.values[new]
+            if new:
+                pvals = frame.pvals
+                rvals = resp.values
+                m = new
+                while m:
+                    low = m & -m
+                    i = low.bit_length() - 1
+                    m ^= low
+                    pvals[i] = rvals[i]
                 frame.pa |= new
-                frame.vcp[new] = self._comp_mask(line_no, frame.pvals)[new]
+                frame.vcp |= (
+                    resp_comp & new
+                    if resp_comp is not None
+                    else self._comp_bits(line_no, pvals, new)
+                )
             # Space rule may now exclude previously legal affiliated words.
             illegal = frame.aa & frame.pa & ~frame.vcp
-            if illegal.any():
-                self.stats.dropped_affiliated_words += int(np.count_nonzero(illegal))
-                frame.aa[illegal] = False
+            if illegal:
+                self.stats.dropped_affiliated_words += illegal.bit_count()
+                frame.aa &= ~illegal
         else:
             set_idx = self.set_index(line_no)
             victim = self._evict_lru(set_idx)
-            comp = self._comp_mask(line_no, resp.values) & resp.avail
-            victim.install_primary(line_no, resp.values, resp.avail.copy(), comp)
+            comp = (
+                resp_comp
+                if resp_comp is not None
+                else self._comp_bits(line_no, resp.values, resp.avail)
+            )
+            victim.install_primary(line_no, resp.values, resp.avail, comp)
             ways = self._sets[set_idx]
             ways.insert(0, ways.pop(ways.index(victim)))
             frame = victim
-        if not resp.avail.all():
+        if resp.avail != self.full_mask:
             self.stats.partial_fills += 1
             if _trace.ACTIVE:
                 _trace.emit(
                     "partial_fill",
                     level=self.name,
                     line=line_no,
-                    words_present=int(np.count_nonzero(resp.avail)),
+                    words_present=resp.avail.bit_count(),
                     words_total=self.line_words,
                 )
 
         # Single-copy invariant: if a clean affiliated copy of this line
         # exists, merge any words the fill lacked, then clear it.
         holder = self._find_primary(self.affiliated_line(line_no), touch=False)
-        if holder is not None and holder is not frame and holder.aa.any():
+        if holder is not None and holder is not frame and holder.aa:
             extra = holder.aa & ~frame.pa
-            if extra.any():
-                frame.pvals[extra] = holder.avals[extra]
+            if extra:
+                pvals = frame.pvals
+                avals = holder.avals
+                m = extra
+                while m:
+                    low = m & -m
+                    i = low.bit_length() - 1
+                    m ^= low
+                    pvals[i] = avals[i]
                 frame.pa |= extra
-                frame.vcp[extra] = True  # affiliated words are compressible
+                frame.vcp |= extra  # affiliated words are compressible
             holder.clear_affiliated()
 
         # Install the piggy-backed affiliated payload (the partial prefetch),
@@ -350,16 +417,24 @@ class CompressionCache:
             resp.affil_values is not None
             and self._find_primary(aff_no, touch=False) is None
         ):
+            candidates = resp.affil_avail & self._slot_mask(frame) & ~frame.aa
+            affil_comp = resp.affil_comp if self._shared_scheme else None
             legal = (
-                resp.affil_avail
-                & self._comp_mask(aff_no, resp.affil_values)
-                & self._slot_mask(frame)
-                & ~frame.aa
+                affil_comp & candidates
+                if affil_comp is not None
+                else self._comp_bits(aff_no, resp.affil_values, candidates)
             )
-            if legal.any():
-                frame.avals[legal] = resp.affil_values[legal]
+            if legal:
+                avals = frame.avals
+                rvals = resp.affil_values
+                m = legal
+                while m:
+                    low = m & -m
+                    i = low.bit_length() - 1
+                    m ^= low
+                    avals[i] = rvals[i]
                 frame.aa |= legal
-                n_words = int(np.count_nonzero(legal))
+                n_words = legal.bit_count()
                 self.stats.prefetched_words += n_words
                 if _trace.ACTIVE:
                     # The piggy-backed partial prefetch: affiliated words
@@ -388,14 +463,14 @@ class CompressionCache:
                 "promotion",
                 level=self.name,
                 line=line_no,
-                words=int(np.count_nonzero(holder.aa)),
+                words=holder.aa.bit_count(),
             )
-        values = holder.avals.copy()
-        avail = holder.aa.copy()
+        values = list(holder.avals)
+        avail = holder.aa
         holder.clear_affiliated()
         set_idx = self.set_index(line_no)
         victim = self._evict_lru(set_idx)
-        victim.install_primary(line_no, values, avail, avail.copy())
+        victim.install_primary(line_no, values, avail, avail)
         ways = self._sets[set_idx]
         ways.insert(0, ways.pop(ways.index(victim)))
         return victim
@@ -403,15 +478,21 @@ class CompressionCache:
     # ---- CPU-facing role -----------------------------------------------------------------
 
     def access(
-        self, addr: int, *, write: bool, value: int | None = None, now: int = 0
+        self, addr: int, write: bool = False, value: int | None = None, now: int = 0
     ) -> AccessResult:
         """One word-sized CPU access against the CPP L1."""
-        ln = self.line_no(addr)
-        widx = self.word_index(addr)
+        ln = addr >> self.line_shift
+        widx = (addr >> 2) & (self.line_words - 1)
 
-        frame = self._find_primary(ln)
-        if frame is not None and frame.pa[widx]:
-            self.stats.record_access(hit=True)
+        # Fast path: the MRU way (invalid frames have line_no == -1, so a
+        # bare tag compare suffices); fall back to the LRU-updating scan.
+        frame = self._sets[ln & self.set_mask][0]
+        if frame.line_no != ln:
+            frame = self._find_primary(ln)
+        if frame is not None and (frame.pa >> widx) & 1:
+            stats = self.stats
+            stats.accesses += 1
+            stats.hits += 1
             if _trace.ACTIVE:
                 _trace.emit(
                     "cache_access",
@@ -424,13 +505,11 @@ class CompressionCache:
             if write:
                 self._cpu_write(frame, widx, addr, value)
             return AccessResult(
-                latency=self.hit_latency,
-                served_by="l1",
-                value=None if write else int(frame.pvals[widx]),
+                self.hit_latency, "l1", None if write else frame.pvals[widx]
             )
 
         holder = self._find_affiliated(ln)
-        if holder is not None and holder.aa[widx]:
+        if holder is not None and (holder.aa >> widx) & 1:
             self.stats.record_access(hit=True)
             self.stats.affiliated_hits += 1
             if _trace.ACTIVE:
@@ -445,7 +524,7 @@ class CompressionCache:
                 _trace.emit(
                     "affiliated_hit", level=self.name, addr=addr, write=write
                 )
-            loaded = None if write else int(holder.avals[widx])
+            loaded = None if write else holder.avals[widx]
             if write:
                 # A write hit in the affiliated line brings the line to its
                 # primary place (§3.3), then writes there.
@@ -472,14 +551,14 @@ class CompressionCache:
                 hole=hole,
             )
         frame, latency, served = self._fill(ln, widx, TrafficKind.FILL, now)
-        if not frame.pa[widx]:
+        if not (frame.pa >> widx) & 1:
             raise CacheProtocolError(f"{self.name}: fill did not deliver the word")
         if write:
             self._cpu_write(frame, widx, addr, value)
         return AccessResult(
             latency=latency,
             served_by=served,
-            value=None if write else int(frame.pvals[widx]),
+            value=None if write else frame.pvals[widx],
         )
 
     def _cpu_write(
@@ -487,42 +566,58 @@ class CompressionCache:
     ) -> None:
         if value is None:
             raise CacheProtocolError("store access requires a value")
-        if not frame.pa[widx]:
+        bit = 1 << widx
+        if not frame.pa & bit:
             raise CacheProtocolError("write to an absent primary word")
+        value &= MASK32
         frame.pvals[widx] = value
-        compressible = self.scheme.is_compressible(value, addr)
-        frame.vcp[widx] = compressible
-        if not compressible and frame.aa[widx]:
-            # Compressible -> incompressible transition: the primary word
-            # needs the full slot; the affiliated word is evicted (primary
-            # priority, §3.3). Affiliated words are always clean.
-            frame.aa[widx] = False
-            self.stats.dropped_affiliated_words += 1
+        params = self._prefix_params
+        if params is not None:
+            # Inlined prefix-scheme classifier (as in _comp_bits).
+            shift_small, all_ones, shift_ptr = params
+            top = value >> shift_small
+            comp = (
+                top == 0
+                or top == all_ones
+                or (value >> shift_ptr) == (addr >> shift_ptr)
+            )
+        else:
+            comp = self._is_comp(value, addr)
+        if comp:
+            frame.vcp |= bit
+        else:
+            frame.vcp &= ~bit
+            if frame.aa & bit:
+                # Compressible -> incompressible transition: the primary word
+                # needs the full slot; the affiliated word is evicted (primary
+                # priority, §3.3). Affiliated words are always clean.
+                frame.aa &= ~bit
+                self.stats.dropped_affiliated_words += 1
         frame.dirty = True
 
     # ---- LineSource role (serving the level above) -------------------------------------------
 
     def _slice_hit(
         self, ln: int, offset: int, n_words: int, need_idx: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, str] | None:
+    ) -> tuple[list[int], int, int, int, str] | None:
         """Locate line *ln*; returns (values, avail, comp, extra_latency, tag)
         full-line views, or None on miss (per serve_partial policy)."""
         frame = self._find_primary(ln)
         if frame is not None:
-            ok = (
-                frame.pa[need_idx]
-                if self.policy.serve_partial
-                else frame.pa[offset : offset + n_words].all()
-            )
+            if self.policy.serve_partial:
+                ok = (frame.pa >> need_idx) & 1
+            else:
+                seg = ((1 << n_words) - 1) << offset
+                ok = (frame.pa & seg) == seg
             if ok:
                 return frame.pvals, frame.pa, frame.vcp, 0, "l2"
         holder = self._find_affiliated(ln)
         if holder is not None:
-            ok = (
-                holder.aa[need_idx]
-                if self.policy.serve_partial
-                else holder.aa[offset : offset + n_words].all()
-            )
+            if self.policy.serve_partial:
+                ok = (holder.aa >> need_idx) & 1
+            else:
+                seg = ((1 << n_words) - 1) << offset
+                ok = (holder.aa & seg) == seg
             if ok:
                 return (
                     holder.avals,
@@ -592,26 +687,28 @@ class CompressionCache:
             latency = self.hit_latency + fill_latency
             tag = "memory"
 
-        req = slice(offset, offset + n_words)
-        out_values = values[req].copy()
-        out_avail = avail[req].copy()
+        sub_mask = (1 << n_words) - 1
+        out_values = values[offset : offset + n_words]
+        out_avail = (avail >> offset) & sub_mask
+        out_comp = (comp >> offset) & sub_mask
 
         affil_values = affil_avail = None
-        if pair_addr is not None and self.line_no(pair_addr) == ln:
+        if pair_addr is not None and pair_addr >> self.line_shift == ln:
             # The requester's affiliated line lives in this same line (for
             # the paper's geometry — mask 0x1, double-width L2 lines — it
             # is the other half). Its compressible words ride in the freed
             # slots: an affiliated word travels iff it is compressible and
             # the corresponding requested word is compressed or absent.
             pair_off = (pair_addr >> 2) & (self.line_words - 1)
-            other = slice(pair_off, pair_off + n_words)
             if self._pair_in_slot:
-                slot_ok = ~avail[req] | comp[req]
+                slot_ok = (out_avail ^ sub_mask) | ((comp >> offset) & sub_mask)
             else:
-                slot_ok = ~avail[req]
-            ride = avail[other] & comp[other] & slot_ok
-            affil_values = values[other].copy()
-            affil_avail = ride.copy()
+                slot_ok = out_avail ^ sub_mask
+            ride = (
+                (avail >> pair_off) & (comp >> pair_off) & slot_ok & sub_mask
+            )
+            affil_values = values[pair_off : pair_off + n_words]
+            affil_avail = ride
         return FetchResponse(
             values=out_values,
             avail=out_avail,
@@ -619,10 +716,19 @@ class CompressionCache:
             served_by=tag,
             affil_values=affil_values,
             affil_avail=affil_avail,
+            comp=out_comp,
+            affil_comp=affil_avail,  # ride-along words are compressible
         )
 
-    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
-        """Accept a dirty partial line evicted by the level above."""
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
+        """Accept a dirty partial line evicted by the level above.
+
+        *comp*, when given, is the upper level's compressibility mask for
+        the written words (bit *i* = ``values[i]``) under **this** scheme —
+        callers pass their VCP only across same-scheme boundaries.
+        """
+        values = as_words(values)
+        mask = as_mask(mask)
         n_words = len(values)
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned writeback at {addr:#x}")
@@ -636,19 +742,25 @@ class CompressionCache:
                 frame = self._promote(ln, holder)
             else:
                 frame, _, _ = self._fill(ln, offset, TrafficKind.FILL)
-        sel = np.flatnonzero(mask)
-        idx = offset + sel
-        frame.pvals[idx] = values[sel]
-        frame.pa[idx] = True
-        addrs = (
-            np.uint32(self.line_addr(ln)) + self._word_offsets[idx]
-        ).astype(np.uint32)
-        comp = compressible_mask(frame.pvals[idx], addrs, self.scheme)
-        frame.vcp[idx] = comp
-        conflict = idx[frame.aa[idx] & ~comp]
-        if conflict.size:
-            self.stats.dropped_affiliated_words += int(conflict.size)
-            frame.aa[conflict] = False
+        pvals = frame.pvals
+        m = mask
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            pvals[offset + i] = values[i] & MASK32
+        line_mask = mask << offset
+        frame.pa |= line_mask
+        comp = (
+            (comp & mask) << offset
+            if comp is not None
+            else self._comp_bits(ln, pvals, line_mask)
+        )
+        frame.vcp = (frame.vcp & ~line_mask) | comp
+        conflict = frame.aa & line_mask & ~comp
+        if conflict:
+            self.stats.dropped_affiliated_words += conflict.bit_count()
+            frame.aa &= ~conflict
         frame.dirty = True
 
     # ---- verification -----------------------------------------------------------
@@ -657,7 +769,8 @@ class CompressionCache:
         """Audit all structural invariants; raises on violation.
 
         * frame-local space legality (:meth:`CompressedFrame.check_legal`);
-        * ``VCP`` equals true compressibility for every present primary word;
+        * ``VCP`` equals true compressibility for every present primary word
+          (the memo is in sync);
         * every ``AA`` word is genuinely compressible at its own address;
         * single-copy: no line is simultaneously a primary line and an
           affiliated resident, and primary tags are unique.
@@ -671,19 +784,18 @@ class CompressionCache:
                 if frame.line_no in primaries:
                     raise CacheProtocolError("duplicate primary line")
                 primaries.add(frame.line_no)
-                if frame.pa.any():
-                    comp = self._comp_mask(frame.line_no, frame.pvals)
-                    mism = frame.pa & (frame.vcp != comp)
-                    if mism.any():
+                if frame.pa:
+                    comp = self._comp_bits(frame.line_no, frame.pvals, frame.pa)
+                    if frame.vcp != comp:
                         raise CacheProtocolError("VCP out of sync with values")
-                if frame.aa.any():
+                if frame.aa:
                     aff_no = self.affiliated_line(frame.line_no)
-                    acomp = self._comp_mask(aff_no, frame.avals)
-                    if np.any(frame.aa & ~acomp):
+                    acomp = self._comp_bits(aff_no, frame.avals, frame.aa)
+                    if frame.aa & ~acomp:
                         raise CacheProtocolError("incompressible affiliated word")
         for ways in self._sets:
             for frame in ways:
-                if frame.valid and frame.aa.any():
+                if frame.valid and frame.aa:
                     if self.affiliated_line(frame.line_no) in primaries:
                         raise CacheProtocolError(
                             "line present both as primary and affiliated"
@@ -700,8 +812,9 @@ class CompressionCache:
                     self.stats.writebacks += 1
                     self.downstream.write_back(
                         self.line_addr(frame.line_no),
-                        frame.pvals.copy(),
-                        frame.pa.copy(),
+                        list(frame.pvals),
+                        frame.pa,
+                        frame.vcp if self._shared_scheme else None,
                     )
                 frame.invalidate()
 

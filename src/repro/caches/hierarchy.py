@@ -77,11 +77,11 @@ class Hierarchy:
 
     def load(self, addr: int, now: int = 0) -> AccessResult:
         """CPU word load at cycle *now*; returns latency and serving level."""
-        return self.l1.access(addr, write=False, now=now)
+        return self.l1.access(addr, False, None, now)
 
     def store(self, addr: int, value: int, now: int = 0) -> AccessResult:
         """CPU word store (write-back/write-allocate all the way down)."""
-        return self.l1.access(addr, write=True, value=value, now=now)
+        return self.l1.access(addr, True, value, now)
 
     @property
     def bus(self) -> BusMeter:

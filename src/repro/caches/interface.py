@@ -14,6 +14,11 @@ protocol here encodes that directly:
 
 Classic caches are a degenerate case: availability is all-ones and no
 affiliated payload exists.
+
+Wire format: word values travel as plain lists of Python ints and the
+per-word availability masks as packed ints (bit *i* = word *i*) — the
+allocation-free representation every level stores internally, so a fetch
+response is two list slices and two int shifts, never a NumPy round trip.
 """
 
 from __future__ import annotations
@@ -21,19 +26,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
-import numpy as np
-
+from repro.compression.fastscalar import (
+    compressibility_fn,
+    packed_bus_words_masked,
+)
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
-from repro.compression.vectorized import packed_bus_words_vec
 from repro.errors import CacheProtocolError
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
 from repro.memory.main_memory import MainMemory
+from repro.utils.bitmask import as_mask, as_words
 
 __all__ = ["AccessResult", "FetchResponse", "LineSource", "MemoryPort"]
 
 
-@dataclass(frozen=True)
 class AccessResult:
     """Outcome of one CPU-level data access.
 
@@ -41,15 +47,30 @@ class AccessResult:
     ``"l1" | "l1-affiliated" | "l1-buffer" | "l2" | "l2-affiliated" |
     "l2-buffer" | "memory"``. ``value`` is the loaded word (loads only);
     the Machine's verify mode checks it against the trace.
+
+    A plain ``__slots__`` class: one is created per CPU access, so the
+    constructor must stay as close to free as Python allows (a frozen
+    dataclass pays an ``object.__setattr__`` per field).
     """
 
-    latency: int
-    served_by: str
-    value: int | None = None
+    __slots__ = ("latency", "served_by", "value")
+
+    def __init__(
+        self, latency: int, served_by: str, value: int | None = None
+    ) -> None:
+        self.latency = latency
+        self.served_by = served_by
+        self.value = value
 
     @property
     def l1_hit(self) -> bool:
         return self.served_by.startswith("l1")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
+        return (
+            f"AccessResult(latency={self.latency}, "
+            f"served_by={self.served_by!r}, value={self.value!r})"
+        )
 
 
 @dataclass
@@ -60,10 +81,10 @@ class FetchResponse:
     ----------
     values:
         Uncompressed word values of the requested line (garbage where
-        ``avail`` is False).
+        ``avail`` is clear).
     avail:
-        Per-word availability; the requested ``need_word`` is always
-        available.
+        Packed per-word availability mask (bit *i* = word *i*); the
+        requested ``need_word`` bit is always set.
     latency:
         Cycles until the data is usable by the requester.
     served_by:
@@ -71,29 +92,45 @@ class FetchResponse:
     affil_values / affil_avail:
         The piggy-backed partial affiliated line (line XOR mask), or
         ``None`` when the source does not prefetch.
+    comp / affil_comp:
+        Optional per-word compressibility masks for the available words
+        (``comp`` bit *i* = ``values[i]`` is compressible at its own
+        address under the **source's** scheme). A compressing source
+        copies these from its VCP/AA memos; a requester whose scheme
+        matches the source's reuses them instead of re-classifying.
+        ``None`` means "not supplied, classify yourself".
     """
 
-    values: np.ndarray
-    avail: np.ndarray
+    values: list[int]
+    avail: int
     latency: int
     served_by: str
-    affil_values: np.ndarray | None = None
-    affil_avail: np.ndarray | None = None
+    affil_values: list[int] | None = None
+    affil_avail: int | None = None
+    comp: int | None = None
+    affil_comp: int | None = None
 
     def validate(self, n_words: int, need_word: int) -> None:
         """Check protocol invariants of the response; raises on violation."""
-        if len(self.values) != n_words or len(self.avail) != n_words:
+        full = (1 << n_words) - 1
+        if len(self.values) != n_words or self.avail & ~full:
             raise CacheProtocolError("fetch response has wrong line width")
-        if not self.avail[need_word]:
+        if not (self.avail >> need_word) & 1:
             raise CacheProtocolError(
                 f"fetch response missing the requested word {need_word}"
             )
         if (self.affil_values is None) != (self.affil_avail is None):
             raise CacheProtocolError("inconsistent affiliated payload")
         if self.affil_values is not None and (
-            len(self.affil_values) != n_words or len(self.affil_avail) != n_words
+            len(self.affil_values) != n_words or self.affil_avail & ~full
         ):
             raise CacheProtocolError("affiliated payload has wrong line width")
+        if self.comp is not None and self.comp & ~self.avail:
+            raise CacheProtocolError("comp mask covers unavailable words")
+        if self.affil_comp is not None and (
+            self.affil_avail is None or self.affil_comp & ~self.affil_avail
+        ):
+            raise CacheProtocolError("affil_comp mask covers unavailable words")
 
 
 class LineSource(Protocol):
@@ -118,8 +155,13 @@ class LineSource(Protocol):
         """
         ...
 
-    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
-        """Accept a dirty (possibly partial) line evicted by the upper level."""
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
+        """Accept a dirty (possibly partial) line evicted by the upper level.
+
+        *comp*, when given, is the caller's compressibility mask for the
+        written words **under the receiver's scheme** (callers pass it only
+        when the schemes match); ``None`` means the receiver classifies.
+        """
         ...
 
 
@@ -150,12 +192,15 @@ class MemoryPort:
         self.fetch_compressed = fetch_compressed
         self.writeback_compressed = writeback_compressed
         self.scheme = scheme
+        self._is_comp = compressibility_fn(scheme)
+        self._compressed_bits = int(getattr(scheme, "compressed_bits", 16))
 
     # ---- helpers ---------------------------------------------------------
 
-    def _packed_words(self, addr: int, values: np.ndarray) -> int:
-        addrs = self.memory.word_addrs(addr, len(values))
-        return packed_bus_words_vec(np.asarray(values), addrs, self.scheme)
+    def _packed_words(self, addr: int, values: list[int], mask: int) -> int:
+        return packed_bus_words_masked(
+            values, addr, mask, self._is_comp, self._compressed_bits
+        )
 
     # ---- LineSource ---------------------------------------------------------
 
@@ -172,15 +217,18 @@ class MemoryPort:
         """Fetch an uncompressed line from memory (packed traffic if BCC)."""
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned line fetch at {addr:#x}")
-        values = self.memory.image.read_words(addr, n_words)
+        full = (1 << n_words) - 1
+        values = self.memory.image.read_words_list(addr, n_words)
         bus_words = (
-            self._packed_words(addr, values) if self.fetch_compressed else n_words
+            self._packed_words(addr, values, full)
+            if self.fetch_compressed
+            else n_words
         )
         self.memory.bus.record(kind, bus_words)
         self.memory.n_reads += 1
         return FetchResponse(
             values=values,
-            avail=np.ones(n_words, dtype=bool),
+            avail=full,
             latency=self.memory.latency,
             served_by="memory",
         )
@@ -192,7 +240,7 @@ class MemoryPort:
         affil_addr: int,
         *,
         kind: TrafficKind = TrafficKind.FILL,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[list[int], list[int]]:
         """CPP fill: demand line + affiliated line for one line of traffic.
 
         Returns ``(values, affil_values)``; which affiliated words actually
@@ -202,15 +250,15 @@ class MemoryPort:
         line_bytes = n_words * WORD_BYTES
         if addr % line_bytes or affil_addr % line_bytes:
             raise CacheProtocolError("unaligned pair fetch")
-        values = self.memory.image.read_words(addr, n_words)
-        affil_values = self.memory.image.read_words(affil_addr, n_words)
+        values = self.memory.image.read_words_list(addr, n_words)
+        affil_values = self.memory.image.read_words_list(affil_addr, n_words)
         self.memory.bus.record(kind, n_words)
         self.memory.n_reads += 1
         return values, affil_values
 
     def supply_prefetch(
         self, addr: int, n_words: int, now: int = 0
-    ) -> tuple[np.ndarray, int]:
+    ) -> tuple[list[int], int]:
         """Read a line for a prefetch buffer: traffic, no installation.
 
         Returns ``(values, latency)`` — the prefetch completes *latency*
@@ -218,22 +266,26 @@ class MemoryPort:
         """
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned prefetch at {addr:#x}")
-        values = self.memory.image.read_words(addr, n_words)
+        values = self.memory.image.read_words_list(addr, n_words)
         bus_words = (
-            self._packed_words(addr, values) if self.fetch_compressed else n_words
+            self._packed_words(addr, values, (1 << n_words) - 1)
+            if self.fetch_compressed
+            else n_words
         )
         self.memory.bus.record(TrafficKind.PREFETCH, bus_words)
         self.memory.n_reads += 1
         return values, self.memory.latency
 
-    def write_back(self, addr: int, values: np.ndarray, mask: np.ndarray) -> None:
-        """Write a (possibly partial) line to memory, packed if configured."""
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
+        """Write a (possibly partial) line to memory, packed if configured.
+
+        *comp* is accepted for protocol uniformity; the port re-derives
+        packing from its own scheme when charging the bus.
+        """
+        values = as_words(values)
+        mask = as_mask(mask)
         if self.writeback_compressed:
-            present = np.asarray(mask, dtype=bool)
-            addrs = self.memory.word_addrs(addr, len(values))
-            packed = packed_bus_words_vec(
-                np.asarray(values)[present], addrs[present], self.scheme
-            )
+            packed = self._packed_words(addr, values, mask)
             self.memory.write_line(addr, values, mask=mask, bus_words=packed)
         else:
             self.memory.write_line(addr, values, mask=mask)

@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-import numpy as np
+from repro.utils.bitmask import as_words
 
 __all__ = ["CacheLine"]
 
 
 class CacheLine:
-    """One full, valid-or-invalid line of a conventional cache."""
+    """One full, valid-or-invalid line of a conventional cache.
+
+    ``data`` is a plain list of Python ints — one 32-bit word value per
+    slot — so the per-access hot path (word reads, word writes, slice
+    copies for sub-line fetches) never touches NumPy.
+    """
 
     __slots__ = ("line_no", "valid", "dirty", "data")
 
@@ -16,14 +21,14 @@ class CacheLine:
         self.line_no = -1  #: line number (address >> line_shift); -1 = invalid
         self.valid = False
         self.dirty = False
-        self.data = np.zeros(n_words, dtype=np.uint32)
+        self.data: list[int] = [0] * n_words
 
-    def install(self, line_no: int, values: np.ndarray) -> None:
+    def install(self, line_no: int, values) -> None:
         """Fill the line with fresh data."""
         self.line_no = line_no
         self.valid = True
         self.dirty = False
-        self.data[:] = values
+        self.data[:] = as_words(values)
 
     def invalidate(self) -> None:
         """Mark the line empty and clean."""

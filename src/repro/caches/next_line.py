@@ -90,7 +90,7 @@ class PrefetchingCache:
     # ---- CPU-facing role (BCP L1) ------------------------------------------------
 
     def access(
-        self, addr: int, *, write: bool, value: int | None = None, now: int = 0
+        self, addr: int, write: bool = False, value: int | None = None, now: int = 0
     ) -> AccessResult:
         """CPU access: cache first, then the buffer, then demand fetch."""
         line_no = self.cache.line_no(addr)
@@ -188,15 +188,15 @@ class PrefetchingCache:
         offset = (addr >> 2) & (self.cache.line_words - 1)
         data = self.cache.peek_line(line_no)
         if data is not None:
-            return data[offset : offset + n_words].copy(), self.cache.hit_latency
+            return data[offset : offset + n_words], self.cache.hit_latency
         entry = self.buffer.peek(line_no)
         if entry is not None:
             latency = max(self.cache.hit_latency, entry.ready_cycle - now)
-            return entry.data[offset : offset + n_words].copy(), latency
+            return entry.data[offset : offset + n_words], latency
         values, below = self.cache.downstream.supply_prefetch(addr, n_words, now)
         return values, self.cache.hit_latency + below
 
-    def write_back(self, addr: int, values, mask) -> None:
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
         """Accept an upper-level eviction, merging any buffered copy first."""
         line_no = self.cache.line_no(addr)
         if not self.cache.probe(addr):
@@ -205,7 +205,7 @@ class PrefetchingCache:
                 # Merge into the buffered copy via the cache to keep one
                 # copy; a writeback move is a coherence action, not a hit.
                 self.cache.install_line(line_no, entry.data)
-        self.cache.write_back(addr, values, mask)
+        self.cache.write_back(addr, values, mask, comp)
 
     def flush(self) -> None:
         """Flush the wrapped cache and drop the (clean) buffer contents."""

@@ -17,8 +17,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 
 __all__ = ["BufferEntry", "PrefetchBuffer"]
@@ -28,7 +26,7 @@ __all__ = ["BufferEntry", "PrefetchBuffer"]
 class BufferEntry:
     """One prefetched line and the cycle its data arrives."""
 
-    data: np.ndarray
+    data: list[int]
     ready_cycle: int
 
     def ready(self, now: int) -> bool:
@@ -57,14 +55,14 @@ class PrefetchBuffer:
     def __contains__(self, line_no: int) -> bool:
         return line_no in self._entries
 
-    def insert(self, line_no: int, data: np.ndarray, ready_cycle: int = 0) -> None:
+    def insert(self, line_no: int, data, ready_cycle: int = 0) -> None:
         """Add a prefetched line, evicting the LRU entry when full.
 
         Re-inserting an existing line refreshes its data and LRU position.
         """
         if len(data) != self.line_words:
             raise ConfigurationError("line data has the wrong width")
-        entry = BufferEntry(np.array(data, dtype=np.uint32), ready_cycle)
+        entry = BufferEntry([int(v) for v in data], ready_cycle)
         if line_no in self._entries:
             self._entries.move_to_end(line_no)
             self._entries[line_no] = entry

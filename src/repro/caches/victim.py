@@ -21,8 +21,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.caches.base import Cache
 from repro.caches.interface import AccessResult, FetchResponse, LineSource
 from repro.caches.line import CacheLine
@@ -35,7 +33,7 @@ __all__ = ["VictimBuffer", "VictimAwareCache", "VictimCache"]
 
 @dataclass
 class _Victim:
-    data: np.ndarray
+    data: list[int]
     dirty: bool
 
 
@@ -58,7 +56,7 @@ class VictimBuffer:
         return line_no in self._entries
 
     def insert(
-        self, line_no: int, data: np.ndarray, dirty: bool
+        self, line_no: int, data, dirty: bool
     ) -> tuple[int, _Victim] | None:
         """Add a victim; returns an aged-out dirty entry needing a
         write-back downstream, or None."""
@@ -72,7 +70,7 @@ class VictimBuffer:
             if old.dirty:
                 self.dirty_spills += 1
                 spilled = (old_no, old)
-        self._entries[line_no] = _Victim(np.array(data, dtype=np.uint32), dirty)
+        self._entries[line_no] = _Victim([int(v) for v in data], dirty)
         self.inserts += 1
         return spilled
 
@@ -128,7 +126,7 @@ class VictimAwareCache(Cache):
                 self.downstream.write_back(
                     self.line_addr(old_no),
                     old.data,
-                    np.ones(self.line_words, dtype=bool),
+                    self.full_mask,
                 )
             victim.invalidate()
         return super()._evict_victim(set_idx)
@@ -153,7 +151,7 @@ class VictimAwareCache(Cache):
             self.downstream.write_back(
                 self.line_addr(line_no),
                 victim.data,
-                np.ones(self.line_words, dtype=bool),
+                self.full_mask,
             )
 
 
@@ -168,10 +166,18 @@ class VictimCache:
     def name(self) -> str:
         return self.cache.name
 
+    @property
+    def hit_latency(self) -> int:
+        return self.cache.hit_latency
+
+    @property
+    def line_words(self) -> int:
+        return self.cache.line_words
+
     # ---- CPU-facing role ---------------------------------------------------
 
     def access(
-        self, addr: int, *, write: bool, value: int | None = None, now: int = 0
+        self, addr: int, write: bool = False, value: int | None = None, now: int = 0
     ) -> AccessResult:
         """CPU access: recover from the victim buffer before re-fetching."""
         line_no = self.cache.line_no(addr)
@@ -213,13 +219,13 @@ class VictimCache:
         """Pass prefetch supplies through (victims are demand state)."""
         return self.cache.supply_prefetch(addr, n_words, now)
 
-    def write_back(self, addr: int, values, mask) -> None:
+    def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
         """Accept an upper-level eviction, recovering a buffered copy."""
         line_no = self.cache.line_no(addr)
         if not self.cache.probe(addr) and line_no in self.cache.victim_buffer:
             self.cache.recover_victim(line_no)
             self.stats.extra["victim_hits"] -= 1  # coherence move, not a hit
-        self.cache.write_back(addr, values, mask)
+        self.cache.write_back(addr, values, mask, comp)
 
     def flush(self) -> None:
         """Drain all dirty state (cache lines and buffered victims)."""

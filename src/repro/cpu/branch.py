@@ -7,12 +7,48 @@ predict taken; increment on taken, decrement on not-taken.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.utils.intmath import is_pow2
 
-__all__ = ["BimodPredictor"]
+__all__ = ["BimodPredictor", "mispredict_flags"]
+
+
+def mispredict_flags(
+    pcs: list[int],
+    takens: list[bool],
+    is_branch: list[bool],
+    n_entries: int,
+) -> tuple[list[bool], int, int]:
+    """Per-instruction mispredict flags of a trace through a fresh table.
+
+    Branches are predicted at fetch in program order, so the whole
+    prediction stream is a pure function of (trace, table size) and can
+    be computed once and reused across runs. Replicates
+    :meth:`BimodPredictor.update` exactly: ``flags[i]`` is True iff
+    instruction *i* is a branch that a fresh-table bimod mispredicts.
+    Returns ``(flags, n_branches, n_mispredicts)``.
+    """
+    mask = n_entries - 1
+    table = [2] * n_entries
+    flags = [False] * len(pcs)
+    n_br = 0
+    n_mis = 0
+    for i, isbr in enumerate(is_branch):
+        if not isbr:
+            continue
+        n_br += 1
+        idx = (pcs[i] >> 3) & mask
+        counter = table[idx]
+        taken = takens[i]
+        if taken:
+            if counter < 3:
+                table[idx] = counter + 1
+        elif counter > 0:
+            table[idx] = counter - 1
+        if (counter >= 2) != taken:
+            flags[i] = True
+            n_mis += 1
+    return flags, n_br, n_mis
 
 
 class BimodPredictor:
@@ -23,8 +59,10 @@ class BimodPredictor:
             raise ConfigurationError("predictor table size must be a power of two")
         self.n_entries = n_entries
         self._mask = n_entries - 1
-        # Weakly taken initially, matching SimpleScalar.
-        self._table = np.full(n_entries, 2, dtype=np.int8)
+        # Weakly taken initially, matching SimpleScalar. A plain list of
+        # ints: the table is consulted per fetched branch, where NumPy
+        # scalar boxing would dominate the counter update itself.
+        self._table = [2] * n_entries
         self.lookups = 0
         self.correct = 0
 
@@ -34,22 +72,24 @@ class BimodPredictor:
 
     def predict(self, pc: int) -> bool:
         """Predicted direction for the branch at *pc* (True = taken)."""
-        return bool(self._table[self._index(pc)] >= 2)
+        return self._table[(pc >> 3) & self._mask] >= 2
 
     def update(self, pc: int, taken: bool) -> bool:
         """Record the actual outcome; returns True if it was predicted right."""
-        idx = self._index(pc)
-        predicted = bool(self._table[idx] >= 2)
+        table = self._table
+        idx = (pc >> 3) & self._mask
+        counter = table[idx]
+        predicted = counter >= 2
         if taken:
-            if self._table[idx] < 3:
-                self._table[idx] += 1
-        else:
-            if self._table[idx] > 0:
-                self._table[idx] -= 1
+            if counter < 3:
+                table[idx] = counter + 1
+        elif counter > 0:
+            table[idx] = counter - 1
         self.lookups += 1
-        if predicted == taken:
+        correct = predicted == taken
+        if correct:
             self.correct += 1
-        return predicted == taken
+        return correct
 
     @property
     def mispredicts(self) -> int:

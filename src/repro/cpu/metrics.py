@@ -48,6 +48,12 @@ class CoreMetrics:
 
     @property
     def ipc(self) -> float:
+        """Committed instructions per elapsed cycle (0.0 before any cycle).
+
+        Uses *committed* (architecturally retired) instructions, so
+        stall and fetch-blocked cycles lower it — matching how
+        SimpleScalar's ``sim_IPC`` is computed.
+        """
         return self.committed / self.cycles if self.cycles else 0.0
 
     @property

@@ -29,12 +29,13 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.caches.hierarchy import Hierarchy
-from repro.cpu.branch import BimodPredictor
+from repro.cpu.branch import BimodPredictor, mispredict_flags
 from repro.cpu.metrics import CoreMetrics
+from repro.cpu.resources import _UNIT_INDEX as UNIT_INDEX
 from repro.cpu.resources import FuCounts, FuPool
+from repro.cpu.ruu import _LOAD as OP_LOAD, _STORE as OP_STORE
 from repro.cpu.ruu import EntryState, RUUEntry
 from repro.errors import ConfigurationError, TraceError
-from repro.isa.opcodes import EXEC_LATENCY, OpClass
 from repro.isa.trace import Trace
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _trace
@@ -99,6 +100,7 @@ class CoreResult:
 
     @property
     def ipc(self) -> float:
+        """Instructions per cycle of this run (see :meth:`CoreMetrics.ipc`)."""
         return self.metrics.ipc
 
 
@@ -121,9 +123,11 @@ class OutOfOrderCore:
         self.verify_loads = verify_loads
         self.predictor = BimodPredictor(self.config.bimod_entries)
 
-    # The run loop reads trace columns directly (int conversions once per
-    # instruction) instead of materializing Instruction objects: the loop
-    # is the simulator's hot path.
+    # The run loop reads native-list trace views (see Trace.hot) instead of
+    # materializing Instruction objects or boxing NumPy scalars, recycles
+    # RUU entries through a free list, and keeps all per-cycle statistics
+    # in local variables flushed once at the end: the loop is the
+    # simulator's hot path and must not allocate per instruction.
     def run(self, trace: Trace) -> CoreResult:
         """Execute *trace* to completion; returns cycles and metrics."""
         cfg = self.config
@@ -133,20 +137,29 @@ class OutOfOrderCore:
         if n == 0:
             return CoreResult(0, metrics, 0, 0)
 
-        t_op = trace.op
-        t_pc = trace.pc
-        t_dest = trace.dest
-        t_src1 = trace.src1
-        t_src2 = trace.src2
-        t_addr = trace.addr
-        t_value = trace.value
-        t_taken = trace.taken
+        hot = trace.hot()
+        t_pc = hot.pc
+        t_taken = hot.taken
+        t_ismem = hot.is_mem
+        t_isbr = hot.is_branch
+        t_lat = hot.latency
+        t_rows = hot.rows
 
         ifq: deque[tuple[int, bool]] = deque()  # (trace index, mispredicted)
         rob: deque[RUUEntry] = deque()
-        reg_producer: dict[int, RUUEntry] = {}
+        ifq_len = 0  # mirror of len(ifq)/len(rob): ints beat len() calls
+        rob_len = 0
+        # Producer of each architectural register's latest value. A flat
+        # list indexed by register id (ids are int16 and non-negative in
+        # traces), so rename lookups skip dict hashing.
+        reg_producer: list[RUUEntry | None] = [None] * 32768
         completions: list[tuple[int, int, RUUEntry]] = []  # (cycle, seq, entry)
+        free_entries: list[RUUEntry] = []  # committed entries, for recycling
+        #: In-flight stores by address, dispatch (= program) order; gives
+        #: store-to-load forwarding an O(1) lookup instead of a ROB scan.
+        store_lists: dict[int, list[RUUEntry]] = {}
         seq = 0
+        n_ready = 0  #: READY entries in the ROB, maintained incrementally
         fu = FuPool(cfg.fu)
 
         i_fetch = 0
@@ -166,14 +179,69 @@ class OutOfOrderCore:
                 miss_latency=cfg.icache_miss_latency,
             )
         icache_stall_until = 0
-        l1_hit_latency = getattr(hier.l1, "hit_latency", 1)
-        if hasattr(hier.l1, "cache"):  # PrefetchingCache facade
-            l1_hit_latency = hier.l1.cache.hit_latency
+        l1_hit_latency = hier.l1.hit_latency
 
-        mem_op_load = int(OpClass.LOAD)
-        mem_op_store = int(OpClass.STORE)
-        br_op = int(OpClass.BRANCH)
         hard_limit = 2_000 * n + 1_000_000
+
+        # Hoisted bindings and unpacked config (attribute lookups cost).
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        l1_access = hier.l1.access
+        predictor = self.predictor
+        predictor_update = predictor.update
+        # With a fresh predictor the whole prediction stream is a pure
+        # function of the trace, so use (and cache) the precomputed
+        # flags; a warm table (core reuse) falls back to per-call updates.
+        t_mispred = None
+        bp_branches = bp_mispredicts = 0
+        if predictor.lookups == 0:
+            bp_key = predictor.n_entries
+            pre = hot.bp.get(bp_key)
+            if pre is None:
+                pre = mispredict_flags(t_pc, t_taken, t_isbr, bp_key)
+                hot.bp[bp_key] = pre
+            t_mispred, bp_branches, bp_mispredicts = pre
+        use_bp_flags = t_mispred is not None
+        fu_free = fu._free  # FuPool.new_cycle / try_issue, inlined below
+        fu_limits = fu._limits
+        unit_index = UNIT_INDEX
+        issue_load = self._issue_load
+        store_lists_get = store_lists.get
+        loads_by_level = metrics.loads_by_level  # record_load, inlined
+        n_loads_fast = 0
+        verify_loads = self.verify_loads
+        rob_append = rob.append
+        rob_popleft = rob.popleft
+        ifq_append = ifq.append
+        ifq_popleft = ifq.popleft
+        issue_width = cfg.issue_width
+        commit_width = cfg.commit_width
+        decode_width = cfg.decode_width
+        fetch_width = cfg.fetch_width
+        ruu_size = cfg.ruu_size
+        lsq_size = cfg.lsq_size
+        ifq_size = cfg.ifq_size
+        mispredict_penalty = cfg.mispredict_penalty
+        idle_skip = cfg.enable_idle_skip
+        ST_WAITING = EntryState.WAITING
+        ST_READY = EntryState.READY
+        ST_ISSUED = EntryState.ISSUED
+        ST_DONE = EntryState.DONE
+
+        # Per-cycle statistics, kept local and flushed once at the end.
+        # The ready-queue means replicate RunningMean.add_bulk exactly
+        # (same formula, same per-cycle sequence), so the flushed state is
+        # bit-identical to calling sample_ready_queue every cycle.
+        store_count = 0
+        n_mispredicts = 0
+        fetch_stall_cycles = 0
+        miss_cycles = 0
+        all_n = 0
+        all_mean = 0.0
+        all_m2 = 0.0
+        miss_n = 0
+        miss_mean = 0.0
+        miss_m2 = 0.0
 
         while committed < n:
             if now > hard_limit:
@@ -184,95 +252,182 @@ class OutOfOrderCore:
 
             # ---- writeback: results arriving this cycle ------------------
             while completions and completions[0][0] <= now:
-                _, _, entry = heapq.heappop(completions)
-                entry.state = EntryState.DONE
+                entry = heappop(completions)[2]
+                entry.state = ST_DONE
                 if entry.miss_in_flight:
                     outstanding_misses -= 1
                     entry.miss_in_flight = False
                 for consumer in entry.consumers:
-                    consumer.wake()
+                    consumer.pending -= 1
+                    if consumer.pending == 0 and consumer.state == ST_WAITING:
+                        consumer.state = ST_READY
+                        n_ready += 1
                 entry.consumers.clear()
                 if entry.mispredicted:
-                    pending_resume = now + cfg.mispredict_penalty
+                    pending_resume = now + mispredict_penalty
 
             # ---- commit: in order, up to commit_width --------------------
             n_commit = 0
-            while rob and n_commit < cfg.commit_width:
+            while rob_len and n_commit < commit_width:
                 head = rob[0]
-                if head.state != EntryState.DONE:
+                if head.state != ST_DONE:
                     break
-                rob.popleft()
+                rob_popleft()
+                rob_len -= 1
                 n_commit += 1
                 committed += 1
                 if head.is_store:
-                    hier.store(head.addr, head.value, now)
-                    metrics.store_count += 1
+                    l1_access(head.addr, True, head.value, now)
+                    store_count += 1
                     lsq_used -= 1
+                    lst = store_lists[head.addr]
+                    if lst[0] is head:
+                        del lst[0]
+                    else:  # pragma: no cover - stores commit in order
+                        lst.remove(head)
+                    if not lst:
+                        del store_lists[head.addr]
                 elif head.is_load:
                     lsq_used -= 1
-                if head.dest >= 0 and reg_producer.get(head.dest) is head:
-                    del reg_producer[head.dest]
+                if head.dest >= 0 and reg_producer[head.dest] is head:
+                    reg_producer[head.dest] = None
+                free_entries.append(head)
             if committed >= n:
                 break  # the last instruction committed this cycle
 
             # ---- issue: oldest-first among READY entries ------------------
-            fu.new_cycle()
-            ready_len = 0
-            n_issued = 0
-            for entry in rob:
-                if entry.state != EntryState.READY:
-                    continue
-                ready_len += 1
-                if n_issued >= cfg.issue_width or not fu.try_issue(entry.op):
-                    continue
-                n_issued += 1
-                entry.state = EntryState.ISSUED
-                latency = EXEC_LATENCY[entry.op]
-                if entry.is_load:
-                    latency = self._issue_load(entry, rob, metrics, now)
-                    if latency > l1_hit_latency:
-                        entry.miss_in_flight = True
-                        outstanding_misses += 1
-                seq += 1
-                heapq.heappush(completions, (now + latency, seq, entry))
+            # n_ready gives the sample up front, so the ROB scan can stop
+            # at the last READY entry (or skip entirely) instead of
+            # walking the whole window every cycle. FuPool's per-cycle
+            # slot reset and try_issue are inlined.
+            ready_len = n_ready
+            if ready_len:
+                fu_free[:] = fu_limits
+                n_issued = 0
+                seen = 0
+                for entry in rob:
+                    if entry.state != ST_READY:
+                        continue
+                    seen += 1
+                    slot = unit_index[entry.op]
+                    avail = fu_free[slot]
+                    if avail:
+                        fu_free[slot] = avail - 1
+                        entry.state = ST_ISSUED
+                        if entry.is_load:
+                            # Fast path: no in-flight store at this address
+                            # and no verify/trace hooks — straight to the
+                            # cache, skipping the forwarding scan
+                            # (Hierarchy.load is a pure delegation to
+                            # l1.access).
+                            if (
+                                store_lists_get(entry.addr) is None
+                                and not verify_loads
+                                and not _trace.ACTIVE
+                            ):
+                                result = l1_access(entry.addr, False, None, now)
+                                served = result.served_by
+                                loads_by_level[served] = (
+                                    loads_by_level.get(served, 0) + 1
+                                )
+                                n_loads_fast += 1
+                                latency = result.latency
+                                if latency < 1:
+                                    latency = 1
+                            else:
+                                latency = issue_load(
+                                    entry, store_lists, metrics, now
+                                )
+                            if latency > l1_hit_latency:
+                                entry.miss_in_flight = True
+                                outstanding_misses += 1
+                        else:
+                            latency = t_lat[entry.trace_idx]
+                        seq += 1
+                        heappush(completions, (now + latency, seq, entry))
+                        n_issued += 1
+                        if n_issued >= issue_width:
+                            break
+                    if seen >= ready_len:
+                        break
+                n_ready -= n_issued
 
             # ---- metrics sample (state as of this cycle) -------------------
-            metrics.sample_ready_queue(
-                ready_len, miss_outstanding=outstanding_misses > 0
-            )
+            delta = ready_len - all_mean
+            total = all_n + 1
+            all_mean += delta * 1 / total
+            all_m2 += delta * delta * all_n * 1 / total
+            all_n = total
+            if outstanding_misses > 0:
+                miss_cycles += 1
+                delta = ready_len - miss_mean
+                total = miss_n + 1
+                miss_mean += delta * 1 / total
+                miss_m2 += delta * delta * miss_n * 1 / total
+                miss_n = total
             if fetch_blocked:
-                metrics.fetch_stall_cycles += 1
+                fetch_stall_cycles += 1
 
             # ---- dispatch: IFQ -> RUU/LSQ ---------------------------------
             n_disp = 0
-            while ifq and n_disp < cfg.decode_width and len(rob) < cfg.ruu_size:
+            while ifq_len and n_disp < decode_width and rob_len < ruu_size:
                 idx, mispred = ifq[0]
-                op = int(t_op[idx])
-                is_mem = op == mem_op_load or op == mem_op_store
-                if is_mem and lsq_used >= cfg.lsq_size:
+                op, dest, s1, s2, addr, value, is_mem = t_rows[idx]
+                if is_mem and lsq_used >= lsq_size:
                     break
-                ifq.popleft()
+                ifq_popleft()
+                ifq_len -= 1
                 n_disp += 1
-                entry = RUUEntry(
-                    idx,
-                    OpClass(op),
-                    int(t_dest[idx]),
-                    int(t_addr[idx]),
-                    int(t_value[idx]),
-                    mispredicted=mispred,
-                )
-                s1 = int(t_src1[idx])
-                s2 = int(t_src2[idx])
+                if free_entries:
+                    # RUUEntry.reset, inlined (one per dispatched insn).
+                    entry = free_entries.pop()
+                    entry.trace_idx = idx
+                    entry.op = op
+                    entry.dest = dest
+                    entry.addr = addr
+                    entry.value = value
+                    entry.state = ST_WAITING
+                    entry.pending = 0
+                    # consumers already cleared at this entry's writeback
+                    entry.complete_cycle = -1
+                    entry.is_load = op == OP_LOAD
+                    entry.is_store = op == OP_STORE
+                    entry.miss_in_flight = False
+                    entry.mispredicted = mispred
+                else:
+                    entry = RUUEntry(
+                        idx,
+                        op,
+                        dest,
+                        addr,
+                        value,
+                        mispredicted=mispred,
+                    )
                 if s1 >= 0:
-                    entry.wire_source(reg_producer.get(s1))
+                    producer = reg_producer[s1]
+                    if producer is not None and producer.state != ST_DONE:
+                        entry.pending += 1
+                        producer.consumers.append(entry)
                 if s2 >= 0:
-                    entry.wire_source(reg_producer.get(s2))
-                entry.finish_rename()
-                if entry.dest >= 0:
-                    reg_producer[entry.dest] = entry
+                    producer = reg_producer[s2]
+                    if producer is not None and producer.state != ST_DONE:
+                        entry.pending += 1
+                        producer.consumers.append(entry)
+                if entry.pending == 0:
+                    entry.state = ST_READY
+                    n_ready += 1
+                if dest >= 0:
+                    reg_producer[dest] = entry
                 if is_mem:
                     lsq_used += 1
-                rob.append(entry)
+                    if entry.is_store:
+                        lst = store_lists.get(addr)
+                        if lst is None:
+                            store_lists[addr] = [entry]
+                        else:
+                            lst.append(entry)
+                rob_append(entry)
+                rob_len += 1
 
             # ---- fetch: fill the IFQ unless redirecting --------------------
             if fetch_blocked and pending_resume is not None and now >= pending_resume:
@@ -282,26 +437,31 @@ class OutOfOrderCore:
                 n_fetched = 0
                 while (
                     i_fetch < n
-                    and n_fetched < cfg.fetch_width
-                    and len(ifq) < cfg.ifq_size
+                    and n_fetched < fetch_width
+                    and ifq_len < ifq_size
                 ):
                     if icache is not None:
-                        penalty = icache.fetch_penalty(int(t_pc[i_fetch]))
+                        penalty = icache.fetch_penalty(t_pc[i_fetch])
                         if penalty:
                             # The line is being fetched; retry hits it.
                             icache_stall_until = now + penalty
                             break
                     mispred = False
-                    if int(t_op[i_fetch]) == br_op:
-                        pc = int(t_pc[i_fetch])
-                        taken = bool(t_taken[i_fetch])
-                        predicted = self.predictor.predict(pc)
-                        self.predictor.update(pc, taken)
-                        if predicted != taken:
+                    if t_isbr[i_fetch]:
+                        # update() both trains the counter and reports
+                        # whether the pre-update prediction was right.
+                        if (
+                            t_mispred[i_fetch]
+                            if use_bp_flags
+                            else not predictor_update(
+                                t_pc[i_fetch], t_taken[i_fetch]
+                            )
+                        ):
                             mispred = True
-                            metrics.mispredicts += 1
+                            n_mispredicts += 1
                             fetch_blocked = True
-                    ifq.append((i_fetch, mispred))
+                    ifq_append((i_fetch, mispred))
+                    ifq_len += 1
                     i_fetch += 1
                     n_fetched += 1
                     if mispred:
@@ -310,24 +470,20 @@ class OutOfOrderCore:
             # ---- advance the clock, skipping provably idle cycles ----------
             next_now = now + 1
             if (
-                cfg.enable_idle_skip
-                and ready_len == 0
-                and n_issued == 0
+                idle_skip
+                and ready_len == 0  # nothing ready implies nothing issued
                 and n_disp == 0
-                and (not rob or rob[0].state != EntryState.DONE)
+                and (not rob_len or rob[0].state != ST_DONE)
                 and (
-                    not ifq
-                    or len(rob) >= cfg.ruu_size
-                    or (
-                        int(t_op[ifq[0][0]]) in (mem_op_load, mem_op_store)
-                        and lsq_used >= cfg.lsq_size
-                    )
+                    not ifq_len
+                    or rob_len >= ruu_size
+                    or (t_ismem[ifq[0][0]] and lsq_used >= lsq_size)
                 )
                 and (
                     fetch_blocked
                     or now < icache_stall_until
                     or i_fetch >= n
-                    or len(ifq) >= cfg.ifq_size
+                    or ifq_len >= ifq_size
                 )
             ):
                 targets = []
@@ -345,16 +501,44 @@ class OutOfOrderCore:
                 skip_to = max(next_now, min(targets))
                 gap = skip_to - next_now
                 if gap > 0:
-                    metrics.sample_ready_queue(
-                        0, miss_outstanding=outstanding_misses > 0, weight=gap
-                    )
+                    # sample_ready_queue(0, weight=gap), inlined.
+                    delta = 0 - all_mean
+                    total = all_n + gap
+                    all_mean += delta * gap / total
+                    all_m2 += delta * delta * all_n * gap / total
+                    all_n = total
+                    if outstanding_misses > 0:
+                        miss_cycles += gap
+                        delta = 0 - miss_mean
+                        total = miss_n + gap
+                        miss_mean += delta * gap / total
+                        miss_m2 += delta * delta * miss_n * gap / total
+                        miss_n = total
                     if fetch_blocked:
-                        metrics.fetch_stall_cycles += gap
+                        fetch_stall_cycles += gap
                 next_now = skip_to
             now = next_now
 
+        if use_bp_flags:
+            # Every instruction was fetched exactly once, so the stream
+            # totals are the counters update() would have accumulated.
+            predictor.lookups += bp_branches
+            predictor.correct += bp_branches - bp_mispredicts
+        metrics.load_count += n_loads_fast
         metrics.committed = committed
         metrics.cycles = now
+        metrics.store_count = store_count
+        metrics.mispredicts = n_mispredicts
+        metrics.fetch_stall_cycles = fetch_stall_cycles
+        metrics.miss_cycles = miss_cycles
+        rq = metrics.ready_queue_all_cycles
+        rq.count = all_n
+        rq._mean = all_mean
+        rq._m2 = all_m2
+        rq = metrics.ready_queue_miss_cycles
+        rq.count = miss_n
+        rq._mean = miss_mean
+        rq._m2 = miss_m2
         return CoreResult(
             cycles=now,
             metrics=metrics,
@@ -365,16 +549,27 @@ class OutOfOrderCore:
     # ---- helpers ------------------------------------------------------------
 
     def _issue_load(
-        self, entry: RUUEntry, rob: deque[RUUEntry], metrics: CoreMetrics, now: int
+        self,
+        entry: RUUEntry,
+        store_lists: dict[int, list[RUUEntry]],
+        metrics: CoreMetrics,
+        now: int,
     ) -> int:
         """Execute a load: forward from an older in-flight store, or access
-        the cache hierarchy. Returns the load-to-use latency."""
+        the cache hierarchy. Returns the load-to-use latency.
+
+        *store_lists* maps an address to its in-flight stores in program
+        order; the forwarding source is the youngest store older than the
+        load (same choice the original full-ROB scan made).
+        """
         forward_from: RUUEntry | None = None
-        for other in rob:
-            if other is entry:
-                break
-            if other.is_store and other.addr == entry.addr:
-                forward_from = other
+        stores = store_lists.get(entry.addr)
+        if stores is not None:
+            load_idx = entry.trace_idx
+            for other in reversed(stores):
+                if other.trace_idx < load_idx:
+                    forward_from = other
+                    break
         if forward_from is not None:
             metrics.forwarded_loads += 1
             metrics.record_load("forward")

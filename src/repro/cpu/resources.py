@@ -47,33 +47,45 @@ _UNIT_OF: dict[OpClass, str] = {
     OpClass.STORE: "mem_ports",
 }
 
+_UNIT_NAMES = ("ialu", "imult", "mem_ports", "falu", "fmult")
+#: Op-class code -> index into the per-cycle slot list (accepts plain ints
+#: from the columnar trace as well as OpClass members).
+_UNIT_INDEX: tuple[int, ...] = tuple(
+    _UNIT_NAMES.index(_UNIT_OF[OpClass(code)]) for code in range(max(OpClass) + 1)
+)
+
 
 class FuPool:
-    """Per-cycle issue slots for each functional-unit class."""
+    """Per-cycle issue slots for each functional-unit class.
+
+    The slot table is a fixed list of five ints reset in place every
+    cycle — the core loop calls :meth:`new_cycle` and :meth:`try_issue`
+    millions of times, so neither allocates.
+    """
 
     def __init__(self, counts: FuCounts | None = None) -> None:
         self.counts = counts if counts is not None else FuCounts()
-        self._free: dict[str, int] = {}
-        self.new_cycle()
+        self._limits = (
+            self.counts.ialu,
+            self.counts.imult,
+            self.counts.mem_ports,
+            self.counts.falu,
+            self.counts.fmult,
+        )
+        self._free = list(self._limits)
 
     def new_cycle(self) -> None:
         """Reset slot availability at the start of a cycle."""
-        self._free = {
-            "ialu": self.counts.ialu,
-            "imult": self.counts.imult,
-            "mem_ports": self.counts.mem_ports,
-            "falu": self.counts.falu,
-            "fmult": self.counts.fmult,
-        }
+        self._free[:] = self._limits
 
-    def try_issue(self, op: OpClass) -> bool:
+    def try_issue(self, op: OpClass | int) -> bool:
         """Claim a unit slot for *op* this cycle; False if none is free."""
-        unit = _UNIT_OF[op]
+        unit = _UNIT_INDEX[op]
         if self._free[unit] > 0:
             self._free[unit] -= 1
             return True
         return False
 
-    def free_slots(self, op: OpClass) -> int:
+    def free_slots(self, op: OpClass | int) -> int:
         """Remaining issue slots this cycle for the unit class of *op*."""
-        return self._free[_UNIT_OF[op]]
+        return self._free[_UNIT_INDEX[op]]

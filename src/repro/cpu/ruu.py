@@ -3,6 +3,12 @@
 SimpleScalar's RUU unifies reservation stations and the reorder buffer;
 we keep the same shape: a bounded in-order window of in-flight
 instructions, each tracking how many source operands are still pending.
+
+Entries are designed for recycling: the core keeps a free list and calls
+:meth:`RUUEntry.reset` instead of allocating a new object per dispatched
+instruction. An entry is safe to recycle once it commits — its consumers
+list was cleared at writeback and commit removes it from the register
+producer map, so no live reference can remain.
 """
 
 from __future__ import annotations
@@ -10,6 +16,9 @@ from __future__ import annotations
 from repro.isa.opcodes import OpClass
 
 __all__ = ["EntryState", "RUUEntry"]
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
 
 
 class EntryState:
@@ -22,7 +31,11 @@ class EntryState:
 
 
 class RUUEntry:
-    """One RUU/ROB slot."""
+    """One RUU/ROB slot.
+
+    ``op`` is stored as the plain int op-class code (``OpClass`` members
+    compare and hash equal to their codes, so callers may pass either).
+    """
 
     __slots__ = (
         "trace_idx",
@@ -43,13 +56,26 @@ class RUUEntry:
     def __init__(
         self,
         trace_idx: int,
-        op: OpClass,
+        op: OpClass | int,
         dest: int,
         addr: int,
         value: int,
         *,
         mispredicted: bool = False,
     ) -> None:
+        self.consumers: list[RUUEntry] = []  #: entries waiting on my result
+        self.reset(trace_idx, int(op), dest, addr, value, mispredicted)
+
+    def reset(
+        self,
+        trace_idx: int,
+        op: int,
+        dest: int,
+        addr: int,
+        value: int,
+        mispredicted: bool,
+    ) -> None:
+        """Re-initialize a recycled entry for a newly dispatched instruction."""
         self.trace_idx = trace_idx
         self.op = op
         self.dest = dest
@@ -57,10 +83,10 @@ class RUUEntry:
         self.value = value
         self.state = EntryState.WAITING
         self.pending = 0  #: unready source operands
-        self.consumers: list[RUUEntry] = []  #: entries waiting on my result
+        self.consumers.clear()
         self.complete_cycle = -1
-        self.is_load = op == OpClass.LOAD
-        self.is_store = op == OpClass.STORE
+        self.is_load = op == _LOAD
+        self.is_store = op == _STORE
         self.miss_in_flight = False
         self.mispredicted = mispredicted
 
@@ -84,6 +110,6 @@ class RUUEntry:
     def __repr__(self) -> str:  # pragma: no cover - debug cosmetic
         names = {0: "WAIT", 1: "READY", 2: "ISSUED", 3: "DONE"}
         return (
-            f"<RUU #{self.trace_idx} {self.op.name} {names[self.state]} "
+            f"<RUU #{self.trace_idx} {OpClass(self.op).name} {names[self.state]} "
             f"pending={self.pending}>"
         )

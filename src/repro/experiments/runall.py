@@ -120,11 +120,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the wall-clock/memoization breakdown at the end",
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the campaign under cProfile and print the N hottest "
+        "functions next to the phase breakdown",
+    )
     return parser
 
 
-def _profile_summary() -> str:
-    """Where the wall-clock went, plus memoization effectiveness."""
+def _profile_summary(profiler=None, top_n: int = 0) -> str:
+    """Where the wall-clock went, plus memoization effectiveness.
+
+    With a cProfile *profiler* (``--profile N``), appends the *top_n*
+    hottest functions by self time under the phase breakdown, so the
+    function-level view lines up with the phase-level one.
+    """
     lines = [_phases.PHASES.render()]
     memo = memo_stats()
     for kind in ("program", "result"):
@@ -134,6 +147,15 @@ def _profile_summary() -> str:
         lines.append(
             f"memoization: {kind} cache {hits}/{total} hits ({rate})"
         )
+    if profiler is not None:
+        import io
+        import pstats
+
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(
+            top_n
+        )
+        lines.append(buf.getvalue().rstrip())
     return "\n".join(lines)
 
 
@@ -186,6 +208,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
     sim_figures = [f for f in figures if f not in _NO_MATRIX_FIGURES]
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if sim_figures:
             _precompute_matrix(args, sim_figures)
@@ -209,13 +237,15 @@ def main(argv: list[str] | None = None) -> int:
         # figures) report one line, not a traceback.
         _progress.report(f"error: {type(exc).__name__}: {exc}")
         return 1
+    if profiler is not None:
+        profiler.disable()
     rc = 0
     summary = _fault.LEDGER.summary()
     if summary:
         print(f"!! partial evaluation — '—' cells are holes\n{summary}\n")
         rc = 1
     if not args.no_profile:
-        print(_profile_summary())
+        print(_profile_summary(profiler, args.profile or 0))
     return rc
 
 

@@ -14,18 +14,91 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.isa.instruction import NO_REG, Instruction
-from repro.isa.opcodes import OpClass
+from repro.isa.opcodes import EXEC_LATENCY, OpClass
 from repro.utils.bitops import MASK32
 
-__all__ = ["Trace", "TraceBuilder"]
+__all__ = ["Trace", "TraceBuilder", "TraceHot"]
 
 _MAX_REG = 32767  # dest/src columns are int16
+
+#: Execution latency indexed by op-class code (for the hot views).
+_LATENCY_TABLE = np.array(
+    [EXEC_LATENCY[OpClass(code)] for code in range(max(OpClass) + 1)],
+    dtype=np.int64,
+)
+
+
+class TraceHot:
+    """Plain-Python-list views of a trace, for the core's cycle loop.
+
+    Each field mirrors a :class:`Trace` column as a list of native ints /
+    bools, so the run loop indexes them without per-element NumPy scalar
+    boxing. ``is_mem`` / ``is_branch`` / ``latency`` are derived columns
+    (op classification and execution latency), computed once per trace.
+    """
+
+    __slots__ = (
+        "pc",
+        "op",
+        "dest",
+        "src1",
+        "src2",
+        "addr",
+        "value",
+        "taken",
+        "is_mem",
+        "is_branch",
+        "latency",
+        "rows",
+        "bp",
+    )
+
+    def __init__(self, trace: "Trace") -> None:
+        self.pc = trace.pc.tolist()
+        self.op = trace.op.tolist()
+        self.dest = trace.dest.tolist()
+        self.src1 = trace.src1.tolist()
+        self.src2 = trace.src2.tolist()
+        self.addr = trace.addr.tolist()
+        self.value = trace.value.tolist()
+        self.taken = trace.taken.tolist()
+        self.is_mem = trace.mem_mask.tolist()
+        self.is_branch = trace.branch_mask.tolist()
+        self.latency = _LATENCY_TABLE[trace.op].tolist()
+        #: Dispatch-stage row view: one tuple per instruction, so the
+        #: dispatch loop does one index + unpack instead of seven list
+        #: indexings per dispatched instruction.
+        self.rows = list(
+            zip(
+                self.op,
+                self.dest,
+                self.src1,
+                self.src2,
+                self.addr,
+                self.value,
+                self.is_mem,
+            )
+        )
+        #: Branch-prediction streams keyed by predictor table size (filled
+        #: lazily by the core; see repro.cpu.branch.mispredict_flags).
+        self.bp: dict[int, tuple[list[bool], int, int]] = {}
 
 
 class Trace:
     """An immutable columnar sequence of dynamic instructions."""
 
-    __slots__ = ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken", "name")
+    __slots__ = (
+        "pc",
+        "op",
+        "dest",
+        "src1",
+        "src2",
+        "addr",
+        "value",
+        "taken",
+        "name",
+        "_hot",
+    )
 
     def __init__(
         self,
@@ -61,6 +134,13 @@ class Trace:
         self.value = value
         self.taken = taken
         self.name = name
+        self._hot: TraceHot | None = None
+
+    def hot(self) -> TraceHot:
+        """Native-list views of all columns (cached; see :class:`TraceHot`)."""
+        if self._hot is None:
+            self._hot = TraceHot(self)
+        return self._hot
 
     # ---- sequence protocol -----------------------------------------------
 

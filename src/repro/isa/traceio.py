@@ -5,6 +5,14 @@ takes a fraction of a second to minutes); persisting traces lets
 experiment campaigns and external tools share exactly the same inputs.
 The format is a plain NumPy archive — one array per column plus a small
 metadata record — so it is readable without this library.
+
+Two granularities are supported:
+
+* :func:`save_trace` / :func:`load_trace` — just the instruction columns;
+* :func:`save_program` / :func:`load_program` — a whole generated
+  :class:`~repro.workloads.base.Program` (trace + metadata + the sparse
+  final memory image), which is what the runner's on-disk program cache
+  stores (see :func:`program_cache_path`).
 """
 
 from __future__ import annotations
@@ -17,9 +25,20 @@ import numpy as np
 from repro.errors import TraceError
 from repro.isa.trace import Trace
 
-__all__ = ["save_trace", "load_trace", "FORMAT_VERSION"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_program",
+    "load_program",
+    "program_cache_path",
+    "FORMAT_VERSION",
+    "PROGRAM_FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
+
+#: Version of the *program* archive layout (trace + image + metadata).
+PROGRAM_FORMAT_VERSION = 1
 
 _COLUMNS = ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken")
 
@@ -73,3 +92,131 @@ def load_trace(path: str | Path) -> Trace:
         )
     trace.validate()
     return trace
+
+
+# ---- whole-program archives (the runner's on-disk cache format) ------------
+
+
+def _sanitize(part: str) -> str:
+    """Make a key component safe as a filename fragment."""
+    return "".join(c if (c.isalnum() or c in "._-") else "_" for c in part)
+
+
+def program_cache_path(
+    cache_dir: str | Path,
+    workload: str,
+    *,
+    seed: int,
+    scale: float,
+    generator_version: str,
+) -> Path:
+    """Canonical archive path for one generated program.
+
+    The filename encodes the full generation key — workload name, seed,
+    scale and the workload generators' version stamp — so a stale cache
+    entry can never be confused with a current one: bumping the generator
+    version changes every path.
+    """
+    name = (
+        f"{_sanitize(workload)}-seed{seed}-scale{scale:g}"
+        f"-gen{_sanitize(generator_version)}.npz"
+    )
+    return Path(cache_dir) / name
+
+
+def save_program(program, path: str | Path) -> Path:
+    """Write a generated :class:`~repro.workloads.base.Program` to *path*.
+
+    Stores the trace columns, the program metadata (name, description,
+    params) and the sparse final memory image (page numbers + page data),
+    all in one compressed NumPy archive. Returns the path written.
+
+    The write goes through a temporary file renamed into place, so a
+    crashed or concurrent writer can never leave a torn archive behind.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = json.dumps(
+        {
+            # Distinct key from the plain-trace "version" field, so neither
+            # loader can mistake the other's archives for its own.
+            "program_version": PROGRAM_FORMAT_VERSION,
+            "trace_version": FORMAT_VERSION,
+            "name": program.name,
+            "trace_name": program.trace.name,
+            "description": program.description,
+            "params": program.params,
+        }
+    )
+    arrays = {
+        col: getattr(program.trace, col) for col in _COLUMNS
+    }
+    if program.final_image is not None:
+        page_nos = sorted(program.final_image._pages)
+        arrays["image_page_nos"] = np.asarray(page_nos, dtype=np.int64)
+        arrays["image_pages"] = (
+            np.stack([program.final_image._pages[p] for p in page_nos])
+            if page_nos
+            else np.zeros((0, 0), dtype=np.uint32)
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp{id(program) & 0xFFFF:04x}.npz")
+    np.savez_compressed(
+        tmp,
+        meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    )
+    tmp.replace(path)
+    return path
+
+
+def load_program(path: str | Path):
+    """Read a program archive written by :func:`save_program`.
+
+    Returns a :class:`~repro.workloads.base.Program`; raises
+    :class:`TraceError` on a missing file, a foreign archive, or a format
+    version mismatch (the caller then regenerates).
+    """
+    from repro.memory.image import MemoryImage
+    from repro.workloads.base import Program
+
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"program archive {path} does not exist")
+    try:
+        archive_cm = np.load(path)
+    except (OSError, ValueError) as exc:  # truncated/corrupt/foreign file
+        raise TraceError(f"{path} is not a readable archive: {exc}") from exc
+    with archive_cm as archive:
+        missing = [c for c in _COLUMNS if c not in archive]
+        if "meta" not in archive or missing:
+            raise TraceError(
+                f"{path} is not a program archive (missing {missing or ['meta']})"
+            )
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("program_version") != PROGRAM_FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported program format version "
+                f"{meta.get('program_version')}"
+            )
+        trace = Trace(
+            **{col: archive[col] for col in _COLUMNS},
+            name=str(meta.get("trace_name", "")),
+        )
+        final_image = None
+        if "image_page_nos" in archive:
+            final_image = MemoryImage()
+            pages = archive["image_pages"]
+            for i, page_no in enumerate(archive["image_page_nos"]):
+                final_image._pages[int(page_no)] = pages[i].astype(
+                    np.uint32, copy=True
+                )
+    trace.validate()
+    return Program(
+        name=str(meta.get("name", "")),
+        trace=trace,
+        description=str(meta.get("description", "")),
+        params=dict(meta.get("params", {})),
+        final_image=final_image,
+    )

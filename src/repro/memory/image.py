@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AlignmentError, UnmappedAddressError
+from repro.utils.bitmask import as_mask, as_words
 from repro.utils.bitops import MASK32
 
 __all__ = ["MemoryImage", "PAGE_BYTES", "PAGE_WORDS", "WORD_BYTES"]
@@ -86,6 +87,32 @@ class MemoryImage:
             i += take
         return out
 
+    def read_words_list(self, addr: int, n: int) -> list[int]:
+        """Read *n* consecutive words starting at *addr* as Python ints.
+
+        The cache models' fill path: one bulk page slice per page
+        touched, no per-access NumPy array survives the call.
+        """
+        self._check_aligned(addr)
+        if n < 0:
+            raise ValueError("word count must be non-negative")
+        out: list[int] = []
+        i = 0
+        while i < n:
+            a = addr + i * WORD_BYTES
+            page_no = a >> _PAGE_SHIFT
+            offset = (a & _PAGE_MASK) >> 2
+            take = min(n - i, PAGE_WORDS - offset)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out += page[offset : offset + take].tolist()
+            elif self.strict:
+                raise UnmappedAddressError(a)
+            else:
+                out += [0] * take
+            i += take
+        return out
+
     def write_words(self, addr: int, values: np.ndarray | list[int]) -> None:
         """Write consecutive words starting at *addr*."""
         self._check_aligned(addr)
@@ -104,20 +131,23 @@ class MemoryImage:
             page[offset : offset + take] = values[i : i + take]
             i += take
 
-    def write_words_masked(
-        self, addr: int, values: np.ndarray, mask: np.ndarray
-    ) -> None:
-        """Write only the words where *mask* is True (partial write-back).
+    def write_words_masked(self, addr: int, values, mask) -> None:
+        """Write only the words selected by *mask* (partial write-back).
 
         Partial dirty lines occur in the CPP design (a promoted affiliated
         line has holes); memory keeps its old contents for the holes.
+        *mask* is a packed int (bit *i* = word *i*) or a bool sequence.
         """
-        values = np.asarray(values, dtype=np.uint32)
-        mask = np.asarray(mask, dtype=bool)
-        if values.shape != mask.shape:
-            raise ValueError("values and mask must have identical shapes")
-        for i in np.flatnonzero(mask):
-            self.write_word(addr + int(i) * WORD_BYTES, int(values[i]))
+        values = as_words(values)
+        mask = as_mask(mask)
+        if mask >> len(values):
+            raise ValueError("mask selects words beyond the value list")
+        m = mask
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            self.write_word(addr + i * WORD_BYTES, values[i])
 
     # ---- management ----------------------------------------------------------
 

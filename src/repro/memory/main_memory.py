@@ -14,6 +14,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.memory.bus import BusMeter, TrafficKind
 from repro.memory.image import WORD_BYTES, MemoryImage
+from repro.utils.bitmask import as_mask
 
 __all__ = ["MainMemory"]
 
@@ -60,23 +61,27 @@ class MainMemory:
     def write_line(
         self,
         addr: int,
-        values: np.ndarray,
+        values,
         *,
-        mask: np.ndarray | None = None,
+        mask: int | np.ndarray | None = None,
         bus_words: int | None = None,
     ) -> None:
         """Write back a (possibly partial) line of words.
 
-        *mask* selects which words are valid — a promoted affiliated line in
-        the CPP design can be dirty while having holes; memory retains its
+        *mask* selects which words are valid — a packed int (bit *i* =
+        word *i*) or a bool sequence. A promoted affiliated line in the
+        CPP design can be dirty while having holes; memory retains its
         old contents for masked-out words.
         """
-        if mask is None:
+        if mask is not None:
+            mask = as_mask(mask)
+        full = (1 << len(values)) - 1
+        if mask is None or mask == full:
             self.image.write_words(addr, values)
             n_valid = len(values)
         else:
             self.image.write_words_masked(addr, values, mask)
-            n_valid = int(np.count_nonzero(mask))
+            n_valid = mask.bit_count()
         self.bus.record(
             TrafficKind.WRITEBACK, n_valid if bus_words is None else bus_words
         )

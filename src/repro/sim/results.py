@@ -30,6 +30,13 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
+        """Committed instructions per cycle (0.0 for an empty run).
+
+        The paper's headline execution-time metric: Figure 11 reports
+        execution time, which is ``instructions / ipc`` at fixed
+        instruction count, so IPC uplift and time saved are two views of
+        the same quantity.
+        """
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property

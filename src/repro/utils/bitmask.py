@@ -1,0 +1,56 @@
+"""Packed-int per-word mask helpers for the cache hot paths.
+
+The cache models keep per-word flags (availability, compressibility,
+affiliated residency) as plain Python ints: bit *i* describes word *i*
+of the line. Plain-int bitwise ops are allocation-free and an order of
+magnitude cheaper than the tiny (8–32 element) NumPy arrays they
+replace, which paid array-construction and ufunc-dispatch overhead on
+every access.
+
+These helpers normalize the *public* boundaries (``write_back``, buffer
+inserts, memory writes), so tests and tools may keep passing NumPy bool
+arrays or lists; the internal hot paths always deal in ints and lists.
+"""
+
+from __future__ import annotations
+
+__all__ = ["as_mask", "as_words", "mask_bits"]
+
+
+def as_mask(mask) -> int:
+    """Normalize a per-word mask to a packed int.
+
+    Accepts an int (returned unchanged), or any iterable of truthy
+    per-word flags (NumPy bool array, list of bools) where element *i*
+    maps to bit *i*.
+    """
+    if isinstance(mask, int):
+        return mask
+    m = 0
+    bit = 1
+    for flag in mask:
+        if flag:
+            m |= bit
+        bit <<= 1
+    return m
+
+
+def as_words(values) -> list[int]:
+    """Normalize a word-value sequence to a list of Python ints.
+
+    Lists pass through unchanged (no copy — callers own their data);
+    NumPy arrays and other sequences are converted element-wise.
+    """
+    if type(values) is list:
+        return values
+    return [int(v) for v in values]
+
+
+def mask_bits(mask: int) -> list[int]:
+    """Indices of the set bits of *mask*, ascending (tests/debug)."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out

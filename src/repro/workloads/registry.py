@@ -41,6 +41,7 @@ __all__ = [
     "ALL_WORKLOADS",
     "get_workload",
     "generate",
+    "GENERATOR_VERSION",
 ]
 
 
@@ -95,6 +96,14 @@ def get_workload(name: str) -> Workload:
         raise WorkloadError(
             f"unknown workload {name!r}; available: {', '.join(ALL_WORKLOADS)}"
         ) from None
+
+
+#: Version stamp of the workload generators as a whole. Any change that
+#: alters the instruction stream a generator emits for a given
+#: (workload, seed, scale) MUST bump this — it is part of the on-disk
+#: program-cache key (see :func:`repro.isa.traceio.program_cache_path`),
+#: so stale archives are simply never looked up again.
+GENERATOR_VERSION = "1"
 
 
 def generate(name: str, *, seed: int = 1, scale: float = 1.0) -> Program:

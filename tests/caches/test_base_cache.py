@@ -127,7 +127,7 @@ class TestLineSourceRole:
         l2_cache, mem = make_cache(size=2048, assoc=2, line=128)
         mem.poke_word(BASE + 64, 55)
         resp = l2_cache.fetch(BASE + 64, 16, 0)
-        assert resp.avail.all()
+        assert resp.avail == (1 << 16) - 1
         assert resp.values[0] == 55
         assert resp.latency == 1 + 100  # L2 "hit latency" 1 + memory
 

@@ -1,18 +1,23 @@
 """Unit tests for the CPP physical frame (PA/AA/VCP flag machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.caches.compressed_frame import CompressedFrame
 from repro.errors import CacheProtocolError
+from repro.utils.bitmask import mask_bits
 
 
 def full(n=4, value=0):
-    return np.full(n, value, dtype=np.uint32)
+    return [value] * n
 
 
 def mask(bits):
-    return np.array([b == "1" for b in bits])
+    """Packed mask from a word-order string: char *i* = word *i*."""
+    m = 0
+    for i, b in enumerate(bits):
+        if b == "1":
+            m |= 1 << i
+    return m
 
 
 class TestInstall:
@@ -23,7 +28,7 @@ class TestInstall:
         assert f.line_no == 5
         assert f.n_primary_words == 4
         assert not f.dirty
-        assert not f.aa.any()
+        assert not f.aa
 
     def test_partial_install(self):
         f = CompressedFrame(4)
@@ -34,7 +39,7 @@ class TestInstall:
     def test_vcp_clamped_to_avail(self):
         f = CompressedFrame(4)
         f.install_primary(5, full(), mask("1100"), mask("1111"))
-        assert not f.vcp[2] and not f.vcp[3]
+        assert f.vcp == mask("1100")
 
     def test_negative_line_rejected(self):
         f = CompressedFrame(4)
@@ -44,10 +49,10 @@ class TestInstall:
     def test_invalidate_clears_everything(self):
         f = CompressedFrame(4)
         f.install_primary(5, full(), mask("1111"), mask("1111"))
-        f.aa[0] = True
+        f.aa |= 1
         f.dirty = True
         f.invalidate()
-        assert not f.valid and not f.pa.any() and not f.aa.any() and not f.dirty
+        assert not f.valid and not f.pa and not f.aa and not f.dirty
 
 
 class TestSpaceRule:
@@ -68,7 +73,8 @@ class TestSpaceRule:
         f.install_primary(5, full(), mask("1111"), mask("1010"))
         stored = f.set_affiliated_words(full(value=3), mask("1111"))
         assert stored == 2  # only the compressed-primary slots
-        assert list(f.aa) == [True, False, True, False]
+        assert f.aa == mask("1010")
+        assert mask_bits(f.aa) == [0, 2]
         assert f.avals[0] == 3
 
     def test_set_affiliated_words_replaces(self):
@@ -77,32 +83,32 @@ class TestSpaceRule:
         f.set_affiliated_words(full(value=1), mask("1111"))
         stored = f.set_affiliated_words(full(value=2), mask("1000"))
         assert stored == 1
-        assert list(f.aa) == [True, False, False, False]
+        assert f.aa == mask("1000")
 
 
 class TestLegality:
     def test_legal_frame_passes(self):
         f = CompressedFrame(4)
         f.install_primary(5, full(), mask("1111"), mask("1111"))
-        f.aa[1] = True
+        f.aa |= 1 << 1
         f.check_legal()
 
     def test_aa_over_uncompressed_primary_fails(self):
         f = CompressedFrame(4)
         f.install_primary(5, full(), mask("1111"), mask("0000"))
-        f.aa[0] = True
+        f.aa |= 1
         with pytest.raises(CacheProtocolError):
             f.check_legal()
 
     def test_vcp_without_pa_fails(self):
         f = CompressedFrame(4)
         f.install_primary(5, full(), mask("1100"), mask("1100"))
-        f.vcp[3] = True
+        f.vcp |= 1 << 3
         with pytest.raises(CacheProtocolError):
             f.check_legal()
 
     def test_invalid_frame_with_state_fails(self):
         f = CompressedFrame(4)
-        f.pa[0] = True
+        f.pa |= 1
         with pytest.raises(CacheProtocolError):
             f.check_legal()

@@ -119,7 +119,7 @@ class TestPrefetchViaCompression:
         cache.access(BASE, write=False)  # line0 fill; its affiliated (line1)
         # would be prefetchable, but line1 is already primary -> discarded.
         f = cache._find_primary(cache.line_no(BASE), touch=False)
-        assert f is not None and not f.aa.any()
+        assert f is not None and not f.aa
         assert cache.stats.prefetched_words == 0
         cache.check_invariants()
 
@@ -176,7 +176,7 @@ class TestWriteBehaviour:
         cache.access(BASE, write=False)
         cache.access(BASE, write=True, value=SMALL)
         f = cache._find_primary(cache.line_no(BASE), touch=False)
-        assert f.vcp[0]
+        assert f.vcp & 1
         cache.check_invariants()
 
     def test_write_miss_allocates(self):
@@ -246,9 +246,9 @@ class TestLineSourceRole:
         fill_memory(mem, BASE, 32, lambda i: SMALL + i)
         l2 = self.make_l2(mem)
         resp = l2.fetch(BASE, 16, 0, pair_addr=BASE + 64)
-        assert resp.avail.all()
+        assert resp.avail == (1 << 16) - 1
         assert resp.affil_values is not None
-        assert resp.affil_avail.all()  # other half fully compressible
+        assert resp.affil_avail == (1 << 16) - 1  # other half fully compressible
         assert list(resp.affil_values) == [SMALL + 16 + i for i in range(16)]
 
     def test_affiliated_payload_respects_pair_rule(self):
@@ -258,8 +258,8 @@ class TestLineSourceRole:
         l2 = self.make_l2(mem)
         resp = l2.fetch(BASE, 16, 0, pair_addr=BASE + 64)
         # Affiliated words ride only where the requested word compresses.
-        assert not resp.affil_avail[:4].any()
-        assert resp.affil_avail[4:].all()
+        assert resp.affil_avail & 0xF == 0
+        assert resp.affil_avail >> 4 == (1 << 12) - 1
 
     def test_no_payload_without_pair_request(self):
         mem = MainMemory(MemoryImage(), latency=100)
@@ -286,8 +286,8 @@ class TestLineSourceRole:
         l2.fetch(BASE, 16, 0)  # installs L2 line0 + AA of L2 line1 (even words)
         resp = l2.fetch(BASE + 128, 16, 0, now=0)
         assert resp.served_by == "l2-affiliated"
-        assert resp.avail[0]
-        assert not resp.avail.all()  # partial!
+        assert resp.avail & 1
+        assert resp.avail != (1 << 16) - 1  # partial!
         assert resp.latency == 11  # hit + affiliated extra
 
     def test_miss_when_requested_word_absent(self):
@@ -298,7 +298,7 @@ class TestLineSourceRole:
         l2.fetch(BASE, 16, 0)
         resp = l2.fetch(BASE + 128, 16, 1)  # word 1 is incompressible/absent
         assert resp.latency == 110  # full miss to memory
-        assert resp.avail.all()
+        assert resp.avail == (1 << 16) - 1
 
     def test_force_full_line_policy(self):
         mem = MainMemory(MemoryImage(), latency=100)

@@ -1,0 +1,70 @@
+"""Golden equivalence: the simulator must reproduce recorded results
+bit for bit.
+
+``tests/golden/golden_cells.json`` snapshots the lossless
+(:func:`result_to_full_dict`) form of every (config x small workload)
+cell, captured before the hot-path rewrite. These tests assert the
+current code produces identical output — cycles, cache stats, bus word
+counts, core metrics, the Welford accumulators behind Figure 15 —
+so optimizations cannot silently change simulated behaviour.
+
+If a cell fails after an *intentional* behaviour change, regenerate the
+fixture (``PYTHONPATH=src python tools/gen_golden.py``) in the same PR
+and call the change out in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.results_io import result_to_full_dict
+from repro.sim.runner import run_workload
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "golden_cells.json"
+)
+
+
+def _load_cells() -> dict[str, dict]:
+    payload = json.loads(GOLDEN_PATH.read_text("utf-8"))
+    return payload["cells"]
+
+
+_CELLS = _load_cells()
+
+
+def _parse_key(key: str) -> tuple[str, str, int, float, float]:
+    workload, config, seed, scale, miss = key.split("|")
+    return (
+        workload,
+        config,
+        int(seed.removeprefix("seed")),
+        float(scale.removeprefix("scale")),
+        float(miss.removeprefix("x")),
+    )
+
+
+@pytest.mark.parametrize("key", sorted(_CELLS))
+def test_golden_cell_bit_identical(key: str) -> None:
+    workload, config, seed, scale, miss_scale = _parse_key(key)
+    sim_config = SimConfig(cache_config=config).with_miss_scale(miss_scale)
+    result = run_workload(
+        workload, sim_config, seed=seed, scale=scale, use_cache=False
+    )
+    got = result_to_full_dict(result)
+    want = _CELLS[key]
+    # JSON round trip: exactly what the fixture stores (int/float/str
+    # survive bit for bit; tuples become lists).
+    got = json.loads(json.dumps(got))
+    assert got == want, f"golden mismatch for {key}"
+
+
+def test_golden_fixture_covers_all_builders() -> None:
+    from repro.caches.hierarchy import HIERARCHY_BUILDERS
+
+    configs = {_parse_key(k)[1] for k in _CELLS}
+    assert configs == set(HIERARCHY_BUILDERS)

@@ -67,3 +67,60 @@ class TestErrors:
         )
         with pytest.raises(TraceError):
             load_trace(path)
+
+
+class TestProgramArchives:
+    def test_program_roundtrip(self, tmp_path):
+        from repro.isa.traceio import load_program, save_program
+
+        prog = generate("olden.treeadd", seed=3, scale=0.05)
+        path = save_program(prog, tmp_path / "prog")
+        loaded = load_program(path)
+        assert loaded.name == prog.name
+        assert loaded.description == prog.description
+        assert loaded.params == prog.params
+        for col in ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken"):
+            assert np.array_equal(
+                getattr(loaded.trace, col), getattr(prog.trace, col)
+            ), col
+        assert loaded.final_image == prog.final_image
+
+    def test_program_without_image(self, tmp_path):
+        from repro.isa.traceio import load_program, save_program
+        from repro.workloads.base import Program
+
+        prog = generate("olden.treeadd", seed=1, scale=0.05)
+        bare = Program(name=prog.name, trace=prog.trace)
+        loaded = load_program(save_program(bare, tmp_path / "bare"))
+        assert loaded.final_image is None
+
+    def test_load_missing(self, tmp_path):
+        from repro.isa.traceio import load_program
+
+        with pytest.raises(TraceError):
+            load_program(tmp_path / "nope.npz")
+
+    def test_load_rejects_plain_trace_archive(self, tmp_path):
+        from repro.isa.traceio import load_program
+
+        path = save_trace(small_trace(), tmp_path / "t")
+        with pytest.raises(TraceError):
+            load_program(path)
+
+    def test_cache_path_encodes_full_key(self, tmp_path):
+        from repro.isa.traceio import program_cache_path
+
+        a = program_cache_path(
+            tmp_path, "olden.mst", seed=1, scale=0.5, generator_version="1"
+        )
+        b = program_cache_path(
+            tmp_path, "olden.mst", seed=2, scale=0.5, generator_version="1"
+        )
+        c = program_cache_path(
+            tmp_path, "olden.mst", seed=1, scale=0.5, generator_version="2"
+        )
+        d = program_cache_path(
+            tmp_path, "olden.mst", seed=1, scale=0.25, generator_version="1"
+        )
+        assert len({a, b, c, d}) == 4
+        assert a.parent == tmp_path

@@ -79,9 +79,8 @@ class TestBlocks:
 
     def test_masked_write_shape_checked(self, image):
         with pytest.raises(ValueError):
-            image.write_words_masked(
-                0, np.zeros(4, dtype=np.uint32), np.zeros(3, dtype=bool)
-            )
+            # Mask bit 3 selects a word beyond the 3-word value list.
+            image.write_words_masked(0, np.zeros(3, dtype=np.uint32), 0b1000)
 
     @given(
         st.lists(st.tuples(word_addrs, values), min_size=1, max_size=50),

@@ -56,3 +56,60 @@ class TestMatrix:
         direct = run_workload("olden.mst", "BC", scale=0.1)
         out = run_matrix(["olden.mst"], ["BC"], scale=0.1)
         assert out[("olden.mst", "BC")] is direct
+
+
+class TestDiskProgramCache:
+    @pytest.fixture(autouse=True)
+    def disk_cache(self, tmp_path):
+        runner.set_trace_cache_dir(tmp_path)
+        yield tmp_path
+        runner.set_trace_cache_dir(None)
+
+    def test_miss_writes_archive(self, disk_cache):
+        before = runner.memo_stats()
+        get_program("olden.treeadd", seed=1, scale=0.05)
+        after = runner.memo_stats()
+        assert after["program_misses"] == before["program_misses"] + 1
+        assert list(disk_cache.glob("*.npz"))
+
+    def test_fresh_process_simulation_hits_disk(self, disk_cache):
+        import numpy as np
+
+        prog = get_program("olden.treeadd", seed=1, scale=0.05)
+        clear_caches()  # simulate a new process: memo empty, disk warm
+        before = runner.memo_stats()
+        again = get_program("olden.treeadd", seed=1, scale=0.05)
+        after = runner.memo_stats()
+        assert after["program_disk_hits"] == before["program_disk_hits"] + 1
+        assert after["program_misses"] == before["program_misses"]
+        assert np.array_equal(again.trace.pc, prog.trace.pc)
+        assert np.array_equal(again.trace.value, prog.trace.value)
+        assert again.final_image == prog.final_image
+
+    def test_disk_loaded_program_simulates_identically(self, disk_cache):
+        fresh = run_workload("olden.treeadd", "CPP", scale=0.05)
+        clear_caches()
+        from_disk = run_workload("olden.treeadd", "CPP", scale=0.05)
+        assert from_disk.as_dict() == fresh.as_dict()
+
+    def test_generator_version_partitions_cache(self, disk_cache, monkeypatch):
+        get_program("olden.treeadd", seed=1, scale=0.05)
+        clear_caches()
+        monkeypatch.setattr(runner, "GENERATOR_VERSION", "test-bump")
+        before = runner.memo_stats()
+        get_program("olden.treeadd", seed=1, scale=0.05)
+        after = runner.memo_stats()
+        assert after["program_misses"] == before["program_misses"] + 1
+
+    def test_corrupt_archive_falls_back_to_generation(self, disk_cache):
+        get_program("olden.treeadd", seed=1, scale=0.05)
+        clear_caches()
+        for path in disk_cache.glob("*.npz"):
+            path.write_bytes(b"not an archive")
+        prog = get_program("olden.treeadd", seed=1, scale=0.05)
+        assert prog.n_instructions > 0
+
+    def test_disabled_by_default(self, tmp_path):
+        runner.set_trace_cache_dir(None)
+        get_program("olden.treeadd", seed=2, scale=0.05)
+        assert not list(tmp_path.glob("*.npz"))

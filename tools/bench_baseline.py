@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Measure, record, and gate full-machine simulator throughput.
+
+Drives the same scenario as
+``benchmarks/bench_micro_simulator.py::test_full_machine_instructions_per_second``
+(spec95.130.li, seed 1, scale 0.3, BC and CPP) and compares against the
+committed baseline ``BENCH_micro.json``:
+
+* ``--record``   — measure and (over)write the baseline file;
+* ``--check``    — measure and exit non-zero on regression: simulated
+  cycle counts must match the baseline **exactly** (the bit-identity
+  contract — any drift is a correctness bug, not noise), and throughput
+  must stay within ``--tolerance`` of the recorded insn/s (a band, since
+  shared CI runners are noisy);
+* ``--profile N`` — additionally run one CPP pass under cProfile and
+  print the N hottest functions;
+* no flags       — measure and print.
+
+Throughput is best-of-``--reps``: the maximum over repetitions estimates
+the machine's true speed with the least scheduling noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.machine import Machine  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+SCHEMA_VERSION = 1
+
+WORKLOAD = "spec95.130.li"
+SEED = 1
+SCALE = 0.3
+CONFIGS = ("BC", "CPP")
+
+
+def measure(reps: int) -> dict:
+    """Best-of-*reps* insn/s and cycle counts per config."""
+    program = generate(WORKLOAD, seed=SEED, scale=SCALE)
+    n = len(program.trace)
+    out: dict = {
+        "schema": SCHEMA_VERSION,
+        "workload": WORKLOAD,
+        "seed": SEED,
+        "scale": SCALE,
+        "instructions": n,
+        "reps": reps,
+        "configs": {},
+    }
+    for config in CONFIGS:
+        best = 0.0
+        cycles = None
+        for _ in range(reps):
+            machine = Machine(config)
+            t0 = time.perf_counter()
+            result = machine.run(program)
+            elapsed = time.perf_counter() - t0
+            best = max(best, n / elapsed)
+            cycles = result.cycles
+        out["configs"][config] = {
+            "insn_per_sec": round(best),
+            "cycles": cycles,
+        }
+    return out
+
+
+def render(measured: dict) -> str:
+    lines = [
+        f"{WORKLOAD} seed={SEED} scale={SCALE} "
+        f"({measured['instructions']} insns, best of {measured['reps']})"
+    ]
+    for config, cell in measured["configs"].items():
+        lines.append(
+            f"  {config:>4}: {cell['insn_per_sec']:>9,} insn/s"
+            f"  ({cell['cycles']:,} cycles)"
+        )
+    return "\n".join(lines)
+
+
+def check(measured: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression findings (empty = pass)."""
+    problems = []
+    for config in CONFIGS:
+        base = baseline["configs"].get(config)
+        cur = measured["configs"][config]
+        if base is None:
+            problems.append(f"{config}: missing from baseline; re-record")
+            continue
+        if cur["cycles"] != base["cycles"]:
+            problems.append(
+                f"{config}: simulated cycles changed "
+                f"{base['cycles']:,} -> {cur['cycles']:,} — the simulator's "
+                "output drifted; fix it or re-record the baseline deliberately"
+            )
+        floor = base["insn_per_sec"] * (1.0 - tolerance)
+        if cur["insn_per_sec"] < floor:
+            problems.append(
+                f"{config}: throughput {cur['insn_per_sec']:,} insn/s is below "
+                f"{floor:,.0f} (baseline {base['insn_per_sec']:,} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def profile_top(top_n: int) -> str:
+    """One CPP pass under cProfile; top-*top_n* functions by self time."""
+    import cProfile
+    import io
+    import pstats
+
+    program = generate(WORKLOAD, seed=SEED, scale=SCALE)
+    machine = Machine("CPP")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    machine.run(program)
+    profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(top_n)
+    return buf.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record", action="store_true", help=f"write {BASELINE_PATH.name}"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on regression against the committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional throughput drop for --check (default 0.5; "
+        "cycle counts are always compared exactly)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        help="repetitions per config; best is kept (default 5)",
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also cProfile one CPP run and print the top-N functions",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure(args.reps)
+    print(render(measured))
+
+    rc = 0
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run --record first")
+            rc = 1
+        else:
+            baseline = json.loads(BASELINE_PATH.read_text())
+            problems = check(measured, baseline, args.tolerance)
+            if problems:
+                print("\nPERF CHECK FAILED:")
+                for p in problems:
+                    print(f"  - {p}")
+                rc = 1
+            else:
+                print(
+                    f"\nperf check passed (tolerance {args.tolerance:.0%}, "
+                    "cycles exact)"
+                )
+    if args.record:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+    if args.profile:
+        print(profile_top(args.profile))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
