@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from repro.caches.compressed_frame import CompressedFrame
 from repro.caches.interface import AccessResult, FetchResponse, LineSource, MemoryPort
 from repro.caches.stats import CacheStats
+from repro.check.runtime import runtime_checks_enabled
 from repro.compression.fastscalar import compressibility_fn
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
 from repro.errors import CacheProtocolError, ConfigurationError
@@ -154,6 +155,14 @@ class CompressionCache:
             [CompressedFrame(self.line_words) for _ in range(assoc)]
             for _ in range(self.n_sets)
         ]
+        # Opt-in runtime audits (REPRO_CHECK=1 / --check): every mutating
+        # protocol operation re-verifies the structural invariants. The
+        # gate is one env lookup at construction, so the disabled path
+        # costs nothing per access.
+        if runtime_checks_enabled():
+            from repro.check.invariants import install_runtime_checks
+
+            install_runtime_checks(self)
 
     # ---- geometry ------------------------------------------------------------
 
@@ -315,13 +324,16 @@ class CompressionCache:
                 self.line_addr(self.affiliated_line(line_no)),
                 kind=kind,
             )
+            # affil_values is None when the partner line does not exist
+            # (outside the mapped image / address space): the fill then
+            # carries no prefetch payload rather than fabricating one.
             resp = FetchResponse(
                 values=values,
                 avail=self.full_mask,
                 latency=self.downstream.memory.latency,
                 served_by="memory",
                 affil_values=affil_values,
-                affil_avail=self.full_mask,
+                affil_avail=None if affil_values is None else self.full_mask,
             )
         else:
             resp = self.downstream.fetch(
@@ -362,8 +374,10 @@ class CompressionCache:
                     if resp_comp is not None
                     else self._comp_bits(line_no, pvals, new)
                 )
-            # Space rule may now exclude previously legal affiliated words.
-            illegal = frame.aa & frame.pa & ~frame.vcp
+            # Space rule may now exclude previously legal affiliated words
+            # (scheme-aware: a wide scheme's affiliated words may ride only
+            # in absent-primary slots, so any filled slot evicts them).
+            illegal = frame.aa & ~self._slot_mask(frame)
             if illegal:
                 self.stats.dropped_affiliated_words += illegal.bit_count()
                 frame.aa &= ~illegal
@@ -585,14 +599,17 @@ class CompressionCache:
             comp = self._is_comp(value, addr)
         if comp:
             frame.vcp |= bit
+            keeps_slot = self._pair_in_slot
         else:
             frame.vcp &= ~bit
-            if frame.aa & bit:
-                # Compressible -> incompressible transition: the primary word
-                # needs the full slot; the affiliated word is evicted (primary
-                # priority, §3.3). Affiliated words are always clean.
-                frame.aa &= ~bit
-                self.stats.dropped_affiliated_words += 1
+            keeps_slot = False
+        if not keeps_slot and frame.aa & bit:
+            # The primary word now needs the full slot (it became
+            # incompressible, or the scheme is too wide to pair two values
+            # in one slot); the affiliated word there is evicted (primary
+            # priority, §3.3). Affiliated words are always clean.
+            frame.aa &= ~bit
+            self.stats.dropped_affiliated_words += 1
         frame.dirty = True
 
     # ---- LineSource role (serving the level above) -------------------------------------------
@@ -757,7 +774,9 @@ class CompressionCache:
             else self._comp_bits(ln, pvals, line_mask)
         )
         frame.vcp = (frame.vcp & ~line_mask) | comp
-        conflict = frame.aa & line_mask & ~comp
+        # Primary priority (§3.3), scheme-aware: the written words reclaim
+        # any slot the space rule no longer lets an affiliated word share.
+        conflict = frame.aa & ~self._slot_mask(frame)
         if conflict:
             self.stats.dropped_affiliated_words += conflict.bit_count()
             frame.aa &= ~conflict
@@ -768,38 +787,23 @@ class CompressionCache:
     def check_invariants(self) -> None:
         """Audit all structural invariants; raises on violation.
 
-        * frame-local space legality (:meth:`CompressedFrame.check_legal`);
+        Delegates to :func:`repro.check.invariants.audit`, which verifies
+
+        * frame-local flag consistency and the scheme-aware space rule
+          (``AA`` within the legal slot mask for this scheme's width);
         * ``VCP`` equals true compressibility for every present primary word
           (the memo is in sync);
         * every ``AA`` word is genuinely compressible at its own address;
         * single-copy: no line is simultaneously a primary line and an
-          affiliated resident, and primary tags are unique.
+          affiliated resident, and primary tags are unique;
+        * replacement-state sanity (set sizes, distinct frames)
+
+        and raises :class:`repro.errors.InvariantViolation` (a
+        :class:`CacheProtocolError`) carrying a serialized frame dump.
         """
-        primaries: set[int] = set()
-        for ways in self._sets:
-            for frame in ways:
-                frame.check_legal()
-                if not frame.valid:
-                    continue
-                if frame.line_no in primaries:
-                    raise CacheProtocolError("duplicate primary line")
-                primaries.add(frame.line_no)
-                if frame.pa:
-                    comp = self._comp_bits(frame.line_no, frame.pvals, frame.pa)
-                    if frame.vcp != comp:
-                        raise CacheProtocolError("VCP out of sync with values")
-                if frame.aa:
-                    aff_no = self.affiliated_line(frame.line_no)
-                    acomp = self._comp_bits(aff_no, frame.avals, frame.aa)
-                    if frame.aa & ~acomp:
-                        raise CacheProtocolError("incompressible affiliated word")
-        for ways in self._sets:
-            for frame in ways:
-                if frame.valid and frame.aa:
-                    if self.affiliated_line(frame.line_no) in primaries:
-                        raise CacheProtocolError(
-                            "line present both as primary and affiliated"
-                        )
+        from repro.check.invariants import audit
+
+        audit(self)
 
     def flush(self) -> None:
         """Write back every dirty primary line and invalidate all frames.

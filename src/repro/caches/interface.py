@@ -31,7 +31,7 @@ from repro.compression.fastscalar import (
     packed_bus_words_masked,
 )
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
-from repro.errors import CacheProtocolError
+from repro.errors import CacheProtocolError, UnmappedAddressError
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
 from repro.memory.main_memory import MainMemory
@@ -240,18 +240,27 @@ class MemoryPort:
         affil_addr: int,
         *,
         kind: TrafficKind = TrafficKind.FILL,
-    ) -> tuple[list[int], list[int]]:
+    ) -> tuple[list[int], list[int] | None]:
         """CPP fill: demand line + affiliated line for one line of traffic.
 
         Returns ``(values, affil_values)``; which affiliated words actually
         fit in the freed slots is the *cache's* packing decision — the bus
         cost is a full single-line transfer either way.
+
+        ``affil_values`` is ``None`` when the affiliated line does not
+        exist: its address falls outside the 32-bit space (a pairing mask
+        pushing past the top line) or outside a strict memory image (the
+        partner of a segment's boundary line). The demand fill must not
+        fabricate a prefetch out of a nonexistent line.
         """
         line_bytes = n_words * WORD_BYTES
         if addr % line_bytes or affil_addr % line_bytes:
             raise CacheProtocolError("unaligned pair fetch")
         values = self.memory.image.read_words_list(addr, n_words)
-        affil_values = self.memory.image.read_words_list(affil_addr, n_words)
+        try:
+            affil_values = self.memory.image.read_words_list(affil_addr, n_words)
+        except UnmappedAddressError:
+            affil_values = None
         self.memory.bus.record(kind, n_words)
         self.memory.n_reads += 1
         return values, affil_values

@@ -1,0 +1,75 @@
+"""Differential correctness harness for the cache subsystem.
+
+The hot-path cache models (:mod:`repro.caches`) are heavily optimized —
+packed bitmask flags, memoized compressibility, allocation-free loops.
+This package is their safety net, in the tradition of SimpleScalar's
+``sim-safe`` / ``sim-outorder`` split:
+
+* :mod:`repro.check.reference` — an *obviously correct*, deliberately
+  naive reimplementation of the cache protocols (dict-based frames, no
+  bitmasks, classification recomputed on every use) mirroring the
+  :class:`~repro.caches.interface.LineSource` contract for every
+  evaluated configuration;
+* :mod:`repro.check.diff` — a :class:`DifferentialRunner` that drives
+  the real hierarchy and the reference in lockstep over access streams,
+  diffing hit/miss class, returned words, latency, flag-visible state,
+  statistics and bus traffic per access, with first-divergence stream
+  minimization (shrink a failing stream to a small repro);
+* :mod:`repro.check.invariants` — the opt-in runtime invariant layer
+  (``REPRO_CHECK=1`` or ``--check``): structural audits after every
+  mutating cache operation, raising typed
+  :class:`~repro.errors.InvariantViolation` with a frame dump;
+* ``tools/fuzz_cache.py`` — the seeded property fuzzer built on the
+  runner (configs x scheme widths x access patterns), wired into CI.
+
+Submodules are imported lazily: :mod:`repro.caches` imports
+:mod:`repro.check.runtime` for the enable gate, and the heavyweight
+modules here import :mod:`repro.caches` back, so eager imports would
+cycle.
+"""
+
+from __future__ import annotations
+
+from repro.check.runtime import ENV_VAR, runtime_checks_enabled, set_runtime_checks
+
+__all__ = [
+    "ENV_VAR",
+    "runtime_checks_enabled",
+    "set_runtime_checks",
+    "ReferenceCache",
+    "ReferenceClassicCache",
+    "ReferenceMemoryPort",
+    "ReferencePrefetchingCache",
+    "build_reference_hierarchy",
+    "DifferentialRunner",
+    "Divergence",
+    "Op",
+    "program_stream",
+    "random_stream",
+    "audit",
+    "install_runtime_checks",
+]
+
+_LAZY = {
+    "ReferenceCache": "repro.check.reference",
+    "ReferenceClassicCache": "repro.check.reference",
+    "ReferenceMemoryPort": "repro.check.reference",
+    "ReferencePrefetchingCache": "repro.check.reference",
+    "build_reference_hierarchy": "repro.check.reference",
+    "DifferentialRunner": "repro.check.diff",
+    "Divergence": "repro.check.diff",
+    "Op": "repro.check.diff",
+    "program_stream": "repro.check.diff",
+    "random_stream": "repro.check.diff",
+    "audit": "repro.check.invariants",
+    "install_runtime_checks": "repro.check.invariants",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

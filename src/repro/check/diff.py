@@ -1,0 +1,384 @@
+"""Lockstep differential runner: real hierarchy vs. naive reference.
+
+The runner builds two identical environments (same seeded memory image,
+same geometry and latency parameters), drives the optimized hierarchy
+from :mod:`repro.caches` and the naive twin from
+:mod:`repro.check.reference` with the same access stream, and after
+*every* access compares
+
+* the :class:`~repro.caches.interface.AccessResult` (latency, serving
+  level, loaded value),
+* every :class:`~repro.caches.stats.CacheStats` counter of both levels
+  (hit/miss class, affiliated hits, promotions, stashes, drops, ...),
+* bus traffic (words and transfer counts per
+  :class:`~repro.memory.bus.TrafficKind`) and memory read/write counts,
+
+and at end of stream flushes both sides and compares the resulting
+memory images word for word. The first mismatch is returned as a
+:class:`Divergence`; :meth:`DifferentialRunner.minimize` then shrinks
+the failing stream with a delta-debugging loop to a small reproducer.
+
+An exception raised by either side (e.g. a strict-image
+``UnmappedAddressError`` out of a boundary-line prefetch, or an
+``InvariantViolation`` from the runtime audit layer) is itself reported
+as a divergence — the reference is the oracle for "this stream is
+legal", so the real model has no business throwing on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.caches.hierarchy import HierarchyParams, build_hierarchy
+from repro.caches.stats import CacheStats
+from repro.check.reference import build_reference_hierarchy
+from repro.memory.bus import TrafficKind
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+from repro.utils.bitops import MASK32
+
+__all__ = [
+    "DifferentialRunner",
+    "Divergence",
+    "Op",
+    "program_stream",
+    "random_stream",
+]
+
+
+class Op:
+    """One CPU access of a differential stream."""
+
+    __slots__ = ("write", "addr", "value")
+
+    def __init__(self, write: bool, addr: int, value: int | None = None) -> None:
+        self.write = write
+        self.addr = addr
+        self.value = value
+
+    def __repr__(self) -> str:
+        if self.write:
+            return f"Op(store {self.addr:#x} <- {self.value:#x})"
+        return f"Op(load {self.addr:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Op)
+            and self.write == other.write
+            and self.addr == other.addr
+            and self.value == other.value
+        )
+
+
+@dataclass
+class Divergence:
+    """First observed disagreement between the real model and the reference.
+
+    ``index`` is the position in the stream where the mismatch surfaced
+    (``len(ops)`` means it surfaced at the end-of-stream flush/image
+    comparison); ``where`` names the compared quantity.
+    """
+
+    config: str
+    index: int
+    op: Op | None
+    where: str
+    real: object
+    ref: object
+    ops: list[Op] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable account of the mismatch plus the stream tail."""
+        lines = [
+            f"divergence in config {self.config} at op {self.index}"
+            + (f" ({self.op!r})" if self.op is not None else " (end of stream)"),
+            f"  {self.where}: real={self.real!r} reference={self.ref!r}",
+            f"  stream length {len(self.ops)}",
+        ]
+        tail = self.ops[max(0, self.index - 4) : self.index + 1]
+        for i, op in enumerate(tail, start=max(0, self.index - 4)):
+            lines.append(f"    [{i}] {op!r}")
+        return "\n".join(lines)
+
+
+class DifferentialRunner:
+    """Drive the real and reference hierarchies in lockstep.
+
+    Parameters
+    ----------
+    config:
+        One of the evaluated configuration names (``BC``/``BCC``/``HAC``/
+        ``BCP``/``CPP``).
+    image_factory:
+        Zero-argument callable returning a *fresh* identically-seeded
+        :class:`MemoryImage` per call; it is invoked once per side per
+        run (and repeatedly during minimization), so it must be
+        deterministic. Defaults to an empty non-strict image.
+    params:
+        :class:`HierarchyParams` for both sides (defaults to the paper's
+        geometry — use a tiny geometry for fuzzing so sets actually
+        conflict).
+    memory_latency:
+        Flat DRAM latency for both sides.
+    """
+
+    def __init__(
+        self,
+        config: str,
+        image_factory: Callable[[], MemoryImage] | None = None,
+        params: HierarchyParams | None = None,
+        *,
+        memory_latency: int = 100,
+    ) -> None:
+        self.config = config.upper()
+        self.image_factory = image_factory or MemoryImage
+        self.params = params or HierarchyParams()
+        self.memory_latency = memory_latency
+
+    # -- construction --
+
+    def _build(self):
+        real_memory = MainMemory(self.image_factory(), latency=self.memory_latency)
+        real = build_hierarchy(self.config, real_memory, self.params)
+        ref_memory = MainMemory(self.image_factory(), latency=self.memory_latency)
+        ref = build_reference_hierarchy(self.config, ref_memory, self.params)
+        return real, ref
+
+    # -- comparison --
+
+    @staticmethod
+    def _stats_mismatch(real_stats: CacheStats, ref_stats: CacheStats):
+        for name in CacheStats.COUNTER_FIELDS:
+            a = getattr(real_stats, name)
+            b = getattr(ref_stats, name)
+            if a != b:
+                return f"{real_stats.name or '?'}.{name}", a, b
+        if real_stats.extra != ref_stats.extra:
+            return f"{real_stats.name or '?'}.extra", dict(real_stats.extra), dict(
+                ref_stats.extra
+            )
+        return None
+
+    def _state_mismatch(self, real, ref):
+        for label, rs, fs in (
+            ("l1", real.l1_stats, ref.l1_stats),
+            ("l2", real.l2_stats, ref.l2_stats),
+        ):
+            found = self._stats_mismatch(rs, fs)
+            if found:
+                where, a, b = found
+                return f"stats.{label}.{where.split('.', 1)[-1]}", a, b
+        for kind in TrafficKind:
+            a = real.bus.words_by_kind[kind]
+            b = ref.bus.words_by_kind[kind]
+            if a != b:
+                return f"bus.words.{kind.value}", a, b
+            a = real.bus.transfers_by_kind[kind]
+            b = ref.bus.transfers_by_kind[kind]
+            if a != b:
+                return f"bus.transfers.{kind.value}", a, b
+        if real.memory.n_reads != ref.memory.n_reads:
+            return "memory.n_reads", real.memory.n_reads, ref.memory.n_reads
+        if real.memory.n_writes != ref.memory.n_writes:
+            return "memory.n_writes", real.memory.n_writes, ref.memory.n_writes
+        return None
+
+    # -- execution --
+
+    def run(
+        self, ops: list[Op], *, audit: bool = False
+    ) -> Divergence | None:
+        """Replay *ops* on both sides; return the first divergence or None.
+
+        With ``audit=True`` both hierarchies additionally re-verify their
+        structural invariants after every access (the same checks the
+        ``REPRO_CHECK=1`` runtime layer performs).
+        """
+        real, ref = self._build()
+        now = 0
+        for index, op in enumerate(ops):
+            found = self._step(real, ref, index, op, now, audit)
+            if found is not None:
+                found.ops = list(ops)
+                return found
+            now += self._last_latency
+        # End of stream: drain both sides and compare architectural memory.
+        try:
+            real.flush()
+            real_exc = None
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            real_exc = exc
+        try:
+            ref.flush()
+            ref_exc = None
+        except Exception as exc:  # noqa: BLE001
+            ref_exc = exc
+        if real_exc is not None or ref_exc is not None:
+            return Divergence(
+                self.config,
+                len(ops),
+                None,
+                "flush.exception",
+                repr(real_exc),
+                repr(ref_exc),
+                list(ops),
+            )
+        found = self._state_mismatch(real, ref)
+        if found:
+            where, a, b = found
+            return Divergence(self.config, len(ops), None, where, a, b, list(ops))
+        if real.memory.image != ref.memory.image:
+            return Divergence(
+                self.config,
+                len(ops),
+                None,
+                "memory.image",
+                "differs",
+                "differs",
+                list(ops),
+            )
+        return None
+
+    def _step(self, real, ref, index, op, now, audit) -> Divergence | None:
+        self._last_latency = 0
+
+        def drive(side):
+            if op.write:
+                return side.store(op.addr, op.value & MASK32, now)
+            return side.load(op.addr, now)
+
+        try:
+            r = drive(real)
+            if audit:
+                real.check_invariants()
+            real_exc = None
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            r, real_exc = None, exc
+        try:
+            f = drive(ref)
+            if audit:
+                ref.check_invariants()
+            ref_exc = None
+        except Exception as exc:  # noqa: BLE001
+            f, ref_exc = None, exc
+        if real_exc is not None or ref_exc is not None:
+            return Divergence(
+                self.config,
+                index,
+                op,
+                "exception",
+                repr(real_exc),
+                repr(ref_exc),
+            )
+        if r.latency != f.latency:
+            return Divergence(self.config, index, op, "latency", r.latency, f.latency)
+        if r.served_by != f.served_by:
+            return Divergence(
+                self.config, index, op, "served_by", r.served_by, f.served_by
+            )
+        if r.value != f.value:
+            return Divergence(self.config, index, op, "value", r.value, f.value)
+        found = self._state_mismatch(real, ref)
+        if found:
+            where, a, b = found
+            return Divergence(self.config, index, op, where, a, b)
+        self._last_latency = r.latency
+        return None
+
+    # -- minimization --
+
+    def minimize(
+        self, ops: list[Op], *, audit: bool = False
+    ) -> tuple[list[Op], Divergence]:
+        """Shrink a diverging stream to a (locally) minimal reproducer.
+
+        Delta debugging over the op list: repeatedly drop chunks, keeping
+        any candidate that still diverges (not necessarily with the same
+        symptom — any divergence is a bug), halving the chunk size until
+        single ops can't be removed. Deterministic given a deterministic
+        ``image_factory``.
+        """
+        if self.run(ops, audit=audit) is None:
+            raise ValueError("minimize() needs a stream that diverges")
+        current = list(ops)
+        chunk = max(1, len(current) // 2)
+        while True:
+            removed_any = False
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                if candidate and self.run(candidate, audit=audit) is not None:
+                    current = candidate
+                    removed_any = True
+                else:
+                    start += chunk
+            if not removed_any and chunk == 1:
+                break
+            if not removed_any:
+                chunk = max(1, chunk // 2)
+        final = self.run(current, audit=audit)
+        assert final is not None
+        return current, final
+
+
+# ---- stream generators -----------------------------------------------------
+
+
+def random_stream(
+    rng,
+    n_ops: int,
+    regions: list[tuple[int, int]],
+    *,
+    write_frac: float = 0.35,
+    scheme=None,
+) -> list[Op]:
+    """A randomized access stream over *regions* (``(base_addr, n_words)``).
+
+    Store values are drawn from a mix chosen to exercise every
+    classification branch of the compression scheme: small positives,
+    small negatives (sign-extension compressible), pointer-like values
+    sharing the address prefix, and arbitrary 32-bit junk — so stores
+    flip words between compressible and incompressible and force the
+    slot-reclamation paths.
+    """
+    payload = int(getattr(scheme, "payload_bits", 15)) if scheme is not None else 15
+    prefix_mask = MASK32 & ~((1 << payload) - 1)
+    ops: list[Op] = []
+    for _ in range(n_ops):
+        base, n_words = regions[rng.randrange(len(regions))]
+        addr = (base + 4 * rng.randrange(n_words)) & ~0x3
+        write = rng.random() < write_frac
+        value = None
+        if write:
+            pick = rng.random()
+            if pick < 0.35:
+                value = rng.randrange(0, 1 << max(1, payload - 1))
+            elif pick < 0.5:
+                value = (MASK32 ^ rng.randrange(0, 1 << max(1, payload - 1))) & MASK32
+            elif pick < 0.75:
+                value = (addr & prefix_mask) | rng.randrange(0, 1 << payload)
+            else:
+                value = rng.randrange(0, 1 << 32)
+        ops.append(Op(write, addr, value))
+    return ops
+
+
+def program_stream(program) -> list[Op]:
+    """The load/store sequence of a generated workload trace.
+
+    Replaying this stream from an empty image reconstructs the workload's
+    memory contents on both sides (the trace contains every store), so a
+    full-workload differential run needs no seeded image.
+    """
+    ops: list[Op] = []
+    for ins in program.trace:
+        if ins.is_store:
+            ops.append(Op(True, ins.addr, ins.value & MASK32))
+        elif ins.is_load:
+            ops.append(Op(False, ins.addr))
+    return ops
+
+
+def _iter_ops(ops: Iterable[Op]) -> list[Op]:  # pragma: no cover - convenience
+    return list(ops)

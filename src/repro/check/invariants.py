@@ -1,0 +1,207 @@
+"""Structural invariant audits for the compression cache (opt-in layer).
+
+:func:`audit` verifies every structural invariant of a
+:class:`~repro.caches.compression_cache.CompressionCache` against the
+*slow* classifier (``scheme.is_compressible``), independently of the
+inlined/memoized hot-path classifiers it is auditing. On a violation it
+raises :class:`~repro.errors.InvariantViolation` carrying a serialized
+dump of the frames involved, so a failure inside a long fuzz run or a
+full workload cell is debuggable offline.
+
+:func:`install_runtime_checks` arms a cache instance so that every
+mutating protocol operation (``access``, ``fetch``, ``write_back``,
+``flush``) re-audits on exit. It is installed per-instance at
+construction when ``REPRO_CHECK=1`` (see :mod:`repro.check.runtime`), so
+the disabled path pays exactly one environment lookup per cache build
+and nothing per access.
+
+Invariant list (the names appear in :class:`InvariantViolation`):
+
+``set-shape``
+    Every set holds exactly ``assoc`` distinct frames of the right width.
+``home-set``
+    A valid frame's primary line maps to the set that holds it.
+``idle-state``
+    An invalid frame carries no flags, values are ignored.
+``flag-domain``
+    ``VCP`` marks only present primary words (``VCP ⊆ PA``).
+``space-rule``
+    ``AA`` words sit only in legal slots for this scheme's width:
+    absent-primary slots always; compressed-primary slots only when two
+    compressed values fit one 32-bit slot.
+``vcp-memo``
+    The memoized ``VCP`` equals fresh classification of every present
+    primary word.
+``aa-compressible``
+    Every affiliated word is genuinely compressible at its own address.
+``unique-primary``
+    No two frames claim the same primary line.
+``single-copy``
+    No line is simultaneously a primary line and an affiliated resident.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+
+__all__ = ["audit", "frame_dump", "install_runtime_checks"]
+
+#: Mutating protocol operations re-audited by the runtime layer.
+_MUTATORS = ("access", "fetch", "write_back", "flush")
+
+
+def frame_dump(frame) -> dict:
+    """JSON-serializable state of one :class:`CompressedFrame`."""
+    return {
+        "line_no": frame.line_no,
+        "dirty": bool(frame.dirty),
+        "pa": f"{frame.pa:0{frame.n_words}b}",
+        "vcp": f"{frame.vcp:0{frame.n_words}b}",
+        "aa": f"{frame.aa:0{frame.n_words}b}",
+        "pvals": [int(v) for v in frame.pvals],
+        "avals": [int(v) for v in frame.avals],
+    }
+
+
+def _violation(cache, invariant: str, detail: str, set_idx: int, *frames):
+    return InvariantViolation(
+        invariant,
+        detail,
+        level=cache.name,
+        set_index=set_idx,
+        frames=[frame_dump(f) for f in frames],
+    )
+
+
+def audit(cache) -> None:
+    """Verify every structural invariant of *cache*; raise on violation."""
+    is_comp = cache.scheme.is_compressible
+    shift = cache.line_shift
+    primaries: dict[int, int] = {}  # line_no -> set index (for dumps)
+    affiliated: dict[int, tuple[int, object]] = {}  # resident affiliated lines
+    seen: set[int] = set()
+    for set_idx, ways in enumerate(cache._sets):
+        if len(ways) != cache.assoc:
+            raise _violation(
+                cache,
+                "set-shape",
+                f"set holds {len(ways)} ways, expected {cache.assoc}",
+                set_idx,
+            )
+        for frame in ways:
+            if id(frame) in seen:
+                raise _violation(
+                    cache, "set-shape", "frame aliased across ways", set_idx, frame
+                )
+            seen.add(id(frame))
+            if frame.n_words != cache.line_words:
+                raise _violation(
+                    cache,
+                    "set-shape",
+                    f"frame width {frame.n_words} != line {cache.line_words}",
+                    set_idx,
+                    frame,
+                )
+            if not frame.valid:
+                if frame.pa or frame.vcp or frame.aa or frame.dirty:
+                    raise _violation(
+                        cache, "idle-state", "invalid frame carries state", set_idx, frame
+                    )
+                continue
+            if frame.line_no & cache.set_mask != set_idx:
+                raise _violation(
+                    cache,
+                    "home-set",
+                    f"line {frame.line_no:#x} resident in foreign set",
+                    set_idx,
+                    frame,
+                )
+            if frame.vcp & ~frame.pa:
+                raise _violation(
+                    cache, "flag-domain", "VCP set for an absent primary word", set_idx, frame
+                )
+            if frame.aa & ~cache._slot_mask(frame):
+                raise _violation(
+                    cache,
+                    "space-rule",
+                    "affiliated word in a slot the scheme width cannot share",
+                    set_idx,
+                    frame,
+                )
+            if frame.line_no in primaries:
+                raise _violation(
+                    cache,
+                    "unique-primary",
+                    f"line {frame.line_no:#x} resident twice",
+                    set_idx,
+                    frame,
+                )
+            primaries[frame.line_no] = set_idx
+            base = frame.line_no << shift
+            m = frame.pa
+            while m:
+                low = m & -m
+                i = low.bit_length() - 1
+                m ^= low
+                fresh = bool(is_comp(frame.pvals[i], base + (i << 2)))
+                memo = bool(frame.vcp & low)
+                if memo != fresh:
+                    raise _violation(
+                        cache,
+                        "vcp-memo",
+                        f"word {i} of line {frame.line_no:#x}: memo says "
+                        f"{'compressible' if memo else 'incompressible'}, "
+                        f"value {frame.pvals[i]:#010x} is not",
+                        set_idx,
+                        frame,
+                    )
+            if frame.aa:
+                aff_no = cache.affiliated_line(frame.line_no)
+                aff_base = aff_no << shift
+                m = frame.aa
+                while m:
+                    low = m & -m
+                    i = low.bit_length() - 1
+                    m ^= low
+                    if not is_comp(frame.avals[i], aff_base + (i << 2)):
+                        raise _violation(
+                            cache,
+                            "aa-compressible",
+                            f"affiliated word {i} of line {aff_no:#x} "
+                            f"({frame.avals[i]:#010x}) is incompressible",
+                            set_idx,
+                            frame,
+                        )
+                affiliated[aff_no] = (set_idx, frame)
+    for aff_no, (set_idx, frame) in affiliated.items():
+        if aff_no in primaries:
+            raise _violation(
+                cache,
+                "single-copy",
+                f"line {aff_no:#x} is both a primary line and an affiliated resident",
+                set_idx,
+                frame,
+            )
+
+
+def install_runtime_checks(cache) -> None:
+    """Arm *cache*: re-audit after every mutating protocol operation.
+
+    Idempotent — installing twice wraps once. The wrappers live on the
+    instance, so unwrapped instances (the default) keep the plain class
+    methods and pay nothing.
+    """
+    if getattr(cache, "_repro_check_armed", False):
+        return
+    cache._repro_check_armed = True
+    for name in _MUTATORS:
+        inner = getattr(cache, name)
+
+        def checked(*args, __inner=inner, **kwargs):
+            out = __inner(*args, **kwargs)
+            audit(cache)
+            return out
+
+        checked.__name__ = f"checked_{name}"
+        checked.__doc__ = inner.__doc__
+        setattr(cache, name, checked)

@@ -1,0 +1,36 @@
+"""Runtime gate for the opt-in invariant layer.
+
+A deliberately tiny leaf module — :mod:`repro.caches.compression_cache`
+imports it at module load, so it must not (transitively) import any cache
+or simulator code.
+
+The gate is the ``REPRO_CHECK`` environment variable, read once per cache
+construction. Using the environment (rather than a Python global) means
+the supervised matrix workers of :mod:`repro.sim.fault` inherit the
+setting for free, so ``REPRO_CHECK=1 python -m repro.experiments ...``
+audits every cell even when cells run in forked subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENV_VAR", "runtime_checks_enabled", "set_runtime_checks"]
+
+ENV_VAR = "REPRO_CHECK"
+
+_OFF = ("", "0", "false", "off", "no")
+
+
+def runtime_checks_enabled() -> bool:
+    """Is the runtime invariant layer switched on (``REPRO_CHECK=1``)?"""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _OFF
+
+
+def set_runtime_checks(on: bool) -> None:
+    """Programmatic switch (the ``--check`` CLI flag): sets the env var
+    so forked workers inherit the decision."""
+    if on:
+        os.environ[ENV_VAR] = "1"
+    else:
+        os.environ.pop(ENV_VAR, None)

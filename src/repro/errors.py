@@ -16,6 +16,7 @@ __all__ = [
     "AllocationError",
     "TraceError",
     "CacheProtocolError",
+    "InvariantViolation",
     "WorkloadError",
     "ExperimentError",
     "CellTimeoutError",
@@ -74,6 +75,45 @@ class CacheProtocolError(ReproError):
     the level-to-level protocol), never user error; they are raised eagerly
     so model bugs surface as failures instead of silently skewing results.
     """
+
+
+class InvariantViolation(CacheProtocolError):
+    """A structural cache invariant failed an explicit audit.
+
+    Raised by :func:`repro.check.invariants.audit` (and therefore by the
+    ``REPRO_CHECK=1`` runtime layer) with enough captured state to debug
+    the violation offline: the invariant name, the cache level, the
+    offending set index, and a serialized dump of the frames involved.
+    Subclasses :class:`CacheProtocolError`, so existing callers that
+    treat protocol errors as model bugs keep working.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        level: str = "?",
+        set_index: int | None = None,
+        frames: list | None = None,
+    ) -> None:
+        where = f"{level}" + (f" set {set_index}" if set_index is not None else "")
+        super().__init__(f"[{invariant}] {detail} ({where})")
+        self.invariant = invariant
+        self.detail = detail
+        self.level = level
+        self.set_index = set_index
+        self.frames = list(frames or [])
+
+    def dump(self) -> dict:
+        """JSON-serializable record of the violation (for repro reports)."""
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "level": self.level,
+            "set_index": self.set_index,
+            "frames": self.frames,
+        }
 
 
 class WorkloadError(ReproError):

@@ -128,6 +128,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the campaign under cProfile and print the N hottest "
         "functions next to the phase breakdown",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="audit every cache's structural invariants after every "
+        "mutating operation (same as REPRO_CHECK=1; slow, for debugging "
+        "and CI correctness cells)",
+    )
     return parser
 
 
@@ -206,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
     it produces a rendered report with holes and a failure summary.
     """
     args = _build_parser().parse_args(argv)
+    if args.check:
+        from repro.check.runtime import set_runtime_checks
+
+        set_runtime_checks(True)
     figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
     sim_figures = [f for f in figures if f not in _NO_MATRIX_FIGURES]
     profiler = None

@@ -1,0 +1,226 @@
+"""Tests for the structural invariant layer (repro.check.invariants).
+
+Each invariant is exercised both ways: a legitimately driven cache
+passes the full audit, and a hand-corrupted frame trips exactly the
+named invariant with a debuggable :class:`InvariantViolation` (typed
+fields plus a JSON-serializable frame dump). The runtime arming path
+(``REPRO_CHECK=1`` / ``set_runtime_checks``) and its zero-cost disabled
+default are covered at the end.
+"""
+
+import json
+
+import pytest
+
+from repro.caches.compression_cache import CompressionCache, CPPPolicy
+from repro.caches.interface import MemoryPort
+from repro.check.invariants import audit, frame_dump, install_runtime_checks
+from repro.check.runtime import (
+    ENV_VAR,
+    runtime_checks_enabled,
+    set_runtime_checks,
+)
+from repro.errors import InvariantViolation
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+LINE = 64  # 16 words
+BIG = 0xDEAD_BEEF  # incompressible at heap addresses
+
+
+def make_cpp(*, size=512, assoc=2):
+    mem = MainMemory(MemoryImage(), latency=100)
+    cache = CompressionCache(
+        "C",
+        size_bytes=size,
+        assoc=assoc,
+        line_bytes=LINE,
+        hit_latency=1,
+        downstream=MemoryPort(mem, writeback_compressed=True),
+        policy=CPPPolicy(),
+    )
+    return cache, mem
+
+
+def seed_pair(mem, base=BASE):
+    """Two adjacent small-valued lines: a fill of one prefetches the other."""
+    for i in range(2 * LINE // 4):
+        mem.poke_word(base + 4 * i, 40 + i)
+
+
+def frame_with_affiliated(cache, mem):
+    """Fill BASE so its frame holds affiliated words of BASE+LINE."""
+    seed_pair(mem)
+    cache.access(BASE, write=False)
+    frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+    assert frame.aa, "fixture should have prefetched affiliated words"
+    return frame
+
+
+class TestAuditPasses:
+    def test_on_a_fresh_cache(self):
+        cache, _ = make_cpp()
+        audit(cache)
+
+    def test_after_a_mixed_workout(self):
+        cache, mem = make_cpp()
+        for i in range(64):
+            mem.poke_word(BASE + 4 * i, 7 * i if i % 3 else BIG)
+        for i in range(64):
+            cache.access(BASE + 4 * i, write=False)
+            if i % 2:
+                cache.access(BASE + 4 * i, write=True, value=BIG + i)
+            audit(cache)
+
+
+def expect(invariant, cache):
+    with pytest.raises(InvariantViolation) as excinfo:
+        audit(cache)
+    assert excinfo.value.invariant == invariant
+    return excinfo.value
+
+
+class TestEachInvariantFires:
+    def test_flag_domain(self):
+        cache, mem = make_cpp()
+        seed_pair(mem)
+        cache.access(BASE, write=False)
+        frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+        frame.pa &= ~1  # word 0 absent but its VCP bit survives
+        expect("flag-domain", cache)
+
+    def test_space_rule(self):
+        cache, mem = make_cpp()
+        frame = frame_with_affiliated(cache, mem)
+        slot = (frame.aa & -frame.aa).bit_length() - 1
+        frame.pvals[slot] = BIG  # incompressible primary now needs the slot
+        frame.vcp &= ~(1 << slot)
+        expect("space-rule", cache)
+
+    def test_vcp_memo(self):
+        cache, mem = make_cpp()
+        seed_pair(mem)
+        cache.access(BASE, write=False)
+        frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+        frame.pvals[0] = BIG  # memo still says compressible
+        violation = expect("vcp-memo", cache)
+        assert "word 0" in violation.detail
+
+    def test_aa_compressible(self):
+        cache, mem = make_cpp()
+        frame = frame_with_affiliated(cache, mem)
+        slot = (frame.aa & -frame.aa).bit_length() - 1
+        frame.avals[slot] = BIG
+        expect("aa-compressible", cache)
+
+    def test_home_set(self):
+        cache, mem = make_cpp()
+        seed_pair(mem)
+        cache.access(BASE, write=False)
+        frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+        frame.line_no ^= 1  # maps to the other set now
+        expect("home-set", cache)
+
+    def test_unique_primary(self):
+        cache, mem = make_cpp(assoc=2)
+        seed_pair(mem)
+        cache.access(BASE, write=False)
+        ways = cache._sets[cache.set_index(cache.line_no(BASE))]
+        ways[1].install_primary(
+            ways[0].line_no, list(ways[0].pvals), ways[0].pa, ways[0].vcp
+        )
+        expect("unique-primary", cache)
+
+    def test_idle_state(self):
+        cache, _ = make_cpp()
+        frame = cache._sets[0][0]
+        frame.dirty = True
+        expect("idle-state", cache)
+
+    def test_single_copy(self):
+        cache, mem = make_cpp(assoc=2)
+        frame = frame_with_affiliated(cache, mem)
+        aff_no = cache.affiliated_line(frame.line_no)
+        ways = cache._sets[cache.set_index(aff_no)]
+        other = ways[1]
+        other.install_primary(aff_no, [1] * cache.line_words, 1, 1)
+        expect("single-copy", cache)
+
+    def test_set_shape(self):
+        cache, _ = make_cpp()
+        cache._sets[0].append(cache._sets[0][0])
+        expect("set-shape", cache)
+
+
+class TestViolationPayload:
+    def test_carries_typed_fields_and_serializable_dump(self):
+        cache, mem = make_cpp()
+        seed_pair(mem)
+        cache.access(BASE, write=False)
+        frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+        frame.pvals[0] = BIG
+        with pytest.raises(InvariantViolation) as excinfo:
+            audit(cache)
+        violation = excinfo.value
+        assert violation.level == "C"
+        assert violation.set_index is not None
+        assert violation.frames, "dump should include the offending frame"
+        text = json.dumps(violation.dump())
+        assert "vcp-memo" in text
+
+    def test_frame_dump_is_json_serializable(self):
+        cache, mem = make_cpp()
+        frame = frame_with_affiliated(cache, mem)
+        dump = frame_dump(frame)
+        round_tripped = json.loads(json.dumps(dump))
+        assert round_tripped["line_no"] == frame.line_no
+        assert len(round_tripped["pa"]) == frame.n_words
+
+
+class TestRuntimeLayer:
+    def test_disabled_cache_keeps_plain_class_methods(self):
+        cache, _ = make_cpp()
+        # Zero-overhead claim: no per-instance wrappers unless armed.
+        for name in ("access", "fetch", "write_back", "flush"):
+            assert name not in vars(cache)
+
+    def test_armed_cache_audits_after_every_mutator(self):
+        cache, mem = make_cpp()
+        install_runtime_checks(cache)
+        assert vars(cache)["access"].__name__ == "checked_access"
+        seed_pair(mem)
+        cache.access(BASE, write=False)  # audits and passes
+        # Corrupt, then let the next mutation surface it.
+        frame = cache._sets[cache.set_index(cache.line_no(BASE))][0]
+        frame.pvals[0] = BIG
+        with pytest.raises(InvariantViolation):
+            cache.access(BASE + LINE * 8, write=False)
+
+    def test_install_is_idempotent(self):
+        cache, _ = make_cpp()
+        install_runtime_checks(cache)
+        wrapped = cache.access
+        install_runtime_checks(cache)
+        assert cache.access is wrapped
+
+    def test_set_runtime_checks_arms_new_instances(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not runtime_checks_enabled()
+        set_runtime_checks(True)
+        try:
+            assert runtime_checks_enabled()
+            cache, _ = make_cpp()
+            assert getattr(cache, "_repro_check_armed", False)
+        finally:
+            set_runtime_checks(False)
+        assert not runtime_checks_enabled()
+        cache, _ = make_cpp()
+        assert not getattr(cache, "_repro_check_armed", False)
+
+    def test_env_gate_spellings(self, monkeypatch):
+        for off in ("", "0", "false", "OFF", "no"):
+            monkeypatch.setenv(ENV_VAR, off)
+            assert not runtime_checks_enabled()
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert runtime_checks_enabled()

@@ -1,0 +1,216 @@
+"""Write-path (§3.3) and image-boundary pairing tests for the CPP cache.
+
+The paper's §3.3 write rules: a store to a word resident only as an
+affiliated copy promotes the affiliated line to a primary place *before*
+writing (affiliated words are never dirty), and a store that makes a
+word incompressible reclaims the whole slot for the primary word, so no
+stale affiliated copy can ever be served. Every scenario here ends with
+a full structural audit, so "no stale copy" is asserted by the invariant
+layer rather than by spot checks alone.
+
+The boundary tests cover the affiliated-pairing edge at the end of a
+mapped image: the partner of a segment's last line (``line XOR 0x1``)
+does not exist, and the fill must not fabricate words out of it.
+"""
+
+import pytest
+
+from repro.caches.compression_cache import CompressionCache, CPPPolicy
+from repro.caches.interface import MemoryPort
+from repro.check.invariants import audit
+from repro.errors import UnmappedAddressError
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+BASE = 0x1000_0000
+LINE = 64  # 16 words
+WORDS = LINE // 4
+BIG = 0xDEAD_BEEF  # incompressible at heap addresses
+SMALL = 42
+
+
+def make_cpp(mem=None, *, size=512, assoc=1):
+    mem = mem or MainMemory(MemoryImage(), latency=100)
+    cache = CompressionCache(
+        "C",
+        size_bytes=size,
+        assoc=assoc,
+        line_bytes=LINE,
+        hit_latency=1,
+        downstream=MemoryPort(mem, writeback_compressed=True),
+        policy=CPPPolicy(),
+    )
+    return cache, mem
+
+
+def seed_small_pair(mem, base=BASE):
+    for i in range(2 * WORDS):
+        mem.poke_word(base + 4 * i, SMALL + i)
+
+
+class TestWritePromotesAffiliated:
+    def test_store_to_affiliated_word_promotes_first(self):
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        target = BASE + LINE + 4  # word 1 of the affiliated line
+        assert cache.probe_word(target) == "affiliated"
+        result = cache.access(target, write=True, value=7)
+        # Promotion happened before the write landed (§3.3): the line now
+        # occupies a primary place and the store is a (slower) hit there.
+        assert cache.probe_word(target) == "primary"
+        assert cache.stats.promotions == 1
+        assert result.latency == cache.hit_latency + 1  # affiliated penalty
+        audit(cache)
+
+    def test_promoted_write_is_readable_and_dirty(self):
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        target = BASE + LINE + 4
+        cache.access(target, write=True, value=7)
+        assert cache.access(target, write=False).value == 7
+        frame = cache._find_primary(cache.line_no(target), touch=False)
+        assert frame.dirty
+        audit(cache)
+
+    def test_promotion_leaves_no_affiliated_residue(self):
+        # After promotion the old holder must not keep ANY copy of the
+        # promoted line (single-copy), and the flush must write back the
+        # stored value, not the stale prefetched one.
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        target = BASE + LINE + 4
+        cache.access(target, write=True, value=7)
+        holder = cache._find_primary(cache.line_no(BASE), touch=False)
+        if holder is not None:  # may have been evicted by the promotion
+            assert holder.aa == 0
+        audit(cache)  # single-copy is one of the audited invariants
+        cache.flush()
+        assert mem.image.read_word(target) == 7
+
+    def test_promote_in_single_set_cache(self):
+        # n_sets == 1: the promoted line lands in the same (only) set that
+        # holds the old holder — the edge where victim choice could pick
+        # the holder itself.
+        cache, mem = make_cpp(size=128, assoc=2)  # 2 ways, 1 set
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        target = BASE + LINE + 8
+        assert cache.probe_word(target) == "affiliated"
+        cache.access(target, write=True, value=9)
+        assert cache.probe_word(target) == "primary"
+        assert cache.access(target, write=False).value == 9
+        audit(cache)
+
+
+class TestIncompressibleStoreReclaimsSlot:
+    def test_store_drops_the_affiliated_sharer(self):
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        shared = BASE + LINE  # word 0 affiliated copy rides in slot 0
+        assert cache.probe_word(shared) == "affiliated"
+        cache.access(BASE, write=True, value=BIG)  # slot 0 now needed in full
+        assert cache.probe_word(shared) is None
+        assert cache.stats.dropped_affiliated_words == 1
+        audit(cache)
+
+    def test_dropped_word_is_refetched_not_served_stale(self):
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        shared = BASE + LINE
+        mem.poke_word(shared, 4321)  # memory moved on; stale copy differs
+        cache.access(BASE, write=True, value=BIG)
+        reads_before = mem.n_reads
+        result = cache.access(shared, write=False)
+        assert result.value == 4321  # fresh from memory, not the stale 42
+        assert mem.n_reads > reads_before
+        audit(cache)
+
+    def test_compressible_store_keeps_the_sharer(self):
+        cache, mem = make_cpp()
+        seed_small_pair(mem)
+        cache.access(BASE, write=False)
+        shared = BASE + LINE
+        cache.access(BASE, write=True, value=SMALL + 99)  # still compressible
+        assert cache.probe_word(shared) == "affiliated"
+        assert cache.stats.dropped_affiliated_words == 0
+        audit(cache)
+
+
+class TestImageBoundaryPairing:
+    """The affiliated partner of a mapped image's boundary line does not
+    exist and must not be fabricated.
+
+    Strict images are page-granular (4 KB), and the paper's ``line ^ 1``
+    pairing never crosses a page, so the edge is exercised with a wider
+    pairing mask (``line ^ 64`` = one page apart for 64-byte lines) that
+    makes the last mapped page's lines pair into the unmapped void —
+    plus a direct :meth:`MemoryPort.fetch_pair` probe of the same edge.
+    """
+
+    PAGE = 4096
+    PAGE_LINES = PAGE // LINE  # 64: also the pairing mask used here
+
+    def make_strict(self, n_pages=1):
+        img = MemoryImage(strict=True)
+        for i in range(n_pages * self.PAGE // 4):
+            img.write_word(BASE + 4 * i, SMALL + i % 1000)
+        mem = MainMemory(img, latency=100)
+        cache = CompressionCache(
+            "C",
+            size_bytes=512,
+            assoc=1,
+            line_bytes=LINE,
+            hit_latency=1,
+            downstream=MemoryPort(mem, writeback_compressed=True),
+            policy=CPPPolicy(mask=self.PAGE_LINES),
+        )
+        return cache, mem
+
+    def test_boundary_fill_does_not_fabricate_the_partner(self):
+        cache, mem = self.make_strict(n_pages=1)
+        result = cache.access(BASE, write=False)  # partner page is unmapped
+        assert result.value == SMALL
+        frame = cache._find_primary(cache.line_no(BASE), touch=False)
+        assert frame.pa  # the demand fill itself succeeded in full
+        assert frame.aa == 0  # nothing prefetched out of the void
+        assert cache.probe_word(BASE + self.PAGE) is None
+        assert cache.stats.prefetched_words == 0
+        audit(cache)
+
+    def test_interior_fill_still_prefetches(self):
+        cache, _ = self.make_strict(n_pages=2)  # partner page mapped
+        cache.access(BASE, write=False)
+        assert cache.probe_word(BASE + self.PAGE) == "affiliated"
+        assert cache.stats.prefetched_words > 0
+        audit(cache)
+
+    def test_port_fetch_pair_returns_none_for_unmapped_partner(self):
+        _, mem = self.make_strict(n_pages=1)
+        port = MemoryPort(mem)
+        values, affil = port.fetch_pair(BASE, WORDS, BASE + self.PAGE)
+        assert values[0] == SMALL
+        assert affil is None
+
+    def test_port_fetch_pair_returns_values_for_mapped_partner(self):
+        _, mem = self.make_strict(n_pages=2)
+        port = MemoryPort(mem)
+        values, affil = port.fetch_pair(BASE, WORDS, BASE + self.PAGE)
+        assert affil is not None
+        assert affil[0] == SMALL + (self.PAGE // 4) % 1000
+
+    def test_strict_image_still_rejects_direct_unmapped_reads(self):
+        _, mem = self.make_strict(n_pages=1)
+        with pytest.raises(UnmappedAddressError):
+            mem.image.read_word(BASE + self.PAGE)
+
+    def test_boundary_line_write_and_flush_round_trip(self):
+        cache, mem = self.make_strict(n_pages=1)
+        cache.access(BASE, write=True, value=1234)
+        audit(cache)
+        cache.flush()
+        assert mem.image.read_word(BASE) == 1234

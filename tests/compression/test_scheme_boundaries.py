@@ -1,0 +1,159 @@
+"""Exhaustive classification-boundary tests across scheme widths.
+
+The width ablation sweeps ``payload_bits`` well away from the paper's 15,
+and every classifier in the tree — the reference
+:class:`CompressionScheme`, the inlined scalar fast path of
+:mod:`repro.compression.fastscalar`, the NumPy classifier of
+:mod:`repro.compression.vectorized` and the codec — must agree *at the
+edges*: ``small_min``/``small_max`` and one beyond, pointer prefixes that
+match exactly or differ in just the lowest prefix bit, and the
+degenerate widths 1 and 30. One silent off-by-one here skews every
+ablation figure, so the boundary set is enumerated per width and checked
+against all four implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.codec import compress_word, decompress_word
+from repro.compression.fastscalar import compressibility_fn
+from repro.compression.scheme import CompressClass, CompressionScheme, PAPER_SCHEME
+from repro.compression.vectorized import compressible_mask
+from repro.errors import ConfigurationError
+from repro.utils.bitops import MASK32
+
+WIDTHS = [1, 2, 8, 12, 15, 20, 24, 29, 30]
+
+ADDRS = [0x1000_0000, 0x0000_0000, 0x7FFF_FFFC, 0xFFFF_FFFC]
+
+
+def boundary_values(scheme: CompressionScheme, addr: int) -> list[int]:
+    """The classification edges for one (scheme, address) pair."""
+    width = scheme.payload_bits
+    prefix = addr & ~((1 << width) - 1) & MASK32
+    values = {
+        0,
+        1,
+        scheme.small_max,  # largest small positive
+        (scheme.small_max + 1) & MASK32,  # first non-small positive
+        scheme.small_min & MASK32,  # most negative small
+        (scheme.small_min - 1) & MASK32,  # first non-small negative
+        MASK32,  # -1: always small
+        prefix,  # pointer with zero payload
+        prefix | ((1 << width) - 1),  # pointer with max payload
+        MASK32 & (prefix ^ (1 << width)),  # prefix off by its lowest bit
+    }
+    return sorted(values)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+class TestClassifierAgreement:
+    def test_scalar_fast_path_matches_reference(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        fast = compressibility_fn(scheme)
+        for addr in ADDRS:
+            for value in boundary_values(scheme, addr):
+                assert fast(value, addr) == scheme.is_compressible(value, addr), (
+                    f"width={width} value={value:#010x} addr={addr:#010x}"
+                )
+
+    def test_vectorized_matches_reference(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        for addr in ADDRS:
+            values = boundary_values(scheme, addr)
+            got = compressible_mask(
+                np.array(values, dtype=np.uint32),
+                np.full(len(values), addr, dtype=np.uint32),
+                scheme,
+            )
+            want = [scheme.is_compressible(v, addr) for v in values]
+            assert list(got) == want, f"width={width} addr={addr:#010x}"
+
+    def test_codec_round_trips_every_compressible_boundary(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        for addr in ADDRS:
+            for value in boundary_values(scheme, addr):
+                word = compress_word(value, addr, scheme)
+                assert (word is None) == (not scheme.is_compressible(value, addr))
+                if word is not None:
+                    back = decompress_word(word, addr, scheme) & MASK32
+                    assert back == value, (
+                        f"width={width} value={value:#010x} addr={addr:#010x}"
+                    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+class TestSmallValueEdges:
+    def test_small_range_is_exactly_the_twos_complement_window(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        assert scheme.is_small(scheme.small_max)
+        assert not scheme.is_small(scheme.small_max + 1)
+        assert scheme.is_small(scheme.small_min & MASK32)
+        assert not scheme.is_small((scheme.small_min - 1) & MASK32)
+        assert scheme.is_small(0)
+        assert scheme.is_small(MASK32)  # -1
+
+    def test_small_window_geometry(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        assert scheme.small_max == (1 << (width - 1)) - 1
+        assert scheme.small_min == -(1 << (width - 1))
+        assert scheme.small_check_bits == 32 - width + 1
+        assert scheme.compressed_bits == width + 1
+        assert scheme.pointer_prefix_bits + width == 32
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+class TestPointerEdges:
+    def test_prefix_equality_is_exact(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        addr = 0x7FFF_FFFC
+        prefix = addr & ~((1 << width) - 1) & MASK32
+        assert scheme.is_pointer(prefix, addr)
+        assert scheme.is_pointer(prefix | ((1 << width) - 1), addr)
+        off_by_lowest_prefix_bit = MASK32 & (prefix ^ (1 << width))
+        assert not scheme.is_pointer(off_by_lowest_prefix_bit, addr)
+
+    def test_pointer_chunk_size(self, width):
+        scheme = CompressionScheme(payload_bits=width)
+        assert scheme.pointer_chunk_bytes == 1 << width
+        # Two addresses one chunk apart never see each other's pointers.
+        a = 0x4000_0000
+        b = (a + scheme.pointer_chunk_bytes) & MASK32
+        assert not scheme.is_pointer(b, a) or scheme.is_small(b)
+
+
+class TestAttribution:
+    def test_small_wins_over_pointer(self):
+        # A zero value is both small and (at a low address) prefix-equal;
+        # the hardware reports SMALL.
+        scheme = PAPER_SCHEME
+        assert scheme.classify(0, 0x0000_0004) is CompressClass.SMALL
+
+    def test_pointer_only_values_classify_as_pointer(self):
+        scheme = PAPER_SCHEME
+        addr = 0x1000_0000
+        value = (addr & ~0x7FFF) | 0x1234
+        assert not scheme.is_small(value)
+        assert scheme.classify(value, addr) is CompressClass.POINTER
+
+    def test_incompressible(self):
+        assert (
+            PAPER_SCHEME.classify(0xDEAD_BEEF, 0x1000_0000)
+            is CompressClass.INCOMPRESSIBLE
+        )
+
+
+class TestWidthValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 31, 32, 64])
+    def test_out_of_range_widths_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            CompressionScheme(payload_bits=bad)
+
+    def test_paper_scheme_is_the_documented_instance(self):
+        assert PAPER_SCHEME.payload_bits == 15
+        assert PAPER_SCHEME.compressed_bits == 16
+        assert PAPER_SCHEME.pointer_prefix_bits == 17
+        assert PAPER_SCHEME.small_check_bits == 18
+        assert PAPER_SCHEME.small_min == -16384
+        assert PAPER_SCHEME.small_max == 16383
+        assert PAPER_SCHEME.pointer_chunk_bytes == 32 * 1024

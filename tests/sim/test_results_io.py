@@ -1,5 +1,7 @@
 """Tests for result serialization."""
 
+import math
+
 import pytest
 
 from repro.errors import ExperimentError
@@ -175,3 +177,76 @@ class TestErrors:
         path.write_text('{"not": "a list"}')
         with pytest.raises(ExperimentError):
             load_results_json(path)
+
+
+class TestNonFiniteFloats:
+    """Checkpoint round-trips must survive NaN and ±Infinity.
+
+    A degenerate cell (zero cycles, an empty ready queue, a crashed
+    run's sentinel metrics) can legitimately put non-finite floats into
+    ``params``, ``CacheStats.extra`` or a running mean; Python's JSON
+    emits ``NaN``/``Infinity`` literals and reads them back, and the
+    serializers must not mangle them into nulls or strings. NaN compares
+    unequal to itself, so these tests compare identity-aware.
+    """
+
+    @staticmethod
+    def nan_aware_equal(a, b):
+        if isinstance(a, float) and isinstance(b, float):
+            return (math.isnan(a) and math.isnan(b)) or a == b
+        if isinstance(a, dict) and isinstance(b, dict):
+            return a.keys() == b.keys() and all(
+                TestNonFiniteFloats.nan_aware_equal(a[k], b[k]) for k in a
+            )
+        if isinstance(a, list) and isinstance(b, list):
+            return len(a) == len(b) and all(
+                TestNonFiniteFloats.nan_aware_equal(x, y) for x, y in zip(a, b)
+            )
+        return a == b
+
+    def poisoned(self, some_results):
+        original = some_results[("olden.mst", "CPP")]
+        data = result_to_full_dict(original)
+        data["params"] = dict(
+            data["params"],
+            nan_knob=float("nan"),
+            inf_knob=float("inf"),
+            ninf_knob=float("-inf"),
+        )
+        data["l1"] = dict(data["l1"])
+        data["l1"]["extra"] = dict(
+            data["l1"]["extra"], degenerate_rate=float("nan")
+        )
+        return result_from_dict(data)
+
+    def test_full_dict_round_trip_preserves_non_finite(self, some_results):
+        poisoned = self.poisoned(some_results)
+        rebuilt = result_from_dict(result_to_full_dict(poisoned))
+        assert self.nan_aware_equal(
+            result_to_full_dict(rebuilt), result_to_full_dict(poisoned)
+        )
+        assert math.isnan(rebuilt.params["nan_knob"])
+        assert rebuilt.params["inf_knob"] == float("inf")
+        assert rebuilt.params["ninf_knob"] == float("-inf")
+        assert math.isnan(rebuilt.l1.extra["degenerate_rate"])
+
+    def test_jsonl_checkpoint_round_trip_preserves_non_finite(
+        self, some_results, tmp_path
+    ):
+        poisoned = self.poisoned(some_results)
+        path = tmp_path / "cell.jsonl"
+        dump_jsonl([result_to_full_dict(poisoned)], path)
+        (loaded,) = load_jsonl(path)
+        rebuilt = result_from_dict(loaded)
+        assert self.nan_aware_equal(
+            result_to_full_dict(rebuilt), result_to_full_dict(poisoned)
+        )
+        assert rebuilt.params["inf_knob"] == float("inf")
+        assert math.isnan(rebuilt.l1.extra["degenerate_rate"])
+
+    def test_json_export_keeps_non_finite_readable(self, some_results, tmp_path):
+        poisoned = self.poisoned(some_results)
+        path = results_to_json([poisoned], tmp_path / "out.json")
+        (loaded,) = load_results_json(path)
+        assert math.isnan(loaded["params"]["nan_knob"])
+        assert loaded["params"]["inf_knob"] == float("inf")

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Seeded differential property fuzzer for the cache subsystem.
+
+Drives randomized access streams (and, with ``--workload``, full
+generated workload traces) through the optimized hierarchy and the naive
+reference model of :mod:`repro.check` in lockstep, across the five
+evaluated configurations and a sweep of compression-scheme widths, and
+reports every divergence — minimized to a small reproducer with the
+delta-debugging shrinker.
+
+The address pools alias across cache sets on purpose (three regions one
+L2-size apart over a 2-way L2), so evictions, stashes, promotions and
+write-back merges all fire within a few hundred operations. Store values
+mix small, sign-extension-negative, pointer-prefix and incompressible
+words so stores flip compressibility both ways.
+
+``--strict-boundary`` adds CPP cells over a *strict* memory image whose
+mapped region ends on an odd line, making the top line's affiliated
+partner (``line XOR 0x1``) unmapped — the image-boundary edge where a
+demand fill must not fabricate a prefetch out of a nonexistent line.
+
+Exit status: 0 when every cell agreed, 1 when any divergence survived.
+
+Examples
+--------
+Full CI sweep (five configs, three widths, 200 seeds)::
+
+    python tools/fuzz_cache.py --seeds 200
+
+One quick cell with invariant audits after every access::
+
+    python tools/fuzz_cache.py --configs CPP --widths 15 --seeds 5 --audit
+
+A full workload trace, differentially::
+
+    python tools/fuzz_cache.py --workload olden.treeadd --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.caches.hierarchy import CONFIG_NAMES, HierarchyParams  # noqa: E402
+from repro.check.diff import (  # noqa: E402
+    DifferentialRunner,
+    Op,
+    program_stream,
+    random_stream,
+)
+from repro.compression.scheme import CompressionScheme  # noqa: E402
+from repro.memory.image import MemoryImage  # noqa: E402
+
+#: Tiny geometry (matches tests/conftest.py TINY_PARAMS): conflicts fire
+#: within a few hundred accesses instead of a few hundred thousand.
+L1_SIZE, L1_LINE = 512, 64
+L2_SIZE, L2_LINE = 2048, 128
+
+HEAP = 0x1000_0000
+
+
+def tiny_params(scheme: CompressionScheme) -> HierarchyParams:
+    """The fuzzing geometry with the cell's compression scheme."""
+    return HierarchyParams(
+        l1_size=L1_SIZE,
+        l1_assoc=1,
+        l1_line=L1_LINE,
+        l1_latency=1,
+        l2_size=L2_SIZE,
+        l2_assoc=2,
+        l2_line=L2_LINE,
+        l2_latency=10,
+        l1_buffer_entries=2,
+        l2_buffer_entries=4,
+        scheme=scheme,
+    )
+
+
+def fuzz_regions() -> list[tuple[int, int]]:
+    """Three L2-aliasing pools: 3-way demand on a 2-way L2."""
+    words = L2_SIZE // 4
+    return [
+        (HEAP, words),
+        (HEAP + L2_SIZE, words),
+        (HEAP + 2 * L2_SIZE, words),
+    ]
+
+
+def seeded_image_factory(seed: int, regions, scheme: CompressionScheme, *, strict: bool = False, n_lines: int | None = None):
+    """Deterministic image builder: same mix of word classes per seed.
+
+    With ``strict=True`` only the first *n_lines* L2 lines of the first
+    region are mapped and the image raises on anything else — the
+    boundary-pairing fuzz mode.
+    """
+    payload = scheme.payload_bits
+    prefix_mask = 0xFFFF_FFFF & ~((1 << payload) - 1)
+
+    def build() -> MemoryImage:
+        img = MemoryImage(strict=strict)
+        rng = random.Random(seed * 2654435761 % (1 << 32))
+        if strict:
+            pools = [(regions[0][0], n_lines * (L2_LINE // 4))]
+        else:
+            pools = regions
+        for base, n_words in pools:
+            for i in range(n_words):
+                addr = base + 4 * i
+                kind = rng.randrange(4)
+                if kind == 0:
+                    value = rng.randrange(0, 1 << max(1, payload - 1))
+                elif kind == 1:
+                    value = (0xFFFF_FFFF ^ rng.randrange(0, 1 << max(1, payload - 1)))
+                elif kind == 2:
+                    value = (addr & prefix_mask) | rng.randrange(0, 1 << payload)
+                else:
+                    value = rng.randrange(0, 1 << 32)
+                img.write_word(addr, value)
+        return img
+
+    return build
+
+
+def run_cell(
+    config: str,
+    width: int,
+    seed: int,
+    n_ops: int,
+    *,
+    audit: bool,
+    strict_boundary: bool = False,
+) -> tuple[bool, str]:
+    """One fuzz cell; returns (ok, report)."""
+    scheme = CompressionScheme(payload_bits=width)
+    params = tiny_params(scheme)
+    regions = fuzz_regions()
+    rng = random.Random(seed)
+    if strict_boundary:
+        # Map an odd number of L2 lines so the last line's XOR-partner is
+        # unmapped; confine the stream to the mapped lines.
+        n_lines = 7
+        factory = seeded_image_factory(
+            seed, regions, scheme, strict=True, n_lines=n_lines
+        )
+        stream_regions = [(regions[0][0], n_lines * (L2_LINE // 4))]
+    else:
+        factory = seeded_image_factory(seed, regions, scheme)
+        stream_regions = regions
+    ops = random_stream(rng, n_ops, stream_regions, scheme=scheme)
+    runner = DifferentialRunner(config, factory, params)
+    divergence = runner.run(ops, audit=audit)
+    if divergence is None:
+        return True, ""
+    minimal, final = runner.minimize(ops, audit=audit)
+    label = f"{config} width={width} seed={seed}"
+    report = [
+        f"FAIL [{label}] {final.where}: real={final.real!r} ref={final.ref!r}",
+        f"  minimized to {len(minimal)} ops (from {len(ops)}):",
+    ]
+    report += [f"    {op!r}" for op in minimal]
+    report.append("  " + final.describe().replace("\n", "\n  "))
+    return False, "\n".join(report)
+
+
+def run_workload_cell(name: str, config: str, seed: int, scale: float, *, audit: bool) -> tuple[bool, str]:
+    """Differentially replay a full generated workload trace."""
+    from repro.workloads.registry import generate
+
+    program = generate(name, seed=seed, scale=scale)
+    ops = program_stream(program)
+    runner = DifferentialRunner(config, MemoryImage, HierarchyParams())
+    divergence = runner.run(ops, audit=audit)
+    if divergence is None:
+        return True, f"ok [{config} {name} scale={scale}] {len(ops)} mem ops"
+    minimal, final = runner.minimize(ops, audit=audit)
+    report = [
+        f"FAIL [{config} {name}] {final.where}: real={final.real!r} "
+        f"ref={final.ref!r}",
+        f"  minimized to {len(minimal)} ops",
+        "  " + final.describe().replace("\n", "\n  "),
+    ]
+    return False, "\n".join(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=20, help="seeds per (config, width) cell")
+    parser.add_argument("--ops", type=int, default=400, help="accesses per stream")
+    parser.add_argument(
+        "--configs",
+        default=",".join(CONFIG_NAMES),
+        help="comma-separated configuration names",
+    )
+    parser.add_argument(
+        "--widths",
+        default="15,12,20",
+        help="comma-separated scheme payload widths (15 = the paper)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="re-verify structural invariants after every access",
+    )
+    parser.add_argument(
+        "--no-strict-boundary",
+        action="store_true",
+        help="skip the strict-image boundary-pairing CPP cells",
+    )
+    parser.add_argument("--workload", help="differentially replay a generated workload")
+    parser.add_argument("--scale", type=float, default=0.05, help="workload scale")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    args = parser.parse_args(argv)
+
+    configs = [c.strip().upper() for c in args.configs.split(",") if c.strip()]
+    widths = [int(w) for w in args.widths.split(",") if w.strip()]
+
+    failures = 0
+    cells = 0
+
+    if args.workload:
+        for config in configs:
+            ok, report = run_workload_cell(
+                args.workload, config, args.seed, args.scale, audit=args.audit
+            )
+            cells += 1
+            print(report)
+            if not ok:
+                failures += 1
+        print(f"{cells} workload cells, {failures} divergent")
+        return 1 if failures else 0
+
+    for config in configs:
+        for width in widths:
+            cell_failures = 0
+            for seed in range(args.seeds):
+                ok, report = run_cell(
+                    config, width, seed, args.ops, audit=args.audit
+                )
+                cells += 1
+                if not ok:
+                    cell_failures += 1
+                    failures += 1
+                    print(report)
+            status = "ok" if not cell_failures else f"{cell_failures} FAILURES"
+            print(f"[{config} width={width}] {args.seeds} seeds: {status}")
+    if not args.no_strict_boundary and "CPP" in configs:
+        for width in widths:
+            cell_failures = 0
+            for seed in range(args.seeds):
+                ok, report = run_cell(
+                    "CPP", width, seed, args.ops, audit=args.audit, strict_boundary=True
+                )
+                cells += 1
+                if not ok:
+                    cell_failures += 1
+                    failures += 1
+                    print(report)
+            status = "ok" if not cell_failures else f"{cell_failures} FAILURES"
+            print(f"[CPP strict-boundary width={width}] {args.seeds} seeds: {status}")
+    print(f"{cells} cells total, {failures} divergent")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
