@@ -32,6 +32,7 @@ from repro.compression.fastscalar import (
 )
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
 from repro.errors import CacheProtocolError, UnmappedAddressError
+from repro.inject import hooks as _inject
 from repro.memory.bus import TrafficKind
 from repro.memory.image import WORD_BYTES
 from repro.memory.main_memory import MainMemory
@@ -218,7 +219,11 @@ class MemoryPort:
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned line fetch at {addr:#x}")
         full = (1 << n_words) - 1
+        if _inject.ACTIVE:
+            _inject.SESSION.on_memory_read(addr, n_words)
         values = self.memory.image.read_words_list(addr, n_words)
+        if _inject.ACTIVE:
+            values = _inject.SESSION.on_bus_values(addr, values)
         bus_words = (
             self._packed_words(addr, values, full)
             if self.fetch_compressed
@@ -256,11 +261,20 @@ class MemoryPort:
         line_bytes = n_words * WORD_BYTES
         if addr % line_bytes or affil_addr % line_bytes:
             raise CacheProtocolError("unaligned pair fetch")
+        if _inject.ACTIVE:
+            _inject.SESSION.on_memory_read(addr, n_words)
+            _inject.SESSION.on_memory_read(affil_addr, n_words)
         values = self.memory.image.read_words_list(addr, n_words)
         try:
             affil_values = self.memory.image.read_words_list(affil_addr, n_words)
         except UnmappedAddressError:
             affil_values = None
+        if _inject.ACTIVE:
+            values = _inject.SESSION.on_bus_values(addr, values)
+            if affil_values is not None:
+                affil_values = _inject.SESSION.on_bus_values(
+                    affil_addr, affil_values
+                )
         self.memory.bus.record(kind, n_words)
         self.memory.n_reads += 1
         return values, affil_values
@@ -275,7 +289,11 @@ class MemoryPort:
         """
         if addr % (n_words * WORD_BYTES):
             raise CacheProtocolError(f"unaligned prefetch at {addr:#x}")
+        if _inject.ACTIVE:
+            _inject.SESSION.on_memory_read(addr, n_words)
         values = self.memory.image.read_words_list(addr, n_words)
+        if _inject.ACTIVE:
+            values = _inject.SESSION.on_bus_values(addr, values)
         bus_words = (
             self._packed_words(addr, values, (1 << n_words) - 1)
             if self.fetch_compressed
@@ -293,6 +311,8 @@ class MemoryPort:
         """
         values = as_words(values)
         mask = as_mask(mask)
+        if _inject.ACTIVE:
+            values = _inject.SESSION.on_bus_values(addr, values, mask)
         if self.writeback_compressed:
             packed = self._packed_words(addr, values, mask)
             self.memory.write_line(addr, values, mask=mask, bus_words=packed)

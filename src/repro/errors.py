@@ -19,6 +19,7 @@ __all__ = [
     "InvariantViolation",
     "WorkloadError",
     "ExperimentError",
+    "UsageError",
     "CellTimeoutError",
     "CellCrashError",
     "MatrixPartialFailure",
@@ -122,6 +123,29 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown figure id, bad matrix, ...)."""
+
+
+class UsageError(ExperimentError):
+    """A command-line invocation was invalid (bad flag value, unknown name).
+
+    Raised by CLI front-ends *before* any work starts, and rendered as a
+    one-line ``error:`` message plus the valid choices — never a
+    traceback. Carries the offending ``argument`` and, when the problem
+    is an unknown name, the ``choices`` that would have been accepted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        argument: str = "",
+        choices: tuple | list | None = None,
+    ) -> None:
+        if choices:
+            message = f"{message} (valid choices: {', '.join(map(str, choices))})"
+        super().__init__(message)
+        self.argument = argument
+        self.choices = tuple(choices) if choices else ()
 
 
 class CellTimeoutError(ExperimentError):

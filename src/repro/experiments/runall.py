@@ -23,7 +23,7 @@ import argparse
 import sys
 import time
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UsageError
 from repro.experiments.common import render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import phases as _phases
@@ -138,6 +138,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate(args: argparse.Namespace) -> None:
+    """Reject malformed arguments with typed, traceback-free errors."""
+    if args.seed < 0:
+        raise UsageError("--seed must be non-negative", argument="--seed")
+    if args.scale <= 0:
+        raise UsageError("--scale must be positive", argument="--scale")
+    if args.timeout is not None and args.timeout <= 0:
+        raise UsageError("--timeout must be positive", argument="--timeout")
+    if args.retries < 0:
+        raise UsageError("--retries must be non-negative", argument="--retries")
+    if args.workers is not None and args.workers < 1:
+        raise UsageError("--workers must be positive", argument="--workers")
+    if args.profile is not None and args.profile < 1:
+        raise UsageError("--profile must be positive", argument="--profile")
+    for figure in args.figures:
+        if figure != "all" and figure not in EXPERIMENTS:
+            raise UsageError(
+                f"unknown figure {figure!r}",
+                argument="figures",
+                choices=tuple(EXPERIMENTS) + ("all",),
+            )
+    for workload in args.workloads or ():
+        if workload not in WORKLOAD_NAMES:
+            raise UsageError(
+                f"unknown workload {workload!r}",
+                argument="--workloads",
+                choices=tuple(WORKLOAD_NAMES),
+            )
+
+
 def _profile_summary(profiler=None, top_n: int = 0) -> str:
     """Where the wall-clock went, plus memoization effectiveness.
 
@@ -213,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
     it produces a rendered report with holes and a failure summary.
     """
     args = _build_parser().parse_args(argv)
+    try:
+        _validate(args)
+    except UsageError as exc:
+        _progress.report(f"error: {exc}")
+        return 1
     if args.check:
         from repro.check.runtime import set_runtime_checks
 

@@ -1,0 +1,91 @@
+"""Soft-error fault injection for the CPP hierarchy (``repro.inject``).
+
+Deterministic, seeded bit-flip campaigns against cache frame data,
+metadata flags (PA/AA/VCP/dirty/valid), tags, bus transfers and the
+memory image — paired with protection models (none / parity / SECDED)
+and recovery policies (refetch / drop-affiliated / degrade), classified
+per fault as masked, detected-and-recovered, detected-uncorrectable or
+silent data corruption by replaying each cell against the reference
+models of :mod:`repro.check`.
+
+Package layout:
+
+* :mod:`~repro.inject.hooks` — the zero-cost-when-disabled gate the hot
+  paths branch on (the only module the cache/memory models import);
+* :mod:`~repro.inject.faults` — fault targets, specs and corruption
+  records;
+* :mod:`~repro.inject.protect` / :mod:`~repro.inject.recover` —
+  protection models with modeled latency, and recovery policies;
+* :mod:`~repro.inject.session` — the armed run-time engine;
+* :mod:`~repro.inject.plan` / :mod:`~repro.inject.campaign` —
+  deterministic planning and the supervised campaign runner
+  (``python -m repro.inject``).
+
+Imports are lazy: ``import repro.inject`` stays dependency-light so the
+hot-path gate module can be loaded without dragging in the campaign
+machinery (and its fork-engine dependencies).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ACTIVE",
+    "activate",
+    "deactivate",
+    "injection_active",
+    "TARGETS",
+    "LEVELS",
+    "FaultSpec",
+    "Corruption",
+    "Protection",
+    "build_protection",
+    "PROTECTION_NAMES",
+    "RECOVERY_NAMES",
+    "InjectionSession",
+    "OUTCOMES",
+    "build_plan",
+    "build_cells",
+    "run_cell",
+    "run_campaign",
+    "summarize",
+    "format_report",
+]
+
+_LAZY = {
+    "ACTIVE": ("repro.inject.hooks", "ACTIVE"),
+    "activate": ("repro.inject.hooks", "activate"),
+    "deactivate": ("repro.inject.hooks", "deactivate"),
+    "injection_active": ("repro.inject.hooks", "injection_active"),
+    "TARGETS": ("repro.inject.faults", "TARGETS"),
+    "LEVELS": ("repro.inject.faults", "LEVELS"),
+    "FaultSpec": ("repro.inject.faults", "FaultSpec"),
+    "Corruption": ("repro.inject.faults", "Corruption"),
+    "Protection": ("repro.inject.protect", "Protection"),
+    "build_protection": ("repro.inject.protect", "build_protection"),
+    "PROTECTION_NAMES": ("repro.inject.protect", "PROTECTION_NAMES"),
+    "RECOVERY_NAMES": ("repro.inject.recover", "RECOVERY_NAMES"),
+    "InjectionSession": ("repro.inject.session", "InjectionSession"),
+    "OUTCOMES": ("repro.inject.session", "OUTCOMES"),
+    "build_plan": ("repro.inject.plan", "build_plan"),
+    "build_cells": ("repro.inject.campaign", "build_cells"),
+    "run_cell": ("repro.inject.campaign", "run_cell"),
+    "run_campaign": ("repro.inject.campaign", "run_campaign"),
+    "summarize": ("repro.inject.campaign", "summarize"),
+    "format_report": ("repro.inject.campaign", "format_report"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,231 @@
+"""Command-line front-end: ``python -m repro.inject``.
+
+Examples
+--------
+A quick seeded campaign, unprotected vs SECDED::
+
+    python -m repro.inject --seeds 25 --protect none,secded
+
+CI gate: SECDED must show zero silent data corruption::
+
+    python -m repro.inject --seeds 25 --protect secded --assert-no-sdc secded
+
+Rate-driven planning (faults per 1000 ops) with checkpoint/resume::
+
+    python -m repro.inject --rate 2.5 --ops 400 --checkpoint inj.json
+
+Exit status: 0 on a clean campaign, 1 on usage errors, permanently
+failed cells, or a violated ``--assert-no-sdc`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError, UsageError
+from repro.inject.campaign import (
+    build_cells,
+    format_report,
+    run_campaign,
+    summarize,
+)
+from repro.inject.faults import LEVELS, TARGETS
+from repro.inject.plan import faults_for_rate
+from repro.inject.protect import PROTECTION_NAMES
+from repro.inject.recover import RECOVERY_NAMES
+
+__all__ = ["main"]
+
+
+def _csv(value: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.inject",
+        description="Seeded soft-error injection campaigns for the CPP hierarchy.",
+    )
+    parser.add_argument("--config", default="CPP", help="hierarchy configuration")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base campaign seed"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=25, help="number of seeded cells per protection"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=400, help="accesses per cell"
+    )
+    parser.add_argument(
+        "--faults", type=int, default=1, help="faults planned per seed"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="plan faults per seed from a rate (faults per 1000 ops); overrides --faults",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=1, help="bits flipped per fault (1=SEU, 2=double)"
+    )
+    parser.add_argument(
+        "--targets",
+        type=_csv,
+        default=TARGETS,
+        help=f"comma-separated fault targets ({','.join(TARGETS)})",
+    )
+    parser.add_argument(
+        "--levels",
+        type=_csv,
+        default=LEVELS,
+        help="comma-separated cache levels for cache targets (l1,l2)",
+    )
+    parser.add_argument(
+        "--protect",
+        type=_csv,
+        default=("none", "secded"),
+        help=f"comma-separated protection models ({','.join(PROTECTION_NAMES)})",
+    )
+    parser.add_argument(
+        "--recover",
+        default="refetch",
+        help=f"recovery policy ({','.join(RECOVERY_NAMES)})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-cell wall-clock budget (s)"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, help="retries per failed cell"
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None, help="checkpoint file (JSONL)"
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse completed cells from the checkpoint",
+    )
+    parser.add_argument(
+        "--assert-no-sdc",
+        action="append",
+        default=[],
+        metavar="PROTECT",
+        help="fail if the named protection model shows any SDC (repeatable)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write outcome records to this file"
+    )
+    return parser
+
+
+def _validate(args: argparse.Namespace) -> None:
+    if args.seed < 0:
+        raise UsageError("--seed must be non-negative", argument="--seed")
+    if args.seeds < 1:
+        raise UsageError("--seeds must be positive", argument="--seeds")
+    if args.ops < 2:
+        raise UsageError("--ops must be at least 2", argument="--ops")
+    if args.faults < 1:
+        raise UsageError("--faults must be positive", argument="--faults")
+    if args.rate is not None and args.rate <= 0:
+        raise UsageError("--rate must be positive", argument="--rate")
+    if args.timeout is not None and args.timeout <= 0:
+        raise UsageError("--timeout must be positive", argument="--timeout")
+    if args.retries < 0:
+        raise UsageError("--retries must be non-negative", argument="--retries")
+    if args.workers is not None and args.workers < 1:
+        raise UsageError("--workers must be positive", argument="--workers")
+    for protect in args.assert_no_sdc:
+        if protect not in PROTECTION_NAMES:
+            raise UsageError(
+                f"unknown protection model {protect!r} in --assert-no-sdc",
+                argument="--assert-no-sdc",
+                choices=PROTECTION_NAMES,
+            )
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        _validate(args)
+        faults_per_seed = (
+            faults_for_rate(args.rate, args.ops)
+            if args.rate is not None
+            else args.faults
+        )
+        cells = build_cells(
+            config=args.config,
+            protects=args.protect,
+            recover=args.recover,
+            seed=args.seed,
+            seeds=args.seeds,
+            faults_per_seed=faults_per_seed,
+            n_ops=args.ops,
+            targets=args.targets,
+            levels=args.levels,
+            bits=args.bits,
+        )
+        outcome = run_campaign(
+            cells,
+            timeout=args.timeout,
+            retries=args.retries,
+            max_workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=True,
+        )
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    summary = summarize(outcome.results)
+    print(format_report(summary, outcome.failures))
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(
+                {
+                    "summary": summary,
+                    "results": [
+                        outcome.results[key] for key in sorted(outcome.results)
+                    ],
+                    "failures": [
+                        {"key": list(f.key), "kind": f.kind}
+                        for f in outcome.failures
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    status = 0
+    if outcome.failures:
+        status = 1
+    for protect in args.assert_no_sdc:
+        hist = summary["by_protect"].get(protect)
+        if hist is None:
+            print(
+                f"error: --assert-no-sdc {protect}: no cells ran under that model",
+                file=sys.stderr,
+            )
+            status = 1
+        elif hist["sdc"]:
+            print(
+                f"error: {hist['sdc']} SDC outcome(s) under {protect}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,383 @@
+"""Bit-flip campaigns: plan, run, classify, report.
+
+A campaign cell is **one fault** injected into **one seeded run**:
+
+1. the cell's seed builds a memory image and an access stream (the same
+   aliasing-heavy tiny geometry the differential fuzzer uses, so
+   evictions, stashes and promotions all fire within a few hundred ops);
+2. a *golden* replay drives the stream through the naive reference
+   hierarchy of :mod:`repro.check.reference`, unarmed;
+3. the *injected* replay drives the same stream through the real
+   hierarchy with an armed :class:`~repro.inject.session.InjectionSession`;
+4. the fault is classified by comparing every load value and the final
+   memory image against the golden replay:
+   ``masked`` / ``detected_recovered`` / ``detected_uncorrectable`` /
+   ``sdc`` (see :data:`~repro.inject.session.OUTCOMES`).
+
+Cells run through the supervised fork engine of :mod:`repro.sim.fault` —
+each attempt in its own process (the session is armed *inside* the
+worker, so a crashing injected run can never leave the parent armed),
+with per-cell timeout, retries, a partial-failure ledger and lossless
+checkpoint/resume. Aggregated outcome counts surface through
+:data:`repro.obs.metrics.REGISTRY` as ``inject.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.caches.hierarchy import (
+    CONFIG_NAMES,
+    HierarchyParams,
+    build_hierarchy,
+)
+from repro.check.diff import random_stream
+from repro.check.reference import build_reference_hierarchy
+from repro.errors import ReproError, UsageError
+from repro.inject import hooks as _hooks
+from repro.inject.faults import TARGETS, FaultSpec
+from repro.inject.plan import build_plan
+from repro.inject.protect import PROTECTION_NAMES, build_protection
+from repro.inject.recover import RECOVERY_NAMES
+from repro.inject.session import OUTCOMES, InjectionSession
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+from repro.obs.metrics import REGISTRY
+from repro.sim.fault import Checkpoint, FaultPolicy, run_supervised
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = [
+    "campaign_params",
+    "campaign_regions",
+    "build_cells",
+    "run_cell",
+    "run_campaign",
+    "summarize",
+    "format_report",
+]
+
+# Tiny aliasing geometry (mirrors tools/fuzz_cache.py): three address
+# pools one L2-size apart put 3-way demand on a 2-way L2, so replacement,
+# stash and promotion activity — the state fault injection wants to hit —
+# shows up within a few hundred operations.
+_L1_SIZE, _L1_LINE = 512, 64
+_L2_SIZE, _L2_LINE = 2048, 128
+_HEAP = 0x1000_0000
+
+
+def campaign_params() -> HierarchyParams:
+    """The campaign's tiny hierarchy geometry."""
+    return HierarchyParams(
+        l1_size=_L1_SIZE,
+        l1_assoc=1,
+        l1_line=_L1_LINE,
+        l1_latency=1,
+        l2_size=_L2_SIZE,
+        l2_assoc=2,
+        l2_line=_L2_LINE,
+        l2_latency=10,
+        l1_buffer_entries=2,
+        l2_buffer_entries=4,
+    )
+
+
+def campaign_regions() -> list[tuple[int, int]]:
+    """Three L2-aliasing address pools ``(base, n_words)``."""
+    words = _L2_SIZE // 4
+    return [
+        (_HEAP, words),
+        (_HEAP + _L2_SIZE, words),
+        (_HEAP + 2 * _L2_SIZE, words),
+    ]
+
+
+def _build_image(seed: int, regions, scheme) -> MemoryImage:
+    """Deterministic image: the fuzzer's mix of word classes per seed."""
+    payload = int(getattr(scheme, "payload_bits", 15))
+    prefix_mask = 0xFFFF_FFFF & ~((1 << payload) - 1)
+    img = MemoryImage()
+    rng = make_rng(derive_seed(seed, "inject.image"))
+    for base, n_words in regions:
+        for i in range(n_words):
+            addr = base + 4 * i
+            kind = int(rng.integers(4))
+            if kind == 0:
+                value = int(rng.integers(1 << max(1, payload - 1)))
+            elif kind == 1:
+                value = 0xFFFF_FFFF ^ int(rng.integers(1 << max(1, payload - 1)))
+            elif kind == 2:
+                value = (addr & prefix_mask) | int(rng.integers(1 << payload))
+            else:
+                value = int(rng.integers(1 << 32))
+            img.write_word(addr, value)
+    return img
+
+
+def _drive(hierarchy, ops) -> list[int]:
+    """Replay *ops*; returns the loaded values, then flushes."""
+    loads: list[int] = []
+    for now, op in enumerate(ops):
+        if op.write:
+            hierarchy.store(op.addr, op.value, now)
+        else:
+            loads.append(hierarchy.load(op.addr, now).value)
+    hierarchy.flush()
+    return loads
+
+
+# ---- one cell (runs inside a forked worker) --------------------------------
+
+
+def run_cell(task: dict) -> dict:
+    """Run one campaign cell; returns a JSON-safe outcome record.
+
+    Picklable module-level worker for :func:`repro.sim.fault.run_supervised`.
+    The injection session is armed only inside this (forked) process.
+    """
+    spec = FaultSpec.from_dict(task["fault"])
+    config = task["config"]
+    protect = task["protect"]
+    recover = task["recover"]
+    n_ops = task["n_ops"]
+    params = campaign_params()
+    regions = campaign_regions()
+    ops = random_stream(
+        random.Random(derive_seed(spec.seed, "inject.stream")),
+        n_ops,
+        regions,
+        scheme=params.scheme,
+    )
+
+    # Golden replay: the naive reference hierarchy, no injection.
+    golden_memory = MainMemory(_build_image(spec.seed, regions, params.scheme))
+    golden_loads = _drive(
+        build_reference_hierarchy(config, golden_memory, params), ops
+    )
+
+    # Injected replay: the real hierarchy with the session armed.
+    memory = MainMemory(_build_image(spec.seed, regions, params.scheme))
+    hierarchy = build_hierarchy(config, memory, params)
+    session = InjectionSession(spec, build_protection(protect), recover)
+    session.attach(hierarchy)
+    session.mem_candidates = sorted({op.addr & ~0x3 for op in ops})
+
+    error = None
+    loads: list[int] = []
+    _hooks.activate(session)
+    try:
+        for now, op in enumerate(ops):
+            if op.write:
+                hierarchy.store(op.addr, op.value, now)
+            else:
+                loads.append(hierarchy.load(op.addr, now).value)
+        session.finalize()
+        hierarchy.flush()
+    except ReproError as exc:
+        # The corrupted state drove the model into a protocol violation —
+        # a fail-stop, which is detectable by definition.
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        _hooks.deactivate()
+
+    if error is not None:
+        outcome = "detected_uncorrectable"
+        mismatch = True
+    else:
+        mismatch = loads != golden_loads or memory.image != golden_memory.image
+        outcome = session.classify(mismatch)
+    record = {
+        "outcome": outcome,
+        "mismatch": bool(mismatch),
+        "error": error,
+        "config": config,
+        "protect": protect,
+        "recover": recover,
+        "n_ops": n_ops,
+        "fault": spec.as_dict(),
+        "session": session.snapshot(),
+    }
+    return record
+
+
+# ---- campaign assembly ------------------------------------------------------
+
+
+def build_cells(
+    *,
+    config: str = "CPP",
+    protects: tuple[str, ...] = ("none", "secded"),
+    recover: str = "refetch",
+    seed: int = 0,
+    seeds: int = 25,
+    faults_per_seed: int = 1,
+    n_ops: int = 400,
+    targets: tuple[str, ...] = TARGETS,
+    levels: tuple[str, ...] = ("l1", "l2"),
+    bits: int = 1,
+) -> list[dict]:
+    """The campaign's task list: one dict per (protection, seed, fault)."""
+    if config not in CONFIG_NAMES:
+        raise UsageError(
+            f"unknown config {config!r}",
+            argument="--config",
+            choices=CONFIG_NAMES,
+        )
+    for p in protects:
+        if p not in PROTECTION_NAMES:
+            raise UsageError(
+                f"unknown protection model {p!r}",
+                argument="--protect",
+                choices=PROTECTION_NAMES,
+            )
+    if recover not in RECOVERY_NAMES:
+        raise UsageError(
+            f"unknown recovery policy {recover!r}",
+            argument="--recover",
+            choices=RECOVERY_NAMES,
+        )
+    cells: list[dict] = []
+    for protect in protects:
+        for s in range(seeds):
+            master = seed + s
+            for spec in build_plan(
+                seed=master,
+                n_faults=faults_per_seed,
+                n_ops=n_ops,
+                targets=targets,
+                levels=levels,
+                bits=bits,
+            ):
+                cells.append(
+                    {
+                        "key": (
+                            config,
+                            protect,
+                            recover,
+                            str(master),
+                            str(spec.fault_id),
+                        ),
+                        "config": config,
+                        "protect": protect,
+                        "recover": recover,
+                        "n_ops": n_ops,
+                        "fault": spec.as_dict(),
+                    }
+                )
+    return cells
+
+
+def run_campaign(
+    cells: list[dict],
+    *,
+    timeout: float | None = None,
+    retries: int = 1,
+    max_workers: int | None = None,
+    checkpoint_path=None,
+    resume: bool = True,
+    progress: bool = False,
+):
+    """Run *cells* through the supervised fork engine.
+
+    Returns the engine's ``SupervisedOutcome``: per-key outcome records
+    in ``.results`` plus permanent ``.failures``.
+    """
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = Checkpoint(
+            checkpoint_path,
+            encode=lambda record: record,
+            decode=lambda record: record,
+            fresh=not resume,
+        )
+    return run_supervised(
+        cells,
+        run_cell,
+        key_of=lambda task: task["key"],
+        policy=FaultPolicy(timeout=timeout, retries=retries),
+        max_workers=max_workers,
+        checkpoint=checkpoint,
+        progress=progress,
+        phase_name="inject_campaign",
+    )
+
+
+# ---- aggregation / reporting -----------------------------------------------
+
+
+def summarize(results: dict) -> dict:
+    """Aggregate outcome records into per-protection histograms.
+
+    Also publishes the aggregate as ``inject.*`` metrics in the global
+    :data:`~repro.obs.metrics.REGISTRY`.
+    """
+    by_protect: dict[str, dict[str, int]] = {}
+    counters: dict[str, int] = {}
+    for record in results.values():
+        hist = by_protect.setdefault(
+            record["protect"], {o: 0 for o in OUTCOMES}
+        )
+        hist[record["outcome"]] += 1
+        for name, value in record["session"]["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+    for protect, hist in by_protect.items():
+        for outcome, count in hist.items():
+            if count:
+                REGISTRY.inc(
+                    "inject.outcomes", count, protect=protect, outcome=outcome
+                )
+        fired = sum(hist.values()) - hist["not_fired"]
+        REGISTRY.set_gauge(
+            "inject.sdc_rate",
+            hist["sdc"] / fired if fired else 0.0,
+            protect=protect,
+        )
+    for name, value in counters.items():
+        if value:
+            REGISTRY.inc(f"inject.{name}", value)
+    return {
+        "cells": len(results),
+        "by_protect": by_protect,
+        "counters": counters,
+    }
+
+
+def format_report(summary: dict, failures=()) -> str:
+    """Human-readable campaign report plus a machine-readable tail line.
+
+    The ``INJECT-SUMMARY`` line is stable, single-line and greppable so
+    CI can assert on it without parsing the table.
+    """
+    lines = ["fault-injection campaign"]
+    header = f"  {'protect':<8}" + "".join(f"{o:>24}" for o in OUTCOMES)
+    lines.append(header)
+    total_sdc = 0
+    fired_total = 0
+    for protect in sorted(summary["by_protect"]):
+        hist = summary["by_protect"][protect]
+        lines.append(
+            f"  {protect:<8}" + "".join(f"{hist[o]:>24}" for o in OUTCOMES)
+        )
+        total_sdc += hist["sdc"]
+        fired_total += sum(hist.values()) - hist["not_fired"]
+        fired = sum(hist.values()) - hist["not_fired"]
+        rate = hist["sdc"] / fired if fired else 0.0
+        lines.append(f"  {'':<8}SDC rate: {rate:.3f} over {fired} fired faults")
+    if failures:
+        lines.append(f"  {len(failures)} cell(s) failed permanently:")
+        for failure in failures:
+            lines.append(f"    {failure.key}: {failure.kind}")
+    lines.append(
+        "INJECT-SUMMARY "
+        + json.dumps(
+            {
+                "cells": summary["cells"],
+                "failed": len(failures),
+                "fired": fired_total,
+                "sdc": total_sdc,
+                "by_protect": summary["by_protect"],
+            },
+            sort_keys=True,
+        )
+    )
+    return "\n".join(lines)

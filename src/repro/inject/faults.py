@@ -1,0 +1,156 @@
+"""Fault models: what a soft error can corrupt, and how it is tracked.
+
+A *fault* is a transient bit flip at one of five targets:
+
+``data``
+    A resident word value in a cache frame — a primary word of a
+    :class:`~repro.caches.compressed_frame.CompressedFrame` (or a word
+    of a classic :class:`~repro.caches.line.CacheLine`), or a clean
+    affiliated word riding in a freed slot.
+``meta``
+    A per-word metadata flag of a frame: ``PA`` (primary availability),
+    ``AA`` (affiliated availability), ``VCP`` (the compressibility
+    memo — the stored VC/VT flags), or the frame's dirty bit. For
+    classic lines the flags are ``dirty`` and ``valid``.
+``tag``
+    A bit of the frame's stored tag (``line_no``).
+``bus``
+    A word in transit across the off-chip bus (fill, pair-fill,
+    prefetch or write-back transfer).
+``mem``
+    A stored word of the memory image (a DRAM upset).
+
+A :class:`FaultSpec` is the *plan-time* description: deterministic given
+the campaign seed (site selection uses ``site_seed``, derived via
+:func:`repro.utils.rng.derive_seed`). A :class:`Corruption` is the
+*run-time* record the session keeps after the flip lands: site identity
+plus the pristine and corrupted values, which is what protection models
+check on use and what SECDED repairs from.
+
+Site identity for ``data`` corruption is logical — ``(level, line_no,
+word index)`` — not a frame pointer, so the record keeps tracking the
+corrupted word through promotions and stashes that move it between the
+primary and affiliated places of the same level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TARGETS",
+    "CACHE_TARGETS",
+    "LEVELS",
+    "FaultSpec",
+    "Corruption",
+    "flip_bits",
+]
+
+#: Every supported fault target.
+TARGETS = ("data", "meta", "tag", "bus", "mem")
+
+#: Targets that corrupt cache-resident state (need a level).
+CACHE_TARGETS = ("data", "meta", "tag")
+
+#: Cache levels a fault can land in.
+LEVELS = ("l1", "l2")
+
+
+def flip_bits(value: int, positions: list[int]) -> int:
+    """Flip the given bit *positions* of *value*."""
+    for p in positions:
+        value ^= 1 << p
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault (deterministic given the campaign seed).
+
+    ``trigger`` is an index on the session's event clock: the CPU-access
+    count for cache and memory targets, the off-chip transfer count for
+    ``bus`` targets. ``bits`` is the number of bits flipped in the
+    protected unit — ``1`` models a single-event upset (correctable by
+    SECDED), ``2`` a double upset (detectable but not correctable).
+    """
+
+    fault_id: int
+    seed: int  #: master cell seed (stream + image)
+    target: str  #: one of :data:`TARGETS`
+    level: str  #: "l1" / "l2" for cache targets, "" for bus/mem
+    trigger: int  #: event-clock index at which the fault fires (>= 1)
+    bits: int = 1  #: bits flipped per fault
+    site_seed: int = 0  #: RNG seed for site selection at fire time
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (campaign checkpoints and reports)."""
+        return {
+            "fault_id": self.fault_id,
+            "seed": self.seed,
+            "target": self.target,
+            "level": self.level,
+            "trigger": self.trigger,
+            "bits": self.bits,
+            "site_seed": self.site_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            fault_id=int(d["fault_id"]),
+            seed=int(d["seed"]),
+            target=str(d["target"]),
+            level=str(d["level"]),
+            trigger=int(d["trigger"]),
+            bits=int(d.get("bits", 1)),
+            site_seed=int(d.get("site_seed", 0)),
+        )
+
+
+@dataclass
+class Corruption:
+    """Run-time record of one landed fault.
+
+    ``kind`` is the target kind; ``level`` is ``"l1"``/``"l2"`` for
+    cache state and ``"mem"`` for memory-image corruption. Data sites
+    are identified logically by ``(level, line_no, widx)``; metadata and
+    tag sites additionally pin the physical ``frame`` object (their
+    corruption cannot be located by value alone) and remember the
+    frame's home ``set_index`` — tag and flag bits are read on every
+    probe of that set, which is where protection checks fire.
+    """
+
+    spec: FaultSpec
+    kind: str
+    level: str
+    line_no: int = -1  #: logical line of the corrupted word / frame
+    widx: int = -1  #: data: word index inside the line
+    field_name: str = ""  #: meta: "pa"/"aa"/"vcp"/"dirty"/"valid"; tag: "line_no"
+    addr: int = -1  #: mem: byte address of the corrupted word
+    set_index: int = -1  #: cache targets: the frame's home set
+    frame: object = None  #: meta/tag: the physical frame object
+    pristine: int = 0
+    corrupt: int = 0
+    n_bits: int = 1  #: bits flipped in the protected unit
+    live: bool = True  #: still resident and corrupted
+    detected: bool = False
+    disposition: str = ""  #: corrected/recovered/uncorrectable/overwritten/evicted/propagated
+    events: list = field(default_factory=list)
+
+    def note(self, event: str) -> None:
+        """Append a timeline entry (surfaced in the outcome record)."""
+        self.events.append(event)
+
+    def describe_site(self) -> str:
+        """Short human-readable site label."""
+        if self.kind == "data":
+            return f"{self.level} line {self.line_no:#x} word {self.widx}"
+        if self.kind in ("meta", "tag"):
+            return (
+                f"{self.level} line {self.line_no:#x} {self.field_name} "
+                f"set {self.set_index}"
+            )
+        if self.kind == "mem":
+            return f"mem word {self.addr:#010x}"
+        return self.kind

@@ -1,0 +1,46 @@
+"""Zero-cost-when-disabled gate for the fault-injection layer.
+
+A deliberately tiny leaf module, mirroring :mod:`repro.check.runtime`:
+the cache and memory models import it at module load, so it must not
+(transitively) import any cache, memory or simulator code.
+
+The hot paths guard every injection hook with ``if _inject.ACTIVE:`` —
+one module-global load and a branch, the same cost class as the
+``_trace.ACTIVE`` tracer gate that already sits on those paths. With no
+session armed the simulator's behaviour (and its golden-cell outputs)
+is bit-identical to a build without the hooks.
+
+:func:`activate` arms a single :class:`~repro.inject.session.InjectionSession`
+for the current process. Campaign cells arm their session inside the
+forked worker (:mod:`repro.sim.fault`), so a crashing injected run can
+never leave the parent process armed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ACTIVE", "SESSION", "activate", "deactivate", "injection_active"]
+
+#: Fast-path gate: ``True`` iff a session is armed in this process.
+ACTIVE: bool = False
+
+#: The armed session (``None`` when :data:`ACTIVE` is ``False``).
+SESSION = None
+
+
+def activate(session) -> None:
+    """Arm *session*: every hooked model in this process reports to it."""
+    global ACTIVE, SESSION
+    SESSION = session
+    ACTIVE = True
+
+
+def deactivate() -> None:
+    """Disarm injection; the hooks return to their zero-cost branch."""
+    global ACTIVE, SESSION
+    ACTIVE = False
+    SESSION = None
+
+
+def injection_active() -> bool:
+    """Is a fault-injection session currently armed?"""
+    return ACTIVE

@@ -1,0 +1,94 @@
+"""Campaign planner: deterministic fault plans keyed by ``utils/rng``.
+
+Every random choice the plan makes — target, level, trigger point and
+the per-fault ``site_seed`` that later drives site selection inside the
+armed session — is derived from the campaign seed with
+:func:`repro.utils.rng.derive_seed`, so the same ``(seed, n_faults,
+n_ops, targets, levels, bits)`` tuple always produces the identical
+plan, independent of process, platform or interleaving. That is what
+makes an entire campaign (and its checkpoint/resume) reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.inject.faults import CACHE_TARGETS, LEVELS, TARGETS, FaultSpec
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["build_plan", "faults_for_rate"]
+
+
+def faults_for_rate(rate: float, n_ops: int) -> int:
+    """Fault count for an injection *rate* in faults per 1000 operations."""
+    if rate <= 0:
+        raise ConfigurationError("injection rate must be positive")
+    if n_ops < 1:
+        raise ConfigurationError("n_ops must be positive")
+    return max(1, round(rate * n_ops / 1000.0))
+
+
+def build_plan(
+    *,
+    seed: int,
+    n_faults: int,
+    n_ops: int,
+    targets: tuple[str, ...] = TARGETS,
+    levels: tuple[str, ...] = LEVELS,
+    bits: int = 1,
+) -> list[FaultSpec]:
+    """Plan *n_faults* deterministic faults for a cell of *n_ops* accesses.
+
+    Cache and memory faults trigger on the op clock, drawn from the run's
+    back 90% so the warmed-up hierarchy has resident sites to corrupt;
+    bus faults trigger on the (much slower) transfer clock, drawn low
+    enough that a tiny-geometry run still reaches them.
+    """
+    if n_faults < 1:
+        raise ConfigurationError("n_faults must be positive")
+    if n_ops < 2:
+        raise ConfigurationError("n_ops must be at least 2")
+    if bits < 1 or bits > 32:
+        raise ConfigurationError("bits per fault must be in 1..32")
+    targets = tuple(targets)
+    levels = tuple(levels)
+    if not targets:
+        raise ConfigurationError("at least one fault target is required")
+    for t in targets:
+        if t not in TARGETS:
+            raise ConfigurationError(
+                f"unknown fault target {t!r}; choose from {', '.join(TARGETS)}"
+            )
+    for lv in levels:
+        if lv not in LEVELS:
+            raise ConfigurationError(
+                f"unknown cache level {lv!r}; choose from {', '.join(LEVELS)}"
+            )
+    if not levels and any(t in CACHE_TARGETS for t in targets):
+        raise ConfigurationError("cache targets need at least one level")
+
+    specs: list[FaultSpec] = []
+    for fid in range(n_faults):
+        rng = make_rng(derive_seed(seed, "inject.plan", fid))
+        target = targets[int(rng.integers(len(targets)))]
+        level = ""
+        if target in CACHE_TARGETS:
+            level = levels[int(rng.integers(len(levels)))]
+        if target == "bus":
+            # Transfer-clock domain: a miss-heavy tiny-geometry cell sees
+            # roughly one transfer per few ops; stay well under that.
+            trigger = int(rng.integers(1, max(2, n_ops // 8)))
+        else:
+            lo = max(1, n_ops // 10)
+            trigger = int(rng.integers(lo, max(lo + 1, n_ops)))
+        specs.append(
+            FaultSpec(
+                fault_id=fid,
+                seed=derive_seed(seed, "inject.cell", fid),
+                target=target,
+                level=level,
+                trigger=trigger,
+                bits=bits,
+                site_seed=derive_seed(seed, "inject.site", fid),
+            )
+        )
+    return specs

@@ -1,0 +1,115 @@
+"""Protection models: how (and whether) corrupted state is noticed.
+
+Three models, checked wherever protected state is *used* — a CPU access
+resolving to the corrupted word, a set probe reading the corrupted tag
+or flag bits, a serve or eviction reading the frame out, an off-chip
+transfer, a DRAM read:
+
+``none``
+    No redundancy. Corruption is never detected; it is either masked
+    (overwritten or evicted clean before use) or becomes silent data
+    corruption.
+``parity``
+    One parity bit per protected unit (a 32-bit physical slot plus its
+    per-word PA/AA/VCP flag bits). Detects any odd number of flipped
+    bits; corrects nothing — a detection hands off to the recovery
+    policy (:mod:`repro.inject.recover`).
+``secded``
+    A SECDED (extended Hamming) code over each physical slot plus its
+    flag bits — the natural granule for CPP, where one slot may carry
+    two compressed values whose integrity must be judged together.
+    Corrects single-bit upsets in place; double upsets are detected and
+    handed to the recovery policy; triple-and-worse upsets can alias to
+    a valid codeword and are modelled as undetected.
+
+Latency costs route through :class:`repro.compression.timing.ECCDelayModel`,
+the same gate-level arithmetic the paper uses for the (de)compressor:
+a check that fits in the per-cycle gate budget is hidden under tag
+match and free, anything wider costs whole cycles. The session
+accumulates those modelled cycles in the ``check_cycles`` /
+``recovery_cycles`` counters (they are reported, not fed back into the
+pipeline model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.timing import ECCDelayModel
+from repro.errors import ConfigurationError
+
+__all__ = ["PROTECTION_NAMES", "Protection", "build_protection"]
+
+#: Valid ``--protect`` choices.
+PROTECTION_NAMES = ("none", "parity", "secded")
+
+#: Per-word flag bits co-protected with each slot (PA, AA, VCP).
+_FLAG_BITS = 3
+
+#: Default gate budget per pipeline cycle; 8 is the paper's compressor
+#: depth, which §3.2 argues fits comfortably in a cycle.
+_GATE_DELAYS_PER_CYCLE = 8
+
+
+@dataclass(frozen=True)
+class Protection:
+    """One protection model with its modelled latency costs.
+
+    ``detect_cycles`` is charged on every protection check at a use
+    point; ``correct_cycles`` additionally on every in-place SECDED
+    correction. Both are usually zero — the trees fit the cycle budget.
+    """
+
+    name: str
+    detect_cycles: int = 0
+    correct_cycles: int = 0
+
+    def detects(self, n_bits: int) -> bool:
+        """Does reading the protected unit expose *n_bits* flipped bits?"""
+        if self.name == "parity":
+            return n_bits % 2 == 1
+        if self.name == "secded":
+            return 1 <= n_bits <= 2
+        return False
+
+    def corrects(self, n_bits: int) -> bool:
+        """Can the model repair *n_bits* flipped bits in place?"""
+        return self.name == "secded" and n_bits == 1
+
+
+def build_protection(
+    name: str,
+    *,
+    slot_bits: int = 32,
+    gate_delays_per_cycle: int = _GATE_DELAYS_PER_CYCLE,
+) -> Protection:
+    """Build a :class:`Protection`, pricing it via :class:`ECCDelayModel`.
+
+    *slot_bits* is the physical slot width the code covers (32 for the
+    frame's word slots); the per-word flag bits ride in the same unit.
+    """
+    key = name.strip().lower()
+    if key not in PROTECTION_NAMES:
+        raise ConfigurationError(
+            f"unknown protection model {name!r}; "
+            f"choose from {', '.join(PROTECTION_NAMES)}"
+        )
+    if key == "none":
+        return Protection("none")
+    delays = ECCDelayModel(data_bits=slot_bits + _FLAG_BITS)
+    if key == "parity":
+        return Protection(
+            "parity",
+            detect_cycles=delays.cycles(
+                delays.parity_gate_delays, gate_delays_per_cycle
+            ),
+        )
+    return Protection(
+        "secded",
+        detect_cycles=delays.cycles(
+            delays.syndrome_gate_delays, gate_delays_per_cycle
+        ),
+        correct_cycles=delays.cycles(
+            delays.correct_gate_delays, gate_delays_per_cycle
+        ),
+    )

@@ -1,0 +1,121 @@
+"""Recovery policies: what the hierarchy does after a detected fault.
+
+A policy runs when protection *detects* corruption it cannot correct in
+place (parity always, SECDED on double upsets). All three policies
+restore a structurally sound cache; what distinguishes them is how much
+resident state they sacrifice and whether the architectural data
+survives:
+
+``refetch``
+    Invalidate the affected frame (without writing it back — its data
+    is untrusted) and let the normal miss path refetch the line from
+    the next level. Lossless when the frame was clean; a **dirty**
+    frame's newest data exists nowhere below, so dropping it is data
+    loss the system *knows about* — the outcome is
+    ``detected_uncorrectable``, not SDC.
+``drop_affiliated``
+    Drop only affiliated words. Affiliated content is clean by
+    invariant (§3.3: dirty data never lives in an affiliated place), so
+    this is always lossless — but it can only repair corruption *in*
+    affiliated state; anything else falls back to ``refetch``.
+``degrade``
+    ``refetch``, plus the line is marked degraded for the rest of the
+    run: subsequent fills of a degraded line strip its affiliated
+    payload, so the frame holds its primary line uncompressed and a
+    repeat upset cannot touch two lines at once.
+
+Every policy returns the disposition string recorded on the
+:class:`~repro.inject.faults.Corruption`: ``"recovered"`` (architectural
+state intact) or ``"uncorrectable"`` (detected, but data was lost).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RECOVERY_NAMES", "recover", "apply_degrade_on_fill"]
+
+#: Valid ``--recover`` choices.
+RECOVERY_NAMES = ("refetch", "drop_affiliated", "degrade")
+
+
+def _invalidate_frame(session, cache, rec, frame) -> str:
+    """Drop *frame* without write-back; lossy iff it held dirty state."""
+    dirty = bool(getattr(frame, "dirty", False))
+    frame.invalidate()
+    rec.note(f"invalidated {rec.describe_site()}")
+    return "uncorrectable" if dirty else "recovered"
+
+
+def _drop_affiliated_word(session, cache, rec, frame) -> str:
+    """Clear the corrupted affiliated word (clean by invariant)."""
+    if rec.kind == "data" and rec.widx >= 0:
+        frame.aa &= ~(1 << rec.widx)
+    else:
+        frame.clear_affiliated()
+    rec.note(f"dropped affiliated content at {rec.describe_site()}")
+    return "recovered"
+
+
+def _recover_refetch(session, cache, rec, place, frame) -> str:
+    if place == "affiliated":
+        # The corrupt copy is a clean rider; dropping just it is already
+        # a full refetch-from-below (the next access misses and refills).
+        return _drop_affiliated_word(session, cache, rec, frame)
+    return _invalidate_frame(session, cache, rec, frame)
+
+
+def _recover_drop_affiliated(session, cache, rec, place, frame) -> str:
+    if place == "affiliated" or (rec.kind == "meta" and rec.field_name == "aa"):
+        return _drop_affiliated_word(session, cache, rec, frame)
+    # The policy can only drop affiliated words; anything else needs the
+    # frame gone — fall back to invalidate-and-refetch.
+    rec.note("drop_affiliated fallback: corruption not in affiliated state")
+    return _recover_refetch(session, cache, rec, place, frame)
+
+
+def _recover_degrade(session, cache, rec, place, frame) -> str:
+    line = rec.line_no
+    degraded = session.degraded.setdefault(rec.level, set())
+    degraded.add(line)
+    pair_mask = getattr(getattr(cache, "policy", None), "mask", None)
+    if pair_mask:
+        degraded.add(line ^ pair_mask)
+    rec.note(f"degraded line {line:#x} to uncompressed residency")
+    return _recover_refetch(session, cache, rec, place, frame)
+
+
+_RECOVERIES = {
+    "refetch": _recover_refetch,
+    "drop_affiliated": _recover_drop_affiliated,
+    "degrade": _recover_degrade,
+}
+
+
+def recover(session, cache, rec, place, frame) -> str:
+    """Run the session's recovery policy on a detected corruption.
+
+    *place* names where the corrupt state sits right now: ``"primary"``
+    / ``"affiliated"`` (compression caches), ``"line"`` (classic
+    caches), or ``"frame"`` (metadata/tag corruption).
+    """
+    try:
+        policy = _RECOVERIES[session.recovery]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown recovery policy {session.recovery!r}; "
+            f"choose from {', '.join(RECOVERY_NAMES)}"
+        ) from None
+    return policy(session, cache, rec, place, frame)
+
+
+def apply_degrade_on_fill(session, level: str, frame) -> None:
+    """Strip the affiliated payload from a freshly filled degraded line.
+
+    Called from the post-fill hook: a line the ``degrade`` policy marked
+    keeps no compressed riders, so its frame is effectively a plain
+    uncompressed line from then on.
+    """
+    degraded = session.degraded.get(level)
+    if degraded and frame.line_no in degraded and frame.aa:
+        frame.aa = 0

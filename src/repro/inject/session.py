@@ -1,0 +1,679 @@
+"""Run-time engine of one fault-injection experiment.
+
+An :class:`InjectionSession` is armed process-wide through
+:mod:`repro.inject.hooks`; the hooked models (cache cores, the memory
+port, the DRAM model, the bus meter) then report every event the session
+cares about:
+
+* **clocks** — CPU accesses at the L1 core advance the *op clock* (the
+  trigger domain of cache and memory faults); every off-chip transfer
+  advances the *transfer clock* (the trigger domain of bus faults);
+* **firing** — when a pending :class:`~repro.inject.faults.FaultSpec`
+  comes due, the session picks a concrete site with its own seeded RNG
+  (resident words / flags / tags for cache targets, a touched word for
+  memory targets, the in-flight payload for bus targets), flips the bits
+  and keeps a :class:`~repro.inject.faults.Corruption` record;
+* **detection on use** — corrupted state is *checked where it is read*:
+  a CPU access resolving to the corrupted word, a set probe scanning the
+  corrupted tag/flag bits, a serve or eviction reading the frame out, a
+  DRAM line read. The armed :class:`~repro.inject.protect.Protection`
+  decides whether the corruption is seen (parity: odd flips; SECDED: one
+  or two flips) and whether it is repaired in place (SECDED, one flip);
+  detections SECDED cannot correct hand off to the recovery policy
+  (:mod:`repro.inject.recover`).
+
+Data-site identity is logical — ``(level, line_no, word index, corrupt
+value)`` — so a record keeps tracking its word through promotions,
+stashes and merges that move it between the primary and affiliated
+places of a level. Metadata and tag records pin the physical frame (the
+corruption cannot be located by value) plus its home set; every probe of
+that set is a use point, which is how a flipped valid/PA bit is caught
+*before* the hole it opened is refilled with stale data.
+
+:meth:`finalize` is the end-of-run scrub: whatever is still resident and
+corrupted gets one last protection check before the final flush, the
+same coverage a real hierarchy gets from patrol scrubbing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.caches.compression_cache import CompressionCache
+from repro.inject.faults import CACHE_TARGETS, Corruption, FaultSpec, flip_bits
+from repro.inject.protect import Protection
+from repro.inject.recover import apply_degrade_on_fill, recover
+
+__all__ = ["OUTCOMES", "InjectionSession"]
+
+#: Classification of one injected fault, per the usual FIT taxonomy,
+#: plus ``not_fired`` for plans whose trigger never found a live site.
+OUTCOMES = (
+    "masked",
+    "detected_recovered",
+    "detected_uncorrectable",
+    "sdc",
+    "not_fired",
+)
+
+_META_FIELDS_CPP = ("pa", "aa", "vcp", "dirty")
+_META_FIELDS_CLASSIC = ("dirty", "valid")
+
+
+def _unwrap(level):
+    """Peel facade layers (prefetcher/victim/stride wrappers) to the core."""
+    while hasattr(level, "cache"):
+        level = level.cache
+    return level
+
+
+class InjectionSession:
+    """State machine of a single armed fault-injection run."""
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        protection: Protection,
+        recovery: str = "refetch",
+    ) -> None:
+        self.spec = spec
+        self.protection = protection
+        self.recovery = recovery
+        self.rng = random.Random(spec.site_seed & 0xFFFF_FFFF)
+        self.pending: FaultSpec | None = spec
+        self.records: list[Corruption] = []
+        #: lines the ``degrade`` policy pinned to uncompressed residency
+        self.degraded: dict[str, set[int]] = {}
+        #: candidate word addresses for ``mem`` faults (the touched set)
+        self.mem_candidates: list[int] = []
+        self.op_clock = 0
+        self.transfer_clock = 0
+        self.check_cycles = 0
+        self.correct_cycles = 0
+        self.counters: dict[str, int] = {
+            "fired": 0,
+            "deferred": 0,
+            "checks": 0,
+            "detected": 0,
+            "corrected": 0,
+            "recovered": 0,
+            "uncorrectable": 0,
+            "overwritten": 0,
+            "evicted": 0,
+            "retries": 0,
+        }
+        self._levels: dict[int, str] = {}
+        self._cores: dict[str, object] = {}
+        self._l1_id: int | None = None
+        self.memory = None
+
+    # ---- wiring --------------------------------------------------------------
+
+    def attach(self, hierarchy) -> None:
+        """Bind the session to a hierarchy's cores and memory."""
+        l1 = _unwrap(hierarchy.l1)
+        l2 = _unwrap(hierarchy.l2)
+        self._levels = {id(l1): "l1", id(l2): "l2"}
+        self._cores = {"l1": l1, "l2": l2}
+        self._l1_id = id(l1)
+        self.memory = hierarchy.memory
+
+    # ---- hook entry points (hot paths call these when armed) -----------------
+
+    def before_access(self, cache, addr: int, write: bool) -> None:
+        """A CPU access is about to probe *cache* for *addr*."""
+        level = self._levels.get(id(cache))
+        if level is None:
+            return
+        if id(cache) == self._l1_id:
+            self.op_clock += 1
+            if self.pending is not None and self.pending.target != "bus":
+                self._fire_due()
+        if not self.records:
+            return
+        ln = addr >> cache.line_shift
+        for set_idx in self._probed_sets(cache, (ln,)):
+            self._check_set_probe(cache, level, set_idx)
+        widx = (addr >> 2) & (cache.line_words - 1)
+        for rec in self.records:
+            if (
+                rec.live
+                and rec.level == level
+                and rec.kind == "data"
+                and rec.line_no == ln
+                and rec.widx == widx
+            ):
+                self._check_data_use(cache, rec, overwrite=write)
+
+    def before_serve(self, cache, addr: int, pair_addr: int | None) -> None:
+        """A lower level is about to read line *addr* (and maybe its pair)
+        out of *cache* to serve the level above."""
+        level = self._levels.get(id(cache))
+        if level is None or not self.records:
+            return
+        ln = addr >> cache.line_shift
+        lines = {ln}
+        if pair_addr is not None:
+            lines.add(pair_addr >> cache.line_shift)
+        for set_idx in self._probed_sets(cache, lines):
+            self._check_set_probe(cache, level, set_idx)
+        for rec in self.records:
+            if (
+                rec.live
+                and rec.level == level
+                and rec.kind == "data"
+                and rec.line_no in lines
+            ):
+                self._check_data_use(cache, rec)
+
+    def before_evict(self, cache, frame) -> None:
+        """A valid frame is about to be written back / stashed / dropped."""
+        level = self._levels.get(id(cache))
+        if level is None or not self.records:
+            return
+        for rec in self.records:
+            if not rec.live or rec.level != level:
+                continue
+            if rec.kind == "data":
+                self._check_data_use(cache, rec, only_frame=frame)
+            elif rec.frame is frame:
+                self._check_meta_use(cache, rec)
+
+    def after_fill(self, cache, frame) -> None:
+        """A fill just installed/merged into *frame*."""
+        if not self.degraded:
+            return
+        level = self._levels.get(id(cache))
+        if level is not None:
+            apply_degrade_on_fill(self, level, frame)
+
+    def on_bus_transfer(self, kind, words: int) -> None:
+        """One off-chip transfer was metered (the bus-fault trigger clock)."""
+        self.transfer_clock += 1
+
+    def on_bus_values(
+        self, addr: int, values: list[int], mask: int | None = None
+    ) -> list[int]:
+        """A payload is crossing the off-chip bus; returns what arrives."""
+        spec = self.pending
+        if (
+            spec is None
+            or spec.target != "bus"
+            or self.transfer_clock + 1 < spec.trigger
+            or not values
+        ):
+            return values
+        self.pending = None
+        self.counters["fired"] += 1
+        if mask is not None:
+            idxs = [i for i in range(len(values)) if (mask >> i) & 1]
+            if not idxs:
+                idxs = list(range(len(values)))
+        else:
+            idxs = list(range(len(values)))
+        widx = self.rng.choice(idxs)
+        positions = self.rng.sample(range(32), min(spec.bits, 32))
+        pristine = values[widx]
+        corrupt = flip_bits(pristine, positions)
+        rec = Corruption(
+            spec=spec,
+            kind="bus",
+            level="bus",
+            addr=addr + 4 * widx,
+            widx=widx,
+            pristine=pristine,
+            corrupt=corrupt,
+            n_bits=len(positions),
+        )
+        self.records.append(rec)
+        rec.note(f"flipped bits {positions} in transfer {self.transfer_clock + 1}")
+        p = self.protection
+        self._charge_check()
+        rec.live = False
+        if p.corrects(rec.n_bits):
+            self._charge_correct()
+            rec.detected = True
+            rec.disposition = "corrected"
+            rec.note("secded corrected in flight")
+            self.counters["detected"] += 1
+            self.counters["corrected"] += 1
+            return values
+        if p.detects(rec.n_bits):
+            # Detected in transit: the transfer is retried, delivering the
+            # pristine payload at the cost of one extra round trip.
+            rec.detected = True
+            rec.disposition = "recovered"
+            rec.note("parity detected in flight; transfer retried")
+            self.counters["detected"] += 1
+            self.counters["recovered"] += 1
+            self.counters["retries"] += 1
+            return values
+        rec.disposition = "propagated"
+        rec.note("delivered corrupt (no protection caught it)")
+        out = list(values)
+        out[widx] = corrupt
+        return out
+
+    def on_memory_read(self, addr: int, n_words: int) -> None:
+        """DRAM is about to read out ``[addr, addr + 4*n_words)``."""
+        lo, hi = addr, addr + 4 * n_words
+        for rec in self.records:
+            if rec.live and rec.kind == "mem" and lo <= rec.addr < hi:
+                self._check_mem_use(rec)
+
+    def on_memory_write(self, addr: int, n_words: int, mask: int | None) -> None:
+        """DRAM is about to overwrite (masked) words at *addr*."""
+        lo, hi = addr, addr + 4 * n_words
+        for rec in self.records:
+            if rec.live and rec.kind == "mem" and lo <= rec.addr < hi:
+                widx = (rec.addr - addr) >> 2
+                if mask is None or (mask >> widx) & 1:
+                    rec.live = False
+                    rec.disposition = "overwritten"
+                    rec.note("memory word overwritten by write-back")
+                    self.counters["overwritten"] += 1
+
+    # ---- end-of-run ----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """End-of-run scrub: one last protection pass over live corruption."""
+        for rec in self.records:
+            if not rec.live:
+                continue
+            if rec.kind == "mem":
+                self._check_mem_use(rec)
+            elif rec.kind == "data":
+                self._check_data_use(
+                    self._cores[rec.level], rec, at_finalize=True
+                )
+            elif rec.kind in ("meta", "tag"):
+                self._check_meta_use(self._cores[rec.level], rec)
+
+    def classify(self, mismatch: bool) -> str:
+        """Outcome of the cell given the architectural comparison verdict."""
+        if not self.counters["fired"]:
+            return "not_fired"
+        detected = any(r.detected for r in self.records)
+        if mismatch:
+            return "detected_uncorrectable" if detected else "sdc"
+        return "detected_recovered" if detected else "masked"
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of the session (for campaign outcome records)."""
+        return {
+            "op_clock": self.op_clock,
+            "transfer_clock": self.transfer_clock,
+            "check_cycles": self.check_cycles,
+            "correct_cycles": self.correct_cycles,
+            "counters": dict(self.counters),
+            "records": [
+                {
+                    "kind": r.kind,
+                    "site": r.describe_site(),
+                    "n_bits": r.n_bits,
+                    "detected": r.detected,
+                    "disposition": r.disposition,
+                    "events": list(r.events),
+                }
+                for r in self.records
+            ],
+        }
+
+    # ---- firing --------------------------------------------------------------
+
+    def _fire_due(self) -> None:
+        spec = self.pending
+        if spec is None or spec.trigger > self.op_clock:
+            return
+        if spec.target == "mem":
+            fired = self._fire_mem(spec)
+        elif spec.target in CACHE_TARGETS:
+            fired = self._fire_cache(spec, self._cores.get(spec.level))
+        else:  # pragma: no cover - planner never emits other targets here
+            fired = False
+        if fired:
+            self.pending = None
+            self.counters["fired"] += 1
+        else:
+            self.counters["deferred"] += 1
+
+    def _fire_mem(self, spec: FaultSpec) -> bool:
+        if not self.mem_candidates or self.memory is None:
+            return False
+        addr = self.rng.choice(self.mem_candidates)
+        positions = self.rng.sample(range(32), min(spec.bits, 32))
+        pristine = self.memory.peek_word(addr)
+        corrupt = flip_bits(pristine, positions)
+        self.memory.poke_word(addr, corrupt)
+        rec = Corruption(
+            spec=spec,
+            kind="mem",
+            level="mem",
+            addr=addr,
+            pristine=pristine,
+            corrupt=corrupt,
+            n_bits=len(positions),
+        )
+        rec.note(f"flipped bits {positions} at op {self.op_clock}")
+        self.records.append(rec)
+        return True
+
+    def _fire_cache(self, spec: FaultSpec, cache) -> bool:
+        if cache is None:
+            return False
+        if spec.target == "data":
+            return self._fire_data(spec, cache)
+        if spec.target == "meta":
+            return self._fire_meta(spec, cache)
+        return self._fire_tag(spec, cache)
+
+    def _fire_data(self, spec: FaultSpec, cache) -> bool:
+        candidates: list[tuple[object, int, str]] = []
+        if isinstance(cache, CompressionCache):
+            for ways in cache._sets:
+                for f in ways:
+                    if f.line_no < 0:
+                        continue
+                    m = f.pa
+                    while m:
+                        low = m & -m
+                        candidates.append((f, low.bit_length() - 1, "primary"))
+                        m ^= low
+                    m = f.aa
+                    while m:
+                        low = m & -m
+                        candidates.append((f, low.bit_length() - 1, "affiliated"))
+                        m ^= low
+        else:
+            for ways in cache._sets:
+                for line in ways:
+                    if not line.valid:
+                        continue
+                    for i in range(cache.line_words):
+                        candidates.append((line, i, "line"))
+        if not candidates:
+            return False
+        frame, widx, place = self.rng.choice(candidates)
+        positions = self.rng.sample(range(32), min(spec.bits, 32))
+        if place == "primary":
+            pristine = frame.pvals[widx]
+            corrupt = flip_bits(pristine, positions)
+            frame.pvals[widx] = corrupt
+            line_no = frame.line_no
+        elif place == "affiliated":
+            pristine = frame.avals[widx]
+            corrupt = flip_bits(pristine, positions)
+            frame.avals[widx] = corrupt
+            line_no = frame.line_no ^ cache.policy.mask
+        else:
+            pristine = frame.data[widx]
+            corrupt = flip_bits(pristine, positions)
+            frame.data[widx] = corrupt
+            line_no = frame.line_no
+        rec = Corruption(
+            spec=spec,
+            kind="data",
+            level=spec.level,
+            line_no=line_no,
+            widx=widx,
+            set_index=frame.line_no & cache.set_mask,
+            pristine=pristine,
+            corrupt=corrupt,
+            n_bits=len(positions),
+        )
+        rec.note(
+            f"flipped bits {positions} in {place} place at op {self.op_clock}"
+        )
+        self.records.append(rec)
+        return True
+
+    def _fire_meta(self, spec: FaultSpec, cache) -> bool:
+        is_cpp = isinstance(cache, CompressionCache)
+        fields = _META_FIELDS_CPP if is_cpp else _META_FIELDS_CLASSIC
+        candidates = [
+            (f, name)
+            for ways in cache._sets
+            for f in ways
+            if (f.line_no >= 0 if is_cpp else f.valid)
+            for name in fields
+        ]
+        if not candidates:
+            return False
+        frame, field_name = self.rng.choice(candidates)
+        width = cache.line_words if field_name in ("pa", "aa", "vcp") else 1
+        positions = self.rng.sample(range(width), min(spec.bits, width))
+        pristine = int(getattr(frame, field_name))
+        corrupt = flip_bits(pristine, positions)
+        self._write_meta_field(frame, field_name, corrupt)
+        rec = Corruption(
+            spec=spec,
+            kind="meta",
+            level=spec.level,
+            line_no=frame.line_no,
+            field_name=field_name,
+            set_index=frame.line_no & cache.set_mask,
+            frame=frame,
+            pristine=pristine,
+            corrupt=corrupt,
+            n_bits=len(positions),
+        )
+        rec.note(f"flipped {field_name} bits {positions} at op {self.op_clock}")
+        self.records.append(rec)
+        return True
+
+    def _fire_tag(self, spec: FaultSpec, cache) -> bool:
+        is_cpp = isinstance(cache, CompressionCache)
+        candidates = [
+            f
+            for ways in cache._sets
+            for f in ways
+            if (f.line_no >= 0 if is_cpp else f.valid)
+        ]
+        if not candidates:
+            return False
+        frame = self.rng.choice(candidates)
+        # Keep the flipped tag inside the 32-bit address space.
+        width = max(1, 30 - cache.line_shift)
+        positions = self.rng.sample(range(width), min(spec.bits, width))
+        pristine = frame.line_no
+        corrupt = flip_bits(pristine, positions)
+        frame.line_no = corrupt
+        rec = Corruption(
+            spec=spec,
+            kind="tag",
+            level=spec.level,
+            line_no=pristine,
+            field_name="line_no",
+            set_index=pristine & cache.set_mask,
+            frame=frame,
+            pristine=pristine,
+            corrupt=corrupt,
+            n_bits=len(positions),
+        )
+        rec.note(f"flipped tag bits {positions} at op {self.op_clock}")
+        self.records.append(rec)
+        return True
+
+    # ---- detection / repair --------------------------------------------------
+
+    def _charge_check(self) -> None:
+        self.counters["checks"] += 1
+        self.check_cycles += self.protection.detect_cycles
+
+    def _charge_correct(self) -> None:
+        self.correct_cycles += self.protection.correct_cycles
+
+    def _retire(self, rec: Corruption, disposition: str, event: str) -> None:
+        rec.live = False
+        rec.disposition = disposition
+        rec.note(event)
+        self.counters[disposition] = self.counters.get(disposition, 0) + 1
+
+    def _locate_data(self, cache, rec: Corruption, only_frame=None):
+        """Where the corrupt word currently sits: ``(place, frame)``,
+        ``("overwritten", frame)`` when the slot holds a different value,
+        or ``("gone", None)`` when it is not resident (here)."""
+        bit = 1 << rec.widx
+        found: list[tuple[str, object, int]] = []
+        if isinstance(cache, CompressionCache):
+            f = cache._find_primary(rec.line_no, touch=False)
+            if f is not None and f.pa & bit:
+                found.append(("primary", f, f.pvals[rec.widx]))
+            g = cache._find_affiliated(rec.line_no, touch=False)
+            if g is not None and g.aa & bit:
+                found.append(("affiliated", g, g.avals[rec.widx]))
+        else:
+            for line in cache._sets[rec.line_no & cache.set_mask]:
+                if line.valid and line.line_no == rec.line_no:
+                    found.append(("line", line, line.data[rec.widx]))
+                    break
+        for place, frame, value in found:
+            if only_frame is not None and frame is not only_frame:
+                continue
+            if value == rec.corrupt:
+                return place, frame
+            return "overwritten", frame
+        return "gone", None
+
+    def _check_data_use(
+        self,
+        cache,
+        rec: Corruption,
+        *,
+        overwrite: bool = False,
+        only_frame=None,
+        at_finalize: bool = False,
+    ) -> None:
+        place, frame = self._locate_data(cache, rec, only_frame=only_frame)
+        if place == "gone":
+            # Not resident here (evicted clean, stash-dropped, or moved
+            # down with no protection watching). Leave it live until the
+            # final scrub — a victim-buffer round trip may bring it back.
+            if at_finalize:
+                self._retire(rec, "evicted", "no longer resident at scrub")
+            return
+        if place == "overwritten":
+            self._retire(rec, "overwritten", "slot rewritten with fresh data")
+            return
+        if overwrite:
+            self._retire(rec, "overwritten", "CPU store replaced the word")
+            return
+        p = self.protection
+        if p.name == "none":
+            return
+        self._charge_check()
+        if not p.detects(rec.n_bits):
+            return
+        rec.detected = True
+        self.counters["detected"] += 1
+        if p.corrects(rec.n_bits):
+            self._charge_correct()
+            if place == "primary":
+                frame.pvals[rec.widx] = rec.pristine
+            elif place == "affiliated":
+                frame.avals[rec.widx] = rec.pristine
+            else:
+                frame.data[rec.widx] = rec.pristine
+            self._retire(rec, "corrected", f"secded corrected in {place} place")
+            return
+        disposition = recover(self, cache, rec, place, frame)
+        self._retire(rec, disposition, f"recovery policy: {self.recovery}")
+
+    def _read_meta_field(self, frame, rec: Corruption) -> int | None:
+        """Current value of the corrupted field, or ``None`` if the frame
+        no longer holds the corrupted line."""
+        if rec.kind == "tag":
+            return frame.line_no
+        if frame.line_no != rec.line_no:
+            return None
+        return int(getattr(frame, rec.field_name))
+
+    @staticmethod
+    def _write_meta_field(frame, field_name: str, value: int) -> None:
+        if field_name in ("dirty", "valid"):
+            setattr(frame, field_name, bool(value))
+        else:
+            setattr(frame, field_name, value)
+
+    def _check_meta_use(self, cache, rec: Corruption) -> None:
+        frame = rec.frame
+        current = self._read_meta_field(frame, rec)
+        if rec.kind == "tag":
+            if current == rec.pristine:
+                self._retire(rec, "overwritten", "tag restored by reinstall")
+                return
+            if current != rec.corrupt:
+                self._retire(rec, "evicted", "frame reinstalled with a new line")
+                return
+        else:
+            if current is None:
+                self._retire(rec, "evicted", "frame no longer holds the line")
+                return
+            diff = rec.pristine ^ rec.corrupt
+            if (current ^ rec.corrupt) & diff:
+                # The flipped bits were legitimately rewritten since.
+                self._retire(rec, "overwritten", "flag bits rewritten")
+                return
+        p = self.protection
+        if p.name == "none":
+            return
+        self._charge_check()
+        if not p.detects(rec.n_bits):
+            return
+        rec.detected = True
+        self.counters["detected"] += 1
+        if p.corrects(rec.n_bits):
+            self._charge_correct()
+            if rec.kind == "tag":
+                frame.line_no = rec.pristine
+            else:
+                diff = rec.pristine ^ rec.corrupt
+                fixed = (current & ~diff) | (rec.pristine & diff)
+                self._write_meta_field(frame, rec.field_name, fixed)
+            self._retire(rec, "corrected", f"secded corrected {rec.field_name}")
+            return
+        disposition = recover(self, cache, rec, "frame", frame)
+        self._retire(rec, disposition, f"recovery policy: {self.recovery}")
+
+    def _check_mem_use(self, rec: Corruption) -> None:
+        current = self.memory.peek_word(rec.addr)
+        if current != rec.corrupt:
+            self._retire(rec, "overwritten", "memory word rewritten")
+            return
+        p = self.protection
+        if p.name == "none":
+            return
+        self._charge_check()
+        if not p.detects(rec.n_bits):
+            return
+        rec.detected = True
+        self.counters["detected"] += 1
+        if p.corrects(rec.n_bits):
+            self._charge_correct()
+            self.memory.poke_word(rec.addr, rec.pristine)
+            self._retire(rec, "corrected", "dram ecc corrected on read")
+            return
+        # Detected but uncorrectable in DRAM: there is no level below to
+        # refetch from, so the loss is reported, not repaired.
+        self._retire(rec, "uncorrectable", "dram parity: no correction source")
+
+    @staticmethod
+    def _probed_sets(cache, lines) -> set[int]:
+        """Sets a lookup of *lines* scans: the home set of each line plus,
+        for compression caches, its pairing partner's set (the affiliated
+        probe reads that set's tags and flags too)."""
+        sets = {ln & cache.set_mask for ln in lines}
+        if isinstance(cache, CompressionCache):
+            mask = cache.policy.mask
+            sets |= {(ln ^ mask) & cache.set_mask for ln in lines}
+        return sets
+
+    def _check_set_probe(self, cache, level: str, set_idx: int) -> None:
+        for rec in self.records:
+            if (
+                rec.live
+                and rec.level == level
+                and rec.kind in ("meta", "tag")
+                and rec.set_index == set_idx
+            ):
+                self._check_meta_use(cache, rec)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.inject import hooks as _inject
 from repro.memory.bus import BusMeter, TrafficKind
 from repro.memory.image import WORD_BYTES, MemoryImage
 from repro.utils.bitmask import as_mask
@@ -53,6 +54,8 @@ class MainMemory:
         *n_words*, the uncompressed cost). Compressed-transfer designs pass
         the packed size.
         """
+        if _inject.ACTIVE:
+            _inject.SESSION.on_memory_read(addr, n_words)
         data = self.image.read_words(addr, n_words)
         self.bus.record(kind, n_words if bus_words is None else bus_words)
         self.n_reads += 1
@@ -76,6 +79,10 @@ class MainMemory:
         if mask is not None:
             mask = as_mask(mask)
         full = (1 << len(values)) - 1
+        if _inject.ACTIVE:
+            _inject.SESSION.on_memory_write(
+                addr, len(values), full if mask is None else mask
+            )
         if mask is None or mask == full:
             self.image.write_words(addr, values)
             n_valid = len(values)

@@ -180,7 +180,12 @@ def _key_identity(key: tuple) -> tuple[str, str]:
     supervised tasks may use anything — fall back to ``repr``.
     """
     if isinstance(key, tuple):
-        if len(key) == 5 and isinstance(key[0], str) and isinstance(key[3], str):
+        if (
+            len(key) == 5
+            and isinstance(key[0], str)
+            and isinstance(key[3], str)
+            and isinstance(key[4], (int, float))
+        ):
             config = key[3] if key[4] == 1.0 else f"{key[3]}@x{key[4]:g}"
             return key[0], config
         if len(key) >= 2 and isinstance(key[0], str) and isinstance(key[1], str):

@@ -1,0 +1,58 @@
+"""Typed validation of the ``repro-experiments`` command line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UsageError
+from repro.experiments.runall import _build_parser, _validate, main
+
+
+def _args(*argv: str):
+    return _build_parser().parse_args(list(argv))
+
+
+class TestValidate:
+    def test_accepts_defaults(self):
+        _validate(_args("fig9"))
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("fig9", "--seed", "-1"),
+            ("fig9", "--scale", "0"),
+            ("fig9", "--timeout", "-5"),
+            ("fig9", "--retries", "-1"),
+            ("fig9", "--workers", "0"),
+            ("fig9", "--profile", "0"),
+        ],
+    )
+    def test_rejects_bad_numbers(self, argv):
+        with pytest.raises(UsageError):
+            _validate(_args(*argv))
+
+    def test_unknown_figure_lists_choices(self):
+        with pytest.raises(UsageError) as err:
+            _validate(_args("fig99"))
+        message = str(err.value)
+        assert "fig99" in message
+        assert "fig9" in message  # the valid choices are listed
+        assert err.value.argument == "figures"
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(UsageError) as err:
+            _validate(_args("fig9", "--workloads", "olden.quadtree"))
+        message = str(err.value)
+        assert "olden.quadtree" in message
+        assert "olden.treeadd" in message
+        assert err.value.argument == "--workloads"
+
+
+class TestMain:
+    def test_usage_error_exits_one_not_traceback(self, capsys):
+        assert main(["fig99"]) == 1
+        assert main(["fig9", "--seed", "-1"]) == 1
+        assert main(["fig9", "--workloads", "nope"]) == 1
+        err = capsys.readouterr().err
+        out = capsys.readouterr().out
+        assert "Traceback" not in err + out

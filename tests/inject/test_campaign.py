@@ -1,0 +1,165 @@
+"""Campaign assembly, reproducibility, checkpoint resume and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import UsageError
+from repro.inject.__main__ import main
+from repro.inject.campaign import (
+    build_cells,
+    format_report,
+    run_cell,
+    run_campaign,
+    summarize,
+)
+
+# One cheap, deterministic cell reused across tests (module-scope cache).
+_CELL_KW = dict(
+    config="CPP", protects=("none",), seed=3, seeds=1, n_ops=120
+)
+
+
+class TestBuildCells:
+    def test_key_shape_and_count(self):
+        cells = build_cells(
+            config="CPP", protects=("none", "secded"), seed=0, seeds=3
+        )
+        assert len(cells) == 6
+        keys = {c["key"] for c in cells}
+        assert len(keys) == 6
+        for cell in cells:
+            config, protect, recover, master, fid = cell["key"]
+            assert config == "CPP" and recover == "refetch"
+            assert protect in ("none", "secded")
+
+    def test_unknown_config_is_usage_error(self):
+        with pytest.raises(UsageError) as err:
+            build_cells(config="ZPP")
+        assert "ZPP" in str(err.value)
+        assert "CPP" in str(err.value)  # valid choices are listed
+
+    def test_unknown_protect_is_usage_error(self):
+        with pytest.raises(UsageError) as err:
+            build_cells(protects=("chipkill",))
+        assert "secded" in str(err.value)
+
+    def test_unknown_recover_is_usage_error(self):
+        with pytest.raises(UsageError) as err:
+            build_cells(recover="reboot")
+        assert "refetch" in str(err.value)
+
+
+class TestRunCell:
+    def test_deterministic_record(self):
+        (cell,) = build_cells(**_CELL_KW)
+        first = run_cell(dict(cell))
+        second = run_cell(dict(cell))
+        assert first == second
+        assert first["outcome"] in (
+            "masked",
+            "detected_recovered",
+            "detected_uncorrectable",
+            "sdc",
+            "not_fired",
+        )
+
+    def test_protection_changes_only_the_armed_model(self):
+        (cell,) = build_cells(**_CELL_KW)
+        protected = dict(cell, protect="secded")
+        record = run_cell(protected)
+        assert record["protect"] == "secded"
+        assert record["outcome"] != "sdc"
+
+
+class TestRunCampaign:
+    def test_checkpoint_resume_is_lossless(self, tmp_path):
+        cells = build_cells(
+            config="CPP", protects=("none", "secded"), seed=1, seeds=2,
+            n_ops=120,
+        )
+        path = tmp_path / "inject.ckpt"
+        first = run_campaign(cells, timeout=120, checkpoint_path=path)
+        assert not first.failures
+        assert len(first.results) == len(cells)
+        # Every cell is checkpointed; the rerun replays from disk and
+        # reproduces the identical classification for every key.
+        resumed = run_campaign(cells, timeout=120, checkpoint_path=path)
+        assert resumed.results == first.results
+
+    def test_rerun_reproduces_classifications(self):
+        cells = build_cells(**_CELL_KW)
+        a = run_campaign(cells, timeout=120)
+        b = run_campaign(cells, timeout=120)
+        assert a.results == b.results
+
+
+class TestReporting:
+    def _results(self):
+        cells = build_cells(
+            config="CPP", protects=("none", "secded"), seed=5, seeds=2,
+            n_ops=120,
+        )
+        return {tuple(c["key"]): run_cell(dict(c)) for c in cells}
+
+    def test_summarize_histograms(self):
+        results = self._results()
+        summary = summarize(results)
+        assert summary["cells"] == 4
+        assert set(summary["by_protect"]) == {"none", "secded"}
+        for hist in summary["by_protect"].values():
+            assert sum(hist.values()) == 2
+
+    def test_report_tail_line_is_machine_readable(self):
+        summary = summarize(self._results())
+        report = format_report(summary)
+        tail = [
+            line for line in report.splitlines()
+            if line.startswith("INJECT-SUMMARY ")
+        ]
+        assert len(tail) == 1
+        payload = json.loads(tail[0].split(" ", 1)[1])
+        assert payload["cells"] == 4
+        assert payload["by_protect"] == summary["by_protect"]
+
+
+class TestCli:
+    def test_usage_errors_exit_one_without_traceback(self, capsys):
+        assert main(["--seeds", "0"]) == 1
+        assert main(["--seed", "-1"]) == 1
+        assert main(["--retries", "-2"]) == 1
+        assert main(["--timeout", "0"]) == 1
+        assert main(["--config", "ZPP"]) == 1
+        assert main(["--protect", "chipkill"]) == 1
+        assert main(["--recover", "reboot"]) == 1
+        assert main(["--assert-no-sdc", "chipkill"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_small_campaign_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "records.json"
+        status = main(
+            [
+                "--seeds", "2", "--ops", "120", "--protect", "secded",
+                "--assert-no-sdc", "secded", "--json", str(out),
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "INJECT-SUMMARY" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["cells"] == 2
+        assert payload["summary"]["by_protect"]["secded"]["sdc"] == 0
+
+    def test_assert_no_sdc_gate_fails_on_unran_model(self, capsys):
+        status = main(
+            [
+                "--seeds", "1", "--ops", "120", "--protect", "none",
+                "--assert-no-sdc", "secded",
+            ]
+        )
+        assert status == 1
+        assert "no cells ran" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""Deterministic fault planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inject.faults import CACHE_TARGETS, FaultSpec, flip_bits
+from repro.inject.plan import build_plan, faults_for_rate
+
+
+class TestFlipBits:
+    def test_flip_and_restore(self):
+        v = 0xDEADBEEF
+        assert flip_bits(flip_bits(v, [0, 5, 31]), [31, 0, 5]) == v
+
+    def test_single_flip_changes_value(self):
+        for p in range(32):
+            assert flip_bits(0, [p]) == 1 << p
+
+
+class TestFaultSpec:
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            fault_id=3, seed=77, target="meta", level="l2", trigger=41,
+            bits=2, site_seed=123,
+        )
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestBuildPlan:
+    def test_deterministic(self):
+        a = build_plan(seed=7, n_faults=20, n_ops=400)
+        b = build_plan(seed=7, n_faults=20, n_ops=400)
+        assert a == b
+
+    def test_seed_changes_plan(self):
+        a = build_plan(seed=7, n_faults=20, n_ops=400)
+        b = build_plan(seed=8, n_faults=20, n_ops=400)
+        assert a != b
+
+    def test_cache_targets_carry_levels(self):
+        for spec in build_plan(seed=1, n_faults=50, n_ops=400):
+            if spec.target in CACHE_TARGETS:
+                assert spec.level in ("l1", "l2")
+            else:
+                assert spec.level == ""
+            assert spec.trigger >= 1
+
+    def test_target_filter(self):
+        specs = build_plan(seed=1, n_faults=30, n_ops=400, targets=("bus",))
+        assert all(s.target == "bus" for s in specs)
+        # Bus triggers count transfers, which accrue far slower than ops.
+        assert all(s.trigger < 400 // 8 for s in specs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_plan(seed=1, n_faults=0, n_ops=400)
+        with pytest.raises(ConfigurationError):
+            build_plan(seed=1, n_faults=1, n_ops=1)
+        with pytest.raises(ConfigurationError):
+            build_plan(seed=1, n_faults=1, n_ops=400, targets=("rowhammer",))
+        with pytest.raises(ConfigurationError):
+            build_plan(seed=1, n_faults=1, n_ops=400, levels=("l3",))
+        with pytest.raises(ConfigurationError):
+            build_plan(seed=1, n_faults=1, n_ops=400, bits=0)
+
+
+class TestFaultsForRate:
+    def test_scaling(self):
+        assert faults_for_rate(1.0, 1000) == 1
+        assert faults_for_rate(2.5, 400) == 1
+        assert faults_for_rate(10.0, 1000) == 10
+
+    def test_floor_of_one(self):
+        assert faults_for_rate(0.001, 100) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            faults_for_rate(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            faults_for_rate(1.0, 0)

@@ -1,0 +1,67 @@
+"""Protection-model semantics and the SECDED latency model."""
+
+import pytest
+
+from repro.compression.timing import ECCDelayModel, secded_check_bits
+from repro.errors import ConfigurationError
+from repro.inject.protect import PROTECTION_NAMES, build_protection
+
+
+class TestSemantics:
+    def test_none_never_detects(self):
+        p = build_protection("none")
+        for n in range(1, 8):
+            assert not p.detects(n)
+            assert not p.corrects(n)
+
+    def test_parity_detects_odd_only(self):
+        p = build_protection("parity")
+        assert p.detects(1)
+        assert not p.detects(2)
+        assert p.detects(3)
+        assert not p.corrects(1)
+
+    def test_secded_detects_one_and_two_corrects_one(self):
+        p = build_protection("secded")
+        assert p.detects(1) and p.corrects(1)
+        assert p.detects(2) and not p.corrects(2)
+        # Triple flips can alias to a valid codeword: not guaranteed caught.
+        assert not p.detects(3)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_protection("hamming")
+
+    def test_names_cover_builders(self):
+        for name in PROTECTION_NAMES:
+            assert build_protection(name).name == name
+
+
+class TestEccDelayModel:
+    def test_check_bits_match_hamming_bound(self):
+        # SECDED on k data bits needs r with 2^r >= k + r + 1, plus one.
+        assert secded_check_bits(8) == 5
+        assert secded_check_bits(32) == 7
+        assert secded_check_bits(64) == 8
+
+    def test_codeword_width(self):
+        m = ECCDelayModel(data_bits=32)
+        assert m.codeword_bits == 32 + m.check_bits
+
+    def test_gate_tree_depth_grows_with_width(self):
+        narrow = ECCDelayModel(data_bits=8)
+        wide = ECCDelayModel(data_bits=64)
+        assert wide.parity_gate_delays >= narrow.parity_gate_delays
+
+    def test_cycles_quantize_gate_delays(self):
+        # A path fitting the per-cycle budget hides under tag match.
+        assert ECCDelayModel.cycles(0, 8) == 0
+        assert ECCDelayModel.cycles(8, 8) == 0
+        assert ECCDelayModel.cycles(9, 8) == 2
+        assert ECCDelayModel.cycles(17, 8) == 3
+
+    def test_protection_latency_wired(self):
+        p = build_protection("secded", slot_bits=32, gate_delays_per_cycle=2)
+        # With only 2 gate delays per cycle the syndrome tree cannot be free.
+        assert p.detect_cycles >= 1
+        assert p.correct_cycles >= p.detect_cycles

@@ -1,0 +1,257 @@
+"""Planted-fault scenarios against the armed injection session.
+
+Each test builds a tiny CPP hierarchy over a known image, arms a
+session around a hand-written :class:`FaultSpec`, replays a fixed access
+pattern and checks the end-to-end classification — the acceptance
+scenarios of the subsystem (silent corruption without protection, the
+same corruption caught under SECDED/parity, correct refetch of
+affiliated state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caches.hierarchy import build_hierarchy
+from repro.inject import hooks
+from repro.inject.campaign import campaign_params
+from repro.inject.faults import FaultSpec
+from repro.inject.protect import build_protection
+from repro.inject.session import InjectionSession
+from repro.memory.image import MemoryImage
+from repro.memory.main_memory import MainMemory
+
+HEAP = 0x1000_0000
+N_WORDS = 2048  # 8 KiB of mapped heap
+
+
+def _memory() -> MainMemory:
+    """Small, fully compressible values so affiliated lines fill whole."""
+    img = MemoryImage()
+    for i in range(N_WORDS):
+        img.write_word(HEAP + 4 * i, i + 1)
+    return MainMemory(img)
+
+
+def _planted(
+    protect: str,
+    *,
+    target: str = "data",
+    level: str = "l1",
+    trigger: int = 20,
+    bits: int = 1,
+    recovery: str = "refetch",
+    site_seed: int = 99,
+):
+    """Arm one planted fault over a fixed two-line read workload.
+
+    Reads every word of an L1 line and of its CPP pairing partner,
+    twice, so any resident corruption in either place is consumed by a
+    load after the trigger. Returns ``(outcome, session, ok)`` where
+    *ok* is True iff every load returned its pristine value.
+    """
+    memory = _memory()
+    hierarchy = build_hierarchy("CPP", memory, campaign_params())
+    spec = FaultSpec(
+        fault_id=0,
+        seed=0,
+        target=target,
+        level=level,
+        trigger=trigger,
+        bits=bits,
+        site_seed=site_seed,
+    )
+    session = InjectionSession(spec, build_protection(protect), recovery)
+    session.attach(hierarchy)
+    l1 = session._cores["l1"]
+    base_ln = HEAP >> l1.line_shift
+    pair_ln = base_ln ^ l1.policy.mask
+    addrs = [HEAP + 4 * i for i in range(l1.line_words)]
+    addrs += [(pair_ln << l1.line_shift) + 4 * i for i in range(l1.line_words)]
+    expected = {a: memory.peek_word(a) for a in addrs}
+    session.mem_candidates = sorted(set(addrs))
+
+    loads: list[tuple[int, int]] = []
+    hooks.activate(session)
+    try:
+        now = 0
+        for _ in range(2):
+            for a in addrs:
+                loads.append((a, hierarchy.load(a, now).value))
+                now += 1
+        session.finalize()
+        hierarchy.flush()
+    finally:
+        hooks.deactivate()
+
+    ok = all(value == expected[a] for a, value in loads)
+    for a in addrs:
+        ok = ok and memory.peek_word(a) == expected[a]
+    return session.classify(not ok), session, ok
+
+
+class TestGate:
+    def test_disabled_by_default(self):
+        assert hooks.ACTIVE is False
+        assert hooks.SESSION is None
+
+    def test_activate_deactivate(self):
+        session = object()
+        hooks.activate(session)
+        try:
+            assert hooks.ACTIVE and hooks.SESSION is session
+        finally:
+            hooks.deactivate()
+        assert not hooks.ACTIVE and hooks.SESSION is None
+
+    def test_disabled_runs_are_identical(self):
+        """With the gate off, two runs of the same stream are bit-identical
+        (the hook edits cost nothing and change nothing)."""
+
+        def run():
+            memory = _memory()
+            h = build_hierarchy("CPP", memory, campaign_params())
+            values = [
+                h.load(HEAP + 4 * i, now).value
+                for now, i in enumerate(range(64))
+            ]
+            h.flush()
+            return values, [memory.peek_word(HEAP + 4 * i) for i in range(64)]
+
+        assert run() == run()
+
+
+class TestDataFaults:
+    def test_unprotected_fault_is_silent(self):
+        outcome, session, ok = _planted("none")
+        assert session.counters["fired"] == 1
+        assert session.counters["detected"] == 0
+        assert not ok
+        assert outcome == "sdc"
+
+    def test_secded_corrects_same_fault(self):
+        outcome, session, ok = _planted("secded")
+        assert session.counters["fired"] == 1
+        assert session.counters["corrected"] == 1
+        assert ok
+        assert outcome == "detected_recovered"
+
+    def test_parity_detects_and_refetches(self):
+        outcome, session, ok = _planted("parity")
+        assert session.counters["detected"] == 1
+        assert ok
+        assert outcome == "detected_recovered"
+
+    def test_secded_double_bit_recovers_by_refetch(self):
+        outcome, session, ok = _planted("secded", bits=2)
+        assert session.counters["detected"] == 1
+        assert session.counters["corrected"] == 0
+        assert ok
+        assert outcome == "detected_recovered"
+
+    def test_not_fired_when_trigger_past_end(self):
+        outcome, session, ok = _planted("none", trigger=10_000)
+        assert session.counters["fired"] == 0
+        assert ok
+        assert outcome == "not_fired"
+
+
+def _affiliated_site_seed() -> int:
+    """A site seed whose planted L1 data fault lands in an affiliated slot."""
+    for site_seed in range(200):
+        _, session, _ = _planted("none", site_seed=site_seed)
+        rec = session.records[0]
+        if rec.events and "affiliated" in rec.events[0]:
+            return site_seed
+    raise AssertionError("no affiliated site found in 200 seeds")
+
+
+class TestAffiliatedRecovery:
+    def test_affiliated_fault_refetched_correctly(self):
+        """The acceptance pair: a fault in a prefetched affiliated word is
+        silent unprotected, and detected + refetched cleanly under a
+        detect-only protection with the refetch policy."""
+        site_seed = _affiliated_site_seed()
+        outcome, _, ok = _planted("none", site_seed=site_seed)
+        assert outcome == "sdc" and not ok
+        outcome, session, ok = _planted(
+            "secded", bits=2, site_seed=site_seed, recovery="refetch"
+        )
+        assert ok
+        assert outcome == "detected_recovered"
+        rec = session.records[0]
+        assert rec.detected and rec.disposition == "recovered"
+
+    def test_drop_affiliated_policy(self):
+        site_seed = _affiliated_site_seed()
+        outcome, session, ok = _planted(
+            "secded", bits=2, site_seed=site_seed, recovery="drop_affiliated"
+        )
+        assert ok
+        assert outcome == "detected_recovered"
+
+    def test_degrade_policy_pins_lines(self):
+        site_seed = _affiliated_site_seed()
+        outcome, session, ok = _planted(
+            "secded", bits=2, site_seed=site_seed, recovery="degrade"
+        )
+        assert ok
+        assert outcome == "detected_recovered"
+        assert session.degraded  # the faulting pair is pinned uncompressed
+
+
+class TestOtherTargets:
+    def test_meta_fault_secded(self):
+        outcome, session, ok = _planted("secded", target="meta")
+        assert session.counters["fired"] == 1
+        assert ok
+        assert outcome in ("detected_recovered", "masked")
+
+    def test_tag_fault_secded(self):
+        outcome, session, ok = _planted("secded", target="tag")
+        assert session.counters["fired"] == 1
+        assert ok
+        assert outcome in ("detected_recovered", "masked")
+
+    def test_bus_fault_none_vs_secded(self):
+        none_outcome, none_session, none_ok = _planted(
+            "none", target="bus", level="", trigger=1
+        )
+        assert none_session.counters["fired"] == 1
+        sec_outcome, sec_session, sec_ok = _planted(
+            "secded", target="bus", level="", trigger=1
+        )
+        assert sec_ok
+        assert sec_outcome == "detected_recovered"
+        assert sec_session.counters["corrected"] == 1
+        # The unprotected transfer delivered a corrupt fill.
+        assert none_outcome in ("sdc", "masked")
+
+    def test_mem_fault_none_vs_secded(self):
+        none_outcome, none_session, none_ok = _planted(
+            "none", target="mem", level=""
+        )
+        assert none_session.counters["fired"] == 1
+        assert none_outcome in ("sdc", "masked")
+        sec_outcome, sec_session, sec_ok = _planted(
+            "secded", target="mem", level=""
+        )
+        assert sec_ok
+        assert sec_outcome in ("detected_recovered", "masked")
+
+
+class TestLatencyAccounting:
+    def test_checks_charge_cycles_only_when_modelled(self):
+        _, session, _ = _planted("secded")
+        assert session.counters["checks"] >= 1
+        # The default gate budget hides the syndrome tree: zero cycles.
+        assert session.check_cycles == 0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        _, session, _ = _planted("secded")
+        snapshot = session.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["fired"] == 1
+        assert snapshot["records"][0]["site"]

@@ -39,6 +39,7 @@ A full workload trace, differentially::
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from pathlib import Path
@@ -187,6 +188,39 @@ def run_workload_cell(name: str, config: str, seed: int, scale: float, *, audit:
     return False, "\n".join(report)
 
 
+def emit_summary(
+    cells: int, expected: int, failures: int, seeds: int
+) -> int:
+    """Print the machine-readable tail line; return the exit status.
+
+    A sweep fails if any cell diverged **or** if fewer cells ran than the
+    argument matrix implies — a crash or an accidentally narrowed matrix
+    must not let CI pass on a silently short sweep.
+    """
+    short = cells != expected
+    status = 1 if failures or short else 0
+    print(
+        "FUZZ-SUMMARY "
+        + json.dumps(
+            {
+                "cells": cells,
+                "expected": expected,
+                "failed": failures,
+                "seed_range": [0, max(0, seeds - 1)],
+                "short": short,
+                "status": status,
+            },
+            sort_keys=True,
+        )
+    )
+    if short:
+        print(
+            f"ERROR: short sweep — ran {cells} of {expected} expected cells",
+            file=sys.stderr,
+        )
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=20, help="seeds per (config, width) cell")
@@ -232,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
             if not ok:
                 failures += 1
         print(f"{cells} workload cells, {failures} divergent")
-        return 1 if failures else 0
+        return emit_summary(cells, len(configs), failures, 1)
 
     for config in configs:
         for width in widths:
@@ -262,8 +296,11 @@ def main(argv: list[str] | None = None) -> int:
                     print(report)
             status = "ok" if not cell_failures else f"{cell_failures} FAILURES"
             print(f"[CPP strict-boundary width={width}] {args.seeds} seeds: {status}")
+    expected = len(configs) * len(widths) * args.seeds
+    if not args.no_strict_boundary and "CPP" in configs:
+        expected += len(widths) * args.seeds
     print(f"{cells} cells total, {failures} divergent")
-    return 1 if failures else 0
+    return emit_summary(cells, expected, failures, args.seeds)
 
 
 if __name__ == "__main__":
