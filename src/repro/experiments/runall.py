@@ -26,8 +26,11 @@ import time
 from repro.errors import ReproError, UsageError
 from repro.experiments.common import render_output
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import export as _export
 from repro.obs import phases as _phases
 from repro.obs import progress as _progress
+from repro.obs import span as _span
+from repro.obs import telemetry as _telemetry
 from repro.sim import fault as _fault
 from repro.sim.parallel import default_workers
 from repro.sim.runner import inject_results, memo_stats
@@ -135,6 +138,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "mutating operation (same as REPRO_CHECK=1; slow, for debugging "
         "and CI correctness cells)",
     )
+    parser.add_argument(
+        "--progress",
+        choices=_progress.MODES,
+        default=None,
+        help="progress output mode (overrides REPRO_PROGRESS): auto "
+        "(default; live dashboard on a TTY), plain (line-per-event), "
+        "json (machine-readable lines), quiet",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="record a cross-process telemetry run into DIR: per-cell "
+        "span/metric spools, a merged telemetry.json, a Perfetto-loadable "
+        "trace.json and a flat spans.jsonl",
+    )
     return parser
 
 
@@ -235,6 +254,23 @@ def _precompute_matrix(args, sim_figures: list[str]) -> None:
     )
 
 
+def _export_telemetry(store, directory: str) -> None:
+    """Finalize the run's telemetry and write both export formats."""
+    from pathlib import Path
+
+    _telemetry.finalize_run()
+    out = Path(directory)
+    trace = _export.write_chrome_trace(store, out / _export.CHROME_TRACE_FILENAME)
+    spans = _export.write_spans_jsonl(store, out / _export.SPANS_FILENAME)
+    _progress.report(
+        f"telemetry: {out / _telemetry.STORE_FILENAME} "
+        f"(chrome trace: {trace}, spans: {spans}; "
+        f"render with `python -m repro.obs.report telemetry {out}`)",
+        event="telemetry_written",
+        dir=str(out),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -248,10 +284,15 @@ def main(argv: list[str] | None = None) -> int:
     except UsageError as exc:
         _progress.report(f"error: {exc}")
         return 1
+    if args.progress:
+        _progress.configure(args.progress)
     if args.check:
         from repro.check.runtime import set_runtime_checks
 
         set_runtime_checks(True)
+    telem_store = (
+        _telemetry.configure(args.telemetry) if args.telemetry else None
+    )
     figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
     sim_figures = [f for f in figures if f not in _NO_MATRIX_FIGURES]
     profiler = None
@@ -265,7 +306,9 @@ def main(argv: list[str] | None = None) -> int:
             _precompute_matrix(args, sim_figures)
         for figure in figures:
             t0 = time.perf_counter()
-            with _phases.phase(f"figure.{figure}"):
+            with _phases.phase(f"figure.{figure}"), _span.span(
+                f"figure.{figure}"
+            ):
                 output = run_experiment(
                     figure, args.workloads, seed=args.seed, scale=args.scale
                 )
@@ -283,6 +326,12 @@ def main(argv: list[str] | None = None) -> int:
         # figures) report one line, not a traceback.
         _progress.report(f"error: {type(exc).__name__}: {exc}")
         return 1
+    finally:
+        if telem_store is not None:
+            _export_telemetry(telem_store, args.telemetry)
+            _telemetry.configure(None)
+        if args.progress:
+            _progress.configure(None)
     if profiler is not None:
         profiler.disable()
     rc = 0

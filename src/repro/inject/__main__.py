@@ -36,6 +36,8 @@ from repro.inject.faults import LEVELS, TARGETS
 from repro.inject.plan import faults_for_rate
 from repro.inject.protect import PROTECTION_NAMES
 from repro.inject.recover import RECOVERY_NAMES
+from repro.obs import export as _export
+from repro.obs import telemetry as _telemetry
 
 __all__ = ["main"]
 
@@ -122,6 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", type=Path, default=None, help="write outcome records to this file"
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record cross-process spans/metrics into DIR (telemetry.json, "
+        "trace.json, spans.jsonl)",
+    )
     return parser
 
 
@@ -153,6 +163,9 @@ def _validate(args: argparse.Namespace) -> None:
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
+    store = None
+    if args.telemetry is not None:
+        store = _telemetry.configure(args.telemetry)
     try:
         _validate(args)
         faults_per_seed = (
@@ -187,6 +200,17 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if store is not None:
+            _telemetry.finalize_run()
+            _export.write_chrome_trace(
+                store, args.telemetry / _export.CHROME_TRACE_FILENAME
+            )
+            _export.write_spans_jsonl(
+                store, args.telemetry / _export.SPANS_FILENAME
+            )
+            _telemetry.configure(None)
+            print(f"telemetry written to {args.telemetry}", file=sys.stderr)
 
     summary = summarize(outcome.results)
     print(format_report(summary, outcome.failures))

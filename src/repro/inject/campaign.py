@@ -43,6 +43,7 @@ from repro.inject.recover import RECOVERY_NAMES
 from repro.inject.session import OUTCOMES, InjectionSession
 from repro.memory.image import MemoryImage
 from repro.memory.main_memory import MainMemory
+from repro.obs import span as _span
 from repro.obs.metrics import REGISTRY
 from repro.sim.fault import Checkpoint, FaultPolicy, run_supervised
 from repro.utils.rng import derive_seed, make_rng
@@ -151,9 +152,10 @@ def run_cell(task: dict) -> dict:
 
     # Golden replay: the naive reference hierarchy, no injection.
     golden_memory = MainMemory(_build_image(spec.seed, regions, params.scheme))
-    golden_loads = _drive(
-        build_reference_hierarchy(config, golden_memory, params), ops
-    )
+    with _span.span("golden_replay", config=config, seed=spec.seed, n_ops=n_ops):
+        golden_loads = _drive(
+            build_reference_hierarchy(config, golden_memory, params), ops
+        )
 
     # Injected replay: the real hierarchy with the session armed.
     memory = MainMemory(_build_image(spec.seed, regions, params.scheme))
@@ -164,6 +166,13 @@ def run_cell(task: dict) -> dict:
 
     error = None
     loads: list[int] = []
+    replay_span = _span.start_span(
+        "injected_replay",
+        config=config,
+        protect=protect,
+        seed=spec.seed,
+        n_ops=n_ops,
+    )
     _hooks.activate(session)
     try:
         for now, op in enumerate(ops):
@@ -186,6 +195,11 @@ def run_cell(task: dict) -> dict:
     else:
         mismatch = loads != golden_loads or memory.image != golden_memory.image
         outcome = session.classify(mismatch)
+    _span.finish_span(
+        replay_span,
+        status="ok" if error is None else "error",
+        outcome=outcome,
+    )
     record = {
         "outcome": outcome,
         "mismatch": bool(mismatch),

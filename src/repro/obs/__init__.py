@@ -29,15 +29,21 @@ counts are bit-identical with observability on or off (tier-1 tested).
 
 from __future__ import annotations
 
+from repro.obs import export as export
+from repro.obs import live as live
 from repro.obs import manifest as manifest
 from repro.obs import metrics as metrics
 from repro.obs import phases as phases
 from repro.obs import progress as progress
+from repro.obs import span as span
+from repro.obs import telemetry as telemetry
 from repro.obs import tracer as tracer
 from repro.obs.manifest import RunManifest, load_manifest, load_manifests
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.phases import PHASES, PhaseTimer, phase
 from repro.obs.progress import report as report_progress
+from repro.obs.span import SpanRecord
+from repro.obs.telemetry import TelemetryStore, load_store
 from repro.obs.tracer import EventTracer, get_tracer
 
 __all__ = [
@@ -52,6 +58,9 @@ __all__ = [
     "PhaseTimer",
     "PHASES",
     "phase",
+    "SpanRecord",
+    "TelemetryStore",
+    "load_store",
     "RunManifest",
     "load_manifest",
     "load_manifests",
@@ -61,6 +70,10 @@ __all__ = [
     "phases",
     "manifest",
     "progress",
+    "span",
+    "telemetry",
+    "export",
+    "live",
 ]
 
 
@@ -70,11 +83,16 @@ def enable(
     capacity: int = 65536,
     sample_every: int = 1,
     manifest_dir: str | None = None,
+    spans: bool = False,
+    telemetry_dir: str | None = None,
 ) -> EventTracer | None:
     """Arm observability; returns the installed tracer (if tracing).
 
     ``trace=False`` enables only manifests/phases without per-event
-    tracing. Idempotent: re-enabling replaces the tracer.
+    tracing. ``spans=True`` arms in-process span recording
+    (:mod:`repro.obs.span`); *telemetry_dir* arms the full cross-process
+    pipeline (:mod:`repro.obs.telemetry`, which implies spans).
+    Idempotent: re-enabling replaces the tracer.
     """
     installed = None
     if trace:
@@ -83,13 +101,19 @@ def enable(
         )
     if manifest_dir is not None:
         manifest.configure(manifest_dir)
+    if telemetry_dir is not None:
+        telemetry.configure(telemetry_dir)
+    elif spans:
+        span.install()
     return installed
 
 
 def disable() -> EventTracer | None:
-    """Disarm tracing and manifest writing; returns the old tracer
-    (its events and counts stay readable for post-mortems)."""
+    """Disarm tracing, spans, telemetry and manifest writing; returns the
+    old tracer (its events and counts stay readable for post-mortems)."""
     manifest.configure(None)
+    telemetry.configure(None)
+    span.uninstall()
     return tracer.uninstall()
 
 

@@ -1,0 +1,150 @@
+"""Telemetry exporters: Chrome trace-event JSON and flat span JSONL.
+
+Two interchange formats for a :class:`~repro.obs.telemetry.TelemetryStore`:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``, "X" complete events),
+  loadable in Perfetto / ``chrome://tracing``. Spans land on
+  **per-worker tracks**: the supervisor is tid 0, each worker slot gets
+  its own named tid, so a campaign renders as a swimlane per worker with
+  cell attempts (and the child spans nested under them) laid out in
+  wall-clock order.
+* :func:`to_span_lines` / :func:`write_spans_jsonl` — one flat
+  OTLP-style JSON object per line (``traceId`` / ``spanId`` /
+  ``parentSpanId``, nanosecond timestamps, attributes), the shape log
+  pipelines and OpenTelemetry collectors expect.
+
+Both are pure functions of the store — exporting never mutates it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.telemetry import TelemetryStore
+from repro.utils.atomic import atomic_write_text
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_span_lines",
+    "write_spans_jsonl",
+    "CHROME_TRACE_FILENAME",
+    "SPANS_FILENAME",
+]
+
+CHROME_TRACE_FILENAME = "trace.json"
+SPANS_FILENAME = "spans.jsonl"
+
+#: Synthetic pid for the whole run: Chrome groups tracks by (pid, tid),
+#: and one process row keeps the per-worker swimlanes together.
+_TRACE_PID = 1
+
+
+def _track_of(span: dict) -> int:
+    """tid for a span: worker slot + 1, supervisor/unattributed on 0."""
+    worker = span.get("attrs", {}).get("worker")
+    if isinstance(worker, int) and worker >= 0:
+        return worker + 1
+    return 0
+
+
+def to_chrome_trace(store: TelemetryStore) -> dict:
+    """The store as a Chrome trace-event JSON object."""
+    spans = store.spans()
+    base = min((s["start"] for s in spans), default=0.0)
+    events: list[dict] = []
+    tracks: dict[int, str] = {0: "supervisor"}
+    for span in spans:
+        tid = _track_of(span)
+        if tid not in tracks:
+            tracks[tid] = f"worker {tid - 1}"
+        args = dict(span.get("attrs", {}))
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        if span.get("status", "ok") != "ok":
+            args["status"] = span["status"]
+        if "op_start" in span:
+            args["op_start"] = span["op_start"]
+            args["op_end"] = span["op_end"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((span["start"] - base) * 1e6, 3),
+                "dur": round(max(0.0, span["end"] - span["start"]) * 1e6, 3),
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["tid"], e["ts"], e["name"]))
+    meta = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": f"repro run {store.trace_id or '?'}"},
+        }
+    ]
+    meta.extend(
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _TRACE_PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(tracks.items())
+    )
+    meta.extend(
+        {
+            "ph": "M",
+            "name": "thread_sort_index",
+            "pid": _TRACE_PID,
+            "tid": tid,
+            "args": {"sort_index": tid},
+        }
+        for tid in sorted(tracks)
+    )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(store: TelemetryStore, path: str | Path) -> Path:
+    """Write the Chrome trace atomically; returns the path."""
+    return atomic_write_text(
+        path, json.dumps(to_chrome_trace(store), sort_keys=True) + "\n"
+    )
+
+
+def to_span_lines(store: TelemetryStore) -> list[dict]:
+    """Flat OTLP-style span objects, one per span."""
+    lines = []
+    for span in store.spans():
+        lines.append(
+            {
+                "traceId": span["trace_id"],
+                "spanId": span["span_id"],
+                "parentSpanId": span.get("parent_id") or "",
+                "name": span["name"],
+                "startTimeUnixNano": int(span["start"] * 1e9),
+                "endTimeUnixNano": int(span["end"] * 1e9),
+                "status": span.get("status", "ok"),
+                "attributes": dict(span.get("attrs", {})),
+                "pid": span.get("pid"),
+            }
+        )
+    return lines
+
+
+def write_spans_jsonl(store: TelemetryStore, path: str | Path) -> Path:
+    """Write the flat span stream as JSON Lines; returns the path."""
+    text = "".join(
+        json.dumps(line, sort_keys=True) + "\n"
+        for line in to_span_lines(store)
+    )
+    return atomic_write_text(path, text)

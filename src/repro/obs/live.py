@@ -1,0 +1,194 @@
+"""Live TTY dashboard for supervised campaigns.
+
+When a campaign runs interactively, a scrolling wall of per-cell lines
+is the wrong interface: what the operator wants is *state at a glance* —
+how far along, who is stuck, when it will finish. On a TTY (and in the
+default ``auto`` progress mode) the supervised fork engine swaps its
+per-cell stderr lines for an in-place dashboard:
+
+* a **cell-state grid** — one glyph per cell (``·`` pending, ``▸``
+  running, ``█`` done, ``x`` failed), campaign shape at a glance;
+* **worker occupancy** — one row per busy worker slot with its current
+  cell and how long it has been running (stragglers stand out);
+* an **EMA throughput** estimate (cells/s, exponentially smoothed so a
+  straggler doesn't whipsaw it) and the derived **ETA**.
+
+Everything redraws in place with ANSI cursor movement on stderr; stdout
+stays clean for figure tables. On non-TTY output (CI, pipes, ``plain``
+or ``json`` progress modes) :func:`maybe_dashboard` returns None and the
+engine falls back to the PR 1 line-per-event reporting — logs stay
+stable and scrapable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.obs import progress as _progress
+
+__all__ = ["LiveDashboard", "maybe_dashboard", "should_use"]
+
+_GLYPH_DONE = "█"
+_GLYPH_RUN = "▸"
+_GLYPH_PEND = "·"
+_GLYPH_FAIL = "x"
+_GRID_WIDTH = 64  #: grids wider than this collapse to counts only
+
+#: EMA smoothing factor for the throughput estimate: heavy enough to
+#: follow a real speed change within ~4 cells, light enough that one
+#: straggler doesn't zero the ETA.
+_EMA_ALPHA = 0.25
+
+
+def should_use(stream=None) -> bool:
+    """Should the dashboard replace line-by-line progress here?
+
+    Only on a real TTY, only in ``auto`` progress mode, and never on a
+    terminal that can't move the cursor (``TERM=dumb``).
+    """
+    stream = stream if stream is not None else sys.stderr
+    try:
+        if not stream.isatty():
+            return False
+    except (AttributeError, ValueError):
+        return False
+    if os.environ.get("TERM", "") == "dumb":
+        return False
+    return _progress.mode() == "auto"
+
+
+def maybe_dashboard(total: int, workers: int) -> "LiveDashboard | None":
+    """A dashboard when the environment supports one, else None."""
+    if total <= 0 or not should_use():
+        return None
+    return LiveDashboard(total, workers)
+
+
+class LiveDashboard:
+    """In-place campaign view; the fork engine drives its transitions."""
+
+    def __init__(self, total: int, workers: int, stream=None) -> None:
+        self.total = total
+        self.workers = workers
+        self.stream = stream if stream is not None else sys.stderr
+        self.states: dict[tuple, str] = {}  #: key -> run/done/fail glyph
+        self.order: list[tuple] = []  #: keys in first-seen order
+        self.running: dict[tuple, tuple[int, float, str]] = {}
+        self.done = 0
+        self.failed = 0
+        self.reused = 0
+        self.ema_rate = 0.0
+        self._last_finish: float | None = None
+        self._drawn_lines = 0
+        self._last_draw = 0.0
+
+    # -- state transitions (called by the supervisor) ------------------------
+
+    def resumed(self, count: int) -> None:
+        """*count* cells were satisfied from the checkpoint up front."""
+        self.reused = count
+        self.done += count
+        self._draw(force=True)
+
+    def started(self, key: tuple, slot: int, label: str) -> None:
+        """A cell attempt began on worker *slot*."""
+        if key not in self.states:
+            self.order.append(key)
+        self.states[key] = _GLYPH_RUN
+        self.running[key] = (slot, time.monotonic(), label)
+        self._draw(force=True)
+
+    def finished(self, key: tuple, ok: bool) -> None:
+        """A cell completed permanently (success or exhausted retries)."""
+        self.running.pop(key, None)
+        self.states[key] = _GLYPH_DONE if ok else _GLYPH_FAIL
+        self.done += 1
+        if not ok:
+            self.failed += 1
+        now = time.monotonic()
+        if self._last_finish is not None:
+            dt = max(1e-6, now - self._last_finish)
+            rate = 1.0 / dt
+            self.ema_rate = (
+                rate
+                if self.ema_rate == 0.0
+                else _EMA_ALPHA * rate + (1.0 - _EMA_ALPHA) * self.ema_rate
+            )
+        self._last_finish = now
+        self._draw(force=True)
+
+    def retrying(self, key: tuple) -> None:
+        """A cell attempt failed and is backing off for a retry."""
+        self.running.pop(key, None)
+        self.states[key] = _GLYPH_PEND
+        self._draw(force=True)
+
+    def tick(self) -> None:
+        """Periodic refresh so running-cell timers advance (throttled)."""
+        self._draw(force=False)
+
+    def close(self, summary: str = "") -> None:
+        """Clear the dashboard and leave one final plain line behind."""
+        self._erase()
+        if summary:
+            print(f"[repro] {summary}", file=self.stream, flush=True)
+
+    # -- rendering -----------------------------------------------------------
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion (None before any sample)."""
+        if self.ema_rate <= 0.0:
+            return None
+        return max(0, self.total - self.done) / self.ema_rate
+
+    def _grid(self) -> str:
+        if self.total > _GRID_WIDTH:
+            return ""
+        cells = [self.states.get(k, _GLYPH_PEND) for k in self.order]
+        cells.extend(
+            _GLYPH_DONE for _ in range(self.reused)
+        )  # checkpointed cells never enter `order`
+        cells.extend(_GLYPH_PEND for _ in range(self.total - len(cells)))
+        return "".join(cells[: self.total])
+
+    def render(self) -> list[str]:
+        """The dashboard's current lines (pure; drawing is separate)."""
+        eta = self.eta_seconds()
+        parts = [f"cells {self.done}/{self.total}"]
+        grid = self._grid()
+        if grid:
+            parts.insert(0, grid)
+        parts.append(f"{len(self.running)} running")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.reused:
+            parts.append(f"{self.reused} resumed")
+        if self.ema_rate > 0.0:
+            parts.append(f"{self.ema_rate:.2f} cell/s")
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        lines = ["[repro] " + " · ".join(parts)]
+        now = time.monotonic()
+        for key in sorted(self.running, key=lambda k: self.running[k][0]):
+            slot, started, label = self.running[key]
+            lines.append(f"  w{slot} {_GLYPH_RUN} {label} {now - started:.1f}s")
+        return lines
+
+    def _erase(self) -> None:
+        if self._drawn_lines:
+            # Cursor up to the first dashboard line, clear to screen end.
+            self.stream.write(f"\x1b[{self._drawn_lines}F\x1b[J")
+            self._drawn_lines = 0
+
+    def _draw(self, *, force: bool) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_draw < 0.25:
+            return
+        self._last_draw = now
+        lines = self.render()
+        self._erase()
+        self.stream.write("\n".join(lines) + "\n")
+        self.stream.flush()
+        self._drawn_lines = len(lines)

@@ -28,8 +28,10 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "metric_key",
+    "percentiles_from_buckets",
     "DEFAULT_BUCKETS",
     "SECONDS_BUCKETS",
+    "PERCENTILES",
 ]
 
 #: Default histogram buckets: powers of two spanning one cycle to a full
@@ -40,6 +42,49 @@ DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 #: times, retry backoff delays. Spans a trivial cell (~10 ms) to a
 #: full-scale straggler (~5 min); anything longer lands in overflow.
 SECONDS_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+#: The quantiles every histogram estimates (tail behaviour is what
+#: latency distributions are *for*; the mean hides stragglers).
+PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def percentiles_from_buckets(
+    bounds: tuple[float, ...],
+    bucket_counts: list[int],
+    count: int,
+    minimum: float,
+    maximum: float,
+    qs: tuple[float, ...] = PERCENTILES,
+) -> dict[str, float]:
+    """Estimate quantiles from bucketed counts by linear interpolation.
+
+    Within a bucket, samples are assumed uniform between its edges; the
+    overflow bucket interpolates up to the observed maximum. Estimates
+    are clamped to the observed ``[minimum, maximum]`` so a coarse
+    bucketing never reports an impossible value. Shared by
+    :meth:`Histogram.as_dict` and the cross-process telemetry merge
+    (which re-estimates from *merged* buckets).
+    """
+    out: dict[str, float] = {}
+    for q in qs:
+        label = f"p{q * 100:g}"
+        if count <= 0:
+            out[label] = 0.0
+            continue
+        rank = q * count
+        cum = 0
+        estimate = maximum
+        for i, c in enumerate(bucket_counts):
+            if c == 0:
+                continue
+            if cum + c >= rank:
+                lo = bounds[i - 1] if i > 0 else 0.0
+                hi = bounds[i] if i < len(bounds) else max(maximum, bounds[-1])
+                estimate = lo + (hi - lo) * ((rank - cum) / c)
+                break
+            cum += c
+        out[label] = min(max(estimate, minimum), maximum)
+    return out
 
 
 def metric_key(name: str, labels: dict[str, object]) -> str:
@@ -93,7 +138,16 @@ class Histogram:
     catches everything beyond the last edge.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+    )
 
     def __init__(
         self,
@@ -109,11 +163,18 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
 
     def observe(self, value: float) -> None:
         """Record one sample into its bucket."""
         self.bucket_counts[bisect_right(self.bounds, value - 1e-12)] += 1
         # bisect on value-epsilon makes integer edges inclusive.
+        if self.count:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        else:
+            self.minimum = self.maximum = value
         self.count += 1
         self.total += value
 
@@ -121,15 +182,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated *q*-quantile (0 < q < 1) from the bucket counts."""
+        return percentiles_from_buckets(
+            self.bounds, self.bucket_counts, self.count,
+            self.minimum, self.maximum, qs=(q,),
+        )[f"p{q * 100:g}"]
+
     def as_dict(self) -> dict:
-        """Plain-dict view: count, sum, mean and per-bucket counts."""
+        """Plain-dict view: count, sum, mean, min/max, p50/p95/p99 and
+        per-bucket counts."""
         edges = [str(b) for b in self.bounds] + ["inf"]
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
             "buckets": dict(zip(edges, self.bucket_counts)),
         }
+        out.update(
+            percentiles_from_buckets(
+                self.bounds, self.bucket_counts, self.count,
+                self.minimum, self.maximum,
+            )
+        )
+        return out
 
 
 class MetricsRegistry:
@@ -213,6 +291,32 @@ class MetricsRegistry:
                 out[key] = metric.as_dict()
             else:
                 out[key] = metric.value
+        return out
+
+    def dump(self, prefix: str = "") -> dict[str, dict]:
+        """Typed snapshot: ``{key: {"type": ..., ...}}``.
+
+        Unlike :meth:`snapshot`, the instrument *kind* survives
+        serialization, which is what gives the cross-process telemetry
+        merge (:mod:`repro.obs.telemetry`) its deterministic semantics:
+        counters sum, gauges take a deterministic last-writer, histograms
+        merge bucket-wise.
+        """
+        out: dict[str, dict] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if not metric.name.startswith(prefix):
+                continue
+            if isinstance(metric, Histogram):
+                out[key] = {
+                    "type": "histogram",
+                    "bounds": list(metric.bounds),
+                    "data": metric.as_dict(),
+                }
+            elif isinstance(metric, Gauge):
+                out[key] = {"type": "gauge", "value": metric.value}
+            else:
+                out[key] = {"type": "counter", "value": metric.value}
         return out
 
     def reset(self) -> None:

@@ -7,18 +7,64 @@ output is consistently prefixed, lands on stderr (leaving stdout for
 figure tables), and can be redirected or silenced in one place
 (:func:`set_sink` — tests capture it, services can forward it to a real
 logger).
+
+Output is governed by a **mode** — the ``REPRO_PROGRESS`` environment
+variable or :func:`configure` (the ``--progress`` CLI flag wins over the
+environment):
+
+* ``auto`` (default) — human lines on stderr; interactive TTYs may
+  upgrade to the live dashboard (:mod:`repro.obs.live`);
+* ``plain`` — human lines only, never the dashboard (stable logs);
+* ``json``  — one machine-readable JSON object per line (``msg`` plus
+  any structured fields a call site attached), for CI log scraping;
+* ``quiet`` — drop everything.
+
+Structured fields: ``report("completed X", event="cell_done", done=3)``
+renders as the plain message in human modes and as
+``{"event": "cell_done", "msg": "completed X", "done": 3}`` in ``json``
+mode — per-cell progress becomes greppable without parsing prose.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from collections.abc import Callable
 
-__all__ = ["report", "set_sink", "silence"]
+from repro.errors import ConfigurationError
+
+__all__ = ["report", "set_sink", "silence", "configure", "mode", "MODES"]
 
 _PREFIX = "[repro]"
 
+#: Recognized progress modes (see module docstring).
+MODES = ("auto", "plain", "json", "quiet")
+
 _sink: Callable[[str], None] | None = None
+_mode: str | None = None  #: configure() override; None defers to the env
+
+
+def configure(value: str | None) -> None:
+    """Set the progress mode explicitly (None defers to REPRO_PROGRESS)."""
+    global _mode
+    if value is not None and value not in MODES:
+        raise ConfigurationError(
+            f"unknown progress mode {value!r} (choose from {', '.join(MODES)})"
+        )
+    _mode = value
+
+
+def mode() -> str:
+    """The effective mode: configure() override, then env, then auto."""
+    if _mode is not None:
+        return _mode
+    raw = os.environ.get("REPRO_PROGRESS", "").strip().lower()
+    if raw and raw not in MODES:
+        raise ConfigurationError(
+            f"REPRO_PROGRESS must be one of {', '.join(MODES)}, got {raw!r}"
+        )
+    return raw or "auto"
 
 
 def _default_sink(message: str) -> None:
@@ -26,7 +72,11 @@ def _default_sink(message: str) -> None:
 
 
 def set_sink(sink: Callable[[str], None] | None) -> None:
-    """Route progress lines to *sink* (None restores stderr printing)."""
+    """Route progress lines to *sink* (None restores stderr printing).
+
+    A sink receives the raw message regardless of mode — embedders and
+    tests that capture progress get everything, always.
+    """
     global _sink
     _sink = sink
 
@@ -36,6 +86,21 @@ def silence() -> None:
     set_sink(lambda message: None)
 
 
-def report(message: str) -> None:
-    """Emit one progress line through the configured sink."""
-    (_sink or _default_sink)(message)
+def report(message: str, **fields) -> None:
+    """Emit one progress line through the configured sink.
+
+    Keyword *fields* are structured annotations: ignored in human modes,
+    serialized alongside the message in ``json`` mode.
+    """
+    if _sink is not None:
+        _sink(message)
+        return
+    current = mode()
+    if current == "quiet":
+        return
+    if current == "json":
+        payload = {"msg": message}
+        payload.update(fields)
+        print(json.dumps(payload, sort_keys=True), file=sys.stderr, flush=True)
+        return
+    _default_sink(message)

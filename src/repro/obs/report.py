@@ -8,6 +8,11 @@ Usage::
     # render manifests already on disk
     python -m repro.obs.report show results/manifests
     python -m repro.obs.report compare results/manifests
+
+    # render a telemetry run directory (--telemetry campaigns): the
+    # cross-process timeline, aggregated phase flamegraph and merged
+    # metrics (histograms with p50/p95/p99)
+    python -m repro.obs.report telemetry results/telem
 """
 
 from __future__ import annotations
@@ -19,9 +24,15 @@ from pathlib import Path
 
 from repro.errors import ExperimentError
 from repro.obs.manifest import RunManifest, load_manifests
+from repro.obs.telemetry import TelemetryStore, load_store
 from repro.utils.tables import format_table
 
-__all__ = ["render_manifest", "render_comparison", "main"]
+__all__ = [
+    "render_manifest",
+    "render_comparison",
+    "render_telemetry",
+    "main",
+]
 
 #: The event-count table rows: (label, headline/events key).
 _EVENT_ROWS = (
@@ -144,6 +155,127 @@ def render_comparison(manifests: list[RunManifest]) -> str:
     )
 
 
+_TIMELINE_WIDTH = 48  #: columns of the ASCII span timeline
+
+
+def _span_track(span: dict) -> tuple[int, str]:
+    """(sort key, label) of the timeline track a span renders on."""
+    worker = span.get("attrs", {}).get("worker")
+    if isinstance(worker, int) and worker >= 0:
+        return (worker + 1, f"worker {worker}")
+    return (0, "supervisor")
+
+
+def _timeline(spans: list[dict]) -> list[str]:
+    """Cross-process timeline: one bar per span, one block per track."""
+    timed = [s for s in spans if s.get("end", 0.0) > s.get("start", 0.0)]
+    if not timed:
+        return ["(no finished spans)"]
+    base = min(s["start"] for s in timed)
+    total = max(s["end"] for s in timed) - base
+    scale = _TIMELINE_WIDTH / total if total > 0 else 0.0
+    lines = [f"timeline ({total:.3f}s across {len(timed)} spans)"]
+    by_track: dict[tuple[int, str], list[dict]] = {}
+    for span in timed:
+        by_track.setdefault(_span_track(span), []).append(span)
+    width = max(
+        len(_span_label(s)) for track in by_track.values() for s in track
+    )
+    for (_, track_name) in sorted(by_track):
+        lines.append(f"  {track_name}:")
+        for span in sorted(by_track[(_, track_name)], key=lambda s: s["start"]):
+            left = int((span["start"] - base) * scale)
+            right = max(left + 1, int((span["end"] - base) * scale))
+            bar = (
+                " " * left
+                + "█" * (right - left)
+                + " " * (_TIMELINE_WIDTH - right)
+            )
+            lines.append(
+                f"    {_span_label(span):<{width}} |{bar}| "
+                f"{span['end'] - span['start']:.3f}s"
+                + (" !" if span.get("status", "ok") != "ok" else "")
+            )
+    return lines
+
+
+def _span_label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    name = span["name"]
+    if "workload" in attrs and "config" in attrs:
+        name = f"{name} {attrs['workload']}/{attrs['config']}"
+    if "attempt" in attrs and attrs.get("attempt", 1) != 1:
+        name = f"{name} (a{attrs['attempt']})"
+    return name
+
+
+def _flamegraph(phases: dict[str, dict]) -> list[str]:
+    """Aggregated phase tree as an indented bar chart (a flat flamegraph)."""
+    if not phases:
+        return ["(no phase data)"]
+    peak = max(stat["seconds"] for stat in phases.values()) or 1.0
+    lines = ["aggregated phases (all processes)"]
+    for path in sorted(phases):
+        stat = phases[path]
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        bar = "▇" * max(1, int(stat["seconds"] / peak * 30))
+        lines.append(
+            f"  {'  ' * depth}{name:<{28 - 2 * depth}} "
+            f"{stat['seconds']:>8.3f}s x{stat['calls']:<5} {bar}"
+        )
+    return lines
+
+
+def _metrics_table(metrics: dict[str, dict]) -> str:
+    """The merged metrics, histograms with their percentile estimates."""
+    rows = []
+    for key in sorted(metrics):
+        entry = metrics[key]
+        if entry["type"] == "histogram":
+            data = entry["data"]
+            rows.append(
+                (
+                    key,
+                    "histogram",
+                    data["count"],
+                    f"{data['mean']:.4g}",
+                    f"{data.get('p50', 0.0):.4g}",
+                    f"{data.get('p95', 0.0):.4g}",
+                    f"{data.get('p99', 0.0):.4g}",
+                )
+            )
+        else:
+            rows.append(
+                (key, entry["type"], entry["value"], "-", "-", "-", "-")
+            )
+    return format_table(
+        ["metric", "type", "value", "mean", "p50", "p95", "p99"],
+        rows,
+        title="merged metrics",
+    )
+
+
+def render_telemetry(store: TelemetryStore) -> str:
+    """One telemetry run: identity, timeline, flamegraph, metrics."""
+    merged = store.merged()
+    blocks = [
+        f"telemetry run {store.trace_id or '?'}: "
+        f"{merged['n_cells']} cell(s), {merged['n_attempts']} attempt(s), "
+        f"{len(merged['partials'])} partial(s)",
+        "\n".join(_timeline(store.spans())),
+        "\n".join(_flamegraph(merged["phases"])),
+        _metrics_table(merged["metrics"]),
+    ]
+    if merged["partials"]:
+        lines = ["partial telemetry (child died before spooling):"]
+        lines.extend(
+            f"  {cell} attempt {attempt}" for cell, attempt in merged["partials"]
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -170,6 +302,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trace-out", default=None, help="also export the event stream as JSONL"
     )
+
+    telem = sub.add_parser(
+        "telemetry",
+        help="render a telemetry run directory (timeline, flamegraph, metrics)",
+    )
+    telem.add_argument("dir", help="run directory passed to --telemetry")
     return parser
 
 
@@ -212,6 +350,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "telemetry":
+            print(render_telemetry(load_store(args.dir)))
+            return 0
         manifests = _collect(args.paths)
         if args.command == "show":
             print("\n\n".join(render_manifest(m) for m in manifests))

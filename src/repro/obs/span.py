@@ -1,0 +1,246 @@
+"""Span-based tracing: where did a *distributed* campaign's time go?
+
+Phases (:mod:`repro.obs.phases`) answer "how much" per process; spans
+answer "when, where, and under what" across processes. A
+:class:`SpanRecord` is one timed operation — a supervised fork attempt,
+a cell's simulation, a golden replay — with wall-clock start/end, an
+optional op-clock interval (simulated cycles / stream positions, so
+host time and simulated time can be correlated), and a
+``trace_id / span_id / parent_id`` triple that stitches records emitted
+by *different processes* into one tree.
+
+The API mirrors the tracer's zero-cost contract: a module-global
+:data:`ACTIVE` gate, off by default; :func:`span` is a context manager
+for straight-line code, :func:`start_span` / :func:`finish_span` serve
+concurrent callers (the fork supervisor has many attempts in flight at
+once and cannot use a stack). When disarmed, both paths reduce to one
+attribute load and a branch.
+
+Cross-process propagation: the supervisor passes ``(trace_id,
+span_id)`` of the attempt span to its child, which calls :func:`adopt`
+— every span the child records then parents under the supervisor's
+attempt. Serialization is plain dicts (:meth:`SpanRecord.as_dict`),
+spooled and merged by :mod:`repro.obs.telemetry`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "ACTIVE",
+    "span",
+    "start_span",
+    "finish_span",
+    "install",
+    "uninstall",
+    "adopt",
+    "current_context",
+    "drain",
+    "finished_spans",
+    "new_trace_id",
+]
+
+#: Fast-path gate checked by instrumented code; mutated only by
+#: :func:`install` / :func:`uninstall`.
+ACTIVE = False
+
+_COUNTER = itertools.count(1)
+_TRACE_ID: str = ""
+_STACK: list[str] = []  #: open span ids, innermost last
+_REMOTE_PARENT: str | None = None  #: adopted parent for root spans
+_FINISHED: list["SpanRecord"] = []
+
+
+def new_trace_id() -> str:
+    """A fresh trace id, unique across processes and runs."""
+    return f"{os.getpid():08x}{time.time_ns() & 0xFFFF_FFFF_FFFF:012x}"
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():08x}{next(_COUNTER):08x}"
+
+
+@dataclass
+class SpanRecord:
+    """One timed operation in the campaign's trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float  #: wall-clock seconds (``time.time``)
+    end: float = 0.0
+    status: str = "ok"  #: ``ok`` / ``error``
+    #: JSON-safe annotations (workload, config, attempt, worker slot...).
+    attrs: dict = field(default_factory=dict)
+    #: Optional simulated-time interval covered by this span.
+    op_start: int | None = None
+    op_end: int | None = None
+    pid: int = field(default_factory=os.getpid)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds from start to end (0.0 while open)."""
+        return max(0.0, self.end - self.start)
+
+    def set_op_clock(self, start: int, end: int) -> None:
+        """Attach the simulated-time interval this span covered."""
+        self.op_start = int(start)
+        self.op_end = int(end)
+
+    def as_dict(self) -> dict:
+        """Plain-dict (JSON-ready) form."""
+        out = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+        }
+        if self.op_start is not None:
+            out["op_start"] = self.op_start
+            out["op_end"] = self.op_end
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def install(trace_id: str | None = None) -> str:
+    """Arm span recording; returns the active trace id.
+
+    Idempotent: re-installing keeps an existing trace id unless a new
+    one is given (so ``obs.enable`` can arm spans without severing a
+    context adopted from a parent process).
+    """
+    global ACTIVE, _TRACE_ID
+    if trace_id is not None:
+        _TRACE_ID = trace_id
+    elif not _TRACE_ID:
+        _TRACE_ID = new_trace_id()
+    ACTIVE = True
+    return _TRACE_ID
+
+
+def uninstall() -> list[SpanRecord]:
+    """Disarm recording; returns (and forgets) the finished spans."""
+    global ACTIVE, _TRACE_ID, _REMOTE_PARENT, _FINISHED
+    ACTIVE = False
+    _TRACE_ID = ""
+    _REMOTE_PARENT = None
+    _STACK.clear()
+    done, _FINISHED = _FINISHED, []
+    return done
+
+
+def adopt(trace_id: str, parent_span_id: str | None) -> None:
+    """Join a trace started in another process.
+
+    Arms recording with the caller's *trace_id*; spans recorded here
+    with no local parent attach under *parent_span_id* — the supervisor
+    side of the fork.
+    """
+    global _REMOTE_PARENT
+    install(trace_id)
+    _REMOTE_PARENT = parent_span_id
+
+
+def current_context() -> tuple[str, str] | None:
+    """``(trace_id, span_id)`` of the innermost open span, or None."""
+    if not ACTIVE or not _STACK:
+        return None
+    return (_TRACE_ID, _STACK[-1])
+
+
+def start_span(
+    name: str,
+    *,
+    parent: SpanRecord | str | None = None,
+    **attrs,
+) -> SpanRecord | None:
+    """Begin a span outside the context-manager stack (concurrent use).
+
+    *parent* may be a :class:`SpanRecord`, a span id, or None (attach
+    to the innermost open stack span, the adopted remote parent, or the
+    root). The returned record is **not** pushed on the stack — pair it
+    with :func:`finish_span`. Returns None when disarmed.
+    """
+    if not ACTIVE:
+        return None
+    if isinstance(parent, SpanRecord):
+        parent_id = parent.span_id
+    elif isinstance(parent, str):
+        parent_id = parent
+    else:
+        parent_id = _STACK[-1] if _STACK else _REMOTE_PARENT
+    return SpanRecord(
+        name=name,
+        trace_id=_TRACE_ID,
+        span_id=_new_span_id(),
+        parent_id=parent_id,
+        start=time.time(),
+        attrs=attrs,
+    )
+
+
+def finish_span(
+    record: SpanRecord | None, *, status: str = "ok", **attrs
+) -> None:
+    """End a span from :func:`start_span` and record it (None is a no-op,
+    so call sites need no gate of their own)."""
+    if record is None:
+        return
+    record.end = time.time()
+    record.status = status
+    if attrs:
+        record.attrs.update(attrs)
+    if ACTIVE:
+        _FINISHED.append(record)
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Record a nested span around a block: ``with span("simulate"): ...``
+
+    Yields the open :class:`SpanRecord` (annotate via ``.attrs`` or
+    :meth:`~SpanRecord.set_op_clock`), or None when disarmed. An escaping
+    exception marks the span ``status="error"`` and re-raises.
+    """
+    if not ACTIVE:
+        yield None
+        return
+    record = start_span(name, **attrs)
+    _STACK.append(record.span_id)
+    try:
+        yield record
+        status = "ok"
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        _STACK.pop()
+        finish_span(record, status=status)
+
+
+def finished_spans() -> list[SpanRecord]:
+    """Finished spans recorded so far (oldest first), without draining."""
+    return list(_FINISHED)
+
+
+def drain() -> list[SpanRecord]:
+    """Return and forget all finished spans (spool-flush semantics)."""
+    global _FINISHED
+    done, _FINISHED = _FINISHED, []
+    return done

@@ -1,0 +1,433 @@
+"""Cross-process telemetry: spool in the child, merge in the parent.
+
+Since PR 2 every matrix cell runs in a supervised fork, which made the
+in-process observability of PR 1 blind: metrics, phases and spans
+recorded *inside* a child died with it. This module is the pipe across
+that boundary:
+
+* **Child side** — :func:`child_begin` (called by the fork shell right
+  after the fork) resets the inherited registry/phase state so the child
+  measures only itself, adopts the supervisor's span context, and drops
+  a ``*.partial`` marker file. :func:`child_finish` serializes the
+  child's spans + :meth:`MetricsRegistry.dump` +
+  :meth:`PhaseTimer.snapshot` into a per-cell **spool file** (atomic
+  write-temp-then-rename) and removes the marker. A killed or hung child
+  never reaches ``child_finish`` — its marker survives as evidence, and
+  the store records the attempt as *partial* instead of ingesting a
+  truncated payload.
+
+* **Parent side** — :class:`TelemetryStore` ingests spool payloads keyed
+  by ``(cell id, attempt)`` and merges them **deterministically**:
+  counters sum, histograms merge bucket-wise (percentiles re-estimated
+  from the merged buckets), gauges take the last writer *in sorted cell
+  order* — so the merged snapshot is a pure function of the set of
+  payloads, independent of completion order (tier-1 tested).
+
+Everything is off until :func:`configure` is called with a run
+directory; the disabled path is the usual module-global gate. Exporters
+(:mod:`repro.obs.export`) and ``python -m repro.obs.report telemetry``
+consume the merged store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.obs import span as _span
+from repro.obs.metrics import REGISTRY, percentiles_from_buckets
+from repro.obs.phases import PHASES
+from repro.utils.atomic import atomic_write_text
+
+__all__ = [
+    "configure",
+    "enabled",
+    "run_dir",
+    "store",
+    "cell_id_of",
+    "child_begin",
+    "child_finish",
+    "TelemetryStore",
+    "finalize_run",
+    "load_store",
+    "merge_metric_dumps",
+    "merge_phase_snapshots",
+    "STORE_FILENAME",
+]
+
+SCHEMA_VERSION = 1
+STORE_FILENAME = "telemetry.json"
+_SPOOL_SUBDIR = "spool"
+
+#: Fast-path gate: true exactly while a run directory is configured.
+ACTIVE = False
+
+_RUN_DIR: Path | None = None
+_STORE: "TelemetryStore | None" = None
+
+
+def configure(directory: str | Path | None) -> "TelemetryStore | None":
+    """Arm telemetry into *directory* (None disarms); returns the store.
+
+    Arming also installs span recording (the pipeline is pointless
+    without spans); disarming uninstalls it and forgets the store —
+    callers who want the data must :func:`finalize_run` first.
+    """
+    global ACTIVE, _RUN_DIR, _STORE
+    if directory is None:
+        ACTIVE = False
+        _RUN_DIR = None
+        _STORE = None
+        _span.uninstall()
+        return None
+    _RUN_DIR = Path(directory)
+    (_RUN_DIR / _SPOOL_SUBDIR).mkdir(parents=True, exist_ok=True)
+    trace_id = _span.install()
+    _STORE = TelemetryStore(trace_id=trace_id)
+    ACTIVE = True
+    return _STORE
+
+
+def enabled() -> bool:
+    """Is the telemetry pipeline armed?"""
+    return ACTIVE
+
+
+def run_dir() -> Path | None:
+    """The configured run directory (None = disarmed)."""
+    return _RUN_DIR
+
+
+def store() -> "TelemetryStore | None":
+    """The parent-side store of the current run (None = disarmed)."""
+    return _STORE
+
+
+def cell_id_of(key: tuple) -> str:
+    """Stable, filesystem-safe identity of one cell key.
+
+    Human-readable prefix (first two string-ish components) plus a short
+    hash of the full key, so distinct keys can never collide on disk.
+    """
+    digest = hashlib.sha1(repr(tuple(key)).encode()).hexdigest()[:10]
+    parts = [str(p) for p in key if isinstance(p, (str, int, float))][:2]
+    slug = "_".join(parts) or "cell"
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in slug)
+    return f"{safe}-{digest}"
+
+
+def _spool_path(directory: Path, cell: str, attempt: int) -> Path:
+    return directory / _SPOOL_SUBDIR / f"{cell}-a{attempt}.json"
+
+
+def _marker_path(directory: Path, cell: str, attempt: int) -> Path:
+    return directory / _SPOOL_SUBDIR / f"{cell}-a{attempt}.partial"
+
+
+# --------------------------------------------------------------------------
+# Child side (runs inside the forked worker)
+# --------------------------------------------------------------------------
+
+
+def child_begin(telem: dict) -> None:
+    """Start measuring one cell attempt inside a freshly forked child.
+
+    *telem* is the supervisor's handoff: ``dir``, ``cell``, ``attempt``,
+    ``trace``/``parent`` span context and the ``worker`` slot. Resets the
+    registry and phase timer the fork inherited (the child must report
+    its own deltas, not the parent's accumulated state), adopts the span
+    context, and drops the partial marker.
+    """
+    REGISTRY.reset()
+    PHASES.reset()
+    _span.uninstall()
+    _span.adopt(telem["trace"], telem.get("parent"))
+    marker = _marker_path(Path(telem["dir"]), telem["cell"], telem["attempt"])
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text("")
+
+
+def child_finish(telem: dict, *, status: str = "ok") -> Path:
+    """Spool the child's telemetry and clear its partial marker."""
+    directory = Path(telem["dir"])
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "cell": telem["cell"],
+        "key": list(telem.get("key", ())),
+        "attempt": telem["attempt"],
+        "worker": telem.get("worker"),
+        "status": status,
+        "pid": os.getpid(),
+        "spans": [s.as_dict() for s in _span.drain()],
+        "metrics": REGISTRY.dump(),
+        "phases": PHASES.snapshot(),
+    }
+    path = _spool_path(directory, telem["cell"], telem["attempt"])
+    atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
+    _marker_path(directory, telem["cell"], telem["attempt"]).unlink(
+        missing_ok=True
+    )
+    return path
+
+
+# --------------------------------------------------------------------------
+# Deterministic merge semantics
+# --------------------------------------------------------------------------
+
+
+def _merge_histogram(into: dict, entry: dict) -> None:
+    a, b = into["data"], entry["data"]
+    buckets = dict(a["buckets"])
+    for edge, count in b["buckets"].items():
+        buckets[edge] = buckets.get(edge, 0) + count
+    count = a["count"] + b["count"]
+    total = a["sum"] + b["sum"]
+    merged = {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "min": min(a["min"], b["min"]) if a["count"] and b["count"]
+        else (a["min"] if a["count"] else b["min"]),
+        "max": max(a["max"], b["max"]),
+        "buckets": buckets,
+    }
+    bounds = tuple(into["bounds"])
+    ordered = [buckets.get(str(e), 0) for e in bounds] + [
+        buckets.get("inf", 0)
+    ]
+    merged.update(
+        percentiles_from_buckets(
+            bounds, ordered, count, merged["min"], merged["max"]
+        )
+    )
+    into["data"] = merged
+
+
+def merge_metric_dumps(dumps: dict[str, dict]) -> dict[str, dict]:
+    """Merge per-source :meth:`MetricsRegistry.dump` payloads.
+
+    *dumps* maps a source id to its typed dump; sources are processed in
+    sorted id order, so the result is a pure function of the mapping:
+    counters sum, histograms merge bucket-wise, gauges keep the value of
+    the last source in sort order. A key whose type disagrees across
+    sources degrades to last-writer (and is tagged ``"conflict": true``)
+    rather than corrupting the merge.
+    """
+    merged: dict[str, dict] = {}
+    for source in sorted(dumps):
+        for key, entry in dumps[source].items():
+            current = merged.get(key)
+            if current is None:
+                merged[key] = json.loads(json.dumps(entry))  # deep copy
+            elif current["type"] != entry["type"]:
+                fresh = json.loads(json.dumps(entry))
+                fresh["conflict"] = True
+                merged[key] = fresh
+            elif entry["type"] == "counter":
+                current["value"] += entry["value"]
+            elif entry["type"] == "gauge":
+                current["value"] = entry["value"]
+            else:
+                _merge_histogram(current, entry)
+    return merged
+
+
+def merge_phase_snapshots(snapshots: dict[str, dict]) -> dict[str, dict]:
+    """Merge per-source :meth:`PhaseTimer.snapshot` payloads (sum both
+    calls and seconds per path; order-independent by construction)."""
+    merged: dict[str, dict] = {}
+    for source in sorted(snapshots):
+        for path, stat in snapshots[source].items():
+            slot = merged.setdefault(path, {"calls": 0, "seconds": 0.0})
+            slot["calls"] += stat["calls"]
+            slot["seconds"] += stat["seconds"]
+    return merged
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+class TelemetryStore:
+    """Per-run telemetry, merged from child spools and the parent.
+
+    ``cells`` holds one payload per ``(cell id, attempt)``; ``partials``
+    lists attempts whose child died before spooling (their marker file
+    survived). :meth:`merged` produces the unified view the exporters
+    and the report CLI consume.
+    """
+
+    def __init__(self, trace_id: str = "") -> None:
+        self.trace_id = trace_id
+        self.cells: dict[tuple[str, int], dict] = {}
+        self.partials: list[tuple[str, int]] = []
+        self.parent: dict = {}
+
+    def ingest_payload(self, payload: dict) -> None:
+        """Add one child spool payload (idempotent per cell+attempt)."""
+        self.cells[(payload["cell"], int(payload["attempt"]))] = payload
+
+    def ingest_spool(self, cell: str, attempt: int) -> bool:
+        """Read one attempt's spool file from the run directory.
+
+        Returns True when the payload was ingested; on a missing or
+        truncated spool (the child died mid-write or before writing) the
+        attempt is recorded in ``partials`` instead and False returns —
+        a dead child never corrupts the store.
+        """
+        if _RUN_DIR is None:
+            return False
+        path = _spool_path(_RUN_DIR, cell, attempt)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict) or "cell" not in payload:
+                raise ValueError("not a spool payload")
+        except (OSError, ValueError):
+            self.note_partial(cell, attempt)
+            return False
+        self.ingest_payload(payload)
+        return True
+
+    def note_partial(self, cell: str, attempt: int) -> None:
+        """Record an attempt that died before spooling its telemetry."""
+        entry = (cell, attempt)
+        if entry not in self.partials:
+            self.partials.append(entry)
+
+    def set_parent(self, spans: list, metrics: dict, phases: dict) -> None:
+        """Attach the supervisor's own telemetry (spans, fault.* metrics)."""
+        self.parent = {
+            "spans": [
+                s.as_dict() if hasattr(s, "as_dict") else s for s in spans
+            ],
+            "metrics": metrics,
+            "phases": phases,
+            "pid": os.getpid(),
+        }
+
+    # -- unified views -------------------------------------------------------
+
+    def spans(self) -> list[dict]:
+        """Every span in the run — parent first, then cells in sorted
+        (cell, attempt) order, each stream kept in recording order."""
+        out = list(self.parent.get("spans", ()))
+        for key in sorted(self.cells):
+            out.extend(self.cells[key].get("spans", ()))
+        return out
+
+    def merged(self) -> dict:
+        """The deterministic cross-process rollup."""
+        metric_sources = {
+            f"{cell}#a{attempt}": payload.get("metrics", {})
+            for (cell, attempt), payload in self.cells.items()
+        }
+        phase_sources = {
+            f"{cell}#a{attempt}": payload.get("phases", {})
+            for (cell, attempt), payload in self.cells.items()
+        }
+        if self.parent:
+            metric_sources["~parent"] = self.parent.get("metrics", {})
+            phase_sources["~parent"] = self.parent.get("phases", {})
+        return {
+            "schema": SCHEMA_VERSION,
+            "trace_id": self.trace_id,
+            "n_cells": len({cell for cell, _ in self.cells}),
+            "n_attempts": len(self.cells),
+            "partials": [list(p) for p in sorted(self.partials)],
+            "metrics": merge_metric_dumps(metric_sources),
+            "phases": merge_phase_snapshots(phase_sources),
+        }
+
+    def as_dict(self) -> dict:
+        """Full JSON-ready form (payloads + the merged rollup)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "trace_id": self.trace_id,
+            "cells": [self.cells[k] for k in sorted(self.cells)],
+            "partials": [list(p) for p in sorted(self.partials)],
+            "parent": self.parent,
+            "merged": self.merged(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryStore":
+        store = cls(trace_id=data.get("trace_id", ""))
+        for payload in data.get("cells", ()):
+            store.ingest_payload(payload)
+        for cell, attempt in data.get("partials", ()):
+            store.note_partial(cell, int(attempt))
+        store.parent = data.get("parent", {})
+        return store
+
+    def save(self, path: str | Path) -> Path:
+        """Write the store atomically as JSON; returns the path."""
+        return atomic_write_text(
+            path, json.dumps(self.as_dict(), sort_keys=True) + "\n"
+        )
+
+
+def finalize_run() -> Path | None:
+    """Fold the parent's telemetry in and persist the store.
+
+    Captures the supervisor's finished spans, its ``fault.*``/campaign
+    metrics and phase timings, writes ``telemetry.json`` into the run
+    directory, and returns its path (None when disarmed). Idempotent —
+    call it after every supervised stage; the last call wins with the
+    fullest picture.
+    """
+    if not ACTIVE or _RUN_DIR is None or _STORE is None:
+        return None
+    _STORE.set_parent(
+        _span.finished_spans(), REGISTRY.dump(), PHASES.snapshot()
+    )
+    return _STORE.save(_RUN_DIR / STORE_FILENAME)
+
+
+def load_store(directory: str | Path) -> TelemetryStore:
+    """Load a run directory's telemetry store.
+
+    Prefers ``telemetry.json``; spool files not already in the store
+    (a supervisor that died before finalizing) are swept in, and any
+    surviving ``*.partial`` markers are recorded as partial attempts.
+    """
+    directory = Path(directory)
+    store_path = directory / STORE_FILENAME
+    if store_path.exists():
+        try:
+            store = TelemetryStore.from_dict(
+                json.loads(store_path.read_text(encoding="utf-8"))
+            )
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise ExperimentError(
+                f"malformed telemetry store {store_path}: {exc}"
+            ) from exc
+    elif (directory / _SPOOL_SUBDIR).is_dir():
+        store = TelemetryStore()
+    else:
+        raise ExperimentError(f"no telemetry under {directory}")
+    spool = directory / _SPOOL_SUBDIR
+    if spool.is_dir():
+        for path in sorted(spool.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and "cell" in payload
+                and (payload["cell"], int(payload.get("attempt", 1)))
+                not in store.cells
+            ):
+                store.ingest_payload(payload)
+        for path in sorted(spool.glob("*.partial")):
+            stem = path.name[: -len(".partial")]
+            cell, _, attempt = stem.rpartition("-a")
+            try:
+                store.note_partial(cell, int(attempt))
+            except ValueError:
+                continue
+    return store

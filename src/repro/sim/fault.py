@@ -55,9 +55,12 @@ from repro.errors import (
     MatrixPartialFailure,
     ReproError,
 )
+from repro.obs import live as _live
 from repro.obs import manifest as _manifest
 from repro.obs import phases as _phases
 from repro.obs import progress as _progress
+from repro.obs import span as _span
+from repro.obs import telemetry as _telemetry
 from repro.obs.metrics import REGISTRY, SECONDS_BUCKETS
 from repro.sim.results import SimResult
 from repro.sim.results_io import (
@@ -332,6 +335,8 @@ class SupervisedOutcome:
     failures: list[CellFailure] = field(default_factory=list)
     attempts: dict[tuple, int] = field(default_factory=dict)
     reused: int = 0  #: cells satisfied from the checkpoint without running
+    #: The run's telemetry store when the pipeline was armed (else None).
+    telemetry: object = None
 
     @property
     def ok(self) -> bool:
@@ -349,7 +354,7 @@ class SupervisedOutcome:
 # --------------------------------------------------------------------------
 
 
-def _child_entry(worker, task, conn) -> None:
+def _child_entry(worker, task, conn, telem=None) -> None:
     """Child-process shell around one cell attempt.
 
     Sends ``("ok", result)`` or ``("err", (type, is_repro, message,
@@ -357,12 +362,44 @@ def _child_entry(worker, task, conn) -> None:
     classified by the parent from the exit code. SIGINT is ignored so an
     interactive Ctrl-C unwinds through the supervisor's cleanup, which
     terminates children deliberately.
+
+    With telemetry armed, *telem* is the supervisor's handoff
+    (:mod:`repro.obs.telemetry`): the child adopts the attempt span's
+    context, measures only itself, and spools spans + metrics + phases
+    *before* reporting through the pipe — so when the parent sees the
+    result, the spool file is already complete. Telemetry failures
+    degrade to an untraced cell, never a failed one.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if telem is not None:
+        try:
+            _telemetry.child_begin(telem)
+        except Exception:  # noqa: BLE001 - observability must not kill cells
+            telem = None
+
+    def _spool(status: str) -> None:
+        if telem is None:
+            return
+        try:
+            _telemetry.child_finish(telem, status=status)
+        except Exception:  # noqa: BLE001 - spool loss degrades to partial
+            pass
+
     try:
-        result = worker(task)
+        if telem is not None:
+            with _span.span(
+                "cell",
+                cell=telem["cell"],
+                attempt=telem["attempt"],
+                worker=telem.get("worker"),
+            ):
+                result = worker(task)
+        else:
+            result = worker(task)
+        _spool("ok")
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - classified by the parent
+        _spool("error")
         try:
             conn.send(
                 (
@@ -396,6 +433,9 @@ class _Running:
     conn: object
     deadline: float | None
     started: float
+    slot: int = 0  #: worker slot (occupancy tracking, trace swimlanes)
+    telem: dict | None = None  #: telemetry handoff given to the child
+    attempt_span: object = None  #: the supervisor-side span of this attempt
 
 
 def _terminate(proc) -> None:
@@ -454,19 +494,60 @@ def run_supervised(
         else:
             pending.append(_Cell(task=task, key=key))
     total = len(outcome.results) + len(pending)
-    if outcome.reused and progress:
-        _progress.report(
-            f"resumed {outcome.reused}/{total} cells from checkpoint"
-            + (f" {checkpoint.path}" if checkpoint is not None else "")
-        )
+    view = _live.maybe_dashboard(total, max_workers) if progress else None
+    if outcome.reused:
+        if view is not None:
+            view.resumed(outcome.reused)
+        elif progress:
+            _progress.report(
+                f"resumed {outcome.reused}/{total} cells from checkpoint"
+                + (f" {checkpoint.path}" if checkpoint is not None else ""),
+                event="resumed",
+                reused=outcome.reused,
+                total=total,
+            )
 
     running: list[_Running] = []
     done = outcome.reused
+    free_slots = list(range(max_workers))
+    telemetry_store = _telemetry.store()
+    run_span = (
+        _span.start_span(phase_name, cells=len(pending), reused=outcome.reused)
+        if telemetry_store is not None
+        else None
+    )
 
     def _launch(cell: _Cell, now: float) -> None:
+        slot = free_slots.pop(0) if free_slots else 0
+        attempt_no = cell.attempts + 1
+        workload, config = _key_identity(cell.key)
+        telem = None
+        attempt_span = None
+        if telemetry_store is not None:
+            cell_id = _telemetry.cell_id_of(cell.key)
+            attempt_span = _span.start_span(
+                "attempt",
+                parent=run_span,
+                cell=cell_id,
+                workload=workload,
+                config=config,
+                attempt=attempt_no,
+                worker=slot,
+            )
+            telem = {
+                "dir": str(_telemetry.run_dir()),
+                "cell": cell_id,
+                "key": list(cell.key),
+                "attempt": attempt_no,
+                "worker": slot,
+                "trace": telemetry_store.trace_id,
+                "parent": attempt_span.span_id if attempt_span else None,
+            }
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
-            target=_child_entry, args=(worker, cell.task, send_conn), daemon=True
+            target=_child_entry,
+            args=(worker, cell.task, send_conn, telem),
+            daemon=True,
         )
         proc.start()
         send_conn.close()
@@ -475,12 +556,40 @@ def run_supervised(
         REGISTRY.inc("fault.attempts")
         deadline = now + policy.timeout if policy.timeout is not None else None
         running.append(
-            _Running(cell=cell, proc=proc, conn=recv_conn, deadline=deadline, started=now)
+            _Running(
+                cell=cell,
+                proc=proc,
+                conn=recv_conn,
+                deadline=deadline,
+                started=now,
+                slot=slot,
+                telem=telem,
+                attempt_span=attempt_span,
+            )
         )
+        if view is not None:
+            view.started(cell.key, slot, f"{workload}/{config}")
+
+    def _attempt_settled(run: _Running, kind: str) -> None:
+        """Bookkeeping common to every attempt end: free the worker slot,
+        close the attempt span, ingest the child's spool (a child that
+        died before spooling becomes a partial-telemetry marker)."""
+        free_slots.append(run.slot)
+        free_slots.sort()
+        _span.finish_span(
+            run.attempt_span,
+            status="ok" if kind == "ok" else "error",
+            outcome=kind,
+        )
+        if run.telem is not None and telemetry_store is not None:
+            telemetry_store.ingest_spool(
+                run.telem["cell"], run.telem["attempt"]
+            )
 
     def _attempt_failed(
         run: _Running, kind: str, message: str, exc_type: str = "", exitcode: int | None = None
     ) -> None:
+        _attempt_settled(run, kind)
         cell = run.cell
         REGISTRY.inc("fault.attempt_failures", kind=kind)
         if kind == KIND_TIMEOUT:
@@ -492,12 +601,19 @@ def run_supervised(
             REGISTRY.inc("fault.retries")
             cell.ready_at = time.monotonic() + delay
             pending.append(cell)
-            if progress:
+            if view is not None:
+                view.retrying(cell.key)
+            elif progress:
                 workload, config = _key_identity(cell.key)
                 _progress.report(
                     f"retrying {workload} on {config} in {delay:.2f}s "
                     f"(attempt {cell.attempts + 1}/{policy.retries + 1}) "
-                    f"after {kind}: {message}"
+                    f"after {kind}: {message}",
+                    event="cell_retry",
+                    workload=workload,
+                    config=config,
+                    kind=kind,
+                    attempt=cell.attempts,
                 )
         else:
             failure = CellFailure(
@@ -511,8 +627,18 @@ def run_supervised(
             )
             outcome.failures.append(failure)
             LEDGER.record(failure)
-            if progress:
-                _progress.report(f"cell failed permanently: {failure.describe()}")
+            if view is not None:
+                view.finished(cell.key, ok=False)
+            elif progress:
+                workload, config = _key_identity(cell.key)
+                _progress.report(
+                    f"cell failed permanently: {failure.describe()}",
+                    event="cell_failed",
+                    workload=workload,
+                    config=config,
+                    kind=kind,
+                    attempts=cell.attempts,
+                )
             if policy.fail_fast:
                 raise failure.to_exception()
 
@@ -564,16 +690,24 @@ def run_supervised(
                             "fault.attempt_seconds", bounds=SECONDS_BUCKETS
                         ).observe(time.monotonic() - run.started)
                         if status == "ok":
+                            _attempt_settled(run, "ok")
                             outcome.results[run.cell.key] = payload
                             done += 1
                             REGISTRY.inc("fault.cells_ok")
                             if checkpoint is not None:
                                 checkpoint.add(run.cell.key, payload)
-                            if progress:
+                            if view is not None:
+                                view.finished(run.cell.key, ok=True)
+                            elif progress:
                                 workload, config = _key_identity(run.cell.key)
                                 _progress.report(
                                     f"completed {workload} on {config} "
-                                    f"({done}/{total})"
+                                    f"({done}/{total})",
+                                    event="cell_done",
+                                    workload=workload,
+                                    config=config,
+                                    done=done,
+                                    total=total,
                                 )
                         else:
                             exc_type, is_repro, message, _tb = payload
@@ -601,6 +735,8 @@ def run_supervised(
                     else:
                         still.append(run)
                 running = still
+                if view is not None:
+                    view.tick()
                 if not progressed and (running or pending):
                     time.sleep(policy.poll_interval)
     finally:
@@ -610,6 +746,19 @@ def run_supervised(
                 run.conn.close()
             except OSError:
                 pass
+            _attempt_settled(run, "interrupted")
+        if view is not None:
+            view.close(
+                f"{done}/{total} cells done, {len(outcome.failures)} failed"
+            )
+        _span.finish_span(
+            run_span,
+            completed=len(outcome.results),
+            failed=len(outcome.failures),
+        )
+        if telemetry_store is not None:
+            outcome.telemetry = telemetry_store
+            _telemetry.finalize_run()
     return outcome
 
 

@@ -14,6 +14,13 @@ Determinism is preserved: a cell's result is a pure function of
 ``(workload, config, seed, scale)``, so the parallel matrix equals the
 serial one bit for bit (asserted in ``tests/sim/test_parallel.py``).
 
+Observability: when the telemetry pipeline is armed
+(:func:`repro.obs.telemetry.configure`, or ``--telemetry`` on the
+experiments CLI), every cell attempt gets a supervisor-side span and the
+child spools its own spans/metrics/phases back for a deterministic
+cross-process merge — no flags here; the supervised engine picks it up
+from the module-global gate.
+
 Speedup is bounded by the largest single cell (the matrix is wide but
 cells are unequal); on a 4-core machine the full-scale matrix drops from
 ~90 s to ~30 s. ``REPRO_MAX_WORKERS`` caps the default worker count for

@@ -1,0 +1,140 @@
+"""Telemetry exporters: Chrome trace-event JSON and flat span JSONL."""
+
+import json
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_span_lines,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.telemetry import TelemetryStore
+
+
+def _store() -> TelemetryStore:
+    store = TelemetryStore(trace_id="trace-1")
+    store.parent = {
+        "spans": [
+            {
+                "name": "supervised_matrix",
+                "trace_id": "trace-1",
+                "span_id": "p1",
+                "parent_id": None,
+                "start": 10.0,
+                "end": 13.0,
+                "status": "ok",
+                "attrs": {},
+                "pid": 1,
+            }
+        ]
+    }
+    store.ingest_payload(
+        {
+            "cell": "cellA",
+            "attempt": 1,
+            "spans": [
+                {
+                    "name": "cell",
+                    "trace_id": "trace-1",
+                    "span_id": "c1",
+                    "parent_id": "p1",
+                    "start": 10.5,
+                    "end": 11.5,
+                    "status": "error",
+                    "attrs": {"worker": 0},
+                    "pid": 2,
+                    "op_start": 0,
+                    "op_end": 4000,
+                }
+            ],
+        }
+    )
+    store.ingest_payload(
+        {
+            "cell": "cellB",
+            "attempt": 1,
+            "spans": [
+                {
+                    "name": "cell",
+                    "trace_id": "trace-1",
+                    "span_id": "c2",
+                    "parent_id": "p1",
+                    "start": 11.0,
+                    "end": 12.0,
+                    "status": "ok",
+                    "attrs": {"worker": 1},
+                    "pid": 3,
+                }
+            ],
+        }
+    )
+    return store
+
+
+class TestChromeTrace:
+    def test_structure_and_timestamps(self):
+        trace = to_chrome_trace(_store())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        run = next(e for e in events if e["name"] == "supervised_matrix")
+        # Timestamps are microseconds relative to the earliest start.
+        assert run["ts"] == 0.0
+        assert run["dur"] == 3_000_000.0
+
+    def test_per_worker_tracks(self):
+        events = [
+            e for e in to_chrome_trace(_store())["traceEvents"] if e["ph"] == "X"
+        ]
+        tids = {e["args"]["span_id"]: e["tid"] for e in events}
+        assert tids["p1"] == 0  # supervisor track
+        assert tids["c1"] == 1  # worker 0
+        assert tids["c2"] == 2  # worker 1
+
+    def test_track_metadata_names(self):
+        meta = [
+            e for e in to_chrome_trace(_store())["traceEvents"] if e["ph"] == "M"
+        ]
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert names == {0: "supervisor", 1: "worker 0", 2: "worker 1"}
+
+    def test_status_and_op_clock_in_args(self):
+        events = [
+            e for e in to_chrome_trace(_store())["traceEvents"] if e["ph"] == "X"
+        ]
+        c1 = next(e for e in events if e["args"]["span_id"] == "c1")
+        assert c1["args"]["status"] == "error"
+        assert c1["args"]["op_start"] == 0
+        assert c1["args"]["parent_id"] == "p1"
+
+    def test_written_file_parses(self, tmp_path):
+        path = write_chrome_trace(_store(), tmp_path / "trace.json")
+        trace = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_empty_store(self):
+        trace = to_chrome_trace(TelemetryStore(trace_id="t"))
+        assert [e["ph"] for e in trace["traceEvents"]] == ["M", "M", "M"]
+
+
+class TestSpanLines:
+    def test_otlp_shape(self):
+        lines = to_span_lines(_store())
+        assert len(lines) == 3
+        first = lines[0]
+        assert first["traceId"] == "trace-1"
+        assert first["spanId"] == "p1"
+        assert first["parentSpanId"] == ""
+        assert first["startTimeUnixNano"] == 10_000_000_000
+        child = next(line for line in lines if line["spanId"] == "c1")
+        assert child["parentSpanId"] == "p1"
+        assert child["status"] == "error"
+
+    def test_jsonl_file_one_object_per_line(self, tmp_path):
+        path = write_spans_jsonl(_store(), tmp_path / "spans.jsonl")
+        parsed = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [p["spanId"] for p in parsed] == ["p1", "c1", "c2"]

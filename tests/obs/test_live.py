@@ -1,0 +1,103 @@
+"""Live dashboard: activation rules, state grid, throughput/ETA."""
+
+import io
+
+import pytest
+
+from repro.obs import live, progress
+from repro.obs.live import LiveDashboard, maybe_dashboard, should_use
+
+
+class _Tty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+@pytest.fixture(autouse=True)
+def _clean_mode():
+    progress.configure(None)
+    yield
+    progress.configure(None)
+
+
+class TestActivation:
+    def test_non_tty_never_uses_dashboard(self):
+        assert not should_use(io.StringIO())
+
+    def test_tty_in_auto_mode_uses_dashboard(self, monkeypatch):
+        monkeypatch.setenv("TERM", "xterm-256color")
+        assert should_use(_Tty())
+
+    def test_dumb_terminal_refuses(self, monkeypatch):
+        monkeypatch.setenv("TERM", "dumb")
+        assert not should_use(_Tty())
+
+    def test_plain_and_json_modes_refuse_even_on_tty(self, monkeypatch):
+        monkeypatch.setenv("TERM", "xterm")
+        for mode in ("plain", "json", "quiet"):
+            progress.configure(mode)
+            assert not should_use(_Tty())
+
+    def test_maybe_dashboard_none_off_tty(self):
+        assert maybe_dashboard(10, 2) is None
+
+
+class TestRendering:
+    def _board(self, total=4, workers=2):
+        return LiveDashboard(total, workers, stream=_Tty())
+
+    def test_state_grid_transitions(self):
+        board = self._board()
+        board.started(("a",), 0, "a/BC")
+        board.started(("b",), 1, "b/BC")
+        board.finished(("a",), ok=True)
+        board.finished(("b",), ok=False)
+        grid = board.render()[0]
+        assert live._GLYPH_DONE in grid
+        assert live._GLYPH_FAIL in grid
+        assert "cells 2/4" in grid
+        assert "1 failed" in grid
+
+    def test_running_rows_show_worker_slots(self):
+        board = self._board()
+        board.started(("a",), 1, "olden.mst/CPP")
+        lines = board.render()
+        assert any("w1" in line and "olden.mst/CPP" in line for line in lines)
+
+    def test_retry_returns_cell_to_pending(self):
+        board = self._board()
+        board.started(("a",), 0, "a/BC")
+        board.retrying(("a",))
+        assert board.states[("a",)] == live._GLYPH_PEND
+        assert ("a",) not in board.running
+
+    def test_resumed_counts_as_done(self):
+        board = self._board(total=6)
+        board.resumed(4)
+        assert "cells 4/6" in board.render()[0]
+        assert "4 resumed" in board.render()[0]
+        grid = board._grid()
+        assert grid.count(live._GLYPH_DONE) == 4
+
+    def test_eta_appears_after_two_finishes(self):
+        board = self._board(total=10)
+        assert board.eta_seconds() is None
+        board.started(("a",), 0, "a")
+        board.finished(("a",), ok=True)
+        board.started(("b",), 0, "b")
+        board.finished(("b",), ok=True)
+        assert board.ema_rate > 0
+        assert board.eta_seconds() is not None
+
+    def test_wide_campaign_collapses_grid(self):
+        board = LiveDashboard(live._GRID_WIDTH + 1, 2, stream=_Tty())
+        assert board._grid() == ""
+        assert "cells 0/" in board.render()[0]
+
+    def test_close_leaves_single_summary_line(self):
+        stream = _Tty()
+        board = LiveDashboard(2, 1, stream=stream)
+        board.started(("a",), 0, "a")
+        board.finished(("a",), ok=True)
+        board.close("1/2 cells done")
+        assert stream.getvalue().endswith("[repro] 1/2 cells done\n")

@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     metric_key,
+    percentiles_from_buckets,
 )
 
 
@@ -111,3 +112,70 @@ class TestHistogram:
         h = reg.get("core.load_latency", hierarchy="CPP")
         assert h.count == 2
         assert reg.value("core.load_latency", hierarchy="CPP") is None  # not scalar
+
+
+class TestPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram("m", {})
+        d = h.as_dict()
+        assert d["p50"] == 0.0 and d["p95"] == 0.0 and d["p99"] == 0.0
+
+    def test_single_value_pins_every_quantile(self):
+        h = Histogram("m", {})
+        h.observe(7)
+        d = h.as_dict()
+        assert d["p50"] == d["p95"] == d["p99"] == 7
+
+    def test_interpolation_inside_bucket(self):
+        # 100 samples uniform over the (4, 8] bucket: the p50 estimate
+        # lands mid-bucket, well away from either edge.
+        h = Histogram("m", {}, bounds=(4, 8))
+        for _ in range(100):
+            h.observe(6)
+        p50 = h.percentile(0.5)
+        assert 4 < p50 < 8
+
+    def test_estimates_clamped_to_observed_range(self):
+        h = Histogram("m", {}, bounds=(100,))
+        h.observe(3)
+        h.observe(5)
+        d = h.as_dict()
+        # Coarse bucketing would interpolate far above 5; the observed
+        # max bounds it.
+        assert d["p99"] <= 5
+        assert d["p50"] >= 3
+
+    def test_overflow_bucket_bounded_by_observed_max(self):
+        h = Histogram("m", {}, bounds=(1, 2))
+        for v in (10, 20, 30):
+            h.observe(v)
+        assert h.percentile(0.99) <= 30
+
+    def test_ordering_of_quantiles(self):
+        h = Histogram("m", {})
+        for v in (1, 2, 4, 8, 16, 32, 64, 128, 256, 300):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"]
+
+    def test_percentiles_from_buckets_empty(self):
+        out = percentiles_from_buckets((1, 2), [0, 0, 0], 0, 0.0, 0.0)
+        assert out == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_custom_quantile_labels(self):
+        out = percentiles_from_buckets(
+            (10,), [4, 0], 4, 1.0, 9.0, qs=(0.25, 0.75)
+        )
+        assert set(out) == {"p25", "p75"}
+        assert out["p25"] <= out["p75"]
+
+    def test_dump_is_typed(self):
+        reg = MetricsRegistry()
+        reg.inc("a.count", 2)
+        reg.set_gauge("a.rate", 0.5)
+        reg.observe("a.lat", 3)
+        dump = reg.dump()
+        assert dump["a.count"] == {"type": "counter", "value": 2}
+        assert dump["a.rate"] == {"type": "gauge", "value": 0.5}
+        assert dump["a.lat"]["type"] == "histogram"
+        assert dump["a.lat"]["data"]["p50"] == 3

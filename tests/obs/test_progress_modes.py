@@ -1,0 +1,95 @@
+"""Progress modes: REPRO_PROGRESS / configure(), json lines, sinks."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import progress
+
+
+@pytest.fixture(autouse=True)
+def _clean_progress(monkeypatch):
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    progress.configure(None)
+    progress.set_sink(None)
+    yield
+    progress.configure(None)
+    progress.set_sink(None)
+
+
+class TestModeResolution:
+    def test_default_is_auto(self):
+        assert progress.mode() == "auto"
+
+    def test_env_sets_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "json")
+        assert progress.mode() == "json"
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", " QUIET ")
+        assert progress.mode() == "quiet"
+
+    def test_configure_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "json")
+        progress.configure("plain")
+        assert progress.mode() == "plain"
+        progress.configure(None)
+        assert progress.mode() == "json"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "verbose")
+        with pytest.raises(ConfigurationError):
+            progress.mode()
+
+    def test_bad_configure_value_raises(self):
+        with pytest.raises(ConfigurationError):
+            progress.configure("loud")
+
+
+class TestOutput:
+    def test_plain_mode_prefixes_on_stderr(self, capsys):
+        progress.configure("plain")
+        progress.report("completed a on b", event="cell_done")
+        captured = capsys.readouterr()
+        assert captured.err == "[repro] completed a on b\n"
+        assert captured.out == ""
+
+    def test_json_mode_emits_machine_readable_line(self, capsys):
+        progress.configure("json")
+        progress.report(
+            "completed olden.mst on CPP (3/5)",
+            event="cell_done",
+            workload="olden.mst",
+            config="CPP",
+            done=3,
+            total=5,
+        )
+        line = capsys.readouterr().err.strip()
+        payload = json.loads(line)
+        assert payload == {
+            "msg": "completed olden.mst on CPP (3/5)",
+            "event": "cell_done",
+            "workload": "olden.mst",
+            "config": "CPP",
+            "done": 3,
+            "total": 5,
+        }
+
+    def test_quiet_mode_drops_everything(self, capsys):
+        progress.configure("quiet")
+        progress.report("noise")
+        captured = capsys.readouterr()
+        assert captured.err == "" and captured.out == ""
+
+    def test_custom_sink_wins_over_quiet(self):
+        progress.configure("quiet")
+        seen = []
+        progress.set_sink(seen.append)
+        progress.report("important", event="x")
+        assert seen == ["important"]
+
+    def test_silence_helper(self, capsys):
+        progress.silence()
+        progress.report("dropped")
+        assert capsys.readouterr().err == ""

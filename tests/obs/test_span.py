@@ -1,0 +1,154 @@
+"""Span recording: gate semantics, nesting, cross-process adoption."""
+
+import pytest
+
+from repro.obs import span as span_mod
+from repro.obs.span import (
+    SpanRecord,
+    adopt,
+    current_context,
+    drain,
+    finish_span,
+    finished_spans,
+    install,
+    new_trace_id,
+    span,
+    start_span,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_spans():
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestGate:
+    def test_disarmed_span_yields_none(self):
+        with span("work") as record:
+            assert record is None
+        assert finished_spans() == []
+
+    def test_disarmed_start_span_returns_none(self):
+        assert start_span("work") is None
+        finish_span(None)  # must be a no-op, not a crash
+
+    def test_install_arms_and_returns_trace_id(self):
+        trace_id = install()
+        assert span_mod.ACTIVE
+        assert trace_id
+        with span("work") as record:
+            assert record.trace_id == trace_id
+
+    def test_install_is_idempotent_on_trace_id(self):
+        first = install()
+        assert install() == first
+        assert install("forced") == "forced"
+
+    def test_uninstall_returns_finished_spans(self):
+        install()
+        with span("a"):
+            pass
+        done = uninstall()
+        assert [s.name for s in done] == ["a"]
+        assert not span_mod.ACTIVE
+        assert finished_spans() == []
+
+
+class TestNesting:
+    def test_child_parents_under_open_span(self):
+        install()
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_current_context_tracks_stack(self):
+        install("t")
+        assert current_context() is None
+        with span("outer") as outer:
+            assert current_context() == ("t", outer.span_id)
+        assert current_context() is None
+
+    def test_exception_marks_error_and_reraises(self):
+        install()
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+        (record,) = finished_spans()
+        assert record.status == "error"
+        assert record.end >= record.start
+
+    def test_finished_in_completion_order(self):
+        install()
+        with span("outer"):
+            with span("inner"):
+                pass
+        assert [s.name for s in finished_spans()] == ["inner", "outer"]
+
+
+class TestManualApi:
+    def test_start_finish_records_attrs(self):
+        install()
+        record = start_span("attempt", workload="olden.mst", attempt=1)
+        finish_span(record, status="error", outcome="timeout")
+        assert record.attrs == {
+            "workload": "olden.mst",
+            "attempt": 1,
+            "outcome": "timeout",
+        }
+        assert record.status == "error"
+        assert finished_spans() == [record]
+
+    def test_explicit_parent_by_record_and_id(self):
+        install()
+        parent = start_span("run")
+        by_record = start_span("a", parent=parent)
+        by_id = start_span("b", parent=parent.span_id)
+        assert by_record.parent_id == parent.span_id
+        assert by_id.parent_id == parent.span_id
+
+    def test_span_ids_unique(self):
+        install()
+        ids = {start_span(f"s{i}").span_id for i in range(50)}
+        assert len(ids) == 50
+
+
+class TestAdoption:
+    def test_adopted_roots_parent_under_remote_span(self):
+        adopt("remote-trace", "remote-span")
+        with span("child-work") as record:
+            assert record.trace_id == "remote-trace"
+            assert record.parent_id == "remote-span"
+            # A locally nested span parents locally, not remotely.
+            with span("nested") as inner:
+                assert inner.parent_id == record.span_id
+
+    def test_drain_forgets(self):
+        install()
+        with span("a"):
+            pass
+        assert [s.name for s in drain()] == ["a"]
+        assert drain() == []
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        install()
+        with span("cell", worker=1) as record:
+            record.set_op_clock(100, 900)
+        data = record.as_dict()
+        back = SpanRecord.from_dict(data)
+        assert back == record
+        assert data["op_start"] == 100 and data["op_end"] == 900
+
+    def test_op_clock_omitted_when_unset(self):
+        install()
+        with span("cell") as record:
+            pass
+        assert "op_start" not in record.as_dict()
+
+    def test_trace_ids_distinct(self):
+        assert new_trace_id() != new_trace_id()

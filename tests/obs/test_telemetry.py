@@ -1,0 +1,213 @@
+"""Cross-process telemetry: spooling, deterministic merge, partials."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs import span as span_mod
+from repro.obs import telemetry
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.phases import PHASES
+from repro.obs.telemetry import (
+    TelemetryStore,
+    cell_id_of,
+    child_begin,
+    child_finish,
+    configure,
+    finalize_run,
+    load_store,
+    merge_metric_dumps,
+    merge_phase_snapshots,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pipeline():
+    configure(None)
+    REGISTRY.reset()
+    PHASES.reset()
+    yield
+    configure(None)
+    REGISTRY.reset()
+    PHASES.reset()
+
+
+class TestCellIds:
+    def test_stable_and_distinct(self):
+        key = ("olden.mst", 1, 0.3, "CPP", 1.0)
+        assert cell_id_of(key) == cell_id_of(key)
+        assert cell_id_of(key) != cell_id_of(("olden.mst", 1, 0.3, "BC", 1.0))
+
+    def test_filesystem_safe(self):
+        cell = cell_id_of(("a/b c", "x:y"))
+        assert "/" not in cell and " " not in cell and ":" not in cell
+
+
+class TestConfigure:
+    def test_arms_spans_and_creates_spool(self, tmp_path):
+        store = configure(tmp_path)
+        assert telemetry.enabled()
+        assert span_mod.ACTIVE
+        assert (tmp_path / "spool").is_dir()
+        assert store.trace_id
+        configure(None)
+        assert not telemetry.enabled()
+        assert not span_mod.ACTIVE
+
+
+class TestSpoolRoundtrip:
+    def _handoff(self, tmp_path, attempt=1):
+        return {
+            "dir": str(tmp_path),
+            "cell": "cellA",
+            "key": ["w", "c"],
+            "attempt": attempt,
+            "worker": 0,
+            "trace": "trace-1",
+            "parent": "span-1",
+        }
+
+    def test_child_finish_spools_and_clears_marker(self, tmp_path):
+        telem = self._handoff(tmp_path)
+        child_begin(telem)
+        marker = tmp_path / "spool" / "cellA-a1.partial"
+        assert marker.exists()
+        REGISTRY.inc("sim.ops", 3)
+        with span_mod.span("cell"):
+            pass
+        path = child_finish(telem)
+        assert not marker.exists()
+        payload = json.loads(path.read_text())
+        assert payload["cell"] == "cellA"
+        assert payload["metrics"]["sim.ops"] == {"type": "counter", "value": 3}
+        assert [s["name"] for s in payload["spans"]] == ["cell"]
+        assert payload["spans"][0]["trace_id"] == "trace-1"
+        assert payload["spans"][0]["parent_id"] == "span-1"
+
+    def test_child_begin_resets_inherited_state(self, tmp_path):
+        REGISTRY.inc("parent.leftover", 99)
+        child_begin(self._handoff(tmp_path))
+        assert len(REGISTRY) == 0
+
+    def test_missing_spool_becomes_partial(self, tmp_path):
+        store = configure(tmp_path)
+        assert not store.ingest_spool("ghost", 1)
+        assert store.partials == [("ghost", 1)]
+
+    def test_truncated_spool_becomes_partial(self, tmp_path):
+        store = configure(tmp_path)
+        (tmp_path / "spool" / "cellA-a1.json").write_text('{"cell": "cell')
+        assert not store.ingest_spool("cellA", 1)
+        assert ("cellA", 1) in store.partials
+
+
+class TestDeterministicMerge:
+    def _dump(self, build) -> dict:
+        reg = MetricsRegistry()
+        build(reg)
+        return reg.dump()
+
+    def test_counters_sum_order_independent(self):
+        a = self._dump(lambda r: r.inc("sim.ops", 3))
+        b = self._dump(lambda r: r.inc("sim.ops", 4))
+        ab = merge_metric_dumps({"a": a, "b": b})
+        ba = merge_metric_dumps({"b": b, "a": a})
+        assert ab == ba
+        assert ab["sim.ops"]["value"] == 7
+
+    def test_gauges_take_last_in_sorted_order(self):
+        a = self._dump(lambda r: r.set_gauge("rate", 0.25))
+        b = self._dump(lambda r: r.set_gauge("rate", 0.75))
+        merged = merge_metric_dumps({"zzz": a, "aaa": b})
+        # 'zzz' sorts last, so its value wins regardless of dict order.
+        assert merged["rate"]["value"] == 0.25
+
+    def test_histograms_merge_bucketwise_with_percentiles(self):
+        def low(r):
+            for v in (1, 2, 2):
+                r.observe("lat", v, )
+
+        def high(r):
+            for v in (64, 128):
+                r.observe("lat", v)
+
+        merged = merge_metric_dumps(
+            {"a": self._dump(low), "b": self._dump(high)}
+        )
+        data = merged["lat"]["data"]
+        assert data["count"] == 5
+        assert data["min"] == 1 and data["max"] == 128
+        assert data["buckets"]["2"] == 2
+        assert 1 <= data["p50"] <= 4
+        assert data["p99"] <= 128
+
+    def test_type_conflict_degrades_with_flag(self):
+        a = self._dump(lambda r: r.inc("m", 1))
+        b = self._dump(lambda r: r.set_gauge("m", 5.0))
+        merged = merge_metric_dumps({"a": a, "b": b})
+        assert merged["m"]["conflict"] is True
+
+    def test_phases_sum(self):
+        merged = merge_phase_snapshots(
+            {
+                "a": {"sim": {"calls": 1, "seconds": 2.0}},
+                "b": {"sim": {"calls": 3, "seconds": 0.5}},
+            }
+        )
+        assert merged["sim"] == {"calls": 4, "seconds": 2.5}
+
+
+class TestStore:
+    def test_spans_parent_first_then_sorted_cells(self):
+        store = TelemetryStore(trace_id="t")
+        store.parent = {"spans": [{"name": "run"}]}
+        store.ingest_payload(
+            {"cell": "zz", "attempt": 1, "spans": [{"name": "z-span"}]}
+        )
+        store.ingest_payload(
+            {"cell": "aa", "attempt": 1, "spans": [{"name": "a-span"}]}
+        )
+        assert [s["name"] for s in store.spans()] == [
+            "run",
+            "a-span",
+            "z-span",
+        ]
+
+    def test_dict_roundtrip(self):
+        store = TelemetryStore(trace_id="t")
+        store.ingest_payload(
+            {"cell": "aa", "attempt": 2, "spans": [], "metrics": {}}
+        )
+        store.note_partial("bb", 1)
+        back = TelemetryStore.from_dict(store.as_dict())
+        assert back.trace_id == "t"
+        assert set(back.cells) == {("aa", 2)}
+        assert back.partials == [("bb", 1)]
+
+    def test_finalize_writes_store_with_parent(self, tmp_path):
+        configure(tmp_path)
+        REGISTRY.inc("fault.attempts", 2)
+        with span_mod.span("supervised"):
+            pass
+        path = finalize_run()
+        assert path == tmp_path / "telemetry.json"
+        loaded = load_store(tmp_path)
+        assert [s["name"] for s in loaded.parent["spans"]] == ["supervised"]
+        merged = loaded.merged()
+        assert merged["metrics"]["fault.attempts"]["value"] == 2
+
+    def test_load_store_sweeps_stray_spools_and_markers(self, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        spool.joinpath("cellA-a1.json").write_text(
+            json.dumps({"cell": "cellA", "attempt": 1, "spans": []})
+        )
+        spool.joinpath("cellB-a2.partial").write_text("")
+        store = load_store(tmp_path)
+        assert ("cellA", 1) in store.cells
+        assert ("cellB", 2) in store.partials
+
+    def test_load_store_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_store(tmp_path / "nope")

@@ -1,0 +1,75 @@
+"""Bench baseline history: JSONL recording and downward-trend warnings."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_baseline.py"
+_spec = importlib.util.spec_from_file_location("bench_baseline", _TOOL)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _entry(bc: int, cpp: int) -> dict:
+    return {
+        "schema": 1,
+        "configs": {
+            "BC": {"insn_per_sec": bc, "cycles": 100},
+            "CPP": {"insn_per_sec": cpp, "cycles": 200},
+        },
+    }
+
+
+class TestHistoryFile:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert bench.load_history(tmp_path / "none.jsonl") == []
+
+    def test_append_then_load_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        recorded = bench.append_history(_entry(100, 200), path)
+        assert "recorded" in recorded
+        bench.append_history(_entry(90, 210), path)
+        loaded = bench.load_history(path)
+        assert len(loaded) == 2
+        assert loaded[0]["configs"]["BC"]["insn_per_sec"] == 100
+        assert loaded[1]["configs"]["BC"]["insn_per_sec"] == 90
+
+    def test_load_skips_corrupt_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(
+            "not json\n"
+            + json.dumps({"unrelated": True})
+            + "\n"
+            + json.dumps(_entry(100, 200))
+            + "\n"
+        )
+        loaded = bench.load_history(path)
+        assert len(loaded) == 1
+
+
+class TestTrendWarnings:
+    def test_short_history_never_warns(self):
+        assert bench.trend_warnings([_entry(100, 200), _entry(90, 190)]) == []
+
+    def test_three_strict_drops_warn_per_config(self):
+        history = [_entry(100, 200), _entry(90, 210), _entry(80, 220)]
+        warnings = bench.trend_warnings(history)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("BC:")
+        assert "100" in warnings[0] and "80" in warnings[0]
+
+    def test_flat_or_recovering_series_does_not_warn(self):
+        flat = [_entry(100, 200), _entry(100, 200), _entry(100, 200)]
+        recovering = [_entry(100, 200), _entry(80, 200), _entry(90, 200)]
+        assert bench.trend_warnings(flat) == []
+        assert bench.trend_warnings(recovering) == []
+
+    def test_only_last_window_considered(self):
+        history = [
+            _entry(50, 200),  # old low point is irrelevant
+            _entry(100, 200),
+            _entry(90, 200),
+            _entry(80, 200),
+        ]
+        warnings = bench.trend_warnings(history)
+        assert len(warnings) == 1 and "100" in warnings[0]

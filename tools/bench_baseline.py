@@ -6,12 +6,16 @@ Drives the same scenario as
 (spec95.130.li, seed 1, scale 0.3, BC and CPP) and compares against the
 committed baseline ``BENCH_micro.json``:
 
-* ``--record``   — measure and (over)write the baseline file;
+* ``--record``   — measure, (over)write the baseline file, and append a
+  timestamped entry to ``BENCH_history.jsonl`` (the baseline is always
+  the latest snapshot; the history is the full recorded series);
 * ``--check``    — measure and exit non-zero on regression: simulated
   cycle counts must match the baseline **exactly** (the bit-identity
   contract — any drift is a correctness bug, not noise), and throughput
   must stay within ``--tolerance`` of the recorded insn/s (a band, since
-  shared CI runners are noisy);
+  shared CI runners are noisy). Additionally *warns* (without failing)
+  when the last three recorded runs trend monotonically downward — slow
+  leaks that never trip the tolerance band in one step still surface;
 * ``--profile N`` — additionally run one CPP pass under cProfile and
   print the N hottest functions;
 * no flags       — measure and print.
@@ -26,6 +30,7 @@ import argparse
 import json
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -35,6 +40,7 @@ from repro.sim.machine import Machine  # noqa: E402
 from repro.workloads.registry import generate  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 SCHEMA_VERSION = 1
 
 WORKLOAD = "spec95.130.li"
@@ -111,6 +117,64 @@ def check(measured: dict, baseline: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def load_history(path: Path = HISTORY_PATH) -> list[dict]:
+    """Recorded baseline entries, oldest first (lenient on bad lines)."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and "configs" in entry:
+            entries.append(entry)
+    return entries
+
+
+def append_history(measured: dict, path: Path = HISTORY_PATH) -> dict:
+    """Append one timestamped record of *measured*; returns the entry."""
+    entry = dict(measured)
+    entry["recorded"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def trend_warnings(history: list[dict], window: int = 3) -> list[str]:
+    """Configs whose last *window* recorded runs fell monotonically.
+
+    A single noisy run stays inside the --check tolerance band; what that
+    band can't see is a slow leak — each recording a little worse than
+    the one before. Three strictly decreasing recordings in a row is the
+    (warn-only) signal to look.
+    """
+    if len(history) < window:
+        return []
+    recent = history[-window:]
+    warnings = []
+    for config in CONFIGS:
+        series = [
+            e["configs"][config]["insn_per_sec"]
+            for e in recent
+            if config in e.get("configs", {})
+        ]
+        if len(series) == window and all(
+            series[i] > series[i + 1] for i in range(window - 1)
+        ):
+            trail = " -> ".join(f"{v:,}" for v in series)
+            warnings.append(
+                f"{config}: throughput fell across the last {window} "
+                f"recorded runs ({trail} insn/s)"
+            )
+    return warnings
+
+
 def profile_top(top_n: int) -> str:
     """One CPP pass under cProfile; top-*top_n* functions by self time."""
     import cProfile
@@ -181,9 +245,13 @@ def main(argv: list[str] | None = None) -> int:
                     f"\nperf check passed (tolerance {args.tolerance:.0%}, "
                     "cycles exact)"
                 )
+        for warning in trend_warnings(load_history()):
+            print(f"WARNING: {warning}")
     if args.record:
         BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        append_history(measured)
         print(f"baseline written to {BASELINE_PATH}")
+        print(f"history appended to {HISTORY_PATH}")
     if args.profile:
         print(profile_top(args.profile))
     return rc

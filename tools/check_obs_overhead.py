@@ -9,7 +9,10 @@ Because both sides run the *same* instrumented code (the guard is
 always compiled in), the comparison here is run-to-run: we interleave
 repeated timed runs of the disarmed path and report the spread; the
 gate trips if enabling-then-disabling observability leaves the path
-measurably slower than it was before obs was ever touched.
+measurably slower than it was before obs was ever touched. The armed
+middle section turns on span recording as well as tracing, so the gate
+also covers the PR 6 distributed-tracing guards (spans compiled in,
+disabled must still be free).
 
 Usage::
 
@@ -76,10 +79,12 @@ def main(argv: list[str] | None = None) -> int:
         _drive(config, addrs)  # warm allocator/caches before timing
         before = _time_best_of(lambda: _drive(config, addrs), args.rounds)
 
-        # Arm and disarm observability, then re-time the disabled path:
-        # the guard must leave no residue.
-        obs.enable(capacity=4096)
-        _drive(config, addrs)
+        # Arm and disarm observability — tracing AND span recording —
+        # then re-time the disabled path: the guards must leave no
+        # residue.
+        obs.enable(capacity=4096, spans=True)
+        with obs.span.span("overhead_probe", config=config):
+            _drive(config, addrs)
         obs.disable()
         after = _time_best_of(lambda: _drive(config, addrs), args.rounds)
 

@@ -56,6 +56,9 @@ from repro.check.diff import (  # noqa: E402
 )
 from repro.compression.scheme import CompressionScheme  # noqa: E402
 from repro.memory.image import MemoryImage  # noqa: E402
+from repro.obs import export as _export  # noqa: E402
+from repro.obs import span as _span  # noqa: E402
+from repro.obs import telemetry as _telemetry  # noqa: E402
 
 #: Tiny geometry (matches tests/conftest.py TINY_PARAMS): conflicts fire
 #: within a few hundred accesses instead of a few hundred thousand.
@@ -154,7 +157,14 @@ def run_cell(
         stream_regions = regions
     ops = random_stream(rng, n_ops, stream_regions, scheme=scheme)
     runner = DifferentialRunner(config, factory, params)
-    divergence = runner.run(ops, audit=audit)
+    with _span.span(
+        "fuzz_cell",
+        config=config,
+        width=width,
+        seed=seed,
+        strict_boundary=strict_boundary,
+    ):
+        divergence = runner.run(ops, audit=audit)
     if divergence is None:
         return True, ""
     minimal, final = runner.minimize(ops, audit=audit)
@@ -175,7 +185,8 @@ def run_workload_cell(name: str, config: str, seed: int, scale: float, *, audit:
     program = generate(name, seed=seed, scale=scale)
     ops = program_stream(program)
     runner = DifferentialRunner(config, MemoryImage, HierarchyParams())
-    divergence = runner.run(ops, audit=audit)
+    with _span.span("fuzz_workload", config=config, workload=name, scale=scale):
+        divergence = runner.run(ops, audit=audit)
     if divergence is None:
         return True, f"ok [{config} {name} scale={scale}] {len(ops)} mem ops"
     minimal, final = runner.minimize(ops, audit=audit)
@@ -248,8 +259,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", help="differentially replay a generated workload")
     parser.add_argument("--scale", type=float, default=0.05, help="workload scale")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="record per-cell spans into DIR (telemetry.json, trace.json, "
+        "spans.jsonl)",
+    )
     args = parser.parse_args(argv)
 
+    if args.telemetry:
+        _telemetry.configure(args.telemetry)
+    try:
+        return _sweep(args)
+    finally:
+        store = _telemetry.store()
+        if store is not None:
+            _telemetry.finalize_run()
+            out = Path(args.telemetry)
+            _export.write_chrome_trace(
+                store, out / _export.CHROME_TRACE_FILENAME
+            )
+            _export.write_spans_jsonl(store, out / _export.SPANS_FILENAME)
+            _telemetry.configure(None)
+            print(f"telemetry written to {out}", file=sys.stderr)
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    """The fuzz sweep proper (split out so telemetry wraps every exit)."""
     configs = [c.strip().upper() for c in args.configs.split(",") if c.strip()]
     widths = [int(w) for w in args.widths.split(",") if w.strip()]
 
