@@ -23,6 +23,10 @@ __all__ = [
     "CellTimeoutError",
     "CellCrashError",
     "MatrixPartialFailure",
+    "AtomicWriteError",
+    "StoreError",
+    "StoreCorruptionError",
+    "LeaseError",
 ]
 
 
@@ -180,6 +184,49 @@ class CellCrashError(ExperimentError):
         self.key = key
         self.exitcode = exitcode
         self.attempts = attempts
+
+
+class AtomicWriteError(ReproError):
+    """An atomic file write could not be made durable.
+
+    Raised by :func:`repro.utils.atomic.atomic_write_text` when the
+    write, fsync or rename fails (ENOSPC, EIO, a read-only filesystem).
+    The guarantee still holds: the target file is either the old complete
+    content or the new complete content, and the temporary file has been
+    unlinked. Carries the target ``path`` and the originating ``errno``
+    (None when the failure had no errno).
+    """
+
+    def __init__(self, path, cause: OSError) -> None:
+        super().__init__(f"atomic write to {path} failed: {cause}")
+        self.path = path
+        self.errno = getattr(cause, "errno", None)
+
+
+class StoreError(ReproError):
+    """A result-store operation failed (I/O, protocol or key misuse)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A store record failed integrity verification.
+
+    Raised (and recorded in the store's quarantine ledger) when a record's
+    payload checksum, digest or structure does not match what was written:
+    a flipped bit, a truncated file, or a foreign file in the object tree.
+    The offending file is moved to the quarantine directory before this
+    is raised, so the store never serves — or silently drops — a corrupt
+    record.
+    """
+
+    def __init__(self, path, reason: str, *, digest: str = "") -> None:
+        super().__init__(f"corrupt store record {path}: {reason}")
+        self.path = path
+        self.reason = reason
+        self.digest = digest
+
+
+class LeaseError(StoreError):
+    """A queue lease operation failed (lost, expired or foreign lease)."""
 
 
 class MatrixPartialFailure(ExperimentError):

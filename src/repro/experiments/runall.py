@@ -119,6 +119,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "results/checkpoints/matrix-seed<seed>-scale<scale>.jsonl)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="durable content-addressed result store: completed cells "
+        "commit to DIR through a write-ahead journal and are verified on "
+        "read; multiple processes pointed at the same DIR drain one "
+        "campaign queue without double-computing (replaces --checkpoint)",
+    )
+    parser.add_argument(
         "--no-profile",
         action="store_true",
         help="suppress the wall-clock/memoization breakdown at the end",
@@ -171,6 +180,20 @@ def _validate(args: argparse.Namespace) -> None:
         raise UsageError("--workers must be positive", argument="--workers")
     if args.profile is not None and args.profile < 1:
         raise UsageError("--profile must be positive", argument="--profile")
+    if args.store is not None and args.checkpoint is not None:
+        raise UsageError(
+            "--store and --checkpoint are mutually exclusive (the store "
+            "subsumes the checkpoint; import an old checkpoint with "
+            "`python -m repro.store migrate`)",
+            argument="--store",
+        )
+    if args.store is not None and not args.resume:
+        raise UsageError(
+            "--no-resume makes no sense with --store (the store is "
+            "idempotent and verified; delete the store directory to "
+            "start fresh)",
+            argument="--store",
+        )
     for figure in args.figures:
         if figure != "all" and figure not in EXPERIMENTS:
             raise UsageError(
@@ -228,29 +251,49 @@ def _precompute_matrix(args, sim_figures: list[str]) -> None:
     policy = _fault.FaultPolicy(
         timeout=args.timeout, retries=args.retries, fail_fast=args.fail_fast
     )
-    checkpoint_path = args.checkpoint or _fault.default_checkpoint_path(
-        args.seed, args.scale
-    )
     t0 = time.perf_counter()
-    outcome = _fault.run_matrix_supervised(
-        workloads,
-        _MATRIX_CONFIGS,
-        seed=args.seed,
-        scale=args.scale,
-        miss_scales=miss_scales,
-        policy=policy,
-        max_workers=workers,
-        checkpoint_path=checkpoint_path,
-        resume=args.resume,
-        progress=True,
-        prewarm_programs=args.timeout is None,
-    )
+    if args.store:
+        from repro.store import run_matrix_store
+
+        outcome = run_matrix_store(
+            workloads,
+            _MATRIX_CONFIGS,
+            store_dir=args.store,
+            seed=args.seed,
+            scale=args.scale,
+            miss_scales=miss_scales,
+            policy=policy,
+            max_workers=workers,
+            progress=True,
+            prewarm_programs=args.timeout is None,
+        )
+        reused = f"{outcome.reused} reused"
+        state_home = f"store: {args.store}"
+    else:
+        checkpoint_path = args.checkpoint or _fault.default_checkpoint_path(
+            args.seed, args.scale
+        )
+        outcome = _fault.run_matrix_supervised(
+            workloads,
+            _MATRIX_CONFIGS,
+            seed=args.seed,
+            scale=args.scale,
+            miss_scales=miss_scales,
+            policy=policy,
+            max_workers=workers,
+            checkpoint_path=checkpoint_path,
+            resume=args.resume,
+            progress=True,
+            prewarm_programs=args.timeout is None,
+        )
+        reused = f"{outcome.reused} from checkpoint"
+        state_home = f"checkpoint: {checkpoint_path}"
     inject_results(outcome.results)
     _progress.report(
         f"matrix ready in {time.perf_counter() - t0:.1f}s: "
         f"{len(outcome.results)} cells "
-        f"({outcome.reused} from checkpoint, {len(outcome.failures)} failed); "
-        f"checkpoint: {checkpoint_path}"
+        f"({reused}, {len(outcome.failures)} failed); "
+        f"{state_home}"
     )
 
 
@@ -339,6 +382,12 @@ def main(argv: list[str] | None = None) -> int:
     if summary:
         print(f"!! partial evaluation — '—' cells are holes\n{summary}\n")
         rc = 1
+    if args.store:
+        from repro.store import ResultStore
+
+        quarantine = ResultStore(args.store).quarantine_summary()
+        if quarantine:
+            print(f"!! store quarantine — corrupt records set aside\n{quarantine}\n")
     if not args.no_profile:
         print(_profile_summary(profiler, args.profile or 0))
     return rc

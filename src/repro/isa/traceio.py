@@ -17,13 +17,18 @@ Two granularities are supported:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.isa.trace import Trace
+from repro.obs.metrics import REGISTRY
 
 __all__ = [
     "save_trace",
@@ -38,7 +43,13 @@ __all__ = [
 FORMAT_VERSION = 1
 
 #: Version of the *program* archive layout (trace + image + metadata).
-PROGRAM_FORMAT_VERSION = 1
+#: v2 added the per-archive array checksum (verify-on-read); v1 archives
+#: are treated as stale and regenerated.
+PROGRAM_FORMAT_VERSION = 2
+
+#: Errors NumPy/zipfile raise on a truncated, bit-flipped or foreign
+#: archive. ``zlib.error`` surfaces from decompressing damaged members.
+_ARCHIVE_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile, zlib.error)
 
 _COLUMNS = ("pc", "op", "dest", "src1", "src2", "addr", "value", "taken")
 
@@ -97,6 +108,64 @@ def load_trace(path: str | Path) -> Trace:
 # ---- whole-program archives (the runner's on-disk cache format) ------------
 
 
+def _arrays_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape and raw bytes.
+
+    Computed at save time, stored in the archive metadata, and recomputed
+    at load time — so a bit flip anywhere in the cached data (not just a
+    truncation the zip layer notices) is detected, and the loader
+    regenerates instead of serving a silently-bad trace.
+    """
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode("utf-8"))
+        h.update(str(a.dtype).encode("utf-8"))
+        h.update(str(a.shape).encode("utf-8"))
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def quarantine_archive(path: Path, reason: str) -> Path | None:
+    """Move a corrupt cache archive aside and record the incident.
+
+    The file goes to a ``quarantine/`` directory next to it, a line is
+    appended to that directory's ledger, and the ``store.quarantined``
+    metric (kind=trace_cache) is incremented — corruption is evidence,
+    never something to silently delete. Returns the quarantine path
+    (None when the move itself failed).
+    """
+    REGISTRY.inc("store.quarantined", kind="trace_cache")
+    qdir = path.parent / "quarantine"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = qdir / f"{path.name}.{n}"
+        os.replace(path, dest)
+    except OSError:
+        return None
+    try:
+        with (qdir / "ledger.jsonl").open("a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "error": "StoreCorruptionError",
+                        "path": str(path),
+                        "quarantined_as": str(dest),
+                        "reason": reason,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    except OSError:
+        pass
+    return dest
+
+
 def _sanitize(part: str) -> str:
     """Make a key component safe as a filename fragment."""
     return "".join(c if (c.isalnum() or c in "._-") else "_" for c in part)
@@ -137,18 +206,6 @@ def save_program(program, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    meta = json.dumps(
-        {
-            # Distinct key from the plain-trace "version" field, so neither
-            # loader can mistake the other's archives for its own.
-            "program_version": PROGRAM_FORMAT_VERSION,
-            "trace_version": FORMAT_VERSION,
-            "name": program.name,
-            "trace_name": program.trace.name,
-            "description": program.description,
-            "params": program.params,
-        }
-    )
     arrays = {
         col: getattr(program.trace, col) for col in _COLUMNS
     }
@@ -160,6 +217,19 @@ def save_program(program, path: str | Path) -> Path:
             if page_nos
             else np.zeros((0, 0), dtype=np.uint32)
         )
+    meta = json.dumps(
+        {
+            # Distinct key from the plain-trace "version" field, so neither
+            # loader can mistake the other's archives for its own.
+            "program_version": PROGRAM_FORMAT_VERSION,
+            "trace_version": FORMAT_VERSION,
+            "name": program.name,
+            "trace_name": program.trace.name,
+            "description": program.description,
+            "params": program.params,
+            "checksum": _arrays_checksum(arrays),
+        }
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".tmp{id(program) & 0xFFFF:04x}.npz")
     np.savez_compressed(
@@ -172,11 +242,16 @@ def save_program(program, path: str | Path) -> Path:
 
 
 def load_program(path: str | Path):
-    """Read a program archive written by :func:`save_program`.
+    """Read a program archive written by :func:`save_program`, verified.
 
     Returns a :class:`~repro.workloads.base.Program`; raises
     :class:`TraceError` on a missing file, a foreign archive, or a format
-    version mismatch (the caller then regenerates).
+    version mismatch (the caller then regenerates). An archive that is
+    *corrupt* — unreadable, truncated, or failing its stored checksum —
+    is additionally quarantined (see :func:`quarantine_archive`) before
+    the :class:`TraceError` is raised: regeneration is deterministic, so
+    the caller gets a bit-identical program, and the damaged file stays
+    available as evidence instead of silently poisoning the cache.
     """
     from repro.memory.image import MemoryImage
     from repro.workloads.base import Program
@@ -184,31 +259,61 @@ def load_program(path: str | Path):
     path = Path(path)
     if not path.exists():
         raise TraceError(f"program archive {path} does not exist")
+
+    def _corrupt(reason: str, cause: Exception | None = None) -> TraceError:
+        quarantine_archive(path, reason)
+        error = TraceError(f"{path} is corrupt: {reason}")
+        error.__cause__ = cause
+        return error
+
     try:
         archive_cm = np.load(path)
-    except (OSError, ValueError) as exc:  # truncated/corrupt/foreign file
-        raise TraceError(f"{path} is not a readable archive: {exc}") from exc
+    except _ARCHIVE_ERRORS as exc:  # truncated/bit-flipped/foreign file
+        raise _corrupt(f"not a readable archive: {exc}", exc)
     with archive_cm as archive:
-        missing = [c for c in _COLUMNS if c not in archive]
-        if "meta" not in archive or missing:
+        try:
+            names = set(archive.files)
+        except _ARCHIVE_ERRORS as exc:
+            raise _corrupt(f"unreadable archive index: {exc}", exc)
+        missing = [c for c in _COLUMNS if c not in names]
+        if "meta" not in names or missing:
             raise TraceError(
                 f"{path} is not a program archive (missing {missing or ['meta']})"
             )
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except _ARCHIVE_ERRORS as exc:
+            raise _corrupt(f"unreadable metadata: {exc}", exc)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _corrupt(f"undecodable metadata: {exc}", exc)
         if meta.get("program_version") != PROGRAM_FORMAT_VERSION:
             raise TraceError(
                 f"{path}: unsupported program format version "
                 f"{meta.get('program_version')}"
             )
+        try:
+            arrays = {col: archive[col] for col in _COLUMNS}
+            if "image_page_nos" in names:
+                arrays["image_page_nos"] = archive["image_page_nos"]
+                arrays["image_pages"] = archive["image_pages"]
+        except _ARCHIVE_ERRORS as exc:  # damaged member decompression
+            raise _corrupt(f"unreadable array data: {exc}", exc)
+        stored = meta.get("checksum")
+        actual = _arrays_checksum(arrays)
+        if stored != actual:
+            raise _corrupt(
+                f"checksum mismatch (stored {str(stored)[:12]}…, "
+                f"actual {actual[:12]}…)"
+            )
         trace = Trace(
-            **{col: archive[col] for col in _COLUMNS},
+            **{col: arrays[col] for col in _COLUMNS},
             name=str(meta.get("trace_name", "")),
         )
         final_image = None
-        if "image_page_nos" in archive:
+        if "image_page_nos" in arrays:
             final_image = MemoryImage()
-            pages = archive["image_pages"]
-            for i, page_no in enumerate(archive["image_page_nos"]):
+            pages = arrays["image_pages"]
+            for i, page_no in enumerate(arrays["image_page_nos"]):
                 final_image._pages[int(page_no)] = pages[i].astype(
                     np.uint32, copy=True
                 )

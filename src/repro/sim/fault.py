@@ -273,8 +273,11 @@ class Checkpoint:
     Every :meth:`add` rewrites the file through write-temp-then-rename,
     so the on-disk checkpoint is always a complete, well-formed prefix of
     the campaign — an interrupt can never corrupt it. Loading is lenient
-    (malformed lines are skipped), so a checkpoint from an older build
-    degrades to fewer reusable cells, not a failed resume.
+    (malformed lines are skipped so an old or damaged checkpoint degrades
+    to fewer reusable cells, not a failed resume) but never *silent*:
+    skipped lines are counted in :attr:`malformed_lines`, published as
+    the ``checkpoint.malformed_lines`` metric, and reported in one
+    warning line — pre-migration corruption stays visible.
     """
 
     def __init__(
@@ -289,13 +292,33 @@ class Checkpoint:
         self._encode = encode
         self._decode = decode
         self._records: dict[tuple, dict] = {}
+        #: Lines the loader had to skip (corruption visibility).
+        self.malformed_lines = 0
         if fresh:
             self.path.unlink(missing_ok=True)
         elif self.path.exists():
-            for record in load_jsonl(self.path):
+            bad: list[int] = []
+            for record in load_jsonl(
+                self.path, on_malformed=lambda lineno, _msg: bad.append(lineno)
+            ):
                 raw_key = record.get("key")
                 if isinstance(raw_key, list) and "result" in record:
                     self._records[tuple(raw_key)] = record
+                else:
+                    bad.append(-1)  # well-formed JSON, wrong shape
+            if bad:
+                self.malformed_lines = len(bad)
+                REGISTRY.inc("checkpoint.malformed_lines", len(bad))
+                first = next((n for n in bad if n > 0), None)
+                where = f" (first at line {first})" if first else ""
+                _progress.report(
+                    f"checkpoint {self.path}: skipped "
+                    f"{len(bad)} malformed record(s){where} — the affected "
+                    f"cells will be re-simulated",
+                    event="checkpoint_malformed",
+                    path=str(self.path),
+                    malformed=len(bad),
+                )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -151,12 +151,20 @@ def dump_jsonl(records: Iterable[Mapping], path: str | Path) -> Path:
     return atomic_write_text(path, text)
 
 
-def load_jsonl(path: str | Path, *, strict: bool = False) -> list[dict]:
+def load_jsonl(
+    path: str | Path,
+    *,
+    strict: bool = False,
+    on_malformed=None,
+) -> list[dict]:
     """Read a JSONL file back as a list of dicts.
 
     Non-strict mode (the default) skips malformed lines instead of
     raising — a checkpoint written by an older build should degrade to
-    "fewer reusable cells", never to an unusable campaign.
+    "fewer reusable cells", never to an unusable campaign. Skipping is
+    not silence, though: each skipped line is reported through
+    *on_malformed* ``(lineno, message)`` when given, so callers can
+    count and surface corruption instead of losing it.
     """
     path = Path(path)
     if not path.exists():
@@ -173,9 +181,13 @@ def load_jsonl(path: str | Path, *, strict: bool = False) -> list[dict]:
                 raise ExperimentError(
                     f"{path}:{lineno}: malformed JSONL line: {exc}"
                 ) from exc
+            if on_malformed is not None:
+                on_malformed(lineno, f"malformed JSONL line: {exc}")
             continue
         if isinstance(record, dict):
             records.append(record)
         elif strict:
             raise ExperimentError(f"{path}:{lineno}: record is not an object")
+        elif on_malformed is not None:
+            on_malformed(lineno, "record is not an object")
     return records

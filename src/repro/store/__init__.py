@@ -1,0 +1,51 @@
+"""Durable content-addressed result store with integrity verification.
+
+The results lifecycle's system of record: every simulated cell is
+addressable by the digest of its full parameterization plus the code
+version, every record carries a payload checksum verified on read,
+every write commits through a write-ahead journal (crash-anywhere
+safe), corrupt records are quarantined — never silently served or
+dropped — and a lease-based campaign queue lets any number of worker
+processes drain one experiment campaign without double-computing a
+cell.
+
+Layers:
+
+* :mod:`repro.store.integrity` — digests, checksums, crash fault points;
+* :mod:`repro.store.journal` — the write-ahead commit protocol;
+* :mod:`repro.store.cas` — :class:`ResultStore` (put/get/fsck/quarantine);
+* :mod:`repro.store.queue` — :class:`CampaignQueue` (leases, reclaim);
+* :mod:`repro.store.checkpoint` — the supervised engine's store adapter;
+* :mod:`repro.store.campaign` — :func:`run_matrix_store`, the draining
+  engine behind ``python -m repro.experiments ... --store DIR``.
+
+Operate it with ``python -m repro.store fsck | migrate | stats``.
+"""
+
+from repro.store.campaign import campaign_name, run_matrix_store
+from repro.store.cas import (
+    FsckReport,
+    ResultStore,
+    default_code_version,
+    default_store_dir,
+)
+from repro.store.checkpoint import StoreCheckpoint
+from repro.store.integrity import cell_digest, payload_checksum
+from repro.store.journal import Journal
+from repro.store.queue import CampaignQueue, Job, default_worker_id
+
+__all__ = [
+    "ResultStore",
+    "FsckReport",
+    "CampaignQueue",
+    "Job",
+    "StoreCheckpoint",
+    "Journal",
+    "run_matrix_store",
+    "campaign_name",
+    "cell_digest",
+    "payload_checksum",
+    "default_code_version",
+    "default_store_dir",
+    "default_worker_id",
+]

@@ -1,0 +1,180 @@
+"""``python -m repro.store`` — operate the result store.
+
+Subcommands::
+
+    fsck     recover the journal, verify every record, quarantine what
+             fails, sweep crash litter; prints a report and a
+             machine-readable ``FSCK-SUMMARY`` JSON tail line
+    migrate  import a legacy JSONL matrix checkpoint into the store
+    stats    one-line store/queue state summary
+
+Exit codes: ``fsck`` exits 0 when the store verifies after the pass
+(repairs and quarantines are reported, not fatal) and 1 only when
+problems survive; ``--strict`` additionally fails when anything needed
+repairing. ``migrate`` exits 1 when nothing could be imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError, UsageError
+from repro.store.cas import ResultStore, default_store_dir
+from repro.utils.atomic import atomic_write_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store", description="Operate the content-addressed result store."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fsck = sub.add_parser("fsck", help="verify, repair and report")
+    fsck.add_argument("--store", default=None, metavar="DIR")
+    fsck.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report only: do not replay the journal or quarantine",
+    )
+    fsck.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when anything needed repairing or quarantining",
+    )
+    fsck.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+
+    migrate = sub.add_parser(
+        "migrate", help="import a legacy JSONL checkpoint into the store"
+    )
+    migrate.add_argument("checkpoint", metavar="CHECKPOINT.jsonl")
+    migrate.add_argument("--store", default=None, metavar="DIR")
+
+    stats = sub.add_parser("stats", help="print store/queue counts")
+    stats.add_argument("--store", default=None, metavar="DIR")
+    return parser
+
+
+def _open_store(arg: str | None) -> ResultStore:
+    root = Path(arg) if arg else default_store_dir()
+    return ResultStore(root)
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    report = store.fsck(repair=not args.no_repair)
+    payload = report.as_dict()
+    payload["store"] = str(store.root)
+    for line in (
+        f"store: {store.root}",
+        f"  scanned:     {report.scanned}",
+        f"  verified:    {report.verified}",
+        f"  replayed:    {report.replayed} (journal entries rolled forward)",
+        f"  cleared:     {report.cleared} (stale journal entries)",
+        f"  quarantined: {report.quarantined} (this pass; "
+        f"{report.quarantine_total} total in quarantine)",
+        f"  swept tmp:   {report.swept_tmp}",
+    ):
+        print(line)
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    if args.report:
+        atomic_write_text(args.report, json.dumps(payload, indent=2, sort_keys=True))
+    print("FSCK-SUMMARY " + json.dumps(payload, sort_keys=True))
+    if report.problems or report.scanned != report.verified:
+        return 1
+    if args.strict and report.repaired:
+        return 1
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.sim.results_io import load_jsonl
+
+    path = Path(args.checkpoint)
+    if not path.exists():
+        raise UsageError(f"checkpoint {path} does not exist", argument="checkpoint")
+    store = _open_store(args.store)
+    store.recover()
+    imported = skipped = malformed = 0
+    from repro.sim.results_io import result_from_dict
+
+    bad_lines: list[int] = []
+    for record in load_jsonl(
+        path, on_malformed=lambda lineno, _msg: bad_lines.append(lineno)
+    ):
+        raw_key = record.get("key")
+        if not isinstance(raw_key, list) or "result" not in record:
+            malformed += 1
+            continue
+        try:
+            result = result_from_dict(record["result"])
+        except ReproError:
+            malformed += 1
+            continue
+        if store.put(tuple(raw_key), result):
+            imported += 1
+        else:
+            skipped += 1
+    malformed += len(bad_lines)
+    print(
+        f"migrated {path} -> {store.root}: {imported} imported, "
+        f"{skipped} already present, {malformed} malformed record(s)"
+    )
+    print(
+        "MIGRATE-SUMMARY "
+        + json.dumps(
+            {
+                "imported": imported,
+                "skipped": skipped,
+                "malformed": malformed,
+                "store": str(store.root),
+            },
+            sort_keys=True,
+        )
+    )
+    return 0 if (imported or skipped) else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    stats = store.stats()
+    queue_root = store.root / "queue"
+    campaigns = {}
+    if queue_root.is_dir():
+        from repro.store.queue import CampaignQueue
+
+        for entry in sorted(queue_root.iterdir()):
+            if entry.is_dir():
+                campaigns[entry.name] = CampaignQueue(
+                    queue_root, entry.name
+                ).snapshot()
+    stats["campaigns"] = campaigns
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "fsck":
+            return _cmd_fsck(args)
+        if args.command == "migrate":
+            return _cmd_migrate(args)
+        return _cmd_stats(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

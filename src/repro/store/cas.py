@@ -1,0 +1,488 @@
+"""Content-addressed result store with verify-on-read integrity.
+
+Every simulated cell the project ever computes is addressable here by
+the digest of its full parameterization — ``(workload, seed, scale,
+cache_config, miss_scale)`` plus the code version — and is stored as one
+self-describing JSON record carrying its own payload checksum::
+
+    objects/<d0d1>/<digest>.json
+        {"format": 1, "digest": ..., "key": [...],
+         "code_version": ..., "checksum": sha256(payload), "payload": {...}}
+
+The store's three load-bearing properties:
+
+* **Crash safety** — writes go through the write-ahead journal
+  (:mod:`repro.store.journal`): stage, publish, clear, each step atomic
+  and fsynced. A SIGKILL or ENOSPC at any instant leaves the store in a
+  state :meth:`ResultStore.recover` completes or rolls forward; no
+  torn record is ever visible at an object path.
+* **Verify-on-read** — :meth:`ResultStore.get` recomputes the payload
+  checksum (and the record's address) before serving. A record that
+  fails is moved to ``quarantine/``, written to the corruption ledger
+  as a typed :class:`~repro.errors.StoreCorruptionError` entry, counted
+  in the ``store.quarantined`` metric — and reported as a miss, so the
+  cell is recomputed rather than served corrupt or silently dropped.
+* **Idempotence** — :meth:`ResultStore.put` of an already-present,
+  verifying record is a no-op, so concurrent workers and resumed
+  campaigns can re-put without risk of torn overlap.
+
+``python -m repro.store fsck`` drives :meth:`ResultStore.fsck`: recover
+the journal, verify every object, quarantine what fails, sweep crash
+litter, and report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.obs import span as _span
+from repro.obs.metrics import REGISTRY
+from repro.store.integrity import (
+    canonical_json,
+    cell_digest,
+    fault_point,
+    payload_checksum,
+)
+from repro.store.journal import Journal
+from repro.utils.atomic import atomic_write_text
+
+__all__ = ["ResultStore", "FsckReport", "default_code_version", "default_store_dir"]
+
+#: On-disk record layout version.
+RECORD_FORMAT = 1
+
+LEDGER_FILENAME = "corruption-ledger.jsonl"
+COMPUTE_LOG_FILENAME = "compute.log"
+
+
+def default_code_version() -> str:
+    """The store's notion of "which code produced this": package version
+    plus the workload generators' version stamp (either changing makes
+    every old record address stale, never wrong)."""
+    import repro
+    from repro.workloads.registry import GENERATOR_VERSION
+
+    return f"{getattr(repro, '__version__', '0')}+gen{GENERATOR_VERSION}"
+
+
+def default_store_dir() -> Path:
+    """Where campaigns keep their store unless told otherwise."""
+    return Path(os.environ.get("REPRO_STORE_DIR") or Path("results") / "store")
+
+
+@dataclass
+class FsckReport:
+    """What one :meth:`ResultStore.fsck` pass found (and fixed)."""
+
+    scanned: int = 0
+    verified: int = 0
+    quarantined: int = 0  #: corrupt records moved aside this pass
+    replayed: int = 0  #: journal entries rolled forward into objects
+    cleared: int = 0  #: stale journal entries dropped (already published)
+    swept_tmp: int = 0  #: crash-orphaned ``*.tmp`` files removed
+    quarantine_total: int = 0  #: files in quarantine after the pass
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needed fixing and every record verifies —
+        the state a pass run *after* a recovery pass must report."""
+        return not self.problems and not self.repaired and self.scanned == self.verified
+
+    @property
+    def repaired(self) -> bool:
+        """Did this pass change anything on disk?"""
+        return bool(self.quarantined or self.replayed or self.cleared or self.swept_tmp)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form of the report (the ``FSCK-SUMMARY`` payload)."""
+        return {
+            "scanned": self.scanned,
+            "verified": self.verified,
+            "quarantined": self.quarantined,
+            "replayed": self.replayed,
+            "cleared": self.cleared,
+            "swept_tmp": self.swept_tmp,
+            "quarantine_total": self.quarantine_total,
+            "problems": list(self.problems),
+            "clean": self.clean,
+        }
+
+
+class ResultStore:
+    """A content-addressed, crash-safe, verify-on-read record store.
+
+    *encode* / *decode* translate between in-memory results and the
+    JSON payload stored on disk; the defaults are the lossless
+    :func:`~repro.sim.results_io.result_to_full_dict` /
+    :func:`~repro.sim.results_io.result_from_dict` pair, so a
+    :class:`~repro.sim.results.SimResult` served from the store is
+    bit-identical to the one that was put.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        code_version: str | None = None,
+        encode=None,
+        decode=None,
+    ) -> None:
+        self.root = Path(root)
+        self.code_version = (
+            code_version if code_version is not None else default_code_version()
+        )
+        self._encode = encode
+        self._decode = decode
+        self.objects_dir = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.journal = Journal(self.root / "journal")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- codec ---------------------------------------------------------------
+
+    def _encode_payload(self, result) -> dict:
+        if self._encode is None:
+            from repro.sim.results_io import result_to_full_dict
+
+            self._encode = result_to_full_dict
+        return self._encode(result)
+
+    def _decode_payload(self, payload: dict):
+        if self._decode is None:
+            from repro.sim.results_io import result_from_dict
+
+            self._decode = result_from_dict
+        return self._decode(payload)
+
+    # -- addressing ----------------------------------------------------------
+
+    def digest_of(self, key: tuple | list) -> str:
+        """Content address of *key* under this store's code version."""
+        return cell_digest(key, code_version=self.code_version)
+
+    def object_path(self, digest: str) -> Path:
+        """Object-tree path of one record digest (two-level fan-out)."""
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key: tuple | list, result) -> bool:
+        """Commit one record; returns False if it already verified.
+
+        The commit protocol (journal stage → publish → clear) makes the
+        write all-or-nothing across any crash point; see the module
+        docstring for the recovery argument.
+        """
+        digest = self.digest_of(key)
+        path = self.object_path(digest)
+        with _span.span("store.put", digest=digest[:12]):
+            if path.exists() and self._load_verified(path, digest) is not None:
+                REGISTRY.inc("store.put_dups")
+                return False
+            payload = self._encode_payload(result)
+            record = {
+                "format": RECORD_FORMAT,
+                "digest": digest,
+                "key": list(key),
+                "code_version": self.code_version,
+                "checksum": payload_checksum(payload),
+                "payload": payload,
+            }
+            text = canonical_json(record)
+            fault_point("put.before_journal")
+            self.journal.stage(digest, text)
+            fault_point("put.after_journal")
+            atomic_write_text(path, text)
+            fault_point("put.after_publish")
+            self.journal.clear(digest)
+            fault_point("put.after_clear")
+        REGISTRY.inc("store.puts")
+        return True
+
+    # -- read path -----------------------------------------------------------
+
+    def contains(self, key: tuple | list) -> bool:
+        """Cheap existence probe (verification happens at :meth:`get`)."""
+        return self.object_path(self.digest_of(key)).exists()
+
+    def get(self, key: tuple | list, *, strict: bool = False):
+        """Serve one record, verified; None on miss *or* quarantined.
+
+        A record that fails verification is quarantined (ledger entry,
+        ``store.quarantined`` metric) and reported as a miss so the
+        caller recomputes; ``strict=True`` raises the
+        :class:`~repro.errors.StoreCorruptionError` instead.
+        """
+        digest = self.digest_of(key)
+        path = self.object_path(digest)
+        with _span.span("store.get", digest=digest[:12]):
+            if not path.exists():
+                REGISTRY.inc("store.misses")
+                return None
+            record = self._load_verified(path, digest, strict=strict)
+            if record is None:
+                REGISTRY.inc("store.misses")
+                return None
+            try:
+                result = self._decode_payload(record["payload"])
+            except Exception as exc:  # noqa: BLE001 - undecodable == corrupt
+                error = self._quarantine_record(
+                    path, f"payload does not decode: {exc}", digest
+                )
+                REGISTRY.inc("store.misses")
+                if strict:
+                    raise error from exc
+                return None
+        REGISTRY.inc("store.hits")
+        return result
+
+    def _verify_failure(self, path: Path, record, digest: str) -> str | None:
+        """Why *record* is untrustworthy (None when it verifies)."""
+        if not isinstance(record, dict):
+            return "record is not a JSON object"
+        if record.get("format") != RECORD_FORMAT:
+            return f"unsupported record format {record.get('format')!r}"
+        for field_name in ("digest", "key", "code_version", "checksum", "payload"):
+            if field_name not in record:
+                return f"missing field {field_name!r}"
+        if record["digest"] != digest:
+            return "record digest does not match its address"
+        expected = cell_digest(
+            record["key"], code_version=str(record["code_version"])
+        )
+        if expected != digest:
+            return "key/code_version do not hash to the record's address"
+        actual = payload_checksum(record["payload"])
+        if actual != record["checksum"]:
+            return (
+                f"payload checksum mismatch (stored {record['checksum'][:12]}…, "
+                f"actual {actual[:12]}…)"
+            )
+        return None
+
+    def _load_verified(
+        self, path: Path, digest: str, *, strict: bool = False
+    ) -> dict | None:
+        """Read + verify one object file; quarantine and None on failure."""
+        try:
+            record = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            error = self._quarantine_record(path, f"unreadable record: {exc}", digest)
+            if strict:
+                raise error from exc
+            return None
+        reason = self._verify_failure(path, record, digest)
+        if reason is not None:
+            error = self._quarantine_record(path, reason, digest)
+            if strict:
+                raise error
+            return None
+        return record
+
+    # -- quarantine ----------------------------------------------------------
+
+    def _quarantine_record(
+        self, path: Path, reason: str, digest: str
+    ) -> StoreCorruptionError:
+        """Move a corrupt file aside and ledger the incident (never raise)."""
+        error = StoreCorruptionError(path, reason, digest=digest)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = self.quarantine_dir / f"{path.name}.{n}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            dest = None
+        self._ledger_append(
+            {
+                "error": "StoreCorruptionError",
+                "time": time.time(),
+                "digest": digest,
+                "path": str(path),
+                "quarantined_as": str(dest) if dest else None,
+                "reason": reason,
+            }
+        )
+        REGISTRY.inc("store.quarantined")
+        return error
+
+    def _ledger_append(self, entry: dict) -> None:
+        """Append one ledger line (O_APPEND; a single short write)."""
+        try:
+            with (self.root / LEDGER_FILENAME).open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            pass  # the quarantine move already preserved the evidence
+
+    def ledger_entries(self) -> list[dict]:
+        """All corruption-ledger entries (oldest first)."""
+        path = self.root / LEDGER_FILENAME
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_text("utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                entries.append(record)
+        return entries
+
+    def quarantined_count(self) -> int:
+        """Files currently sitting in the quarantine directory."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for p in self.quarantine_dir.iterdir() if p.is_file())
+
+    def quarantine_summary(self) -> str:
+        """One human line about quarantined records ('' when none)."""
+        n = self.quarantined_count()
+        if not n:
+            return ""
+        return (
+            f"{n} corrupt store record(s) quarantined in {self.quarantine_dir} "
+            f"(ledger: {self.root / LEDGER_FILENAME}; "
+            f"inspect with `python -m repro.store fsck --store {self.root}`)"
+        )
+
+    # -- compute log ---------------------------------------------------------
+
+    def log_compute(self, key: tuple | list, worker: str) -> None:
+        """Record that *worker* freshly computed *key* (exactly-once audits)."""
+        try:
+            with (self.root / COMPUTE_LOG_FILENAME).open(
+                "a", encoding="utf-8"
+            ) as fh:
+                fh.write(
+                    json.dumps(
+                        {"digest": self.digest_of(key), "key": list(key), "worker": worker},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        except OSError:
+            pass
+
+    def compute_log(self) -> list[dict]:
+        """Parsed compute-log entries (for double-compute assertions)."""
+        path = self.root / COMPUTE_LOG_FILENAME
+        if not path.exists():
+            return []
+        out = []
+        for line in path.read_text("utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+        return out
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> FsckReport:
+        """Complete or roll forward every interrupted write (idempotent).
+
+        For each pending journal entry: if the object already verifies,
+        the write won — drop the entry; else if the journal entry itself
+        verifies, replay it into the object tree; else quarantine the
+        entry. Called by every campaign open and by ``fsck``.
+        """
+        report = FsckReport()
+        for wal in self.journal.pending():
+            digest = wal.name[: -len(".wal")]
+            record = self.journal.read(wal)
+            obj = self.object_path(digest)
+            if obj.exists() and self._load_verified(obj, digest) is not None:
+                wal.unlink(missing_ok=True)
+                report.cleared += 1
+                continue
+            if record is not None and self._verify_failure(wal, record, digest) is None:
+                atomic_write_text(obj, canonical_json(record))
+                wal.unlink(missing_ok=True)
+                report.replayed += 1
+                REGISTRY.inc("store.journal_replayed")
+                continue
+            self._quarantine_record(wal, "unreplayable journal entry", digest)
+            report.quarantined += 1
+        return report
+
+    def _sweep_tmp(self) -> int:
+        """Remove ``*.tmp`` litter a SIGKILLed writer left mid-write."""
+        swept = 0
+        for base in (self.objects_dir, self.journal.root):
+            if not base.is_dir():
+                continue
+            for tmp in base.rglob("*.tmp"):
+                tmp.unlink(missing_ok=True)
+                swept += 1
+        return swept
+
+    def records(self):
+        """Iterate ``(path, digest)`` over every object file."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.rglob("*.json")):
+            yield path, path.stem
+
+    def fsck(self, *, repair: bool = True) -> FsckReport:
+        """Scan, verify, repair-from-journal and report.
+
+        With ``repair`` (the default) this is the full recovery pass:
+        journal entries are replayed or quarantined, corrupt objects are
+        quarantined, crash litter is swept. ``repair=False`` only
+        reports (corrupt objects are listed as problems, not moved).
+        """
+        with _span.span("store.fsck"):
+            report = self.recover() if repair else FsckReport()
+            if repair:
+                report.swept_tmp = self._sweep_tmp()
+            for path, digest in self.records():
+                report.scanned += 1
+                if repair:
+                    if self._load_verified(path, digest) is not None:
+                        report.verified += 1
+                    else:
+                        # Quarantined and ledgered by _load_verified; the
+                        # object tree no longer holds it.
+                        report.quarantined += 1
+                        report.scanned -= 1
+                else:
+                    try:
+                        record = json.loads(path.read_text("utf-8"))
+                        reason = self._verify_failure(path, record, digest)
+                    except (OSError, ValueError) as exc:
+                        reason = f"unreadable record: {exc}"
+                    if reason is None:
+                        report.verified += 1
+                    else:
+                        report.problems.append(f"{path.name}: {reason}")
+            report.quarantine_total = self.quarantined_count()
+        return report
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def object_count(self) -> int:
+        """Number of records currently published."""
+        return sum(1 for _ in self.records())
+
+    def stats(self) -> dict:
+        """Counts a dashboard or the ``stats`` CLI subcommand wants."""
+        return {
+            "root": str(self.root),
+            "code_version": self.code_version,
+            "objects": self.object_count(),
+            "journal_pending": len(self.journal.pending()),
+            "quarantined": self.quarantined_count(),
+            "ledger_entries": len(self.ledger_entries()),
+        }

@@ -1,0 +1,76 @@
+"""Store-backed checkpoint adapter for the supervised matrix engine.
+
+:class:`StoreCheckpoint` speaks the same interface as
+:class:`repro.sim.fault.Checkpoint` (``in``, ``get``, ``add``, ``keys``,
+``path``) but persists through the content-addressed store instead of a
+JSONL file — so every cell the supervisor completes is committed through
+the write-ahead journal with a payload checksum, and every cell resumed
+is verified on read. ``repro.store migrate`` upgrades old JSONL
+checkpoints into a store (see :mod:`repro.store.__main__`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.store.cas import ResultStore
+
+__all__ = ["StoreCheckpoint"]
+
+
+class StoreCheckpoint:
+    """A :class:`~repro.sim.fault.Checkpoint` look-alike over a store.
+
+    With *worker* set, every fresh :meth:`add` is also appended to the
+    store's compute log — the audit trail the exactly-once lease tests
+    (and the ``store-chaos`` CI job) count double-computes from.
+    """
+
+    def __init__(self, store: ResultStore, *, worker: str | None = None) -> None:
+        self.store = store
+        self.worker = worker
+        #: Results served from the store this session (verified-on-read).
+        self._seen: dict[tuple, object] = {}
+
+    @property
+    def path(self):
+        """Where this checkpoint lives (the store root)."""
+        return self.store.root
+
+    def __contains__(self, key: tuple) -> bool:
+        key = tuple(key)
+        if key in self._seen:
+            return True
+        result = self.store.get(key)  # verify-on-read; corrupt => miss
+        if result is None:
+            return False
+        self._seen[key] = result
+        return True
+
+    def __len__(self) -> int:
+        return self.store.object_count()
+
+    def keys(self) -> list[tuple]:
+        """Keys verified through this adapter so far (not the whole store)."""
+        return list(self._seen)
+
+    def get(self, key: tuple):
+        """The cell's verified result; :class:`ExperimentError` if absent."""
+        key = tuple(key)
+        if key in self._seen:
+            return self._seen[key]
+        result = self.store.get(key)
+        if result is None:
+            raise ExperimentError(f"cell {key!r} not in store {self.store.root}")
+        self._seen[key] = result
+        return result
+
+    def add(self, key: tuple, result) -> None:
+        """Commit one completed cell (journaled, checksummed, durable)."""
+        key = tuple(key)
+        fresh = self.store.put(key, result)
+        self._seen[key] = result
+        if fresh and self.worker is not None:
+            self.store.log_compute(key, self.worker)
+
+    def flush(self) -> None:
+        """Store puts are individually durable; nothing to flush."""

@@ -1,0 +1,132 @@
+"""Integrity primitives of the result store: digests, checksums, faults.
+
+Everything the store trusts is derived here:
+
+* **Content addresses** — :func:`cell_digest` maps a canonical cell key
+  ``(workload, seed, scale, cache_config, miss_scale)`` plus the code
+  version to a SHA-256 hex digest. Two cells with the same digest are
+  the same computation by construction; bumping the code version changes
+  every address, so records produced by older simulator builds are never
+  served as current.
+* **Payload checksums** — :func:`payload_checksum` hashes the canonical
+  JSON form of a record's payload. Every record carries its checksum and
+  every read re-verifies it, so a flipped bit between write and read is
+  *detected*, never silently served (the design rule ZipCache/CRAM-style
+  compressed stores live by: metadata corruption must not become silent
+  data corruption).
+* **Fault points** — :func:`fault_point` is a zero-cost-when-unarmed
+  hook the crash-safety property tests use to kill the process at named
+  points inside the write path (after the journal write, before the
+  publish rename, ...). Armed either programmatically
+  (:func:`set_fault_hook`) or via ``REPRO_STORE_FAULT_POINT=name@N``
+  (die with ``os._exit`` on the N-th hit of *name*), it lets a test
+  drive SIGKILL-equivalent crashes deterministically through every
+  window of the commit protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Callable
+
+from repro.errors import StoreError
+
+__all__ = [
+    "canonical_json",
+    "payload_checksum",
+    "cell_digest",
+    "fault_point",
+    "set_fault_hook",
+    "FAULT_POINT_ENV",
+    "FAULT_EXIT_CODE",
+]
+
+#: Environment variable arming the crash hook: ``"<point>@<n>"`` kills
+#: the process (``os._exit``) on the n-th hit of that fault point.
+FAULT_POINT_ENV = "REPRO_STORE_FAULT_POINT"
+
+#: Exit code of an environment-armed crash (mirrors SIGKILL's 128+9 so
+#: supervisors classify it like a real kill).
+FAULT_EXIT_CODE = 137
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON form: sorted keys, no whitespace variance.
+
+    The checksum is computed over this form, so semantically identical
+    payloads always hash identically regardless of dict insertion order.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=True
+        )
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"payload is not JSON-serializable: {exc}") from exc
+
+
+def payload_checksum(payload) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON form."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def cell_digest(key: tuple | list, *, code_version: str = "") -> str:
+    """Content address of one cell: SHA-256 over (key, code version).
+
+    *key* is canonicalized through JSON (so ``(a, 1)`` and ``[a, 1]``
+    address the same record) and must therefore be JSON-serializable.
+    """
+    material = canonical_json({"key": list(key), "code": code_version})
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Crash fault points
+# --------------------------------------------------------------------------
+
+_HOOK: Callable[[str], None] | None = None
+#: Parsed env arming: [point_name, remaining_hits] (None = not parsed yet).
+_ENV_STATE: list | None = None
+
+
+def set_fault_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or clear, with None) an in-process fault-point hook.
+
+    The hook is called with the fault point's name on every hit; raising
+    or ``os._exit``-ing from it simulates a crash at exactly that point.
+    """
+    global _HOOK
+    _HOOK = hook
+
+
+def _env_arming() -> list | None:
+    global _ENV_STATE
+    if _ENV_STATE is None:
+        raw = os.environ.get(FAULT_POINT_ENV, "")
+        if not raw:
+            _ENV_STATE = []
+        else:
+            point, _, count = raw.partition("@")
+            try:
+                _ENV_STATE = [point, max(1, int(count or "1"))]
+            except ValueError:
+                _ENV_STATE = []
+    return _ENV_STATE or None
+
+
+def fault_point(name: str) -> None:
+    """Crash-injection hook; a no-op unless a test armed it.
+
+    Sprinkled through the store's commit protocol so the crash-safety
+    property test can die inside every window. Production cost is one
+    global load and a falsy check.
+    """
+    if _HOOK is not None:
+        _HOOK(name)
+        return
+    state = _env_arming()
+    if state is not None and state[0] == name:
+        state[1] -= 1
+        if state[1] <= 0:
+            os._exit(FAULT_EXIT_CODE)

@@ -1,0 +1,69 @@
+"""Write-ahead journal: the store's crash-commit protocol.
+
+A store write is only acknowledged after a two-step commit::
+
+    1. stage   — the complete record is written (atomically, fsynced)
+                 to ``journal/<digest>.wal``;
+    2. publish — the record is written (atomically, fsynced) to its
+                 object path and the journal entry is cleared.
+
+Because both steps are individually atomic, a crash at *any* point
+leaves one of exactly three on-disk states, all recoverable:
+
+* nothing staged — the write never happened; the old state stands;
+* staged but not published — recovery replays the journal entry into
+  the object tree (the write wins);
+* published but not cleared — recovery verifies the object and drops
+  the stale journal entry (the write won already).
+
+A torn *journal* entry (the crash hit the journal's own temp-write) is
+impossible by the atomic-write contract; a journal entry that fails
+verification anyway (disk corruption after the fact) is quarantined by
+:meth:`repro.store.cas.ResultStore.recover`, never replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.utils.atomic import atomic_write_text
+
+__all__ = ["Journal"]
+
+_WAL_SUFFIX = ".wal"
+
+
+class Journal:
+    """The on-disk write-ahead journal of one :class:`ResultStore`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_of(self, digest: str) -> Path:
+        """Journal entry path for one record digest."""
+        return self.root / f"{digest}{_WAL_SUFFIX}"
+
+    def stage(self, digest: str, record_text: str) -> Path:
+        """Durably stage a record before it is published (step 1)."""
+        return atomic_write_text(self.path_of(digest), record_text)
+
+    def clear(self, digest: str) -> None:
+        """Drop a journal entry once its record is published (step 2)."""
+        self.path_of(digest).unlink(missing_ok=True)
+
+    def pending(self) -> list[Path]:
+        """All staged-but-not-cleared entries (oldest first)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.iterdir() if p.suffix == _WAL_SUFFIX
+        )
+
+    def read(self, path: Path) -> dict | None:
+        """Parse one journal entry; None when unreadable/malformed."""
+        try:
+            record = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None

@@ -1,41 +1,107 @@
-"""Atomic file writes: no reader ever sees a truncated file.
+"""Atomic, durable file writes: no reader ever sees a truncated file.
 
-Results exports, run manifests and matrix checkpoints are all written
-through :func:`atomic_write_text`: the content goes to a ``*.tmp`` file
-in the *same directory* (so the final rename never crosses a filesystem
-boundary) and is moved into place with :func:`os.replace`, which POSIX
-guarantees to be atomic. An interrupt — Ctrl-C, a crashed worker, an OOM
-kill — therefore leaves either the previous complete file or the new
-complete file, never a half-written one. This is what makes
-checkpoint/resume trustworthy: a checkpoint that survived an interrupt
-is by construction well-formed.
+Results exports, run manifests, matrix checkpoints and the result
+store's journal are all written through :func:`atomic_write_text`: the
+content goes to a ``*.tmp`` file in the *same directory* (so the final
+rename never crosses a filesystem boundary) and is moved into place with
+:func:`os.replace`, which POSIX guarantees to be atomic. An interrupt —
+Ctrl-C, a crashed worker, an OOM kill — therefore leaves either the
+previous complete file or the new complete file, never a half-written
+one. This is what makes checkpoint/resume trustworthy: a checkpoint that
+survived an interrupt is by construction well-formed.
+
+Durability is part of the contract, not an afterthought: the temporary
+file is fsynced before the rename and the containing directory is
+fsynced after it, so a machine crash (not just a process crash) cannot
+lose a rename that a caller has already observed succeeding. Failures
+anywhere on that path — ENOSPC while writing, EIO on fsync, a read-only
+filesystem at rename — raise a typed
+:class:`~repro.errors.AtomicWriteError` after unlinking the temporary
+file, so error paths never leak ``*.tmp`` litter next to the target.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from pathlib import Path
 
-__all__ = ["atomic_write_text"]
+from repro.errors import AtomicWriteError
+
+__all__ = ["atomic_write_text", "atomic_write_bytes", "fsync_dir"]
+
+#: Per-process uniquifier for temporary names. The pid guards against
+#: *other* processes writing the same target (two campaign workers
+#: enqueueing the same job must not rename each other's half-written
+#: temp files away); the counter guards against threads in this one.
+_TMP_SEQ = itertools.count()
 
 
-def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
-    """Write *text* to *path* atomically (write-temp-then-rename).
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory's metadata (new/renamed entries) to disk.
 
-    The temporary file lives next to the target (``<name>.tmp``) and is
-    cleaned up on failure; on success it is renamed over the target in
-    one :func:`os.replace` call.
+    Platforms that cannot open directories (or filesystems that reject
+    directory fsync) are silently tolerated — the rename is still atomic,
+    just not guaranteed durable across a *machine* crash there.
     """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str | Path, data: bytes) -> Path:
+    """The shared write-fsync-rename-fsync sequence behind both writers."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp")
     try:
-        with tmp.open("w", encoding=encoding) as fh:
-            fh.write(text)
+        with tmp.open("wb") as fh:
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+    except OSError as exc:
+        # Unlink must not mask the original failure — and must itself be
+        # allowed to fail (the disk that broke the write may break it).
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise AtomicWriteError(path, exc) from exc
     except BaseException:
-        tmp.unlink(missing_ok=True)
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
         raise
+    fsync_dir(path.parent)
     return path
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Write *text* to *path* atomically and durably.
+
+    The temporary file lives next to the target (a process-unique
+    ``<name>.<pid>.<seq>.tmp``, so concurrent writers of one path never
+    disturb each other — last rename wins whole), is fsynced, renamed
+    over the target in one :func:`os.replace` call, and
+    the parent directory is fsynced so the rename survives power loss.
+    Raises :class:`~repro.errors.AtomicWriteError` on any I/O failure;
+    the temporary file is unlinked on every error path. A non-``str``
+    *text* raises :class:`TypeError` before anything touches the disk.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"atomic_write_text needs str, got {type(text).__name__}")
+    return _atomic_write(path, text.encode(encoding))
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (same guarantees)."""
+    return _atomic_write(path, data)

@@ -1,0 +1,69 @@
+"""Checkpoint loader corruption accounting (the silent-skip fix).
+
+A malformed JSONL line in a matrix checkpoint must degrade to "this cell
+re-simulates" — counted, warned about once with a line number, and
+published as the ``checkpoint.malformed_lines`` metric — never a silent
+skip and never a failed resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import REGISTRY
+from repro.sim.fault import Checkpoint
+from repro.sim.runner import run_workload
+
+KEY = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+
+
+def _seed_checkpoint(path):
+    checkpoint = Checkpoint(path)
+    result = run_workload("olden.treeadd", "BC", seed=1, scale=0.05)
+    checkpoint.add(KEY, result)
+    return result
+
+
+def test_clean_checkpoint_reports_zero_malformed(tmp_path):
+    path = tmp_path / "matrix.jsonl"
+    _seed_checkpoint(path)
+    reloaded = Checkpoint(path)
+    assert reloaded.malformed_lines == 0
+    assert len(reloaded) == 1
+
+
+def test_malformed_lines_are_counted_and_published(tmp_path):
+    path = tmp_path / "matrix.jsonl"
+    result = _seed_checkpoint(path)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("{torn json\n")  # undecodable
+        fh.write(json.dumps({"key": "not-a-list"}) + "\n")  # wrong shape
+        fh.write(json.dumps({"no": "key"}) + "\n")  # wrong shape
+
+    before = REGISTRY.counter("checkpoint.malformed_lines").value
+    reloaded = Checkpoint(path)
+
+    assert reloaded.malformed_lines == 3
+    assert REGISTRY.counter("checkpoint.malformed_lines").value == before + 3
+    # The intact cell still resumes, bit-identical.
+    assert KEY in reloaded
+    assert reloaded.get(KEY) == result
+
+
+def test_malformed_warning_names_first_bad_line(tmp_path):
+    from repro.obs import progress
+
+    path = tmp_path / "matrix.jsonl"
+    _seed_checkpoint(path)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("{torn\n")
+
+    messages: list[str] = []
+    progress.set_sink(messages.append)
+    try:
+        Checkpoint(path)
+    finally:
+        progress.set_sink(None)
+    out = "\n".join(messages)
+    assert "skipped 1 malformed record(s)" in out
+    assert "line 2" in out

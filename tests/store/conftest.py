@@ -1,0 +1,12 @@
+"""Fixtures for the result-store tests (helpers live in store_helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from store_helpers import identity_store
+
+
+@pytest.fixture
+def store(tmp_path):
+    return identity_store(tmp_path / "store")

@@ -1,0 +1,23 @@
+"""Shared helpers for the result-store tests.
+
+Most tests use an *identity codec* store (payloads are plain dicts, no
+simulator involved) so the crash/corruption machinery is exercised at
+full speed; the campaign integration tests use the real codec.
+"""
+
+from __future__ import annotations
+
+from repro.store.cas import ResultStore
+
+#: A fixed code version so digests are stable across test runs.
+CODE_VERSION = "test-code-1"
+
+
+def identity_store(root, **kwargs) -> ResultStore:
+    """A store whose payloads are plain dicts (no SimResult codec)."""
+    kwargs.setdefault("code_version", CODE_VERSION)
+    return ResultStore(root, encode=lambda r: r, decode=lambda p: p, **kwargs)
+
+
+def sample_payload(n: int = 0) -> dict:
+    return {"cycles": 1000 + n, "ipc": 0.5 + n / 8, "rows": [n, n + 1, n + 2]}

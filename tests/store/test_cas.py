@@ -1,0 +1,247 @@
+"""ResultStore unit tests: round trips, idempotence, verify-on-read,
+quarantine bookkeeping and fsck."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.obs.metrics import REGISTRY
+from repro.store.cas import LEDGER_FILENAME, ResultStore
+from repro.store.integrity import cell_digest, payload_checksum
+
+from store_helpers import identity_store, sample_payload
+
+KEY = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+
+
+def test_put_get_round_trip(store):
+    payload = sample_payload()
+    assert store.put(KEY, payload) is True
+    assert store.get(KEY) == payload
+
+
+def test_get_miss_returns_none(store):
+    assert store.get(KEY) is None
+
+
+def test_put_is_idempotent(store):
+    assert store.put(KEY, sample_payload()) is True
+    assert store.put(KEY, sample_payload()) is False
+    assert store.object_count() == 1
+
+
+def test_tuple_and_list_keys_address_the_same_record(store):
+    store.put(KEY, sample_payload())
+    assert store.get(list(KEY)) == sample_payload()
+
+
+def test_code_version_changes_every_address(tmp_path):
+    old = identity_store(tmp_path / "s", code_version="v1")
+    new = identity_store(tmp_path / "s", code_version="v2")
+    old.put(KEY, sample_payload())
+    assert new.get(KEY) is None  # stale-code records are never served
+    assert old.get(KEY) == sample_payload()
+
+
+def test_digest_is_canonical_over_key_form():
+    assert cell_digest(KEY, code_version="x") == cell_digest(
+        list(KEY), code_version="x"
+    )
+    assert cell_digest(KEY, code_version="x") != cell_digest(
+        KEY, code_version="y"
+    )
+
+
+def test_unserializable_payload_is_a_typed_error(store):
+    with pytest.raises(StoreError):
+        store.put(KEY, {"bad": object()})
+
+
+@pytest.mark.parametrize(
+    "damage",
+    ["truncate", "bitflip", "garbage", "empty", "tamper", "wrong_key"],
+)
+def test_corrupt_record_is_quarantined_not_served(store, damage):
+    store.put(KEY, sample_payload())
+    path = store.object_path(store.digest_of(KEY))
+    raw = path.read_bytes()
+    if damage == "truncate":
+        path.write_bytes(raw[: len(raw) // 2])
+    elif damage == "bitflip":
+        data = bytearray(raw)
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+    elif damage == "garbage":
+        path.write_bytes(b"\x00\xffnot a record")
+    elif damage == "empty":
+        path.write_bytes(b"")
+    elif damage == "tamper":
+        record = json.loads(raw)
+        record["payload"]["cycles"] += 1  # checksum must catch this
+        path.write_text(json.dumps(record), encoding="utf-8")
+    elif damage == "wrong_key":
+        record = json.loads(raw)
+        record["key"][1] = 999  # no longer hashes to its address
+        record["checksum"] = payload_checksum(record["payload"])
+        path.write_text(json.dumps(record), encoding="utf-8")
+
+    before = REGISTRY.counter("store.quarantined").value
+    assert store.get(KEY) is None
+    assert not path.exists(), "corrupt record left in the object tree"
+    assert store.quarantined_count() == 1
+    assert REGISTRY.counter("store.quarantined").value == before + 1
+    entries = store.ledger_entries()
+    assert len(entries) == 1
+    assert entries[0]["error"] == "StoreCorruptionError"
+    assert entries[0]["digest"] == store.digest_of(KEY)
+    # The cell is recomputable: a fresh put is treated as new and served.
+    assert store.put(KEY, sample_payload()) is True
+    assert store.get(KEY) == sample_payload()
+
+
+def test_strict_get_raises_typed_corruption_error(store):
+    store.put(KEY, sample_payload())
+    path = store.object_path(store.digest_of(KEY))
+    path.write_bytes(b"junk")
+    with pytest.raises(StoreCorruptionError):
+        store.get(KEY, strict=True)
+    assert store.quarantined_count() == 1
+
+
+def test_quarantine_name_collisions_are_preserved(store):
+    for n in (0, 1, 2):
+        store.put(KEY, sample_payload(n))
+        store.object_path(store.digest_of(KEY)).write_bytes(b"junk%d" % n)
+        assert store.get(KEY) is None
+    assert store.quarantined_count() == 3  # all three kept as evidence
+    assert len(store.ledger_entries()) == 3
+
+
+def test_ledger_survives_partial_corruption(store):
+    store.put(KEY, sample_payload())
+    store.object_path(store.digest_of(KEY)).write_bytes(b"junk")
+    store.get(KEY)
+    ledger = store.root / LEDGER_FILENAME
+    ledger.write_text(ledger.read_text() + "not json\n", encoding="utf-8")
+    assert len(store.ledger_entries()) == 1  # bad line skipped, not fatal
+
+
+def test_fsck_clean_on_healthy_store(store):
+    for n in range(3):
+        store.put((*KEY[:1], n, *KEY[2:]), sample_payload(n))
+    report = store.fsck()
+    assert report.clean
+    assert report.scanned == report.verified == 3
+    assert not report.problems
+
+
+def test_fsck_no_repair_reports_without_touching(store):
+    store.put(KEY, sample_payload())
+    path = store.object_path(store.digest_of(KEY))
+    path.write_bytes(b"junk")
+    report = store.fsck(repair=False)
+    assert not report.clean
+    assert report.problems
+    assert path.exists(), "--no-repair must not move anything"
+
+
+def test_fsck_repairs_then_second_pass_is_clean(store):
+    for n in range(3):
+        store.put((*KEY[:1], n, *KEY[2:]), sample_payload(n))
+    victim = store.object_path(store.digest_of((*KEY[:1], 1, *KEY[2:])))
+    victim.write_bytes(b"junk")
+    first = store.fsck()
+    assert first.repaired
+    assert first.quarantined == 1
+    assert first.verified == 2
+    second = store.fsck()
+    assert second.clean
+    assert second.quarantine_total == 1  # evidence still there
+
+
+def test_recover_replays_staged_journal_entry(store):
+    # Simulate a crash after the WAL write but before publish: stage the
+    # record by hand and never write the object.
+    from repro.store.cas import RECORD_FORMAT
+    from repro.store.integrity import canonical_json
+
+    payload = sample_payload()
+    digest = store.digest_of(KEY)
+    record = {
+        "format": RECORD_FORMAT,
+        "digest": digest,
+        "key": list(KEY),
+        "code_version": store.code_version,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
+    store.journal.stage(digest, canonical_json(record))
+    assert store.get(KEY) is None  # not published yet
+
+    report = store.recover()
+    assert report.replayed == 1
+    assert store.get(KEY) == payload
+    assert store.journal.pending() == []
+
+
+def test_recover_clears_stale_journal_entry(store):
+    store.put(KEY, sample_payload())
+    # Crash between publish and clear: the WAL survives next to a good
+    # object. Recovery must drop the WAL without touching the object.
+    store.journal.stage(
+        store.digest_of(KEY),
+        store.object_path(store.digest_of(KEY)).read_text("utf-8"),
+    )
+    report = store.recover()
+    assert report.cleared == 1
+    assert store.get(KEY) == sample_payload()
+
+
+def test_recover_quarantines_torn_journal_entry(store):
+    digest = store.digest_of(KEY)
+    store.journal.stage(digest, '{"torn": ')
+    report = store.recover()
+    assert report.quarantined == 1
+    assert store.journal.pending() == []
+    assert store.quarantined_count() == 1
+
+
+def test_fsck_sweeps_tmp_litter(store):
+    store.put(KEY, sample_payload())
+    litter = store.objects_dir / "ab" / "half-written.json.1234.0.tmp"
+    litter.parent.mkdir(parents=True, exist_ok=True)
+    litter.write_bytes(b"partial")
+    report = store.fsck()
+    assert report.swept_tmp == 1
+    assert not litter.exists()
+
+
+def test_stats_shape(store):
+    store.put(KEY, sample_payload())
+    stats = store.stats()
+    assert stats["objects"] == 1
+    assert stats["journal_pending"] == 0
+    assert stats["quarantined"] == 0
+
+
+def test_compute_log_round_trip(store):
+    store.log_compute(KEY, "worker-1")
+    entries = store.compute_log()
+    assert len(entries) == 1
+    assert entries[0]["worker"] == "worker-1"
+    assert entries[0]["digest"] == store.digest_of(KEY)
+
+
+def test_real_simresult_round_trip_is_bit_identical(tmp_path):
+    """The default codec serves back an equal SimResult."""
+    from repro.sim.runner import run_workload
+
+    result = run_workload("olden.treeadd", "BC", seed=1, scale=0.05)
+    real_store = ResultStore(tmp_path / "real")
+    key = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+    assert real_store.put(key, result) is True
+    served = ResultStore(tmp_path / "real").get(key)
+    assert served == result

@@ -1,0 +1,196 @@
+"""CampaignQueue tests: claim exclusivity, leases, reclaim, exactly-once."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import LeaseError
+from repro.store.queue import CampaignQueue, Job
+
+
+def make_queue(tmp_path, **kwargs) -> CampaignQueue:
+    kwargs.setdefault("lease_ttl", 60.0)
+    return CampaignQueue(tmp_path / "queue", "camp", **kwargs)
+
+
+KEY = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+TASK = ("olden.treeadd", "BC", 1.0, 1, 0.05)
+
+
+def test_enqueue_is_idempotent(tmp_path):
+    queue = make_queue(tmp_path)
+    assert queue.enqueue(KEY, TASK) is True
+    assert queue.enqueue(KEY, TASK) is False
+    assert queue.snapshot()["jobs"] == 1
+
+
+def test_claim_is_exclusive(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    assert job is not None
+    assert job.key == KEY
+    assert job.task == TASK
+    assert job.attempt == 1
+    assert queue.claim("w2") is None  # held under a live lease
+
+
+def test_release_makes_job_claimable_again(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    queue.release(job)
+    job2 = queue.claim("w2")
+    assert job2 is not None
+    assert job2.digest == job.digest
+
+
+def test_complete_writes_done_marker_and_drains(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    assert not queue.drained()
+    job = queue.claim("w1")
+    queue.complete(job, worker="w1")
+    assert queue.drained()
+    assert queue.claim("w2") is None  # done jobs are never handed out
+    assert queue.snapshot()["done"] == 1
+    assert queue.snapshot()["leased"] == 0
+
+
+def test_expired_lease_is_reclaimed_with_bumped_attempt(tmp_path):
+    queue = make_queue(tmp_path, lease_ttl=0.05)
+    queue.enqueue(KEY, TASK)
+    assert queue.claim("w1") is not None
+    time.sleep(0.1)  # w1 "died": no heartbeat, lease expires
+    job = queue.claim("w2")
+    assert job is not None
+    assert job.attempt == 2
+
+
+def test_heartbeat_keeps_lease_alive(tmp_path):
+    queue = make_queue(tmp_path, lease_ttl=0.2)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    for _ in range(4):
+        time.sleep(0.08)
+        queue.heartbeat(job, worker="w1")
+    # Well past the original ttl, but renewed: still not claimable.
+    assert queue.claim("w2") is None
+
+
+def test_heartbeat_raises_when_lease_lost(tmp_path):
+    queue = make_queue(tmp_path, lease_ttl=0.05)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    time.sleep(0.1)
+    assert queue.claim("w2") is not None  # reclaims w1's expired lease
+    with pytest.raises(LeaseError):
+        queue.heartbeat(job, worker="w1")
+
+
+def test_reclaim_limit_marks_job_failed(tmp_path):
+    queue = make_queue(tmp_path, lease_ttl=0.02, max_claims=3)
+    queue.enqueue(KEY, TASK)
+    for _ in range(3):
+        assert queue.claim("crashy") is not None
+        time.sleep(0.05)  # die without completing, every time
+    assert queue.claim("crashy") is None
+    records = queue.failed_records()
+    assert len(records) == 1
+    assert records[0]["kind"] == "reclaim_limit"
+    assert queue.drained()  # failed is a settled state
+
+
+def test_corrupt_job_spec_fails_visibly(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    job_file = next(queue.jobs_dir.glob("*.json"))
+    job_file.write_bytes(b"\x00torn")
+    assert queue.claim("w1") is None
+    records = queue.failed_records()
+    assert len(records) == 1
+    assert records[0]["kind"] == "corrupt"
+
+
+def test_ensure_done_is_idempotent(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.ensure_done(KEY)
+    queue.ensure_done(KEY)
+    assert queue.enqueue(KEY, TASK) is False  # already settled
+    assert queue.drained()
+
+
+def test_unreadable_lease_body_expires_by_age(tmp_path):
+    """A claimer SIGKILLed between O_EXCL create and writing the body
+    leaves an empty lease; it must expire by mtime, not live forever."""
+    queue = make_queue(tmp_path, lease_ttl=0.05)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    lease = queue._lease_path(job.digest)
+    lease.write_bytes(b"")  # torn body
+    time.sleep(0.1)
+    job2 = queue.claim("w2")
+    assert job2 is not None
+
+
+def test_sigkilled_worker_job_is_reclaimed(tmp_path):
+    """A real SIGKILL: the child claims and is killed holding the lease;
+    after ttl the job is reclaimed and completed by another worker."""
+    queue = make_queue(tmp_path, lease_ttl=0.3)
+    queue.enqueue(KEY, TASK)
+    pid = os.fork()
+    if pid == 0:  # child: claim, then hang until killed
+        try:
+            make_queue(tmp_path, lease_ttl=0.3).claim("victim")
+            time.sleep(30)
+        finally:
+            os._exit(1)
+    time.sleep(0.1)  # let the child claim
+    assert queue.claim("rescuer") is None, "child should hold the lease"
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    deadline = time.time() + 5.0
+    job = None
+    while job is None and time.time() < deadline:
+        job = queue.claim("rescuer")
+        if job is None:
+            time.sleep(0.05)
+    assert job is not None, "expired lease never reclaimed"
+    assert job.attempt == 2
+    queue.complete(job, worker="rescuer")
+    assert queue.drained()
+
+
+def test_two_workers_drain_disjointly(tmp_path):
+    """Interleaved claims from two workers never hand out one job twice."""
+    queue_a = make_queue(tmp_path)
+    queue_b = make_queue(tmp_path)
+    keys = [(f"wl{i}", 1, 0.05, "BC", 1.0) for i in range(8)]
+    for key in keys:
+        queue_a.enqueue(key, tuple(key))
+    seen: list[Job] = []
+    while True:
+        job = queue_a.claim("wa") or queue_b.claim("wb")
+        if job is None:
+            break
+        seen.append(job)
+        (queue_a if len(seen) % 2 else queue_b).complete(job)
+    assert len(seen) == len(keys)
+    assert len({j.digest for j in seen}) == len(keys)
+    assert queue_a.drained() and queue_b.drained()
+
+
+def test_failed_records_skips_torn_marker(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    queue.fail(job, kind="error", message="boom")
+    (queue.failed_dir / "torn.json").write_bytes(b"{")
+    records = queue.failed_records()
+    assert len(records) == 1
+    assert json.loads(json.dumps(records[0]))["kind"] == "error"

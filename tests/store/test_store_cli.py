@@ -1,0 +1,113 @@
+"""``python -m repro.store`` CLI: fsck, migrate, stats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.fault import Checkpoint
+from repro.sim.runner import run_workload
+from repro.store.__main__ import main
+from repro.store.cas import ResultStore
+
+from store_helpers import identity_store, sample_payload
+
+KEY = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+
+
+def _summary(capsys, tag: str) -> dict:
+    line = next(
+        line
+        for line in capsys.readouterr().out.splitlines()
+        if line.startswith(tag)
+    )
+    return json.loads(line[len(tag) :])
+
+
+def test_fsck_clean_store_exits_zero(tmp_path, capsys):
+    store = identity_store(tmp_path / "store")
+    store.put(KEY, sample_payload())
+    assert main(["fsck", "--store", str(store.root)]) == 0
+    summary = _summary(capsys, "FSCK-SUMMARY ")
+    assert summary["clean"] is True
+    assert summary["scanned"] == summary["verified"] == 1
+
+
+def test_fsck_report_file_is_written(tmp_path, capsys):
+    store = identity_store(tmp_path / "store")
+    store.put(KEY, sample_payload())
+    report_path = tmp_path / "fsck.json"
+    assert (
+        main(["fsck", "--store", str(store.root), "--report", str(report_path)])
+        == 0
+    )
+    report = json.loads(report_path.read_text("utf-8"))
+    assert report["clean"] is True
+    assert report["store"] == str(store.root)
+
+
+def test_fsck_repairs_corruption_and_strict_flags_it(tmp_path, capsys):
+    store = identity_store(tmp_path / "store")
+    store.put(KEY, sample_payload())
+    store.object_path(store.digest_of(KEY)).write_bytes(b"rot")
+    # Repairing pass: quarantines, reports, but exits 0 (store verifies).
+    assert main(["fsck", "--store", str(store.root)]) == 0
+    summary = _summary(capsys, "FSCK-SUMMARY ")
+    assert summary["quarantined"] == 1
+    # Same damage under --strict is a failure.
+    store.put(KEY, sample_payload())
+    store.object_path(store.digest_of(KEY)).write_bytes(b"rot")
+    assert main(["fsck", "--store", str(store.root), "--strict"]) == 1
+
+
+def test_fsck_no_repair_reports_problems_nonzero(tmp_path, capsys):
+    store = identity_store(tmp_path / "store")
+    store.put(KEY, sample_payload())
+    store.object_path(store.digest_of(KEY)).write_bytes(b"rot")
+    assert main(["fsck", "--store", str(store.root), "--no-repair"]) == 1
+    summary = _summary(capsys, "FSCK-SUMMARY ")
+    assert summary["problems"]
+
+
+def test_migrate_imports_legacy_checkpoint(tmp_path, capsys):
+    result = run_workload("olden.treeadd", "BC", seed=1, scale=0.05)
+    checkpoint_path = tmp_path / "matrix.jsonl"
+    checkpoint = Checkpoint(checkpoint_path)
+    checkpoint.add(KEY, result)
+    # A malformed line mid-file must be counted, not fatal.
+    with checkpoint_path.open("a", encoding="utf-8") as fh:
+        fh.write("{torn\n")
+
+    store_dir = tmp_path / "store"
+    assert main(["migrate", str(checkpoint_path), "--store", str(store_dir)]) == 0
+    summary = _summary(capsys, "MIGRATE-SUMMARY ")
+    assert summary["imported"] == 1
+    assert summary["malformed"] == 1
+    assert ResultStore(store_dir).get(KEY) == result
+
+    # Re-migrating is idempotent.
+    assert main(["migrate", str(checkpoint_path), "--store", str(store_dir)]) == 0
+    summary = _summary(capsys, "MIGRATE-SUMMARY ")
+    assert summary["imported"] == 0
+    assert summary["skipped"] == 1
+
+
+def test_migrate_empty_checkpoint_fails(tmp_path):
+    checkpoint_path = tmp_path / "empty.jsonl"
+    checkpoint_path.write_text("", encoding="utf-8")
+    assert (
+        main(["migrate", str(checkpoint_path), "--store", str(tmp_path / "s")])
+        == 1
+    )
+
+
+def test_stats_includes_campaign_snapshots(tmp_path, capsys):
+    from repro.store.queue import CampaignQueue
+
+    store = identity_store(tmp_path / "store")
+    store.put(KEY, sample_payload())
+    queue = CampaignQueue(store.root / "queue", "matrix-seed1-scale0.05")
+    queue.enqueue(KEY, ("olden.treeadd", "BC", 1.0, 1, 0.05))
+    assert main(["stats", "--store", str(store.root)]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["objects"] == 1
+    assert stats["campaigns"]["matrix-seed1-scale0.05"]["jobs"] == 1

@@ -1,0 +1,108 @@
+"""Atomic write hardening: typed errors, no tmp litter, durability calls."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import AtomicWriteError, ReproError
+from repro.utils import atomic
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+
+def no_tmp_litter(directory) -> bool:
+    return not list(directory.glob("*.tmp"))
+
+
+def test_round_trip(tmp_path):
+    target = tmp_path / "out.json"
+    assert atomic_write_text(target, "hello") == target
+    assert target.read_text("utf-8") == "hello"
+    assert no_tmp_litter(tmp_path)
+
+
+def test_bytes_round_trip(tmp_path):
+    target = tmp_path / "out.bin"
+    atomic_write_bytes(target, b"\x00\xff")
+    assert target.read_bytes() == b"\x00\xff"
+
+
+def test_overwrite_is_all_or_nothing(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new")
+    assert target.read_text("utf-8") == "new"
+    assert no_tmp_litter(tmp_path)
+
+
+def test_write_failure_is_typed_and_unlinks_tmp(tmp_path, monkeypatch):
+    """ENOSPC mid-write: typed AtomicWriteError, no tmp file left, and
+    the previous committed content untouched."""
+    target = tmp_path / "out.json"
+    atomic_write_text(target, "committed")
+
+    def broken_fsync(fd):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "fsync", broken_fsync)
+    with pytest.raises(AtomicWriteError) as excinfo:
+        atomic_write_text(target, "lost")
+    assert isinstance(excinfo.value, ReproError)  # part of the typed tree
+    assert target.read_text("utf-8") == "committed"
+    assert no_tmp_litter(tmp_path)
+
+
+def test_rename_failure_unlinks_tmp(tmp_path, monkeypatch):
+    target = tmp_path / "out.json"
+
+    def broken_replace(src, dst, **kwargs):
+        raise OSError(5, "Input/output error")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(AtomicWriteError):
+        atomic_write_text(target, "x")
+    assert not target.exists()
+    assert no_tmp_litter(tmp_path)
+
+
+def test_unlink_failure_does_not_mask_original_error(tmp_path, monkeypatch):
+    target = tmp_path / "out.json"
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (_ for _ in ()).throw(OSError(5, "EIO"))
+    )
+    monkeypatch.setattr(
+        "pathlib.Path.unlink",
+        lambda self, missing_ok=False: (_ for _ in ()).throw(OSError(30, "EROFS")),
+    )
+    with pytest.raises(AtomicWriteError, match="EIO"):
+        atomic_write_text(target, "x")
+
+
+def test_concurrent_writers_use_distinct_tmp_names(tmp_path, monkeypatch):
+    """Two writers of one target must never share a temp path (a second
+    process renaming the shared name away broke concurrent enqueues)."""
+    target = tmp_path / "out.json"
+    seen = []
+    real_replace = os.replace
+
+    def recording_replace(src, dst, **kwargs):
+        seen.append(os.fspath(src))
+        return real_replace(src, dst, **kwargs)
+
+    monkeypatch.setattr(os, "replace", recording_replace)
+    atomic_write_text(target, "a")
+    atomic_write_text(target, "b")
+    assert len(seen) == 2
+    assert seen[0] != seen[1]
+    assert str(os.getpid()) in os.path.basename(seen[0])
+
+
+def test_parent_directories_are_created(tmp_path):
+    target = tmp_path / "a" / "b" / "out.json"
+    atomic_write_text(target, "x")
+    assert target.read_text("utf-8") == "x"
+
+
+def test_fsync_dir_tolerates_unopenable_path(tmp_path):
+    atomic.fsync_dir(tmp_path / "does-not-exist")  # must not raise

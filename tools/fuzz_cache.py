@@ -178,6 +178,83 @@ def run_cell(
     return False, "\n".join(report)
 
 
+def _corrupt_store_object(path: Path, rng: random.Random) -> str:
+    """Damage one on-disk store record in a seeded random way."""
+    data = bytearray(path.read_bytes())
+    kind = rng.randrange(6)
+    if kind == 0 and len(data) > 1:  # truncation (torn write / ENOSPC)
+        path.write_bytes(bytes(data[: rng.randrange(1, len(data))]))
+        return "truncated"
+    if kind == 1 and data:  # single bit flip (media decay)
+        i = rng.randrange(len(data))
+        data[i] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(data))
+        return "bit_flip"
+    if kind == 2:  # foreign file
+        path.write_bytes(b"\x00not json\xff" * 16)
+        return "garbage"
+    if kind == 3:  # zero-length file
+        path.write_bytes(b"")
+        return "empty"
+    if kind == 4:  # valid JSON, payload tampered (checksum must catch it)
+        record = json.loads(bytes(data).decode("utf-8"))
+        record["payload"]["cycles"] = int(record["payload"].get("cycles", 0)) + 1
+        path.write_text(json.dumps(record), encoding="utf-8")
+        return "payload_tampered"
+    # valid JSON, checksum field clobbered
+    record = json.loads(bytes(data).decode("utf-8"))
+    record["checksum"] = "0" * 64
+    path.write_text(json.dumps(record), encoding="utf-8")
+    return "checksum_clobbered"
+
+
+def run_store_cell(store_dir: Path, result, seed: int) -> tuple[bool, str]:
+    """One store-corruption cell: damage a record on disk, then prove it
+    is quarantined and recomputed — never served.
+
+    The sequence is the satellite property verbatim: put → corrupt the
+    object file → ``get`` must miss (and quarantine, ledger, count) →
+    re-put (the "recompute") → ``get`` must serve a record equal to the
+    original. Any served-while-corrupt or lost-evidence outcome fails.
+    """
+    from repro.store import ResultStore
+
+    store = ResultStore(store_dir)
+    key = ("fuzz.store", seed, 1.0, "BC", 1.0)
+    label = f"store seed={seed}"
+    problems: list[str] = []
+
+    store.put(key, result)
+    path = store.object_path(store.digest_of(key))
+    rng = random.Random(seed ^ 0x5EED)
+    reason = _corrupt_store_object(path, rng)
+    label += f" corruption={reason}"
+
+    before = store.quarantined_count()
+    ledger_before = len(store.ledger_entries())
+    served = store.get(key)
+    if served is not None:
+        problems.append(f"corrupt record was SERVED: {served!r}")
+    if path.exists():
+        problems.append("corrupt object still in the store tree")
+    if store.quarantined_count() != before + 1:
+        problems.append(
+            f"quarantine count {store.quarantined_count()} != {before + 1}"
+        )
+    if len(store.ledger_entries()) != ledger_before + 1:
+        problems.append("corruption not recorded in the ledger")
+
+    if not store.put(key, result):
+        problems.append("re-put after quarantine was not treated as fresh")
+    recomputed = store.get(key)
+    if recomputed != result:
+        problems.append(f"recomputed record differs: {recomputed!r}")
+
+    if problems:
+        return False, f"FAIL [{label}]\n" + "\n".join(f"  {p}" for p in problems)
+    return True, ""
+
+
 def run_workload_cell(name: str, config: str, seed: int, scale: float, *, audit: bool) -> tuple[bool, str]:
     """Differentially replay a full generated workload trace."""
     from repro.workloads.registry import generate
@@ -256,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the strict-image boundary-pairing CPP cells",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="fuzz the durable result store instead: corrupt committed "
+        "records on disk (truncation, bit flips, tampering) and verify "
+        "each is quarantined and recomputed, never served",
+    )
     parser.add_argument("--workload", help="differentially replay a generated workload")
     parser.add_argument("--scale", type=float, default=0.05, help="workload scale")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
@@ -292,6 +376,24 @@ def _sweep(args: argparse.Namespace) -> int:
 
     failures = 0
     cells = 0
+
+    if args.store:
+        import tempfile
+
+        from repro.sim.runner import run_workload
+
+        result = run_workload("olden.treeadd", "BC", seed=1, scale=0.05)
+        with tempfile.TemporaryDirectory(prefix="fuzz-store-") as tmp:
+            store_dir = Path(tmp) / "store"
+            for seed in range(args.seeds):
+                ok, report = run_store_cell(store_dir, result, seed)
+                cells += 1
+                if not ok:
+                    failures += 1
+                    print(report)
+        status = "ok" if not failures else f"{failures} FAILURES"
+        print(f"[store corruption] {args.seeds} seeds: {status}")
+        return emit_summary(cells, args.seeds, failures, args.seeds)
 
     if args.workload:
         for config in configs:

@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Crash-chaos harness for the durable result store and campaign queue.
+
+Proves the three store guarantees end to end, with real worker
+processes on one shared store directory:
+
+1. **Golden** — a single in-process campaign over a small matrix; its
+   results (in lossless serialized form) are the reference data.
+2. **Concurrent** — two worker processes drain the same campaign queue
+   at once. Final data must be bit-identical to golden, the queue must
+   be drained, and the store's compute log must show every cell
+   computed **exactly once** across both workers.
+3. **Kill + resume** — a worker is killed mid-campaign (via the store's
+   deterministic fault-point hook, which dies with ``os._exit(137)`` —
+   the SIGKILL exit status — so the process vanishes with leases held
+   and work half-committed, exactly like a real ``kill -9``). A second
+   worker then resumes, reclaims the expired leases, and completes the
+   campaign. Final data must again be bit-identical to golden with no
+   cell computed twice, and ``repro.store fsck`` must come back clean.
+
+Two kill points are exercised: ``put.before_journal`` (death *mid
+commit*, before the write-ahead journal is staged — the cell is absent
+and must be recomputed) and ``queue.before_done`` (death *between* the
+durable result and its done marker — the cell is present and must be
+reused, not recomputed).
+
+The fsck report of the kill/resume store is written to ``--report`` for
+CI artifact upload. Exit status: 0 when every phase held, 1 otherwise.
+The machine-readable tail line is ``CHAOS-SUMMARY {...}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.results_io import result_to_full_dict  # noqa: E402
+from repro.store import (  # noqa: E402
+    CampaignQueue,
+    ResultStore,
+    campaign_name,
+    run_matrix_store,
+)
+from repro.store.integrity import FAULT_EXIT_CODE, canonical_json  # noqa: E402
+
+#: The chaos matrix: small enough to finish in seconds, big enough that
+#: a worker killed two cells in still leaves real work to reclaim.
+WORKLOADS = ("olden.treeadd", "olden.mst", "olden.bisort")
+CONFIGS = ("BC", "CPP")
+SEED = 1
+
+
+def _canonical(results: dict) -> dict[str, str]:
+    """{key-json: canonical serialized record} for bit-exact comparison."""
+    return {
+        canonical_json(list(key)): canonical_json(result_to_full_dict(result))
+        for key, result in results.items()
+    }
+
+
+def _spawn_worker(
+    store: Path,
+    *,
+    scale: float,
+    lease_ttl: float,
+    worker_id: str,
+    fault: str | None = None,
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if fault:
+        env["REPRO_STORE_FAULT_POINT"] = fault
+    else:
+        env.pop("REPRO_STORE_FAULT_POINT", None)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--worker",
+            "--store",
+            str(store),
+            "--scale",
+            str(scale),
+            "--lease-ttl",
+            str(lease_ttl),
+            "--worker-id",
+            worker_id,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """Worker mode: drain the chaos campaign from one process."""
+    outcome = run_matrix_store(
+        list(WORKLOADS),
+        list(CONFIGS),
+        store_dir=args.store,
+        seed=SEED,
+        scale=args.scale,
+        max_workers=2,
+        lease_ttl=args.lease_ttl,
+        worker_id=args.worker_id,
+    )
+    return 0 if not outcome.failures else 1
+
+
+def _check_store(
+    store_dir: Path,
+    golden: dict[str, str],
+    scale: float,
+    problems: list[str],
+    phase: str,
+    *,
+    expect_exactly_once: bool = True,
+) -> None:
+    """Shared assertions: drained queue, bit-identical data, exactly-once."""
+    store = ResultStore(store_dir)
+    queue = CampaignQueue(store.root / "queue", campaign_name(SEED, scale))
+    if not queue.drained():
+        problems.append(f"{phase}: queue not drained: {queue.snapshot()}")
+    results = {}
+    for key_json in golden:
+        key = tuple(json.loads(key_json))
+        record = store.get(key)
+        if record is None:
+            problems.append(f"{phase}: cell {key} missing from the store")
+        else:
+            results[key] = record
+    got = _canonical(results)
+    for key_json, expected in golden.items():
+        actual = got.get(key_json)
+        if actual is not None and actual != expected:
+            problems.append(
+                f"{phase}: cell {key_json} differs from the golden run"
+            )
+    if expect_exactly_once:
+        counts = Counter(entry["digest"] for entry in store.compute_log())
+        doubled = {d: n for d, n in counts.items() if n > 1}
+        if doubled:
+            problems.append(f"{phase}: cells computed more than once: {doubled}")
+        if len(counts) != len(golden):
+            problems.append(
+                f"{phase}: compute log covers {len(counts)} cells, "
+                f"expected {len(golden)}"
+            )
+    if store.quarantined_count():
+        problems.append(
+            f"{phase}: unexpected quarantine: {store.quarantine_summary()}"
+        )
+
+
+def _phase_concurrent(
+    workdir: Path, golden: dict[str, str], args, problems: list[str]
+) -> None:
+    store = workdir / "concurrent"
+    workers = [
+        _spawn_worker(
+            store,
+            scale=args.scale,
+            lease_ttl=args.lease_ttl,
+            worker_id=f"chaos-w{i}",
+        )
+        for i in (1, 2)
+    ]
+    for i, proc in enumerate(workers, 1):
+        rc = proc.wait(timeout=args.timeout)
+        if rc != 0:
+            problems.append(f"concurrent: worker {i} exited {rc}")
+    _check_store(store, golden, args.scale, problems, "concurrent")
+
+
+def _phase_kill_resume(
+    workdir: Path,
+    golden: dict[str, str],
+    args,
+    problems: list[str],
+    *,
+    name: str,
+    fault: str,
+) -> Path:
+    store = workdir / name
+    victim = _spawn_worker(
+        store,
+        scale=args.scale,
+        lease_ttl=args.lease_ttl,
+        worker_id=f"{name}-victim",
+        fault=fault,
+    )
+    rc = victim.wait(timeout=args.timeout)
+    if rc != FAULT_EXIT_CODE:
+        problems.append(
+            f"{name}: victim exited {rc}, expected {FAULT_EXIT_CODE} "
+            f"(fault point {fault} never fired?)"
+        )
+    rescuer = _spawn_worker(
+        store,
+        scale=args.scale,
+        lease_ttl=args.lease_ttl,
+        worker_id=f"{name}-rescuer",
+    )
+    rc = rescuer.wait(timeout=args.timeout)
+    if rc != 0:
+        problems.append(f"{name}: resuming worker exited {rc}")
+    _check_store(store, golden, args.scale, problems, name)
+    return store
+
+
+def _fsck(store: Path, report: Path | None, problems: list[str]) -> None:
+    cmd = [sys.executable, "-m", "repro.store", "fsck", "--store", str(store)]
+    if report is not None:
+        cmd += ["--report", str(report)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        problems.append(
+            f"fsck of {store} failed (exit {proc.returncode}):\n{proc.stdout}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--lease-ttl", type=float, default=3.0)
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-worker wait limit"
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the kill/resume store's fsck report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="keep stores here instead of a temporary directory",
+    )
+    parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--store", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--worker-id", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        return _run_worker(args)
+
+    problems: list[str] = []
+    cleanup = None
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="store-chaos-")
+        workdir = Path(cleanup.name)
+    try:
+        print("[chaos] golden single-process campaign ...")
+        golden_outcome = run_matrix_store(
+            list(WORKLOADS),
+            list(CONFIGS),
+            store_dir=workdir / "golden",
+            seed=SEED,
+            scale=args.scale,
+            max_workers=2,
+            worker_id="chaos-golden",
+        )
+        if golden_outcome.failures:
+            print(f"golden campaign failed: {golden_outcome.failures}")
+            return 1
+        golden = _canonical(golden_outcome.results)
+        print(f"[chaos] golden: {len(golden)} cells")
+
+        print("[chaos] two concurrent workers, one queue ...")
+        _phase_concurrent(workdir, golden, args, problems)
+
+        print("[chaos] kill mid-commit (put.before_journal), resume ...")
+        _phase_kill_resume(
+            workdir,
+            golden,
+            args,
+            problems,
+            name="kill-midput",
+            fault="put.before_journal@3",
+        )
+
+        print("[chaos] kill between result and done marker, resume ...")
+        chaos_store = _phase_kill_resume(
+            workdir,
+            golden,
+            args,
+            problems,
+            name="kill-predone",
+            fault="queue.before_done@2",
+        )
+
+        print("[chaos] fsck ...")
+        report = Path(args.report) if args.report else None
+        _fsck(chaos_store, report, problems)
+        _fsck(workdir / "concurrent", None, problems)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    status = 1 if problems else 0
+    print(
+        "CHAOS-SUMMARY "
+        + json.dumps(
+            {
+                "cells": len(golden),
+                "phases": ["concurrent", "kill-midput", "kill-predone", "fsck"],
+                "problems": len(problems),
+                "status": status,
+            },
+            sort_keys=True,
+        )
+    )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
