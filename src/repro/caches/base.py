@@ -17,7 +17,12 @@ of NumPy array construction.
 
 from __future__ import annotations
 
-from repro.caches.interface import AccessResult, FetchResponse, LineSource
+from repro.caches.interface import (
+    AccessResult,
+    CODE_OF_SERVED,
+    FetchResponse,
+    LineSource,
+)
 from repro.caches.line import CacheLine
 from repro.caches.stats import CacheStats
 from repro.errors import CacheProtocolError, ConfigurationError
@@ -221,6 +226,35 @@ class Cache:
             raise CacheProtocolError("store access requires a value")
         line.data[widx] = value & MASK32
         line.dirty = True
+
+    # ---- word-ops (fast backend) --------------------------------------------------
+
+    def load_word(self, addr: int, now: int = 0) -> int:
+        """Word load returning ``latency << 3 | code`` (see interface).
+
+        The MRU-hit path returns code 0 *without* touching stats — the
+        caller tallies those hits and flushes ``accesses``/``hits`` in
+        one batch; every other outcome delegates to :meth:`access`,
+        which counts normally. Callers must ensure no observation hook
+        (tracing, injection, runtime audits) is active.
+        """
+        line_no = addr >> self.line_shift
+        line = self._sets[line_no & self.set_mask][0]
+        if line.line_no == line_no and line.valid:
+            return self.hit_latency << 3
+        result = self.access(addr, False, None, now)
+        return (result.latency << 3) | CODE_OF_SERVED[result.served_by]
+
+    def store_word(self, addr: int, value: int, now: int = 0) -> bool:
+        """Word store; True = uncounted MRU hit (caller batches stats)."""
+        line_no = addr >> self.line_shift
+        line = self._sets[line_no & self.set_mask][0]
+        if line.line_no == line_no and line.valid:
+            line.data[(addr >> 2) & (self.line_words - 1)] = value & MASK32
+            line.dirty = True
+            return True
+        self.access(addr, True, value, now)
+        return False
 
     # ---- LineSource role (serving the level above) -----------------------------------
 

@@ -38,7 +38,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.caches.compressed_frame import CompressedFrame
-from repro.caches.interface import AccessResult, FetchResponse, LineSource, MemoryPort
+from repro.caches.interface import (
+    AccessResult,
+    CODE_OF_SERVED,
+    FetchResponse,
+    LineSource,
+    MemoryPort,
+)
 from repro.caches.stats import CacheStats
 from repro.check.runtime import runtime_checks_enabled
 from repro.compression.fastscalar import compressibility_fn
@@ -321,12 +327,21 @@ class CompressionCache:
         if isinstance(self.downstream, MemoryPort):
             # Bottom level: fetch the demand line and its affiliated line
             # together for one line's worth of bus traffic (§3.3).
+            affil_addr = self.line_addr(self.affiliated_line(line_no))
             values, affil_values = self.downstream.fetch_pair(
-                addr,
-                self.line_words,
-                self.line_addr(self.affiliated_line(line_no)),
-                kind=kind,
+                addr, self.line_words, affil_addr, kind=kind
             )
+            # When the port's memory carries a comp table for our scheme,
+            # probe it instead of re-classifying the fetched words in
+            # _install_fill; the table mirrors the image the words were
+            # just read from, so the bits are identical by construction.
+            comp = affil_comp = None
+            if self._shared_scheme:
+                comp = self.downstream.line_comp(addr, self.line_words)
+                if affil_values is not None:
+                    affil_comp = self.downstream.line_comp(
+                        affil_addr, self.line_words
+                    )
             # affil_values is None when the partner line does not exist
             # (outside the mapped image / address space): the fill then
             # carries no prefetch payload rather than fabricating one.
@@ -335,8 +350,10 @@ class CompressionCache:
                 avail=self.full_mask,
                 latency=self.downstream.memory.latency,
                 served_by="memory",
+                comp=comp,
                 affil_values=affil_values,
                 affil_avail=None if affil_values is None else self.full_mask,
+                affil_comp=affil_comp,
             )
         else:
             resp = self.downstream.fetch(
@@ -618,6 +635,34 @@ class CompressionCache:
             frame.aa &= ~bit
             self.stats.dropped_affiliated_words += 1
         frame.dirty = True
+
+    # ---- word-ops (fast backend) --------------------------------------------------
+
+    def load_word(self, addr: int, now: int = 0) -> int:
+        """Word load returning ``latency << 3 | code`` (see interface).
+
+        Code 0 is an *uncounted* MRU primary-word hit — the caller
+        batches ``accesses``/``hits``; anything else goes through
+        :meth:`access` and is counted there. Callers must ensure no
+        observation hook (tracing, injection, audits) is active.
+        """
+        ln = addr >> self.line_shift
+        frame = self._sets[ln & self.set_mask][0]
+        if frame.line_no == ln and (frame.pa >> ((addr >> 2) & (self.line_words - 1))) & 1:
+            return self.hit_latency << 3
+        result = self.access(addr, False, None, now)
+        return (result.latency << 3) | CODE_OF_SERVED[result.served_by]
+
+    def store_word(self, addr: int, value: int, now: int = 0) -> bool:
+        """Word store; True = uncounted MRU hit (caller batches stats)."""
+        ln = addr >> self.line_shift
+        widx = (addr >> 2) & (self.line_words - 1)
+        frame = self._sets[ln & self.set_mask][0]
+        if frame.line_no == ln and (frame.pa >> widx) & 1:
+            self._cpu_write(frame, widx, addr, value)
+            return True
+        self.access(addr, True, value, now)
+        return False
 
     # ---- LineSource role (serving the level above) -------------------------------------------
 

@@ -28,6 +28,7 @@ from typing import Protocol
 
 from repro.compression.fastscalar import (
     compressibility_fn,
+    packed_bus_words_from_comp,
     packed_bus_words_masked,
 )
 from repro.compression.scheme import CompressionScheme, PAPER_SCHEME
@@ -38,7 +39,34 @@ from repro.memory.image import WORD_BYTES
 from repro.memory.main_memory import MainMemory
 from repro.utils.bitmask import as_mask, as_words
 
-__all__ = ["AccessResult", "FetchResponse", "LineSource", "MemoryPort"]
+__all__ = [
+    "AccessResult",
+    "CODE_OF_SERVED",
+    "FetchResponse",
+    "LineSource",
+    "MemoryPort",
+    "SERVED_BY_CODES",
+]
+
+#: Packed word-op result codes -> ``served_by`` labels. The fast
+#: backend's L1 word-ops (``load_word``/``store_word``) return
+#: ``latency << 3 | code`` instead of allocating an
+#: :class:`AccessResult`; code 0 is the *uncounted* inline MRU hit (the
+#: caller batches the stats), the remaining codes come from the regular
+#: ``access()`` path and are already counted.
+SERVED_BY_CODES = (
+    "l1",
+    "l1",
+    "l1-affiliated",
+    "l1-buffer",
+    "l2",
+    "l2-affiliated",
+    "l2-buffer",
+    "memory",
+)
+
+#: ``served_by`` label -> packed word-op code (codes 1..7).
+CODE_OF_SERVED = {name: i for i, name in enumerate(SERVED_BY_CODES) if i}
 
 
 class AccessResult:
@@ -203,6 +231,21 @@ class MemoryPort:
             values, addr, mask, self._is_comp, self._compressed_bits
         )
 
+    def line_comp(self, addr: int, n_words: int) -> int | None:
+        """Comp-table probe for the line at *addr* under this port's scheme.
+
+        ``None`` (classify yourself) unless the backing memory carries a
+        comp table built for exactly this scheme and no fault-injection
+        session is live — injection hooks mutate values in flight, so
+        table bits would not describe what travelled on the bus.
+        """
+        if _inject.ACTIVE:
+            return None
+        table = getattr(self.memory, "comp_table", None)
+        if table is None or table.scheme is not self.scheme:
+            return None
+        return table.line_comp(addr, n_words)
+
     # ---- LineSource ---------------------------------------------------------
 
     def fetch(
@@ -224,11 +267,15 @@ class MemoryPort:
         values = self.memory.image.read_words_list(addr, n_words)
         if _inject.ACTIVE:
             values = _inject.SESSION.on_bus_values(addr, values)
-        bus_words = (
-            self._packed_words(addr, values, full)
-            if self.fetch_compressed
-            else n_words
-        )
+        if self.fetch_compressed:
+            comp = self.line_comp(addr, n_words)
+            bus_words = (
+                self._packed_words(addr, values, full)
+                if comp is None
+                else packed_bus_words_from_comp(full, comp, self._compressed_bits)
+            )
+        else:
+            bus_words = n_words
         self.memory.bus.record(kind, bus_words)
         self.memory.n_reads += 1
         return FetchResponse(
@@ -294,11 +341,16 @@ class MemoryPort:
         values = self.memory.image.read_words_list(addr, n_words)
         if _inject.ACTIVE:
             values = _inject.SESSION.on_bus_values(addr, values)
-        bus_words = (
-            self._packed_words(addr, values, (1 << n_words) - 1)
-            if self.fetch_compressed
-            else n_words
-        )
+        if self.fetch_compressed:
+            full = (1 << n_words) - 1
+            comp = self.line_comp(addr, n_words)
+            bus_words = (
+                self._packed_words(addr, values, full)
+                if comp is None
+                else packed_bus_words_from_comp(full, comp, self._compressed_bits)
+            )
+        else:
+            bus_words = n_words
         self.memory.bus.record(TrafficKind.PREFETCH, bus_words)
         self.memory.n_reads += 1
         return values, self.memory.latency
@@ -306,15 +358,26 @@ class MemoryPort:
     def write_back(self, addr: int, values, mask, comp: int | None = None) -> None:
         """Write a (possibly partial) line to memory, packed if configured.
 
-        *comp* is accepted for protocol uniformity; the port re-derives
-        packing from its own scheme when charging the bus.
+        *comp* carries the evicting cache's compressibility memo (its
+        VCP bits). The memo is maintained against the written values, so
+        when the caller shares this port's scheme the packed size is two
+        popcounts instead of a per-word classification; a ``None`` memo
+        (or an active injection session, whose hooks may rewrite the
+        values below) re-derives packing from the values.
         """
         values = as_words(values)
         mask = as_mask(mask)
         if _inject.ACTIVE:
             values = _inject.SESSION.on_bus_values(addr, values, mask)
+            comp = None
         if self.writeback_compressed:
-            packed = self._packed_words(addr, values, mask)
-            self.memory.write_line(addr, values, mask=mask, bus_words=packed)
+            packed = (
+                self._packed_words(addr, values, mask)
+                if comp is None
+                else packed_bus_words_from_comp(mask, comp, self._compressed_bits)
+            )
+            self.memory.write_line(
+                addr, values, mask=mask, bus_words=packed, comp=comp
+            )
         else:
-            self.memory.write_line(addr, values, mask=mask)
+            self.memory.write_line(addr, values, mask=mask, comp=comp)

@@ -39,10 +39,13 @@ from repro.memory.main_memory import MainMemory
 from repro.utils.bitops import MASK32
 
 __all__ = [
+    "BackendDiffRunner",
+    "BackendDivergence",
     "DifferentialRunner",
     "Divergence",
     "Op",
     "program_stream",
+    "random_program",
     "random_stream",
 ]
 
@@ -320,6 +323,176 @@ class DifferentialRunner:
         final = self.run(current, audit=audit)
         assert final is not None
         return current, final
+
+
+# ---- backend lockstep ------------------------------------------------------
+
+
+@dataclass
+class BackendDivergence:
+    """First field where two backends' lossless results disagree.
+
+    ``path`` is the dotted location inside the
+    :func:`~repro.sim.results_io.result_to_full_dict` form — e.g.
+    ``metrics.ready_insns_m2`` or ``l1.hits`` — so the symptom names the
+    subsystem that drifted.
+    """
+
+    config: str
+    workload: str
+    path: str
+    a_backend: str
+    b_backend: str
+    a_value: object
+    b_value: object
+
+    def describe(self) -> str:
+        """One-line account: cell, differing path, both backends' values."""
+        return (
+            f"backend divergence in {self.workload} on {self.config} at "
+            f"{self.path}: {self.a_backend}={self.a_value!r} "
+            f"{self.b_backend}={self.b_value!r}"
+        )
+
+
+def _dict_diff(a, b, path: str = ""):
+    """First differing leaf between two JSON-shaped values, or None."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a or key not in b:
+                return sub, a.get(key, "<absent>"), b.get(key, "<absent>")
+            found = _dict_diff(a[key], b[key], sub)
+            if found is not None:
+                return found
+        return None
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}.len", len(a), len(b)
+        for i, (x, y) in enumerate(zip(a, b)):
+            found = _dict_diff(x, y, f"{path}[{i}]")
+            if found is not None:
+                return found
+        return None
+    if a != b:
+        return path, a, b
+    return None
+
+
+class BackendDiffRunner:
+    """Run one program under two simulation backends in lockstep.
+
+    Both backends execute the identical program on identically configured
+    machines; afterwards the *lossless* result forms
+    (:func:`~repro.sim.results_io.result_to_full_dict` — cycles, every
+    cache counter, bus word breakdown, core metrics including the Welford
+    accumulators) are compared leaf by leaf. Backends are bit-identical
+    by contract, so the first differing leaf is a bug, and its path names
+    the drifted subsystem.
+    """
+
+    def __init__(
+        self,
+        config: str = "CPP",
+        *,
+        backends: tuple[str, str] = ("reference", "fast"),
+        miss_scale: float = 1.0,
+    ) -> None:
+        self.config = config.upper()
+        self.backends = backends
+        self.miss_scale = miss_scale
+
+    def run(self, program) -> BackendDivergence | None:
+        """Simulate *program* under both backends; first divergence or None."""
+        import json
+
+        from repro.sim.config import SimConfig
+        from repro.sim.machine import Machine
+        from repro.sim.results_io import result_to_full_dict
+
+        dicts = []
+        for backend in self.backends:
+            cfg = SimConfig(
+                cache_config=self.config,
+                backend=backend,
+                miss_scale=self.miss_scale,
+            )
+            result = Machine(cfg).run(program)
+            # JSON round trip normalizes tuples/lists so only value
+            # differences (never container flavor) count as divergence.
+            dicts.append(json.loads(json.dumps(result_to_full_dict(result))))
+        found = _dict_diff(dicts[0], dicts[1])
+        if found is None:
+            return None
+        path, a, b = found
+        return BackendDivergence(
+            self.config,
+            program.name,
+            path,
+            self.backends[0],
+            self.backends[1],
+            a,
+            b,
+        )
+
+
+def random_program(seed: int, n_ops: int = 600):
+    """A randomized synthetic program exercising both backends' hot paths.
+
+    The value mix mirrors :func:`random_stream` (small positives, sign-
+    extension negatives, pointer-prefix values, junk) so stores flip
+    compressibility bits; dependent load chains, data-dependent branches
+    and FP ops exercise forwarding, the branch predictor and every
+    functional-unit class in the fast core's flat scheduler.
+    """
+    import random
+
+    from repro.isa.opcodes import OpClass
+    from repro.workloads.base import ProgramBuilder
+
+    rng = random.Random(seed)
+    pb = ProgramBuilder(f"fuzz.backend.s{seed}", seed=seed)
+    arrays = [pb.static_array(512) for _ in range(3)]
+    arrays.append(pb.malloc(4 * 512))
+    # Seed one array so early loads return nonzero values.
+    for i in range(0, 512, 7):
+        pb.store(arrays[0] + 4 * i, (i * 2654435761) & MASK32, label="seed")
+    kinds = (OpClass.IALU, OpClass.IMULT, OpClass.FALU, OpClass.FMULT)
+    for i in range(n_ops):
+        base = arrays[rng.randrange(len(arrays))]
+        addr = base + 4 * rng.randrange(512)
+        pick = rng.random()
+        if pick < 0.35:
+            pb.load(addr, f"r{rng.randrange(8)}", base=f"r{rng.randrange(8)}")
+        elif pick < 0.6:
+            v = rng.random()
+            if v < 0.35:
+                value = rng.randrange(0, 1 << 14)
+            elif v < 0.5:
+                value = (MASK32 ^ rng.randrange(0, 1 << 14)) & MASK32
+            elif v < 0.75:
+                value = (addr & ~0x3FFFF) | rng.randrange(0, 1 << 18)
+            else:
+                value = rng.randrange(0, 1 << 32)
+            pb.store(
+                addr,
+                value,
+                base=f"r{rng.randrange(8)}",
+                src=f"r{rng.randrange(8)}",
+            )
+        elif pick < 0.85:
+            pb.op(
+                f"r{rng.randrange(8)}",
+                (f"r{rng.randrange(8)}", f"r{rng.randrange(8)}"),
+                kind=kinds[rng.randrange(len(kinds))],
+            )
+        else:
+            pb.if_(
+                f"br{rng.randrange(4)}",
+                rng.random() < 0.6,
+                srcs=(f"r{rng.randrange(8)}",),
+            )
+    return pb.build(description="backend lockstep fuzz program")
 
 
 # ---- stream generators -----------------------------------------------------

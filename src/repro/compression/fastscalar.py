@@ -22,7 +22,11 @@ from collections.abc import Callable
 from repro.compression.scheme import CompressionScheme
 from repro.utils.bitops import MASK32, WORD_BITS
 
-__all__ = ["compressibility_fn", "packed_bus_words_masked"]
+__all__ = [
+    "compressibility_fn",
+    "packed_bus_words_masked",
+    "packed_bus_words_from_comp",
+]
 
 
 def compressibility_fn(scheme) -> Callable[[int, int], bool]:
@@ -81,5 +85,19 @@ def packed_bus_words_masked(
             n_comp += 1
     if n == 0:
         return 0
+    bits = compressed_bits * n_comp + 32 * (n - n_comp) + n
+    return -(-bits // 32)
+
+
+def packed_bus_words_from_comp(mask: int, comp: int, compressed_bits: int) -> int:
+    """:func:`packed_bus_words_masked` when compressibility is pre-known.
+
+    *comp* carries the per-word compressibility bits (a comp-table probe
+    or a VCP memo), reducing the packing computation to two popcounts.
+    """
+    n = mask.bit_count()
+    if n == 0:
+        return 0
+    n_comp = (comp & mask).bit_count()
     bits = compressed_bits * n_comp + 32 * (n - n_comp) + n
     return -(-bits // 32)

@@ -1,0 +1,780 @@
+"""Optional compiled core loop for the ``fast`` backend.
+
+The pure-Python fast loop (:mod:`repro.cpu.fastcore`) is bound by
+per-instruction interpreter work: heap pushes, sorted-list inserts and
+row unpacking dominate its profile. This module transcribes that exact
+loop into C, compiles it once with the system C compiler into a cached
+shared library, and drives it through :mod:`ctypes` — no third-party
+build machinery, no install-time step, and a clean fallback to the
+Python loop whenever a compiler is unavailable (or the build fails, or
+``REPRO_DISABLE_CKERNEL`` is set).
+
+The kernel owns the pipeline schedule (fetch/dispatch/issue/writeback/
+commit, the completion heap, the ready list, the Welford accumulators)
+but *not* the cache model, which stays in Python:
+
+* The kernel mirrors only the L1's MRU way per set (``mru_line`` /
+  ``mru_pa`` arrays). A load whose word is present in the mirrored MRU
+  way is the cache's uncounted inline-hit path — served at
+  ``hit_latency`` with zero Python involvement, exactly what
+  ``load_word`` would do.
+* Everything else crosses back into Python via two ``ctypes`` callbacks
+  (one for load misses-of-the-MRU-way, one for every store, which may
+  mutate frame metadata). The callback runs the ordinary word-op against
+  the real cache and then refreshes the mirror entries for the only sets
+  the access can have touched (the addressed set and, for a compression
+  cache, its affiliated set) — so the mirror never claims a false hit.
+
+Bit-identicality holds because the C loop is a statement-for-statement
+transcription of the Python fast loop and the Welford recurrences use
+the same IEEE-754 double operations in the same order (compiled without
+``-ffast-math``, so the compiler may not reassociate them).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.caches.compression_cache import CompressionCache
+from repro.errors import TraceError
+
+__all__ = ["kernel_available", "run_compiled"]
+
+# ---- the kernel ---------------------------------------------------------------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef int64_t (*load_cb_t)(uint32_t addr, int64_t now);
+typedef int64_t (*store_cb_t)(uint32_t addr, uint32_t value, int64_t now);
+
+enum {
+    P_N, P_ISSUE_W, P_COMMIT_W, P_DECODE_W, P_FETCH_W,
+    P_RUU, P_LSQ, P_IFQ, P_MISP_PEN, P_FWD_LAT, P_IDLE_SKIP,
+    P_L1_HIT, P_N_SLOTS, P_SET_MASK, P_LINE_SHIFT, P_WIDX_MASK,
+    P_HARD_LIMIT,
+    /* Trivial-store journal: 0 = off, 1 = conventional cache (any MRU
+       hit is trivial), 2 = compression cache with the prefix scheme
+       (MRU hit whose compressibility bit is unchanged is trivial). */
+    P_TRIVIAL_MODE, P_SMALL_SHIFT, P_SMALL_ONES, P_PTR_SHIFT
+};
+
+enum {
+    O_ERR, O_NOW, O_COMMITTED, O_STORE_COUNT, O_N_LOADS, O_FWD_LOADS,
+    O_N_MISPRED, O_FETCH_STALL, O_MISS_CYCLES, O_ALL_N, O_MISS_N,
+    O_UNCOUNTED_STORES, O_ERR_A, O_ERR_B, O_SERVED0
+    /* O_SERVED0 .. O_SERVED0+7: per-code load counts */
+};
+
+enum { D_ALL_MEAN, D_ALL_M2, D_MISS_MEAN, D_MISS_M2 };
+
+#define IDX_BITS 25
+#define IDX_MASK ((1u << IDX_BITS) - 1)
+
+static void heap_push(uint64_t *h, int *hn, uint64_t v) {
+    int i = (*hn)++;
+    h[i] = v;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (h[p] <= h[i]) break;
+        uint64_t t = h[p]; h[p] = h[i]; h[i] = t;
+        i = p;
+    }
+}
+
+static uint64_t heap_pop(uint64_t *h, int *hn) {
+    uint64_t top = h[0];
+    int n = --(*hn);
+    h[0] = h[n];
+    int i = 0;
+    for (;;) {
+        int l = 2 * i + 1, s = i;
+        if (l < n && h[l] < h[s]) s = l;
+        if (l + 1 < n && h[l + 1] < h[s]) s = l + 1;
+        if (s == i) break;
+        uint64_t t = h[s]; h[s] = h[i]; h[i] = t;
+        i = s;
+    }
+    return top;
+}
+
+int64_t run_core(
+    const int64_t *params,
+    const uint8_t *slot_arr, const uint8_t *is_load_arr,
+    const int32_t *fwd_arr, const uint32_t *addr_arr,
+    const uint32_t *value_arr, const int32_t *lat_arr,
+    const int32_t *dep1_arr, const int32_t *dep2_arr,
+    const uint8_t *is_mem_arr, const uint8_t *kind_arr,
+    const uint8_t *mispred_arr, const int32_t *next_mp_arr,
+    const int32_t *cons_start, const int32_t *cons_flat,
+    const int32_t *fu_limits,
+    /* The MRU mirror and journal counter are rewritten by the Python
+       callbacks while this function is on the stack: volatile forbids
+       caching them across the callback boundary. */
+    volatile const int64_t *mru_line, volatile const uint32_t *mru_pa,
+    volatile const uint32_t *mru_vcp,
+    uint64_t *journal, volatile int64_t *journal_n,
+    load_cb_t load_cb, store_cb_t store_cb,
+    int64_t *out_i, double *out_d)
+{
+    const int64_t n = params[P_N];
+    const int64_t issue_w = params[P_ISSUE_W];
+    const int64_t commit_w = params[P_COMMIT_W];
+    const int64_t decode_w = params[P_DECODE_W];
+    const int64_t fetch_w = params[P_FETCH_W];
+    const int64_t ruu = params[P_RUU];
+    const int64_t lsq = params[P_LSQ];
+    const int64_t ifq = params[P_IFQ];
+    const int64_t misp_pen = params[P_MISP_PEN];
+    const int64_t fwd_lat = params[P_FWD_LAT];
+    const int64_t idle_skip = params[P_IDLE_SKIP];
+    const int64_t l1_hit = params[P_L1_HIT];
+    const int64_t n_slots = params[P_N_SLOTS];
+    const int64_t set_mask = params[P_SET_MASK];
+    const int64_t line_shift = params[P_LINE_SHIFT];
+    const uint32_t widx_mask = (uint32_t)params[P_WIDX_MASK];
+    const int64_t hard_limit = params[P_HARD_LIMIT];
+    const int64_t trivial_mode = params[P_TRIVIAL_MODE];
+    const uint32_t small_shift = (uint32_t)params[P_SMALL_SHIFT];
+    const uint32_t small_ones = (uint32_t)params[P_SMALL_ONES];
+    const uint32_t ptr_shift = (uint32_t)params[P_PTR_SHIFT];
+
+    uint8_t *state = (uint8_t *)calloc((size_t)n, 1);
+    uint8_t *pending = (uint8_t *)calloc((size_t)n, 1);
+    uint8_t *missf = (uint8_t *)calloc((size_t)n, 1);
+    uint64_t *heap = (uint64_t *)malloc(sizeof(uint64_t) * (size_t)(ruu + 8));
+    int64_t *ready = (int64_t *)malloc(sizeof(int64_t) * (size_t)(ruu + 8));
+    int32_t fu_free[64];
+    int64_t err = 0, err_a = 0, err_b = 0;
+    int heap_n = 0, ready_n = 0;
+    int64_t i_fetch = 0, disp_end = 0, committed = 0, now = 0;
+    int64_t lsq_used = 0, outstanding = 0;
+    int fetch_blocked = 0;
+    int64_t pending_resume = -1;
+    int64_t served[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int64_t store_count = 0, n_loads = 0, fwd_loads = 0, n_mispred = 0;
+    int64_t fetch_stall = 0, miss_cycles = 0, uncounted_stores = 0;
+    int64_t all_n = 0, miss_n = 0;
+    double all_mean = 0.0, all_m2 = 0.0, miss_mean = 0.0, miss_m2 = 0.0;
+
+    if (!state || !pending || !missf || !heap || !ready || n_slots > 64) {
+        err = 4;
+        goto done;
+    }
+
+    while (committed < n) {
+        if (now > hard_limit) { err = 1; err_a = now; err_b = committed; goto done; }
+
+        /* writeback: results arriving this cycle */
+        if (heap_n) {
+            uint64_t limit = (uint64_t)(now + 1) << IDX_BITS;
+            while (heap_n && heap[0] < limit) {
+                int64_t idx = (int64_t)(heap_pop(heap, &heap_n) & IDX_MASK);
+                state[idx] = 3;
+                if (missf[idx]) { outstanding--; missf[idx] = 0; }
+                for (int32_t ci = cons_start[idx]; ci < cons_start[idx + 1]; ci++) {
+                    int64_t k = cons_flat[ci];
+                    if (k < disp_end) {
+                        uint8_t p = (uint8_t)(pending[k] - 1);
+                        pending[k] = p;
+                        if (p == 0) {
+                            state[k] = 1;
+                            int lo = 0, hi = ready_n;
+                            while (lo < hi) {
+                                int mid = (lo + hi) >> 1;
+                                if (ready[mid] < k) lo = mid + 1; else hi = mid;
+                            }
+                            for (int j = ready_n; j > lo; j--) ready[j] = ready[j - 1];
+                            ready[lo] = k;
+                            ready_n++;
+                        }
+                    }
+                }
+                if (mispred_arr[idx]) pending_resume = now + misp_pen;
+            }
+        }
+
+        /* commit: in order, up to commit_width */
+        {
+            int64_t n_commit = 0;
+            while (committed < disp_end && n_commit < commit_w) {
+                if (state[committed] != 3) break;
+                int64_t idx = committed;
+                committed++;
+                n_commit++;
+                uint8_t kind = kind_arr[idx];
+                if (kind) {
+                    lsq_used--;
+                    if (kind == 2) {
+                        uint32_t addr = addr_arr[idx];
+                        uint32_t value = value_arr[idx];
+                        int trivial = 0;
+                        if (trivial_mode) {
+                            int64_t ln = (int64_t)(addr >> line_shift);
+                            int64_t si = ln & set_mask;
+                            uint32_t bit = 1u << ((addr >> 2) & widx_mask);
+                            if (mru_line[si] == ln && (mru_pa[si] & bit)) {
+                                if (trivial_mode == 1) {
+                                    trivial = 1;
+                                } else {
+                                    uint32_t top = value >> small_shift;
+                                    int comp = (top == 0) || (top == small_ones)
+                                        || ((value >> ptr_shift)
+                                            == (addr >> ptr_shift));
+                                    if (comp == ((mru_vcp[si] & bit) != 0))
+                                        trivial = 1;
+                                }
+                            }
+                        }
+                        if (trivial) {
+                            /* Uncounted MRU hit whose only effect is the
+                               data word itself; deferred to the journal,
+                               drained before the next Python callback. */
+                            journal[(*journal_n)++] =
+                                ((uint64_t)addr << 32) | (uint64_t)value;
+                            uncounted_stores++;
+                        } else {
+                            int64_t r = store_cb(addr, value, now);
+                            if (r < 0) { err = 3; goto done; }
+                            if (r) uncounted_stores++;
+                        }
+                        store_count++;
+                    }
+                }
+            }
+        }
+        if (committed >= n) break;
+
+        /* issue: oldest-first among READY entries */
+        int64_t ready_len = ready_n;
+        if (ready_n) {
+            for (int64_t s = 0; s < n_slots; s++) fu_free[s] = fu_limits[s];
+            int64_t n_issued = 0;
+            int kept_n = 0;
+            for (int pos = 0; pos < ready_n; pos++) {
+                int64_t idx = ready[pos];
+                uint8_t sl = slot_arr[idx];
+                int32_t avail = fu_free[sl];
+                if (avail) {
+                    fu_free[sl] = avail - 1;
+                    state[idx] = 2;
+                    int64_t lat = lat_arr[idx];
+                    if (is_load_arr[idx]) {
+                        n_loads++;
+                        uint32_t addr = addr_arr[idx];
+                        if (fwd_arr[idx] >= committed) {
+                            fwd_loads++;
+                            lat = fwd_lat;
+                        } else {
+                            int64_t ln = (int64_t)(addr >> line_shift);
+                            int64_t si = ln & set_mask;
+                            if (mru_line[si] == ln &&
+                                ((mru_pa[si] >> ((addr >> 2) & widx_mask)) & 1u)) {
+                                lat = l1_hit;
+                                served[0]++;
+                            } else {
+                                int64_t packed = load_cb(addr, now);
+                                if (packed < 0) { err = 3; goto done; }
+                                served[packed & 7]++;
+                                lat = packed >> 3;
+                                if (lat < 1) lat = 1;
+                            }
+                        }
+                        if (lat > l1_hit) { missf[idx] = 1; outstanding++; }
+                    }
+                    heap_push(heap, &heap_n,
+                              ((uint64_t)(now + lat) << IDX_BITS) | (uint64_t)idx);
+                    n_issued++;
+                    if (n_issued >= issue_w) {
+                        for (int j = pos + 1; j < ready_n; j++) ready[kept_n++] = ready[j];
+                        break;
+                    }
+                } else {
+                    ready[kept_n++] = idx;
+                }
+            }
+            ready_n = kept_n;
+        }
+
+        /* metrics sample: same Welford recurrence, same operation order */
+        {
+            double delta = (double)ready_len - all_mean;
+            int64_t total = all_n + 1;
+            all_mean += delta / (double)total;
+            all_m2 += delta * delta * (double)all_n / (double)total;
+            all_n = total;
+        }
+        if (outstanding > 0) {
+            miss_cycles++;
+            double delta = (double)ready_len - miss_mean;
+            int64_t total = miss_n + 1;
+            miss_mean += delta / (double)total;
+            miss_m2 += delta * delta * (double)miss_n / (double)total;
+            miss_n = total;
+        }
+        if (fetch_blocked) fetch_stall++;
+
+        /* dispatch: IFQ -> RUU/LSQ */
+        int64_t n_disp = 0;
+        while (disp_end < i_fetch && n_disp < decode_w
+               && disp_end - committed < ruu) {
+            int64_t idx = disp_end;
+            uint8_t im = is_mem_arr[idx];
+            if (im && lsq_used >= lsq) break;
+            disp_end++;
+            n_disp++;
+            int32_t d1 = dep1_arr[idx], d2 = dep2_arr[idx];
+            int p = 0;
+            if (d1 >= committed && state[d1] != 3) p = 1;
+            if (d2 >= committed && state[d2] != 3) p += 1;
+            if (p == 0) {
+                state[idx] = 1;
+                ready[ready_n++] = idx;  /* idx exceeds every queued index */
+            } else {
+                pending[idx] = (uint8_t)p;
+            }
+            if (im) lsq_used++;
+        }
+
+        /* fetch: fill the IFQ unless redirecting */
+        if (fetch_blocked && pending_resume >= 0 && now >= pending_resume) {
+            fetch_blocked = 0;
+            pending_resume = -1;
+        }
+        if (!fetch_blocked && i_fetch < n) {
+            int64_t room = ifq - (i_fetch - disp_end);
+            int64_t take = fetch_w < room ? fetch_w : room;
+            if (take > n - i_fetch) take = n - i_fetch;
+            if (take > 0) {
+                int64_t next_mp = next_mp_arr[i_fetch];
+                if (next_mp < i_fetch + take) {
+                    i_fetch = next_mp + 1;
+                    n_mispred++;
+                    fetch_blocked = 1;
+                } else {
+                    i_fetch += take;
+                }
+            }
+        }
+
+        /* advance the clock, skipping provably idle cycles */
+        int64_t next_now = now + 1;
+        /* ready_len (pre-issue), not ready_n: a full issue leaves the kept
+           list empty, but the reference only treats pre-issue-idle cycles
+           as skippable — matching it keeps the Welford gap partitioning
+           (and therefore the accumulators' rounding) bit-identical. */
+        if (idle_skip && ready_len == 0 && n_disp == 0
+            && (committed == disp_end || state[committed] != 3)
+            && (disp_end == i_fetch
+                || disp_end - committed >= ruu
+                || (is_mem_arr[disp_end] && lsq_used >= lsq))
+            && (fetch_blocked || i_fetch >= n || i_fetch - disp_end >= ifq)) {
+            int64_t skip_to = -1;
+            if (heap_n) skip_to = (int64_t)(heap[0] >> IDX_BITS);
+            if (fetch_blocked && pending_resume >= 0
+                && (skip_to < 0 || pending_resume < skip_to))
+                skip_to = pending_resume;
+            if (skip_to < 0) { err = 2; err_a = now; err_b = committed; goto done; }
+            if (skip_to < next_now) skip_to = next_now;
+            int64_t gap = skip_to - next_now;
+            if (gap > 0) {
+                double delta = 0.0 - all_mean;
+                int64_t total = all_n + gap;
+                all_mean += delta * (double)gap / (double)total;
+                all_m2 += delta * delta * (double)all_n * (double)gap / (double)total;
+                all_n = total;
+                if (outstanding > 0) {
+                    miss_cycles += gap;
+                    delta = 0.0 - miss_mean;
+                    total = miss_n + gap;
+                    miss_mean += delta * (double)gap / (double)total;
+                    miss_m2 += delta * delta * (double)miss_n * (double)gap
+                               / (double)total;
+                    miss_n = total;
+                }
+                if (fetch_blocked) fetch_stall += gap;
+            }
+            next_now = skip_to;
+        }
+        now = next_now;
+    }
+
+done:
+    free(state);
+    free(pending);
+    free(missf);
+    free(heap);
+    free(ready);
+    out_i[O_ERR] = err;
+    out_i[O_NOW] = now;
+    out_i[O_COMMITTED] = committed;
+    out_i[O_STORE_COUNT] = store_count;
+    out_i[O_N_LOADS] = n_loads;
+    out_i[O_FWD_LOADS] = fwd_loads;
+    out_i[O_N_MISPRED] = n_mispred;
+    out_i[O_FETCH_STALL] = fetch_stall;
+    out_i[O_MISS_CYCLES] = miss_cycles;
+    out_i[O_ALL_N] = all_n;
+    out_i[O_MISS_N] = miss_n;
+    out_i[O_UNCOUNTED_STORES] = uncounted_stores;
+    out_i[O_ERR_A] = err_a;
+    out_i[O_ERR_B] = err_b;
+    for (int c = 0; c < 8; c++) out_i[O_SERVED0 + c] = served[c];
+    out_d[D_ALL_MEAN] = all_mean;
+    out_d[D_ALL_M2] = all_m2;
+    out_d[D_MISS_MEAN] = miss_mean;
+    out_d[D_MISS_M2] = miss_m2;
+    return err;
+}
+"""
+
+_LOAD_CB = ctypes.CFUNCTYPE(ctypes.c_int64, ctypes.c_uint32, ctypes.c_int64)
+_STORE_CB = ctypes.CFUNCTYPE(
+    ctypes.c_int64, ctypes.c_uint32, ctypes.c_uint32, ctypes.c_int64
+)
+
+# Output-array indices (mirror the C enums).
+_O_ERR, _O_NOW, _O_COMMITTED, _O_STORE_COUNT, _O_N_LOADS, _O_FWD_LOADS = range(6)
+_O_N_MISPRED, _O_FETCH_STALL, _O_MISS_CYCLES, _O_ALL_N, _O_MISS_N = range(6, 11)
+_O_UNCOUNTED_STORES, _O_ERR_A, _O_ERR_B, _O_SERVED0 = range(11, 15)
+_OUT_I_LEN = _O_SERVED0 + 8
+
+# ---- build & cache ------------------------------------------------------------
+
+_KERNEL = None
+_TRIED = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CKERNEL_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro"
+
+
+def _build() -> ctypes._CFuncPtr | None:
+    cc = shutil.which("gcc") or shutil.which("cc")
+    if cc is None:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"coreloop-{digest}.so"
+    if not so_path.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as td:
+            src = Path(td) / "coreloop.c"
+            src.write_text(_C_SOURCE)
+            built = Path(td) / "coreloop.so"
+            # No -ffast-math: the Welford recurrences must stay exact
+            # IEEE doubles evaluated in source order.
+            result = subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", str(built), str(src)],
+                capture_output=True,
+                timeout=120,
+            )
+            if result.returncode != 0 or not built.exists():
+                return None
+            os.replace(built, so_path)
+    lib = ctypes.CDLL(str(so_path))
+    fn = lib.run_core
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [ctypes.c_void_p] * 21 + [
+        _LOAD_CB,
+        _STORE_CB,
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+    ]
+    return fn
+
+
+def _get_kernel():
+    global _KERNEL, _TRIED
+    if not _TRIED:
+        _TRIED = True
+        if not os.environ.get("REPRO_DISABLE_CKERNEL"):
+            try:
+                _KERNEL = _build()
+            except Exception:
+                _KERNEL = None
+    return _KERNEL
+
+
+def kernel_available() -> bool:
+    """True when the compiled loop is usable in this process."""
+    return _get_kernel() is not None
+
+
+# ---- invocation ---------------------------------------------------------------
+
+
+def _c_columns(trace, pre, hot) -> dict:
+    cols = pre.c_cols
+    if cols is None:
+        cols = pre.c_cols = {
+            "slot": np.ascontiguousarray(pre.slot, dtype=np.uint8),
+            "is_load": np.ascontiguousarray(trace.load_mask, dtype=np.uint8),
+            "fwd": np.ascontiguousarray(pre.fwd, dtype=np.int32),
+            "addr": np.ascontiguousarray(trace.addr, dtype=np.uint32),
+            "value": np.ascontiguousarray(trace.value, dtype=np.uint32),
+            "lat": np.ascontiguousarray(hot.latency, dtype=np.int32),
+            "dep1": np.ascontiguousarray(pre.dep1, dtype=np.int32),
+            "dep2": np.ascontiguousarray(pre.dep2, dtype=np.int32),
+            "is_mem": np.ascontiguousarray(trace.mem_mask, dtype=np.uint8),
+            "kind": (trace.load_mask + 2 * trace.store_mask).astype(np.uint8),
+            "cons_start": np.ascontiguousarray(pre.cons_start, dtype=np.int32),
+            "cons_flat": np.ascontiguousarray(pre.cons_flat, dtype=np.int32),
+        }
+        cols["n_stores"] = int(np.count_nonzero(trace.store_mask))
+    return cols
+
+
+def _c_bp(pre, n_entries: int, mispred, next_mp) -> tuple:
+    bp = pre.c_bp.get(n_entries)
+    if bp is None:
+        bp = pre.c_bp[n_entries] = (
+            np.asarray(mispred, dtype=np.uint8),
+            np.asarray(next_mp, dtype=np.int32),
+        )
+    return bp
+
+
+def run_compiled(
+    trace, pre, hot, cfg, l1, fu_limits, mispred, next_mp, hard_limit: int
+):
+    """Run the compiled loop; returns the tally tuple or ``None``.
+
+    ``None`` means "kernel unavailable" — nothing was executed and the
+    caller should run the Python loop. Deadlock/limit conditions raise
+    :class:`TraceError` exactly like the Python loop; exceptions from the
+    cache model propagate unchanged.
+    """
+    fn = _get_kernel()
+    if fn is None or l1.line_words > 32:
+        return None
+
+    n = len(trace)
+    cols = _c_columns(trace, pre, hot)
+    mp_arr, next_mp_arr = _c_bp(pre, cfg.bimod_entries, mispred, next_mp)
+
+    sets = l1._sets
+    set_mask = l1.set_mask
+    line_shift = l1.line_shift
+    widx_mask = l1.line_words - 1
+    n_sets = set_mask + 1
+    mru_line = np.full(n_sets, -1, dtype=np.int64)
+    mru_pa = np.zeros(n_sets, dtype=np.uint32)
+    mru_vcp = np.zeros(n_sets, dtype=np.uint32)
+    journal = np.zeros(cols["n_stores"] + 1, dtype=np.uint64)
+    journal_n = np.zeros(1, dtype=np.int64)
+    exc: list[BaseException] = []
+    load_word = l1.load_word
+    store_word = l1.store_word
+
+    if type(l1) is CompressionCache:
+        pair_mask = l1.policy.mask
+        trivial_mode = (
+            2 if (l1._prefix_params is not None and l1._pair_in_slot) else 0
+        )
+        prefix = l1._prefix_params or (0, 0, 0)
+
+        def _drain() -> None:
+            # Apply journaled trivial stores (MRU primary hits whose
+            # compressibility bit did not change: their only effect is
+            # the data word and the dirty flag). Nothing touched the
+            # cache since they were journaled, so their frames are still
+            # the MRU way of their sets.
+            count = journal_n[0]
+            if count:
+                for packed in journal[:count].tolist():
+                    addr = packed >> 32
+                    frame = sets[(addr >> line_shift) & set_mask][0]
+                    frame.pvals[(addr >> 2) & widx_mask] = packed & 0xFFFFFFFF
+                    frame.dirty = True
+                journal_n[0] = 0
+
+        def _refresh(ln: int) -> None:
+            # The only frames an access can touch live in the addressed
+            # set and the affiliated set.
+            for probe in (ln, ln ^ pair_mask):
+                s = probe & set_mask
+                frame = sets[s][0]
+                mru_line[s] = frame.line_no
+                mru_pa[s] = frame.pa
+                mru_vcp[s] = frame.vcp
+
+        def _on_load(addr: int, now: int) -> int:
+            try:
+                _drain()
+                packed = load_word(addr, now)
+                _refresh(addr >> line_shift)
+                return packed
+            except BaseException as e:  # noqa: BLE001 - relayed across C
+                exc.append(e)
+                return -1
+
+        def _on_store(addr: int, value: int, now: int) -> int:
+            try:
+                _drain()
+                hit = store_word(addr, value, now)
+                _refresh(addr >> line_shift)
+                return 1 if hit else 0
+            except BaseException as e:  # noqa: BLE001 - relayed across C
+                exc.append(e)
+                return -1
+
+    else:
+        full_mask = l1.full_mask
+        trivial_mode = 1
+        prefix = (0, 0, 0)
+
+        def _drain() -> None:
+            count = journal_n[0]
+            if count:
+                for packed in journal[:count].tolist():
+                    addr = packed >> 32
+                    line = sets[(addr >> line_shift) & set_mask][0]
+                    line.data[(addr >> 2) & widx_mask] = packed & 0xFFFFFFFF
+                    line.dirty = True
+                journal_n[0] = 0
+
+        def _refresh(ln: int) -> None:
+            s = ln & set_mask
+            line = sets[s][0]
+            if line.valid:
+                mru_line[s] = line.line_no
+                mru_pa[s] = full_mask
+            else:
+                mru_line[s] = -1
+                mru_pa[s] = 0
+
+        def _on_load(addr: int, now: int) -> int:
+            try:
+                _drain()
+                packed = load_word(addr, now)
+                _refresh(addr >> line_shift)
+                return packed
+            except BaseException as e:  # noqa: BLE001 - relayed across C
+                exc.append(e)
+                return -1
+
+        def _on_store(addr: int, value: int, now: int) -> int:
+            try:
+                _drain()
+                hit = store_word(addr, value, now)
+                if not hit:
+                    # An inline store hit mutates only the MRU line's
+                    # data words; the mirror keys stay valid (and the
+                    # hit itself is journaled C-side, never seen here).
+                    _refresh(addr >> line_shift)
+                return 1 if hit else 0
+            except BaseException as e:  # noqa: BLE001 - relayed across C
+                exc.append(e)
+                return -1
+
+    params = np.asarray(
+        [
+            n,
+            cfg.issue_width,
+            cfg.commit_width,
+            cfg.decode_width,
+            cfg.fetch_width,
+            cfg.ruu_size,
+            cfg.lsq_size,
+            cfg.ifq_size,
+            cfg.mispredict_penalty,
+            cfg.forward_latency,
+            1 if cfg.enable_idle_skip else 0,
+            l1.hit_latency,
+            len(fu_limits),
+            set_mask,
+            line_shift,
+            l1.line_words - 1,
+            hard_limit,
+            trivial_mode,
+            prefix[0],
+            prefix[1],
+            prefix[2],
+        ],
+        dtype=np.int64,
+    )
+    fu_arr = np.asarray(fu_limits, dtype=np.int32)
+    out_i = np.zeros(_OUT_I_LEN, dtype=np.int64)
+    out_d = np.zeros(4, dtype=np.float64)
+
+    load_cb = _LOAD_CB(_on_load)
+    store_cb = _STORE_CB(_on_store)
+    fn(
+        params.ctypes.data,
+        cols["slot"].ctypes.data,
+        cols["is_load"].ctypes.data,
+        cols["fwd"].ctypes.data,
+        cols["addr"].ctypes.data,
+        cols["value"].ctypes.data,
+        cols["lat"].ctypes.data,
+        cols["dep1"].ctypes.data,
+        cols["dep2"].ctypes.data,
+        cols["is_mem"].ctypes.data,
+        cols["kind"].ctypes.data,
+        mp_arr.ctypes.data,
+        next_mp_arr.ctypes.data,
+        cols["cons_start"].ctypes.data,
+        cols["cons_flat"].ctypes.data,
+        fu_arr.ctypes.data,
+        mru_line.ctypes.data,
+        mru_pa.ctypes.data,
+        mru_vcp.ctypes.data,
+        journal.ctypes.data,
+        journal_n.ctypes.data,
+        load_cb,
+        store_cb,
+        out_i.ctypes.data,
+        out_d.ctypes.data,
+    )
+    _drain()
+
+    err = int(out_i[_O_ERR])
+    if err == 3:
+        raise exc[0] if exc else TraceError("core callback failed")
+    if err == 1:
+        raise TraceError(
+            f"core exceeded {hard_limit} cycles at instruction "
+            f"{int(out_i[_O_ERR_B])}/{n}: probable deadlock"
+        )
+    if err == 2:
+        raise TraceError(
+            f"core deadlocked at cycle {int(out_i[_O_ERR_A])} "
+            f"({int(out_i[_O_ERR_B])}/{n} committed)"
+        )
+    if err:
+        return None  # allocation failure before any simulation step
+
+    return (
+        int(out_i[_O_NOW]),
+        int(out_i[_O_COMMITTED]),
+        int(out_i[_O_STORE_COUNT]),
+        int(out_i[_O_N_LOADS]),
+        int(out_i[_O_FWD_LOADS]),
+        int(out_i[_O_N_MISPRED]),
+        int(out_i[_O_FETCH_STALL]),
+        int(out_i[_O_MISS_CYCLES]),
+        int(out_i[_O_ALL_N]),
+        int(out_i[_O_MISS_N]),
+        int(out_i[_O_UNCOUNTED_STORES]),
+        [int(c) for c in out_i[_O_SERVED0 : _O_SERVED0 + 8]],
+        float(out_d[0]),
+        float(out_d[1]),
+        float(out_d[2]),
+        float(out_d[3]),
+    )

@@ -31,6 +31,7 @@ from repro.obs import phases as _phases
 from repro.obs import progress as _progress
 from repro.obs import span as _span
 from repro.obs import telemetry as _telemetry
+from repro.sim import backend as _backend
 from repro.sim import fault as _fault
 from repro.sim.parallel import default_workers
 from repro.sim.runner import inject_results, memo_stats
@@ -148,6 +149,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "and CI correctness cells)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="simulation backend for every cell: 'reference' (pure-python "
+        "loop) or 'fast' (compiled/vectorized, bit-identical); exported "
+        "as REPRO_BACKEND so matrix workers inherit it",
+    )
+    parser.add_argument(
         "--progress",
         choices=_progress.MODES,
         default=None,
@@ -168,6 +177,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _validate(args: argparse.Namespace) -> None:
     """Reject malformed arguments with typed, traceback-free errors."""
+    if args.backend is not None and args.backend not in _backend.BACKEND_NAMES:
+        raise UsageError(
+            f"unknown backend {args.backend!r}",
+            argument="--backend",
+            choices=_backend.BACKEND_NAMES,
+        )
     if args.seed < 0:
         raise UsageError("--seed must be non-negative", argument="--seed")
     if args.scale <= 0:
@@ -329,6 +344,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.progress:
         _progress.configure(args.progress)
+    if args.backend:
+        # Environment, not per-config: forked matrix workers inherit it.
+        _backend.set_default_backend(args.backend)
     if args.check:
         from repro.check.runtime import set_runtime_checks
 

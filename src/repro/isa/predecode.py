@@ -1,0 +1,256 @@
+"""Trace pre-decode: structure-of-arrays lowered once per program.
+
+The fast backend (:mod:`repro.cpu.fastcore`) replaces the reference
+core's per-dispatch bookkeeping — register-producer maps, consumer
+lists, per-address store lists — with flat arrays precomputed here, all
+pure functions of the trace:
+
+* ``dep1``/``dep2`` — index of the instruction producing each source
+  operand (the *last writer* of that register), or -1. At dispatch time
+  a dependence is live iff the producer has not yet completed; combined
+  with the in-order window this reproduces the reference's
+  ``reg_producer`` renaming exactly.
+* ``consumers`` (CSR: ``cons_start``/``cons_flat``) — the reverse edges,
+  so a completing instruction wakes exactly the entries the reference's
+  per-entry consumer lists would.
+* ``fwd`` — for each load, the youngest older store to the same address
+  (or -1). A load forwards iff that store has not committed; in-order
+  commit makes ``fwd >= committed`` equivalent to the reference's
+  in-flight store-list scan.
+* ``slot`` — functional-unit slot per instruction
+  (:data:`repro.cpu.resources._UNIT_INDEX` applied to the op column).
+* per-table-size bimod outcome streams (shared with ``TraceHot.bp``).
+
+Results are memoized on the :class:`~repro.isa.trace.Trace` object and
+— when a cache path has been attached via :func:`set_cache_path` —
+persisted as an ``.npz`` next to the on-disk trace archive, so one
+pre-decode serves every process that replays the same program.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.branch import mispredict_flags
+from repro.cpu.resources import _UNIT_INDEX
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+
+__all__ = ["Predecoded", "get_predecoded", "set_cache_path"]
+
+#: Bump when the array layout or semantics change: stale cache entries
+#: are regenerated, never misread.
+PREDECODE_VERSION = 1
+
+_SAVED_COLUMNS = ("dep1", "dep2", "cons_start", "cons_flat", "fwd", "slot")
+
+
+class Predecoded:
+    """Flat derived columns of one trace (see module docstring)."""
+
+    __slots__ = (
+        "n",
+        "dep1",
+        "dep2",
+        "cons_start",
+        "cons_flat",
+        "fwd",
+        "slot",
+        "bp",
+        "next_mp",
+        "issue_rows",
+        "disp_rows",
+        "kind",
+        "c_cols",
+        "c_bp",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        dep1: list[int],
+        dep2: list[int],
+        cons_start: list[int],
+        cons_flat: list[int],
+        fwd: list[int],
+        slot: list[int],
+    ) -> None:
+        self.n = n
+        self.dep1 = dep1
+        self.dep2 = dep2
+        self.cons_start = cons_start
+        self.cons_flat = cons_flat
+        self.fwd = fwd
+        self.slot = slot
+        #: table size -> (mispredict flags, n_branches, n_mispredicts),
+        #: filled lazily per predictor geometry.
+        self.bp: dict[int, tuple[list[bool], int, int]] = {}
+        #: table size -> next-mispredict index array (fast-core fetch).
+        self.next_mp: dict[int, list[int]] = {}
+        #: Per-stage row tuples and the load/store kind column, built
+        #: lazily by the fast core and reused across runs of the same
+        #: trace (never persisted — cheap to rebuild).
+        self.issue_rows: list[tuple] | None = None
+        self.disp_rows: list[tuple] | None = None
+        self.kind: bytes | None = None
+        #: Contiguous array views for the compiled kernel (lazy):
+        #: column name -> ndarray, and predictor geometry ->
+        #: (mispredict flags, next-mispredict index) array pair.
+        self.c_cols: dict | None = None
+        self.c_bp: dict[int, tuple] = {}
+
+    def bimod_outcomes(self, trace: Trace, n_entries: int):
+        """Precomputed fresh-table bimod stream for *n_entries* counters.
+
+        Shares the entries in ``trace.hot().bp`` so the reference and
+        fast backends never compute the same stream twice.
+        """
+        pre = self.bp.get(n_entries)
+        if pre is None:
+            hot = trace.hot()
+            pre = hot.bp.get(n_entries)
+            if pre is None:
+                pre = mispredict_flags(hot.pc, hot.taken, hot.is_branch, n_entries)
+                hot.bp[n_entries] = pre
+            self.bp[n_entries] = pre
+        return pre
+
+
+def _compute(trace: Trace) -> Predecoded:
+    n = len(trace)
+    dep1 = [-1] * n
+    dep2 = [-1] * n
+    fwd = [-1] * n
+    slot = np.asarray(_UNIT_INDEX, dtype=np.int64)[trace.op].tolist()
+
+    t_dest = trace.dest.tolist()
+    t_src1 = trace.src1.tolist()
+    t_src2 = trace.src2.tolist()
+    t_op = trace.op.tolist()
+    t_addr = trace.addr.tolist()
+
+    op_load = int(OpClass.LOAD)
+    op_store = int(OpClass.STORE)
+
+    last_writer: dict[int, int] = {}
+    last_store: dict[int, int] = {}
+    n_edges = 0
+    for i in range(n):
+        s1 = t_src1[i]
+        if s1 >= 0:
+            d = last_writer.get(s1, -1)
+            if d >= 0:
+                dep1[i] = d
+                n_edges += 1
+        s2 = t_src2[i]
+        if s2 >= 0:
+            d = last_writer.get(s2, -1)
+            if d >= 0:
+                dep2[i] = d
+                n_edges += 1
+        dest = t_dest[i]
+        if dest >= 0:
+            last_writer[dest] = i
+        op = t_op[i]
+        if op == op_load:
+            fwd[i] = last_store.get(t_addr[i], -1)
+        elif op == op_store:
+            last_store[t_addr[i]] = i
+
+    # Reverse edges in CSR form: counting sort by producer, preserving
+    # consumer (program) order within each producer — the order the
+    # reference appends to its per-entry consumer lists. A dual-source
+    # consumer (dep1 == dep2) appears twice, matching the two
+    # ``wire_source`` registrations.
+    counts = [0] * n
+    for i in range(n):
+        d = dep1[i]
+        if d >= 0:
+            counts[d] += 1
+        d = dep2[i]
+        if d >= 0:
+            counts[d] += 1
+    cons_start = [0] * (n + 1)
+    acc = 0
+    for j in range(n):
+        cons_start[j] = acc
+        acc += counts[j]
+    cons_start[n] = acc
+    fill = cons_start[:n]
+    cons_flat = [0] * n_edges
+    for i in range(n):
+        d = dep1[i]
+        if d >= 0:
+            cons_flat[fill[d]] = i
+            fill[d] += 1
+        d = dep2[i]
+        if d >= 0:
+            cons_flat[fill[d]] = i
+            fill[d] += 1
+    return Predecoded(n, dep1, dep2, cons_start, cons_flat, fwd, slot)
+
+
+def set_cache_path(trace: Trace, archive_path: str | Path | None) -> None:
+    """Attach the on-disk location for this trace's pre-decode arrays.
+
+    *archive_path* is the trace archive's own cache path; the pre-decode
+    sidecar lives next to it with a ``.predecode.npz`` suffix. ``None``
+    detaches (memory-only pre-decode).
+    """
+    if archive_path is None:
+        trace._predecode_path = None
+        return
+    trace._predecode_path = Path(archive_path).with_suffix(".predecode.npz")
+
+
+def _load_npz(path: Path, n: int) -> Predecoded | None:
+    try:
+        with np.load(path) as data:
+            if int(data["version"]) != PREDECODE_VERSION or int(data["n"]) != n:
+                return None
+            cols = {name: data[name].tolist() for name in _SAVED_COLUMNS}
+    except (OSError, KeyError, ValueError):
+        return None
+    if len(cols["dep1"]) != n or len(cols["cons_start"]) != n + 1:
+        return None
+    return Predecoded(n, **cols)
+
+
+def _store_npz(path: Path, pre: Predecoded) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        np.savez_compressed(
+            tmp,
+            version=np.int64(PREDECODE_VERSION),
+            n=np.int64(pre.n),
+            dep1=np.asarray(pre.dep1, dtype=np.int64),
+            dep2=np.asarray(pre.dep2, dtype=np.int64),
+            cons_start=np.asarray(pre.cons_start, dtype=np.int64),
+            cons_flat=np.asarray(pre.cons_flat, dtype=np.int64),
+            fwd=np.asarray(pre.fwd, dtype=np.int64),
+            slot=np.asarray(pre.slot, dtype=np.int64),
+        )
+        # np.savez appends .npz to names lacking it; normalize then publish.
+        produced = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+        produced.replace(path)
+    except OSError:
+        pass  # best-effort, like the trace disk cache
+
+
+def get_predecoded(trace: Trace) -> Predecoded:
+    """Pre-decoded arrays for *trace* (memoized; disk-cached when wired)."""
+    pre = trace._predecoded
+    if pre is not None:
+        return pre
+    path: Path | None = trace._predecode_path
+    if path is not None:
+        pre = _load_npz(path, len(trace))
+    if pre is None:
+        pre = _compute(trace)
+        if path is not None:
+            _store_npz(path, pre)
+    trace._predecoded = pre
+    return pre

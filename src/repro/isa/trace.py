@@ -98,6 +98,8 @@ class Trace:
         "taken",
         "name",
         "_hot",
+        "_predecoded",
+        "_predecode_path",
     )
 
     def __init__(
@@ -135,6 +137,10 @@ class Trace:
         self.taken = taken
         self.name = name
         self._hot: TraceHot | None = None
+        #: Fast-backend pre-decode memo + optional on-disk sidecar path
+        #: (managed by repro.isa.predecode; None until first use).
+        self._predecoded = None
+        self._predecode_path = None
 
     def hot(self) -> TraceHot:
         """Native-list views of all columns (cached; see :class:`TraceHot`)."""

@@ -37,6 +37,13 @@ class MainMemory:
         self.bus = bus if bus is not None else BusMeter()
         self.n_reads = 0
         self.n_writes = 0
+        #: Optional compressibility table mirroring the image (fast
+        #: backend); kept consistent by the write paths below.
+        self.comp_table = None
+
+    def attach_comp_table(self, table) -> None:
+        """Mirror image content in *table* (an ``ImageCompTable``)."""
+        self.comp_table = table
 
     # ---- line transfers ------------------------------------------------------
 
@@ -68,6 +75,7 @@ class MainMemory:
         *,
         mask: int | np.ndarray | None = None,
         bus_words: int | None = None,
+        comp: int | None = None,
     ) -> None:
         """Write back a (possibly partial) line of words.
 
@@ -75,6 +83,10 @@ class MainMemory:
         word *i*) or a bool sequence. A promoted affiliated line in the
         CPP design can be dirty while having holes; memory retains its
         old contents for masked-out words.
+
+        *comp*, when given, is the written words' compressibility mask
+        under the attached comp table's scheme — forwarded so the table
+        updates without re-classifying.
         """
         if mask is not None:
             mask = as_mask(mask)
@@ -89,6 +101,10 @@ class MainMemory:
         else:
             self.image.write_words_masked(addr, values, mask)
             n_valid = mask.bit_count()
+        if self.comp_table is not None:
+            self.comp_table.note_write(
+                addr, values, full if mask is None else mask, comp
+            )
         self.bus.record(
             TrafficKind.WRITEBACK, n_valid if bus_words is None else bus_words
         )
@@ -103,6 +119,8 @@ class MainMemory:
     def poke_word(self, addr: int, value: int) -> None:
         """Write a word without traffic accounting (test setup)."""
         self.image.write_word(addr, value)
+        if self.comp_table is not None:
+            self.comp_table.invalidate(addr)
 
     def word_addrs(self, addr: int, n_words: int) -> np.ndarray:
         """Addresses of the *n_words* words starting at *addr* (uint32)."""

@@ -16,6 +16,7 @@ from repro.caches.hierarchy import HIERARCHY_BUILDERS as _ALL_BUILDERS
 from repro.caches.hierarchy import HierarchyParams
 from repro.cpu.pipeline import CoreConfig
 from repro.errors import ConfigurationError
+from repro.sim.backend import BACKEND_NAMES
 
 __all__ = ["SimConfig", "SIM_CONFIGS", "CONFIG_NAMES", "MEMORY_LATENCY"]
 
@@ -31,12 +32,22 @@ class SimConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     memory_latency: int = MEMORY_LATENCY
     miss_scale: float = 1.0  #: scales L2-hit and memory latency (Figure 14)
+    #: Simulation backend ("reference" | "fast"); "" defers to the
+    #: process default (the REPRO_BACKEND environment variable). Both
+    #: backends produce bit-identical results — this knob only selects
+    #: the execution strategy.
+    backend: str = ""
 
     def __post_init__(self) -> None:
         if self.cache_config.upper() not in _ALL_BUILDERS:
             raise ConfigurationError(
                 f"unknown cache config {self.cache_config!r}; "
                 f"choose from {tuple(_ALL_BUILDERS)}"
+            )
+        if self.backend and self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {BACKEND_NAMES}"
             )
         if self.memory_latency < 1:
             raise ConfigurationError("memory latency must be positive")

@@ -9,9 +9,12 @@ methodology depends on.
 from __future__ import annotations
 
 from repro.caches.hierarchy import build_hierarchy
-from repro.cpu.pipeline import OutOfOrderCore
+from repro.caches.interface import MemoryPort
+from repro.compression.comptable import ImageCompTable
+from repro.inject import hooks as _inject
 from repro.memory.main_memory import MainMemory
 from repro.obs.metrics import REGISTRY
+from repro.sim.backend import create_core, resolve_backend
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
 from repro.workloads.base import Program
@@ -30,15 +33,27 @@ class Machine:
 
     def run(self, program: Program) -> SimResult:
         """Execute *program* to completion on a fresh machine instance."""
+        backend = resolve_backend(self.config.backend)
         memory = MainMemory(latency=self.config.effective_memory_latency())
         hierarchy = build_hierarchy(
             self.config.cache_config,
             memory,
             self.config.effective_hierarchy(),
         )
-        core = OutOfOrderCore(
-            hierarchy, self.config.core, verify_loads=self.verify_loads
+        core = create_core(
+            backend, hierarchy, self.config.core, verify_loads=self.verify_loads
         )
+        if backend == "fast" and not _inject.ACTIVE:
+            # Precompute whole-image compressibility so compressed bus
+            # packing and fill classification become table probes. Only
+            # the off-chip port's scheme matters: every classification of
+            # memory-sourced words happens under it. Fault-injection runs
+            # skip the table — their hooks mutate values in flight.
+            port = getattr(hierarchy.l2, "downstream", None)
+            if isinstance(port, MemoryPort):
+                memory.attach_comp_table(
+                    ImageCompTable(memory.image, port.scheme)
+                )
         outcome = core.run(program.trace)
         bus = memory.bus
         # Publish everything measured into the one queryable namespace.

@@ -61,13 +61,20 @@ COMPUTE_LOG_FILENAME = "compute.log"
 
 
 def default_code_version() -> str:
-    """The store's notion of "which code produced this": package version
-    plus the workload generators' version stamp (either changing makes
-    every old record address stale, never wrong)."""
+    """The store's notion of "which code produced this": package version,
+    the workload generators' version stamp, and the resolved simulation
+    backend (any changing makes every old record address stale, never
+    wrong). Backends are bit-identical by construction, but the salt
+    means a backend bug can never silently poison the other backend's
+    cached cells — and ``fsck``/diff tooling can attribute a record."""
     import repro
+    from repro.sim.backend import default_backend
     from repro.workloads.registry import GENERATOR_VERSION
 
-    return f"{getattr(repro, '__version__', '0')}+gen{GENERATOR_VERSION}"
+    return (
+        f"{getattr(repro, '__version__', '0')}+gen{GENERATOR_VERSION}"
+        f"+be.{default_backend()}"
+    )
 
 
 def default_store_dir() -> Path:

@@ -1,0 +1,170 @@
+"""ImageCompTable: O(1) compressibility probes mirror the scheme exactly."""
+
+import pytest
+
+from repro.compression.comptable import ImageCompTable
+from repro.compression.scheme import CompressionScheme
+from repro.memory.image import PAGE_WORDS, MemoryImage
+
+BASE = 0x1000_0000
+LINE_WORDS = 16
+
+
+def brute_mask(scheme, image, addr, n_words):
+    mask = 0
+    for i in range(n_words):
+        a = addr + 4 * i
+        if scheme.is_compressible(image.read_word(a), a):
+            mask |= 1 << i
+    return mask
+
+
+def seeded_image():
+    image = MemoryImage()
+    # A mix that hits every compression class: small positives, small
+    # negatives (sign extension), pointers into the same region, junk.
+    for i in range(4 * LINE_WORDS):
+        a = BASE + 4 * i
+        value = [7 + i, (-3 - i) & 0xFFFFFFFF, BASE + 4 * i, 0xDEAD0000 + i][i % 4]
+        image.write_word(a, value)
+    return image
+
+
+class TestProbe:
+    def test_line_comp_matches_scheme_classification(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        for line in range(4):
+            addr = BASE + 4 * LINE_WORDS * line
+            assert table.line_comp(addr, LINE_WORDS) == brute_mask(
+                scheme, image, addr, LINE_WORDS
+            )
+
+    def test_untouched_page_classifies_as_all_compressible_zeros(self):
+        table = ImageCompTable(MemoryImage(), CompressionScheme())
+        # Zero-fill-on-demand words are small values — all compressible.
+        assert table.line_comp(BASE, LINE_WORDS) == (1 << LINE_WORDS) - 1
+
+    def test_probe_is_lazy_per_page(self):
+        table = ImageCompTable(seeded_image(), CompressionScheme())
+        assert table.n_pages == 0
+        table.line_comp(BASE, LINE_WORDS)
+        assert table.n_pages == 1
+
+    def test_strict_unmapped_page_returns_none(self):
+        image = MemoryImage(strict=True)
+        table = ImageCompTable(image, CompressionScheme())
+        assert table.line_comp(BASE, LINE_WORDS) is None
+
+    def test_nondefault_scheme_width(self):
+        scheme = CompressionScheme(payload_bits=12)
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )
+
+
+class TestIncrementalMaintenance:
+    def test_note_write_flips_bits_both_ways(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        table.line_comp(BASE, LINE_WORDS)  # build the page
+        # Make word 0 incompressible and word 1 compressible.
+        values = [0xBAD0_0001, 5]
+        image.write_words(BASE, values)
+        table.note_write(BASE, values, mask=0b11)
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )
+
+    def test_note_write_honours_mask_holes(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        before = table.line_comp(BASE, LINE_WORDS)
+        # Only word 1 selected: word 0's stale value must keep its bit.
+        image.write_word(BASE + 4, 0xFEED_BEEF)
+        table.note_write(BASE, [0, 0xFEED_BEEF], mask=0b10)
+        after = table.line_comp(BASE, LINE_WORDS)
+        assert after == (before & ~0b10) | (after & 0b10)
+        assert after == brute_mask(scheme, image, BASE, LINE_WORDS)
+
+    def test_note_write_accepts_precomputed_comp(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        table.line_comp(BASE, LINE_WORDS)
+        image.write_words(BASE, [3, 0xCAFE_0001])
+        # Writer supplies its own verdicts (the VCP memo path).
+        table.note_write(BASE, [3, 0xCAFE_0001], mask=0b11, comp=0b01)
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )
+
+    def test_write_to_unbuilt_page_stays_lazy(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        image.write_word(BASE, 0xBAD0_0001)
+        table.note_write(BASE, [0xBAD0_0001], mask=0b1)
+        assert table.n_pages == 0
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )
+
+    def test_page_straddling_write_invalidates_both_pages(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        last = BASE + 4096 - 4  # final word of the page
+        table.line_comp(BASE, LINE_WORDS)
+        table.line_comp(BASE + 4096, LINE_WORDS)
+        assert table.n_pages == 2
+        image.write_words(last, [1, 2])
+        table.note_write(last, [1, 2], mask=0b11)
+        assert table.n_pages == 0
+
+    def test_invalidate_forces_rebuild(self):
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        table.line_comp(BASE, LINE_WORDS)
+        image.write_word(BASE, 0xBAD0_0001)  # mutate behind the table's back
+        table.invalidate(BASE)
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )
+
+
+class TestMainMemoryIntegration:
+    def test_writeback_keeps_table_in_sync(self):
+        from repro.memory.main_memory import MainMemory
+
+        scheme = CompressionScheme()
+        mem = MainMemory(MemoryImage(), latency=100)
+        table = ImageCompTable(mem.image, scheme)
+        mem.attach_comp_table(table)
+        table.line_comp(BASE, LINE_WORDS)
+        mem.write_line(BASE, [0xBAD0_0001] + [9] * (LINE_WORDS - 1))
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, mem.image, BASE, LINE_WORDS
+        )
+
+
+@pytest.mark.parametrize("n_words", [4, 8, 16, 32])
+def test_probe_width_masks_correctly(n_words):
+    table = ImageCompTable(MemoryImage(), CompressionScheme())
+    got = table.line_comp(BASE, n_words)
+    assert got == (1 << n_words) - 1
+    assert got.bit_length() <= n_words
+
+
+def test_page_words_constant_matches_mask_width():
+    # The packed page mask must cover exactly PAGE_WORDS bits.
+    table = ImageCompTable(MemoryImage(), CompressionScheme())
+    table.line_comp(BASE, LINE_WORDS)
+    (mask,) = table._masks.values()
+    assert mask.bit_length() <= PAGE_WORDS

@@ -1,0 +1,101 @@
+"""Compiled core loop: availability gating, cache dir override, fallback.
+
+The C kernel is an *optional* accelerator under the ``fast`` backend —
+every test here pins the contract that disabling it (or lacking a
+compiler) silently falls back to the pure-Python fast loop with
+bit-identical results.
+"""
+
+import json
+
+import pytest
+
+from repro.cpu import ckernel
+from repro.check.diff import BackendDiffRunner, random_program
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.results_io import result_to_full_dict
+
+
+def _reset_kernel_state(monkeypatch):
+    """Force the next kernel lookup to re-evaluate the environment."""
+    monkeypatch.setattr(ckernel, "_TRIED", False)
+    monkeypatch.setattr(ckernel, "_KERNEL", None)
+
+
+def _full_dict(program, backend):
+    config = SimConfig(cache_config="CPP", backend=backend)
+    result = Machine(config).run(program)
+    return json.loads(json.dumps(result_to_full_dict(result)))
+
+
+class TestAvailabilityGate:
+    def test_disable_env_turns_kernel_off(self, monkeypatch):
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.setenv("REPRO_DISABLE_CKERNEL", "1")
+        assert not ckernel.kernel_available()
+
+    def test_missing_compiler_means_unavailable(self, monkeypatch):
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.delenv("REPRO_DISABLE_CKERNEL", raising=False)
+        monkeypatch.setattr(ckernel.shutil, "which", lambda name: None)
+        assert not ckernel.kernel_available()
+
+    def test_failed_build_means_unavailable_not_crash(self, monkeypatch):
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.delenv("REPRO_DISABLE_CKERNEL", raising=False)
+
+        def boom():
+            raise OSError("simulated build explosion")
+
+        monkeypatch.setattr(ckernel, "_build", boom)
+        assert not ckernel.kernel_available()
+
+    def test_lookup_is_cached_after_first_try(self, monkeypatch):
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.setenv("REPRO_DISABLE_CKERNEL", "1")
+        assert not ckernel.kernel_available()
+        # Clearing the env after the first probe must not re-enable it:
+        # the verdict is per-process, matching one compile per process.
+        monkeypatch.delenv("REPRO_DISABLE_CKERNEL")
+        assert not ckernel.kernel_available()
+
+
+class TestCacheDir:
+    def test_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CKERNEL_DIR", str(tmp_path))
+        assert ckernel._cache_dir() == tmp_path
+
+    def test_xdg_cache_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CKERNEL_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert ckernel._cache_dir() == tmp_path / "repro"
+
+    def test_build_populates_the_override_dir(self, monkeypatch, tmp_path):
+        if ckernel.shutil.which("gcc") is None and ckernel.shutil.which("cc") is None:
+            pytest.skip("no C compiler on this host")
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.delenv("REPRO_DISABLE_CKERNEL", raising=False)
+        monkeypatch.setenv("REPRO_CKERNEL_DIR", str(tmp_path))
+        assert ckernel.kernel_available()
+        assert list(tmp_path.glob("coreloop-*.so"))
+
+
+class TestFallbackEquivalence:
+    def test_python_fast_loop_matches_reference_without_kernel(self, monkeypatch):
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.setenv("REPRO_DISABLE_CKERNEL", "1")
+        assert not ckernel.kernel_available()
+        divergence = BackendDiffRunner("CPP").run(random_program(0, n_ops=400))
+        assert divergence is None, divergence.describe()
+
+    def test_kernel_and_python_fast_loops_agree(self, monkeypatch):
+        """fast-with-kernel vs fast-without-kernel, leaf for leaf."""
+        if not ckernel.kernel_available():
+            pytest.skip("compiled kernel unavailable on this host")
+        program = random_program(1, n_ops=400)
+        with_kernel = _full_dict(program, "fast")
+        _reset_kernel_state(monkeypatch)
+        monkeypatch.setenv("REPRO_DISABLE_CKERNEL", "1")
+        without_kernel = _full_dict(program, "fast")
+        assert with_kernel == without_kernel

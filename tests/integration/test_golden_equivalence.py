@@ -48,10 +48,13 @@ def _parse_key(key: str) -> tuple[str, str, int, float, float]:
     )
 
 
+@pytest.mark.parametrize("backend", ["reference", "fast"])
 @pytest.mark.parametrize("key", sorted(_CELLS))
-def test_golden_cell_bit_identical(key: str) -> None:
+def test_golden_cell_bit_identical(key: str, backend: str) -> None:
     workload, config, seed, scale, miss_scale = _parse_key(key)
-    sim_config = SimConfig(cache_config=config).with_miss_scale(miss_scale)
+    sim_config = SimConfig(cache_config=config, backend=backend).with_miss_scale(
+        miss_scale
+    )
     result = run_workload(
         workload, sim_config, seed=seed, scale=scale, use_cache=False
     )
@@ -60,7 +63,7 @@ def test_golden_cell_bit_identical(key: str) -> None:
     # JSON round trip: exactly what the fixture stores (int/float/str
     # survive bit for bit; tuples become lists).
     got = json.loads(json.dumps(got))
-    assert got == want, f"golden mismatch for {key}"
+    assert got == want, f"golden mismatch for {key} under backend={backend}"
 
 
 def test_golden_fixture_covers_all_builders() -> None:

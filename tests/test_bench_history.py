@@ -4,18 +4,48 @@ import importlib.util
 import json
 from pathlib import Path
 
+import pytest
+
 _TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_baseline.py"
 _spec = importlib.util.spec_from_file_location("bench_baseline", _TOOL)
 bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 
-def _entry(bc: int, cpp: int) -> dict:
+def _cell(rate: int, cycles: int = 100) -> dict:
+    return {"insn_per_sec": rate, "cycles": cycles}
+
+
+def _measured(ref_bc: int, fast_bc: int) -> dict:
+    """A minimal schema-2 grid (one workload, one config per backend)."""
+    return {
+        "schema": 2,
+        "seed": 1,
+        "reps": 1,
+        "workloads": {"spec95.130.li": {"scale": 0.3, "instructions": 1000}},
+        "backends": {
+            "reference": {"spec95.130.li": {"BC": _cell(ref_bc)}},
+            "fast": {"spec95.130.li": {"BC": _cell(fast_bc)}},
+        },
+    }
+
+
+def _v1_entry(bc: int, cpp: int) -> dict:
     return {
         "schema": 1,
         "configs": {
             "BC": {"insn_per_sec": bc, "cycles": 100},
             "CPP": {"insn_per_sec": cpp, "cycles": 200},
+        },
+    }
+
+
+def _v2_entry(backend: str, bc: int) -> dict:
+    return {
+        "schema": 2,
+        "backend": backend,
+        "workloads": {
+            "spec95.130.li": {"scale": 0.3, "configs": {"BC": _cell(bc)}}
         },
     }
 
@@ -26,13 +56,16 @@ class TestHistoryFile:
 
     def test_append_then_load_roundtrip(self, tmp_path):
         path = tmp_path / "hist.jsonl"
-        recorded = bench.append_history(_entry(100, 200), path)
-        assert "recorded" in recorded
-        bench.append_history(_entry(90, 210), path)
+        rows = bench.append_history(_measured(100, 900), path)
+        assert all("recorded" in row for row in rows)
+        assert sorted(row["backend"] for row in rows) == ["fast", "reference"]
         loaded = bench.load_history(path)
         assert len(loaded) == 2
-        assert loaded[0]["configs"]["BC"]["insn_per_sec"] == 100
-        assert loaded[1]["configs"]["BC"]["insn_per_sec"] == 90
+        by_backend = {row["backend"]: row for row in loaded}
+        wl = by_backend["reference"]["workloads"]["spec95.130.li"]
+        assert wl["configs"]["BC"]["insn_per_sec"] == 100
+        wl = by_backend["fast"]["workloads"]["spec95.130.li"]
+        assert wl["configs"]["BC"]["insn_per_sec"] == 900
 
     def test_load_skips_corrupt_and_foreign_lines(self, tmp_path):
         path = tmp_path / "hist.jsonl"
@@ -40,36 +73,113 @@ class TestHistoryFile:
             "not json\n"
             + json.dumps({"unrelated": True})
             + "\n"
-            + json.dumps(_entry(100, 200))
+            + json.dumps(_v2_entry("fast", 100))
             + "\n"
         )
         loaded = bench.load_history(path)
         assert len(loaded) == 1
 
+    def test_v1_rows_still_load(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps(_v1_entry(100, 200)) + "\n")
+        assert len(bench.load_history(path)) == 1
+
 
 class TestTrendWarnings:
     def test_short_history_never_warns(self):
-        assert bench.trend_warnings([_entry(100, 200), _entry(90, 190)]) == []
+        history = [_v2_entry("fast", 100), _v2_entry("fast", 90)]
+        assert bench.trend_warnings(history) == []
 
-    def test_three_strict_drops_warn_per_config(self):
-        history = [_entry(100, 200), _entry(90, 210), _entry(80, 220)]
+    def test_three_strict_drops_warn_per_cell(self):
+        history = [
+            _v2_entry("fast", 100),
+            _v2_entry("fast", 90),
+            _v2_entry("fast", 80),
+        ]
         warnings = bench.trend_warnings(history)
         assert len(warnings) == 1
-        assert warnings[0].startswith("BC:")
+        assert warnings[0].startswith("fast/spec95.130.li/BC:")
         assert "100" in warnings[0] and "80" in warnings[0]
 
+    def test_backends_tracked_independently(self):
+        # fast falls three times; reference is flat — only fast warns.
+        history = [
+            _v2_entry("fast", 100),
+            _v2_entry("reference", 50),
+            _v2_entry("fast", 90),
+            _v2_entry("reference", 50),
+            _v2_entry("fast", 80),
+            _v2_entry("reference", 50),
+        ]
+        warnings = bench.trend_warnings(history)
+        assert len(warnings) == 1 and warnings[0].startswith("fast/")
+
     def test_flat_or_recovering_series_does_not_warn(self):
-        flat = [_entry(100, 200), _entry(100, 200), _entry(100, 200)]
-        recovering = [_entry(100, 200), _entry(80, 200), _entry(90, 200)]
+        flat = [_v2_entry("fast", 100)] * 3
+        recovering = [
+            _v2_entry("fast", 100),
+            _v2_entry("fast", 80),
+            _v2_entry("fast", 90),
+        ]
         assert bench.trend_warnings(flat) == []
         assert bench.trend_warnings(recovering) == []
 
     def test_only_last_window_considered(self):
         history = [
-            _entry(50, 200),  # old low point is irrelevant
-            _entry(100, 200),
-            _entry(90, 200),
-            _entry(80, 200),
+            _v2_entry("fast", 50),  # old low point is irrelevant
+            _v2_entry("fast", 100),
+            _v2_entry("fast", 90),
+            _v2_entry("fast", 80),
         ]
         warnings = bench.trend_warnings(history)
         assert len(warnings) == 1 and "100" in warnings[0]
+
+    def test_v1_rows_fold_into_reference_series(self):
+        history = [
+            _v1_entry(100, 200),
+            _v1_entry(90, 200),
+            _v2_entry("reference", 80),
+        ]
+        # v1 rows count toward the reference/spec95.130.li series, so a
+        # fall that spans the schema change still warns.
+        warnings = bench.trend_warnings(history)
+        assert any(w.startswith("reference/spec95.130.li/BC:") for w in warnings)
+
+
+class TestCheck:
+    def test_backend_cycle_divergence_fails(self):
+        measured = _measured(100, 900)
+        measured["backends"]["fast"]["spec95.130.li"]["BC"]["cycles"] = 101
+        baseline = json.loads(json.dumps(measured))  # identical baseline
+        problems = bench.check(measured, baseline, tolerance=0.5)
+        assert any("backends diverged" in p for p in problems)
+
+    def test_identical_grid_passes(self):
+        measured = _measured(100, 900)
+        baseline = json.loads(json.dumps(measured))
+        assert bench.check(measured, baseline, tolerance=0.5) == []
+
+    def test_throughput_floor_gates_each_backend(self):
+        measured = _measured(100, 900)
+        baseline = json.loads(json.dumps(measured))
+        measured["backends"]["fast"]["spec95.130.li"]["BC"]["insn_per_sec"] = 100
+        problems = bench.check(measured, baseline, tolerance=0.5)
+        assert len(problems) == 1 and problems[0].startswith("fast/")
+
+    def test_v1_baseline_demands_rerecord(self):
+        problems = bench.check(_measured(100, 900), _v1_entry(1, 2), 0.5)
+        assert problems and "re-record" in problems[0]
+
+
+class TestCLI:
+    def test_unknown_backend_flag_errors_before_measuring(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            bench.main(["--backends", "bogus"])
+        assert exc.value.code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_record_refuses_a_partial_backend_grid(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            bench.main(["--record", "--backends", "fast"])
+        assert exc.value.code == 2
+        assert "full backend grid" in capsys.readouterr().err

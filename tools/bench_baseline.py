@@ -1,23 +1,27 @@
 #!/usr/bin/env python
 """Measure, record, and gate full-machine simulator throughput.
 
-Drives the same scenario as
-``benchmarks/bench_micro_simulator.py::test_full_machine_instructions_per_second``
-(spec95.130.li, seed 1, scale 0.3, BC and CPP) and compares against the
-committed baseline ``BENCH_micro.json``:
+Schema 2 measures a ``backends x workloads x configs`` grid — both
+simulation backends (``reference`` and ``fast``) over the cache-bound
+SPEC cell and a pointer-chasing Olden cell, so backend wins can't be
+tuned to one access pattern — and compares against the committed
+baseline ``BENCH_micro.json``:
 
-* ``--record``   — measure, (over)write the baseline file, and append a
-  timestamped entry to ``BENCH_history.jsonl`` (the baseline is always
-  the latest snapshot; the history is the full recorded series);
-* ``--check``    — measure and exit non-zero on regression: simulated
-  cycle counts must match the baseline **exactly** (the bit-identity
-  contract — any drift is a correctness bug, not noise), and throughput
-  must stay within ``--tolerance`` of the recorded insn/s (a band, since
-  shared CI runners are noisy). Additionally *warns* (without failing)
-  when the last three recorded runs trend monotonically downward — slow
-  leaks that never trip the tolerance band in one step still surface;
-* ``--profile N`` — additionally run one CPP pass under cProfile and
-  print the N hottest functions;
+* ``--record``   — measure, (over)write the baseline file, and append
+  one timestamped entry *per backend* to ``BENCH_history.jsonl`` (the
+  baseline is always the latest snapshot; the history is the full
+  recorded series, each row tagged with its backend);
+* ``--check``    — measure and exit non-zero on regression, gating each
+  backend independently: simulated cycle counts must match the baseline
+  **exactly** and must agree **across backends** (the bit-identity
+  contract — any drift is a correctness bug, not noise), and each
+  backend's throughput must stay within ``--tolerance`` of its recorded
+  insn/s (a band, since shared CI runners are noisy). Additionally
+  *warns* (without failing) when a cell's last three recorded runs trend
+  monotonically downward — slow leaks that never trip the tolerance band
+  in one step still surface;
+* ``--profile N`` — additionally run one CPP pass per backend under
+  cProfile and print the N hottest functions;
 * no flags       — measure and print.
 
 Throughput is best-of-``--reps``: the maximum over repetitions estimates
@@ -36,84 +40,134 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.sim.backend import BACKEND_NAMES  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
 from repro.sim.machine import Machine  # noqa: E402
 from repro.workloads.registry import generate  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
 HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-WORKLOAD = "spec95.130.li"
 SEED = 1
-SCALE = 0.3
+#: workload name -> input scale. spec95.130.li is the historical cell;
+#: olden.health is the pointer-chaser that keeps the fast backend honest
+#: on irregular access streams.
+WORKLOADS = {"spec95.130.li": 0.3, "olden.health": 0.5}
 CONFIGS = ("BC", "CPP")
+BACKENDS = BACKEND_NAMES  # ("reference", "fast")
 
 
-def measure(reps: int) -> dict:
-    """Best-of-*reps* insn/s and cycle counts per config."""
-    program = generate(WORKLOAD, seed=SEED, scale=SCALE)
-    n = len(program.trace)
+def measure(reps: int, backends: tuple[str, ...] = BACKENDS) -> dict:
+    """Best-of-*reps* insn/s and cycle counts per backend/workload/config."""
+    programs = {
+        name: generate(name, seed=SEED, scale=scale)
+        for name, scale in WORKLOADS.items()
+    }
     out: dict = {
         "schema": SCHEMA_VERSION,
-        "workload": WORKLOAD,
         "seed": SEED,
-        "scale": SCALE,
-        "instructions": n,
         "reps": reps,
-        "configs": {},
+        "workloads": {
+            name: {"scale": scale, "instructions": len(programs[name].trace)}
+            for name, scale in WORKLOADS.items()
+        },
+        "backends": {},
     }
-    for config in CONFIGS:
-        best = 0.0
-        cycles = None
-        for _ in range(reps):
-            machine = Machine(config)
-            t0 = time.perf_counter()
-            result = machine.run(program)
-            elapsed = time.perf_counter() - t0
-            best = max(best, n / elapsed)
-            cycles = result.cycles
-        out["configs"][config] = {
-            "insn_per_sec": round(best),
-            "cycles": cycles,
-        }
+    for backend in backends:
+        cells: dict = {}
+        for name, program in programs.items():
+            n = len(program.trace)
+            per_config = {}
+            for config in CONFIGS:
+                best = 0.0
+                cycles = None
+                for _ in range(reps):
+                    machine = Machine(
+                        SimConfig(cache_config=config, backend=backend)
+                    )
+                    t0 = time.perf_counter()
+                    result = machine.run(program)
+                    elapsed = time.perf_counter() - t0
+                    best = max(best, n / elapsed)
+                    cycles = result.cycles
+                per_config[config] = {
+                    "insn_per_sec": round(best),
+                    "cycles": cycles,
+                }
+            cells[name] = per_config
+        out["backends"][backend] = cells
     return out
 
 
+def iter_cells(measured: dict):
+    """Yield ``(backend, workload, config, cell)`` over a schema-2 grid."""
+    for backend, per_workload in measured.get("backends", {}).items():
+        for workload, per_config in per_workload.items():
+            for config, cell in per_config.items():
+                yield backend, workload, config, cell
+
+
 def render(measured: dict) -> str:
-    lines = [
-        f"{WORKLOAD} seed={SEED} scale={SCALE} "
-        f"({measured['instructions']} insns, best of {measured['reps']})"
-    ]
-    for config, cell in measured["configs"].items():
+    lines = [f"seed={SEED}, best of {measured['reps']}"]
+    for workload, meta in measured["workloads"].items():
         lines.append(
-            f"  {config:>4}: {cell['insn_per_sec']:>9,} insn/s"
-            f"  ({cell['cycles']:,} cycles)"
+            f"{workload} scale={meta['scale']} ({meta['instructions']} insns)"
         )
+        for backend in measured["backends"]:
+            for config in CONFIGS:
+                cell = measured["backends"][backend][workload][config]
+                lines.append(
+                    f"  {backend:>9}/{config:<4}: "
+                    f"{cell['insn_per_sec']:>9,} insn/s"
+                    f"  ({cell['cycles']:,} cycles)"
+                )
     return "\n".join(lines)
 
 
 def check(measured: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Regression findings (empty = pass)."""
+    """Regression findings (empty = pass); each backend gated independently."""
     problems = []
-    for config in CONFIGS:
-        base = baseline["configs"].get(config)
-        cur = measured["configs"][config]
+    if baseline.get("schema") != SCHEMA_VERSION:
+        return [
+            f"baseline schema {baseline.get('schema')!r} != "
+            f"{SCHEMA_VERSION}; re-record"
+        ]
+    base_grid = baseline.get("backends", {})
+    for backend, workload, config, cur in iter_cells(measured):
+        base = base_grid.get(backend, {}).get(workload, {}).get(config)
+        label = f"{backend}/{workload}/{config}"
         if base is None:
-            problems.append(f"{config}: missing from baseline; re-record")
+            problems.append(f"{label}: missing from baseline; re-record")
             continue
         if cur["cycles"] != base["cycles"]:
             problems.append(
-                f"{config}: simulated cycles changed "
+                f"{label}: simulated cycles changed "
                 f"{base['cycles']:,} -> {cur['cycles']:,} — the simulator's "
                 "output drifted; fix it or re-record the baseline deliberately"
             )
         floor = base["insn_per_sec"] * (1.0 - tolerance)
         if cur["insn_per_sec"] < floor:
             problems.append(
-                f"{config}: throughput {cur['insn_per_sec']:,} insn/s is below "
+                f"{label}: throughput {cur['insn_per_sec']:,} insn/s is below "
                 f"{floor:,.0f} (baseline {base['insn_per_sec']:,} "
                 f"- {tolerance:.0%} tolerance)"
             )
+    # Bit-identity across backends: every backend must simulate the
+    # exact same cycle count for every cell, independent of the baseline.
+    ref = measured["backends"].get("reference", {})
+    for backend, per_workload in measured["backends"].items():
+        if backend == "reference":
+            continue
+        for workload, per_config in per_workload.items():
+            for config, cell in per_config.items():
+                expect = ref.get(workload, {}).get(config)
+                if expect is not None and cell["cycles"] != expect["cycles"]:
+                    problems.append(
+                        f"{backend}/{workload}/{config}: cycles "
+                        f"{cell['cycles']:,} != reference "
+                        f"{expect['cycles']:,} — backends diverged"
+                    )
     return problems
 
 
@@ -130,66 +184,110 @@ def load_history(path: Path = HISTORY_PATH) -> list[dict]:
             entry = json.loads(line)
         except json.JSONDecodeError:
             continue
-        if isinstance(entry, dict) and "configs" in entry:
+        if isinstance(entry, dict) and ("configs" in entry or "workloads" in entry):
             entries.append(entry)
     return entries
 
 
-def append_history(measured: dict, path: Path = HISTORY_PATH) -> dict:
-    """Append one timestamped record of *measured*; returns the entry."""
-    entry = dict(measured)
-    entry["recorded"] = datetime.now(timezone.utc).isoformat(
-        timespec="seconds"
-    )
+def history_rows(measured: dict) -> list[dict]:
+    """One history row per backend, each carrying a ``backend`` field."""
+    rows = []
+    for backend, per_workload in measured["backends"].items():
+        rows.append(
+            {
+                "schema": SCHEMA_VERSION,
+                "backend": backend,
+                "seed": measured["seed"],
+                "reps": measured["reps"],
+                "workloads": {
+                    workload: {
+                        "scale": measured["workloads"][workload]["scale"],
+                        "configs": per_config,
+                    }
+                    for workload, per_config in per_workload.items()
+                },
+            }
+        )
+    return rows
+
+
+def append_history(measured: dict, path: Path = HISTORY_PATH) -> list[dict]:
+    """Append timestamped per-backend rows of *measured*; returns them."""
+    rows = history_rows(measured)
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
     with path.open("a") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
-    return entry
+        for row in rows:
+            row["recorded"] = stamp
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return rows
+
+
+def _history_series(history: list[dict]) -> dict[tuple, list[int]]:
+    """Flatten history rows into ``(backend, workload, config) -> series``.
+
+    Handles both schemas: v1 rows (no backend, one implicit workload)
+    map to ``("reference", "spec95.130.li", config)``.
+    """
+    series: dict[tuple, list[int]] = {}
+    for entry in history:
+        if "workloads" in entry:
+            backend = entry.get("backend", "reference")
+            for workload, per in entry["workloads"].items():
+                for config, cell in per.get("configs", {}).items():
+                    key = (backend, workload, config)
+                    series.setdefault(key, []).append(cell["insn_per_sec"])
+        else:  # schema 1
+            for config, cell in entry.get("configs", {}).items():
+                key = ("reference", "spec95.130.li", config)
+                series.setdefault(key, []).append(cell["insn_per_sec"])
+    return series
 
 
 def trend_warnings(history: list[dict], window: int = 3) -> list[str]:
-    """Configs whose last *window* recorded runs fell monotonically.
+    """Cells whose last *window* recorded runs fell monotonically.
 
     A single noisy run stays inside the --check tolerance band; what that
     band can't see is a slow leak — each recording a little worse than
     the one before. Three strictly decreasing recordings in a row is the
     (warn-only) signal to look.
     """
-    if len(history) < window:
-        return []
-    recent = history[-window:]
     warnings = []
-    for config in CONFIGS:
-        series = [
-            e["configs"][config]["insn_per_sec"]
-            for e in recent
-            if config in e.get("configs", {})
-        ]
-        if len(series) == window and all(
-            series[i] > series[i + 1] for i in range(window - 1)
-        ):
-            trail = " -> ".join(f"{v:,}" for v in series)
+    for (backend, workload, config), values in sorted(
+        _history_series(history).items()
+    ):
+        if len(values) < window:
+            continue
+        recent = values[-window:]
+        if all(recent[i] > recent[i + 1] for i in range(window - 1)):
+            trail = " -> ".join(f"{v:,}" for v in recent)
             warnings.append(
-                f"{config}: throughput fell across the last {window} "
-                f"recorded runs ({trail} insn/s)"
+                f"{backend}/{workload}/{config}: throughput fell across the "
+                f"last {window} recorded runs ({trail} insn/s)"
             )
     return warnings
 
 
 def profile_top(top_n: int) -> str:
-    """One CPP pass under cProfile; top-*top_n* functions by self time."""
+    """One CPP pass per backend under cProfile; top functions by self time."""
     import cProfile
     import io
     import pstats
 
-    program = generate(WORKLOAD, seed=SEED, scale=SCALE)
-    machine = Machine("CPP")
-    profiler = cProfile.Profile()
-    profiler.enable()
-    machine.run(program)
-    profiler.disable()
-    buf = io.StringIO()
-    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(top_n)
-    return buf.getvalue()
+    program = generate("spec95.130.li", seed=SEED, scale=WORKLOADS["spec95.130.li"])
+    chunks = []
+    for backend in BACKENDS:
+        machine = Machine(SimConfig(cache_config="CPP", backend=backend))
+        machine.run(program)  # warm kernels and disk caches
+        profiler = cProfile.Profile()
+        profiler.enable()
+        machine.run(program)
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(
+            top_n
+        )
+        chunks.append(f"--- backend: {backend} ---\n{buf.getvalue()}")
+    return "\n".join(chunks)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -213,18 +311,39 @@ def main(argv: list[str] | None = None) -> int:
         "--reps",
         type=int,
         default=5,
-        help="repetitions per config; best is kept (default 5)",
+        help="repetitions per cell; best is kept (default 5)",
     )
     parser.add_argument(
         "--profile",
         type=int,
         default=None,
         metavar="N",
-        help="also cProfile one CPP run and print the top-N functions",
+        help="also cProfile one CPP run per backend and print the top-N "
+        "functions",
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(BACKENDS),
+        metavar="NAMES",
+        help="comma-separated backends to measure and gate (default: all; "
+        "CI uses this to gate each backend in its own job — note the "
+        "cross-backend cycle-identity check needs 'reference' included)",
     )
     args = parser.parse_args(argv)
 
-    measured = measure(args.reps)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    unknown = [b for b in backends if b not in BACKEND_NAMES]
+    if unknown or not backends:
+        parser.error(
+            f"unknown backend(s) {unknown or args.backends!r}; "
+            f"choose from {', '.join(BACKEND_NAMES)}"
+        )
+    if args.record and set(backends) != set(BACKENDS):
+        parser.error(
+            "--record needs the full backend grid; drop --backends"
+        )
+
+    measured = measure(args.reps, backends)
     print(render(measured))
 
     rc = 0
@@ -243,7 +362,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(
                     f"\nperf check passed (tolerance {args.tolerance:.0%}, "
-                    "cycles exact)"
+                    "cycles exact, backends agree)"
                 )
         for warning in trend_warnings(load_history()):
             print(f"WARNING: {warning}")

@@ -340,6 +340,13 @@ def main(argv: list[str] | None = None) -> int:
         "records on disk (truncation, bit flips, tampering) and verify "
         "each is quarantined and recomputed, never served",
     )
+    parser.add_argument(
+        "--backend-equiv",
+        action="store_true",
+        help="fuzz backend equivalence instead: run random generated "
+        "programs through the full machine under every backend and "
+        "demand bit-identical results",
+    )
     parser.add_argument("--workload", help="differentially replay a generated workload")
     parser.add_argument("--scale", type=float, default=0.05, help="workload scale")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
@@ -394,6 +401,25 @@ def _sweep(args: argparse.Namespace) -> int:
         status = "ok" if not failures else f"{failures} FAILURES"
         print(f"[store corruption] {args.seeds} seeds: {status}")
         return emit_summary(cells, args.seeds, failures, args.seeds)
+
+    if args.backend_equiv:
+        from repro.check.diff import BackendDiffRunner, random_program
+
+        for config in configs:
+            cell_failures = 0
+            runner = BackendDiffRunner(config)
+            for seed in range(args.seeds):
+                divergence = runner.run(random_program(seed))
+                cells += 1
+                if divergence is not None:
+                    cell_failures += 1
+                    failures += 1
+                    print(f"[{config} seed={seed}] {divergence.describe()}")
+            status = "ok" if not cell_failures else f"{cell_failures} FAILURES"
+            print(f"[backend-equiv {config}] {args.seeds} seeds: {status}")
+        expected = len(configs) * args.seeds
+        print(f"{cells} cells total, {failures} divergent")
+        return emit_summary(cells, expected, failures, args.seeds)
 
     if args.workload:
         for config in configs:
