@@ -1,0 +1,269 @@
+"""Differential + invariant fuzzing for the codec zoo.
+
+The cache differential harness (:mod:`repro.check.diff`) checks the
+*hierarchy* against a naive model; this module checks each *codec*
+against its own contract, with line generators aimed straight at the
+boundaries where codecs historically break:
+
+* min/max encodable values (sign-extension edges: ``0x7F``/``0x80``,
+  ``0xFFFF_FF7F``/``0xFFFF_FF80``, halfword analogues);
+* BDI delta overflow (words exactly one past a delta width, bases near
+  the 2^32 wraparound);
+* C-Pack dictionary misses (first occurrence of every word) and partial
+  matches that differ only in the low byte/halfword;
+* degenerate lines (empty, single word, all-zero, all-identical).
+
+Oracles checked per line:
+
+1. **Round-trip** — ``decompress_line(compress_line(v)) == v`` (mod 2^32).
+2. **Bit accounting** — ``compress_line().bits == pack_line().total_bits``.
+3. **Pack sanity** — ``0 <= n_compressed <= n_words``, non-negative bit
+   fields, and ``bus_words`` covering the stream.
+4. **Determinism** — encoding the same line twice yields identical
+   tokens and bits (catches hidden state; C-Pack's dictionary must be
+   rebuilt per line).
+5. **Word-facet agreement** — for codecs exposing ``word_scheme``, every
+   word the facet calls compressible is counted compressed by
+   ``pack_line`` (exact equality for the paper's scheme, whose facet is
+   total).
+
+Failures minimize with the same greedy ddmin idea as
+:meth:`repro.check.diff.DifferentialRunner.minimize`, shrinking the
+*line* instead of the op stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.compression.codecs import CODEC_NAMES, get_codec
+from repro.compression.codecs.protocol import Codec
+from repro.utils.bitops import MASK32
+
+__all__ = [
+    "CodecDivergence",
+    "boundary_lines",
+    "check_line",
+    "fuzz_codec",
+    "random_line",
+]
+
+_HEAP = 0x1000_0000
+
+
+@dataclass(frozen=True)
+class CodecDivergence:
+    """One broken codec contract, with the offending line attached."""
+
+    codec: str
+    oracle: str
+    detail: str
+    values: tuple
+    addrs: tuple
+
+    def describe(self) -> str:
+        """One-paragraph human-readable report naming the oracle and the line."""
+        return (
+            f"codec {self.codec!r} violated {self.oracle}: {self.detail}\n"
+            f"  line ({len(self.values)} words @ {self.addrs[0]:#x}): "
+            + " ".join(f"{v:#010x}" for v in self.values)
+            if self.values
+            else f"codec {self.codec!r} violated {self.oracle}: {self.detail}"
+            " (empty line)"
+        )
+
+
+def boundary_lines(line_words: int = 16) -> list[tuple[list[int], int]]:
+    """Deterministic (values, base_addr) pairs at known codec edges."""
+    base = _HEAP
+    n = line_words
+    se_edges = [
+        0x0000_0000, 0x0000_0001, 0x0000_0007, 0x0000_0008,  # SE4 edge
+        0x0000_007F, 0x0000_0080, 0xFFFF_FF7F, 0xFFFF_FF80,  # SE8 edge
+        0x0000_7FFF, 0x0000_8000, 0xFFFF_7FFF, 0xFFFF_8000,  # SE16 edge
+        0xFFFF_FFFF, 0x7FFF_FFFF, 0x8000_0000, 0x0001_0000,  # extremes
+    ]
+    delta_edges = [  # BDI: deltas exactly at/past each width from word 0
+        0xCAFE_0000, 0xCAFE_007F, 0xCAFE_0080, 0xCAFE_7FFF,
+        0xCAFE_8000, 0xCAFD_FF81, 0xCAFD_FF80, 0xCAFE_0001,
+    ] * 2
+    wrap_edges = [  # base+delta across the 2^32 wraparound
+        0xFFFF_FFF0, 0xFFFF_FFFF, 0x0000_0005, 0xFFFF_FFA0,
+    ] * 4
+    dict_edges = [  # C-Pack: miss, full match, mmmx, mmxx, re-miss
+        0xDEAD_BEEF, 0xDEAD_BEEF, 0xDEAD_BE00, 0xDEAD_0000,
+        0x1234_5678, 0x1234_5600, 0x1234_0000, 0xDEAD_BEEF,
+    ] * 2
+    rep_edges = [0x0101_0101, 0xABAB_ABAB, 0x00FF_00FF, 0xFF00_FF00] * 4
+    lines = [
+        ([], base),
+        ([0], base),
+        ([0] * n, base),
+        ([0x2BAD_F00D] * n, base),
+        ([base + 4 * i for i in range(n)], base),  # all-pointer under cpp
+        (se_edges[:n], base),
+        (delta_edges[:n], base),
+        (wrap_edges[:n], base),
+        (dict_edges[:n], base),
+        (rep_edges[:n], base),
+        # Zero runs longer than FPC's 8-word token, split by one literal.
+        ([0] * 9 + [0xBAD0_0001] + [0] * (n - 10), base),
+    ]
+    return [(vals, base) for vals, base in lines]
+
+
+def random_line(rng: random.Random, line_words: int = 16) -> tuple[list[int], int]:
+    """One random line biased toward boundary-adjacent word classes."""
+    base = (_HEAP + rng.randrange(1 << 16) * 4 * line_words) & ~0x3F
+    vals: list[int] = []
+    for i in range(line_words):
+        kind = rng.randrange(8)
+        if kind == 0:
+            v = 0
+        elif kind == 1:
+            v = rng.choice([0x7F, 0x80, 0xFFFF_FF7F, 0xFFFF_FF80, 7, 8])
+        elif kind == 2:
+            v = (base + rng.randrange(-64, 64) * 4) & MASK32
+        elif kind == 3:  # near another word: BDI deltas, C-Pack matches
+            anchor = vals[rng.randrange(len(vals))] if vals else 0xCAFE_0000
+            v = (anchor + rng.choice([-0x80, -1, 0, 1, 0x7F, 0x80, 0x100])) & MASK32
+        elif kind == 4:
+            b = rng.randrange(256)
+            v = b * 0x01010101
+        elif kind == 5:
+            v = rng.choice([0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF, 1 << 16])
+        else:
+            v = rng.randrange(1 << 32)
+        vals.append(v)
+    return vals, base
+
+
+def check_line(
+    codec: Codec, values: list[int], base_addr: int
+) -> CodecDivergence | None:
+    """Run every oracle on one line; return the first violation."""
+    addrs = [base_addr + 4 * i for i in range(len(values))]
+    expected = [v & MASK32 for v in values]
+
+    def diverge(oracle: str, detail: str) -> CodecDivergence:
+        return CodecDivergence(
+            codec=codec.name,
+            oracle=oracle,
+            detail=detail,
+            values=tuple(values),
+            addrs=tuple(addrs),
+        )
+
+    try:
+        encoded = codec.compress_line(values, addrs)
+        decoded = codec.decompress_line(encoded, addrs)
+    except Exception as exc:  # noqa: BLE001 - fuzz oracle boundary
+        return diverge("round-trip", f"raised {type(exc).__name__}: {exc}")
+    if decoded != expected:
+        bad = [
+            f"word {i}: {g:#010x} != {e:#010x}"
+            for i, (g, e) in enumerate(zip(decoded, expected))
+            if g != e
+        ] or [f"length {len(decoded)} != {len(expected)}"]
+        return diverge("round-trip", "; ".join(bad[:4]))
+
+    pack = codec.pack_line(values, addrs)
+    if encoded.bits != pack.total_bits:
+        return diverge(
+            "bit-accounting",
+            f"compress_line says {encoded.bits} bits, "
+            f"pack_line says {pack.total_bits}",
+        )
+    if not 0 <= pack.n_compressed <= pack.n_words:
+        return diverge(
+            "pack-sanity",
+            f"n_compressed={pack.n_compressed} outside [0, {pack.n_words}]",
+        )
+    if pack.data_bits < 0 or pack.meta_bits < 0:
+        return diverge(
+            "pack-sanity",
+            f"negative bit field: data={pack.data_bits} meta={pack.meta_bits}",
+        )
+    if values and pack.bus_words * 32 < pack.total_bits:
+        return diverge(
+            "pack-sanity",
+            f"bus_words={pack.bus_words} cannot carry {pack.total_bits} bits",
+        )
+
+    again = codec.compress_line(values, addrs)
+    if (again.tokens, again.bits) != (encoded.tokens, encoded.bits):
+        return diverge(
+            "determinism",
+            "second encoding differs (per-line state leaked between calls)",
+        )
+
+    scheme = codec.word_scheme
+    if scheme is not None:
+        facet = sum(
+            1 for v, a in zip(expected, addrs) if scheme.is_compressible(v, a)
+        )
+        if codec.name == "cpp":
+            if facet != pack.n_compressed:
+                return diverge(
+                    "word-facet",
+                    f"facet counts {facet} compressible, "
+                    f"pack counts {pack.n_compressed}",
+                )
+        elif facet > pack.n_compressed:
+            return diverge(
+                "word-facet",
+                f"facet counts {facet} compressible but pack only "
+                f"{pack.n_compressed} — the facet must be a subset",
+            )
+    return None
+
+
+def _minimize(
+    codec: Codec, values: list[int], base_addr: int
+) -> CodecDivergence:
+    """Greedy word-removal shrink of a failing line (ddmin spirit)."""
+    current = list(values)
+    shrunk = True
+    while shrunk and len(current) > 1:
+        shrunk = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            if check_line(codec, candidate, base_addr) is not None:
+                current = candidate
+                shrunk = True
+                break
+    return check_line(codec, current, base_addr)
+
+
+def fuzz_codec(
+    codec_name: str,
+    seed: int,
+    n_lines: int = 200,
+    line_words: int = 16,
+    *,
+    minimize: bool = True,
+) -> list[CodecDivergence]:
+    """Fuzz one codec: boundary lines first, then *n_lines* random ones.
+
+    Returns every (minimized) divergence; an empty list means the codec
+    honoured its contract on the whole sweep.
+    """
+    codec = get_codec(codec_name)
+    rng = random.Random(seed * 2654435761 % (1 << 32) ^ hash(codec_name))
+    out: list[CodecDivergence] = []
+    cases = boundary_lines(line_words) + [
+        random_line(rng, line_words) for _ in range(n_lines)
+    ]
+    for values, base in cases:
+        divergence = check_line(codec, values, base)
+        if divergence is not None:
+            if minimize and values:
+                divergence = _minimize(codec, list(values), base)
+            out.append(divergence)
+    return out
+
+
+def fuzz_all_codecs(seed: int, n_lines: int = 200) -> dict[str, list[CodecDivergence]]:
+    """Sweep every registered codec; maps name → divergences."""
+    return {name: fuzz_codec(name, seed, n_lines) for name in CODEC_NAMES}

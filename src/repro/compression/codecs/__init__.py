@@ -1,0 +1,158 @@
+"""The codec zoo: pluggable cache-line compressors behind one protocol.
+
+Four codecs compare head-to-head on compression ratio, effective ratio
+after tag/metadata overhead, and (de)compression timing:
+
+* ``cpp`` — the paper's sign/pointer prefix scheme (the default; the
+  only codec the hierarchy simulates end-to-end, so selecting it
+  perturbs nothing).
+* ``fpc`` — Frequent Pattern Compression (3-bit prefixes + zero runs).
+* ``bdi`` — Base-Delta-Immediate (dual-base, 1/2-byte deltas).
+* ``cpack`` — C-Pack dictionary + pattern matching (per-line FIFO).
+
+Selection precedence mirrors :mod:`repro.sim.backend` exactly: an
+explicit ``SimConfig.codec`` beats the ``REPRO_CODEC`` environment
+variable, which beats the default (``cpp``). The environment variable is
+the cross-process channel so forked matrix workers inherit the choice.
+
+Codecs whose per-word compressibility is a pure function of
+``(value, address)`` (``cpp``, ``fpc``) expose
+:attr:`~.protocol.Codec.word_scheme` and can drive the cache hierarchy;
+line-only codecs (``bdi``, ``cpack``) raise
+:class:`~repro.errors.ConfigurationError` from
+:func:`require_word_scheme` if plugged into a word-slot cache, but
+participate fully in the fig3c ratio/timing/overhead sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.compression.codecs.bdi import BDICodec
+from repro.compression.codecs.cpack import CPackCodec
+from repro.compression.codecs.cpp import CPPCodec
+from repro.compression.codecs.fpc import FPCCodec
+from repro.compression.codecs.protocol import (
+    Codec,
+    EncodedLine,
+    LinePack,
+    TagOverhead,
+)
+from repro.errors import ConfigurationError, UsageError
+
+__all__ = [
+    "BDICodec",
+    "CODEC_NAMES",
+    "CPPCodec",
+    "CPackCodec",
+    "Codec",
+    "DEFAULT_CODEC",
+    "ENV_VAR",
+    "EncodedLine",
+    "FPCCodec",
+    "LinePack",
+    "TagOverhead",
+    "default_codec",
+    "get_codec",
+    "require_word_scheme",
+    "resolve_codec",
+    "set_default_codec",
+]
+
+#: Registered codec names, in documentation order.
+CODEC_NAMES = ("cpp", "fpc", "bdi", "cpack")
+
+DEFAULT_CODEC = "cpp"
+
+#: Environment variable naming the default codec for this process tree.
+ENV_VAR = "REPRO_CODEC"
+
+_FACTORIES = {
+    "cpp": CPPCodec,
+    "fpc": FPCCodec,
+    "bdi": BDICodec,
+    "cpack": CPackCodec,
+}
+
+
+def get_codec(name: str) -> Codec:
+    """A fresh codec instance for a registered *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; choose from {CODEC_NAMES}"
+        ) from None
+    return factory()
+
+
+def default_codec() -> str:
+    """The codec selected by the environment (no per-config override).
+
+    Raises :class:`~repro.errors.UsageError` when ``REPRO_CODEC`` names
+    an unknown codec — a typo must fail loudly, not silently fall back
+    to the paper's scheme.
+    """
+    env = os.environ.get(ENV_VAR, "").strip()
+    if not env:
+        return DEFAULT_CODEC
+    if env not in CODEC_NAMES:
+        raise UsageError(
+            f"unknown codec {env!r} in ${ENV_VAR}",
+            argument=ENV_VAR,
+            choices=CODEC_NAMES,
+        )
+    return env
+
+
+def resolve_codec(explicit: str = "") -> str:
+    """Resolve the effective codec name.
+
+    *explicit* is a per-config override (``SimConfig.codec``); empty
+    means "defer to the environment".
+    """
+    if explicit:
+        if explicit not in CODEC_NAMES:
+            raise ConfigurationError(
+                f"unknown codec {explicit!r}; choose from {CODEC_NAMES}"
+            )
+        return explicit
+    return default_codec()
+
+
+def set_default_codec(name: str | None) -> None:
+    """Set (or clear, with ``None``/empty) the process-default codec.
+
+    Writes ``REPRO_CODEC`` so worker processes forked later inherit the
+    selection.
+    """
+    if not name:
+        os.environ.pop(ENV_VAR, None)
+        return
+    if name not in CODEC_NAMES:
+        raise UsageError(
+            f"unknown codec {name!r}",
+            argument="codec",
+            choices=CODEC_NAMES,
+        )
+    os.environ[ENV_VAR] = name
+
+
+def require_word_scheme(codec: Codec):
+    """The per-word facet of *codec*, or a typed configuration error.
+
+    The cache hierarchy packs two compressed values into one 32-bit slot
+    and memoizes per-word compressibility (the VCP memo, the image comp
+    table); both need compressibility to be a pure function of
+    ``(value, address)``. Line-only codecs cannot provide that.
+    """
+    scheme = codec.word_scheme
+    if scheme is None:
+        raise ConfigurationError(
+            f"codec {codec.name!r} is line-granular only (its per-word "
+            "compressibility depends on line context) and cannot drive "
+            "the word-slot cache hierarchy; choose a word-capable codec "
+            "such as 'cpp' or 'fpc', or restrict this codec to "
+            "ratio/timing analysis (the fig3c sweep)"
+        )
+    return scheme

@@ -1,0 +1,215 @@
+"""C-Pack (Chen et al.) dictionary + pattern matching as a Codec ("cpack").
+
+Each word is matched against static patterns and against a small FIFO
+dictionary built on the fly from the line's own words (dictionary size =
+words per line, 16 for the paper's 64-byte geometry). Pattern codes and
+sizes follow the published design (SNIPPETS.md snippet 1):
+
+====== ====== ============================== ==========
+code   name   meaning                        total bits
+====== ====== ============================== ==========
+``00``   zzzz all-zero word                   2
+``1101`` zzzx zero word except low byte       12
+``10``   mmmm full dictionary match           6
+``1110`` mmxx dict match on high halfword     24
+``1100`` mmmx dict match on high 3 bytes      16
+``01``   xxxx no match (literal)              34
+====== ====== ============================== ==========
+
+Dictionary discipline (the part the differential harness pins down):
+every word that is *not* an all-zero/zzzx pattern is pushed into the
+FIFO after being coded — including literals (the dictionary-miss
+fallback) — and the decompressor replays exactly the same pushes, so
+both sides' dictionaries stay in lockstep. ``mmmm``/``mmmx``/``mmxx``
+indices are 4 bits (dictionary size 16).
+
+Dictionary matches are line-local and order-dependent, so C-Pack has no
+pure per-word facet: :attr:`CPackCodec.word_scheme` is ``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.compression.codecs.protocol import (
+    Codec,
+    EncodedLine,
+    LinePack,
+    TagOverhead,
+)
+from repro.compression.timing import CodecTiming
+from repro.utils.bitops import MASK32
+
+__all__ = ["CPackCodec", "CPackPattern", "DICT_SIZE"]
+
+#: FIFO dictionary entries — words per line in the paper's geometry.
+DICT_SIZE = 16
+INDEX_BITS = 4  # log2(DICT_SIZE)
+
+
+class CPackPattern(enum.Enum):
+    """Pattern kinds with their (code_bits, payload_bits)."""
+
+    ZZZZ = (2, 0)  # all zero
+    ZZZX = (4, 8)  # zero except low byte
+    MMMM = (2, INDEX_BITS)  # full dictionary match
+    MMMX = (4, INDEX_BITS + 8)  # match on high 3 bytes, literal low byte
+    MMXX = (4, INDEX_BITS + 16)  # match on high halfword, literal low half
+    XXXX = (2, 32)  # literal
+
+    @property
+    def code_bits(self) -> int:
+        return self.value[0]
+
+    @property
+    def payload_bits(self) -> int:
+        return self.value[1]
+
+    @property
+    def total_bits(self) -> int:
+        return self.value[0] + self.value[1]
+
+
+def _match(value: int, dictionary: list[int]):
+    """Best dictionary pattern for *value*: full > 3-byte > halfword.
+
+    Scans oldest-first and returns ``(pattern, index, literal_payload)``
+    or ``None`` on a dictionary miss.
+    """
+    best: tuple[CPackPattern, int, int] | None = None
+    best_rank = 0
+    for i, entry in enumerate(dictionary):
+        if entry == value:
+            return CPackPattern.MMMM, i, 0
+        if best_rank < 2 and entry >> 8 == value >> 8:
+            best = (CPackPattern.MMMX, i, value & 0xFF)
+            best_rank = 2
+        elif best_rank < 1 and entry >> 16 == value >> 16:
+            best = (CPackPattern.MMXX, i, value & 0xFFFF)
+            best_rank = 1
+    return best
+
+
+class CPackCodec(Codec):
+    """Per-line FIFO dictionary coding.
+
+    Token stream: ``(pattern, index, payload)`` triples; *index* is 0
+    for non-dictionary patterns.
+    """
+
+    name = "cpack"
+    word_scheme = None  # dictionary-relative: no pure per-word facet
+
+    def __init__(self, dict_size: int = DICT_SIZE) -> None:
+        if dict_size < 1:
+            raise ValueError("dict_size must be positive")
+        self.dict_size = dict_size
+
+    # ---- line coding ------------------------------------------------------
+
+    def compress_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> EncodedLine:
+        """Code each word against the on-the-fly FIFO dictionary."""
+        dictionary: list[int] = []
+        tokens: list[tuple[CPackPattern, int, int]] = []
+        bits = 0
+        for value in values:
+            value &= MASK32
+            if value == 0:
+                token = (CPackPattern.ZZZZ, 0, 0)
+            elif value & 0xFFFF_FF00 == 0:
+                token = (CPackPattern.ZZZX, 0, value)
+            else:
+                hit = _match(value, dictionary)
+                if hit is None:
+                    token = (CPackPattern.XXXX, 0, value)  # dict-miss fallback
+                else:
+                    pattern, index, payload = hit
+                    token = (pattern, index, payload)
+                # Push every non-z word — misses included — FIFO-evicting
+                # the oldest once full; the decoder replays this exactly.
+                if len(dictionary) >= self.dict_size:
+                    dictionary.pop(0)
+                dictionary.append(value)
+            tokens.append(token)
+            bits += token[0].total_bits
+        return EncodedLine(
+            codec=self.name,
+            n_words=len(tokens),
+            tokens=tuple(tokens),
+            bits=bits,
+        )
+
+    def decompress_line(
+        self, encoded: EncodedLine, addrs: Sequence[int]
+    ) -> list[int]:
+        """Replay the encoder's dictionary pushes in lockstep while decoding."""
+        dictionary: list[int] = []
+        out: list[int] = []
+        for pattern, index, payload in encoded.tokens:
+            if pattern is CPackPattern.ZZZZ:
+                out.append(0)
+                continue
+            if pattern is CPackPattern.ZZZX:
+                value = payload
+            elif pattern is CPackPattern.XXXX:
+                value = payload
+            elif pattern is CPackPattern.MMMM:
+                value = dictionary[index]
+            elif pattern is CPackPattern.MMMX:
+                value = (dictionary[index] & ~0xFF & MASK32) | payload
+            else:  # MMXX
+                value = (dictionary[index] & ~0xFFFF & MASK32) | payload
+            if pattern is not CPackPattern.ZZZX:
+                if len(dictionary) >= self.dict_size:
+                    dictionary.pop(0)
+                dictionary.append(value)
+            out.append(value)
+        return out
+
+    def pack_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> LinePack:
+        """Bit accounting: code+index bits are metadata, payloads are data."""
+        encoded = self.compress_line(values, addrs)
+        n_compressed = 0
+        data_bits = 0
+        meta_bits = 0
+        for pattern, _index, _payload in encoded.tokens:
+            if pattern is not CPackPattern.XXXX:
+                n_compressed += 1
+            # Payloads are data; codes and dictionary indices are metadata.
+            if pattern in (
+                CPackPattern.MMMM,
+                CPackPattern.MMMX,
+                CPackPattern.MMXX,
+            ):
+                meta_bits += pattern.code_bits + INDEX_BITS
+                data_bits += pattern.payload_bits - INDEX_BITS
+            else:
+                meta_bits += pattern.code_bits
+                data_bits += pattern.payload_bits
+        return LinePack(
+            n_words=encoded.n_words,
+            n_compressed=n_compressed,
+            data_bits=data_bits,
+            meta_bits=meta_bits,
+        )
+
+    # ---- cost models ------------------------------------------------------
+
+    @property
+    def timing(self) -> CodecTiming:
+        """Published C-Pack pipeline at 2 words/cycle over a 16-word
+        line: 8-cycle compression, 9-cycle decompression (the serial
+        dictionary replay bounds the read path)."""
+        return CodecTiming(compress_cycles=8, decompress_cycles=9)
+
+    def tag_overhead(self) -> TagOverhead:
+        """A compressed-size field per line (6 bits addresses 64 four-
+        byte segments) so the controller can locate lines in the
+        segmented data array; the dictionary itself is rebuilt from the
+        stream and costs no storage."""
+        return TagOverhead(per_word_bits=0.0, per_line_bits=6.0)

@@ -1,0 +1,111 @@
+"""The paper's prefix scheme as a :class:`~.protocol.Codec` ("cpp").
+
+This is the existing sign/pointer-prefix compressor of
+:mod:`repro.compression.scheme` lifted behind the formal protocol: the
+scheme object itself is the per-word facet (:attr:`Codec.word_scheme`),
+so the CPP cache, the fastscalar closures and the
+:class:`~repro.compression.comptable.ImageCompTable` keep their existing
+O(1)/vectorized probes unchanged — the default codec perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.compression.codec import pack_line as _scheme_pack_line
+from repro.compression.codecs.protocol import (
+    Codec,
+    EncodedLine,
+    LinePack,
+    TagOverhead,
+)
+from repro.compression.scheme import CompressClass, CompressionScheme, PAPER_SCHEME
+from repro.compression.timing import CodecTiming, GateDelayModel
+from repro.utils.bitops import MASK32
+
+__all__ = ["CPPCodec"]
+
+
+class CPPCodec(Codec):
+    """Prefix elimination: small values and same-chunk pointers → 16 bits.
+
+    Token stream: one ``(CompressClass, payload)`` pair per word;
+    incompressible words carry their 32-bit literal. Per-word VC flags
+    (1 bit each) travel with the line, matching
+    :func:`repro.compression.codec.pack_line`.
+    """
+
+    name = "cpp"
+
+    def __init__(self, scheme: CompressionScheme = PAPER_SCHEME) -> None:
+        self.scheme = scheme
+        self.word_scheme = scheme
+
+    # ---- line coding ------------------------------------------------------
+
+    def compress_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> EncodedLine:
+        """Classify each word and keep its (class, payload) token plus VC flag."""
+        scheme = self.scheme
+        tokens = []
+        bits = 0
+        for value, addr in zip(values, addrs):
+            value &= MASK32
+            cls = scheme.classify(value, addr & MASK32)
+            if cls is CompressClass.INCOMPRESSIBLE:
+                tokens.append((cls, value))
+                bits += 32
+            else:
+                tokens.append((cls, scheme.payload_of(value)))
+                bits += scheme.compressed_bits
+        bits += len(tokens)  # one VC flag per word
+        return EncodedLine(
+            codec=self.name, n_words=len(tokens), tokens=tuple(tokens), bits=bits
+        )
+
+    def decompress_line(
+        self, encoded: EncodedLine, addrs: Sequence[int]
+    ) -> list[int]:
+        """Expand each token back to 32 bits (pointers need their address)."""
+        scheme = self.scheme
+        out = []
+        for (cls, payload), addr in zip(encoded.tokens, addrs):
+            if cls is CompressClass.INCOMPRESSIBLE:
+                out.append(payload)
+            elif cls is CompressClass.SMALL:
+                out.append(scheme.expand_small(payload) & MASK32)
+            else:
+                out.append(scheme.expand_pointer(payload, addr & MASK32))
+        return out
+
+    def pack_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> LinePack:
+        """Bit accounting via the paper's slot-packing rules (§2.1)."""
+        result = _scheme_pack_line(values, addrs, self.scheme)
+        return LinePack(
+            n_words=result.n_words,
+            n_compressed=result.n_compressible,
+            data_bits=result.payload_bits,
+            meta_bits=result.flag_bits,
+        )
+
+    # ---- cost models ------------------------------------------------------
+
+    @property
+    def timing(self) -> CodecTiming:
+        """Both directions hidden (§3.2): 8/2 gate levels, zero cycles."""
+        gates = GateDelayModel(self.scheme)
+        return CodecTiming(
+            compress_cycles=0,
+            decompress_cycles=0,
+            compress_gate_delays=gates.compress_gate_delays,
+            decompress_gate_delays=gates.decompress_gate_delays,
+        )
+
+    def tag_overhead(self) -> TagOverhead:
+        """One VC flag per word in the tag array (paper Figure 2); the VT
+        bit lives inside the compressed slot and is already counted in
+        the stream."""
+        return TagOverhead(per_word_bits=1.0, per_line_bits=0.0)

@@ -1,0 +1,298 @@
+"""Frequent Pattern Compression (Alameldeen & Wood) as a Codec ("fpc").
+
+Each 32-bit word gets a 3-bit prefix naming one of eight patterns;
+consecutive zero words additionally collapse into a single run token
+(up to :data:`MAX_ZERO_RUN` words, 3-bit run length). The pattern table
+(sizes include the prefix):
+
+====== ======================================== ============ =========
+prefix pattern                                  payload bits total bits
+====== ======================================== ============ =========
+``000`` zero run (1-8 words)                     3 (run len)  6
+``001`` 4-bit sign-extended                      4            7
+``010`` 8-bit sign-extended                      8            11
+``011`` word of repeated bytes                   8            11
+``100`` 16-bit sign-extended                     16           19
+``101`` halfword padded with a zero halfword     16           19
+``110`` two halfwords, each a sign-extended byte 16           19
+``111`` uncompressed literal                     32           35
+====== ======================================== ============ =========
+
+Patterns are tried cheapest-first, so every word gets its minimal
+encoding deterministically.
+
+The per-word facet (:class:`FPCWordScheme`) exposes the subset of
+patterns that fit the paper's 16-bit compressed slot (zero, 4-bit SE,
+8-bit SE, repeated byte — all ≤ 11 bits + prefix ≤ 16); it is a pure
+function of the value alone, so the CPP cache's VCP memo and the image
+comp table stay valid under it. The wider 19-bit patterns exist only on
+the bus/ratio path, not in cache slots.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.compression.codecs.protocol import (
+    Codec,
+    EncodedLine,
+    LinePack,
+    TagOverhead,
+)
+from repro.compression.timing import CodecTiming
+from repro.utils.bitops import MASK32
+
+__all__ = ["FPCCodec", "FPCWordScheme", "FPCPattern", "MAX_ZERO_RUN"]
+
+PREFIX_BITS = 3
+#: Longest zero run one ``000`` token covers (3-bit length field, 1-based).
+MAX_ZERO_RUN = 8
+
+
+class FPCPattern(enum.IntEnum):
+    """The eight FPC patterns, in prefix order."""
+
+    ZERO_RUN = 0
+    SE4 = 1
+    SE8 = 2
+    REP8 = 3
+    SE16 = 4
+    HI16 = 5
+    TWO_SE8 = 6
+    UNCOMP = 7
+
+
+#: Payload bits per pattern (the prefix adds :data:`PREFIX_BITS` more).
+PAYLOAD_BITS = {
+    FPCPattern.ZERO_RUN: 3,
+    FPCPattern.SE4: 4,
+    FPCPattern.SE8: 8,
+    FPCPattern.REP8: 8,
+    FPCPattern.SE16: 16,
+    FPCPattern.HI16: 16,
+    FPCPattern.TWO_SE8: 16,
+    FPCPattern.UNCOMP: 32,
+}
+
+
+def _signed(value: int) -> int:
+    """The 32-bit word as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _fits_signed(value: int, bits: int) -> bool:
+    """Does the word sign-extend from its low *bits* bits?"""
+    s = _signed(value)
+    return -(1 << (bits - 1)) <= s <= (1 << (bits - 1)) - 1
+
+
+def classify_word(value: int) -> FPCPattern:
+    """The cheapest pattern covering *value* (zero reported as ZERO_RUN)."""
+    value &= MASK32
+    if value == 0:
+        return FPCPattern.ZERO_RUN
+    if _fits_signed(value, 4):
+        return FPCPattern.SE4
+    if _fits_signed(value, 8):
+        return FPCPattern.SE8
+    if value == (value & 0xFF) * 0x01010101:
+        return FPCPattern.REP8
+    if _fits_signed(value, 16):
+        return FPCPattern.SE16
+    if value & 0xFFFF == 0:
+        return FPCPattern.HI16
+    hi, lo = value >> 16, value & 0xFFFF
+    if _fits_signed(hi | (0xFFFF0000 if hi >> 15 else 0), 8) and _fits_signed(
+        lo | (0xFFFF0000 if lo >> 15 else 0), 8
+    ):
+        return FPCPattern.TWO_SE8
+    return FPCPattern.UNCOMP
+
+
+class FPCWordScheme:
+    """Per-word facet: the ≤16-bit pattern subset, address-independent.
+
+    Duck-compatible with :class:`~repro.compression.scheme.CompressionScheme`
+    where the cache models need it: ``is_compressible``,
+    ``compressed_bits``, ``payload_bits`` and the vectorized
+    ``mask_compressible`` hook (used by the bulk classifier and the
+    image comp table).
+    """
+
+    #: A compressed slot is the paper's 16-bit geometry, so two
+    #: compressed values pair in one 32-bit slot exactly as in CPP.
+    compressed_bits = 16
+    payload_bits = 15
+
+    def is_compressible(self, value: int, addr: int) -> bool:
+        """Patterns that fit a 16-bit slot: zero / SE4 / SE8 / repeated
+        byte. Purely value-based — the address plays no role in FPC."""
+        value &= MASK32
+        return (
+            value < 0x80
+            or value >= 0xFFFF_FF80
+            or value == (value & 0xFF) * 0x01010101
+        )
+
+    def mask_compressible(
+        self, values: np.ndarray, addrs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`is_compressible` (bulk-classifier hook)."""
+        values = np.ascontiguousarray(values, dtype=np.uint32)
+        se8 = (values < np.uint32(0x80)) | (values >= np.uint32(0xFFFF_FF80))
+        rep = values == (values & np.uint32(0xFF)) * np.uint32(0x01010101)
+        return se8 | rep
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is FPCWordScheme
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class FPCCodec(Codec):
+    """FPC line coding with zero-run aggregation.
+
+    Token stream: ``(pattern, payload)`` pairs; a ``ZERO_RUN`` token's
+    payload is the run length (1..8). ``UNCOMP`` carries the literal.
+    """
+
+    name = "fpc"
+    word_scheme = FPCWordScheme()
+
+    # ---- line coding ------------------------------------------------------
+
+    def compress_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> EncodedLine:
+        """Emit one prefix+payload token per word, aggregating zero runs."""
+        tokens: list[tuple[FPCPattern, int]] = []
+        bits = 0
+        n = len(values)
+        i = 0
+        while i < n:
+            value = values[i] & MASK32
+            pattern = classify_word(value)
+            if pattern is FPCPattern.ZERO_RUN:
+                run = 1
+                while (
+                    run < MAX_ZERO_RUN
+                    and i + run < n
+                    and values[i + run] & MASK32 == 0
+                ):
+                    run += 1
+                tokens.append((pattern, run))
+                i += run
+            else:
+                payload = self._payload_of(pattern, value)
+                tokens.append((pattern, payload))
+                i += 1
+            bits += PREFIX_BITS + PAYLOAD_BITS[pattern]
+        return EncodedLine(
+            codec=self.name, n_words=n, tokens=tuple(tokens), bits=bits
+        )
+
+    @staticmethod
+    def _payload_of(pattern: FPCPattern, value: int) -> int:
+        if pattern is FPCPattern.UNCOMP:
+            return value
+        if pattern is FPCPattern.REP8:
+            return value & 0xFF
+        if pattern is FPCPattern.HI16:
+            return value >> 16
+        if pattern is FPCPattern.TWO_SE8:
+            return ((value >> 16) & 0xFF) << 8 | (value & 0xFF)
+        # Sign-extended payloads keep the low bits.
+        return value & ((1 << PAYLOAD_BITS[pattern]) - 1)
+
+    def decompress_line(
+        self, encoded: EncodedLine, addrs: Sequence[int]
+    ) -> list[int]:
+        """Expand every pattern token; zero runs fan back out to words."""
+        out: list[int] = []
+        for pattern, payload in encoded.tokens:
+            if pattern is FPCPattern.ZERO_RUN:
+                out.extend([0] * payload)
+            elif pattern is FPCPattern.UNCOMP:
+                out.append(payload)
+            elif pattern is FPCPattern.REP8:
+                out.append(payload * 0x01010101)
+            elif pattern is FPCPattern.HI16:
+                out.append(payload << 16)
+            elif pattern is FPCPattern.TWO_SE8:
+                out.append(
+                    self._se(payload >> 8, 8, 16) << 16
+                    | self._se(payload & 0xFF, 8, 16)
+                )
+            else:
+                out.append(
+                    self._se(payload, PAYLOAD_BITS[pattern], 32)
+                )
+        if len(out) != encoded.n_words:
+            raise ValueError(
+                f"FPC token stream decoded {len(out)} words, "
+                f"expected {encoded.n_words}"
+            )
+        return out
+
+    @staticmethod
+    def _se(payload: int, from_bits: int, to_bits: int) -> int:
+        """Sign-extend *payload* from *from_bits* into *to_bits* bits."""
+        if payload >> (from_bits - 1):
+            payload |= ((1 << to_bits) - 1) & ~((1 << from_bits) - 1)
+        return payload & ((1 << to_bits) - 1)
+
+    def pack_line(
+        self, values: Sequence[int], addrs: Sequence[int]
+    ) -> LinePack:
+        """Bit accounting of :meth:`compress_line` without building tokens."""
+        n = len(values)
+        n_compressed = 0
+        data_bits = 0
+        meta_bits = 0
+        i = 0
+        while i < n:
+            value = values[i] & MASK32
+            pattern = classify_word(value)
+            if pattern is FPCPattern.ZERO_RUN:
+                run = 1
+                while (
+                    run < MAX_ZERO_RUN
+                    and i + run < n
+                    and values[i + run] & MASK32 == 0
+                ):
+                    run += 1
+                n_compressed += run
+                i += run
+            else:
+                if pattern is not FPCPattern.UNCOMP:
+                    n_compressed += 1
+                i += 1
+            data_bits += PAYLOAD_BITS[pattern]
+            meta_bits += PREFIX_BITS
+        return LinePack(
+            n_words=n,
+            n_compressed=n_compressed,
+            data_bits=data_bits,
+            meta_bits=meta_bits,
+        )
+
+    # ---- cost models ------------------------------------------------------
+
+    @property
+    def timing(self) -> CodecTiming:
+        """Published FPC pipeline: 5-cycle decompression (the parallel
+        pattern decode feeds a variable shift network), 3-cycle
+        compression off the critical path."""
+        return CodecTiming(compress_cycles=3, decompress_cycles=5)
+
+    def tag_overhead(self) -> TagOverhead:
+        """A compressed-size tag per line so the controller can locate
+        variable-length lines: ``ceil(log2(35 * n + 1))`` ≈ 10 bits for
+        16-word lines, modelled as a flat 10; prefixes travel in-stream
+        and are counted there."""
+        return TagOverhead(per_word_bits=0.0, per_line_bits=10.0)

@@ -62,11 +62,37 @@ class ImageCompTable:
         """Compressibility mask of the *n_words* line at *addr* (O(1)).
 
         Lines are line-size aligned and pages are line-size multiples,
-        so a line never straddles a page boundary. Returns ``None`` when
-        the page cannot be classified (a strict image with unmapped
-        words inside the page) — callers fall back to classifying.
+        so a line never straddles a page boundary on the hot paths; a
+        straddling probe (diagnostics, oversized spans) is still
+        answered correctly by stitching the covered pages' masks
+        together. Returns ``None`` when any covered page cannot be
+        classified (a strict image with unmapped words inside the
+        page) — callers fall back to classifying.
         """
+        off = (addr & _PAGE_MASK) >> 2
+        if off + n_words <= PAGE_WORDS:
+            mask = self._page_mask(addr >> _PAGE_SHIFT)
+            if mask is None:
+                return None
+            return (mask >> off) & ((1 << n_words) - 1)
+        # Straddle: words past the page end live in the following
+        # page(s); a plain shift would misreport them as incompressible.
+        out = 0
+        done = 0
         page_no = addr >> _PAGE_SHIFT
+        while done < n_words:
+            take = min(PAGE_WORDS - off, n_words - done)
+            mask = self._page_mask(page_no)
+            if mask is None:
+                return None
+            out |= ((mask >> off) & ((1 << take) - 1)) << done
+            done += take
+            page_no += 1
+            off = 0
+        return out
+
+    def _page_mask(self, page_no: int) -> int | None:
+        """The built (or lazily built) mask of *page_no*, else ``None``."""
         mask = self._masks.get(page_no)
         if mask is None:
             try:
@@ -74,7 +100,7 @@ class ImageCompTable:
             except UnmappedAddressError:
                 return None
             self._masks[page_no] = mask
-        return (mask >> ((addr & _PAGE_MASK) >> 2)) & ((1 << n_words) - 1)
+        return mask
 
     def _build(self, page_no: int) -> int:
         base = page_no << _PAGE_SHIFT
@@ -103,8 +129,14 @@ class ImageCompTable:
         if off + len(values) > PAGE_WORDS:
             # Page-straddling writes don't occur on the line-transfer
             # paths; drop rather than split to stay obviously correct.
-            self._masks.pop(page_no, None)
-            self._masks.pop(page_no + 1, None)
+            # Every covered page must go — a wide write can span more
+            # than two, and any survivor would keep a stale mask.
+            if values:
+                last_page = (addr + ((len(values) - 1) << 2)) >> _PAGE_SHIFT
+            else:
+                last_page = page_no
+            for p in range(page_no, last_page + 1):
+                self._masks.pop(p, None)
             return
         page_mask = self._masks.get(page_no)
         if page_mask is None:

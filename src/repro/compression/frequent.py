@@ -45,9 +45,17 @@ class FrequentValueScheme:
         self._sorted = np.asarray(table, dtype=np.uint32)
         self._set = frozenset(table)
         index_bits = max(1, (len(table) - 1).bit_length())
+        if index_bits + 1 > 16:
+            # A 16-bit slot holds a 15-bit index + flag; a bigger table
+            # would silently truncate indices if we capped the width.
+            raise ConfigurationError(
+                f"frequent-value table of {len(table)} entries needs "
+                f"{index_bits}-bit indices, which do not fit the 16-bit "
+                f"compressed slot (max {1 << 15} entries)"
+            )
         #: compressed slot: table index + one flag bit, byte-rounded like
         #: the hardware in [6]; never wider than the paper's 16-bit slot.
-        self.compressed_bits = min(16, 8 * ceil_div(index_bits + 1, 8))
+        self.compressed_bits = 8 * ceil_div(index_bits + 1, 8)
 
     # ---- geometry -----------------------------------------------------------
 

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 from repro.compression.scheme import PAPER_SCHEME, CompressionScheme
 
-__all__ = ["GateDelayModel", "ECCDelayModel", "secded_check_bits"]
+__all__ = [
+    "GateDelayModel",
+    "ECCDelayModel",
+    "CodecTiming",
+    "secded_check_bits",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,47 @@ class GateDelayModel:
         if tag_match_gate_delays <= 0:
             raise ValueError("tag_match_gate_delays must be positive")
         return self.decompress_gate_delays <= tag_match_gate_delays
+
+
+@dataclass(frozen=True)
+class CodecTiming:
+    """Per-codec (de)compression latency in pipeline cycles.
+
+    The paper's scheme hides both directions (compression finishes
+    before write-back, decompression under tag match — the
+    :class:`GateDelayModel` argument), so its cycle costs are zero. The
+    zoo's other codecs pay real latency on the critical read path;
+    numbers follow the published hardware implementations (BDI: 1-cycle
+    decompression — one adder; FPC: 5-cycle decompression pipeline;
+    C-Pack: 9-cycle decompression at 2 words/cycle). ``decompress_cycles``
+    is the honest head-to-head cost: it sits on every hit to a
+    compressed line, exactly where the paper's §3.2 argument claims CPP
+    pays nothing.
+
+    ``compress_gate_delays``/``decompress_gate_delays`` carry the
+    gate-level derivation when one exists (the prefix scheme's
+    :class:`GateDelayModel`); ``None`` means the cycle counts come from
+    the codec's published implementation instead.
+    """
+
+    compress_cycles: int
+    decompress_cycles: int
+    compress_gate_delays: int | None = None
+    decompress_gate_delays: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.compress_cycles < 0 or self.decompress_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+
+    @property
+    def decompression_hidden(self) -> bool:
+        """Zero-cycle decompression — off the critical read path."""
+        return self.decompress_cycles == 0
+
+    @property
+    def compression_hidden(self) -> bool:
+        """Zero-cycle compression — hidden before the write-back stage."""
+        return self.compress_cycles == 0
 
 
 def secded_check_bits(data_bits: int) -> int:

@@ -7,6 +7,7 @@ from types import ModuleType
 from repro.errors import ExperimentError
 from repro.experiments import (
     fig03_compressibility,
+    fig03c_codec_sweep,
     fig09_config_table,
     fig10_traffic,
     fig11_execution_time,
@@ -21,6 +22,7 @@ __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
 
 EXPERIMENTS: dict[str, ModuleType] = {
     "fig3": fig03_compressibility,
+    "fig3c": fig03c_codec_sweep,
     "fig9": fig09_config_table,
     "fig10": fig10_traffic,
     "fig11": fig11_execution_time,

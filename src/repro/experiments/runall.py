@@ -31,6 +31,7 @@ from repro.obs import phases as _phases
 from repro.obs import progress as _progress
 from repro.obs import span as _span
 from repro.obs import telemetry as _telemetry
+from repro.compression import codecs as _codecs
 from repro.sim import backend as _backend
 from repro.sim import fault as _fault
 from repro.sim.parallel import default_workers
@@ -43,7 +44,7 @@ __all__ = ["main"]
 _MATRIX_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
 
 #: Figures that are analytical (no simulation matrix behind them).
-_NO_MATRIX_FIGURES = ("fig3", "fig9")
+_NO_MATRIX_FIGURES = ("fig3", "fig3c", "fig9")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -157,6 +158,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "as REPRO_BACKEND so matrix workers inherit it",
     )
     parser.add_argument(
+        "--codec",
+        default=None,
+        metavar="NAME",
+        help="compression codec for every cell: 'cpp' (the paper's "
+        "prefix scheme, default), 'fpc', 'bdi' or 'cpack'; exported as "
+        "REPRO_CODEC so matrix workers inherit it. Only word-capable "
+        "codecs (cpp, fpc) can drive the simulated hierarchy; line-only "
+        "codecs are for the fig3c ratio/timing sweep",
+    )
+    parser.add_argument(
         "--progress",
         choices=_progress.MODES,
         default=None,
@@ -183,6 +194,25 @@ def _validate(args: argparse.Namespace) -> None:
             argument="--backend",
             choices=_backend.BACKEND_NAMES,
         )
+    if args.codec is not None and args.codec not in _codecs.CODEC_NAMES:
+        raise UsageError(
+            f"unknown codec {args.codec!r}",
+            argument="--codec",
+            choices=_codecs.CODEC_NAMES,
+        )
+    if args.codec is not None and _codecs.get_codec(args.codec).word_scheme is None:
+        figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
+        needs_matrix = [f for f in figures if f not in _NO_MATRIX_FIGURES]
+        if needs_matrix:
+            # Fail fast instead of burning supervised retries on every
+            # cell: the machine would reject the codec identically.
+            raise UsageError(
+                f"codec {args.codec!r} is line-granular only and cannot "
+                f"drive the simulated hierarchy needed by "
+                f"{', '.join(needs_matrix)}; use a word-capable codec "
+                "(cpp, fpc) or an analytical figure (fig3c)",
+                argument="--codec",
+            )
     if args.seed < 0:
         raise UsageError("--seed must be non-negative", argument="--seed")
     if args.scale <= 0:
@@ -347,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.backend:
         # Environment, not per-config: forked matrix workers inherit it.
         _backend.set_default_backend(args.backend)
+    if args.codec:
+        # Same channel as --backend; the store's code-version salt picks
+        # it up so non-default-codec results never collide with cpp's.
+        _codecs.set_default_codec(args.codec)
     if args.check:
         from repro.check.runtime import set_runtime_checks
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.caches.hierarchy import CONFIG_NAMES as _PAPER_CONFIGS
 from repro.caches.hierarchy import HIERARCHY_BUILDERS as _ALL_BUILDERS
 from repro.caches.hierarchy import HierarchyParams
+from repro.compression.codecs import CODEC_NAMES, DEFAULT_CODEC
 from repro.cpu.pipeline import CoreConfig
 from repro.errors import ConfigurationError
 from repro.sim.backend import BACKEND_NAMES
@@ -37,6 +38,14 @@ class SimConfig:
     #: backends produce bit-identical results — this knob only selects
     #: the execution strategy.
     backend: str = ""
+    #: Compression codec from the zoo ("cpp" | "fpc" | "bdi" | "cpack");
+    #: "" defers to the process default (the REPRO_CODEC environment
+    #: variable, falling back to "cpp", the paper's scheme). Unlike
+    #: ``backend``, this knob *changes results*: the resolved codec's
+    #: per-word facet becomes the hierarchy's compression scheme.
+    #: Line-only codecs (bdi, cpack) are rejected at hierarchy-build
+    #: time — they serve the ratio/timing sweeps, not full simulation.
+    codec: str = ""
 
     def __post_init__(self) -> None:
         if self.cache_config.upper() not in _ALL_BUILDERS:
@@ -49,6 +58,10 @@ class SimConfig:
                 f"unknown backend {self.backend!r}; "
                 f"choose from {BACKEND_NAMES}"
             )
+        if self.codec and self.codec not in CODEC_NAMES:
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r}; choose from {CODEC_NAMES}"
+            )
         if self.memory_latency < 1:
             raise ConfigurationError("memory latency must be positive")
         if self.miss_scale <= 0:
@@ -57,7 +70,31 @@ class SimConfig:
     @property
     def name(self) -> str:
         suffix = "" if self.miss_scale == 1.0 else f"@x{self.miss_scale:g}"
+        # An explicit non-default codec changes results, so it must show
+        # in the name (env-selected codecs are salted into the store's
+        # code version instead — see repro.store.cas).
+        if self.codec and self.codec != DEFAULT_CODEC:
+            suffix += f"+{self.codec}"
         return self.cache_config.upper() + suffix
+
+    @property
+    def cache_config_key(self) -> str:
+        """Cache-config identity for memo/checkpoint/cell keys.
+
+        The *resolved* codec (explicit field, else ``REPRO_CODEC``, else
+        the paper default) is salted in when it is not the default —
+        codecs change results, so a ``--codec fpc`` campaign must never
+        reuse cells computed under the paper's scheme from the in-process
+        memo or a resumed checkpoint. Default-codec keys are unchanged,
+        keeping every pre-zoo checkpoint resumable. (``backend`` is
+        deliberately absent: backends are bit-identical by contract.)
+        """
+        from repro.compression.codecs import resolve_codec
+
+        codec = resolve_codec(self.codec)
+        if codec == DEFAULT_CODEC:
+            return self.cache_config
+        return f"{self.cache_config}+{codec}"
 
     def effective_memory_latency(self) -> int:
         """Memory latency after miss scaling (Figure 14 runs halve it)."""

@@ -800,7 +800,10 @@ def cell_key(
     """Canonical identity of one matrix cell.
 
     Matches the runner's memoization key exactly:
-    ``(workload, seed, scale, cache_config, miss_scale)``.
+    ``(workload, seed, scale, cache_config, miss_scale)``, where the
+    cache-config slot is salted with the resolved codec when it is not
+    the paper default (see ``SimConfig.cache_config_key``) — a resumed
+    checkpoint must never serve cells computed under a different codec.
     """
     from repro.sim.config import SIM_CONFIGS, SimConfig
 
@@ -808,7 +811,7 @@ def cell_key(
         config = SIM_CONFIGS.get(config.upper(), None) or SimConfig(
             cache_config=config
         )
-    return (workload, seed, scale, config.cache_config, config.miss_scale)
+    return (workload, seed, scale, config.cache_config_key, config.miss_scale)
 
 
 def try_cell(

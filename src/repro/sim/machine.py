@@ -8,8 +8,16 @@ methodology depends on.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.caches.hierarchy import build_hierarchy
 from repro.caches.interface import MemoryPort
+from repro.compression.codecs import (
+    DEFAULT_CODEC,
+    get_codec,
+    require_word_scheme,
+    resolve_codec,
+)
 from repro.compression.comptable import ImageCompTable
 from repro.inject import hooks as _inject
 from repro.memory.main_memory import MainMemory
@@ -34,11 +42,20 @@ class Machine:
     def run(self, program: Program) -> SimResult:
         """Execute *program* to completion on a fresh machine instance."""
         backend = resolve_backend(self.config.backend)
+        codec_name = resolve_codec(self.config.codec)
+        params = self.config.effective_hierarchy()
+        if codec_name != DEFAULT_CODEC:
+            # Swap the hierarchy's compression scheme for the resolved
+            # codec's per-word facet. Line-only codecs (bdi, cpack) fail
+            # here with a typed error: the word-slot hierarchy needs
+            # per-word compressibility to be pure in (value, address).
+            scheme = require_word_scheme(get_codec(codec_name))
+            params = replace(params, scheme=scheme)
         memory = MainMemory(latency=self.config.effective_memory_latency())
         hierarchy = build_hierarchy(
             self.config.cache_config,
             memory,
-            self.config.effective_hierarchy(),
+            params,
         )
         core = create_core(
             backend, hierarchy, self.config.core, verify_loads=self.verify_loads

@@ -129,7 +129,7 @@ def _run_config_cell(task) -> SimResult:
 
 def _config_key(task) -> tuple[str, str, float]:
     workload, config = task[0], task[1]
-    return (workload, config.cache_config, config.miss_scale)
+    return (workload, config.cache_config_key, config.miss_scale)
 
 
 def run_matrix_parallel_configs(

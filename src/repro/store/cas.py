@@ -62,19 +62,27 @@ COMPUTE_LOG_FILENAME = "compute.log"
 
 def default_code_version() -> str:
     """The store's notion of "which code produced this": package version,
-    the workload generators' version stamp, and the resolved simulation
-    backend (any changing makes every old record address stale, never
-    wrong). Backends are bit-identical by construction, but the salt
-    means a backend bug can never silently poison the other backend's
-    cached cells — and ``fsck``/diff tooling can attribute a record."""
+    the workload generators' version stamp, the resolved simulation
+    backend and — when non-default — the resolved compression codec (any
+    changing makes every old record address stale, never wrong).
+    Backends are bit-identical by construction, but the salt means a
+    backend bug can never silently poison the other backend's cached
+    cells — and ``fsck``/diff tooling can attribute a record. Codecs, by
+    contrast, genuinely change results; the default (``cpp``) is omitted
+    so every pre-zoo record keeps its address."""
     import repro
+    from repro.compression.codecs import DEFAULT_CODEC, default_codec
     from repro.sim.backend import default_backend
     from repro.workloads.registry import GENERATOR_VERSION
 
-    return (
+    version = (
         f"{getattr(repro, '__version__', '0')}+gen{GENERATOR_VERSION}"
         f"+be.{default_backend()}"
     )
+    codec = default_codec()
+    if codec != DEFAULT_CODEC:
+        version += f"+codec.{codec}"
+    return version
 
 
 def default_store_dir() -> Path:

@@ -1,0 +1,91 @@
+"""The codec differential harness: oracles catch planted bugs, zoo is clean."""
+
+import pytest
+
+from repro.check.codec_diff import (
+    CodecDivergence,
+    boundary_lines,
+    check_line,
+    fuzz_codec,
+)
+from repro.compression.codecs import CODEC_NAMES, get_codec
+from repro.compression.codecs.protocol import Codec, EncodedLine, LinePack, TagOverhead
+from repro.compression.timing import CodecTiming
+
+BASE = 0x1000_0000
+
+
+@pytest.mark.parametrize("name", CODEC_NAMES)
+def test_zoo_is_clean(name):
+    assert fuzz_codec(name, seed=0, n_lines=50) == []
+
+
+def test_boundary_lines_cover_the_edges():
+    lines = boundary_lines()
+    flat = [v for vals, _ in lines for v in vals]
+    # The named edges from the satellite: SE8 min/max, BDI overflow
+    # pairs, C-Pack repeat-for-dictionary-hit, long zero runs.
+    assert 0x7F in flat and 0x80 in flat
+    assert 0xFFFF_FF7F in flat and 0xFFFF_FF80 in flat
+    assert flat.count(0xDEAD_BEEF) >= 2
+    assert any(len(vals) == 0 for vals, _ in lines)
+
+
+class _BrokenRoundTrip(Codec):
+    """Drops the last word on decode — the harness must notice."""
+
+    name = "broken-rt"
+
+    def compress_line(self, values, addrs):
+        return EncodedLine(self.name, len(values), tuple(values), 32 * len(values))
+
+    def decompress_line(self, encoded, addrs):
+        return [v & 0xFFFFFFFF for v in encoded.tokens][:-1]
+
+    def pack_line(self, values, addrs):
+        return LinePack(len(values), 0, 32 * len(values), 0)
+
+    @property
+    def timing(self):
+        return CodecTiming(0, 0)
+
+    def tag_overhead(self):
+        return TagOverhead()
+
+
+class _BrokenAccounting(_BrokenRoundTrip):
+    """Round-trips fine but pack_line disagrees with compress_line."""
+
+    name = "broken-bits"
+
+    def decompress_line(self, encoded, addrs):
+        return [v & 0xFFFFFFFF for v in encoded.tokens]
+
+    def pack_line(self, values, addrs):
+        return LinePack(len(values), 0, 32 * len(values) + 1, 0)
+
+
+def test_round_trip_oracle_fires():
+    d = check_line(_BrokenRoundTrip(), [1, 2, 3], BASE)
+    assert isinstance(d, CodecDivergence)
+    assert d.oracle == "round-trip"
+    assert "3" in d.detail or "length" in d.detail
+
+
+def test_bit_accounting_oracle_fires():
+    d = check_line(_BrokenAccounting(), [1, 2, 3], BASE)
+    assert d is not None
+    assert d.oracle == "bit-accounting"
+
+
+def test_divergence_describe_names_the_line():
+    d = check_line(_BrokenRoundTrip(), [0xABCD_0123], BASE)
+    text = d.describe()
+    assert "broken-rt" in text and "0xabcd0123" in text
+
+
+def test_word_facet_equality_for_cpp():
+    # The cpp facet is total: facet count must equal pack count; a line
+    # of half pointers half junk exercises both sides.
+    vals = [BASE + 4 * i if i % 2 else 0xBAD0_0000 + i for i in range(16)]
+    assert check_line(get_codec("cpp"), vals, BASE) is None

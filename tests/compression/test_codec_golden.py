@@ -1,0 +1,269 @@
+"""Codec golden vectors: exact bit budgets and round-trips at the edges.
+
+Table-driven, mirroring ``test_scheme_boundaries.py``: every cell pins
+an encoding the codecs must never drift from — zero lines, all-pointer
+lines, incompressible lines, sign-extension min/max analogues, BDI
+delta-overflow edges and C-Pack dictionary hits/misses. Bit budgets are
+computed by hand from the documented encoding tables.
+"""
+
+import pytest
+
+from repro.compression.codecs import (
+    CODEC_NAMES,
+    DEFAULT_CODEC,
+    get_codec,
+    require_word_scheme,
+)
+from repro.compression.codecs.bdi import BDIEncoding, signed_delta
+from repro.compression.codecs.fpc import FPCPattern, classify_word
+from repro.compression.scheme import PAPER_SCHEME
+from repro.errors import ConfigurationError
+
+BASE = 0x1000_0000
+N = 16  # words per 64-byte line
+
+
+def addrs_for(base, n=N):
+    return [base + 4 * i for i in range(n)]
+
+
+def roundtrip(codec, values, base=BASE):
+    addrs = addrs_for(base, len(values))
+    encoded = codec.compress_line(values, addrs)
+    decoded = codec.decompress_line(encoded, addrs)
+    assert decoded == [v & 0xFFFFFFFF for v in values]
+    pack = codec.pack_line(values, addrs)
+    assert encoded.bits == pack.total_bits
+    return encoded, pack
+
+
+ZERO_LINE = [0] * N
+POINTER_LINE = addrs_for(BASE)  # every word points into its own line
+JUNK_LINE = [0xDEAD_BEE1 + 0x1111_0000 * i for i in range(N)]  # nothing matches
+SMALL_LINE = [5] * N
+
+
+# ---- exact bit budgets, one table per codec --------------------------------
+
+CPP_GOLDEN = [
+    # (values, expected_total_bits): compressible words cost 16, literals
+    # 32, plus one VC flag per word.
+    (ZERO_LINE, N * 16 + N),
+    (SMALL_LINE, N * 16 + N),
+    (POINTER_LINE, N * 16 + N),
+    ([PAPER_SCHEME.small_max] * N, N * 16 + N),
+    ([PAPER_SCHEME.small_min & 0xFFFFFFFF] * N, N * 16 + N),
+    ([(PAPER_SCHEME.small_max + 1)] * N, N * 32 + N),  # one past the edge
+    (JUNK_LINE, N * 32 + N),
+]
+
+FPC_GOLDEN = [
+    # Zero runs cap at 8 words: 16 zeros = two 6-bit run tokens.
+    (ZERO_LINE, 2 * 6),
+    ([5] * N, N * 7),  # SE4 max-adjacent
+    ([7] * N, N * 7),  # SE4 positive max
+    ([8] * N, N * 11),  # one past SE4 → SE8
+    ([0x7F] * N, N * 11),  # SE8 positive max
+    ([0x80] * N, N * 19),  # one past SE8 → SE16
+    ([0xFFFF_FF80] * N, N * 11),  # SE8 negative min
+    ([0xFFFF_FF7F] * N, N * 19),  # one past → SE16
+    ([0xABAB_ABAB] * N, N * 11),  # repeated bytes
+    ([0x7FFF] * N, N * 19),  # SE16 positive max
+    ([0x0012_0000] * N, N * 19),  # halfword padded with zero halfword
+    ([0x007F_FF80] * N, N * 19),  # two halfwords, each an SE byte
+    (JUNK_LINE, N * 35),  # uncompressed literals
+    ([0] * 9 + [0x0BAD_BEE1] + [0] * 6, 6 + 6 + 35 + 6),  # split zero run
+]
+
+BDI_GOLDEN = [
+    (ZERO_LINE, 3),  # tag only
+    ([0x2BAD_F00D] * N, 3 + 32),  # repeated value
+    ([7 * i for i in range(N)], 3 + 32 + N * 9),  # zero-base 1-byte deltas
+    ([0x80] * N, 3 + 32),  # repeated beats base+delta
+    ([0x10000 + i for i in range(N)], 3 + 32 + N * 9),  # base + tiny deltas
+    ([0x10000 + 0x80 * i for i in range(N)], 3 + 32 + N * 17),  # 2-byte deltas
+    ([0x1_0000 * (i + 1) for i in range(N)], 3 + 32 * N),  # deltas overflow
+    ([3, 0x4000_0000, 0x4000_007F, 100] + [0] * 12, 3 + 32 + N * 9),  # dual base
+]
+
+CPACK_GOLDEN = [
+    (ZERO_LINE, N * 2),  # zzzz
+    ([0x12] * N, N * 12),  # zzzx
+    ([0xDEAD_BEEF] * N, 34 + (N - 1) * 6),  # miss then full matches
+    ([0xDEAD_BEEF, 0xDEAD_BE00] + [0] * (N - 2), 34 + 16 + (N - 2) * 2),  # mmmx
+    ([0xDEAD_BEEF, 0xDEAD_1234] + [0] * (N - 2), 34 + 24 + (N - 2) * 2),  # mmxx
+    (JUNK_LINE, N * 34),  # every word a dictionary miss
+]
+
+
+@pytest.mark.parametrize("values,bits", CPP_GOLDEN)
+def test_cpp_golden(values, bits):
+    encoded, pack = roundtrip(get_codec("cpp"), values)
+    assert encoded.bits == bits
+
+
+@pytest.mark.parametrize("values,bits", FPC_GOLDEN)
+def test_fpc_golden(values, bits):
+    encoded, pack = roundtrip(get_codec("fpc"), values)
+    assert encoded.bits == bits
+
+
+@pytest.mark.parametrize("values,bits", BDI_GOLDEN)
+def test_bdi_golden(values, bits):
+    encoded, pack = roundtrip(get_codec("bdi"), values)
+    assert encoded.bits == bits
+
+
+@pytest.mark.parametrize("values,bits", CPACK_GOLDEN)
+def test_cpack_golden(values, bits):
+    encoded, pack = roundtrip(get_codec("cpack"), values)
+    assert encoded.bits == bits
+
+
+# ---- degenerate and boundary shapes (all codecs) ---------------------------
+
+
+@pytest.mark.parametrize("name", CODEC_NAMES)
+class TestDegenerate:
+    def test_empty_line(self, name):
+        codec = get_codec(name)
+        addrs = []
+        encoded = codec.compress_line([], addrs)
+        assert codec.decompress_line(encoded, addrs) == []
+        pack = codec.pack_line([], addrs)
+        assert encoded.bits == pack.total_bits
+        assert pack.ratio == pytest.approx(1.0) or pack.total_bits > 0
+
+    def test_single_word(self, name):
+        for v in (0, 1, 0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF):
+            roundtrip(get_codec(name), [v])
+
+    def test_never_expands_past_bound(self, name):
+        # Worst case per word is bounded: 35 bits (FPC literal+prefix) or
+        # 34 (C-Pack) or 32+flags/tags; a line never exceeds 36n+40 bits.
+        _, pack = roundtrip(get_codec(name), JUNK_LINE)
+        assert pack.total_bits <= 36 * N + 40
+
+    def test_effective_ratio_positive(self, name):
+        codec = get_codec(name)
+        ratio = codec.effective_ratio(ZERO_LINE, addrs_for(BASE))
+        assert ratio > 1.0  # a zero line must win even after overhead
+        junk = codec.effective_ratio(JUNK_LINE, addrs_for(BASE))
+        assert 0.0 < junk <= 1.0  # overhead makes junk a (bounded) loss
+
+    def test_timing_model_sane(self, name):
+        t = get_codec(name).timing
+        assert t.compress_cycles >= 0 and t.decompress_cycles >= 0
+
+
+def test_default_codec_timing_is_hidden():
+    # The paper's claim: CPP pays zero cycles either direction.
+    t = get_codec(DEFAULT_CODEC).timing
+    assert t.compression_hidden and t.decompression_hidden
+    assert not get_codec("cpack").timing.decompression_hidden
+
+
+# ---- BDI specifics: delta overflow and wraparound --------------------------
+
+
+class TestBDIBoundaries:
+    def test_signed_delta_wraparound(self):
+        assert signed_delta(0x0000_0005, 0xFFFF_FFF0) == 0x15
+        assert signed_delta(0xFFFF_FFF0, 0x0000_0005) == -0x15
+        assert signed_delta(0x8000_0000, 0) == -(1 << 31)
+
+    def test_delta_exactly_at_width(self):
+        codec = get_codec("bdi")
+        base = 0x4000_0000
+        ok = [base, base + 0x7F]  # fits 1-byte signed delta
+        encoded, _ = roundtrip(codec, ok + [0] * (N - 2))
+        assert encoded.tokens[0][0] is BDIEncoding.B4D1
+        over = [base, base + 0x80]  # one past → needs 2-byte deltas
+        encoded, _ = roundtrip(codec, over + [0] * (N - 2))
+        assert encoded.tokens[0][0] is BDIEncoding.B4D2
+
+    def test_wraparound_line_compresses(self):
+        # Base near 2^32, neighbours across the wrap: must not overflow.
+        vals = [0xFFFF_FFF0, 0xFFFF_FFFF, 0x0000_0005, 0xFFFF_FFA0] * 4
+        encoded, _ = roundtrip(get_codec("bdi"), vals)
+        assert encoded.tokens[0][0] is BDIEncoding.B4D1
+
+
+# ---- C-Pack specifics: dictionary discipline -------------------------------
+
+
+class TestCPackBoundaries:
+    def test_dictionary_miss_falls_back_to_literal(self):
+        codec = get_codec("cpack")
+        encoded, _ = roundtrip(codec, JUNK_LINE)
+        assert all(t[0].name == "XXXX" for t in encoded.tokens)
+
+    def test_zzzx_words_not_pushed(self):
+        # A zzzx word must not enter the dictionary: a later identical
+        # word is re-coded zzzx (12 bits), not as a 6-bit mmmm hit.
+        codec = get_codec("cpack")
+        encoded, _ = roundtrip(codec, [0x12, 0x12] + [0] * (N - 2))
+        assert [t[0].name for t in encoded.tokens[:2]] == ["ZZZX", "ZZZX"]
+
+    def test_fifo_eviction_after_capacity(self):
+        # 17th distinct word evicts the first; matching it afterwards
+        # must miss (the FIFO forgot it) — decoder must still agree.
+        codec = get_codec("cpack")
+        distinct = [0x1111_0000 + 0x0101_0101 * i for i in range(17)]
+        vals = distinct + [distinct[0]]
+        encoded, _ = roundtrip(codec, vals, base=BASE)
+        assert encoded.tokens[-1][0].name == "XXXX"
+
+
+# ---- FPC specifics: pattern classification at the edges --------------------
+
+
+@pytest.mark.parametrize(
+    "value,pattern",
+    [
+        (0, FPCPattern.ZERO_RUN),
+        (7, FPCPattern.SE4),
+        (8, FPCPattern.SE8),
+        (0xFFFF_FFF8, FPCPattern.SE4),
+        (0xFFFF_FFF7, FPCPattern.SE8),
+        (0x7F, FPCPattern.SE8),
+        (0x80, FPCPattern.SE16),
+        (0xFFFF_FF80, FPCPattern.SE8),
+        (0xFFFF_FF7F, FPCPattern.SE16),
+        (0xABAB_ABAB, FPCPattern.REP8),
+        (0x7FFF, FPCPattern.SE16),
+        (0x8000, FPCPattern.UNCOMP),  # low-half sign bit: no pattern fits
+        (0x0012_0000, FPCPattern.HI16),
+        (0x007F_FF80, FPCPattern.TWO_SE8),
+        (0x1234_5678, FPCPattern.UNCOMP),
+    ],
+)
+def test_fpc_classification_edges(value, pattern):
+    assert classify_word(value) is pattern
+
+
+# ---- registry / facet contract ---------------------------------------------
+
+
+def test_registry_names_and_instances():
+    assert CODEC_NAMES == ("cpp", "fpc", "bdi", "cpack")
+    for name in CODEC_NAMES:
+        assert get_codec(name).name == name
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(ConfigurationError):
+        get_codec("lz77")
+
+
+def test_line_only_codecs_refuse_word_slots():
+    for name in ("bdi", "cpack"):
+        with pytest.raises(ConfigurationError):
+            require_word_scheme(get_codec(name))
+    for name in ("cpp", "fpc"):
+        assert require_word_scheme(get_codec(name)) is not None
+
+
+def test_cpp_word_facet_is_the_paper_scheme():
+    assert get_codec("cpp").word_scheme == PAPER_SCHEME

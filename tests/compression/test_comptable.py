@@ -168,3 +168,86 @@ def test_page_words_constant_matches_mask_width():
     table.line_comp(BASE, LINE_WORDS)
     (mask,) = table._masks.values()
     assert mask.bit_length() <= PAGE_WORDS
+
+
+class TestPageStraddleRegressions:
+    """Regressions for the page-boundary bugs the codec audit found."""
+
+    def test_straddling_probe_reads_both_pages(self):
+        # Words past the page end used to fall off the shifted mask and
+        # read as incompressible zeros.
+        scheme = CompressionScheme()
+        image = seeded_image()
+        # Second page content: alternating compressible/incompressible.
+        for i in range(LINE_WORDS):
+            image.write_word(BASE + 4096 + 4 * i, [3, 0xBAD0_0001][i % 2])
+        table = ImageCompTable(image, scheme)
+        addr = BASE + 4096 - 4 * (LINE_WORDS // 2)  # half in each page
+        assert table.line_comp(addr, LINE_WORDS) == brute_mask(
+            scheme, image, addr, LINE_WORDS
+        )
+
+    def test_straddling_probe_none_when_second_page_unmapped(self):
+        image = MemoryImage(strict=True)
+        for i in range(PAGE_WORDS):
+            image.write_word(BASE + 4 * i, 7)  # first page fully mapped
+        table = ImageCompTable(image, CompressionScheme())
+        addr = BASE + 4096 - 8
+        assert table.line_comp(addr, 4) is None
+
+    def test_wide_straddling_write_drops_every_covered_page(self):
+        # A write spanning three pages used to leave the third stale.
+        scheme = CompressionScheme()
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        for p in range(3):
+            table.line_comp(BASE + 4096 * p, LINE_WORDS)
+        assert table.n_pages == 3
+        start = BASE + 4096 - 4
+        n = PAGE_WORDS + 2  # last word of page 0 .. first of page 2
+        values = [0xBAD0_0001] * n
+        image.write_words(start, values)
+        table.note_write(start, values, mask=(1 << n) - 1)
+        assert table.n_pages == 0
+        for p in range(3):
+            addr = BASE + 4096 * p
+            assert table.line_comp(addr, LINE_WORDS) == brute_mask(
+                scheme, image, addr, LINE_WORDS
+            )
+
+    def test_empty_write_is_harmless(self):
+        table = ImageCompTable(seeded_image(), CompressionScheme())
+        table.line_comp(BASE, LINE_WORDS)
+        table.note_write(BASE + 4096 - 4, [], mask=0)
+        assert table.n_pages == 1
+
+
+class TestCodecWordSchemes:
+    """The table works for any codec exposing a per-word facet."""
+
+    @pytest.mark.parametrize("codec_name", ["cpp", "fpc"])
+    def test_table_matches_codec_word_scheme(self, codec_name):
+        from repro.compression.codecs import get_codec
+
+        scheme = get_codec(codec_name).word_scheme
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        for line in range(4):
+            addr = BASE + 4 * LINE_WORDS * line
+            assert table.line_comp(addr, LINE_WORDS) == brute_mask(
+                scheme, image, addr, LINE_WORDS
+            )
+
+    def test_note_write_under_fpc_scheme(self):
+        from repro.compression.codecs import get_codec
+
+        scheme = get_codec("fpc").word_scheme
+        image = seeded_image()
+        table = ImageCompTable(image, scheme)
+        table.line_comp(BASE, LINE_WORDS)
+        values = [0x0101_0101, 0x1234_5678]  # repeated-byte, junk
+        image.write_words(BASE, values)
+        table.note_write(BASE, values, mask=0b11)
+        assert table.line_comp(BASE, LINE_WORDS) == brute_mask(
+            scheme, image, BASE, LINE_WORDS
+        )

@@ -91,3 +91,26 @@ class TestEndToEndWithCPP:
         hierarchy.flush()
         assert memory.image == program.final_image
         assert hierarchy.l1_stats.prefetched_words > 0  # FVC-driven prefetch
+
+
+class TestTableWidthBoundary:
+    """Regression: oversized tables silently capped compressed_bits at 16
+    while their indices needed more than the 15-bit payload."""
+
+    def test_max_table_size_accepted(self):
+        s = FrequentValueScheme(range(1 << 15))
+        assert s.compressed_bits == 16
+        assert s.table_size == 1 << 15
+        # Every index must fit the payload.
+        assert (s.table_size - 1).bit_length() <= s.payload_bits
+
+    def test_oversized_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequentValueScheme(range((1 << 15) + 1))
+
+    def test_dedup_keeps_geometry_consistent(self):
+        # 200 raw entries collapsing to 2 must size the slot for 2.
+        s = FrequentValueScheme([1, 2] * 100)
+        assert s.table_size == 2
+        assert s.compressed_bits == 8
+        assert (s.table_size - 1).bit_length() <= s.payload_bits

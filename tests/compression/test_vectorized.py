@@ -110,3 +110,27 @@ class TestSummary:
         s = compression_summary(values, addrs)
         total = s.fraction_small + s.fraction_pointer + s.n_incompressible / s.n_words
         assert total == pytest.approx(1.0)
+
+
+class TestEmptyTraceFractions:
+    """Satellite regression: no fraction_* may divide by zero."""
+
+    def test_all_fractions_zero_on_empty(self):
+        s = compression_summary(
+            np.array([], dtype=np.uint32), np.array([], dtype=np.uint32)
+        )
+        assert s.fraction_compressible == 0.0
+        assert s.fraction_small == 0.0
+        assert s.fraction_pointer == 0.0
+
+    def test_summary_from_all_filtered_words(self):
+        # A summary built over a fully masked-out selection has n_words
+        # == 0 and must behave like the empty trace.
+        values = np.array([5, 7], dtype=np.uint32)
+        addrs = np.array([0x1000_0000, 0x1000_0004], dtype=np.uint32)
+        keep = np.zeros(2, dtype=bool)
+        s = compression_summary(values[keep], addrs[keep])
+        assert s.n_words == 0
+        assert s.fraction_compressible == 0.0
+        assert s.fraction_small == 0.0
+        assert s.fraction_pointer == 0.0

@@ -23,9 +23,10 @@ def _fresh():
 
 
 class TestRegistry:
-    def test_all_eight_figures_registered(self):
+    def test_all_nine_figures_registered(self):
         assert set(EXPERIMENTS) == {
-            "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig3", "fig3c", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15",
         }
 
     def test_lookup_normalization(self):
@@ -81,6 +82,26 @@ class TestEveryFigure:
         out = run_experiment("fig11", SUBSET, scale=SCALE)
         assert out.rows[-1][0] == "average"
 
+    def test_fig3c_covers_every_codec_with_timing(self):
+        from repro.compression.codecs import CODEC_NAMES
+
+        out = run_experiment("fig3c", SUBSET, scale=SCALE)
+        codec_col = out.headers.index("codec")
+        ratio_col = out.headers.index("ratio")
+        eff_col = out.headers.index("effective ratio")
+        dec_col = out.headers.index("decompress cycles")
+        for workload in SUBSET + ["average"]:
+            seen = {r[codec_col] for r in out.rows if r[0] == workload}
+            assert seen == set(CODEC_NAMES)
+        for row in out.rows:
+            assert row[ratio_col] > 0
+            # Overhead can only reduce the ratio, never raise it.
+            assert row[eff_col] <= row[ratio_col] + 1e-9
+            assert row[dec_col] >= 0
+        # The paper's scheme is the only zero-cycle codec in the zoo.
+        cpp_rows = [r for r in out.rows if r[codec_col] == "cpp"]
+        assert all(r[dec_col] == 0 for r in cpp_rows)
+
 
 class TestCli:
     def test_main_runs_single_figure(self, capsys):
@@ -99,3 +120,28 @@ class TestCli:
         )
         assert rc == 0
         assert "olden.treeadd" in capsys.readouterr().out
+
+    def test_line_only_codec_rejected_before_simulation(self, capsys):
+        from repro.experiments.runall import main
+
+        rc = main(
+            ["fig11", "--workloads", "olden.mst", "--codec", "bdi", "--no-charts"]
+        )
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "line-granular" in err and "fig11" in err
+
+    def test_line_only_codec_allowed_for_fig3c(self, capsys, monkeypatch):
+        from repro.experiments.runall import main
+
+        # The CLI exports REPRO_CODEC; registering it with monkeypatch
+        # guarantees the pre-test value comes back at teardown.
+        monkeypatch.setenv("REPRO_CODEC", "cpp")
+        rc = main(
+            [
+                "fig3c", "--workloads", "olden.mst", "--scale", "0.1",
+                "--codec", "bdi", "--no-charts",
+            ]
+        )
+        assert rc == 0
+        assert "bdi" in capsys.readouterr().out

@@ -35,3 +35,36 @@ class TestSimConfig:
     def test_l1_hit_latency_unscaled(self):
         cfg = SimConfig().with_miss_scale(0.5)
         assert cfg.effective_hierarchy().l1_latency == 1
+
+
+class TestCacheConfigKey:
+    """Memo/checkpoint identity must track the *resolved* codec.
+
+    Regression: before salting, a checkpoint (or the in-process result
+    memo) written under the paper's scheme silently served its cells to
+    a --codec run, which genuinely changes results.
+    """
+
+    def test_default_codec_key_is_bare(self):
+        assert SimConfig(cache_config="CPP").cache_config_key == "CPP"
+
+    def test_explicit_default_codec_key_is_bare(self):
+        assert SimConfig(cache_config="CPP", codec="cpp").cache_config_key == "CPP"
+
+    def test_explicit_codec_salts_key(self):
+        assert SimConfig(cache_config="CPP", codec="fpc").cache_config_key == "CPP+fpc"
+
+    def test_env_codec_salts_key(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEC", "fpc")
+        assert SimConfig(cache_config="BC").cache_config_key == "BC+fpc"
+
+    def test_cell_key_uses_salted_identity(self, monkeypatch):
+        from repro.sim.fault import cell_key
+
+        assert cell_key("olden.mst", "CPP")[3] == "CPP"
+        monkeypatch.setenv("REPRO_CODEC", "fpc")
+        assert cell_key("olden.mst", "CPP")[3] == "CPP+fpc"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(codec="lz77")

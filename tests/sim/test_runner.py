@@ -45,6 +45,23 @@ class TestResultCache:
     def test_lowercase_config(self):
         assert run_workload("olden.mst", "cpp", scale=0.1).config == "CPP"
 
+    def test_codecs_are_distinct_keys(self):
+        # Regression: the memo must never serve a paper-scheme result to
+        # a non-default-codec run (codecs change results).
+        from repro.sim.config import SimConfig
+
+        a = run_workload("olden.mst", SimConfig(cache_config="CPP"), scale=0.1)
+        b = run_workload(
+            "olden.mst", SimConfig(cache_config="CPP", codec="fpc"), scale=0.1
+        )
+        assert a is not b
+
+    def test_env_codec_is_distinct_key(self, monkeypatch):
+        a = run_workload("olden.mst", "CPP", scale=0.1)
+        monkeypatch.setenv("REPRO_CODEC", "fpc")
+        b = run_workload("olden.mst", "CPP", scale=0.1)
+        assert a is not b
+
 
 class TestMatrix:
     def test_full_shape(self):

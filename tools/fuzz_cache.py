@@ -138,9 +138,17 @@ def run_cell(
     *,
     audit: bool,
     strict_boundary: bool = False,
+    scheme=None,
+    label: str | None = None,
 ) -> tuple[bool, str]:
-    """One fuzz cell; returns (ok, report)."""
-    scheme = CompressionScheme(payload_bits=width)
+    """One fuzz cell; returns (ok, report).
+
+    *scheme* overrides the default width-parametrized paper scheme — the
+    codec sweep passes a codec's per-word facet here so the full
+    differential hierarchy runs under it.
+    """
+    if scheme is None:
+        scheme = CompressionScheme(payload_bits=width)
     params = tiny_params(scheme)
     regions = fuzz_regions()
     rng = random.Random(seed)
@@ -168,7 +176,7 @@ def run_cell(
     if divergence is None:
         return True, ""
     minimal, final = runner.minimize(ops, audit=audit)
-    label = f"{config} width={width} seed={seed}"
+    label = label or f"{config} width={width} seed={seed}"
     report = [
         f"FAIL [{label}] {final.where}: real={final.real!r} ref={final.ref!r}",
         f"  minimized to {len(minimal)} ops (from {len(ops)}):",
@@ -347,6 +355,17 @@ def main(argv: list[str] | None = None) -> int:
         "programs through the full machine under every backend and "
         "demand bit-identical results",
     )
+    parser.add_argument(
+        "--codec",
+        default=None,
+        metavar="NAMES",
+        help="fuzz the codec zoo instead: comma-separated codec names or "
+        "'all'. Every codec gets line-level contract fuzzing (round-trip, "
+        "bit accounting, pack sanity, determinism, word-facet agreement "
+        "— boundary lines first, then random ones); word-capable codecs "
+        "additionally drive the full differential hierarchy under their "
+        "per-word scheme",
+    )
     parser.add_argument("--workload", help="differentially replay a generated workload")
     parser.add_argument("--scale", type=float, default=0.05, help="workload scale")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
@@ -401,6 +420,64 @@ def _sweep(args: argparse.Namespace) -> int:
         status = "ok" if not failures else f"{failures} FAILURES"
         print(f"[store corruption] {args.seeds} seeds: {status}")
         return emit_summary(cells, args.seeds, failures, args.seeds)
+
+    if args.codec:
+        from repro.check.codec_diff import fuzz_codec
+        from repro.compression.codecs import CODEC_NAMES, get_codec
+
+        names = (
+            list(CODEC_NAMES)
+            if args.codec.strip().lower() == "all"
+            else [c.strip().lower() for c in args.codec.split(",") if c.strip()]
+        )
+        expected = 0
+        for name in names:
+            codec = get_codec(name)  # typos fail before any cell runs
+            cell_failures = 0
+            for seed in range(args.seeds):
+                with _span.span("fuzz_codec_lines", codec=name, seed=seed):
+                    divergences = fuzz_codec(
+                        name, seed, n_lines=max(1, args.ops // 2)
+                    )
+                cells += 1
+                if divergences:
+                    cell_failures += 1
+                    failures += 1
+                    for d in divergences[:5]:
+                        print(f"[codec {name} seed={seed}] {d.describe()}")
+            status = "ok" if not cell_failures else f"{cell_failures} FAILURES"
+            print(f"[codec-lines {name}] {args.seeds} seeds: {status}")
+            expected += args.seeds
+            if codec.word_scheme is None:
+                continue
+            # Word-capable codecs also drive the real-vs-naive hierarchy.
+            for config in configs:
+                cfg_failures = 0
+                for seed in range(args.seeds):
+                    ok, report = run_cell(
+                        config,
+                        getattr(codec.word_scheme, "payload_bits", 15),
+                        seed,
+                        args.ops,
+                        audit=args.audit,
+                        scheme=codec.word_scheme,
+                        label=f"{config} codec={name} seed={seed}",
+                    )
+                    cells += 1
+                    if not ok:
+                        cfg_failures += 1
+                        failures += 1
+                        print(report)
+                status = (
+                    "ok" if not cfg_failures else f"{cfg_failures} FAILURES"
+                )
+                print(
+                    f"[codec-hierarchy {name} {config}] "
+                    f"{args.seeds} seeds: {status}"
+                )
+                expected += args.seeds
+        print(f"{cells} cells total, {failures} divergent")
+        return emit_summary(cells, expected, failures, args.seeds)
 
     if args.backend_equiv:
         from repro.check.diff import BackendDiffRunner, random_program
