@@ -229,6 +229,10 @@ class LeaseError(StoreError):
     """A queue lease operation failed (lost, expired or foreign lease)."""
 
 
+class ServeError(ReproError):
+    """The experiment service failed to start or was misconfigured."""
+
+
 class MatrixPartialFailure(ExperimentError):
     """Some matrix cells failed permanently after exhausting retries.
 

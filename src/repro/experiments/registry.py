@@ -18,7 +18,20 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentOutput
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "MATRIX_CONFIGS",
+    "NO_MATRIX_FIGURES",
+    "get_experiment",
+    "run_experiment",
+    "miss_scales_for",
+]
+
+#: Every cache configuration any simulation figure needs.
+MATRIX_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
+
+#: Figures that are analytical (no simulation matrix behind them).
+NO_MATRIX_FIGURES = ("fig3", "fig3c", "fig9")
 
 EXPERIMENTS: dict[str, ModuleType] = {
     "fig3": fig03_compressibility,
@@ -31,6 +44,15 @@ EXPERIMENTS: dict[str, ModuleType] = {
     "fig14": fig14_importance,
     "fig15": fig15_ready_queue,
 }
+
+
+def miss_scales_for(figures) -> tuple[float, ...]:
+    """The miss-latency scales the matrix needs for *figures*.
+
+    Figure 14 (the importance-of-latency study) is the only figure that
+    re-runs the matrix at a second miss-latency scale.
+    """
+    return (1.0, 0.5) if "fig14" in figures else (1.0,)
 
 
 def get_experiment(figure: str) -> ModuleType:

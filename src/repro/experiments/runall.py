@@ -25,7 +25,13 @@ import time
 
 from repro.errors import ReproError, UsageError
 from repro.experiments.common import render_output
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    MATRIX_CONFIGS,
+    NO_MATRIX_FIGURES,
+    miss_scales_for,
+    run_experiment,
+)
 from repro.obs import export as _export
 from repro.obs import phases as _phases
 from repro.obs import progress as _progress
@@ -36,15 +42,14 @@ from repro.sim import backend as _backend
 from repro.sim import fault as _fault
 from repro.sim.parallel import default_workers
 from repro.sim.runner import inject_results, memo_stats
+from repro.utils.signals import interrupt_on_signal
 from repro.workloads.registry import WORKLOAD_NAMES
 
 __all__ = ["main"]
 
-#: Every cache configuration any simulation figure needs.
-_MATRIX_CONFIGS = ("BC", "BCC", "HAC", "BCP", "CPP")
-
-#: Figures that are analytical (no simulation matrix behind them).
-_NO_MATRIX_FIGURES = ("fig3", "fig3c", "fig9")
+#: Back-compat aliases (the canonical homes are in the registry).
+_MATRIX_CONFIGS = MATRIX_CONFIGS
+_NO_MATRIX_FIGURES = NO_MATRIX_FIGURES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -128,6 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "commit to DIR through a write-ahead journal and are verified on "
         "read; multiple processes pointed at the same DIR drain one "
         "campaign queue without double-computing (replaces --checkpoint)",
+    )
+    parser.add_argument(
+        "--serve",
+        nargs="?",
+        const="127.0.0.1:8765",
+        default=None,
+        metavar="HOST:PORT",
+        help="instead of computing inline, boot the resilient experiment "
+        "service on HOST:PORT (default 127.0.0.1:8765; port 0 picks a "
+        "free one): the requested figures' matrix is pre-enqueued, a "
+        "self-healing worker pool drains it, and results are served "
+        "over HTTP (GET /v1/figure/<name>; 202 + Retry-After until "
+        "ready). Requires --store",
     )
     parser.add_argument(
         "--no-profile",
@@ -232,6 +250,18 @@ def _validate(args: argparse.Namespace) -> None:
             "`python -m repro.store migrate`)",
             argument="--store",
         )
+    if args.serve is not None:
+        if args.store is None:
+            raise UsageError(
+                "--serve needs --store DIR (the service serves the store)",
+                argument="--serve",
+            )
+        host, sep, port = args.serve.rpartition(":")
+        if not sep or not port.lstrip("-").isdigit() or int(port) < 0:
+            raise UsageError(
+                f"--serve expects HOST:PORT, got {args.serve!r}",
+                argument="--serve",
+            )
     if args.store is not None and not args.resume:
         raise UsageError(
             "--no-resume makes no sense with --store (the store is "
@@ -291,7 +321,7 @@ def _precompute_matrix(args, sim_figures: list[str]) -> None:
     ledger and render as holes.
     """
     workloads = args.workloads or list(WORKLOAD_NAMES)
-    miss_scales = (1.0, 0.5) if "fig14" in sim_figures else (1.0,)
+    miss_scales = miss_scales_for(sim_figures)
     workers = args.workers or (default_workers() if args.parallel else 1)
     policy = _fault.FaultPolicy(
         timeout=args.timeout, retries=args.retries, fail_fast=args.fail_fast
@@ -342,6 +372,18 @@ def _precompute_matrix(args, sim_figures: list[str]) -> None:
     )
 
 
+def _render_figure(figure: str, args: argparse.Namespace) -> None:
+    """Regenerate and print one figure (the matrix is already in)."""
+    t0 = time.perf_counter()
+    with _phases.phase(f"figure.{figure}"), _span.span(f"figure.{figure}"):
+        output = run_experiment(
+            figure, args.workloads, seed=args.seed, scale=args.scale
+        )
+    elapsed = time.perf_counter() - t0
+    print(render_output(output, charts=not args.no_charts))
+    print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+
+
 def _export_telemetry(store, directory: str) -> None:
     """Finalize the run's telemetry and write both export formats."""
     from pathlib import Path
@@ -390,6 +432,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     figures = list(EXPERIMENTS) if "all" in args.figures else args.figures
     sim_figures = [f for f in figures if f not in _NO_MATRIX_FIGURES]
+    if args.serve is not None:
+        # Service mode: pre-enqueue the figures' matrix and hand the
+        # campaign to repro.serve's self-healing worker pool. Blocks
+        # until SIGTERM/SIGINT (graceful drain) and exits 0.
+        from repro.serve.app import run_service
+
+        host, _, port = args.serve.rpartition(":")
+        return run_service(
+            args.store,
+            host=host,
+            port=int(port),
+            workers=args.workers or default_workers(),
+            cell_timeout=args.timeout,
+            retries=args.retries,
+            enqueue={
+                "figures": sim_figures,
+                "workloads": args.workloads,
+                "seed": args.seed,
+                "scale": args.scale,
+            },
+        )
     profiler = None
     if args.profile:
         import cProfile
@@ -397,19 +460,14 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        if sim_figures:
-            _precompute_matrix(args, sim_figures)
-        for figure in figures:
-            t0 = time.perf_counter()
-            with _phases.phase(f"figure.{figure}"), _span.span(
-                f"figure.{figure}"
-            ):
-                output = run_experiment(
-                    figure, args.workloads, seed=args.seed, scale=args.scale
-                )
-            elapsed = time.perf_counter() - t0
-            print(render_output(output, charts=not args.no_charts))
-            print(f"[{figure} regenerated in {elapsed:.1f}s]\n")
+        # SIGTERM (what init systems and CI send first) unwinds exactly
+        # like Ctrl-C: held queue leases are released by the campaign
+        # engines' cleanup and the checkpoint stays a clean prefix.
+        with interrupt_on_signal():
+            if sim_figures:
+                _precompute_matrix(args, sim_figures)
+            for figure in figures:
+                _render_figure(figure, args)
     except KeyboardInterrupt:
         _progress.report(
             "interrupted — completed cells are checkpointed; "

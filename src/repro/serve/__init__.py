@@ -1,0 +1,32 @@
+"""The resilient experiment service (`python -m repro.serve`).
+
+An HTTP facade over the content-addressed result store and its lease
+queue, plus the self-healing worker pool that drains it:
+
+* :mod:`repro.serve.app` — the stdlib asyncio HTTP server and the
+  service lifecycle (supervision loop, background GC, graceful drain);
+* :mod:`repro.serve.handlers` — pure request handlers implementing the
+  202-until-200 degraded-mode contract;
+* :mod:`repro.serve.supervisor` — the worker pool: spawn, reap, reclaim
+  leases, restart with deterministic backoff, stall-kill;
+* :mod:`repro.serve.worker` — one queue-draining worker process;
+* :mod:`repro.serve.client` — a blocking stdlib client with the polling
+  contract built in.
+
+The design rule throughout: every durable truth lives in the store (and
+is verified on read); the service holds no state a SIGKILL could lose.
+"""
+
+from repro.serve.app import ExperimentService, run_service
+from repro.serve.client import ServeClient, ServeReply
+from repro.serve.supervisor import WorkerPool
+from repro.serve.worker import run_worker
+
+__all__ = [
+    "ExperimentService",
+    "ServeClient",
+    "ServeReply",
+    "WorkerPool",
+    "run_service",
+    "run_worker",
+]

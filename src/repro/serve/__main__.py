@@ -1,0 +1,127 @@
+"""CLI: boot the resilient experiment service.
+
+Usage::
+
+    python -m repro.serve --store results/store
+    python -m repro.serve --store DIR --workers 4 --port 0 \\
+        --enqueue fig12 --workloads olden.treeadd --scale 0.1 \\
+        --exit-when-drained
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError, UsageError
+from repro.experiments.registry import EXPERIMENTS
+from repro.store.queue import DEFAULT_LEASE_TTL
+from repro.workloads.registry import WORKLOAD_NAMES
+
+from repro.serve.app import run_service
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "HTTP experiment service over the content-addressed result "
+            "store: cached cells served instantly, misses enqueued for a "
+            "self-healing worker pool, 202 + Retry-After while pending."
+        ),
+    )
+    parser.add_argument("--store", required=True, metavar="DIR")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 picks a free one; see the SERVE-READY line)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the pool (0 serves the store read-only)",
+    )
+    parser.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL)
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-attempt budget for one cell; hung attempts are retried "
+        "with backoff",
+    )
+    parser.add_argument("--retries", type=int, default=1)
+    parser.add_argument(
+        "--gc-budget", type=int, default=None, metavar="BYTES",
+        help="object-tree byte budget; exceeding it triggers background "
+        "GC of superseded code-version records",
+    )
+    parser.add_argument("--gc-interval", type=float, default=60.0)
+    parser.add_argument(
+        "--enqueue", nargs="*", default=None, metavar="FIG",
+        help=f"pre-enqueue the matrix these figures need "
+        f"({', '.join(EXPERIMENTS)}, or 'all')",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="NAME",
+        help="workload subset for --enqueue (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--exit-when-drained", action="store_true",
+        help="exit 0 once every campaign is settled (CI mode)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.workers < 0:
+            raise UsageError("--workers must be >= 0", argument="--workers")
+        if args.scale <= 0:
+            raise UsageError("--scale must be positive", argument="--scale")
+        enqueue = None
+        if args.enqueue is not None:
+            figures = (
+                list(EXPERIMENTS) if "all" in args.enqueue else args.enqueue
+            )
+            for figure in figures:
+                if figure not in EXPERIMENTS:
+                    raise UsageError(
+                        f"unknown figure {figure!r}",
+                        argument="--enqueue",
+                        choices=tuple(EXPERIMENTS) + ("all",),
+                    )
+            for workload in args.workloads or ():
+                if workload not in WORKLOAD_NAMES:
+                    raise UsageError(
+                        f"unknown workload {workload!r}",
+                        argument="--workloads",
+                        choices=tuple(WORKLOAD_NAMES),
+                    )
+            enqueue = {
+                "figures": figures,
+                "workloads": args.workloads,
+                "seed": args.seed,
+                "scale": args.scale,
+            }
+        return run_service(
+            args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            lease_ttl=args.lease_ttl,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            gc_budget_bytes=args.gc_budget,
+            gc_interval=args.gc_interval,
+            enqueue=enqueue,
+            exit_when_drained=args.exit_when_drained,
+        )
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - process entry
+    sys.exit(main())

@@ -1,0 +1,451 @@
+"""The asyncio HTTP service: accept loop, supervision, GC, shutdown.
+
+Stdlib only — a hand-rolled HTTP/1.1 server on ``asyncio.start_server``
+(no aiohttp to install, nothing to pin). Deliberately minimal: JSON in,
+JSON out, ``Connection: close`` on every response, bodies capped at
+1 MiB. Handlers (:mod:`repro.serve.handlers`) run in a worker thread so
+a slow store scan never blocks the accept loop.
+
+The service owns three background loops:
+
+* **supervision** — ``pool.poll()`` keeps the worker pool at strength
+  (reap, reclaim leases, restart with backoff, stall-kill);
+* **GC** — with a byte budget, :func:`repro.store.gc.gc_store` runs
+  periodically so the store can't grow without bound while serving;
+* **drain watch** — with ``exit_when_drained``, the service exits 0 on
+  its own once every campaign is settled (what the CI job leans on).
+
+SIGTERM/SIGINT trigger the same graceful path: stop accepting, drain
+the pool (SIGTERM → wait → SIGKILL), flush the service's own metrics
+next to the store, exit 0.
+
+On start the service prints one machine-readable line::
+
+    SERVE-READY {"host": ..., "port": ..., "pid": ...}
+
+so scripts (chaos harness, CI) can bind port 0 and discover the real
+port without racing the log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError, ServeError, UsageError
+from repro.obs import span as _span
+from repro.obs.metrics import REGISTRY
+from repro.store.cas import ResultStore
+from repro.store.queue import DEFAULT_LEASE_TTL, CampaignQueue
+from repro.utils.atomic import atomic_write_text
+
+from repro.serve import handlers as _handlers
+from repro.serve.handlers import Request, Response
+from repro.serve.supervisor import WorkerPool
+
+__all__ = ["ExperimentService", "run_service"]
+
+MAX_BODY_BYTES = 1 << 20
+SERVER_NAME = "repro-serve"
+
+#: The ready line scripts parse; everything after the space is JSON.
+READY_PREFIX = "SERVE-READY "
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP from the client (maps to a 400, never a crash)."""
+
+
+class ExperimentService:
+    """Shared state the handlers see (store access, pool, GC, metrics)."""
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        pool: WorkerPool | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        retry_after: int = _handlers.RETRY_AFTER,
+        gc_budget_bytes: int | None = None,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.pool = pool
+        self.lease_ttl = lease_ttl
+        self.retry_after = retry_after
+        self.gc_budget_bytes = gc_budget_bytes
+        self.pid = os.getpid()
+        self.last_gc: dict | None = None
+        self._started = time.monotonic()
+        # One recovery pass up front so a crashed predecessor's journal
+        # rolls forward before the first request reads the store.
+        ResultStore(self.store_dir).recover()
+
+    def store(self) -> ResultStore:
+        """A fresh store handle (cheap; no open file state to share)."""
+        return ResultStore(self.store_dir)
+
+    def uptime(self) -> float:
+        """Seconds since the service object was created."""
+        return time.monotonic() - self._started
+
+    def observe_request(self, route: str, status: int, seconds: float) -> None:
+        """Record one handled request in the metrics registry."""
+        REGISTRY.inc("serve.requests", route=route, status=str(status))
+        REGISTRY.observe("serve.request_seconds", seconds)
+
+    def run_gc(self, *, budget_bytes=None) -> "object":
+        """One real GC pass (background task and POST /v1/gc share it)."""
+        from repro.store.gc import gc_store
+
+        budget = budget_bytes if budget_bytes is not None else self.gc_budget_bytes
+        report = gc_store(self.store(), budget_bytes=budget)
+        self.last_gc = report.as_dict()
+        return report
+
+    def campaigns_drained(self) -> bool:
+        """True when campaigns exist and every one of them is settled."""
+        root = self.store().root / "queue"
+        if not root.is_dir():
+            return False
+        queues = [
+            CampaignQueue(root, p.name, lease_ttl=self.lease_ttl)
+            for p in sorted(root.iterdir())
+            if p.is_dir()
+        ]
+        return bool(queues) and all(q.drained() for q in queues)
+
+
+# -- wire protocol -----------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request:
+    """Parse one HTTP/1.1 request from the stream (strictly enough)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as exc:
+        raise _BadRequest(str(exc)) from exc
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path, _, query = target.partition("?")
+    params = {}
+    if query:
+        from urllib.parse import parse_qsl
+
+        params = dict(parse_qsl(query, keep_blank_values=True))
+    body: dict = {}
+    length = int(headers.get("content-length", 0) or 0)
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(f"body too large ({length} bytes)")
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _BadRequest(f"body is not JSON: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise _BadRequest("body must be a JSON object")
+        body = parsed
+    from urllib.parse import unquote
+
+    return Request(
+        method=method.upper(), path=unquote(path), params=params, body=body
+    )
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def _render(response: Response) -> bytes:
+    payload = json.dumps(response.payload, sort_keys=True, default=str)
+    body = payload.encode("utf-8")
+    reason = _STATUS_TEXT.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Server: {SERVER_NAME}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    head += [f"{k}: {v}" for k, v in response.headers.items()]
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _safe_dispatch(service: ExperimentService, request: Request) -> Response:
+    """The no-traceback guarantee lives here."""
+    try:
+        with _span.span(
+            "serve.request", method=request.method, path=request.path
+        ):
+            return _handlers.dispatch(service, request)
+    except (UsageError, ServeError) as exc:
+        return Response(
+            400, {"error": type(exc).__name__, "message": str(exc)}
+        )
+    except ReproError as exc:
+        # Typed domain failures (store, queue, experiment) are the
+        # client's problem to interpret, not a server crash.
+        return Response(
+            400, {"error": type(exc).__name__, "message": str(exc)}
+        )
+    except Exception as exc:  # noqa: BLE001 - the wire gets JSON, not a trace
+        REGISTRY.inc("serve.errors", error=type(exc).__name__)
+        return Response(
+            500, {"error": type(exc).__name__, "message": str(exc)}
+        )
+
+
+async def _handle_client(
+    service: ExperimentService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            request = await _read_request(reader)
+        except _BadRequest as exc:
+            response = Response(
+                400, {"error": "BadRequest", "message": str(exc)}
+            )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        else:
+            # Handlers block on store I/O and sometimes on figure
+            # rendering: keep them off the event loop.
+            response = await asyncio.to_thread(
+                _safe_dispatch, service, request
+            )
+        writer.write(_render(response))
+        await writer.drain()
+    except (ConnectionError, BrokenPipeError):
+        pass  # client went away mid-response; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# -- service lifecycle -------------------------------------------------------
+
+
+async def _supervise_loop(pool: WorkerPool, stop: asyncio.Event, interval: float):
+    while not stop.is_set():
+        pool.poll()
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=interval)
+        except asyncio.TimeoutError:
+            pass
+
+
+async def _gc_loop(service: ExperimentService, stop: asyncio.Event, interval: float):
+    while not stop.is_set():
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=interval)
+        except asyncio.TimeoutError:
+            pass
+        if stop.is_set():
+            return
+        try:
+            await asyncio.to_thread(service.run_gc)
+        except Exception as exc:  # noqa: BLE001 - GC must never kill serving
+            REGISTRY.inc("serve.errors", error=f"gc:{type(exc).__name__}")
+
+
+async def _drain_watch(service, pool, stop: asyncio.Event, poll: float):
+    """Stop the service once every campaign is settled (CI mode)."""
+    while not stop.is_set():
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=poll)
+        except asyncio.TimeoutError:
+            pass
+        if stop.is_set():
+            return
+        drained = await asyncio.to_thread(service.campaigns_drained)
+        if drained and (pool is None or pool.finished()):
+            stop.set()
+            return
+
+
+def _flush_service_telemetry(service: ExperimentService) -> None:
+    path = service.store().root / "serve" / "serve-metrics.json"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(REGISTRY.dump(), sort_keys=True, default=str)
+        )
+    except Exception:  # noqa: BLE001 - telemetry loss is never fatal
+        pass
+
+
+async def _amain(
+    service: ExperimentService,
+    *,
+    host: str,
+    port: int,
+    poll_interval: float,
+    gc_interval: float,
+    exit_when_drained: bool,
+    announce=print,
+) -> int:
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or exotic platform: Ctrl-C still works
+
+    server = await asyncio.start_server(
+        lambda r, w: _handle_client(service, r, w), host=host, port=port
+    )
+    bound = server.sockets[0].getsockname()
+    announce(
+        READY_PREFIX
+        + json.dumps(
+            {"host": bound[0], "port": bound[1], "pid": os.getpid()},
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+
+    tasks = []
+    if service.pool is not None:
+        service.pool.start()
+        tasks.append(
+            asyncio.create_task(
+                _supervise_loop(service.pool, stop, poll_interval)
+            )
+        )
+    if service.gc_budget_bytes is not None:
+        tasks.append(asyncio.create_task(_gc_loop(service, stop, gc_interval)))
+    if exit_when_drained:
+        tasks.append(
+            asyncio.create_task(
+                _drain_watch(service, service.pool, stop, poll_interval)
+            )
+        )
+
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        if service.pool is not None:
+            await asyncio.to_thread(service.pool.drain)
+        _flush_service_telemetry(service)
+    return 0
+
+
+def run_service(
+    store_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    cell_timeout: float | None = None,
+    retries: int = 1,
+    gc_budget_bytes: int | None = None,
+    gc_interval: float = 60.0,
+    poll_interval: float = 0.5,
+    retry_after: int = _handlers.RETRY_AFTER,
+    enqueue: dict | None = None,
+    exit_when_drained: bool = False,
+    announce=print,
+) -> int:
+    """Boot the service and block until shutdown; returns an exit code.
+
+    *enqueue* (optional) pre-loads a campaign before serving:
+    ``{"figures": [...], "workloads": [...], "seed": ..., "scale": ...}``
+    — what ``python -m repro.experiments ... --serve`` and the CI job
+    use to pair "start serving" with "start computing".
+    """
+    if workers < 0:
+        raise ServeError("workers must be >= 0")
+    pool = None
+    if workers:
+        pool = WorkerPool(
+            store_dir,
+            workers=workers,
+            lease_ttl=lease_ttl,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            exit_when_drained=exit_when_drained,
+        )
+    service = ExperimentService(
+        store_dir,
+        pool=pool,
+        lease_ttl=lease_ttl,
+        retry_after=retry_after,
+        gc_budget_bytes=gc_budget_bytes,
+    )
+    if enqueue:
+        from repro.experiments.registry import miss_scales_for
+        from repro.workloads.registry import WORKLOAD_NAMES
+
+        figures = enqueue.get("figures") or []
+        summary = _handlers.enqueue_matrix(
+            service,
+            workloads=enqueue.get("workloads") or list(WORKLOAD_NAMES),
+            configs=enqueue.get("configs") or _handlers.MATRIX_CONFIGS,
+            miss_scales=(
+                miss_scales_for(figures)
+                if figures
+                else tuple(enqueue.get("miss_scales") or (1.0,))
+            ),
+            seed=int(enqueue.get("seed", 1)),
+            scale=float(enqueue.get("scale", 1.0)),
+        )
+        announce(
+            f"serve: enqueued campaign {summary['campaign']}: "
+            f"{summary['enqueued']} queued, {summary['reused']} already "
+            f"in store",
+            flush=True,
+        )
+    try:
+        return asyncio.run(
+            _amain(
+                service,
+                host=host,
+                port=port,
+                poll_interval=poll_interval,
+                gc_interval=gc_interval,
+                exit_when_drained=exit_when_drained,
+                announce=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        # add_signal_handler already turned the first signal into a
+        # graceful stop; a second Ctrl-C can still land here.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience shim
+    from repro.serve.__main__ import main
+
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""A small blocking client for the experiment service.
+
+Wraps ``http.client`` (stdlib, like the server) and speaks the service's
+JSON dialect: every call returns a :class:`ServeReply` with the status
+code, headers and decoded body. The ``wait_*`` helpers encode the
+202-until-200 polling contract — they respect ``Retry-After`` and give
+up with a :class:`~repro.errors.ServeError` after *timeout* seconds, so
+scripts never hand-roll the loop (and never busy-wait).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlencode
+
+from repro.errors import ServeError
+
+__all__ = ["ServeClient", "ServeReply"]
+
+
+@dataclass
+class ServeReply:
+    """One decoded service response."""
+
+    status: int
+    data: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> float:
+        try:
+            return float(self.headers.get("retry-after", 1.0))
+        except ValueError:
+            return 1.0
+
+
+class ServeClient:
+    """Blocking JSON client; one connection per request (server closes)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        params: dict | None = None,
+        body: dict | None = None,
+    ) -> ServeReply:
+        """One raw request; decodes the JSON body into a ServeReply."""
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError as exc:
+                raise ServeError(
+                    f"service returned non-JSON ({response.status}): "
+                    f"{raw[:200]!r}"
+                ) from exc
+            return ServeReply(
+                status=response.status,
+                data=data,
+                headers={k.lower(): v for k, v in response.getheaders()},
+            )
+        except (ConnectionError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    # -- one call per endpoint ------------------------------------------
+
+    def healthz(self) -> ServeReply:
+        """GET /v1/healthz."""
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> ServeReply:
+        """GET /v1/stats."""
+        return self.request("GET", "/v1/stats")
+
+    def workers(self) -> ServeReply:
+        """GET /v1/workers."""
+        return self.request("GET", "/v1/workers")
+
+    def result(self, workload: str, config: str, **params) -> ServeReply:
+        """GET /v1/result for one matrix cell."""
+        params.update({"workload": workload, "config": config})
+        return self.request("GET", "/v1/result", params=params)
+
+    def figure(self, name: str, **params) -> ServeReply:
+        """GET /v1/figure/<name>."""
+        return self.request("GET", f"/v1/figure/{name}", params=params)
+
+    def post_campaign(self, **body) -> ServeReply:
+        """POST /v1/campaign with a JSON matrix spec."""
+        return self.request("POST", "/v1/campaign", body=body)
+
+    def campaign(self, name: str) -> ServeReply:
+        """GET /v1/campaign/<name> progress."""
+        return self.request("GET", f"/v1/campaign/{name}")
+
+    def gc(self, *, budget: int | None = None, dry_run: bool = True) -> ServeReply:
+        """GET (dry run) or POST (real pass) /v1/gc."""
+        params = {"budget": budget} if budget is not None else {}
+        method = "GET" if dry_run else "POST"
+        return self.request(method, "/v1/gc", params=params)
+
+    # -- polling contracts ----------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.2) -> None:
+        """Block until the service answers /v1/healthz (or time out)."""
+        deadline = time.monotonic() + timeout
+        last = "never reached"
+        while time.monotonic() < deadline:
+            try:
+                if self.healthz().ok:
+                    return
+            except ServeError as exc:
+                last = str(exc)
+            time.sleep(poll)
+        raise ServeError(
+            f"service at {self.host}:{self.port} not ready after "
+            f"{timeout:g}s ({last})"
+        )
+
+    def _poll(self, fetch, what: str, timeout: float) -> ServeReply:
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = fetch()
+            if reply.status != 202:
+                return reply
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"{what} still pending after {timeout:g}s: "
+                    f"{json.dumps(reply.data, default=str)[:300]}"
+                )
+            time.sleep(min(max(reply.retry_after, 0.05), remaining))
+
+    def wait_result(
+        self, workload: str, config: str, *, timeout: float = 300.0, **params
+    ) -> ServeReply:
+        """Poll /v1/result until complete/failed (raises on timeout)."""
+        return self._poll(
+            lambda: self.result(workload, config, **params),
+            f"result {workload}/{config}",
+            timeout,
+        )
+
+    def wait_figure(
+        self, name: str, *, timeout: float = 600.0, **params
+    ) -> ServeReply:
+        """Poll /v1/figure/<name> until it renders (raises on timeout)."""
+        return self._poll(
+            lambda: self.figure(name, **params), f"figure {name}", timeout
+        )
+
+    def wait_campaign(self, name: str, *, timeout: float = 600.0) -> ServeReply:
+        """Poll /v1/campaign/<id> until the queue drains."""
+        return self._poll(
+            lambda: self.campaign(name), f"campaign {name}", timeout
+        )

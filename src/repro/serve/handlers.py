@@ -1,0 +1,448 @@
+"""Request handlers of the experiment service (pure, synchronous).
+
+Each handler is ``(service, request, **path_params) -> Response`` with
+no asyncio in sight — the app runs them in a thread so slow store I/O
+never stalls the accept loop, and the tests call them directly.
+
+The degraded-mode contract every read endpoint honors:
+
+* **Present and verified** → ``200`` with the full payload.
+* **Corrupt** → the store quarantines it on read, the handler reopens
+  and re-enqueues the cell, and the client sees the same ``202`` it
+  would for a never-computed cell — corruption is a cache miss, not an
+  error.
+* **Pending** → ``202`` with a ``Retry-After`` header and a partial
+  body annotating exactly which cells are holes and why.
+* **Permanently failed** → ``200`` with ``status: "failed"`` and the
+  queue's failure record; the client can decide to ``reopen``.
+
+Nothing here ever lets a traceback reach the wire: typed errors map to
+``400``, everything else to a ``500`` JSON envelope (see the app).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import UsageError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    MATRIX_CONFIGS,
+    NO_MATRIX_FIGURES,
+    miss_scales_for,
+)
+from repro.sim import fault as _fault
+from repro.store.campaign import campaign_name
+from repro.store.queue import CampaignQueue
+from repro.workloads.registry import WORKLOAD_NAMES
+
+__all__ = ["Request", "Response", "ROUTES", "dispatch", "enqueue_matrix"]
+
+#: Seconds a 202 asks the client to wait before polling again.
+RETRY_AFTER = 2
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (the app fills it, handlers read it)."""
+
+    method: str
+    path: str
+    params: dict = field(default_factory=dict)
+    body: dict = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    """One JSON response; the app serializes and writes it."""
+
+    status: int = 200
+    payload: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def accepted(cls, payload: dict, retry_after: int = RETRY_AFTER):
+        return cls(202, payload, {"Retry-After": str(retry_after)})
+
+
+# -- parameter parsing -------------------------------------------------------
+
+
+def _param(request: Request, name: str, default=None, *, cast=str):
+    raw = request.params.get(name, request.body.get(name, default))
+    if raw is None:
+        return None
+    try:
+        return cast(raw)
+    except (TypeError, ValueError) as exc:
+        raise UsageError(f"bad value for {name!r}: {raw!r}") from exc
+
+
+def _require(request: Request, name: str, *, cast=str):
+    value = _param(request, name, cast=cast)
+    if value is None:
+        raise UsageError(f"missing required parameter {name!r}")
+    return value
+
+
+def _check_workload(workload: str) -> str:
+    if workload not in WORKLOAD_NAMES:
+        raise UsageError(
+            f"unknown workload {workload!r}; known: {', '.join(WORKLOAD_NAMES)}"
+        )
+    return workload
+
+
+def _check_config(config: str) -> str:
+    if config not in MATRIX_CONFIGS:
+        raise UsageError(
+            f"unknown cache config {config!r}; known: {', '.join(MATRIX_CONFIGS)}"
+        )
+    return config
+
+
+def _cell_spec(request: Request) -> tuple:
+    """(task, key, seed, scale) for one matrix cell from the request."""
+    workload = _check_workload(_require(request, "workload"))
+    config = _check_config(_require(request, "config"))
+    seed = _param(request, "seed", 1, cast=int)
+    scale = _param(request, "scale", 1.0, cast=float)
+    miss_scale = _param(request, "miss_scale", 1.0, cast=float)
+    task = (workload, config, miss_scale, seed, scale)
+    return task, _fault.matrix_task_key(task), seed, scale
+
+
+def _queue_for(service, seed: int, scale: float) -> CampaignQueue:
+    store = service.store()
+    return CampaignQueue(
+        store.root / "queue",
+        campaign_name(seed, scale),
+        lease_ttl=service.lease_ttl,
+    )
+
+
+def _failed_record(queue: CampaignQueue, key: tuple) -> dict | None:
+    for record in queue.failed_records():
+        if tuple(record.get("key", ())) == key:
+            return record
+    return None
+
+
+def _result_payload(result) -> dict:
+    from repro.sim.results_io import result_to_full_dict
+
+    return result_to_full_dict(result)
+
+
+# -- handlers ----------------------------------------------------------------
+
+
+def healthz(service, request: Request) -> Response:
+    """Liveness: pid and uptime, nothing that can block."""
+    return Response(200, {"status": "ok", "pid": service.pid,
+                          "uptime": round(service.uptime(), 3)})
+
+
+def stats(service, request: Request) -> Response:
+    """Store stats, per-campaign queue snapshots, last GC report."""
+    store = service.store()
+    campaigns = {}
+    queue_root = store.root / "queue"
+    if queue_root.is_dir():
+        for entry in sorted(queue_root.iterdir()):
+            if entry.is_dir():
+                queue = CampaignQueue(
+                    queue_root, entry.name, lease_ttl=service.lease_ttl
+                )
+                campaigns[entry.name] = queue.snapshot()
+    return Response(
+        200,
+        {
+            "store": store.stats(),
+            "campaigns": campaigns,
+            "gc": service.last_gc,
+            "uptime": round(service.uptime(), 3),
+        },
+    )
+
+
+def workers(service, request: Request) -> Response:
+    """The worker pool as the supervisor sees it (empty if read-only)."""
+    if service.pool is None:
+        return Response(200, {"size": 0, "workers": []})
+    return Response(200, service.pool.status())
+
+
+def get_result(service, request: Request) -> Response:
+    """One matrix cell: 200 complete/failed, or 202 pending."""
+    task, key, seed, scale = _cell_spec(request)
+    store = service.store()
+    result = store.get(key)  # verified; corrupt records quarantine here
+    if result is not None:
+        return Response(
+            200,
+            {
+                "status": "complete",
+                "key": list(key),
+                "digest": store.digest_of(key),
+                "result": _result_payload(result),
+            },
+        )
+    queue = _queue_for(service, seed, scale)
+    failed = _failed_record(queue, key)
+    if failed is not None:
+        return Response(
+            200, {"status": "failed", "key": list(key), "failure": failed}
+        )
+    # Miss (or just-quarantined record): (re)open the cell and enqueue.
+    queue.reopen(key)
+    queue.enqueue(key, task)
+    return Response.accepted(
+        {
+            "status": "pending",
+            "key": list(key),
+            "campaign": queue.campaign,
+            "queue": queue.snapshot(),
+        },
+        service.retry_after,
+    )
+
+
+def _figure_cells(name: str, workloads, seed: int, scale: float):
+    """Every (task, key) the figure's slice of the matrix needs."""
+    cells = []
+    for workload in workloads:
+        for config in MATRIX_CONFIGS:
+            for miss_scale in miss_scales_for([name]):
+                task = (workload, config, miss_scale, seed, scale)
+                cells.append((task, _fault.matrix_task_key(task)))
+    return cells
+
+
+def _output_payload(output) -> dict:
+    return {
+        "figure": output.figure,
+        "title": output.title,
+        "headers": list(output.headers),
+        "rows": [list(r) for r in output.rows],
+        "series": output.series,
+        "unit": output.unit,
+        "baseline_value": output.baseline_value,
+        "paper_reference": output.paper_reference,
+        "notes": output.notes,
+    }
+
+
+def get_figure(service, request: Request, *, name: str) -> Response:
+    """One figure: render when every cell is in, else 202 with holes."""
+    if name not in EXPERIMENTS:
+        raise UsageError(
+            f"unknown figure {name!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    raw = _param(request, "workloads")
+    workloads = [
+        _check_workload(w) for w in (raw.split(",") if raw else WORKLOAD_NAMES)
+    ]
+    seed = _param(request, "seed", 1, cast=int)
+    scale = _param(request, "scale", 1.0, cast=float)
+
+    from repro.experiments.registry import run_experiment
+
+    if name in NO_MATRIX_FIGURES:
+        # Analytical figures need no matrix: render right here.
+        output = run_experiment(name, workloads, seed=seed, scale=scale)
+        return Response(
+            200, {"status": "complete", "output": _output_payload(output)}
+        )
+
+    store = service.store()
+    queue = _queue_for(service, seed, scale)
+    results, holes, failed = {}, [], []
+    for task, key in _figure_cells(name, workloads, seed, scale):
+        result = store.get(key)
+        if result is not None:
+            results[key] = result
+            continue
+        record = _failed_record(queue, key)
+        if record is not None:
+            failed.append({"key": list(key), "failure": record})
+            continue
+        queue.reopen(key)
+        queue.enqueue(key, task)
+        holes.append(list(key))
+    if holes:
+        return Response.accepted(
+            {
+                "status": "pending",
+                "figure": name,
+                "campaign": queue.campaign,
+                "complete": len(results),
+                "holes": holes,
+                "failed": failed,
+                "queue": queue.snapshot(),
+            },
+            service.retry_after,
+        )
+
+    from repro.sim.runner import inject_results
+
+    inject_results(results)
+    output = run_experiment(name, workloads, seed=seed, scale=scale)
+    payload = {"status": "complete", "output": _output_payload(output)}
+    if failed:
+        # Render proceeds with holes for permanently failed cells; the
+        # client sees exactly which cells are missing and why.
+        payload["status"] = "partial"
+        payload["failed"] = failed
+    return Response(200, payload)
+
+
+def enqueue_matrix(
+    service,
+    *,
+    workloads,
+    configs=MATRIX_CONFIGS,
+    miss_scales=(1.0,),
+    seed: int = 1,
+    scale: float = 1.0,
+) -> dict:
+    """Enqueue one campaign matrix; already-stored cells are marked done.
+
+    Shared by ``POST /v1/campaign`` and the ``--enqueue`` bootstrap.
+    """
+    store = service.store()
+    queue = _queue_for(service, seed, scale)
+    enqueued = reused = 0
+    for workload in workloads:
+        for config in configs:
+            for miss_scale in miss_scales:
+                task = (workload, config, miss_scale, seed, scale)
+                key = _fault.matrix_task_key(task)
+                if store.get(key) is not None:
+                    queue.ensure_done(key, worker="serve")
+                    reused += 1
+                else:
+                    queue.reopen(key)
+                    if queue.enqueue(key, task):
+                        enqueued += 1
+    return {
+        "campaign": queue.campaign,
+        "enqueued": enqueued,
+        "reused": reused,
+        "total": len(workloads) * len(configs) * len(miss_scales),
+    }
+
+
+def post_campaign(service, request: Request) -> Response:
+    """Enqueue a whole matrix; returns the campaign id to poll."""
+    body = request.body
+    figures = body.get("figures")
+    if figures:
+        unknown = [f for f in figures if f not in EXPERIMENTS]
+        if unknown:
+            raise UsageError(f"unknown figures: {', '.join(unknown)}")
+        miss_scales = miss_scales_for(figures)
+    else:
+        miss_scales = tuple(body.get("miss_scales") or (1.0,))
+    workloads = [
+        _check_workload(w) for w in (body.get("workloads") or WORKLOAD_NAMES)
+    ]
+    configs = [_check_config(c) for c in (body.get("configs") or MATRIX_CONFIGS)]
+    seed = _param(request, "seed", 1, cast=int)
+    scale = _param(request, "scale", 1.0, cast=float)
+    summary = enqueue_matrix(
+        service,
+        workloads=workloads,
+        configs=configs,
+        miss_scales=miss_scales,
+        seed=seed,
+        scale=scale,
+    )
+    queue = _queue_for(service, seed, scale)
+    summary["status"] = "accepted"
+    summary["queue"] = queue.snapshot()
+    return Response.accepted(summary, service.retry_after)
+
+
+def get_campaign(service, request: Request, *, name: str) -> Response:
+    """Progress of one campaign (404 when it never existed)."""
+    store = service.store()
+    root = store.root / "queue" / name
+    if not root.is_dir():
+        return Response(
+            404, {"error": "NotFound", "message": f"no campaign {name!r}"}
+        )
+    queue = CampaignQueue(
+        store.root / "queue", name, lease_ttl=service.lease_ttl
+    )
+    snapshot = queue.snapshot()
+    drained = queue.drained()
+    payload = {
+        "campaign": name,
+        "queue": snapshot,
+        "drained": drained,
+        "failed": queue.failed_records(),
+    }
+    if drained:
+        return Response(200, payload)
+    payload["status"] = "running"
+    return Response.accepted(payload, service.retry_after)
+
+
+def get_gc(service, request: Request) -> Response:
+    """Dry-run GC report (what *would* be reclaimed)."""
+    from repro.store.gc import gc_store
+
+    budget = _param(request, "budget", service.gc_budget_bytes, cast=int)
+    report = gc_store(service.store(), budget_bytes=budget, dry_run=True)
+    return Response(200, report.as_dict())
+
+
+def post_gc(service, request: Request) -> Response:
+    """Run one real GC pass now (the background task uses the same path)."""
+    budget = _param(request, "budget", service.gc_budget_bytes, cast=int)
+    report = service.run_gc(budget_bytes=budget)
+    return Response(200, report.as_dict())
+
+
+# -- routing -----------------------------------------------------------------
+
+ROUTES = [
+    ("GET", re.compile(r"^/v1/healthz$"), healthz),
+    ("GET", re.compile(r"^/v1/stats$"), stats),
+    ("GET", re.compile(r"^/v1/workers$"), workers),
+    ("GET", re.compile(r"^/v1/result$"), get_result),
+    ("GET", re.compile(r"^/v1/figure/(?P<name>[\w.]+)$"), get_figure),
+    ("POST", re.compile(r"^/v1/campaign$"), post_campaign),
+    ("GET", re.compile(r"^/v1/campaign/(?P<name>[\w.-]+)$"), get_campaign),
+    ("GET", re.compile(r"^/v1/gc$"), get_gc),
+    ("POST", re.compile(r"^/v1/gc$"), post_gc),
+]
+
+
+def dispatch(service, request: Request) -> Response:
+    """Route one request; 404/405 for unknown paths and methods."""
+    path_matched = False
+    for method, pattern, handler in ROUTES:
+        match = pattern.match(request.path)
+        if match is None:
+            continue
+        path_matched = True
+        if method != request.method:
+            continue
+        started = time.perf_counter()
+        response = handler(service, request, **match.groupdict())
+        service.observe_request(
+            handler.__name__, response.status, time.perf_counter() - started
+        )
+        return response
+    if path_matched:
+        return Response(
+            405,
+            {"error": "MethodNotAllowed", "message": request.method},
+        )
+    return Response(
+        404, {"error": "NotFound", "message": f"no route for {request.path}"}
+    )

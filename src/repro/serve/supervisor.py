@@ -1,0 +1,345 @@
+"""Self-healing pool of queue-draining worker processes.
+
+The supervisor owns N :mod:`repro.serve.worker` processes and keeps the
+pool at strength without ever trusting a worker to die politely:
+
+* **Reap and reclaim** — a dead worker's leases are expired immediately
+  (attempt counts intact) via ``CampaignQueue.expire_worker``, so another
+  worker reclaims them through the queue's single-winner rename instead
+  of waiting out the lease TTL.
+* **Restart with backoff** — each slot restarts under the same
+  deterministic exponential-backoff-plus-jitter schedule cells use
+  (:class:`repro.sim.fault.FaultPolicy`), so a worker that dies on
+  arrival cannot fork-bomb the host. Every incarnation gets a fresh
+  worker id (``...w<slot>.<restarts>``) so lease reclaim never confuses
+  a dead incarnation with its replacement.
+* **Stall detection** — a worker whose liveness file goes stale (judged
+  by the *store's* filesystem clock, never the supervisor's wall clock)
+  is SIGKILLed and treated as dead; a worker stuck on one cell past the
+  per-cell timeout backstop likewise.
+* **Graceful drain** — :meth:`WorkerPool.drain` SIGTERMs the pool, waits,
+  then escalates to SIGKILL, and releases whatever leases the stragglers
+  still held.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+from repro.sim.fault import FaultPolicy
+from repro.store.cas import ResultStore
+from repro.store.queue import (
+    DEFAULT_LEASE_TTL,
+    CampaignQueue,
+    fs_clock_now,
+)
+
+from repro.serve.worker import TELEMETRY_DIRNAME, WORKERS_DIRNAME
+
+__all__ = ["WorkerPool", "WorkerHandle"]
+
+#: Where per-incarnation worker stdout/stderr logs go, under the store.
+LOGS_DIRNAME = Path("serve") / "logs"
+
+
+@dataclass
+class WorkerHandle:
+    """One pool slot: the current incarnation plus restart bookkeeping."""
+
+    slot: int
+    worker_id: str = ""
+    proc: subprocess.Popen | None = None
+    log: object | None = None
+    restarts: int = 0
+    restart_at: float = 0.0  #: monotonic deadline for the next spawn
+    spawned: float = 0.0  #: monotonic time of the current incarnation
+    finished: bool = False  #: drained cleanly; do not restart
+    cell: str | None = None  #: digest the worker last reported computing
+    cell_attempt: int | None = None
+    cell_seen: float = 0.0  #: monotonic time we first saw this cell
+
+
+class WorkerPool:
+    """Spawn, watch, heal, and drain the worker processes."""
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        workers: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        cell_timeout: float | None = None,
+        retries: int = 1,
+        restart_policy: FaultPolicy | None = None,
+        stall_after: float | None = None,
+        worker_poll: float = 0.5,
+        exit_when_drained: bool = False,
+        extra_env: dict | None = None,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.size = max(1, int(workers))
+        self.lease_ttl = lease_ttl
+        self.cell_timeout = cell_timeout
+        self.retries = retries
+        self.worker_poll = worker_poll
+        self.exit_when_drained = exit_when_drained
+        self.extra_env = dict(extra_env or {})
+        # Workers refresh liveness every lease_ttl/3; three straight
+        # missed refreshes means the process is wedged, not slow.
+        self.stall_after = (
+            stall_after if stall_after is not None else 2.0 * lease_ttl
+        )
+        self.restart_policy = restart_policy or FaultPolicy(
+            retries=0, backoff_base=0.5, backoff_factor=2.0, backoff_max=15.0
+        )
+        base = f"serve-{os.getpid()}"
+        self._base_id = base
+        self._handles = [WorkerHandle(slot=i) for i in range(self.size)]
+        self._draining = False
+        self._store_root = ResultStore(self.store_dir).root
+
+    # -- spawning --------------------------------------------------------
+
+    def _worker_env(self) -> dict:
+        env = dict(os.environ)
+        # The worker must import repro from wherever this process did,
+        # whether installed or run from a source tree.
+        import repro
+
+        pkg_parent = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if pkg_parent not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                pkg_parent + (os.pathsep + existing if existing else "")
+            )
+        env.update(self.extra_env)
+        return env
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        handle.worker_id = f"{self._base_id}-w{handle.slot}.{handle.restarts}"
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.serve.worker",
+            "--store",
+            str(self.store_dir),
+            "--worker-id",
+            handle.worker_id,
+            "--lease-ttl",
+            str(self.lease_ttl),
+            "--poll",
+            str(self.worker_poll),
+            "--retries",
+            str(self.retries),
+            "--parent-pid",
+            str(os.getpid()),
+        ]
+        if self.cell_timeout is not None:
+            cmd += ["--cell-timeout", str(self.cell_timeout)]
+        if self.exit_when_drained:
+            cmd.append("--exit-when-drained")
+        logs = self._store_root / LOGS_DIRNAME
+        logs.mkdir(parents=True, exist_ok=True)
+        handle.log = open(  # noqa: SIM115 - handle outlives this scope
+            logs / f"{handle.worker_id}.log", "ab"
+        )
+        handle.proc = subprocess.Popen(
+            cmd, stdout=handle.log, stderr=subprocess.STDOUT,
+            env=self._worker_env(),
+        )
+        handle.cell = None
+        handle.cell_attempt = None
+        handle.spawned = time.monotonic()
+        REGISTRY.inc("serve.worker_spawns")
+
+    def start(self) -> None:
+        """Spawn every slot that is not already running or finished."""
+        for handle in self._handles:
+            if handle.proc is None and not handle.finished:
+                self._spawn(handle)
+
+    # -- liveness --------------------------------------------------------
+
+    def _heartbeat_path(self, worker_id: str) -> Path:
+        return self._store_root / WORKERS_DIRNAME / f"{worker_id}.json"
+
+    def _heartbeat(self, worker_id: str) -> tuple[float | None, dict]:
+        """(liveness age in fs-clock seconds, payload) for a worker."""
+        path = self._heartbeat_path(worker_id)
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return None, {}
+        age = fs_clock_now(path.parent) - mtime
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = {}
+        return age, payload
+
+    def _campaign_queues(self) -> list[CampaignQueue]:
+        root = self._store_root / "queue"
+        if not root.is_dir():
+            return []
+        return [
+            CampaignQueue(root, entry.name, lease_ttl=self.lease_ttl)
+            for entry in sorted(root.iterdir())
+            if entry.is_dir()
+        ]
+
+    def _expire_leases(self, worker_id: str) -> int:
+        """Hand a dead incarnation's leases straight back to the pool."""
+        expired = 0
+        for queue in self._campaign_queues():
+            expired += queue.expire_worker(worker_id)
+        if expired:
+            REGISTRY.inc("serve.leases_reclaimed", amount=expired)
+        return expired
+
+    # -- healing ---------------------------------------------------------
+
+    def _on_exit(self, handle: WorkerHandle, reason: str) -> None:
+        if handle.log is not None:
+            try:
+                handle.log.close()
+            except OSError:
+                pass
+            handle.log = None
+        proc, handle.proc = handle.proc, None
+        rc = proc.returncode if proc is not None else None
+        self._expire_leases(handle.worker_id)
+        REGISTRY.inc("serve.worker_exits", reason=reason)
+        if self._draining or (rc == 0 and self.exit_when_drained):
+            handle.finished = True
+            return
+        handle.restarts += 1
+        delay = self.restart_policy.backoff_delay(
+            ("serve-worker", handle.slot), handle.restarts
+        )
+        handle.restart_at = time.monotonic() + delay
+        REGISTRY.inc("serve.worker_restarts")
+
+    def _check_stall(self, handle: WorkerHandle) -> str | None:
+        """A reason string when the live process must be killed."""
+        age, payload = self._heartbeat(handle.worker_id)
+        if age is None:
+            # No heartbeat ever: the process is wedged before its first
+            # beat (a hung import, a stopped process). Give it a startup
+            # grace of the stall budget, then treat it as stalled too.
+            alive_for = time.monotonic() - handle.spawned
+            return "stalled" if alive_for > max(self.stall_after, 10.0) else None
+        if age > self.stall_after:
+            return "stalled"
+        cell = payload.get("cell") if payload.get("state") == "cell" else None
+        attempt = payload.get("attempt")
+        if cell != handle.cell or attempt != handle.cell_attempt:
+            handle.cell = cell
+            handle.cell_attempt = attempt
+            handle.cell_seen = time.monotonic()
+        elif (
+            cell is not None
+            and self.cell_timeout is not None
+            # The worker enforces the budget itself via SIGALRM; this
+            # backstop only fires when even that signal went unanswered.
+            and time.monotonic() - handle.cell_seen > 3.0 * self.cell_timeout
+        ):
+            return "cell-timeout"
+        return None
+
+    def poll(self) -> None:
+        """One supervision pass: reap, heal, and backstop-kill."""
+        now = time.monotonic()
+        for handle in self._handles:
+            if handle.finished:
+                continue
+            if handle.proc is None:
+                if not self._draining and now >= handle.restart_at:
+                    self._spawn(handle)
+                continue
+            rc = handle.proc.poll()
+            if rc is not None:
+                self._on_exit(handle, reason=f"exit:{rc}")
+                continue
+            reason = self._check_stall(handle)
+            if reason is not None:
+                handle.proc.kill()
+                handle.proc.wait()
+                self._on_exit(handle, reason=reason)
+
+    # -- drain / status --------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> dict[int, int | None]:
+        """SIGTERM everyone, wait, escalate; returns slot → exit code."""
+        self._draining = True
+        for handle in self._handles:
+            if handle.proc is not None and handle.proc.poll() is None:
+                try:
+                    handle.proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        codes: dict[int, int | None] = {}
+        for handle in self._handles:
+            if handle.proc is None:
+                codes[handle.slot] = None
+                continue
+            budget = max(0.1, deadline - time.monotonic())
+            try:
+                codes[handle.slot] = handle.proc.wait(timeout=budget)
+            except subprocess.TimeoutExpired:
+                handle.proc.kill()
+                codes[handle.slot] = handle.proc.wait()
+            self._on_exit(handle, reason=f"drain:{codes[handle.slot]}")
+        return codes
+
+    def finished(self) -> bool:
+        """True when every slot drained cleanly and will not restart."""
+        return all(h.finished for h in self._handles)
+
+    def pids(self) -> dict[int, int | None]:
+        """slot -> live pid (None for empty slots)."""
+        return {
+            h.slot: (h.proc.pid if h.proc is not None else None)
+            for h in self._handles
+        }
+
+    def status(self) -> dict:
+        """The pool as ``GET /v1/workers`` reports it."""
+        workers = []
+        for handle in self._handles:
+            age, payload = self._heartbeat(handle.worker_id)
+            alive = handle.proc is not None and handle.proc.poll() is None
+            workers.append(
+                {
+                    "slot": handle.slot,
+                    "worker": handle.worker_id,
+                    "pid": handle.proc.pid if alive else None,
+                    "alive": alive,
+                    "finished": handle.finished,
+                    "restarts": handle.restarts,
+                    "heartbeat_age": age,
+                    "state": payload.get("state"),
+                    "cell": payload.get("cell"),
+                    "counts": payload.get("counts"),
+                }
+            )
+        return {
+            "size": self.size,
+            "draining": self._draining,
+            "lease_ttl": self.lease_ttl,
+            "stall_after": self.stall_after,
+            "workers": workers,
+        }
+
+    # Telemetry spools live here so the service can report them.
+    def telemetry_dir(self) -> Path:
+        """Where the workers spool their final metrics snapshots."""
+        return self._store_root / TELEMETRY_DIRNAME

@@ -79,6 +79,8 @@ __all__ = [
     "SupervisedOutcome",
     "run_supervised",
     "run_matrix_supervised",
+    "matrix_task_key",
+    "matrix_cell_worker",
     "cell_key",
     "try_cell",
     "default_checkpoint_path",
@@ -893,6 +895,14 @@ def _matrix_cell_worker(task: tuple) -> SimResult:
     if miss_scale != 1.0:
         config = config.with_miss_scale(miss_scale)
     return run_workload(workload, config, seed=seed, scale=scale)
+
+
+#: Public names for the matrix task plumbing: the queue-draining service
+#: workers (:mod:`repro.serve.worker`) run the same cell function against
+#: jobs whose task tuples were enqueued by ``run_matrix_store`` or the
+#: HTTP API, so the computation is one code path no matter who drives it.
+matrix_task_key = _matrix_task_key
+matrix_cell_worker = _matrix_cell_worker
 
 
 def run_matrix_supervised(

@@ -17,9 +17,11 @@ Layers:
 * :mod:`repro.store.queue` — :class:`CampaignQueue` (leases, reclaim);
 * :mod:`repro.store.checkpoint` — the supervised engine's store adapter;
 * :mod:`repro.store.campaign` — :func:`run_matrix_store`, the draining
-  engine behind ``python -m repro.experiments ... --store DIR``.
+  engine behind ``python -m repro.experiments ... --store DIR``;
+* :mod:`repro.store.gc` — lifecycle GC: evict superseded code-version
+  records under a refcount/pin policy and an optional byte budget.
 
-Operate it with ``python -m repro.store fsck | migrate | stats``.
+Operate it with ``python -m repro.store fsck | migrate | stats | gc | pin``.
 """
 
 from repro.store.campaign import campaign_name, run_matrix_store
@@ -30,14 +32,16 @@ from repro.store.cas import (
     default_store_dir,
 )
 from repro.store.checkpoint import StoreCheckpoint
+from repro.store.gc import GcReport, gc_store, load_pins, pin_version, unpin_version
 from repro.store.integrity import cell_digest, payload_checksum
 from repro.store.journal import Journal
-from repro.store.queue import CampaignQueue, Job, default_worker_id
+from repro.store.queue import CampaignQueue, Job, default_worker_id, fs_clock_now
 
 __all__ = [
     "ResultStore",
     "FsckReport",
     "CampaignQueue",
+    "GcReport",
     "Job",
     "StoreCheckpoint",
     "Journal",
@@ -48,4 +52,9 @@ __all__ = [
     "default_code_version",
     "default_store_dir",
     "default_worker_id",
+    "fs_clock_now",
+    "gc_store",
+    "load_pins",
+    "pin_version",
+    "unpin_version",
 ]

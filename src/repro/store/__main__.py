@@ -7,11 +7,17 @@ Subcommands::
              machine-readable ``FSCK-SUMMARY`` JSON tail line
     migrate  import a legacy JSONL matrix checkpoint into the store
     stats    one-line store/queue state summary
+    gc       evict superseded code-version records (refcount/pin policy,
+             optional byte budget); prints a ``GC-SUMMARY`` JSON tail
+    pin      hold a code version's records against gc (``--remove`` to
+             release, ``--list`` to inspect)
 
 Exit codes: ``fsck`` exits 0 when the store verifies after the pass
 (repairs and quarantines are reported, not fatal) and 1 only when
 problems survive; ``--strict`` additionally fails when anything needed
-repairing. ``migrate`` exits 1 when nothing could be imported.
+repairing. ``migrate`` exits 1 when nothing could be imported. ``gc``
+exits 1 when the pass reports problems (an unevictable over-budget
+store, unreadable records).
 """
 
 from __future__ import annotations
@@ -61,6 +67,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print store/queue counts")
     stats.add_argument("--store", default=None, metavar="DIR")
+
+    gc = sub.add_parser(
+        "gc", help="evict superseded code-version records"
+    )
+    gc.add_argument("--store", default=None, metavar="DIR")
+    gc.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="only collect when the object tree exceeds BYTES, and only "
+        "down to the low watermark (default: evict every superseded, "
+        "unpinned record)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without touching anything",
+    )
+    gc.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+
+    pin = sub.add_parser(
+        "pin", help="pin a code version's records against gc"
+    )
+    pin.add_argument("version", nargs="?", default=None, metavar="VERSION")
+    pin.add_argument("--store", default=None, metavar="DIR")
+    pin.add_argument(
+        "--remove", action="store_true", help="drop one pin refcount instead"
+    )
+    pin.add_argument(
+        "--list", action="store_true", help="show current pins and exit"
+    )
     return parser
 
 
@@ -163,6 +203,55 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.store.gc import gc_store
+
+    store = _open_store(args.store)
+    store.recover()
+    report = gc_store(
+        store, budget_bytes=args.budget, dry_run=args.dry_run
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"store: {store.root}\n"
+        f"  scanned:    {report.scanned} record(s), {report.bytes_total} bytes\n"
+        f"  candidates: {report.candidates} superseded ({report.candidate_bytes} bytes)\n"
+        f"  {verb}: {report.evicted} record(s), {report.evicted_bytes} bytes"
+    )
+    for version, info in sorted(report.versions.items()):
+        tags = [t for t, on in (("current", info["current"]),
+                                ("pinned", info["pins"])) if on]
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        print(
+            f"  version {version}: {info['records']} record(s), "
+            f"{info['bytes']} bytes{suffix}"
+        )
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    print("GC-SUMMARY " + json.dumps(report.as_dict(), sort_keys=True))
+    return 1 if report.problems else 0
+
+
+def _cmd_pin(args: argparse.Namespace) -> int:
+    from repro.store.gc import load_pins, pin_version, unpin_version
+
+    store = _open_store(args.store)
+    if args.list or args.version is None:
+        if args.version is None and not args.list and args.remove:
+            raise UsageError("--remove needs a VERSION", argument="version")
+        pins = load_pins(store.root)
+        print(json.dumps({"versions": pins}, indent=2, sort_keys=True))
+        return 0
+    if args.remove:
+        pins = unpin_version(store.root, args.version)
+    else:
+        pins = pin_version(store.root, args.version)
+    print(json.dumps({"versions": pins}, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -170,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_fsck(args)
         if args.command == "migrate":
             return _cmd_migrate(args)
+        if args.command == "gc":
+            return _cmd_gc(args)
+        if args.command == "pin":
+            return _cmd_pin(args)
         return _cmd_stats(args)
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)

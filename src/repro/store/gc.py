@@ -1,0 +1,281 @@
+"""Store lifecycle GC: evict superseded code-version records.
+
+The store is content-addressed by *key + code version*, so every code
+change (package version, generator stamp, backend, codec) starts a new
+record generation and strands the old one: still verifying, never again
+addressed. Those records are pure disk liability — this module reclaims
+them under an explicit protection policy:
+
+* **Current generation is untouchable** — records whose ``code_version``
+  equals the store's live one are never candidates, whatever the budget.
+* **Pins are refcounts** — ``pins.json`` maps code versions to a pin
+  count (``repro.store pin``/``--remove``); any version with a positive
+  count is protected, so a long bisection or an A/B comparison can hold
+  two generations alive deliberately.
+* **Byte-budget watermark** — with no budget, every unprotected record
+  goes. With ``budget_bytes``, nothing happens until the store exceeds
+  it; then superseded records are evicted oldest-generation-first down
+  to the low watermark (default 80 % of budget), and a problem is
+  reported if the *protected* bytes alone still exceed the budget.
+
+Every eviction appends to ``gc-ledger.jsonl`` (digest, version, bytes),
+so "where did my record go" always has an answer. The service runs
+:func:`gc_store` as a background task; ``python -m repro.store gc``
+drives it by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import span as _span
+from repro.obs.metrics import REGISTRY
+from repro.store.cas import ResultStore
+
+__all__ = [
+    "GcReport",
+    "gc_ledger_entries",
+    "gc_store",
+    "load_pins",
+    "pin_version",
+    "unpin_version",
+]
+
+PINS_FILENAME = "pins.json"
+GC_LEDGER_FILENAME = "gc-ledger.jsonl"
+
+#: Fraction of the byte budget a triggered pass drains down to.
+DEFAULT_LOW_WATERMARK = 0.8
+
+
+@dataclass
+class GcReport:
+    """What one :func:`gc_store` pass saw, and what it reclaimed."""
+
+    scanned: int = 0
+    bytes_total: int = 0  #: object bytes before the pass
+    candidates: int = 0  #: superseded, unpinned records
+    candidate_bytes: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
+    budget_bytes: int | None = None
+    dry_run: bool = False
+    #: per-code-version: records, bytes, current, pins
+    versions: dict = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def bytes_after(self) -> int:
+        return self.bytes_total - self.evicted_bytes
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``GC-SUMMARY`` payload)."""
+        return {
+            "scanned": self.scanned,
+            "bytes_total": self.bytes_total,
+            "candidates": self.candidates,
+            "candidate_bytes": self.candidate_bytes,
+            "evicted": self.evicted,
+            "evicted_bytes": self.evicted_bytes,
+            "bytes_after": self.bytes_after,
+            "budget_bytes": self.budget_bytes,
+            "dry_run": self.dry_run,
+            "versions": dict(self.versions),
+            "problems": list(self.problems),
+        }
+
+
+# -- pins (version refcounts) ------------------------------------------------
+
+
+def _pins_path(root: str | Path) -> Path:
+    return Path(root) / PINS_FILENAME
+
+
+def load_pins(root: str | Path) -> dict[str, int]:
+    """Code version → pin count (positive counts protect from GC)."""
+    path = _pins_path(root)
+    try:
+        data = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError):
+        return {}
+    versions = data.get("versions", {}) if isinstance(data, dict) else {}
+    out = {}
+    for version, count in versions.items():
+        try:
+            count = int(count)
+        except (TypeError, ValueError):
+            continue
+        if count > 0:
+            out[str(version)] = count
+    return out
+
+
+def _save_pins(root: str | Path, pins: dict[str, int]) -> None:
+    from repro.utils.atomic import atomic_write_text
+
+    atomic_write_text(
+        _pins_path(root),
+        json.dumps({"versions": pins}, sort_keys=True, indent=2),
+    )
+
+
+def pin_version(root: str | Path, version: str) -> dict[str, int]:
+    """Increment *version*'s pin refcount; returns the live pin map."""
+    pins = load_pins(root)
+    pins[version] = pins.get(version, 0) + 1
+    _save_pins(root, pins)
+    return pins
+
+
+def unpin_version(root: str | Path, version: str) -> dict[str, int]:
+    """Decrement *version*'s pin refcount (dropped at zero)."""
+    pins = load_pins(root)
+    count = pins.get(version, 0) - 1
+    if count > 0:
+        pins[version] = count
+    else:
+        pins.pop(version, None)
+    _save_pins(root, pins)
+    return pins
+
+
+# -- the collector -----------------------------------------------------------
+
+
+def _scan(store: ResultStore, report: GcReport) -> list[dict]:
+    """Inventory every object: path, size, mtime, code_version."""
+    inventory = []
+    for path, digest in store.records():
+        try:
+            stat = path.stat()
+            record = json.loads(path.read_text("utf-8"))
+            version = str(record.get("code_version", "?"))
+        except (OSError, ValueError) as exc:
+            # fsck owns corruption; GC only refuses to touch what it
+            # cannot attribute to a generation.
+            report.problems.append(f"{path.name}: unreadable ({exc})")
+            continue
+        report.scanned += 1
+        report.bytes_total += stat.st_size
+        inventory.append(
+            {
+                "path": path,
+                "digest": digest,
+                "bytes": stat.st_size,
+                "mtime": stat.st_mtime,
+                "version": version,
+            }
+        )
+    return inventory
+
+
+def gc_store(
+    store: ResultStore,
+    *,
+    budget_bytes: int | None = None,
+    dry_run: bool = False,
+    low_watermark: float = DEFAULT_LOW_WATERMARK,
+) -> GcReport:
+    """One GC pass over *store* (see module docstring for the policy)."""
+    report = GcReport(budget_bytes=budget_bytes, dry_run=dry_run)
+    with _span.span("store.gc", dry_run=dry_run):
+        pins = load_pins(store.root)
+        protected = {store.code_version} | set(pins)
+        inventory = _scan(store, report)
+
+        by_version: dict[str, list[dict]] = {}
+        for item in inventory:
+            by_version.setdefault(item["version"], []).append(item)
+        for version, items in sorted(by_version.items()):
+            report.versions[version] = {
+                "records": len(items),
+                "bytes": sum(i["bytes"] for i in items),
+                "current": version == store.code_version,
+                "pins": pins.get(version, 0),
+            }
+
+        candidates = [i for i in inventory if i["version"] not in protected]
+        # Oldest generation first: order versions by their newest record,
+        # so the generation most recently written is the last to go.
+        freshness = {
+            version: max(i["mtime"] for i in items)
+            for version, items in by_version.items()
+        }
+        candidates.sort(key=lambda i: (freshness[i["version"]], i["digest"]))
+        report.candidates = len(candidates)
+        report.candidate_bytes = sum(i["bytes"] for i in candidates)
+
+        if budget_bytes is None:
+            to_evict = candidates
+        elif report.bytes_total <= budget_bytes:
+            to_evict = []
+        else:
+            target = int(budget_bytes * low_watermark)
+            to_evict = []
+            remaining = report.bytes_total
+            for item in candidates:
+                if remaining <= target:
+                    break
+                to_evict.append(item)
+                remaining -= item["bytes"]
+            if remaining > budget_bytes:
+                protected_bytes = report.bytes_total - report.candidate_bytes
+                report.problems.append(
+                    f"still {remaining} bytes after evicting every "
+                    f"candidate (protected generations hold "
+                    f"{protected_bytes}; budget {budget_bytes}) — unpin a "
+                    f"version or raise the budget"
+                )
+
+        for item in to_evict:
+            if not dry_run:
+                try:
+                    item["path"].unlink()
+                except OSError as exc:
+                    report.problems.append(
+                        f"{item['path'].name}: eviction failed ({exc})"
+                    )
+                    continue
+                _ledger_append(
+                    store.root,
+                    {
+                        "digest": item["digest"],
+                        "code_version": item["version"],
+                        "bytes": item["bytes"],
+                        "time": time.time(),
+                    },
+                )
+            report.evicted += 1
+            report.evicted_bytes += item["bytes"]
+        if report.evicted and not dry_run:
+            REGISTRY.inc("store.gc_evicted", amount=report.evicted)
+            REGISTRY.inc("store.gc_evicted_bytes", amount=report.evicted_bytes)
+    return report
+
+
+def _ledger_append(root: Path, entry: dict) -> None:
+    try:
+        with (root / GC_LEDGER_FILENAME).open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:
+        pass  # the eviction already happened; the ledger is best effort
+
+
+def gc_ledger_entries(root: str | Path) -> list[dict]:
+    """Parsed gc-ledger lines (oldest first)."""
+    path = Path(root) / GC_LEDGER_FILENAME
+    if not path.exists():
+        return []
+    out = []
+    for line in path.read_text("utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            out.append(record)
+    return out

@@ -21,11 +21,27 @@ local POSIX filesystem:
   succeeds for exactly one renamer; the loser gets ENOENT), then all
   contenders race the ``O_EXCL`` create as usual.
 
-Heartbeats extend a held lease's deadline well before expiry
+Heartbeats refresh a held lease well before expiry
 (:meth:`CampaignQueue.heartbeat`); a lease that expires because its
 worker was SIGKILLed (or the host wedged) is reclaimable by anyone.
 Reclaim counts are bounded (``max_claims``): a job that keeps killing
 its workers is marked failed instead of crash-looping the campaign.
+
+**Expiry is measured on the filesystem clock, not the wall clock.** A
+lease is expired when ``fs_now - lease_mtime > lease_ttl``, where
+``fs_now`` is read back from the filesystem itself
+(:func:`fs_clock_now` touches a probe file and stats it) and the lease
+mtime is refreshed by every heartbeat rewrite. Both timestamps come
+from the same clock, so wall-clock skew between worker processes,
+mocked/stepped ``time.time()``, and backward clock jumps can delay a
+reclaim (safe) but never trigger one early (unsafe). The ``deadline``
+field still written into lease bodies is informational only.
+
+A supervisor that has *observed* a worker die (waited on its pid) may
+:meth:`CampaignQueue.expire` that worker's leases instead of waiting
+out the TTL: the lease mtime is backdated, so the next claimer reclaims
+immediately — through the same single-winner rename, with the claim
+count preserved (the crash-loop bound stays intact).
 
 The queue stores *bookkeeping*, not results — results go to the
 :class:`~repro.store.cas.ResultStore`, and completion markers are only
@@ -47,7 +63,7 @@ from repro.obs.metrics import REGISTRY
 from repro.store.integrity import cell_digest, fault_point
 from repro.utils.atomic import atomic_write_text
 
-__all__ = ["CampaignQueue", "Job", "default_worker_id"]
+__all__ = ["CampaignQueue", "Job", "default_worker_id", "fs_clock_now"]
 
 #: Default lease time-to-live (seconds). Generous relative to one cell;
 #: heartbeats renew at a third of this, so only a dead worker expires.
@@ -60,6 +76,22 @@ DEFAULT_MAX_CLAIMS = 5
 def default_worker_id() -> str:
     """This process's identity in lease files: host + pid."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def fs_clock_now(root: str | Path, *, probe_name: str = ".clock") -> float:
+    """"Now" on *root*'s filesystem clock (touch a probe, stat it).
+
+    Every process comparing file ages against this value reads the same
+    clock the kernel stamps mtimes with, so the comparison is immune to
+    ``time.time()`` skew between processes and to wall-clock steps (a
+    backward jump makes files look *younger*, which only delays expiry).
+    """
+    probe = Path(root) / probe_name
+    try:
+        os.utime(probe, None)
+    except FileNotFoundError:
+        probe.touch()
+    return probe.stat().st_mtime
 
 
 @dataclass(frozen=True)
@@ -141,6 +173,10 @@ class CampaignQueue:
     def _lease_path(self, digest: str) -> Path:
         return self.leases_dir / f"{digest}.json"
 
+    def _fs_now(self) -> float:
+        """The queue filesystem's clock (see :func:`fs_clock_now`)."""
+        return fs_clock_now(self.root)
+
     def _read_lease(self, path: Path) -> dict | None:
         try:
             lease = json.loads(path.read_text("utf-8"))
@@ -148,13 +184,21 @@ class CampaignQueue:
             return None
         except (OSError, ValueError):
             # Unreadable lease (creator died between O_EXCL create and
-            # writing the body): expire it by file age.
-            try:
-                mtime = path.stat().st_mtime
-            except OSError:
-                return None
-            return {"worker": "?", "deadline": mtime + self.lease_ttl}
-        return lease if isinstance(lease, dict) else {"worker": "?", "deadline": 0.0}
+            # writing the body): owner unknown, expiry still by mtime.
+            return {"worker": "?"}
+        return lease if isinstance(lease, dict) else {"worker": "?"}
+
+    def _lease_expired(self, path: Path, fs_now: float) -> bool | None:
+        """Is the lease at *path* expired? None when it vanished.
+
+        Age is mtime-vs-probe-mtime on the same filesystem clock; a
+        heartbeat rewrite resets the age to zero.
+        """
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return None
+        return (fs_now - mtime) > self.lease_ttl
 
     def _try_acquire(self, digest: str, worker: str, attempt: int) -> bool:
         """The atomic claim: O_EXCL-create the lease file."""
@@ -206,7 +250,7 @@ class CampaignQueue:
         that bounds crash loops.
         """
         worker = worker or default_worker_id()
-        now = time.time()
+        fs_now = self._fs_now()
         for job_path in sorted(self.jobs_dir.glob("*.json")):
             digest = job_path.stem
             if (self.done_dir / job_path.name).exists():
@@ -214,10 +258,14 @@ class CampaignQueue:
             if (self.failed_dir / job_path.name).exists():
                 continue
             prior = 0
-            lease = self._read_lease(self._lease_path(digest))
+            lease_path = self._lease_path(digest)
+            lease = self._read_lease(lease_path)
             if lease is not None:
-                if float(lease.get("deadline", 0.0)) > now:
-                    continue  # live lease — someone else is on it
+                expired = self._lease_expired(lease_path, fs_now)
+                if expired is None or not expired:
+                    # Vanished (completed/released under us) or live:
+                    # either way, not ours to reclaim this pass.
+                    continue
                 freed = self._reclaim_expired(digest, lease)
                 if freed is None:
                     continue  # lost the rename race
@@ -264,11 +312,13 @@ class CampaignQueue:
         return None
 
     def heartbeat(self, job: Job, *, worker: str | None = None) -> None:
-        """Extend a held lease's deadline (call well before expiry).
+        """Refresh a held lease (call well before expiry).
 
-        Raises :class:`~repro.errors.LeaseError` when the lease is gone
-        or owned by someone else — the worker lost it (e.g. it was
-        reclaimed after a long stall) and must stop publishing this job.
+        The rewrite stamps a fresh mtime — the only thing expiry checks
+        look at. Raises :class:`~repro.errors.LeaseError` when the lease
+        is gone or owned by someone else — the worker lost it (e.g. it
+        was reclaimed after a long stall) and must stop publishing this
+        job.
         """
         worker = worker or default_worker_id()
         path = self._lease_path(job.digest)
@@ -278,9 +328,44 @@ class CampaignQueue:
                 f"lease for {job.digest[:12]}… lost "
                 f"(now held by {lease.get('worker') if lease else 'nobody'})"
             )
-        lease["deadline"] = time.time() + self.lease_ttl
+        lease["deadline"] = time.time() + self.lease_ttl  # informational
         atomic_write_text(path, json.dumps(lease, sort_keys=True))
         REGISTRY.inc("queue.heartbeats")
+
+    def expire(self, digest: str, *, worker: str | None = None) -> bool:
+        """Make a held lease immediately reclaimable (claim count kept).
+
+        For supervisors that have *observed* the owning worker die
+        (waited on its pid): the lease mtime is backdated past the TTL,
+        so the next :meth:`claim` reclaims it through the usual
+        single-winner rename instead of waiting out the TTL. With
+        *worker* given, only that worker's lease is expired (a lease
+        already reclaimed by someone else is left alone). Returns True
+        when a lease was actually expired.
+        """
+        path = self._lease_path(digest)
+        lease = self._read_lease(path)
+        if lease is None:
+            return False
+        if worker is not None and lease.get("worker") != worker:
+            return False
+        past = self._fs_now() - self.lease_ttl - 1.0
+        try:
+            os.utime(path, (past, past))
+        except OSError:
+            return False  # vanished under us: released or reclaimed
+        REGISTRY.inc("queue.expired")
+        return True
+
+    def expire_worker(self, worker: str) -> int:
+        """Expire every lease held by *worker* (dead-worker handover)."""
+        expired = 0
+        for path in self.leases_dir.glob("*.json"):
+            if path.name.startswith("."):
+                continue
+            if self.expire(path.stem, worker=worker):
+                expired += 1
+        return expired
 
     # -- completion ------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Cooperative termination-signal handling for campaigns and services.
+
+A campaign killed by ``kill <pid>`` (SIGTERM — the polite kill, what
+init systems, container runtimes and CI send first) should behave like
+Ctrl-C: unwind through the supervisor's cleanup so held queue leases are
+released and the partial checkpoint stays a clean, well-formed prefix —
+not die mid-write and leave its leases to TTL-expire. The default
+SIGTERM disposition is immediate death; :func:`interrupt_on_signal`
+converts it into a ``KeyboardInterrupt`` raised at the next bytecode
+boundary, which every long-running engine here already handles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+__all__ = ["interrupt_on_signal"]
+
+
+@contextlib.contextmanager
+def interrupt_on_signal(signums=(signal.SIGTERM,)):
+    """Raise ``KeyboardInterrupt`` in the main thread on *signums*.
+
+    A no-op off the main thread (signal handlers can only be installed
+    there); previous handlers are restored on exit, so nesting and
+    library use are safe.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt(f"signal {signal.Signals(signum).name}")
+
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _raise)
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -1,0 +1,85 @@
+"""Fixtures for the experiment-service tests: a real service subprocess.
+
+The HTTP tests drive a genuine ``python -m repro.serve`` process (own
+event loop, own worker pool) bound to port 0, discovered through the
+``SERVE-READY`` line — the same contract scripts use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class ServiceProc:
+    """One running service subprocess plus its discovery metadata."""
+
+    def __init__(self, proc: subprocess.Popen, port: int, store: Path):
+        self.proc = proc
+        self.port = port
+        self.store = store
+
+    def client(self, timeout: float = 30.0):
+        from repro.serve.client import ServeClient
+
+        return ServeClient(port=self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 30.0) -> int:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        return self.proc.returncode
+
+
+def launch_service(store: Path, *extra_args: str) -> ServiceProc:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--store",
+            str(store),
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    for line in proc.stdout:
+        if line.startswith("SERVE-READY "):
+            ready = json.loads(line[len("SERVE-READY "):])
+            return ServiceProc(proc, ready["port"], store)
+        if proc.poll() is not None:
+            break
+    out = proc.stdout.read() if proc.stdout else ""
+    proc.kill()
+    raise RuntimeError(f"service failed to start:\n{out[-2000:]}")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A module-shared service with one worker over a fresh store."""
+    store = tmp_path_factory.mktemp("serve") / "store"
+    svc = launch_service(
+        store, "--workers", "1", "--lease-ttl", "10", "--retries", "1"
+    )
+    yield svc
+    rc = svc.stop()
+    assert rc == 0, f"service exited rc={rc}"

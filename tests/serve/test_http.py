@@ -1,0 +1,192 @@
+"""HTTP contract of the experiment service, against a live process.
+
+One real service (one worker, tiny workload scale) serves every test in
+this module. The scenarios pin the degraded-mode contract: instant 200s
+for cached cells, 202 + Retry-After while pending, corrupt records
+quarantined-and-recomputed transparently, JSON errors — never a
+traceback — for anything malformed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+#: The one real cell this module computes (then leans on repeatedly).
+CELL = {"workload": "olden.treeadd", "config": "BC", "seed": 1, "scale": 0.05}
+
+
+def test_healthz(service):
+    reply = service.client().healthz()
+    assert reply.status == 200
+    assert reply.data["status"] == "ok"
+    assert reply.data["pid"] == service.proc.pid
+
+
+def test_unknown_route_404(service):
+    reply = service.client().request("GET", "/v1/nope")
+    assert reply.status == 404
+    assert reply.data["error"] == "NotFound"
+
+
+def test_wrong_method_405(service):
+    reply = service.client().request("POST", "/v1/healthz")
+    assert reply.status == 405
+
+
+def test_bad_params_400_not_traceback(service):
+    client = service.client()
+    reply = client.result("no.such.workload", "BC")
+    assert reply.status == 400
+    assert reply.data["error"] == "UsageError"
+    assert "no.such.workload" in reply.data["message"]
+    reply = client.request("GET", "/v1/result")  # missing required params
+    assert reply.status == 400
+    reply = client.result("olden.treeadd", "BC", seed="not-an-int")
+    assert reply.status == 400
+
+
+def test_malformed_http_400(service):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10)
+    try:
+        conn.request(
+            "POST",
+            "/v1/campaign",
+            body=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        assert payload["error"] == "BadRequest"
+    finally:
+        conn.close()
+
+
+def test_analytic_figure_renders_immediately(service):
+    reply = service.client().figure("fig3", workloads="olden.treeadd")
+    assert reply.status == 200
+    assert reply.data["status"] == "complete"
+    output = reply.data["output"]
+    assert output["figure"] == "fig3"
+    assert output["rows"]
+
+
+def test_unknown_figure_400(service):
+    reply = service.client().figure("fig99")
+    assert reply.status == 400
+    assert reply.data["error"] == "UsageError"
+
+
+def test_result_202_until_computed_then_200(service):
+    client = service.client()
+    first = client.result(**CELL)
+    assert first.status in (200, 202)  # 200 if an earlier test warmed it
+    if first.status == 202:
+        assert first.data["status"] == "pending"
+        assert float(first.headers["retry-after"]) > 0
+        assert first.data["campaign"] == "matrix-seed1-scale0.05"
+    final = client.wait_result(timeout=180, **CELL)
+    assert final.status == 200
+    assert final.data["status"] == "complete"
+    assert final.data["result"]["config"]  # full SimResult payload
+    # Now cached: the next GET is an instant 200.
+    assert client.result(**CELL).status == 200
+
+
+def test_pending_figure_202_annotates_holes(service):
+    reply = service.client().figure(
+        "fig12", workloads="olden.treeadd", seed=3, scale=0.05
+    )
+    assert reply.status == 202
+    assert reply.data["status"] == "pending"
+    assert len(reply.data["holes"]) == 5  # exactly which cells are missing
+    assert reply.data["failed"] == []
+    assert reply.data["campaign"] == "matrix-seed3-scale0.05"
+    # The worker will drain these in the background; the point here is
+    # the *immediate* honest 202 with the holes spelled out.
+
+
+def test_campaign_post_then_poll(service):
+    client = service.client()
+    client.wait_result(timeout=180, **CELL)  # make the one cell cached
+    posted = client.post_campaign(
+        workloads=[CELL["workload"]],
+        configs=[CELL["config"]],
+        seed=CELL["seed"],
+        scale=CELL["scale"],
+    )
+    assert posted.status == 202
+    assert posted.data["status"] == "accepted"
+    assert posted.data["reused"] == 1  # already in store: no recompute
+    assert posted.data["enqueued"] == 0
+    campaign = client.wait_campaign(posted.data["campaign"], timeout=60)
+    assert campaign.status == 200
+    assert campaign.data["drained"]
+
+
+def test_campaign_unknown_404(service):
+    reply = service.client().campaign("matrix-seed9-scale9")
+    assert reply.status == 404
+
+
+def test_corrupt_record_heals_transparently(service):
+    """Bit-rot on disk → quarantine on read → 202 → recompute → 200."""
+    client = service.client()
+    final = client.wait_result(timeout=180, **CELL)
+    assert final.status == 200
+    digest = final.data["digest"]
+
+    path = service.store / "objects" / digest[:2] / f"{digest}.json"
+    record = json.loads(path.read_text())
+    record["payload"]["cycles"] = -12345  # checksum now lies
+    path.write_text(json.dumps(record))
+
+    # Verify-on-read spots it: quarantined, reopened, re-enqueued — the
+    # client just sees "pending", never an error.
+    degraded = client.result(**CELL)
+    assert degraded.status == 202
+    assert degraded.data["status"] == "pending"
+    quarantine = service.store / "quarantine"
+    assert any(quarantine.iterdir())
+
+    healed = client.wait_result(timeout=180, **CELL)
+    assert healed.status == 200
+    assert healed.data["result"]["cycles"] != -12345
+
+    # The quarantine is ledgered and visible in /v1/stats; the second
+    # compute is legitimate (the first record was destroyed), so the
+    # compute log shows this digest exactly twice — explained, not a
+    # double-compute.
+    stats = client.stats()
+    assert stats.data["store"]["quarantined"] >= 1
+    from repro.store.cas import ResultStore
+
+    computes = [
+        e["digest"]
+        for e in ResultStore(service.store).compute_log()
+        if e.get("digest") == digest
+    ]
+    assert len(computes) == 2
+
+
+def test_stats_and_workers(service):
+    client = service.client()
+    stats = client.stats()
+    assert stats.status == 200
+    assert "matrix-seed1-scale0.05" in stats.data["campaigns"]
+    workers = client.workers()
+    assert workers.status == 200
+    assert workers.data["size"] == 1
+    [worker] = workers.data["workers"]
+    assert worker["alive"]
+    assert worker["worker"].startswith("serve-")
+
+
+def test_gc_endpoint_dry_run(service):
+    reply = service.client().gc(dry_run=True)
+    assert reply.status == 200
+    assert reply.data["dry_run"] is True
+    assert reply.data["scanned"] >= 1
+    # The live generation is never a candidate.
+    assert reply.data["candidates"] == 0

@@ -1,0 +1,212 @@
+"""Worker pool supervision: heal, reclaim, drain — plus worker units.
+
+The process tests run real worker subprocesses against an empty store
+(idle workers poll cheaply); the lease-handover tests drive the pool's
+reclaim logic directly, no processes needed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.serve.supervisor import WorkerPool
+from repro.serve.worker import WorkerHeartbeat, run_worker
+from repro.store.cas import ResultStore
+from repro.store.queue import CampaignQueue
+
+
+def _wait(predicate, timeout: float = 30.0, poll: float = 0.05, what: str = ""):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll)
+    pytest.fail(f"timed out waiting for {what or predicate}")
+
+
+def _pool(store_dir, **kwargs) -> WorkerPool:
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("lease_ttl", 10.0)
+    return WorkerPool(store_dir, **kwargs)
+
+
+def _wait_heartbeats(pool: WorkerPool, n: int) -> None:
+    """Block until *n* workers wrote their first liveness beat — before
+    that, a worker is still importing and a test signal would land on
+    the default (lethal) disposition."""
+
+    def beating() -> bool:
+        statuses = pool.status()["workers"]
+        return sum(1 for w in statuses if w["heartbeat_age"] is not None) >= n
+
+    _wait(beating, what=f"{n} worker heartbeat(s)")
+
+
+def test_killed_worker_is_restarted_with_fresh_incarnation(tmp_path):
+    pool = _pool(tmp_path / "store")
+    pool.start()
+    try:
+        _wait(lambda: pool.pids()[0] is not None, what="first spawn")
+        first_pid = pool.pids()[0]
+        first_id = pool.status()["workers"][0]["worker"]
+        assert first_id.endswith("-w0.0")
+
+        os.kill(first_pid, signal.SIGKILL)
+
+        def healed():
+            pool.poll()
+            pid = pool.pids()[0]
+            return pid is not None and pid != first_pid
+
+        _wait(healed, what="respawn after SIGKILL")
+        status = pool.status()["workers"][0]
+        assert status["restarts"] == 1
+        # A fresh incarnation id: lease reclaim can never confuse the
+        # dead incarnation with its replacement.
+        assert status["worker"].endswith("-w0.1")
+        assert status["worker"] != first_id
+    finally:
+        pool.drain(timeout=15)
+
+
+def test_dead_workers_leases_expire_immediately(tmp_path):
+    """Supervisor hands a dead incarnation's leases straight back."""
+    store = ResultStore(tmp_path / "store")
+    queue = CampaignQueue(store.root / "queue", "camp", lease_ttl=300.0)
+    queue.enqueue(("cell", 1), ("task", 1))
+    queue.enqueue(("cell", 2), ("task", 2))
+    pool = _pool(store.root, lease_ttl=300.0)
+    dead = "serve-123-w0.0"
+    assert queue.claim(dead) is not None
+    assert queue.claim(dead) is not None
+    assert queue.claim("other") is None  # both leased, TTL 5 minutes out
+
+    assert pool._expire_leases(dead) == 2
+    # No TTL wait: the next claimer reclaims with attempt counts intact.
+    job = queue.claim("other")
+    assert job is not None and job.attempt == 2
+
+
+def test_expire_leases_spares_other_workers(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    queue = CampaignQueue(store.root / "queue", "camp", lease_ttl=300.0)
+    queue.enqueue(("cell", 1), ("task", 1))
+    pool = _pool(store.root, lease_ttl=300.0)
+    assert queue.claim("serve-123-w1.0") is not None
+    # The dead incarnation held nothing; the live worker's lease stays.
+    assert pool._expire_leases("serve-123-w0.0") == 0
+    assert queue.claim("interloper") is None
+
+
+def test_drain_is_graceful_exit_zero(tmp_path):
+    store_dir = tmp_path / "store"
+    pool = _pool(store_dir, workers=2)
+    pool.start()
+    try:
+        _wait_heartbeats(pool, 2)
+        pids = dict(pool.pids())
+        codes = pool.drain(timeout=20)
+        assert codes == {0: 0, 1: 0}, codes
+        # Every worker flushed a final "stopped" heartbeat + telemetry.
+        root = ResultStore(store_dir).root
+        beats = list((root / "serve" / "workers").glob("*.json"))
+        assert len(beats) == 2
+        spools = list((root / "serve" / "telemetry").glob("*.metrics.json"))
+        assert len(spools) == 2
+        for pid in pids.values():
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+    finally:
+        pool.drain(timeout=5)
+
+
+def test_stalled_worker_is_killed_and_replaced(tmp_path):
+    """A worker whose heartbeat goes stale is SIGKILLed, not trusted."""
+    pool = _pool(tmp_path / "store", stall_after=1.5)
+    pool.start()
+    try:
+        _wait_heartbeats(pool, 1)
+        first_pid = pool.pids()[0]
+        # Wedge the worker so it can't beat (SIGSTOP: no bytecode runs).
+        os.kill(first_pid, signal.SIGSTOP)
+        try:
+
+            def replaced():
+                pool.poll()
+                pid = pool.pids()[0]
+                return pid is not None and pid != first_pid
+
+            _wait(replaced, timeout=30, what="stall-kill and respawn")
+            assert pool.status()["workers"][0]["restarts"] >= 1
+        finally:
+            try:
+                os.kill(first_pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+    finally:
+        pool.drain(timeout=15)
+
+
+def test_worker_fails_bogus_cell_and_drains(tmp_path):
+    """A cell that cannot run parks as failed; the worker exits clean."""
+    store = ResultStore(tmp_path / "store")
+    queue = CampaignQueue(store.root / "queue", "camp", lease_ttl=10.0)
+    queue.enqueue(
+        ("no.such.workload", 1, 0.05, "BC", 1.0),
+        ("no.such.workload", "BC", 1.0, 1, 0.05),
+    )
+    rc = run_worker(
+        store.root,
+        worker_id="t-w0",
+        lease_ttl=10.0,
+        poll=0.05,
+        retries=0,
+        exit_when_drained=True,
+    )
+    assert rc == 0
+    assert queue.drained()
+    [record] = queue.failed_records()
+    assert record["kind"] == "error"
+    assert "no.such.workload" in record["message"]
+    # Nothing was computed, nothing stored: the failure is a marker.
+    assert store.object_count() == 0
+
+
+def test_worker_retries_with_expire_before_failing(tmp_path):
+    """Transient failures burn bounded claims through expire(), not
+    release(), so the circuit breaker still sees every attempt."""
+    store = ResultStore(tmp_path / "store")
+    queue = CampaignQueue(store.root / "queue", "camp", lease_ttl=10.0)
+    queue.enqueue(
+        ("no.such.workload", 1, 0.05, "BC", 1.0),
+        ("no.such.workload", "BC", 1.0, 1, 0.05),
+    )
+    rc = run_worker(
+        store.root,
+        worker_id="t-w0",
+        lease_ttl=10.0,
+        poll=0.05,
+        retries=1,
+        exit_when_drained=True,
+    )
+    assert rc == 0
+    [record] = queue.failed_records()
+    assert record["attempts"] == 2  # first claim + one retry
+
+
+def test_worker_heartbeat_file(tmp_path):
+    root = ResultStore(tmp_path / "store").root
+    hb = WorkerHeartbeat(root, "t-w0")
+    hb.beat("idle", counts={"completed": 0})
+    payload = __import__("json").loads(hb.path.read_text())
+    assert payload["worker"] == "t-w0"
+    assert payload["state"] == "idle"
+    assert payload["pid"] == os.getpid()
+    before = hb.path.stat().st_mtime
+    os.utime(hb.path, (before - 100, before - 100))
+    hb.touch()
+    assert hb.path.stat().st_mtime > before - 50

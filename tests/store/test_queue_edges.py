@@ -1,0 +1,167 @@
+"""Concurrency edges of the campaign queue: races, reopen, claim bounds.
+
+Satellites of the resilient-service PR: the behaviors the service's
+supervisor and workers lean on hardest, pinned down in isolation —
+single-winner reclaim under a real race, done-markers withdrawn after
+quarantine, and the ``max_claims`` circuit breaker parking crash-looping
+cells. The exactly-once proof runs racing drainers against one queue and
+audits ``compute.log``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.store.queue import CampaignQueue
+from store_helpers import identity_store, sample_payload
+
+
+def _queue(tmp_path, **kwargs) -> CampaignQueue:
+    kwargs.setdefault("lease_ttl", 60.0)
+    return CampaignQueue(tmp_path / "queue", "edges", **kwargs)
+
+
+def _backdate(path, seconds: float) -> None:
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+def test_two_workers_race_one_expired_lease(tmp_path):
+    """Exactly one of two simultaneous claimers wins an expired lease."""
+    queue = _queue(tmp_path, lease_ttl=5.0)
+    queue.enqueue(("cell", 1), ("task", 1))
+    job = queue.claim("w-dead")
+    assert job is not None
+    _backdate(queue._lease_path(job.digest), 3600)
+
+    barrier = threading.Barrier(2)
+    wins: list = [None, None]
+
+    def racer(i: int) -> None:
+        barrier.wait()
+        wins[i] = _queue(tmp_path, lease_ttl=5.0).claim(f"w-{i}")
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    winners = [w for w in wins if w is not None]
+    assert len(winners) == 1, f"expected one winner, got {wins}"
+    # attempt == 2 when the winner reclaimed the expired lease itself;
+    # 1 when it slipped in right after the loser's reclaim-rename (the
+    # dead worker's lease then reads as released, not expired). Either
+    # way the single-winner rename kept the claim exclusive:
+    assert winners[0].attempt in (1, 2)
+    loser = 1 - wins.index(winners[0])
+    assert wins[loser] is None
+    # ... and the job stays unclaimable while the winner's lease lives.
+    assert _queue(tmp_path, lease_ttl=5.0).claim("w-late") is None
+
+
+def test_done_marker_withdrawn_after_quarantine(tmp_path):
+    """reopen() makes a completed cell computable again, exactly once."""
+    store = identity_store(tmp_path / "store")
+    queue = CampaignQueue(store.root / "queue", "edges")
+    key = ("cell", "q")
+    queue.enqueue(key, ("task", "q"))
+    job = queue.claim("w-1")
+    store.put(key, sample_payload())
+    queue.complete(job, worker="w-1")
+    assert queue.drained()
+    assert not queue.enqueue(key, ("task", "q"))  # done marker blocks it
+
+    # The record rots on disk; verify-on-read quarantines it.
+    path, _ = next(iter(store.records()))
+    path.write_text(path.read_text().replace("cycles", "cycle$"))
+    assert store.get(key) is None
+    assert store.quarantined_count() == 1
+
+    # The promise the marker made is now false: withdraw and recompute.
+    assert queue.reopen(key)
+    assert not queue.reopen(key)  # idempotent: only one marker to drop
+    assert not queue.drained()
+    # The job file never left the queue; dropping the marker alone makes
+    # the cell claimable again (enqueue reports it as already present).
+    assert not queue.enqueue(key, ("task", "q"))
+    job = queue.claim("w-2")
+    assert job is not None and job.attempt == 1
+    store.put(key, sample_payload())
+    queue.complete(job, worker="w-2")
+    assert queue.drained()
+    assert store.get(key) == sample_payload()
+
+
+def test_crash_looping_cell_hits_claims_bound(tmp_path):
+    """A cell that kills every claimer parks as failed, campaign drains."""
+    queue = _queue(tmp_path, lease_ttl=5.0, max_claims=3)
+    queue.enqueue(("cell", "loop"), ("task", "loop"))
+    for n in range(1, 4):
+        job = queue.claim(f"w-{n}")
+        assert job is not None and job.attempt == n
+        # The claimer "crashes": its lease goes stale, never released.
+        _backdate(queue._lease_path(job.digest), 3600)
+    # The next claim refuses the job and writes the failure marker.
+    assert queue.claim("w-last") is None
+    [record] = queue.failed_records()
+    assert record["kind"] == "reclaim_limit"
+    assert record["attempts"] == 3
+    assert queue.drained()
+    assert queue.snapshot()["failed"] == 1
+
+
+def test_racing_drainers_compute_each_cell_exactly_once(tmp_path):
+    """Two drain loops over one queue; compute.log shows no doubles."""
+    store = identity_store(tmp_path / "store")
+    queue_root = store.root / "queue"
+    keys = [("cell", n) for n in range(12)]
+    queue = CampaignQueue(queue_root, "edges")
+    for n, key in enumerate(keys):
+        queue.enqueue(key, ("task", n))
+
+    def drain(worker: str) -> None:
+        q = CampaignQueue(queue_root, "edges")
+        while True:
+            job = q.claim(worker)
+            if job is None:
+                if q.drained():
+                    return
+                time.sleep(0.005)
+                continue
+            if store.get(job.key) is None:
+                if store.put(job.key, sample_payload(int(job.key[1]))):
+                    store.log_compute(job.key, worker)
+            q.complete(job, worker=worker)
+
+    threads = [
+        threading.Thread(target=drain, args=(f"w-{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert queue.drained()
+    computed = [tuple(e["key"]) for e in store.compute_log()]
+    assert sorted(computed) == sorted(keys)  # every cell once, none twice
+    assert len(set(computed)) == len(computed)
+    for key in keys:
+        assert store.get(key) is not None
+
+
+def test_max_claims_respects_service_retry_expire(tmp_path):
+    """Worker-style expire() retries burn claims; the bound still holds."""
+    queue = _queue(tmp_path, lease_ttl=5.0, max_claims=2)
+    queue.enqueue(("cell", "retry"), ("task", "retry"))
+    job = queue.claim("w-1")
+    assert job.attempt == 1
+    # The worker's retry path: expire its own lease instead of release,
+    # so the claim count survives the handover.
+    assert queue.expire(job.digest, worker="w-1")
+    job = queue.claim("w-1")
+    assert job.attempt == 2
+    assert queue.expire(job.digest, worker="w-1")
+    assert queue.claim("w-1") is None  # bound hit: parked as failed
+    [record] = queue.failed_records()
+    assert record["kind"] == "reclaim_limit"

@@ -1,0 +1,142 @@
+"""Lease expiry must survive wall-clock skew and backward jumps.
+
+Regression tests for the clock-skew hardening: expiry is measured as
+``fs_now - lease_mtime`` on the shared filesystem clock, never as a bare
+``time.time()`` comparison across processes — so a claimer whose wall
+clock is hours ahead (or behind, or stepping backwards mid-campaign)
+makes the same reclaim decision as an unskewed one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import LeaseError
+from repro.store.queue import CampaignQueue, fs_clock_now
+
+KEY = ("olden.treeadd", 1, 0.05, "BC", 1.0)
+TASK = ("olden.treeadd", "BC", 1.0, 1, 0.05)
+
+
+def make_queue(tmp_path, **kwargs) -> CampaignQueue:
+    kwargs.setdefault("lease_ttl", 60.0)
+    return CampaignQueue(tmp_path / "queue", "camp", **kwargs)
+
+
+class SkewedClock:
+    """A mocked ``time.time`` that is wildly wrong and can jump."""
+
+    def __init__(self, offset: float) -> None:
+        self.offset = offset
+
+    def __call__(self) -> float:
+        return time.time_ns() / 1e9 + self.offset
+
+
+def _backdate(path, seconds: float) -> None:
+    """Age a file by *seconds* on the filesystem clock."""
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+@pytest.mark.parametrize("offset", [3600.0, -3600.0, 10 * 86400.0])
+def test_live_lease_survives_claimer_clock_skew(tmp_path, monkeypatch, offset):
+    """A claimer with a skewed wall clock must not reclaim a live lease."""
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    assert queue.claim("w1") is not None
+
+    monkeypatch.setattr(time, "time", SkewedClock(offset))
+    assert queue.claim("w2-skewed") is None, (
+        "fresh lease reclaimed by a claimer whose clock is off by "
+        f"{offset:+g}s"
+    )
+
+
+def test_backward_clock_jump_does_not_unexpire_a_dead_lease(
+    tmp_path, monkeypatch
+):
+    """An actually-expired lease is reclaimed even when the claimer's
+    wall clock jumped far into the past (a bare deadline comparison
+    would see the lease as live for another hour)."""
+    queue = make_queue(tmp_path, lease_ttl=1.0)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    _backdate(queue._lease_path(job.digest), 5.0)  # w1 "died" 5s ago
+
+    monkeypatch.setattr(time, "time", SkewedClock(-7200.0))
+    job2 = queue.claim("w2")
+    assert job2 is not None
+    assert job2.attempt == 2
+
+
+def test_heartbeat_under_skew_keeps_lease_alive(tmp_path, monkeypatch):
+    """Heartbeats refresh the lease mtime, so a worker whose clock is
+    skewed still keeps its lease against an unskewed claimer."""
+    queue = make_queue(tmp_path, lease_ttl=1.0)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    _backdate(queue._lease_path(job.digest), 5.0)  # would be expired ...
+
+    monkeypatch.setattr(time, "time", SkewedClock(9999.0))
+    queue.heartbeat(job, worker="w1")  # ... but the heartbeat renews it
+    monkeypatch.undo()
+    assert queue.claim("w2") is None
+
+
+def test_unreadable_lease_still_expires_by_age_under_skew(
+    tmp_path, monkeypatch
+):
+    queue = make_queue(tmp_path, lease_ttl=1.0)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    lease = queue._lease_path(job.digest)
+    lease.write_bytes(b"")  # torn body: creator died mid-write
+    _backdate(lease, 5.0)
+    monkeypatch.setattr(time, "time", SkewedClock(-86400.0))
+    assert queue.claim("w2") is not None
+
+
+def test_expire_backdates_only_the_named_workers_lease(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.enqueue(KEY, TASK)
+    job = queue.claim("w1")
+    # Wrong owner: nothing expired, lease still live.
+    assert queue.expire(job.digest, worker="not-w1") is False
+    assert queue.claim("w2") is None
+    # Right owner: immediately reclaimable with the claim count kept.
+    assert queue.expire(job.digest, worker="w1") is True
+    job2 = queue.claim("w2")
+    assert job2 is not None
+    assert job2.attempt == 2
+
+
+def test_expire_worker_sweeps_all_of_a_dead_workers_leases(tmp_path):
+    queue = make_queue(tmp_path)
+    keys = [(f"wl{i}", 1, 0.05, "BC", 1.0) for i in range(3)]
+    for key in keys:
+        queue.enqueue(key, tuple(key))
+    jobs = [queue.claim("dead") for _ in keys]
+    assert all(jobs)
+    other = queue.claim("alive")
+    assert other is None  # everything held by "dead"
+    assert queue.expire_worker("dead") == 3
+    reclaimed = []
+    while (job := queue.claim("alive")) is not None:
+        reclaimed.append(job)
+    assert len(reclaimed) == 3
+    assert {j.attempt for j in reclaimed} == {2}
+
+
+def test_fs_clock_now_monotone_with_file_ages(tmp_path):
+    """The probe and ordinary files share one clock: a file written now
+    has age ~0, a backdated one has its backdated age."""
+    target = tmp_path / "f"
+    target.write_text("x")
+    now = fs_clock_now(tmp_path)
+    assert abs(now - target.stat().st_mtime) < 2.0
+    _backdate(target, 100.0)
+    assert fs_clock_now(tmp_path) - target.stat().st_mtime > 98.0

@@ -1,0 +1,106 @@
+"""SIGTERM mid-campaign: leases released, store clean, exit code 130.
+
+Satellite of the resilient-service PR: ``python -m repro.experiments
+... --store DIR`` must treat SIGTERM (what init systems and CI send
+first) exactly like Ctrl-C — unwind through the campaign engine's
+cleanup so the held queue lease is released immediately (not abandoned
+to TTL expiry) and the store stays a clean, recoverable prefix.
+
+The child is a real CLI process computing a real (tiny) matrix cell;
+the test waits until it holds a lease and then terminates it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _spawn_campaign(store: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_PROGRESS"] = "plain"
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "fig12",
+            "--workloads",
+            "olden.treeadd",
+            "--scale",
+            "0.05",
+            "--store",
+            str(store),
+            "--no-profile",
+            "--no-charts",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+
+
+def _wait_for_lease(leases: Path, proc, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            pytest.fail(
+                f"campaign exited rc={proc.returncode} before holding a "
+                f"lease:\n{out[-2000:]}"
+            )
+        if leases.is_dir() and any(
+            p.suffix == ".json" for p in leases.iterdir()
+        ):
+            return
+        time.sleep(0.05)
+    pytest.fail("campaign never claimed a lease")
+
+
+def test_sigterm_mid_cell_releases_lease_and_exits_130(tmp_path):
+    store = tmp_path / "store"
+    proc = _spawn_campaign(store)
+    leases = store / "queue" / "matrix-seed1-scale0.05" / "leases"
+    try:
+        _wait_for_lease(leases, proc)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    assert proc.returncode == 130, f"rc={proc.returncode}\n{out[-2000:]}"
+    assert "interrupted" in out
+    # The held lease was released on the way out, not left to TTL-expire.
+    held = [p for p in leases.iterdir() if p.suffix == ".json"]
+    assert held == [], f"leases left behind: {held}"
+
+    # Whatever the interrupted run left behind is a clean prefix: the
+    # journal replays or clears, every surviving record verifies.
+    from repro.store.cas import ResultStore
+
+    result_store = ResultStore(store)
+    result_store.recover()
+    report = result_store.fsck()
+    assert report.clean, report.as_dict()
+    assert result_store.quarantined_count() == 0
+
+    # A rerun picks the campaign up from the released state and the
+    # queue accounts for every cell exactly once.
+    from repro.store.queue import CampaignQueue
+
+    queue = CampaignQueue(store / "queue", "matrix-seed1-scale0.05")
+    snapshot = queue.snapshot()
+    assert snapshot["leased"] == 0
+    assert snapshot["done"] + snapshot["pending"] == snapshot["jobs"]

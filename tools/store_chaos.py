@@ -24,7 +24,20 @@ and must be recomputed) and ``queue.before_done`` (death *between* the
 durable result and its done marker — the cell is present and must be
 reused, not recomputed).
 
-The fsck report of the kill/resume store is written to ``--report`` for
+With ``--service`` (or ``--service-only``) a fourth scenario runs the
+whole stack through the HTTP experiment service:
+
+4. **Service** — ``python -m repro.serve`` is started in its own process
+   group with a fault armed so *every worker incarnation* dies with
+   SIGKILL semantics on its second store commit; the supervisor must keep
+   healing the pool while the campaign advances. Mid-campaign the entire
+   group (service + workers) is SIGKILLed, a clean service takes over the
+   same store, one of its workers is SIGKILLed directly and must be
+   replaced, and the campaign still drains. Every cell fetched over HTTP
+   must be bit-identical to golden, the compute log must stay
+   exactly-once, and a final SIGTERM must exit 0.
+
+The fsck report of the last chaos store is written to ``--report`` for
 CI artifact upload. Exit status: 0 when every phase held, 1 otherwise.
 The machine-readable tail line is ``CHAOS-SUMMARY {...}``.
 """
@@ -34,9 +47,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 from collections import Counter
 from pathlib import Path
 
@@ -124,6 +139,7 @@ def _check_store(
     phase: str,
     *,
     expect_exactly_once: bool = True,
+    allow_unlogged: bool = False,
 ) -> None:
     """Shared assertions: drained queue, bit-identical data, exactly-once."""
     store = ResultStore(store_dir)
@@ -150,7 +166,7 @@ def _check_store(
         doubled = {d: n for d, n in counts.items() if n > 1}
         if doubled:
             problems.append(f"{phase}: cells computed more than once: {doubled}")
-        if len(counts) != len(golden):
+        if not allow_unlogged and len(counts) != len(golden):
             problems.append(
                 f"{phase}: compute log covers {len(counts)} cells, "
                 f"expected {len(golden)}"
@@ -217,6 +233,238 @@ def _phase_kill_resume(
     return store
 
 
+def _launch_service(
+    store: Path,
+    *,
+    lease_ttl: float,
+    log_path: Path,
+    fault: str | None = None,
+    workers: int = 2,
+    timeout: float = 60.0,
+) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro.serve`` in its own process group.
+
+    Output goes to *log_path* (kept as a CI artifact); the bound port is
+    discovered by polling the log for the ``SERVE-READY`` line, so port 0
+    works and a full pipe can never wedge the service.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if fault:
+        env["REPRO_STORE_FAULT_POINT"] = fault
+    else:
+        env.pop("REPRO_STORE_FAULT_POINT", None)
+    log = open(log_path, "ab")
+    try:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--store",
+                str(store),
+                "--port",
+                "0",
+                "--workers",
+                str(workers),
+                "--lease-ttl",
+                str(lease_ttl),
+                "--retries",
+                "1",
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+            start_new_session=True,  # killpg must not hit this harness
+        )
+    finally:
+        log.close()
+    prefix = "SERVE-READY "
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"service died at startup (rc={proc.returncode}):\n"
+                f"{log_path.read_text()[-2000:]}"
+            )
+        for line in log_path.read_text().splitlines():
+            if line.startswith(prefix):
+                return proc, json.loads(line[len(prefix):])["port"]
+        time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError("service never announced SERVE-READY")
+
+
+def _stop_service(proc: subprocess.Popen, problems: list[str], phase: str):
+    """Graceful SIGTERM must drain the pool and exit 0."""
+    if proc.poll() is not None:
+        problems.append(f"{phase}: service already dead (rc={proc.returncode})")
+        return
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+        problems.append(f"{phase}: service ignored SIGTERM for 60s")
+        return
+    if rc != 0:
+        problems.append(f"{phase}: graceful stop exited {rc}, expected 0")
+
+
+def _phase_service(
+    workdir: Path, golden: dict[str, str], args, problems: list[str]
+) -> Path:
+    """HTTP service survives group-kill, worker-kill and fault storms."""
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    store = workdir / "service"
+    phase = "service"
+    campaign = campaign_name(SEED, args.scale)
+
+    # 1. Fault-armed service: each worker incarnation dies (SIGKILL exit
+    #    semantics) on its second store commit. The supervisor must keep
+    #    replacing workers while the campaign makes progress.
+    proc, port = _launch_service(
+        store,
+        lease_ttl=args.lease_ttl,
+        log_path=workdir / "service-armed.log",
+        fault="put.before_journal@2",
+    )
+    client = ServeClient(port=port, timeout=30)
+    try:
+        posted = client.post_campaign(
+            workloads=list(WORKLOADS),
+            configs=list(CONFIGS),
+            seed=SEED,
+            scale=args.scale,
+        )
+        if posted.status != 202:
+            problems.append(f"{phase}: POST /v1/campaign -> {posted.status}")
+        first = client.result(
+            WORKLOADS[-1], CONFIGS[-1], seed=SEED, scale=args.scale
+        )
+        if first.status != 202 or "retry-after" not in first.headers:
+            problems.append(
+                f"{phase}: pending cell answered {first.status} "
+                "without Retry-After, expected an immediate 202"
+            )
+        # Let the crash-looping pool land at least two cells, then wipe
+        # out the whole process group — service, workers, everything.
+        deadline = time.monotonic() + args.timeout
+        done = 0
+        while time.monotonic() < deadline:
+            done = client.campaign(campaign).data["queue"]["done"]
+            if done >= 2:
+                break
+            time.sleep(0.5)
+        if done < 2:
+            problems.append(
+                f"{phase}: only {done} cells done under the armed fault "
+                f"after {args.timeout:g}s (supervisor not healing?)"
+            )
+    except ServeError as exc:
+        problems.append(f"{phase}: armed service unreachable: {exc}")
+    finally:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.wait()
+
+    # 2. A clean service takes over the very same store: journal
+    #    recovery, lease reclaim, resume — no operator intervention.
+    proc, port = _launch_service(
+        store,
+        lease_ttl=args.lease_ttl,
+        log_path=workdir / "service-clean.log",
+    )
+    client = ServeClient(port=port, timeout=30)
+    try:
+        # Kick the same campaign again (idempotent: done cells are
+        # reused) and SIGKILL one live worker mid-run; the pool must
+        # respawn a fresh incarnation in its slot.
+        client.post_campaign(
+            workloads=list(WORKLOADS),
+            configs=list(CONFIGS),
+            seed=SEED,
+            scale=args.scale,
+        )
+        victim_slot = victim_pid = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and victim_pid is None:
+            for worker in client.workers().data["workers"]:
+                if worker["alive"] and worker["pid"]:
+                    victim_slot, victim_pid = worker["slot"], worker["pid"]
+                    break
+            time.sleep(0.2)
+        if victim_pid is None:
+            problems.append(f"{phase}: no live worker to kill")
+        else:
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            replaced = False
+            while time.monotonic() < deadline and not replaced:
+                for worker in client.workers().data["workers"]:
+                    if (
+                        worker["slot"] == victim_slot
+                        and worker["restarts"] >= 1
+                        and worker["alive"]
+                    ):
+                        replaced = True
+                time.sleep(0.5)
+            if not replaced:
+                problems.append(
+                    f"{phase}: killed worker in slot {victim_slot} "
+                    "was never replaced"
+                )
+
+        final = client.wait_campaign(campaign, timeout=args.timeout)
+        if not final.data.get("drained"):
+            problems.append(f"{phase}: campaign never drained: {final.data}")
+        if final.data.get("failed"):
+            problems.append(
+                f"{phase}: failed cells: {final.data['failed']}"
+            )
+
+        # Every cell over HTTP, bit-identical to the golden run.
+        for key_json, expected in golden.items():
+            key = tuple(json.loads(key_json))
+            workload, seed, scale, config, miss_scale = key
+            reply = client.result(
+                workload,
+                config,
+                seed=seed,
+                scale=scale,
+                miss_scale=miss_scale,
+            )
+            if reply.status != 200 or reply.data.get("status") != "complete":
+                problems.append(
+                    f"{phase}: GET /v1/result for {key} -> {reply.status} "
+                    f"{reply.data.get('status')}"
+                )
+            elif canonical_json(reply.data["result"]) != expected:
+                problems.append(
+                    f"{phase}: cell {key} served over HTTP differs "
+                    "from the golden run"
+                )
+    except ServeError as exc:
+        problems.append(f"{phase}: clean service unreachable: {exc}")
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+    else:
+        _stop_service(proc, problems, phase)
+
+    # The SIGKILL of the whole group can land between a cell's durable
+    # commit and its compute-log append: the record is legitimate but
+    # unlogged, so coverage may run short — double-computes still fail.
+    _check_store(
+        store, golden, args.scale, problems, phase, allow_unlogged=True
+    )
+    return store
+
+
 def _fsck(store: Path, report: Path | None, problems: list[str]) -> None:
     cmd = [sys.executable, "-m", "repro.store", "fsck", "--store", str(store)]
     if report is not None:
@@ -247,6 +495,16 @@ def main(argv: list[str] | None = None) -> int:
         "--workdir",
         default=None,
         help="keep stores here instead of a temporary directory",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="also run the HTTP-service chaos scenario",
+    )
+    parser.add_argument(
+        "--service-only",
+        action="store_true",
+        help="run only golden + the HTTP-service scenario (CI serve job)",
     )
     parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--store", default=None, help=argparse.SUPPRESS)
@@ -281,33 +539,47 @@ def main(argv: list[str] | None = None) -> int:
         golden = _canonical(golden_outcome.results)
         print(f"[chaos] golden: {len(golden)} cells")
 
-        print("[chaos] two concurrent workers, one queue ...")
-        _phase_concurrent(workdir, golden, args, problems)
+        phases = []
+        report = Path(args.report) if args.report else None
+        chaos_store = None
+        if not args.service_only:
+            print("[chaos] two concurrent workers, one queue ...")
+            _phase_concurrent(workdir, golden, args, problems)
+            phases.append("concurrent")
 
-        print("[chaos] kill mid-commit (put.before_journal), resume ...")
-        _phase_kill_resume(
-            workdir,
-            golden,
-            args,
-            problems,
-            name="kill-midput",
-            fault="put.before_journal@3",
-        )
+            print("[chaos] kill mid-commit (put.before_journal), resume ...")
+            _phase_kill_resume(
+                workdir,
+                golden,
+                args,
+                problems,
+                name="kill-midput",
+                fault="put.before_journal@3",
+            )
+            phases.append("kill-midput")
 
-        print("[chaos] kill between result and done marker, resume ...")
-        chaos_store = _phase_kill_resume(
-            workdir,
-            golden,
-            args,
-            problems,
-            name="kill-predone",
-            fault="queue.before_done@2",
-        )
+            print("[chaos] kill between result and done marker, resume ...")
+            chaos_store = _phase_kill_resume(
+                workdir,
+                golden,
+                args,
+                problems,
+                name="kill-predone",
+                fault="queue.before_done@2",
+            )
+            phases.append("kill-predone")
+
+        if args.service or args.service_only:
+            print("[chaos] HTTP service: fault storm, group kill, resume ...")
+            chaos_store = _phase_service(workdir, golden, args, problems)
+            phases.append("service")
 
         print("[chaos] fsck ...")
-        report = Path(args.report) if args.report else None
-        _fsck(chaos_store, report, problems)
-        _fsck(workdir / "concurrent", None, problems)
+        if chaos_store is not None:
+            _fsck(chaos_store, report, problems)
+        if not args.service_only:
+            _fsck(workdir / "concurrent", None, problems)
+        phases.append("fsck")
     finally:
         if cleanup is not None:
             cleanup.cleanup()
@@ -320,7 +592,7 @@ def main(argv: list[str] | None = None) -> int:
         + json.dumps(
             {
                 "cells": len(golden),
-                "phases": ["concurrent", "kill-midput", "kill-predone", "fsck"],
+                "phases": phases,
                 "problems": len(problems),
                 "status": status,
             },
